@@ -1,0 +1,66 @@
+//! # critlock-analysis
+//!
+//! The analysis engine for **critical lock analysis** (Chen & Stenström,
+//! SC 2012): given a synchronization-event trace, identify the *critical
+//! locks* — locks whose critical sections lie on the execution's critical
+//! path — and quantify their impact with the paper's two metrics,
+//! contention probability and critical-section size along the critical
+//! path.
+//!
+//! Pipeline:
+//!
+//! 1. [`segments`] splits each thread's event stream into running
+//!    intervals and records what enabled each one to start;
+//! 2. [`cp`] performs the backward critical-path walk (the paper's Fig. 2
+//!    algorithm), producing per-thread critical-path slices;
+//! 3. [`metrics`] computes the TYPE 1 (critical-path) and TYPE 2
+//!    (classical idleness) statistics per lock;
+//! 4. [`report`] renders text/CSV/JSON tables in the layout of the paper's
+//!    result figures; [`gantt`] draws the execution (Figs. 1 and 7);
+//! 5. [`blockers`] resolves who-blocks-whom edges and [`threads`]
+//!    attributes the path to threads; [`whatif`] projects optimization gains and quantifies how the
+//!    critical-path ranking disagrees with the classical wait-time
+//!    ranking; [`online`] is a forward, single-pass variant suitable for
+//!    run-time use (the paper's future-work direction);
+//! 6. [`validate`] cross-checks traces and computed paths.
+//!
+//! ```
+//! use critlock_trace::TraceBuilder;
+//! use critlock_analysis::{analyze, report::one_line_summary};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! let l = b.lock("L");
+//! let t0 = b.thread("T0", 0);
+//! let t1 = b.thread("T1", 0);
+//! b.on(t0).cs(l, 4).exit_at(5);
+//! b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit();
+//! let trace = b.build().unwrap();
+//!
+//! let rep = analyze(&trace);
+//! assert_eq!(rep.top_critical_lock().unwrap().name, "L");
+//! println!("{}", one_line_summary(&rep));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blockers;
+pub mod cp;
+pub mod gantt;
+pub mod metrics;
+pub mod online;
+pub mod report;
+pub mod segments;
+pub mod threads;
+pub mod validate;
+pub mod whatif;
+pub mod window;
+
+pub use blockers::{blocker_report, BlockerReport, BlockingEdge};
+pub use cp::{critical_path, CpSlice, CriticalPath};
+pub use metrics::{analyze, analyze_with, AnalysisReport, LockReport};
+pub use online::{online_analyze, OnlineReport};
+pub use segments::{Segment, SegmentedTrace, StartCause};
+pub use threads::{thread_report, ThreadCriticality, ThreadReport};
+pub use whatif::{project_shrink, rank_targets, rank_targets_by_wait, ranking_disagreement};
+pub use window::{analyze_phase, clip, marker_window};

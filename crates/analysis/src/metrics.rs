@@ -1,0 +1,497 @@
+//! The two quantitative performance metrics (paper §III.B) plus the
+//! classical per-lock statistics the paper contrasts against.
+//!
+//! * **TYPE 1** (this paper, measured *along the critical path*): the
+//!   fraction of critical-path time occupied by a lock's hot critical
+//!   sections, the number of its invocations on the critical path and
+//!   their contention probability.
+//! * **TYPE 2** (previous approaches, per-lock averages over threads):
+//!   average wait-time fraction, average invocation count, average
+//!   contention probability, average hold-time fraction.
+//!
+//! The derived "Incr. Times" columns of the paper's Figs. 10/11/13/14 —
+//! how many times more often a lock appears on the critical path than an
+//! average thread invokes it, and how much larger its critical-path share
+//! is than its average hold share — are computed here too.
+
+use crate::cp::{CpSlice, CriticalPath};
+use critlock_trace::{lock_episodes, rw_episodes, LockEpisode, ObjId, Trace, Ts};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Combined TYPE 1 + TYPE 2 statistics for one lock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LockReport {
+    /// The lock.
+    pub lock: ObjId,
+    /// Its registered name.
+    pub name: String,
+
+    // ---- TYPE 1: along the critical path ----
+    /// Total time the lock's hot critical sections occupy on the critical
+    /// path ("CP Time").
+    pub cp_time: Ts,
+    /// `cp_time` as a fraction of the critical-path length ("CP Time %").
+    pub cp_time_frac: f64,
+    /// Number of invocations whose critical section lies (at least
+    /// partially) on the critical path ("Invocation # on CP").
+    pub invocations_on_cp: u64,
+    /// How many of those were contended.
+    pub contended_on_cp: u64,
+    /// Contention probability along the critical path
+    /// ("Cont. Prob. on CP %").
+    pub cont_prob_on_cp: f64,
+
+    // ---- TYPE 2: classical per-lock averages ----
+    /// Total number of invocations by all threads.
+    pub total_invocations: u64,
+    /// Average invocations per thread ("Avg. Invo. #").
+    pub avg_invocations_per_thread: f64,
+    /// Fraction of all invocations that were contended
+    /// ("Avg. Cont. Prob %").
+    pub avg_cont_prob: f64,
+    /// Average over threads of (time waiting for this lock / thread
+    /// lifetime) ("Wait Time %").
+    pub avg_wait_frac: f64,
+    /// Average over threads of (time holding this lock / thread lifetime)
+    /// ("Avg. Hold Time %").
+    pub avg_hold_frac: f64,
+    /// Total wait time across threads.
+    pub total_wait: Ts,
+    /// Total hold time across threads.
+    pub total_hold: Ts,
+
+    // ---- derived ("Incr. Times" columns) ----
+    /// `invocations_on_cp / avg_invocations_per_thread`
+    /// ("Incr. Times of Invo. #").
+    pub incr_invocations: f64,
+    /// `cp_time_frac / avg_hold_frac`
+    /// ("Incr. Times of Critical Section Size").
+    pub incr_cs_size: f64,
+}
+
+/// Whole-trace analysis result: the identification + quantification output
+/// of critical lock analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Application name from the trace metadata.
+    pub app: String,
+    /// Number of threads.
+    pub num_threads: usize,
+    /// End-to-end completion time.
+    pub makespan: Ts,
+    /// Critical-path length (equals `makespan` for complete walks over
+    /// well-formed traces).
+    pub cp_length: Ts,
+    /// Whether the backward walk reached the start of the execution.
+    pub cp_complete: bool,
+    /// `cp_length / makespan`.
+    pub coverage: f64,
+    /// Per-lock statistics, sorted by `cp_time` descending (the paper's
+    /// presentation order).
+    pub locks: Vec<LockReport>,
+}
+
+impl AnalysisReport {
+    /// The lock report with the given name.
+    pub fn lock_by_name(&self, name: &str) -> Option<&LockReport> {
+        self.locks.iter().find(|l| l.name == name)
+    }
+
+    /// The most critical lock (highest CP time), if any lock was used.
+    pub fn top_critical_lock(&self) -> Option<&LockReport> {
+        self.locks.first().filter(|l| l.cp_time > 0)
+    }
+
+    /// Locks that appear on the critical path at all — the paper's
+    /// *critical locks*.
+    pub fn critical_locks(&self) -> Vec<&LockReport> {
+        self.locks.iter().filter(|l| l.invocations_on_cp > 0).collect()
+    }
+
+    /// Rank of a lock (1-based) under the TYPE 1 CP-time metric.
+    pub fn rank_by_cp_time(&self, name: &str) -> Option<usize> {
+        self.locks.iter().position(|l| l.name == name).map(|i| i + 1)
+    }
+
+    /// Rank of a lock (1-based) under the classical wait-time metric:
+    /// what previous approaches would report.
+    pub fn rank_by_wait_time(&self, name: &str) -> Option<usize> {
+        let mut by_wait: Vec<&LockReport> = self.locks.iter().collect();
+        by_wait.sort_by(|a, b| {
+            b.avg_wait_frac
+                .partial_cmp(&a.avg_wait_frac)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        by_wait.iter().position(|l| l.name == name).map(|i| i + 1)
+    }
+}
+
+/// Sum of the overlap between `[lo, hi)` and a sorted, non-overlapping
+/// slice list.
+fn overlap_with_slices(slices: &[CpSlice], lo: Ts, hi: Ts) -> Ts {
+    if hi <= lo {
+        return 0;
+    }
+    // First slice that could overlap: last with start < hi; scan backwards
+    // from there while end > lo.
+    let mut total = 0;
+    let begin = slices.partition_point(|s| s.end <= lo);
+    for s in &slices[begin..] {
+        if s.start >= hi {
+            break;
+        }
+        let a = s.start.max(lo);
+        let b = s.end.min(hi);
+        if b > a {
+            total += b - a;
+        }
+    }
+    total
+}
+
+/// Run the full analysis: critical-path walk plus all metrics.
+pub fn analyze(trace: &Trace) -> AnalysisReport {
+    let cp = crate::cp::critical_path(trace);
+    analyze_with(trace, &cp)
+}
+
+/// Compute all metrics against a pre-computed critical path.
+///
+/// Reader-writer lock invocations are folded into the same per-lock
+/// statistics as plain locks (an rw hold is a critical section; the
+/// read/write mode split is available via
+/// [`critlock_trace::rw_episodes`]).
+pub fn analyze_with(trace: &Trace, cp: &CriticalPath) -> AnalysisReport {
+    let mut episodes = lock_episodes(trace);
+    episodes.extend(rw_episodes(trace).into_iter().map(|e| LockEpisode {
+        tid: e.tid,
+        lock: e.lock,
+        acquire: e.acquire,
+        obtain: e.obtain,
+        release: e.release,
+        contended: e.contended,
+    }));
+    analyze_episodes(trace, cp, &episodes)
+}
+
+fn analyze_episodes(
+    trace: &Trace,
+    cp: &CriticalPath,
+    episodes: &[LockEpisode],
+) -> AnalysisReport {
+    let n_threads = trace.num_threads();
+
+    // Per-thread CP slices, sorted by start (they already are, globally
+    // chronological, and per thread that order is preserved).
+    let mut per_thread_slices: Vec<Vec<CpSlice>> = vec![Vec::new(); n_threads];
+    for s in &cp.slices {
+        per_thread_slices[s.tid.index()].push(*s);
+    }
+
+    // Thread lifetimes for the TYPE 2 fractions.
+    let thread_durations: Vec<Ts> = trace
+        .threads
+        .iter()
+        .map(|t| {
+            let s = t.start_ts().unwrap_or(0);
+            let e = t.end_ts().unwrap_or(s);
+            e.saturating_sub(s)
+        })
+        .collect();
+
+    #[derive(Default, Clone)]
+    struct Acc {
+        cp_time: Ts,
+        invocations_on_cp: u64,
+        contended_on_cp: u64,
+        total_invocations: u64,
+        total_contended: u64,
+        total_wait: Ts,
+        total_hold: Ts,
+        // Per-thread wait/hold for the averaged fractions.
+        per_thread_wait: Vec<Ts>,
+        per_thread_hold: Vec<Ts>,
+    }
+
+    let mut accs: HashMap<ObjId, Acc> = HashMap::new();
+
+    for ep in episodes {
+        let acc = accs.entry(ep.lock).or_insert_with(|| Acc {
+            per_thread_wait: vec![0; n_threads],
+            per_thread_hold: vec![0; n_threads],
+            ..Default::default()
+        });
+        acc.total_invocations += 1;
+        if ep.contended {
+            acc.total_contended += 1;
+        }
+        acc.total_wait += ep.wait_time();
+        acc.total_hold += ep.hold_time();
+        acc.per_thread_wait[ep.tid.index()] += ep.wait_time();
+        acc.per_thread_hold[ep.tid.index()] += ep.hold_time();
+
+        let slices = &per_thread_slices[ep.tid.index()];
+        let ov = overlap_with_slices(slices, ep.obtain, ep.release);
+        if ov > 0 {
+            acc.cp_time += ov;
+            acc.invocations_on_cp += 1;
+            if ep.contended {
+                acc.contended_on_cp += 1;
+            }
+        }
+    }
+
+    let cp_len = cp.length.max(1) as f64;
+    let mut locks: Vec<LockReport> = accs
+        .into_iter()
+        .map(|(lock, acc)| {
+            let avg_invocations = acc.total_invocations as f64 / n_threads.max(1) as f64;
+            let avg_cont_prob = if acc.total_invocations > 0 {
+                acc.total_contended as f64 / acc.total_invocations as f64
+            } else {
+                0.0
+            };
+            let frac_avg = |per: &[Ts]| -> f64 {
+                if n_threads == 0 {
+                    return 0.0;
+                }
+                per.iter()
+                    .zip(&thread_durations)
+                    .map(|(&v, &d)| if d > 0 { v as f64 / d as f64 } else { 0.0 })
+                    .sum::<f64>()
+                    / n_threads as f64
+            };
+            let avg_wait_frac = frac_avg(&acc.per_thread_wait);
+            let avg_hold_frac = frac_avg(&acc.per_thread_hold);
+            let cp_time_frac = acc.cp_time as f64 / cp_len;
+            let cont_prob_on_cp = if acc.invocations_on_cp > 0 {
+                acc.contended_on_cp as f64 / acc.invocations_on_cp as f64
+            } else {
+                0.0
+            };
+            LockReport {
+                lock,
+                name: trace.object_name(lock),
+                cp_time: acc.cp_time,
+                cp_time_frac,
+                invocations_on_cp: acc.invocations_on_cp,
+                contended_on_cp: acc.contended_on_cp,
+                cont_prob_on_cp,
+                total_invocations: acc.total_invocations,
+                avg_invocations_per_thread: avg_invocations,
+                avg_cont_prob,
+                avg_wait_frac,
+                avg_hold_frac,
+                total_wait: acc.total_wait,
+                total_hold: acc.total_hold,
+                incr_invocations: if avg_invocations > 0.0 {
+                    acc.invocations_on_cp as f64 / avg_invocations
+                } else {
+                    0.0
+                },
+                incr_cs_size: if avg_hold_frac > 0.0 {
+                    cp_time_frac / avg_hold_frac
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    locks.sort_by(|a, b| {
+        b.cp_time
+            .cmp(&a.cp_time)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    AnalysisReport {
+        app: trace.meta.app.clone(),
+        num_threads: n_threads,
+        makespan: trace.makespan(),
+        cp_length: cp.length,
+        cp_complete: cp.complete,
+        coverage: cp.coverage(),
+        locks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::{ThreadId, TraceBuilder};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn overlap_helper() {
+        let slices = vec![
+            CpSlice { tid: ThreadId(0), start: 0, end: 10 },
+            CpSlice { tid: ThreadId(0), start: 20, end: 30 },
+        ];
+        assert_eq!(overlap_with_slices(&slices, 5, 25), 10);
+        assert_eq!(overlap_with_slices(&slices, 0, 40), 20);
+        assert_eq!(overlap_with_slices(&slices, 10, 20), 0);
+        assert_eq!(overlap_with_slices(&slices, 12, 12), 0);
+        assert_eq!(overlap_with_slices(&slices, 29, 35), 1);
+        assert_eq!(overlap_with_slices(&slices, 35, 30), 0);
+    }
+
+    /// The two-thread chain: T0's CS [0,4] and T1's CS [4,6] are both on
+    /// the CP; T1's wait [1,4] is not CS time.
+    #[test]
+    fn basic_lock_metrics() {
+        let mut b = TraceBuilder::new("basic");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit(); // exit 9
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+
+        assert_eq!(rep.makespan, 9);
+        assert_eq!(rep.cp_length, 9);
+        assert!(rep.cp_complete);
+        assert_eq!(rep.locks.len(), 1);
+        let lr = &rep.locks[0];
+        assert_eq!(lr.name, "L");
+        assert_eq!(lr.cp_time, 6); // 4 + 2
+        assert!(close(lr.cp_time_frac, 6.0 / 9.0));
+        assert_eq!(lr.invocations_on_cp, 2);
+        assert_eq!(lr.contended_on_cp, 1);
+        assert!(close(lr.cont_prob_on_cp, 0.5));
+        assert_eq!(lr.total_invocations, 2);
+        assert!(close(lr.avg_invocations_per_thread, 1.0));
+        assert!(close(lr.avg_cont_prob, 0.5));
+        // T0 waits 0/5; T1 waits 3/9 → avg (0 + 1/3)/2 = 1/6.
+        assert!(close(lr.avg_wait_frac, 1.0 / 6.0));
+        // T0 holds 4/5; T1 holds 2/9 → avg (0.8 + 0.2222)/2.
+        assert!(close(lr.avg_hold_frac, (4.0 / 5.0 + 2.0 / 9.0) / 2.0));
+        assert_eq!(lr.total_wait, 3);
+        assert_eq!(lr.total_hold, 6);
+        assert!(close(lr.incr_invocations, 2.0));
+    }
+
+    /// The paper's core discriminating scenario: a heavily-waited lock off
+    /// the critical path must rank below an on-path lock under TYPE 1 while
+    /// ranking above it under TYPE 2.
+    #[test]
+    fn idle_lock_off_path_ranks_low_on_cp() {
+        let mut b = TraceBuilder::new("discriminate");
+        let hot = b.lock("hot"); // on CP, uncontended
+        let idle = b.lock("idle"); // heavily contended, off CP
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        let t2 = b.thread("T2", 0);
+        // T0: long CS under `hot`, runs to 100, finishes last.
+        b.on(t0).cs(hot, 60).work(40).exit(); // exit 100
+        // T1 and T2 fight over `idle` but both finish early.
+        b.on(t1).cs(idle, 30).exit_at(40);
+        b.on(t2).cs_blocked(idle, 30, 10).exit_at(45);
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+
+        let hot_r = rep.lock_by_name("hot").unwrap();
+        let idle_r = rep.lock_by_name("idle").unwrap();
+        // TYPE 1: hot dominates, idle contributes nothing.
+        assert_eq!(hot_r.cp_time, 60);
+        assert_eq!(idle_r.cp_time, 0);
+        assert_eq!(idle_r.invocations_on_cp, 0);
+        assert_eq!(rep.rank_by_cp_time("hot"), Some(1));
+        // TYPE 2 (previous approaches): idle has all the wait time.
+        assert!(idle_r.avg_wait_frac > hot_r.avg_wait_frac);
+        assert_eq!(rep.rank_by_wait_time("idle"), Some(1));
+        // Critical locks contain hot only.
+        let crit: Vec<_> = rep.critical_locks().iter().map(|l| l.name.clone()).collect();
+        assert_eq!(crit, vec!["hot".to_string()]);
+        assert_eq!(rep.top_critical_lock().unwrap().name, "hot");
+    }
+
+    /// An uncontended lock on the critical path still shows up under
+    /// TYPE 1 (the paper's L3/stackLock[5] case).
+    #[test]
+    fn uncontended_on_path_lock_counted() {
+        let mut b = TraceBuilder::new("uncontended");
+        let l = b.lock("L3");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).work(10).cs(l, 5).work(10).exit(); // single thread: all on CP
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+        let lr = rep.lock_by_name("L3").unwrap();
+        assert_eq!(lr.cp_time, 5);
+        assert!(close(lr.cp_time_frac, 0.2));
+        assert_eq!(lr.invocations_on_cp, 1);
+        assert!(close(lr.cont_prob_on_cp, 0.0));
+        assert!(close(lr.avg_wait_frac, 0.0));
+    }
+
+    #[test]
+    fn multiple_critical_sections_same_lock_aggregate() {
+        // §II: "a single lock can be used to protect several different
+        // critical sections ... metrics should be aggregated".
+        let mut b = TraceBuilder::new("agg");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 3).work(2).cs(l, 7).work(1).exit();
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+        let lr = rep.lock_by_name("L").unwrap();
+        assert_eq!(lr.cp_time, 10);
+        assert_eq!(lr.invocations_on_cp, 2);
+        assert_eq!(lr.total_hold, 10);
+    }
+
+    #[test]
+    fn empty_trace_report() {
+        let t = critlock_trace::Trace::default();
+        let rep = analyze(&t);
+        assert_eq!(rep.num_threads, 0);
+        assert!(rep.locks.is_empty());
+        assert!(rep.top_critical_lock().is_none());
+        assert!(rep.lock_by_name("x").is_none());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut b = TraceBuilder::new("ser");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 3).exit();
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(rep, back);
+    }
+
+    /// Partial CS overlap with the CP is pro-rated.
+    #[test]
+    fn partial_overlap_prorated() {
+        let mut b = TraceBuilder::new("partial");
+        let l = b.lock("L");
+        let bar = b.barrier("B");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        // T0 holds L across a barrier arrival? Not allowed by protocol to
+        // be neat; instead: T0's CS [0,10], T1 is last arriver of a barrier
+        // at 6 and the CP rides T1 until 6 then T0 after the barrier...
+        // Simpler: CS [2,8] on T0, where T0's CP slice is [6,12] (T1 is
+        // last arriver at 6).
+        b.on(t0)
+            .work(1)
+            .barrier(bar, 0, 6)
+            .work(1)
+            .cs(l, 3) // CS [7,10]
+            .work(2)
+            .exit(); // exit 12
+        b.on(t1).work(6).barrier(bar, 0, 6).exit_at(7);
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+        let lr = rep.lock_by_name("L").unwrap();
+        assert_eq!(lr.cp_time, 3);
+        assert_eq!(rep.cp_length, 12);
+    }
+}

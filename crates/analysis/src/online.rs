@@ -1,0 +1,484 @@
+//! Online (single forward pass) critical-path lock profiling.
+//!
+//! The paper's future work (§VII) suggests feeding lock criticality to
+//! run-time systems (accelerated critical sections, lock reordering,
+//! transactional memory). That requires estimating lock criticality *as
+//! the program runs* instead of via the offline backward walk. This
+//! module implements the standard forward formulation (in the style of
+//! Hollingsworth's online critical-path profiling): every thread carries
+//! the length of the longest dependence path that ends at its current
+//! instant, plus a per-lock attribution profile of that path; dependence
+//! edges (lock hand-offs, barrier releases, signals, create/join) take the
+//! maximum and inherit the winning profile.
+//!
+//! For traces with a single final answer the result matches the offline
+//! analysis exactly on lock attribution along the final critical path;
+//! see the equivalence tests.
+
+use critlock_trace::{EventKind, ObjId, ThreadId, Trace, Ts};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-lock attribution of critical-path time, as estimated online.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineLockStat {
+    /// The lock.
+    pub lock: ObjId,
+    /// Its name.
+    pub name: String,
+    /// Critical-path time attributed to this lock's critical sections.
+    pub cp_time: Ts,
+    /// Fraction of the critical-path length.
+    pub cp_time_frac: f64,
+}
+
+/// Result of the forward online pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Estimated critical-path length.
+    pub cp_length: Ts,
+    /// The thread whose exit terminates the critical path.
+    pub final_thread: Option<ThreadId>,
+    /// Per-lock attribution, sorted by `cp_time` descending.
+    pub locks: Vec<OnlineLockStat>,
+}
+
+impl OnlineReport {
+    /// The stat for a given lock name.
+    pub fn lock_by_name(&self, name: &str) -> Option<&OnlineLockStat> {
+        self.locks.iter().find(|l| l.name == name)
+    }
+}
+
+type Profile = HashMap<ObjId, Ts>;
+
+#[derive(Clone, Default)]
+struct PathVal {
+    len: Ts,
+    profile: Profile,
+}
+
+impl PathVal {
+    fn adopt_max(&mut self, other: &PathVal) {
+        if other.len > self.len {
+            self.len = other.len;
+            self.profile = other.profile.clone();
+        }
+    }
+}
+
+struct ThreadState {
+    val: PathVal,
+    last_ts: Ts,
+    running: bool,
+    held: Vec<ObjId>,
+}
+
+/// Whether an event *produces* a dependence value other threads may adopt
+/// at the same instant (releases, signals, arrivals, exits, creations).
+fn is_producer(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::LockRelease { .. }
+            | EventKind::RwRelease { .. }
+            | EventKind::CondSignal { .. }
+            | EventKind::CondBroadcast { .. }
+            | EventKind::BarrierArrive { .. }
+            | EventKind::ThreadExit
+            | EventKind::ThreadCreate { .. }
+    )
+}
+
+/// Run the forward online critical-path pass over a complete trace.
+///
+/// Events are processed in timestamp groups. Within a group, each
+/// thread's events keep their program order (reordering them corrupts
+/// the held-lock and running-state machines — e.g. a zero-duration
+/// critical section would release before it obtains), and a first sweep
+/// publishes all producer values so same-instant hand-offs (release →
+/// obtain, last-arrival → departs, exit → join) resolve regardless of
+/// thread iteration order. All events in a group share the timestamp, so
+/// no running time accrues inside a group and the two-sweep split is
+/// exact.
+///
+/// (When embedded in a runtime, the same state machine runs incrementally
+/// on live events; operating on a recorded trace here keeps the module
+/// testable against the offline walk.)
+pub fn online_analyze(trace: &Trace) -> OnlineReport {
+    let mut events: Vec<(Ts, ThreadId, usize, EventKind)> = Vec::new();
+    for stream in &trace.threads {
+        for (i, ev) in stream.events.iter().enumerate() {
+            events.push((ev.ts, stream.tid, i, ev.kind));
+        }
+    }
+    events.sort_by_key(|(ts, tid, idx, _)| (*ts, *tid, *idx));
+
+    let n = trace.threads.len();
+    let mut threads: Vec<ThreadState> = (0..n)
+        .map(|_| ThreadState {
+            val: PathVal::default(),
+            last_ts: 0,
+            running: false,
+            held: Vec::new(),
+        })
+        .collect();
+
+    let mut release_vals: HashMap<ObjId, PathVal> = HashMap::new();
+    let mut barrier_vals: HashMap<(ObjId, u32), PathVal> = HashMap::new();
+    let mut signal_vals: HashMap<(ObjId, u64), PathVal> = HashMap::new();
+    let mut latest_signal: HashMap<ObjId, PathVal> = HashMap::new();
+    let mut create_vals: HashMap<ThreadId, PathVal> = HashMap::new();
+    let mut exit_vals: HashMap<ThreadId, PathVal> = HashMap::new();
+    let mut final_candidate: Option<(Ts, ThreadId, PathVal)> = None;
+
+    let mut i = 0;
+    while i < events.len() {
+        let ts = events[i].0;
+        let mut group_end = i;
+        while group_end < events.len() && events[group_end].0 == ts {
+            group_end += 1;
+        }
+
+        // Sweep 1: accrue running time up to `ts` for every thread in the
+        // group (attributed to its innermost held lock), then publish the
+        // values of all producer events so same-instant consumers adopt
+        // them independent of thread iteration order.
+        for &(_, tid, _, ref kind) in &events[i..group_end] {
+            let t = &mut threads[tid.index()];
+            if t.running && ts > t.last_ts {
+                let dt = ts - t.last_ts;
+                t.val.len += dt;
+                if let Some(&inner) = t.held.last() {
+                    *t.val.profile.entry(inner).or_insert(0) += dt;
+                }
+            }
+            t.last_ts = ts;
+            if is_producer(kind) {
+                let val = threads[tid.index()].val.clone();
+                match *kind {
+                    EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
+                        release_vals.insert(lock, val);
+                    }
+                    EventKind::BarrierArrive { barrier, epoch } => {
+                        barrier_vals.entry((barrier, epoch)).or_default().adopt_max(&val);
+                    }
+                    EventKind::CondSignal { cv, signal_seq }
+                    | EventKind::CondBroadcast { cv, signal_seq } => {
+                        signal_vals.insert((cv, signal_seq), val.clone());
+                        latest_signal.insert(cv, val);
+                    }
+                    EventKind::ThreadCreate { child } => {
+                        create_vals.insert(child, val);
+                    }
+                    EventKind::ThreadExit => {
+                        exit_vals.insert(tid, val);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Sweep 2: run the per-thread state machines in program order.
+        for &(_, tid, _, kind) in &events[i..group_end] {
+            step_event(
+                tid,
+                kind,
+                &mut threads,
+                &mut release_vals,
+                &mut barrier_vals,
+                &mut signal_vals,
+                &mut latest_signal,
+                &mut create_vals,
+                &mut exit_vals,
+                &mut final_candidate,
+            );
+        }
+        i = group_end;
+    }
+
+    let (cp_length, final_thread, profile) = match final_candidate {
+        Some((len, tid, val)) => (len, Some(tid), val.profile),
+        None => (0, None, Profile::new()),
+    };
+
+    let mut locks: Vec<OnlineLockStat> = profile
+        .into_iter()
+        .map(|(lock, cp_time)| OnlineLockStat {
+            lock,
+            name: trace.object_name(lock),
+            cp_time,
+            cp_time_frac: if cp_length > 0 {
+                cp_time as f64 / cp_length as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    locks.sort_by(|a, b| b.cp_time.cmp(&a.cp_time).then_with(|| a.name.cmp(&b.name)));
+
+    OnlineReport { cp_length, final_thread, locks }
+}
+
+type ValMap<K> = HashMap<K, PathVal>;
+
+#[allow(clippy::too_many_arguments)]
+fn step_event(
+    tid: ThreadId,
+    kind: EventKind,
+    threads: &mut [ThreadState],
+    release_vals: &mut ValMap<ObjId>,
+    barrier_vals: &mut ValMap<(ObjId, u32)>,
+    signal_vals: &mut ValMap<(ObjId, u64)>,
+    latest_signal: &mut ValMap<ObjId>,
+    create_vals: &mut ValMap<ThreadId>,
+    exit_vals: &mut ValMap<ThreadId>,
+    final_candidate: &mut Option<(Ts, ThreadId, PathVal)>,
+) {
+    let ti = tid.index();
+    {
+        match kind {
+            EventKind::ThreadStart => {
+                let adopted = create_vals.remove(&tid);
+                let t = &mut threads[ti];
+                if let Some(v) = adopted {
+                    t.val.adopt_max(&v);
+                }
+                t.running = true;
+            }
+            EventKind::ThreadCreate { child } => {
+                create_vals.insert(child, threads[ti].val.clone());
+            }
+            EventKind::ThreadExit => {
+                let t = &mut threads[ti];
+                t.running = false;
+                exit_vals.insert(tid, t.val.clone());
+                let better = match final_candidate {
+                    Some((len, _, _)) => t.val.len >= *len,
+                    None => true,
+                };
+                if better {
+                    *final_candidate = Some((t.val.len, tid, t.val.clone()));
+                }
+            }
+            EventKind::LockAcquire { .. } | EventKind::RwAcquire { .. } => {}
+            EventKind::LockContended { .. } | EventKind::RwContended { .. } => {
+                threads[ti].running = false;
+            }
+            EventKind::LockObtain { lock } | EventKind::RwObtain { lock, .. } => {
+                let adopted = if !threads[ti].running {
+                    release_vals.get(&lock).cloned()
+                } else {
+                    None
+                };
+                let t = &mut threads[ti];
+                if let Some(v) = adopted {
+                    t.val.adopt_max(&v);
+                }
+                t.running = true;
+                t.held.push(lock);
+            }
+            EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
+                let t = &mut threads[ti];
+                if let Some(pos) = t.held.iter().rposition(|&l| l == lock) {
+                    t.held.remove(pos);
+                }
+                release_vals.insert(lock, t.val.clone());
+            }
+            EventKind::BarrierArrive { barrier, epoch } => {
+                let t = &mut threads[ti];
+                t.running = false;
+                barrier_vals
+                    .entry((barrier, epoch))
+                    .or_default()
+                    .adopt_max(&t.val);
+            }
+            EventKind::BarrierDepart { barrier, epoch } => {
+                let adopted = barrier_vals.get(&(barrier, epoch)).cloned();
+                let t = &mut threads[ti];
+                if let Some(v) = adopted {
+                    t.val.adopt_max(&v);
+                }
+                t.running = true;
+            }
+            EventKind::CondWaitBegin { .. } => {
+                threads[ti].running = false;
+            }
+            EventKind::CondSignal { cv, signal_seq }
+            | EventKind::CondBroadcast { cv, signal_seq } => {
+                let v = threads[ti].val.clone();
+                signal_vals.insert((cv, signal_seq), v.clone());
+                latest_signal.insert(cv, v);
+            }
+            EventKind::CondWakeup { cv, signal_seq } => {
+                let adopted = signal_vals
+                    .get(&(cv, signal_seq))
+                    .or_else(|| latest_signal.get(&cv))
+                    .cloned();
+                let t = &mut threads[ti];
+                if let Some(v) = adopted {
+                    t.val.adopt_max(&v);
+                }
+                t.running = true;
+            }
+            EventKind::JoinBegin { .. } => {
+                threads[ti].running = false;
+            }
+            EventKind::JoinEnd { child } => {
+                let adopted = exit_vals.get(&child).cloned();
+                let t = &mut threads[ti];
+                if let Some(v) = adopted {
+                    t.val.adopt_max(&v);
+                }
+                t.running = true;
+            }
+            EventKind::Marker { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use critlock_trace::TraceBuilder;
+
+    #[test]
+    fn matches_offline_on_lock_chain() {
+        let mut b = TraceBuilder::new("online-chain");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit(); // exit 9
+        let t = b.build().unwrap();
+
+        let online = online_analyze(&t);
+        let offline = analyze(&t);
+
+        assert_eq!(online.cp_length, offline.cp_length);
+        assert_eq!(
+            online.lock_by_name("L").unwrap().cp_time,
+            offline.lock_by_name("L").unwrap().cp_time
+        );
+        assert_eq!(online.final_thread, Some(critlock_trace::ThreadId(1)));
+    }
+
+    #[test]
+    fn off_path_lock_excluded_online_too() {
+        let mut b = TraceBuilder::new("online-offpath");
+        let hot = b.lock("hot");
+        let idle = b.lock("idle");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        let t2 = b.thread("T2", 0);
+        b.on(t0).cs(hot, 60).work(40).exit(); // exit 100
+        b.on(t1).cs(idle, 30).exit_at(40);
+        b.on(t2).cs_blocked(idle, 30, 10).exit_at(45);
+        let t = b.build().unwrap();
+
+        let online = online_analyze(&t);
+        assert_eq!(online.cp_length, 100);
+        assert_eq!(online.lock_by_name("hot").unwrap().cp_time, 60);
+        assert!(online.lock_by_name("idle").is_none());
+    }
+
+    #[test]
+    fn barrier_path_through_last_arriver() {
+        let mut b = TraceBuilder::new("online-barrier");
+        let bar = b.barrier("B");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        // T1 is the last arriver because of a long CS; its CS is on the CP.
+        b.on(t0).work(3).barrier(bar, 0, 7).work(5).exit(); // exit 12
+        b.on(t1).cs(l, 7).barrier(bar, 0, 7).work(1).exit(); // exit 8
+        let t = b.build().unwrap();
+        let online = online_analyze(&t);
+        assert_eq!(online.cp_length, 12);
+        assert_eq!(online.lock_by_name("L").unwrap().cp_time, 7);
+    }
+
+    #[test]
+    fn fork_join_path() {
+        let mut b = TraceBuilder::new("online-forkjoin");
+        let main = b.thread("main", 0);
+        let w = b.thread("w", 1);
+        b.on(w).work(9).exit(); // exit 10
+        b.on(main).work(1).create(w).work(2).join(w, 10).work(1).exit(); // exit 11
+        let t = b.build().unwrap();
+        let online = online_analyze(&t);
+        assert_eq!(online.cp_length, 11);
+        assert_eq!(online.final_thread, Some(critlock_trace::ThreadId(0)));
+    }
+
+    #[test]
+    fn nested_locks_attribute_to_innermost() {
+        let mut b = TraceBuilder::new("online-nested");
+        let outer = b.lock("outer");
+        let inner = b.lock("inner");
+        let t0 = b.thread("T0", 0);
+        b.on(t0)
+            .acquire(outer)
+            .work(2)
+            .acquire(inner)
+            .work(3)
+            .release(inner)
+            .work(1)
+            .release(outer)
+            .exit();
+        let t = b.build().unwrap();
+        let online = online_analyze(&t);
+        assert_eq!(online.cp_length, 6);
+        assert_eq!(online.lock_by_name("outer").unwrap().cp_time, 3);
+        assert_eq!(online.lock_by_name("inner").unwrap().cp_time, 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let rep = online_analyze(&critlock_trace::Trace::default());
+        assert_eq!(rep.cp_length, 0);
+        assert!(rep.locks.is_empty());
+        assert!(rep.final_thread.is_none());
+    }
+
+    /// On a larger randomized scenario the online estimate of total CP
+    /// length must match the offline walk (both compute the true longest
+    /// path for complete virtual-time traces).
+    #[test]
+    fn cp_length_matches_offline_on_handoff_chains() {
+        let mut b = TraceBuilder::new("online-big");
+        let l1 = b.lock("L1");
+        let l2 = b.lock("L2");
+        let ts: Vec<_> = (0..4).map(|i| b.thread(format!("T{i}"), 0)).collect();
+        let (a, b_) = (20u64, 25u64);
+        for (i, &ti) in ts.iter().enumerate() {
+            let i = i as u64;
+            let mut c = b.on(ti);
+            if i == 0 {
+                c.cs(l1, a);
+            } else {
+                c.cs_blocked(l1, i * a, a);
+            }
+            let l2_obtain = a + i * b_;
+            let now = (i + 1) * a;
+            if l2_obtain > now {
+                c.cs_blocked(l2, l2_obtain, b_);
+            } else {
+                c.cs(l2, b_);
+            }
+            c.exit();
+        }
+        let t = b.build().unwrap();
+        let online = online_analyze(&t);
+        let offline = analyze(&t);
+        assert_eq!(online.cp_length, offline.cp_length);
+        assert_eq!(
+            online.lock_by_name("L2").unwrap().cp_time,
+            offline.lock_by_name("L2").unwrap().cp_time
+        );
+        assert_eq!(
+            online.lock_by_name("L1").unwrap().cp_time,
+            offline.lock_by_name("L1").unwrap().cp_time
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Human-readable and machine-readable renderings of analysis reports,
+//! in the layout of the paper's result figures (Figs. 6, 8–14).
+
+use crate::metrics::AnalysisReport;
+use std::fmt::Write as _;
+
+/// Options for the text renderer.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Show at most this many locks (sorted by CP time). `None` = all.
+    pub top: Option<usize>,
+    /// Include the TYPE 2 (classical) columns.
+    pub type2: bool,
+    /// Include the derived "Incr. Times" columns.
+    pub derived: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { top: None, type2: true, derived: true }
+    }
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Render a report as an aligned text table.
+pub fn render_text(report: &AnalysisReport, opts: &RenderOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical lock analysis: {} ({} threads)",
+        report.app, report.num_threads
+    );
+    let _ = writeln!(
+        out,
+        "makespan {}  critical-path {}  coverage {:.1}%{}",
+        report.makespan,
+        report.cp_length,
+        report.coverage * 100.0,
+        if report.cp_complete { "" } else { "  [PARTIAL WALK]" }
+    );
+
+    let mut headers: Vec<&str> = vec!["Lock", "CP Time %", "Invo# on CP", "Cont.Prob on CP %"];
+    if opts.type2 {
+        headers.extend(["Wait Time %", "Avg Invo#", "Avg Cont.Prob %", "Avg Hold %"]);
+    }
+    if opts.derived {
+        headers.extend(["Incr x Invo", "Incr x CS"]);
+    }
+
+    let rows: Vec<Vec<String>> = report
+        .locks
+        .iter()
+        .take(opts.top.unwrap_or(usize::MAX))
+        .map(|l| {
+            let mut row = vec![
+                l.name.clone(),
+                pct(l.cp_time_frac),
+                l.invocations_on_cp.to_string(),
+                pct(l.cont_prob_on_cp),
+            ];
+            if opts.type2 {
+                row.extend([
+                    pct(l.avg_wait_frac),
+                    format!("{:.1}", l.avg_invocations_per_thread),
+                    pct(l.avg_cont_prob),
+                    pct(l.avg_hold_frac),
+                ]);
+            }
+            if opts.derived {
+                row.extend([format!("{:.2}", l.incr_invocations), format!("{:.2}", l.incr_cs_size)]);
+            }
+            row
+        })
+        .collect();
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+            } else {
+                let _ = write!(line, "  {:>w$}", cell, w = widths[i]);
+            }
+        }
+        line
+    };
+
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", fmt_row(&header_cells));
+    let total_width = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    let _ = writeln!(out, "{}", "-".repeat(total_width));
+    for row in &rows {
+        let _ = writeln!(out, "{}", fmt_row(row));
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no locks used)");
+    }
+    out
+}
+
+/// Render a report as CSV (header + one row per lock).
+pub fn render_csv(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lock,cp_time,cp_time_frac,invocations_on_cp,contended_on_cp,cont_prob_on_cp,\
+         total_invocations,avg_invocations_per_thread,avg_cont_prob,avg_wait_frac,\
+         avg_hold_frac,total_wait,total_hold,incr_invocations,incr_cs_size"
+    );
+    for l in &report.locks {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{},{},{:.6},{},{:.3},{:.6},{:.6},{:.6},{},{},{:.3},{:.3}",
+            csv_escape(&l.name),
+            l.cp_time,
+            l.cp_time_frac,
+            l.invocations_on_cp,
+            l.contended_on_cp,
+            l.cont_prob_on_cp,
+            l.total_invocations,
+            l.avg_invocations_per_thread,
+            l.avg_cont_prob,
+            l.avg_wait_frac,
+            l.avg_hold_frac,
+            l.total_wait,
+            l.total_hold,
+            l.incr_invocations,
+            l.incr_cs_size,
+        );
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize a report as pretty-printed JSON.
+pub fn to_json(report: &AnalysisReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialization cannot fail")
+}
+
+/// A compact one-line summary of the top critical lock, for log output.
+pub fn one_line_summary(report: &AnalysisReport) -> String {
+    match report.locks.first().filter(|l| l.cp_time > 0) {
+        Some(top) => format!(
+            "{}: top critical lock {} at {} of the critical path ({} CP invocations, {} contended)",
+            report.app,
+            top.name,
+            pct(top.cp_time_frac),
+            top.invocations_on_cp,
+            pct(top.cont_prob_on_cp),
+        ),
+        None => format!("{}: no critical locks (critical sections are not a bottleneck)", report.app),
+    }
+}
+
+/// Side-by-side comparison of the same lock across several reports
+/// (e.g. a thread-count sweep, the paper's Fig. 9). Returns CSV with one
+/// row per report.
+pub fn sweep_csv(reports: &[(String, &AnalysisReport)], lock_names: &[&str]) -> String {
+    let mut out = String::new();
+    let mut header = String::from("config");
+    for name in lock_names {
+        let _ = write!(header, ",{}_cp_time_frac,{}_wait_frac", name, name);
+    }
+    let _ = writeln!(out, "{header}");
+    for (label, rep) in reports {
+        let mut line = label.clone();
+        for name in lock_names {
+            match rep.lock_by_name(name) {
+                Some(l) => {
+                    let _ = write!(line, ",{:.6},{:.6}", l.cp_time_frac, l.avg_wait_frac);
+                }
+                None => line.push_str(",0,0"),
+            }
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Helper for tests and benches: assert that one lock dominates another
+/// under the CP-time metric by at least `factor`.
+pub fn dominates_by(report: &AnalysisReport, a: &str, b: &str, factor: f64) -> bool {
+    match (report.lock_by_name(a), report.lock_by_name(b)) {
+        (Some(la), Some(lb)) => la.cp_time_frac >= lb.cp_time_frac * factor,
+        (Some(la), None) => la.cp_time > 0,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use critlock_trace::TraceBuilder;
+
+    fn sample_report() -> AnalysisReport {
+        let mut b = TraceBuilder::new("render");
+        let l1 = b.lock("alpha");
+        let l2 = b.lock("beta,with,commas");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l1, 4).cs(l2, 2).exit_at(10);
+        b.on(t1).work(1).cs_blocked(l1, 4, 3).work(5).exit(); // exit 12
+        let t = b.build().unwrap();
+        analyze(&t)
+    }
+
+    #[test]
+    fn text_render_contains_all_locks() {
+        let rep = sample_report();
+        let text = render_text(&rep, &RenderOptions::default());
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta,with,commas"));
+        assert!(text.contains("CP Time %"));
+        assert!(text.contains("Wait Time %"));
+    }
+
+    #[test]
+    fn text_render_top_limits_rows() {
+        let rep = sample_report();
+        let text = render_text(
+            &rep,
+            &RenderOptions { top: Some(1), ..RenderOptions::default() },
+        );
+        // Only the top lock row appears.
+        let data_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("alpha") || l.contains("beta"))
+            .collect();
+        assert_eq!(data_lines.len(), 1);
+    }
+
+    #[test]
+    fn text_render_without_type2() {
+        let rep = sample_report();
+        let text = render_text(
+            &rep,
+            &RenderOptions { type2: false, derived: false, ..RenderOptions::default() },
+        );
+        assert!(!text.contains("Wait Time %"));
+        assert!(!text.contains("Incr"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let rep = sample_report();
+        let csv = render_csv(&rep);
+        assert!(csv.contains("\"beta,with,commas\""));
+        assert_eq!(csv.lines().count(), 1 + rep.locks.len());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rep = sample_report();
+        let json = to_json(&rep);
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(rep, back);
+    }
+
+    #[test]
+    fn one_liner() {
+        let rep = sample_report();
+        let s = one_line_summary(&rep);
+        assert!(s.contains("top critical lock"));
+
+        let empty = analyze(&critlock_trace::Trace::default());
+        let s = one_line_summary(&empty);
+        assert!(s.contains("no critical locks"));
+    }
+
+    #[test]
+    fn sweep_csv_shape() {
+        let rep = sample_report();
+        let csv = sweep_csv(&[("4t".to_string(), &rep)], &["alpha", "missing"]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "config,alpha_cp_time_frac,alpha_wait_frac,missing_cp_time_frac,missing_wait_frac"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("4t,"));
+        assert!(row.ends_with(",0,0"));
+    }
+
+    #[test]
+    fn dominance_helper() {
+        let rep = sample_report();
+        assert!(dominates_by(&rep, "alpha", "beta,with,commas", 1.0));
+        assert!(!dominates_by(&rep, "missing", "alpha", 1.0));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let rep = analyze(&critlock_trace::Trace::default());
+        let text = render_text(&rep, &RenderOptions::default());
+        assert!(text.contains("no locks used"));
+    }
+}

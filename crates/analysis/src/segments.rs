@@ -1,0 +1,529 @@
+//! Segment construction.
+//!
+//! The paper defines a *segment* as "the executed code of a thread between
+//! two synchronization events which might introduce blocking" (§III.A).
+//! We build, per thread, the ordered list of its *running intervals*: the
+//! gaps where the thread was blocked (waiting for a lock, a barrier, a
+//! condition variable or a join) are cut out, and each segment records the
+//! cause that allowed it to start. The backward critical-path walk consumes
+//! this structure.
+
+use critlock_trace::{EventKind, ObjId, ThreadId, Trace, Ts, SEQ_UNKNOWN};
+use std::collections::HashMap;
+
+/// Why a segment started running at its `start` timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartCause {
+    /// First segment of a thread.
+    ThreadStart,
+    /// The thread had blocked on a lock and was granted it.
+    LockGranted {
+        /// The lock that was granted.
+        lock: ObjId,
+        /// When the thread originally requested the lock.
+        acquire: Ts,
+    },
+    /// The thread departed from a barrier it had been waiting at.
+    BarrierDeparted {
+        /// The barrier.
+        barrier: ObjId,
+        /// Barrier generation.
+        epoch: u32,
+        /// When this thread arrived.
+        arrive: Ts,
+    },
+    /// The thread was woken from a condition-variable wait.
+    CondWoken {
+        /// The condition variable.
+        cv: ObjId,
+        /// Sequence of the waking signal ([`SEQ_UNKNOWN`] if unmatched).
+        signal_seq: u64,
+        /// When the wait began.
+        wait_begin: Ts,
+    },
+    /// A join on a child thread returned.
+    JoinReturned {
+        /// The joined child.
+        child: ThreadId,
+        /// When the join was issued.
+        begin: Ts,
+    },
+}
+
+/// One running interval of one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Owning thread.
+    pub tid: ThreadId,
+    /// Index within the thread's segment list.
+    pub index: usize,
+    /// When the segment started running.
+    pub start: Ts,
+    /// When the segment stopped running (blocked or exited).
+    pub end: Ts,
+    /// Why the segment could start.
+    pub start_cause: StartCause,
+}
+
+impl Segment {
+    /// Running duration of the segment.
+    pub fn duration(&self) -> Ts {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A trace pre-processed into segments plus the lookup indices the
+/// critical-path walk needs to find "the segment that released me".
+#[derive(Debug)]
+pub struct SegmentedTrace {
+    /// Per-thread segment lists, indexed by `ThreadId`.
+    pub threads: Vec<Vec<Segment>>,
+    /// Per-lock release history `(release_ts, tid)`, sorted by timestamp.
+    releases: HashMap<ObjId, Vec<(Ts, ThreadId)>>,
+    /// Last arriver per (barrier, epoch).
+    last_arrivers: HashMap<(ObjId, u32), (Ts, ThreadId)>,
+    /// Signals/broadcasts per condvar `(ts, tid, seq)`, sorted by timestamp.
+    signals: HashMap<ObjId, Vec<(Ts, ThreadId, u64)>>,
+    /// Exact signal lookup by (cv, seq).
+    signals_by_seq: HashMap<(ObjId, u64), (Ts, ThreadId)>,
+    /// Creation edge per child thread: (parent, create_ts).
+    creates: HashMap<ThreadId, (ThreadId, Ts)>,
+    /// Exit timestamp per thread.
+    exits: Vec<Option<Ts>>,
+    /// Earliest timestamp in the trace.
+    pub trace_start: Ts,
+}
+
+impl SegmentedTrace {
+    /// Build the segmented view of a trace.
+    pub fn build(trace: &Trace) -> Self {
+        let n = trace.threads.len();
+        let mut releases: HashMap<ObjId, Vec<(Ts, ThreadId)>> = HashMap::new();
+        let mut last_arrivers: HashMap<(ObjId, u32), (Ts, ThreadId)> = HashMap::new();
+        let mut signals: HashMap<ObjId, Vec<(Ts, ThreadId, u64)>> = HashMap::new();
+        let mut signals_by_seq: HashMap<(ObjId, u64), (Ts, ThreadId)> = HashMap::new();
+        let mut creates: HashMap<ThreadId, (ThreadId, Ts)> = HashMap::new();
+        let mut exits: Vec<Option<Ts>> = vec![None; n];
+
+        for stream in &trace.threads {
+            for ev in &stream.events {
+                match ev.kind {
+                    EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
+                        releases.entry(lock).or_default().push((ev.ts, stream.tid));
+                    }
+                    EventKind::BarrierArrive { barrier, epoch } => {
+                        let entry = last_arrivers
+                            .entry((barrier, epoch))
+                            .or_insert((ev.ts, stream.tid));
+                        if ev.ts >= entry.0 {
+                            *entry = (ev.ts, stream.tid);
+                        }
+                    }
+                    EventKind::CondSignal { cv, signal_seq }
+                    | EventKind::CondBroadcast { cv, signal_seq } => {
+                        signals.entry(cv).or_default().push((ev.ts, stream.tid, signal_seq));
+                        if signal_seq != SEQ_UNKNOWN {
+                            signals_by_seq.insert((cv, signal_seq), (ev.ts, stream.tid));
+                        }
+                    }
+                    EventKind::ThreadCreate { child } => {
+                        creates.entry(child).or_insert((stream.tid, ev.ts));
+                    }
+                    EventKind::ThreadExit => {
+                        exits[stream.tid.index()] = Some(ev.ts);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for list in releases.values_mut() {
+            list.sort_by_key(|(ts, tid)| (*ts, *tid));
+        }
+        for list in signals.values_mut() {
+            list.sort_by_key(|(ts, tid, seq)| (*ts, *tid, *seq));
+        }
+
+        let threads = trace.threads.iter().map(segment_thread).collect();
+
+        SegmentedTrace {
+            threads,
+            releases,
+            last_arrivers,
+            signals,
+            signals_by_seq,
+            creates,
+            exits,
+            trace_start: trace.start_ts(),
+        }
+    }
+
+    /// Total number of segments across all threads.
+    pub fn num_segments(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// The latest release of `lock` at `ts <= at` by a thread other than
+    /// `exclude`.
+    pub fn latest_release_before(
+        &self,
+        lock: ObjId,
+        at: Ts,
+        exclude: ThreadId,
+    ) -> Option<(Ts, ThreadId)> {
+        let list = self.releases.get(&lock)?;
+        // Index of the first release with ts > at.
+        let mut i = list.partition_point(|(ts, _)| *ts <= at);
+        while i > 0 {
+            i -= 1;
+            let (ts, tid) = list[i];
+            if tid != exclude {
+                return Some((ts, tid));
+            }
+        }
+        None
+    }
+
+    /// The last arriver of a barrier episode.
+    pub fn last_arriver(&self, barrier: ObjId, epoch: u32) -> Option<(Ts, ThreadId)> {
+        self.last_arrivers.get(&(barrier, epoch)).copied()
+    }
+
+    /// The signal that woke a condvar wait: exact by sequence if known,
+    /// otherwise the latest signal at `ts <= wakeup` by another thread.
+    pub fn matching_signal(
+        &self,
+        cv: ObjId,
+        signal_seq: u64,
+        wakeup: Ts,
+        exclude: ThreadId,
+    ) -> Option<(Ts, ThreadId)> {
+        if signal_seq != SEQ_UNKNOWN {
+            if let Some(&found) = self.signals_by_seq.get(&(cv, signal_seq)) {
+                return Some(found);
+            }
+        }
+        let list = self.signals.get(&cv)?;
+        let mut i = list.partition_point(|(ts, _, _)| *ts <= wakeup);
+        while i > 0 {
+            i -= 1;
+            let (ts, tid, _) = list[i];
+            if tid != exclude {
+                return Some((ts, tid));
+            }
+        }
+        None
+    }
+
+    /// The creation edge of a thread, if recorded.
+    pub fn creator_of(&self, tid: ThreadId) -> Option<(ThreadId, Ts)> {
+        self.creates.get(&tid).copied()
+    }
+
+    /// The exit timestamp of a thread.
+    pub fn exit_ts(&self, tid: ThreadId) -> Option<Ts> {
+        self.exits.get(tid.index()).copied().flatten()
+    }
+
+    /// The segment of `tid` whose running interval contains `ts`.
+    ///
+    /// When several segments touch `ts` (zero-length segments arise at
+    /// barrier episodes whose arrival and departure coincide), the
+    /// *earliest* containing segment is returned: an enabling event at
+    /// `ts` was executed no later than the first segment that reaches
+    /// `ts`, and preferring the earliest keeps the backward walk
+    /// monotone — jumping to a later same-instant segment can cycle.
+    pub fn segment_at(&self, tid: ThreadId, ts: Ts) -> Option<&Segment> {
+        let segs = self.threads.get(tid.index())?;
+        let i = segs.partition_point(|s| s.end < ts);
+        if i < segs.len() && segs[i].start <= ts {
+            return Some(&segs[i]);
+        }
+        // `ts` falls in a blocked gap or beyond the last segment (possible
+        // in real-clock traces): fall back to the last segment starting at
+        // or before it.
+        let j = segs.partition_point(|s| s.start <= ts);
+        if j == 0 {
+            None
+        } else {
+            Some(&segs[j - 1])
+        }
+    }
+}
+
+/// Split one thread's event stream into segments.
+fn segment_thread(stream: &critlock_trace::ThreadStream) -> Vec<Segment> {
+    let tid = stream.tid;
+    let mut segs: Vec<Segment> = Vec::new();
+    let Some(first) = stream.events.first() else {
+        return segs;
+    };
+
+    let mut seg_start: Ts = first.ts;
+    let mut cause = StartCause::ThreadStart;
+    // Block-begin timestamps for the pending blocking operation. Plain
+    // locks and rwlocks share the map (their ids never collide).
+    let mut pending_lock: HashMap<ObjId, (Ts, bool)> = HashMap::new(); // acquire ts, contended
+    let mut pending_barrier: Option<(ObjId, u32, Ts)> = None;
+    let mut pending_cond: Option<(ObjId, Ts)> = None;
+    let mut pending_join: Option<(ThreadId, Ts)> = None;
+
+    let close_open =
+        |segs: &mut Vec<Segment>, seg_start: &mut Ts, cause: &mut StartCause, end: Ts, resume: Ts, new_cause: StartCause| {
+            segs.push(Segment {
+                tid,
+                index: segs.len(),
+                start: *seg_start,
+                end,
+                start_cause: *cause,
+            });
+            *seg_start = resume;
+            *cause = new_cause;
+        };
+
+    for ev in &stream.events {
+        match ev.kind {
+            EventKind::LockAcquire { lock } | EventKind::RwAcquire { lock, .. } => {
+                pending_lock.insert(lock, (ev.ts, false));
+            }
+            EventKind::LockContended { lock } | EventKind::RwContended { lock, .. } => {
+                if let Some(p) = pending_lock.get_mut(&lock) {
+                    p.1 = true;
+                }
+            }
+            EventKind::LockObtain { lock } | EventKind::RwObtain { lock, .. } => {
+                if let Some((acq, contended)) = pending_lock.remove(&lock) {
+                    if contended {
+                        // The thread blocked from the contention point
+                        // (== acquire ts) until the obtain.
+                        close_open(
+                            &mut segs,
+                            &mut seg_start,
+                            &mut cause,
+                            acq,
+                            ev.ts,
+                            StartCause::LockGranted { lock, acquire: acq },
+                        );
+                    }
+                }
+            }
+            EventKind::BarrierArrive { barrier, epoch } => {
+                pending_barrier = Some((barrier, epoch, ev.ts));
+            }
+            EventKind::BarrierDepart { barrier, epoch } => {
+                if let Some((b, e, arrive)) = pending_barrier.take() {
+                    if b == barrier && e == epoch {
+                        close_open(
+                            &mut segs,
+                            &mut seg_start,
+                            &mut cause,
+                            arrive,
+                            ev.ts,
+                            StartCause::BarrierDeparted { barrier, epoch, arrive },
+                        );
+                    }
+                }
+            }
+            EventKind::CondWaitBegin { cv } => {
+                pending_cond = Some((cv, ev.ts));
+            }
+            EventKind::CondWakeup { cv, signal_seq } => {
+                if let Some((c, wait_begin)) = pending_cond.take() {
+                    if c == cv {
+                        close_open(
+                            &mut segs,
+                            &mut seg_start,
+                            &mut cause,
+                            wait_begin,
+                            ev.ts,
+                            StartCause::CondWoken { cv, signal_seq, wait_begin },
+                        );
+                    }
+                }
+            }
+            EventKind::JoinBegin { child } => {
+                pending_join = Some((child, ev.ts));
+            }
+            EventKind::JoinEnd { child } => {
+                if let Some((c, begin)) = pending_join.take() {
+                    if c == child {
+                        close_open(
+                            &mut segs,
+                            &mut seg_start,
+                            &mut cause,
+                            begin,
+                            ev.ts,
+                            StartCause::JoinReturned { child, begin },
+                        );
+                    }
+                }
+            }
+            EventKind::ThreadExit => {
+                segs.push(Segment {
+                    tid,
+                    index: segs.len(),
+                    start: seg_start,
+                    end: ev.ts,
+                    start_cause: cause,
+                });
+            }
+            _ => {}
+        }
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::TraceBuilder;
+
+    #[test]
+    fn single_thread_one_segment() {
+        let mut b = TraceBuilder::new("s");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).work(2).cs(l, 3).work(1).exit();
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.threads[0].len(), 1);
+        let seg = st.threads[0][0];
+        assert_eq!(seg.start, 0);
+        assert_eq!(seg.end, 6);
+        assert_eq!(seg.start_cause, StartCause::ThreadStart);
+        assert_eq!(seg.duration(), 6);
+    }
+
+    #[test]
+    fn contended_lock_splits_segment() {
+        let mut b = TraceBuilder::new("s");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).exit();
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.threads[0].len(), 1);
+        assert_eq!(st.threads[1].len(), 2);
+        let s0 = st.threads[1][0];
+        let s1 = st.threads[1][1];
+        assert_eq!((s0.start, s0.end), (0, 1));
+        assert_eq!((s1.start, s1.end), (4, 6));
+        assert_eq!(
+            s1.start_cause,
+            StartCause::LockGranted { lock: l, acquire: 1 }
+        );
+    }
+
+    #[test]
+    fn uncontended_lock_does_not_split() {
+        let mut b = TraceBuilder::new("s");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 2).work(1).cs(l, 2).exit();
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.threads[0].len(), 1);
+    }
+
+    #[test]
+    fn barrier_splits_and_last_arriver_found() {
+        let mut b = TraceBuilder::new("s");
+        let bar = b.barrier("B");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).work(3).barrier(bar, 0, 5).work(1).exit();
+        b.on(t1).work(5).barrier(bar, 0, 5).work(2).exit();
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.threads[0].len(), 2);
+        assert_eq!(st.threads[1].len(), 2);
+        assert_eq!(st.last_arriver(bar, 0), Some((5, ThreadId(1))));
+        let s = st.threads[0][1];
+        assert_eq!(s.start, 5);
+        assert!(matches!(s.start_cause, StartCause::BarrierDeparted { arrive: 3, .. }));
+    }
+
+    #[test]
+    fn release_lookup_excludes_self_and_respects_time() {
+        let mut b = TraceBuilder::new("s");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 2).work(1).cs(l, 2).exit(); // releases at 2 and 5
+        b.on(t1).work(10).cs(l, 1).exit(); // release at 11
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(
+            st.latest_release_before(l, 5, ThreadId(1)),
+            Some((5, ThreadId(0)))
+        );
+        assert_eq!(
+            st.latest_release_before(l, 4, ThreadId(1)),
+            Some((2, ThreadId(0)))
+        );
+        // Excluding T0 skips both of its releases.
+        assert_eq!(st.latest_release_before(l, 5, ThreadId(0)), None);
+        assert_eq!(
+            st.latest_release_before(l, 20, ThreadId(0)),
+            Some((11, ThreadId(1)))
+        );
+        assert_eq!(st.latest_release_before(l, 1, ThreadId(1)), None);
+    }
+
+    #[test]
+    fn signal_matching_by_seq_and_time() {
+        let mut b = TraceBuilder::new("s");
+        let cv = b.condvar("CV");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).work(4).cond_signal(cv, 1).work(2).cond_signal(cv, 2).exit();
+        b.on(t1).cond_wait(cv, 4, 1).work(1).cond_wait_unmatched(cv, 7).exit();
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.matching_signal(cv, 1, 4, ThreadId(1)), Some((4, ThreadId(0))));
+        // Unmatched: the latest signal at ts <= 7 is seq 2 at ts 6.
+        assert_eq!(
+            st.matching_signal(cv, SEQ_UNKNOWN, 7, ThreadId(1)),
+            Some((6, ThreadId(0)))
+        );
+        assert_eq!(st.matching_signal(cv, SEQ_UNKNOWN, 0, ThreadId(1)), None);
+    }
+
+    #[test]
+    fn creates_and_exits_recorded() {
+        let mut b = TraceBuilder::new("s");
+        let main = b.thread("main", 0);
+        let w = b.thread("w", 2);
+        b.on(w).work(3).exit(); // exit at 5
+        b.on(main).work(2).create(w).join(w, 5).exit_at(6);
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.creator_of(ThreadId(1)), Some((ThreadId(0), 2)));
+        assert_eq!(st.creator_of(ThreadId(0)), None);
+        assert_eq!(st.exit_ts(ThreadId(1)), Some(5));
+        // main: [0,2] then join-blocked, [5,6]
+        assert_eq!(st.threads[0].len(), 2);
+        assert!(matches!(
+            st.threads[0][1].start_cause,
+            StartCause::JoinReturned { child: ThreadId(1), begin: 2 }
+        ));
+    }
+
+    #[test]
+    fn segment_at_lookup() {
+        let mut b = TraceBuilder::new("s");
+        let bar = b.barrier("B");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).work(3).barrier(bar, 0, 5).work(5).exit();
+        b.on(t1).work(5).barrier(bar, 0, 5).work(1).exit();
+        let t = b.build().unwrap();
+        let st = SegmentedTrace::build(&t);
+        assert_eq!(st.segment_at(ThreadId(0), 2).unwrap().index, 0);
+        assert_eq!(st.segment_at(ThreadId(0), 7).unwrap().index, 1);
+        // Boundary: ts 5 belongs to the later segment (start <= ts).
+        assert_eq!(st.segment_at(ThreadId(0), 5).unwrap().index, 1);
+        assert_eq!(st.num_segments(), 4);
+    }
+}

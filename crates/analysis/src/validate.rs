@@ -1,0 +1,343 @@
+//! Cross-thread consistency checks for traces and critical paths.
+//!
+//! [`critlock_trace::Trace::validate`] checks the *per-thread* event
+//! protocol; this module adds the *cross-thread* invariants the analysis
+//! relies on, and sanity checks on the analysis output itself. Violations
+//! are reported as warnings rather than errors: real-clock traces can
+//! legitimately contain small anomalies (wakeup latencies, clock skew
+//! between cores) that the analysis tolerates.
+
+use crate::cp::CriticalPath;
+use critlock_trace::{
+    barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes, ClockDomain,
+    EventKind, Trace,
+};
+use std::collections::HashMap;
+
+/// Check cross-thread consistency of a trace. Returns human-readable
+/// warnings; empty means clean.
+pub fn check_trace(trace: &Trace) -> Vec<String> {
+    let mut warnings = Vec::new();
+
+    // Creation edges: child must start at or after its creation.
+    let mut created: HashMap<u32, u64> = HashMap::new();
+    for stream in &trace.threads {
+        for ev in &stream.events {
+            if let EventKind::ThreadCreate { child } = ev.kind {
+                created.insert(child.0, ev.ts);
+            }
+        }
+    }
+    for stream in &trace.threads {
+        if let (Some(&create_ts), Some(start_ts)) =
+            (created.get(&stream.tid.0), stream.start_ts())
+        {
+            if start_ts < create_ts {
+                warnings.push(format!(
+                    "{} starts at {} before its creation at {}",
+                    stream.tid, start_ts, create_ts
+                ));
+            }
+        }
+    }
+
+    // Join edges: join cannot return before the child exits.
+    let exits: HashMap<u32, u64> = trace
+        .threads
+        .iter()
+        .filter_map(|s| s.end_ts().map(|ts| (s.tid.0, ts)))
+        .collect();
+    for j in join_episodes(trace) {
+        if let Some(&exit_ts) = exits.get(&j.child.0) {
+            if j.end < exit_ts {
+                warnings.push(format!(
+                    "{} join of {} returned at {} before child exit at {}",
+                    j.tid, j.child, j.end, exit_ts
+                ));
+            }
+        } else {
+            warnings.push(format!("{} joins {} which never exits", j.tid, j.child));
+        }
+    }
+
+    // Contended obtains must have an enabling release by another thread.
+    let st = crate::segments::SegmentedTrace::build(trace);
+    for ep in lock_episodes(trace) {
+        if ep.contended && st.latest_release_before(ep.lock, ep.obtain, ep.tid).is_none() {
+            warnings.push(format!(
+                "{} contended obtain of {} at {} has no prior release by another thread",
+                ep.tid,
+                trace.object_name(ep.lock),
+                ep.obtain
+            ));
+        }
+    }
+    for ep in rw_episodes(trace) {
+        if ep.contended && st.latest_release_before(ep.lock, ep.obtain, ep.tid).is_none() {
+            warnings.push(format!(
+                "{} contended rw-obtain of {} at {} has no prior release by another thread",
+                ep.tid,
+                trace.object_name(ep.lock),
+                ep.obtain
+            ));
+        }
+    }
+
+    // Mutual exclusion: hold intervals of the same lock must not overlap
+    // across threads (zero-length touching at handoff points is fine).
+    let mut holds: HashMap<critlock_trace::ObjId, Vec<(u64, u64, u32)>> = HashMap::new();
+    for ep in lock_episodes(trace) {
+        holds.entry(ep.lock).or_default().push((ep.obtain, ep.release, ep.tid.0));
+    }
+    for (lock, mut ivs) in holds {
+        ivs.sort();
+        for w in ivs.windows(2) {
+            let (_, end_a, tid_a) = w[0];
+            let (start_b, _, tid_b) = w[1];
+            if start_b < end_a && tid_a != tid_b {
+                warnings.push(format!(
+                    "lock {} held concurrently by T{} and T{} ({} < {})",
+                    trace.object_name(lock),
+                    tid_a,
+                    tid_b,
+                    start_b,
+                    end_a
+                ));
+            }
+        }
+    }
+
+    // Reader-writer exclusion: a write hold may not overlap any other
+    // hold of the same rwlock.
+    let mut rw_holds: HashMap<critlock_trace::ObjId, Vec<(u64, u64, bool, u32)>> = HashMap::new();
+    for ep in rw_episodes(trace) {
+        rw_holds
+            .entry(ep.lock)
+            .or_default()
+            .push((ep.obtain, ep.release, ep.write, ep.tid.0));
+    }
+    for (lock, mut ivs) in rw_holds {
+        ivs.sort();
+        for a in 0..ivs.len() {
+            for b in (a + 1)..ivs.len() {
+                let (sa, ea, wa, ta) = ivs[a];
+                let (sb, eb, wb, tb) = ivs[b];
+                if sb >= ea {
+                    break;
+                }
+                if (wa || wb) && sb < ea && sa < eb && ta != tb {
+                    warnings.push(format!(
+                        "rwlock {} write hold overlaps another hold (T{ta} vs T{tb})",
+                        trace.object_name(lock)
+                    ));
+                }
+            }
+        }
+    }
+
+    // Barrier episodes: all participants of one (barrier, epoch) must
+    // depart at the same time — the last arrival.
+    let mut by_episode: HashMap<(u32, u32), (u64, u64)> = HashMap::new(); // (max arrive, depart)
+    for ep in barrier_episodes(trace) {
+        let e = by_episode.entry((ep.barrier.0, ep.epoch)).or_insert((0, ep.depart));
+        e.0 = e.0.max(ep.arrive);
+        if ep.depart != e.1 {
+            warnings.push(format!(
+                "barrier {} epoch {} departs at inconsistent times ({} vs {})",
+                ep.barrier, ep.epoch, ep.depart, e.1
+            ));
+        }
+    }
+    for ((b, epoch), (max_arrive, depart)) in by_episode {
+        if depart < max_arrive {
+            warnings.push(format!(
+                "barrier obj{b} epoch {epoch} departs at {depart} before last arrival {max_arrive}"
+            ));
+        }
+    }
+
+    // Condvar waits should not end before the trace's earliest matching
+    // signal (weak check: only when a sequence number is present).
+    let st_signals = critlock_trace::signal_records(trace);
+    let by_seq: HashMap<(u32, u64), u64> = st_signals
+        .iter()
+        .filter(|s| s.signal_seq != critlock_trace::SEQ_UNKNOWN)
+        .map(|s| ((s.cv.0, s.signal_seq), s.ts))
+        .collect();
+    for w in cond_wait_episodes(trace) {
+        if w.signal_seq != critlock_trace::SEQ_UNKNOWN {
+            match by_seq.get(&(w.cv.0, w.signal_seq)) {
+                Some(&sig_ts) if w.wakeup < sig_ts => warnings.push(format!(
+                    "{} woke at {} before its signal #{} at {}",
+                    w.tid, w.wakeup, w.signal_seq, sig_ts
+                )),
+                None => warnings.push(format!(
+                    "{} woken by unrecorded signal #{} on {}",
+                    w.tid, w.signal_seq, w.cv
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    warnings
+}
+
+/// Check the invariants of a computed critical path against its trace.
+pub fn check_critical_path(trace: &Trace, cp: &CriticalPath) -> Vec<String> {
+    let mut warnings = Vec::new();
+
+    if cp.length > cp.makespan {
+        warnings.push(format!(
+            "critical path {} longer than makespan {}",
+            cp.length, cp.makespan
+        ));
+    }
+
+    // Chronology and (for virtual-time traces) exact tiling.
+    let strict = trace.meta.clock == ClockDomain::VirtualNs && cp.complete;
+    if let Err(e) = cp.check_tiling(strict) {
+        warnings.push(e);
+    }
+
+    // Every slice must lie within its thread's lifetime.
+    for s in &cp.slices {
+        if let Some(stream) = trace.thread(s.tid) {
+            let (start, end) = (
+                stream.start_ts().unwrap_or(0),
+                stream.end_ts().unwrap_or(u64::MAX),
+            );
+            if s.start < start || s.end > end {
+                warnings.push(format!(
+                    "CP slice {:?} outside lifetime of {} [{start},{end}]",
+                    s, s.tid
+                ));
+            }
+        } else {
+            warnings.push(format!("CP slice references unknown thread {}", s.tid));
+        }
+    }
+
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::critical_path;
+    use critlock_trace::{Event, ThreadId, TraceBuilder};
+
+    fn clean_trace() -> Trace {
+        let mut b = TraceBuilder::new("clean");
+        let l = b.lock("L");
+        let bar = b.barrier("B");
+        let main = b.thread("main", 0);
+        let w = b.thread("w", 1);
+        b.on(w).work(1).cs_blocked(l, 4, 2).barrier(bar, 0, 8).exit_at(9);
+        b.on(main)
+            .create(w)
+            .cs(l, 4)
+            .work(4)
+            .barrier(bar, 0, 8)
+            .join(w, 9)
+            .exit_at(10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_trace_no_warnings() {
+        let t = clean_trace();
+        assert!(check_trace(&t).is_empty(), "{:?}", check_trace(&t));
+        let cp = critical_path(&t);
+        assert!(
+            check_critical_path(&t, &cp).is_empty(),
+            "{:?}",
+            check_critical_path(&t, &cp)
+        );
+    }
+
+    #[test]
+    fn child_starting_before_create_flagged() {
+        let mut b = TraceBuilder::new("bad");
+        let main = b.thread("main", 0);
+        let w = b.thread("w", 0); // starts at 0 ...
+        b.on(w).work(1).exit();
+        b.on(main).work(5).create(w).exit_at(6); // ... created at 5
+        let t = b.build().unwrap();
+        let w = check_trace(&t);
+        assert!(w.iter().any(|m| m.contains("before its creation")), "{w:?}");
+    }
+
+    #[test]
+    fn contended_obtain_without_release_flagged() {
+        let mut b = TraceBuilder::new("orphan");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs_blocked(l, 5, 2).exit();
+        let t = b.build().unwrap();
+        let w = check_trace(&t);
+        assert!(w.iter().any(|m| m.contains("no prior release")), "{w:?}");
+    }
+
+    #[test]
+    fn overlapping_holds_flagged() {
+        // Construct raw streams that individually validate but violate
+        // mutual exclusion across threads.
+        let mut t = Trace::new(critlock_trace::TraceMeta::named("overlap"));
+        let l = t.register_object(critlock_trace::ObjKind::Lock, "L");
+        for tid in 0..2u32 {
+            let mut s = critlock_trace::ThreadStream::new(ThreadId(tid));
+            s.events = vec![
+                Event::new(0, EventKind::ThreadStart),
+                Event::new(1, EventKind::LockAcquire { lock: l }),
+                Event::new(1, EventKind::LockObtain { lock: l }),
+                Event::new(5, EventKind::LockRelease { lock: l }),
+                Event::new(6, EventKind::ThreadExit),
+            ];
+            t.push_thread(s);
+        }
+        t.validate().unwrap();
+        let w = check_trace(&t);
+        assert!(w.iter().any(|m| m.contains("held concurrently")), "{w:?}");
+    }
+
+    #[test]
+    fn join_of_never_exiting_child() {
+        // A child with an empty stream.
+        let mut t = Trace::new(critlock_trace::TraceMeta::named("nojoin"));
+        let mut main = critlock_trace::ThreadStream::new(ThreadId(0));
+        main.events = vec![
+            Event::new(0, EventKind::ThreadStart),
+            Event::new(1, EventKind::JoinBegin { child: ThreadId(1) }),
+            Event::new(2, EventKind::JoinEnd { child: ThreadId(1) }),
+            Event::new(3, EventKind::ThreadExit),
+        ];
+        t.push_thread(main);
+        t.push_thread(critlock_trace::ThreadStream::new(ThreadId(1)));
+        t.validate().unwrap();
+        let w = check_trace(&t);
+        assert!(w.iter().any(|m| m.contains("never exits")), "{w:?}");
+    }
+
+    #[test]
+    fn cp_invariants_on_clean_trace() {
+        let t = clean_trace();
+        let cp = critical_path(&t);
+        assert!(cp.complete);
+        assert_eq!(cp.length, t.makespan());
+        assert!(check_critical_path(&t, &cp).is_empty());
+    }
+
+    #[test]
+    fn corrupted_cp_flagged() {
+        let t = clean_trace();
+        let mut cp = critical_path(&t);
+        // Inflate a slice beyond the thread lifetime.
+        if let Some(s) = cp.slices.last_mut() {
+            s.end += 1000;
+        }
+        cp.length += 1000;
+        let w = check_critical_path(&t, &cp);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! First-order what-if projection: how much would the completion time
+//! improve if a given lock's critical sections were optimized?
+//!
+//! The projection removes the saved fraction of the lock's *critical-path*
+//! time from the makespan. As the paper observes when validating on
+//! Radiosity (§V.D.3), this is an **upper bound**: after an optimization,
+//! segments that were off the critical path can move onto it, so the real
+//! gain is smaller (they measured 7% end-to-end for a lock with 39% CP
+//! time). For a simulated ground truth, re-run the workload through
+//! `critlock-sim` with the optimization applied (see the bench harness).
+//!
+//! The module also computes the projection a *wait-time-based* tool would
+//! make — assuming the saved wait time converts into saved completion time
+//! — so the ranking disagreement between the two methods (the paper's core
+//! claim) can be quantified.
+
+use crate::metrics::AnalysisReport;
+use critlock_trace::{ObjId, Ts};
+use serde::{Deserialize, Serialize};
+
+/// Projected effect of shrinking one lock's critical sections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// The lock being optimized.
+    pub lock: ObjId,
+    /// Its name.
+    pub name: String,
+    /// Remaining fraction of each critical section (0.5 = halved).
+    pub factor: f64,
+    /// Critical-path time saved: `cp_time * (1 - factor)`.
+    pub cp_time_saved: Ts,
+    /// Projected new makespan.
+    pub projected_makespan: Ts,
+    /// `makespan / projected_makespan`.
+    pub projected_speedup: f64,
+}
+
+/// Projected effect under the classical wait-time model: the average
+/// per-thread wait for the lock shrinks by `1 - factor` and is assumed to
+/// convert 1:1 into completion time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaitProjection {
+    /// The lock being optimized.
+    pub lock: ObjId,
+    /// Its name.
+    pub name: String,
+    /// Remaining fraction of wait time.
+    pub factor: f64,
+    /// Average per-thread wait time saved, in makespan units.
+    pub wait_saved: Ts,
+    /// Projected speedup under the wait-time model.
+    pub projected_speedup: f64,
+}
+
+/// Project shrinking one lock's critical sections to `factor` of their
+/// size (e.g. `factor = 0.5` halves every hot critical section).
+pub fn project_shrink(report: &AnalysisReport, lock_name: &str, factor: f64) -> Option<Projection> {
+    assert!((0.0..=1.0).contains(&factor), "factor must be in [0,1]");
+    let l = report.lock_by_name(lock_name)?;
+    let saved = (l.cp_time as f64 * (1.0 - factor)).round() as Ts;
+    let saved = saved.min(report.makespan);
+    let projected = report.makespan - saved;
+    Some(Projection {
+        lock: l.lock,
+        name: l.name.clone(),
+        factor,
+        cp_time_saved: saved,
+        projected_makespan: projected,
+        projected_speedup: if projected > 0 {
+            report.makespan as f64 / projected as f64
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+/// Project every lock at the same shrink factor, sorted by projected
+/// speedup descending — the optimization priority list critical lock
+/// analysis recommends.
+pub fn rank_targets(report: &AnalysisReport, factor: f64) -> Vec<Projection> {
+    let mut out: Vec<Projection> = report
+        .locks
+        .iter()
+        .filter_map(|l| project_shrink(report, &l.name, factor))
+        .collect();
+    out.sort_by(|a, b| {
+        b.projected_speedup
+            .partial_cmp(&a.projected_speedup)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// The ranking a wait-time ("idleness") based tool would produce, for
+/// contrast: locks sorted by average wait fraction.
+pub fn rank_targets_by_wait(report: &AnalysisReport, factor: f64) -> Vec<WaitProjection> {
+    let mut out: Vec<WaitProjection> = report
+        .locks
+        .iter()
+        .map(|l| {
+            let avg_wait = l.avg_wait_frac * report.makespan as f64;
+            let saved = (avg_wait * (1.0 - factor)).round() as Ts;
+            let saved = saved.min(report.makespan);
+            let projected = report.makespan - saved;
+            WaitProjection {
+                lock: l.lock,
+                name: l.name.clone(),
+                factor,
+                wait_saved: saved,
+                projected_speedup: if projected > 0 {
+                    report.makespan as f64 / projected as f64
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.projected_speedup
+            .partial_cmp(&a.projected_speedup)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// Do the two methods pick a different #1 optimization target? Returns
+/// `(cp_choice, wait_choice)` when they disagree.
+pub fn ranking_disagreement(report: &AnalysisReport) -> Option<(String, String)> {
+    let cp = rank_targets(report, 0.5);
+    let wait = rank_targets_by_wait(report, 0.5);
+    match (cp.first(), wait.first()) {
+        (Some(c), Some(w)) if c.name != w.name => Some((c.name.clone(), w.name.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use critlock_trace::TraceBuilder;
+
+    /// Build the paper's discriminating scenario: `hot` on the CP with no
+    /// wait, `idle` heavily waited but off the CP.
+    fn discriminating_report() -> AnalysisReport {
+        let mut b = TraceBuilder::new("whatif");
+        let hot = b.lock("hot");
+        let idle = b.lock("idle");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        let t2 = b.thread("T2", 0);
+        b.on(t0).cs(hot, 60).work(40).exit(); // exit 100, finishes last
+        b.on(t1).cs(idle, 30).exit_at(40);
+        b.on(t2).cs_blocked(idle, 30, 10).exit_at(45);
+        analyze(&b.build().unwrap())
+    }
+
+    #[test]
+    fn shrink_projection_numbers() {
+        let rep = discriminating_report();
+        let p = project_shrink(&rep, "hot", 0.5).unwrap();
+        assert_eq!(p.cp_time_saved, 30);
+        assert_eq!(p.projected_makespan, 70);
+        assert!((p.projected_speedup - 100.0 / 70.0).abs() < 1e-9);
+
+        // idle has zero CP time: no projected gain.
+        let p = project_shrink(&rep, "idle", 0.5).unwrap();
+        assert_eq!(p.cp_time_saved, 0);
+        assert!((p.projected_speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_one_is_noop() {
+        let rep = discriminating_report();
+        let p = project_shrink(&rep, "hot", 1.0).unwrap();
+        assert_eq!(p.cp_time_saved, 0);
+        assert_eq!(p.projected_makespan, rep.makespan);
+    }
+
+    #[test]
+    fn factor_zero_removes_all_cp_time() {
+        let rep = discriminating_report();
+        let p = project_shrink(&rep, "hot", 0.0).unwrap();
+        assert_eq!(p.cp_time_saved, 60);
+        assert_eq!(p.projected_makespan, 40);
+    }
+
+    #[test]
+    fn unknown_lock_is_none() {
+        let rep = discriminating_report();
+        assert!(project_shrink(&rep, "nope", 0.5).is_none());
+    }
+
+    #[test]
+    fn methods_disagree_on_this_scenario() {
+        let rep = discriminating_report();
+        let cp_rank = rank_targets(&rep, 0.5);
+        assert_eq!(cp_rank[0].name, "hot");
+        let wait_rank = rank_targets_by_wait(&rep, 0.5);
+        assert_eq!(wait_rank[0].name, "idle");
+        let (c, w) = ranking_disagreement(&rep).expect("methods should disagree");
+        assert_eq!(c, "hot");
+        assert_eq!(w, "idle");
+    }
+
+    #[test]
+    fn agreement_when_one_lock() {
+        let mut b = TraceBuilder::new("agree");
+        let l = b.lock("only");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 10).exit_at(11);
+        b.on(t1).cs_blocked(l, 10, 10).exit(); // exit 20
+        let rep = analyze(&b.build().unwrap());
+        assert!(ranking_disagreement(&rep).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in [0,1]")]
+    fn invalid_factor_panics() {
+        let rep = discriminating_report();
+        let _ = project_shrink(&rep, "hot", 1.5);
+    }
+}

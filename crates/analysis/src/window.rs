@@ -1,0 +1,378 @@
+//! Phase-window analysis.
+//!
+//! The paper profiles "the parallel phase of Radiosity" (§V.D), not the
+//! whole process: initialization and teardown would dilute every
+//! statistic. This module clips a trace to a time window — repairing the
+//! event protocol at the cut edges — so the standard analysis can run on
+//! any phase, typically delimited by [`critlock_trace::EventKind::Marker`]
+//! events.
+//!
+//! Clip semantics at the window edges:
+//!
+//! * threads alive in the window get synthetic `ThreadStart`/`ThreadExit`
+//!   records at the boundaries;
+//! * locks (and rwlocks) held across the leading edge get synthetic
+//!   acquire/obtain records at the window start, so their in-window hold
+//!   time is preserved;
+//! * waits still pending at the trailing edge are dropped (their blocked
+//!   time has no enabling release inside the window);
+//! * barrier arrivals pending at the trailing edge depart at the window
+//!   end, keeping episodes consistent across threads.
+
+use crate::metrics::{analyze, AnalysisReport};
+use critlock_trace::{Event, EventKind, ObjId, ThreadStream, Trace, Ts};
+
+/// Clip a trace to the window `[lo, hi]`.
+pub fn clip(trace: &Trace, lo: Ts, hi: Ts) -> Trace {
+    assert!(lo <= hi, "window must be ordered");
+    let mut out = Trace::new(trace.meta.clone());
+    out.meta.params.insert("window_lo".into(), lo.to_string());
+    out.meta.params.insert("window_hi".into(), hi.to_string());
+    out.objects = trace.objects.clone();
+    for stream in &trace.threads {
+        out.threads.push(clip_stream(stream, lo, hi));
+    }
+    out
+}
+
+fn clip_stream(stream: &ThreadStream, lo: Ts, hi: Ts) -> ThreadStream {
+    let mut cs = ThreadStream::new(stream.tid);
+    cs.name = stream.name.clone();
+
+    let (Some(start), Some(end)) = (stream.start_ts(), stream.end_ts()) else {
+        return cs;
+    };
+    // Entirely outside the window: an empty stream keeps ids dense.
+    if end < lo || start > hi {
+        return cs;
+    }
+
+    // Pass 1: pre-window state. Held locks in obtain order.
+    let mut held: Vec<(ObjId, bool, bool)> = Vec::new(); // (lock, write, is_rw)
+    let mut in_barrier: Option<(ObjId, u32)> = None;
+    let mut in_wait = false;
+    let mut first_in_window = stream.events.len();
+    for (i, ev) in stream.events.iter().enumerate() {
+        if ev.ts >= lo {
+            first_in_window = i;
+            break;
+        }
+        match ev.kind {
+            EventKind::LockObtain { lock } => held.push((lock, false, false)),
+            EventKind::RwObtain { lock, write } => held.push((lock, write, true)),
+            EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
+                if let Some(pos) = held.iter().rposition(|&(l, _, _)| l == lock) {
+                    held.remove(pos);
+                }
+            }
+            EventKind::BarrierArrive { barrier, epoch } => in_barrier = Some((barrier, epoch)),
+            EventKind::BarrierDepart { .. } => in_barrier = None,
+            EventKind::CondWaitBegin { .. } => in_wait = true,
+            EventKind::CondWakeup { .. } => in_wait = false,
+            _ => {}
+        }
+    }
+
+    // Prologue: re-materialize carried-in state at the leading edge.
+    let mut body: Vec<Event> = Vec::new();
+    for &(lock, write, is_rw) in &held {
+        if is_rw {
+            body.push(Event::new(lo, EventKind::RwAcquire { lock, write }));
+            body.push(Event::new(lo, EventKind::RwObtain { lock, write }));
+        } else {
+            body.push(Event::new(lo, EventKind::LockAcquire { lock }));
+            body.push(Event::new(lo, EventKind::LockObtain { lock }));
+        }
+    }
+    if let Some((barrier, epoch)) = in_barrier {
+        body.push(Event::new(lo, EventKind::BarrierArrive { barrier, epoch }));
+    }
+
+    // Pass 2: in-window events. Pending blocking prologues are tracked by
+    // body index so they can be dropped if their completion lies past hi.
+    let mut pending_acq: Vec<(ObjId, Vec<usize>)> = Vec::new();
+    let mut pending_wait: Option<Vec<usize>> = None;
+    let mut pending_join: Option<usize> = None;
+
+    for ev in &stream.events[first_in_window..] {
+        if ev.ts > hi {
+            break;
+        }
+        match ev.kind {
+            EventKind::ThreadStart | EventKind::ThreadExit => {
+                // Re-synthesized at the boundaries below.
+                continue;
+            }
+            EventKind::LockAcquire { lock } | EventKind::RwAcquire { lock, .. } => {
+                pending_acq.push((lock, vec![body.len()]));
+            }
+            EventKind::LockContended { lock } | EventKind::RwContended { lock, .. } => {
+                if let Some(p) = pending_acq.iter_mut().rev().find(|p| p.0 == lock) {
+                    p.1.push(body.len());
+                }
+            }
+            EventKind::LockObtain { lock } => {
+                if let Some(pos) = pending_acq.iter().rposition(|p| p.0 == lock) {
+                    pending_acq.remove(pos);
+                } else {
+                    // Requested before the window: the wait crossed the
+                    // leading edge, so the request is re-issued at lo.
+                    body.push(Event::new(lo, EventKind::LockAcquire { lock }));
+                    if ev.ts > lo {
+                        body.push(Event::new(lo, EventKind::LockContended { lock }));
+                    }
+                }
+                held.push((lock, false, false));
+            }
+            EventKind::RwObtain { lock, write } => {
+                if let Some(pos) = pending_acq.iter().rposition(|p| p.0 == lock) {
+                    pending_acq.remove(pos);
+                } else {
+                    body.push(Event::new(lo, EventKind::RwAcquire { lock, write }));
+                    if ev.ts > lo {
+                        body.push(Event::new(lo, EventKind::RwContended { lock, write }));
+                    }
+                }
+                held.push((lock, write, true));
+            }
+            EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
+                if let Some(pos) = held.iter().rposition(|&(l, _, _)| l == lock) {
+                    held.remove(pos);
+                }
+            }
+            EventKind::BarrierArrive { barrier, epoch } => {
+                in_barrier = Some((barrier, epoch));
+            }
+            EventKind::BarrierDepart { .. } => {
+                in_barrier = None;
+            }
+            EventKind::CondWaitBegin { .. } => {
+                pending_wait = Some(vec![body.len()]);
+                in_wait = true;
+            }
+            EventKind::CondWakeup { .. } => {
+                if in_wait && pending_wait.is_none() {
+                    // Wait began before the window; represent the resume as
+                    // plain running time (no wait-begin edge available).
+                    in_wait = false;
+                    continue;
+                }
+                pending_wait = None;
+                in_wait = false;
+            }
+            EventKind::JoinBegin { .. } => pending_join = Some(body.len()),
+            EventKind::JoinEnd { .. } if pending_join.take().is_none() => continue,
+            EventKind::JoinEnd { .. } => {}
+            _ => {}
+        }
+        body.push(*ev);
+    }
+
+    // Trailing repairs: drop pending blocking prologues whose completion
+    // lies beyond the window.
+    let mut drop_idx: Vec<usize> = Vec::new();
+    for (_, idxs) in pending_acq {
+        drop_idx.extend(idxs);
+    }
+    if let Some(idxs) = pending_wait {
+        drop_idx.extend(idxs);
+    }
+    if let Some(idx) = pending_join {
+        drop_idx.push(idx);
+    }
+    drop_idx.sort_unstable();
+    for idx in drop_idx.into_iter().rev() {
+        body.remove(idx);
+    }
+
+    // Assemble with boundary lifecycle events.
+    let w_start = start.max(lo);
+    let w_end = end.min(hi).max(w_start);
+    let mut events = Vec::with_capacity(body.len() + held.len() + 4);
+    events.push(Event::new(w_start, EventKind::ThreadStart));
+    events.extend(body);
+    // Close holds still open at the trailing edge.
+    for &(lock, write, is_rw) in held.iter().rev() {
+        let kind = if is_rw {
+            EventKind::RwRelease { lock, write }
+        } else {
+            EventKind::LockRelease { lock }
+        };
+        events.push(Event::new(w_end, kind));
+    }
+    if let Some((barrier, epoch)) = in_barrier {
+        events.push(Event::new(w_end, EventKind::BarrierDepart { barrier, epoch }));
+    }
+    events.push(Event::new(w_end, EventKind::ThreadExit));
+    cs.events = events;
+    cs
+}
+
+/// The time window spanned by a named marker: from its first to its last
+/// occurrence across all threads. Returns `None` when the marker never
+/// fires (or fires only once — a single instant is not a window).
+pub fn marker_window(trace: &Trace, marker_name: &str) -> Option<(Ts, Ts)> {
+    let id = trace.object_by_name(marker_name)?;
+    let mut times: Vec<Ts> = Vec::new();
+    for stream in &trace.threads {
+        for ev in &stream.events {
+            if ev.kind == (EventKind::Marker { id }) {
+                times.push(ev.ts);
+            }
+        }
+    }
+    let (lo, hi) = (times.iter().min()?, times.iter().max()?);
+    if lo < hi {
+        Some((*lo, *hi))
+    } else {
+        None
+    }
+}
+
+/// Clip the trace to the window of a named marker and analyze it.
+pub fn analyze_phase(trace: &Trace, marker_name: &str) -> Option<AnalysisReport> {
+    let (lo, hi) = marker_window(trace, marker_name)?;
+    let clipped = clip(trace, lo, hi);
+    Some(analyze(&clipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::TraceBuilder;
+
+    fn phased_trace() -> Trace {
+        let mut b = TraceBuilder::new("phased");
+        let l = b.lock("L");
+        let m = b.marker("phase");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        // Init [0,10] (serial, lock-free on T0 only), parallel phase
+        // [10,30] with contention, teardown [30,40].
+        b.on(t0)
+            .work(10)
+            .mark(m)
+            .cs(l, 8) // [10,18]
+            .work(2)
+            .mark(m) // at 20... adjust below
+            .work(20)
+            .exit(); // exit 40
+        b.on(t1).work(11).cs_blocked(l, 18, 6).exit_at(30);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn marker_window_found() {
+        let t = phased_trace();
+        let (lo, hi) = marker_window(&t, "phase").unwrap();
+        assert_eq!(lo, 10);
+        assert_eq!(hi, 20);
+        assert!(marker_window(&t, "nope").is_none());
+    }
+
+    #[test]
+    fn clip_preserves_protocol_and_window_times() {
+        let t = phased_trace();
+        let c = clip(&t, 10, 20);
+        c.validate().expect("clipped trace must validate");
+        assert_eq!(c.start_ts(), 10);
+        assert_eq!(c.end_ts(), 20);
+        // The contended episode's wait is inside the window.
+        let eps = critlock_trace::lock_episodes(&c);
+        assert_eq!(eps.len(), 2);
+        let blocked = eps.iter().find(|e| e.contended).unwrap();
+        assert_eq!(blocked.acquire, 11);
+        assert_eq!(blocked.obtain, 18);
+        // Its hold is clipped at the window end.
+        assert_eq!(blocked.release, 20);
+    }
+
+    #[test]
+    fn clip_synthesizes_holds_crossing_leading_edge() {
+        let mut b = TraceBuilder::new("crossing");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).acquire(l).work(30).release(l).work(10).exit();
+        let t = b.build().unwrap();
+        // Window [10,20] lies fully inside the hold [0,30].
+        let c = clip(&t, 10, 20);
+        c.validate().unwrap();
+        let eps = critlock_trace::lock_episodes(&c);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].obtain, 10);
+        assert_eq!(eps[0].release, 20);
+    }
+
+    #[test]
+    fn clip_drops_pending_waits_at_trailing_edge() {
+        let mut b = TraceBuilder::new("pending");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 30).exit_at(35);
+        b.on(t1).work(5).cs_blocked(l, 30, 2).exit_at(35);
+        let t = b.build().unwrap();
+        // Window ends while T1 is still waiting.
+        let c = clip(&t, 0, 20);
+        c.validate().unwrap();
+        let eps = critlock_trace::lock_episodes(&c);
+        // Only T0's (clipped) hold remains.
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].tid, critlock_trace::ThreadId(0));
+    }
+
+    #[test]
+    fn phase_analysis_sees_only_in_window_contention() {
+        let t = phased_trace();
+        let full = analyze(&t);
+        let phase = analyze_phase(&t, "phase").unwrap();
+        // The phase is 10 units shorter at each end.
+        assert_eq!(phase.makespan, 10);
+        assert!(phase.cp_complete);
+        // The lock's share of the phase path is much larger than its share
+        // of the whole run (init/teardown dilute it).
+        let full_l = full.lock_by_name("L").unwrap();
+        let phase_l = phase.lock_by_name("L").unwrap();
+        assert!(phase_l.cp_time_frac > full_l.cp_time_frac);
+    }
+
+    #[test]
+    fn rw_holds_cross_edges() {
+        let mut b = TraceBuilder::new("rw-cross");
+        let r = b.rwlock("R");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).rw(r, true, 30).work(5).exit();
+        let t = b.build().unwrap();
+        let c = clip(&t, 5, 10);
+        c.validate().unwrap();
+        let eps = critlock_trace::rw_episodes(&c);
+        assert_eq!(eps.len(), 1);
+        assert!(eps[0].write);
+        assert_eq!((eps[0].obtain, eps[0].release), (5, 10));
+    }
+
+    #[test]
+    fn barrier_crossing_edges() {
+        let mut b = TraceBuilder::new("bar-cross");
+        let bar = b.barrier("B");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).work(3).barrier(bar, 0, 8).work(10).exit();
+        b.on(t1).work(8).barrier(bar, 0, 8).work(2).exit();
+        let t = b.build().unwrap();
+        // Leading edge inside the wait: arrive synthesized at lo.
+        let c = clip(&t, 5, 15);
+        c.validate().unwrap();
+        // Trailing edge inside the wait: depart synthesized at hi.
+        let c2 = clip(&t, 0, 6);
+        c2.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_window_is_valid() {
+        let t = phased_trace();
+        let c = clip(&t, 1000, 2000);
+        c.validate().unwrap();
+        assert_eq!(c.num_events(), 0);
+    }
+}

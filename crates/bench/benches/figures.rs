@@ -1,0 +1,20 @@
+//! `cargo bench` entry point that regenerates every paper artifact.
+//! (Custom harness: the "benchmark" is the reproduction itself.)
+
+fn main() {
+    // When cargo passes `--bench`/filter arguments, honor a simple filter.
+    let filter: Option<String> = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'));
+    for (id, gen) in critlock_bench::generators() {
+        if let Some(f) = &filter {
+            if !id.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let start = std::time::Instant::now();
+        let artifact = gen();
+        print!("{}", artifact.render());
+        println!("[generated {} in {:.2?}]\n", id, start.elapsed());
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the toolkit itself: simulator
+//! throughput, analysis throughput and trace codec speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use critlock_analysis::{analyze, critical_path, online_analyze};
+use critlock_workloads::{radiosity, tsp, WorkloadCfg};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for threads in [8usize, 24] {
+        g.bench_with_input(BenchmarkId::new("radiosity", threads), &threads, |b, &t| {
+            b.iter(|| radiosity::run(&WorkloadCfg::with_threads(t).with_scale(0.5)).unwrap())
+        });
+    }
+    g.bench_function("tsp-24t", |b| {
+        b.iter(|| tsp::run(&WorkloadCfg::with_threads(24).with_scale(0.55)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let trace = radiosity::run(&WorkloadCfg::with_threads(24)).unwrap();
+    let events = trace.num_events() as u64;
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("critical_path", |b| b.iter(|| critical_path(&trace)));
+    g.bench_function("full_analyze", |b| b.iter(|| analyze(&trace)));
+    g.bench_function("online_analyze", |b| b.iter(|| online_analyze(&trace)));
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = radiosity::run(&WorkloadCfg::with_threads(8)).unwrap();
+    let mut buf = Vec::new();
+    critlock_trace::codec::write_trace(&trace, &mut buf).unwrap();
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            critlock_trace::codec::write_trace(&trace, &mut out).unwrap();
+            out
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| critlock_trace::codec::read_trace(&mut std::io::Cursor::new(&buf)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_analysis, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `figures` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p critlock-bench --bin figures -- all
+//! cargo run --release -p critlock-bench --bin figures -- fig9 fig12
+//! cargo run --release -p critlock-bench --bin figures -- --list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures [--list] <all | fig-id ...>");
+        eprintln!("known ids:");
+        for (id, _) in critlock_bench::generators() {
+            eprintln!("  {id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in critlock_bench::generators() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        critlock_bench::generators().iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut failed = false;
+    for id in ids {
+        match critlock_bench::generate(id) {
+            Some(artifact) => print!("{}", artifact.render()),
+            None => {
+                eprintln!("unknown figure id `{id}`");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,267 @@
+//! Ablations beyond the paper (DESIGN.md §6): robustness of the
+//! conclusions to machine-model choices, and validation of the what-if
+//! projection against replayed ground truth.
+
+use crate::{pct, Artifact, Table};
+use critlock_analysis::{analyze, project_shrink, rank_targets, rank_targets_by_wait};
+use critlock_sim::replay::{replay, ReplayConfig};
+use critlock_sim::{LockPolicy, MachineConfig};
+use critlock_workloads::{micro, radiosity, suite, WorkloadCfg};
+use std::fmt::Write as _;
+
+/// Lock hand-off policy ablation: does the critical-lock ranking survive
+/// FIFO vs LIFO vs random hand-off?
+pub fn generate_handoff() -> Artifact {
+    let mut t = Table::new(&["Policy", "top lock", "CP %", "makespan"]);
+    for (name, policy) in [
+        ("FIFO", LockPolicy::FifoHandoff),
+        ("LIFO", LockPolicy::LifoHandoff),
+        ("Random", LockPolicy::RandomHandoff),
+    ] {
+        let mut cfg = WorkloadCfg::with_threads(16);
+        cfg.machine = cfg.machine.with_policy(policy);
+        cfg.machine.max_events = 4_000_000;
+        match radiosity::run(&cfg) {
+            Ok(trace) => {
+                let rep = analyze(&trace);
+                let top = rep.top_critical_lock().expect("has a top lock");
+                t.row(vec![
+                    name.to_string(),
+                    top.name.clone(),
+                    pct(top.cp_time_frac),
+                    trace.makespan().to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![name.to_string(), format!("aborted: {e}"), "-".into(), "-".into()]);
+            }
+        }
+    }
+    let mut body = t.render();
+    let _ = writeln!(
+        body,
+        "\nThe identification is robust: the same lock tops the critical \
+         path under every policy that completes. The unfair LIFO hand-off \
+         can *livelock* the run outright — freshly-arriving pollers barge \
+         ahead of the master-queue enqueuer forever — which the engine's \
+         event-limit valve surfaces as an abort; starvation-prone hand-off \
+         is itself a finding of this ablation."
+    );
+    Artifact {
+        id: "ablation-handoff",
+        title: "radiosity @16 under different lock hand-off policies".into(),
+        body,
+    }
+}
+
+/// Oversubscription ablation: 24 simulated threads time-sharing fewer
+/// hardware contexts (preemptive round-robin).
+pub fn generate_oversubscription() -> Artifact {
+    let mut t = Table::new(&["Contexts", "makespan", "top lock", "CP %", "coverage"]);
+    for contexts in [24usize, 12, 8] {
+        let mut cfg = WorkloadCfg::with_threads(24);
+        cfg.machine = cfg.machine.with_contexts(contexts);
+        cfg.machine.quantum = 2_000;
+        let trace = radiosity::run(&cfg).expect("radiosity runs");
+        let rep = analyze(&trace);
+        let top = rep.top_critical_lock().expect("has a top lock");
+        t.row(vec![
+            contexts.to_string(),
+            trace.makespan().to_string(),
+            top.name.clone(),
+            pct(top.cp_time_frac),
+            format!("{:.1}%", rep.coverage * 100.0),
+        ]);
+    }
+    let mut body = t.render();
+    let _ = writeln!(
+        body,
+        "\nTime-sharing inflates the makespan — and shifts the bottleneck: \
+         under oversubscription a thread can be preempted *while holding* a \
+         lock, so the many small freeInter allocations (taken by every \
+         task) balloon into dominant critical sections. The analysis \
+         surfaces classic lock-holder preemption without being told about \
+         it."
+    );
+    Artifact {
+        id: "ablation-oversub",
+        title: "radiosity: 24 threads on 24/12/8 hardware contexts".into(),
+        body,
+    }
+}
+
+/// How often do the CP-time and wait-time rankings disagree on the #1
+/// optimization target? (The quantified version of the paper's core
+/// claim.)
+pub fn generate_ranking_disagreement() -> Artifact {
+    let apps = ["micro", "radiosity", "tsp", "uts", "water-nsquared", "volrend", "raytrace"];
+    let seeds = [42u64, 7, 1234];
+    let mut t = Table::new(&["App", "#1 by CP time", "#1 by wait time", "disagree (of 3 seeds)"]);
+    let mut disagreements = 0usize;
+    let mut total = 0usize;
+    for app in apps {
+        let mut cp_names = Vec::new();
+        let mut wait_names = Vec::new();
+        let mut app_disagree = 0;
+        for seed in seeds {
+            let cfg = WorkloadCfg::with_threads(16).with_seed(seed).with_scale(0.6);
+            let trace = suite::run_workload(app, &cfg)
+                .expect("registered")
+                .expect("runs");
+            let rep = analyze(&trace);
+            let by_cp = rank_targets(&rep, 0.5);
+            let by_wait = rank_targets_by_wait(&rep, 0.5);
+            let (c, w) = (
+                by_cp.first().map(|p| p.name.clone()).unwrap_or_default(),
+                by_wait.first().map(|p| p.name.clone()).unwrap_or_default(),
+            );
+            total += 1;
+            if c != w {
+                disagreements += 1;
+                app_disagree += 1;
+            }
+            cp_names.push(c);
+            wait_names.push(w);
+        }
+        cp_names.dedup();
+        wait_names.dedup();
+        t.row(vec![
+            app.to_string(),
+            cp_names.join("/"),
+            wait_names.join("/"),
+            format!("{app_disagree}/3"),
+        ]);
+    }
+    let mut body = t.render();
+    let _ = writeln!(
+        body,
+        "\nOverall: the two methods pick different #1 targets in {} of {} \
+         runs — optimizing by idleness alone would misdirect that share \
+         of the tuning effort.",
+        disagreements, total
+    );
+    Artifact {
+        id: "ablation-ranking",
+        title: "CP-time vs wait-time: #1-target disagreement across seeds".into(),
+        body,
+    }
+}
+
+/// What-if projection vs replayed ground truth.
+pub fn generate_whatif_vs_replay() -> Artifact {
+    let mut t = Table::new(&[
+        "Scenario",
+        "lock",
+        "projected speedup",
+        "replayed speedup",
+        "bound holds",
+    ]);
+
+    // Micro-benchmark, both locks.
+    let cfg = WorkloadCfg::with_threads(4);
+    let trace = micro::run(&cfg).expect("micro runs");
+    let rep = analyze(&trace);
+    for name in ["L1", "L2"] {
+        let lock = trace.object_by_name(name).expect("lock exists");
+        let proj = project_shrink(&rep, name, 0.5).expect("lock known");
+        let ground = replay(&trace, MachineConfig::ideal(), &ReplayConfig::shrink_lock(lock, 0.5))
+            .expect("replay runs");
+        let real = trace.makespan() as f64 / ground.makespan() as f64;
+        t.row(vec![
+            "micro@4".into(),
+            name.to_string(),
+            format!("{:.3}x", proj.projected_speedup),
+            format!("{real:.3}x"),
+            (proj.projected_speedup >= real - 1e-9).to_string(),
+        ]);
+    }
+
+    // Radiosity at 16 threads, the bottleneck lock.
+    let cfg = WorkloadCfg::with_threads(16).with_scale(0.6);
+    let trace = radiosity::run(&cfg).expect("radiosity runs");
+    let rep = analyze(&trace);
+    let top = rep.top_critical_lock().expect("has top").name.clone();
+    let lock = trace.object_by_name(&top).expect("lock exists");
+    let proj = project_shrink(&rep, &top, 0.5).expect("lock known");
+    let machine = cfg.machine.clone();
+    let ground =
+        replay(&trace, machine, &ReplayConfig::shrink_lock(lock, 0.5)).expect("replay runs");
+    let real = trace.makespan() as f64 / ground.makespan() as f64;
+    t.row(vec![
+        "radiosity@16".into(),
+        top,
+        format!("{:.3}x", proj.projected_speedup),
+        format!("{real:.3}x"),
+        (proj.projected_speedup >= real - 1e-9).to_string(),
+    ]);
+
+    let mut body = t.render();
+    let _ = writeln!(
+        body,
+        "\nThe first-order projection is an upper bound; replay resolves \
+         the post-optimization schedule (segments migrating onto the \
+         path), mirroring the paper's observation that the measured 7% \
+         gain undershoots tq[0].qlock's 39% CP share."
+    );
+    Artifact {
+        id: "ablation-whatif",
+        title: "what-if projection vs replayed ground truth".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_ranking_is_stable() {
+        // 8 threads: low enough that the unfair LIFO policy cannot starve
+        // the master-queue enqueuer forever (at 16+ threads it livelocks,
+        // which generate_handoff reports as a finding).
+        let mut tops = Vec::new();
+        for policy in [LockPolicy::FifoHandoff, LockPolicy::LifoHandoff, LockPolicy::RandomHandoff]
+        {
+            let mut cfg = WorkloadCfg::with_threads(8).with_scale(0.5);
+            cfg.machine = cfg.machine.with_policy(policy);
+            let rep = analyze(&radiosity::run(&cfg).unwrap());
+            tops.push(rep.top_critical_lock().unwrap().name.clone());
+        }
+        assert!(tops.iter().all(|t| t == &tops[0]), "tops {tops:?}");
+    }
+
+    #[test]
+    fn oversubscription_still_analyzes() {
+        let mut cfg = WorkloadCfg::with_threads(12).with_scale(0.4);
+        cfg.machine = cfg.machine.with_contexts(4);
+        cfg.machine.quantum = 1_000;
+        let trace = radiosity::run(&cfg).unwrap();
+        let rep = analyze(&trace);
+        assert!(rep.cp_complete);
+        // Oversubscribed runs take longer than fully-parallel ones.
+        let full = radiosity::run(&WorkloadCfg::with_threads(12).with_scale(0.4)).unwrap();
+        assert!(trace.makespan() > full.makespan());
+    }
+
+    #[test]
+    fn micro_projection_bounds_replay() {
+        let cfg = WorkloadCfg::with_threads(4);
+        let trace = micro::run(&cfg).unwrap();
+        let rep = analyze(&trace);
+        for name in ["L1", "L2"] {
+            let lock = trace.object_by_name(name).unwrap();
+            let proj = project_shrink(&rep, name, 0.5).unwrap();
+            let ground =
+                replay(&trace, MachineConfig::ideal(), &ReplayConfig::shrink_lock(lock, 0.5))
+                    .unwrap();
+            let real = trace.makespan() as f64 / ground.makespan() as f64;
+            assert!(proj.projected_speedup >= real - 1e-9, "{name}: {proj:?} vs {real}");
+            assert!(real >= 1.0);
+        }
+    }
+
+    #[test]
+    fn artifacts_render() {
+        assert!(generate_handoff().body.contains("FIFO"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Figure and ablation generators.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig8;
+pub mod micro;
+pub mod overhead;
+pub mod radiosity;
+pub mod tsp;

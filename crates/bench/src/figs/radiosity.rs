@@ -1,0 +1,264 @@
+//! Figs. 9–14 — the Radiosity case study: identification across thread
+//! counts, quantification at 24 threads, and validation of the two-lock
+//! queue optimization.
+
+use crate::{pct, Artifact, Table};
+use critlock_analysis::{analyze, AnalysisReport};
+use critlock_trace::Trace;
+use critlock_workloads::{radiosity, WorkloadCfg};
+use std::fmt::Write as _;
+
+fn run(threads: usize) -> Trace {
+    radiosity::run(&WorkloadCfg::with_threads(threads)).expect("radiosity runs")
+}
+
+fn run_opt(threads: usize) -> Trace {
+    radiosity::run_optimized(&WorkloadCfg::with_threads(threads)).expect("radiosity-opt runs")
+}
+
+/// Fig. 9: CP Time vs Wait Time of the two headline locks at 4/8/16/24
+/// threads.
+pub fn generate_fig9() -> Artifact {
+    let mut t = Table::new(&[
+        "Threads",
+        "tq[0].qlock CP %",
+        "tq[0].qlock Wait %",
+        "freeInter CP %",
+        "freeInter Wait %",
+        "top by CP",
+    ]);
+    for threads in [4, 8, 16, 24] {
+        let rep = analyze(&run(threads));
+        let tq0 = rep.lock_by_name("tq[0].qlock");
+        let fi = rep.lock_by_name("freeInter");
+        t.row(vec![
+            threads.to_string(),
+            tq0.map(|l| pct(l.cp_time_frac)).unwrap_or_default(),
+            tq0.map(|l| pct(l.avg_wait_frac)).unwrap_or_default(),
+            fi.map(|l| pct(l.cp_time_frac)).unwrap_or_default(),
+            fi.map(|l| pct(l.avg_wait_frac)).unwrap_or_default(),
+            rep.top_critical_lock().map(|l| l.name.clone()).unwrap_or_default(),
+        ]);
+    }
+    let mut body = t.render();
+    let _ = writeln!(
+        body,
+        "\npaper: freInter most critical at <=8 threads; tq[0].qlock \
+         dominates beyond 8, reaching 39.15% CP (vs 6.40% wait) at 24."
+    );
+    Artifact {
+        id: "fig9",
+        title: "radiosity: top-2 locks across thread counts".into(),
+        body,
+    }
+}
+
+fn contention_table(rep: &AnalysisReport, top: usize) -> String {
+    let mut t = Table::new(&[
+        "Lock",
+        "Invo# on CP",
+        "Cont.Prob on CP %",
+        "Avg Invo#",
+        "Avg Cont.Prob %",
+        "Incr x Invo",
+    ]);
+    for l in rep.locks.iter().take(top) {
+        t.row(vec![
+            l.name.clone(),
+            l.invocations_on_cp.to_string(),
+            pct(l.cont_prob_on_cp),
+            format!("{:.1}", l.avg_invocations_per_thread),
+            pct(l.avg_cont_prob),
+            format!("{:.2}", l.incr_invocations),
+        ]);
+    }
+    t.render()
+}
+
+fn size_table(rep: &AnalysisReport, top: usize) -> String {
+    let mut t = Table::new(&["Lock", "CP Time %", "Avg Hold Time %", "Incr x CS Size"]);
+    for l in rep.locks.iter().take(top) {
+        t.row(vec![
+            l.name.clone(),
+            pct(l.cp_time_frac),
+            pct(l.avg_hold_frac),
+            format!("{:.2}", l.incr_cs_size),
+        ]);
+    }
+    t.render()
+}
+
+/// Fig. 10: contention-probability statistics at 24 threads.
+pub fn generate_fig10() -> Artifact {
+    let rep = analyze(&run(24));
+    let mut body = contention_table(&rep, 3);
+    let _ = writeln!(
+        body,
+        "\npaper @24: tq[0].qlock 78.69% contended on CP, 26298 CP \
+         invocations vs 3751 avg (7.01x); freInter only 9.31% contended."
+    );
+    Artifact {
+        id: "fig10",
+        title: "radiosity @24: contention probability of critical locks".into(),
+        body,
+    }
+}
+
+/// Fig. 11: critical-section size statistics at 24 threads.
+pub fn generate_fig11() -> Artifact {
+    let rep = analyze(&run(24));
+    let mut body = size_table(&rep, 3);
+    let _ = writeln!(
+        body,
+        "\npaper @24: tq[0].qlock 39.15% CP from 4.76% per-thread hold; \
+         small-hold locks stay negligible even when contended."
+    );
+    Artifact {
+        id: "fig11",
+        title: "radiosity @24: critical section sizes of critical locks".into(),
+        body,
+    }
+}
+
+/// Fig. 12: speedups of original vs optimized Radiosity.
+pub fn generate_fig12() -> Artifact {
+    let base = run(1).makespan() as f64;
+    let mut t = Table::new(&["Threads", "Speedup (original)", "Speedup (optimized)", "gain"]);
+    for threads in [4, 8, 16, 24] {
+        let orig = run(threads).makespan() as f64;
+        let opt = run_opt(threads).makespan() as f64;
+        t.row(vec![
+            threads.to_string(),
+            format!("{:.2}x", base / orig),
+            format!("{:.2}x", base / opt),
+            format!("{:+.1}%", (orig / opt - 1.0) * 100.0),
+        ]);
+    }
+    let mut body = t.render();
+    let _ = writeln!(
+        body,
+        "\npaper: the two-lock queue gives up to 7% end-to-end at 24 \
+         threads — far below tq[0].qlock's 39% CP share, because other \
+         segments move onto the critical path after the optimization."
+    );
+    Artifact {
+        id: "fig12",
+        title: "radiosity: original vs two-lock-queue speedups".into(),
+        body,
+    }
+}
+
+/// Fig. 13: critical-section size statistics of the optimized version.
+pub fn generate_fig13() -> Artifact {
+    let rep = analyze(&run_opt(24));
+    let mut body = size_table(&rep, 3);
+    let _ = writeln!(
+        body,
+        "\npaper @24 (optimized): tq[0].q_head_lock drops to 2.53% CP \
+         (0.73% hold); freeInter becomes the residual top lock."
+    );
+    Artifact {
+        id: "fig13",
+        title: "optimized radiosity @24: critical section sizes".into(),
+        body,
+    }
+}
+
+/// Fig. 14: contention-probability statistics of the optimized version.
+pub fn generate_fig14() -> Artifact {
+    let rep = analyze(&run_opt(24));
+    let mut body = contention_table(&rep, 3);
+    let _ = writeln!(
+        body,
+        "\npaper @24 (optimized): tq[0].q_head_lock contention on CP \
+         falls to 53.62% with invocation inflation 3.34x."
+    );
+    Artifact {
+        id: "fig14",
+        title: "optimized radiosity @24: contention probability".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 9 crossover at full scale.
+    #[test]
+    fn fig9_crossover() {
+        for (threads, expect_top) in [(4, "freeInter"), (8, "freeInter"), (16, "tq[0].qlock"), (24, "tq[0].qlock")]
+        {
+            let rep = analyze(&run(threads));
+            assert_eq!(
+                rep.top_critical_lock().unwrap().name,
+                expect_top,
+                "at {threads} threads"
+            );
+        }
+    }
+
+    /// Fig. 9's magnitude claims at 24 threads.
+    #[test]
+    fn fig9_magnitudes_at_24() {
+        let rep = analyze(&run(24));
+        let tq0 = rep.lock_by_name("tq[0].qlock").unwrap();
+        // Paper: 39.15% CP vs 6.40% wait. Accept the same regime.
+        assert!(tq0.cp_time_frac > 0.25, "cp {:.1}%", tq0.cp_time_frac * 100.0);
+        assert!(tq0.cp_time_frac < 0.55);
+        assert!(
+            tq0.avg_wait_frac < tq0.cp_time_frac / 2.0,
+            "wait must underestimate: {:.1}% vs {:.1}%",
+            tq0.avg_wait_frac * 100.0,
+            tq0.cp_time_frac * 100.0
+        );
+    }
+
+    /// Fig. 10's mechanisms: high contention probability on the CP and
+    /// invocation-count inflation for tq[0].
+    #[test]
+    fn fig10_contention_mechanisms() {
+        let rep = analyze(&run(24));
+        let tq0 = rep.lock_by_name("tq[0].qlock").unwrap();
+        assert!(tq0.cont_prob_on_cp > 0.6);
+        assert!(tq0.incr_invocations > 2.0);
+        let fi = rep.lock_by_name("freeInter").unwrap();
+        assert!(fi.cont_prob_on_cp < tq0.cont_prob_on_cp);
+    }
+
+    /// Fig. 12: the optimization helps and the gain is far below the
+    /// removed lock's CP share (path migration).
+    #[test]
+    fn fig12_optimization_validates() {
+        let rep = analyze(&run(24));
+        let cp_share = rep.lock_by_name("tq[0].qlock").unwrap().cp_time_frac;
+        let orig = run(24).makespan() as f64;
+        let opt = run_opt(24).makespan() as f64;
+        let gain = orig / opt - 1.0;
+        assert!(gain > 0.02, "gain {:.1}%", gain * 100.0);
+        assert!(
+            gain < cp_share,
+            "gain {:.1}% must undershoot the {:.1}% CP share",
+            gain * 100.0,
+            cp_share * 100.0
+        );
+    }
+
+    /// Figs. 13/14: the optimized queue locks collapse.
+    #[test]
+    fn fig13_14_optimized_stats() {
+        let orig = analyze(&run(24));
+        let rep = analyze(&run_opt(24));
+        let before = orig.lock_by_name("tq[0].qlock").unwrap().cp_time_frac;
+        let head = rep.lock_by_name("tq[0].q_head_lock").unwrap();
+        assert!(head.cp_time_frac < before / 4.0);
+        let tq0_orig = orig.lock_by_name("tq[0].qlock").unwrap();
+        assert!(head.avg_hold_frac < tq0_orig.avg_hold_frac);
+    }
+
+    #[test]
+    fn artifacts_render() {
+        assert!(generate_fig9().body.contains("tq[0].qlock"));
+        assert!(generate_fig12().body.contains("Speedup"));
+    }
+}

@@ -1,0 +1,149 @@
+//! # critlock-bench
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (§V), plus the ablations called out in `DESIGN.md` §6. Each generator
+//! returns its report as text (also printed by the `figures` binary and
+//! the `cargo bench` harness) so `EXPERIMENTS.md` can quote it directly.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p critlock-bench --bin figures -- all
+//! cargo bench -p critlock-bench
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figs;
+
+use std::fmt::Write as _;
+
+/// One generated artifact: an id (`fig6`), a title and the report text.
+pub struct Artifact {
+    /// Identifier matching the paper's numbering (`fig1`..`fig14`,
+    /// `tsp`, `ablation-*`, `overhead`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// The report body.
+    pub body: String,
+}
+
+impl Artifact {
+    /// Render with a banner, ready for printing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", "=".repeat(72));
+        let _ = writeln!(out, "{}  —  {}", self.id, self.title);
+        let _ = writeln!(out, "{}", "=".repeat(72));
+        let _ = writeln!(out, "{}", self.body);
+        out
+    }
+}
+
+/// An artifact generator function.
+pub type Generator = fn() -> Artifact;
+
+/// All artifact generators in paper order.
+pub fn generators() -> Vec<(&'static str, Generator)> {
+    vec![
+        ("fig1", figs::fig1::generate as Generator),
+        ("fig6", figs::micro::generate_fig6),
+        ("fig7", figs::micro::generate_fig7),
+        ("fig8", figs::fig8::generate),
+        ("fig9", figs::radiosity::generate_fig9),
+        ("fig10", figs::radiosity::generate_fig10),
+        ("fig11", figs::radiosity::generate_fig11),
+        ("fig12", figs::radiosity::generate_fig12),
+        ("fig13", figs::radiosity::generate_fig13),
+        ("fig14", figs::radiosity::generate_fig14),
+        ("tsp", figs::tsp::generate),
+        ("ablation-handoff", figs::ablations::generate_handoff),
+        ("ablation-oversub", figs::ablations::generate_oversubscription),
+        ("ablation-ranking", figs::ablations::generate_ranking_disagreement),
+        ("ablation-whatif", figs::ablations::generate_whatif_vs_replay),
+        ("overhead", figs::overhead::generate),
+    ]
+}
+
+/// Run one generator by id.
+pub fn generate(id: &str) -> Option<Artifact> {
+    generators().into_iter().find(|(gid, _)| *gid == id).map(|(_, f)| f())
+}
+
+/// Helper: format a percentage.
+pub(crate) fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Helper: a fixed-width table renderer used by all figure generators.
+pub(crate) struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub(crate) fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub(crate) fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    pub(crate) fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(line, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(line, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_ids_unique_and_lookup_works() {
+        let gens = generators();
+        let mut ids: Vec<_> = gens.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), gens.len());
+        assert!(generate("fig6").is_some());
+        assert!(generate("nope").is_none());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Lock", "CP %"]);
+        t.row(vec!["a-very-long-lock-name".into(), "1.00%".into()]);
+        t.row(vec!["b".into(), "99.99%".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+}

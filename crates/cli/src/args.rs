@@ -1,0 +1,117 @@
+//! Minimal command-line argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positionals: Vec<String>,
+    /// `--key value` options and bare `--flag`s (value `"true"`).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Options that never take a value.
+const BARE_FLAGS: &[&str] = &["json", "csv", "no-type2", "help", "version"];
+
+/// Parse an argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if key.is_empty() {
+                return Err("unexpected bare `--`".into());
+            }
+            if let Some((k, v)) = key.split_once('=') {
+                out.options.insert(k.to_string(), v.to_string());
+            } else if BARE_FLAGS.contains(&key) {
+                out.options.insert(key.to_string(), "true".into());
+            } else {
+                match it.next() {
+                    Some(v) => {
+                        out.options.insert(key.to_string(), v.clone());
+                    }
+                    None => return Err(format!("option --{key} expects a value")),
+                }
+            }
+        } else if out.command.is_empty() {
+            out.command = a.clone();
+        } else {
+            out.positionals.push(a.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// A typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+
+    /// A required positional argument.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_positionals() {
+        let p = parse(&sv(&["analyze", "trace.cltr", "extra"])).unwrap();
+        assert_eq!(p.command, "analyze");
+        assert_eq!(p.positionals, vec!["trace.cltr", "extra"]);
+        assert_eq!(p.positional(0, "trace").unwrap(), "trace.cltr");
+        assert!(p.positional(5, "nope").is_err());
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let p = parse(&sv(&["run", "tsp", "--threads", "8", "--json", "--scale=0.5"])).unwrap();
+        assert_eq!(p.get_or("threads", 1usize).unwrap(), 8);
+        assert_eq!(p.get_or("scale", 1.0f64).unwrap(), 0.5);
+        assert!(p.flag("json"));
+        assert!(!p.flag("csv"));
+        assert_eq!(p.get_or("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&sv(&["run", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn invalid_typed_value_is_error() {
+        let p = parse(&sv(&["run", "--threads", "abc"])).unwrap();
+        assert!(p.get_or("threads", 1usize).is_err());
+    }
+
+    #[test]
+    fn bare_double_dash_is_error() {
+        assert!(parse(&sv(&["run", "--"])).is_err());
+    }
+}

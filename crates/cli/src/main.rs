@@ -1,0 +1,310 @@
+//! `critlock` — the command-line frontend of the critical lock analysis
+//! toolkit.
+//!
+//! ```text
+//! critlock list
+//! critlock run <workload> [--threads N] [--scale S] [--seed X] [-o|--out trace.cltr]
+//! critlock analyze <trace> [--top N] [--csv|--json] [--no-type2]
+//! critlock gantt <trace> [--width N]
+//! critlock whatif <trace> --lock NAME [--factor F]
+//! critlock online <trace>
+//! ```
+
+mod args;
+
+use critlock_analysis::report::{render_csv, render_text, to_json, RenderOptions};
+use critlock_analysis::{
+    analyze, analyze_phase, blocker_report, critical_path, online_analyze, project_shrink,
+    thread_report,
+};
+use critlock_trace::Trace;
+use critlock_workloads::{suite, WorkloadCfg};
+use std::process::ExitCode;
+
+const USAGE: &str = "critlock — critical lock analysis (Chen & Stenström, SC 2012)
+
+USAGE:
+  critlock list
+      List the built-in workloads.
+  critlock run <workload> [--threads N] [--scale S] [--seed X] [--out FILE]
+      Run a workload on the simulator; print the analysis, optionally
+      save the trace (.cltr binary, or .jsonl when the name ends so).
+  critlock analyze <trace> [--top N] [--csv|--json] [--no-type2] [--phase MARKER]
+      Run critical lock analysis on a recorded trace (optionally only on
+      the window delimited by a named phase marker).
+  critlock blockers <trace> [--top N]
+      Show who-blocks-whom edges, heaviest waits first.
+  critlock threads <trace>
+      Show per-thread criticality (critical-path share vs busy time).
+  critlock gantt <trace> [--width N]
+      Render the execution and its critical path as ASCII art.
+  critlock whatif <trace> --lock NAME [--factor F]
+      Project the speedup from shrinking one lock's critical sections.
+  critlock online <trace>
+      Run the forward (online) critical-path profile.
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `critlock --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let p = args::parse(argv)?;
+    if p.flag("help") || p.command.is_empty() || p.command == "help" {
+        return Ok(USAGE.to_string());
+    }
+    match p.command.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&p),
+        "analyze" => cmd_analyze(&p),
+        "blockers" => cmd_blockers(&p),
+        "threads" => cmd_threads(&p),
+        "gantt" => cmd_gantt(&p),
+        "whatif" => cmd_whatif(&p),
+        "online" => cmd_online(&p),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_list() -> Result<String, String> {
+    let mut out = String::from("built-in workloads:\n");
+    for w in suite::all() {
+        out.push_str(&format!("  {:<16} {}\n", w.name, w.description));
+    }
+    Ok(out)
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    critlock_trace::jsonl::load_auto(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_run(p: &args::Parsed) -> Result<String, String> {
+    let name = p.positional(0, "workload name (see `critlock list`)")?;
+    let threads: usize = p.get_or("threads", 8usize)?;
+    let cfg = WorkloadCfg::with_threads(threads)
+        .with_scale(p.get_or("scale", 1.0f64)?)
+        .with_seed(p.get_or("seed", 42u64)?);
+
+    let trace = suite::run_workload(name, &cfg)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `critlock list`)"))?
+        .map_err(|e| format!("simulation failed: {e}"))?;
+
+    let mut out = String::new();
+    if let Some(path) = p.options.get("out") {
+        if path.ends_with(".jsonl") {
+            critlock_trace::jsonl::save(&trace, path)
+        } else {
+            critlock_trace::codec::save(&trace, path)
+        }
+        .map_err(|e| format!("cannot save {path}: {e}"))?;
+        out.push_str(&format!(
+            "saved trace ({} events, {} threads) to {path}\n\n",
+            trace.num_events(),
+            trace.num_threads()
+        ));
+    }
+    let rep = analyze(&trace);
+    out.push_str(&render_text(&rep, &RenderOptions { top: Some(10), ..Default::default() }));
+    Ok(out)
+}
+
+fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let rep = match p.options.get("phase") {
+        Some(marker) => analyze_phase(&trace, marker)
+            .ok_or_else(|| format!("marker `{marker}` not found (or fires only once)"))?,
+        None => analyze(&trace),
+    };
+    if p.flag("json") {
+        return Ok(to_json(&rep));
+    }
+    if p.flag("csv") {
+        return Ok(render_csv(&rep));
+    }
+    let top = p.options.get("top").map(|v| v.parse::<usize>()).transpose()
+        .map_err(|_| "invalid --top".to_string())?;
+    Ok(render_text(
+        &rep,
+        &RenderOptions { top, type2: !p.flag("no-type2"), derived: true },
+    ))
+}
+
+fn cmd_blockers(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let rep = blocker_report(&trace);
+    let top: usize = p.get_or("top", 15usize)?;
+    let mut out = rep.render_text(top);
+    if let Some(t) = rep.top_blocker() {
+        out.push_str(&format!(
+            "\ntop blocker: {} (causes the most waiting in other threads)\n",
+            t
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_threads(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let cp = critical_path(&trace);
+    let rep = thread_report(&trace, &cp);
+    let mut out = rep.render_text();
+    out.push_str(&format!(
+        "\n{} of {} threads carry part of the critical path\n",
+        rep.carriers,
+        trace.num_threads()
+    ));
+    Ok(out)
+}
+
+fn cmd_gantt(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let cp = critical_path(&trace);
+    let width: usize = p.get_or("width", 100usize)?;
+    Ok(critlock_analysis::gantt::render(
+        &trace,
+        &cp,
+        &critlock_analysis::gantt::GanttOptions { width, show_cp: true },
+    ))
+}
+
+fn cmd_whatif(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let lock = p
+        .options
+        .get("lock")
+        .ok_or_else(|| "missing --lock NAME".to_string())?;
+    let factor: f64 = p.get_or("factor", 0.5f64)?;
+    if !(0.0..=1.0).contains(&factor) {
+        return Err("--factor must be in [0,1]".into());
+    }
+    let rep = analyze(&trace);
+    let proj = project_shrink(&rep, lock, factor)
+        .ok_or_else(|| format!("lock `{lock}` not found in trace"))?;
+    Ok(format!(
+        "shrinking critical sections of {} to {:.0}%:\n\
+         critical-path time saved : {}\n\
+         projected makespan       : {} (was {})\n\
+         projected speedup        : {:.3}x (first-order upper bound)\n",
+        proj.name,
+        factor * 100.0,
+        proj.cp_time_saved,
+        proj.projected_makespan,
+        rep.makespan,
+        proj.projected_speedup,
+    ))
+}
+
+fn cmd_online(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let rep = online_analyze(&trace);
+    let mut out = format!(
+        "online critical-path profile (forward pass)\ncp length {}  final thread {:?}\n",
+        rep.cp_length, rep.final_thread
+    );
+    for l in rep.locks.iter().take(10) {
+        out.push_str(&format!(
+            "  {:<24} cp {:>10}  ({:.2}%)\n",
+            l.name,
+            l.cp_time,
+            l.cp_time_frac * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&sv(&["--help"])).unwrap().contains("USAGE"));
+        assert!(run(&sv(&[])).unwrap().contains("USAGE"));
+        assert!(run(&sv(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn list_contains_workloads() {
+        let out = run(&sv(&["list"])).unwrap();
+        assert!(out.contains("radiosity"));
+        assert!(out.contains("tsp-opt"));
+    }
+
+    #[test]
+    fn run_analyze_gantt_whatif_roundtrip() {
+        let dir = std::env::temp_dir().join("critlock-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro.cltr");
+        let path_s = path.to_str().unwrap();
+
+        let out = run(&sv(&[
+            "run", "micro", "--threads", "4", "--scale", "0.2", "--out", path_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("saved trace"));
+        assert!(out.contains("L2"));
+
+        let out = run(&sv(&["analyze", path_s])).unwrap();
+        assert!(out.contains("CP Time %"));
+        let out = run(&sv(&["analyze", path_s, "--json"])).unwrap();
+        assert!(out.trim_start().starts_with('{'));
+        let out = run(&sv(&["analyze", path_s, "--csv"])).unwrap();
+        assert!(out.starts_with("lock,"));
+
+        let out = run(&sv(&["gantt", path_s, "--width", "60"])).unwrap();
+        assert!(out.contains("cp |"));
+
+        let out = run(&sv(&["whatif", path_s, "--lock", "L2", "--factor", "0.5"])).unwrap();
+        assert!(out.contains("projected speedup"));
+        assert!(run(&sv(&["whatif", path_s, "--lock", "nope"])).is_err());
+
+        let out = run(&sv(&["online", path_s])).unwrap();
+        assert!(out.contains("cp length"));
+
+        let out = run(&sv(&["blockers", path_s])).unwrap();
+        assert!(out.contains("blocking edges"));
+        let out = run(&sv(&["threads", path_s])).unwrap();
+        assert!(out.contains("cp %"));
+        assert!(run(&sv(&["analyze", path_s, "--phase", "nope"])).is_err());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_unknown_workload_fails() {
+        assert!(run(&sv(&["run", "nope"])).is_err());
+    }
+
+    #[test]
+    fn analyze_missing_file_fails() {
+        assert!(run(&sv(&["analyze", "/definitely/not/here.cltr"])).is_err());
+    }
+
+    #[test]
+    fn jsonl_output_format() {
+        let dir = std::env::temp_dir().join("critlock-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro.jsonl");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&["run", "micro", "--threads", "2", "--scale", "0.2", "--out", path_s])).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"meta\""));
+        run(&sv(&["analyze", path_s])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

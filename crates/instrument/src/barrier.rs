@@ -1,0 +1,48 @@
+//! Instrumented barrier.
+//!
+//! The arrival record is written *before* the real wait (paper §IV.A.2) so
+//! the last arriver — the thread the critical path runs through — can be
+//! identified by the analysis. The barrier generation (epoch) is tracked
+//! with an atomic arrival counter so episodes match across threads.
+
+use crate::session::{record, SessionInner};
+use critlock_trace::{EventKind, ObjId, ObjKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An instrumented barrier for a fixed number of participants.
+pub struct Barrier {
+    id: ObjId,
+    inner: std::sync::Barrier,
+    parties: u64,
+    arrivals: AtomicU64,
+}
+
+impl Barrier {
+    pub(crate) fn new(session: Arc<SessionInner>, name: String, parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        let id = session.register_object(ObjKind::Barrier, name);
+        Barrier {
+            id,
+            inner: std::sync::Barrier::new(parties),
+            parties: parties as u64,
+            arrivals: AtomicU64::new(0),
+        }
+    }
+
+    /// The barrier's trace object id.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Wait at the barrier; returns `true` for the leader (as
+    /// `std::sync::Barrier` reports it).
+    pub fn wait(&self) -> bool {
+        let idx = self.arrivals.fetch_add(1, Ordering::Relaxed);
+        let epoch = (idx / self.parties) as u32;
+        record(EventKind::BarrierArrive { barrier: self.id, epoch });
+        let res = self.inner.wait();
+        record(EventKind::BarrierDepart { barrier: self.id, epoch });
+        res.is_leader()
+    }
+}

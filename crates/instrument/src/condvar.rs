@@ -1,0 +1,61 @@
+//! Instrumented condition variable.
+//!
+//! Waits record the conceptual release of the guarding mutex, the wait
+//! begin, the wakeup and the re-acquisition, matching the protocol the
+//! simulator produces. Signals carry a per-condvar sequence number; the
+//! wakee records the most recent sequence it observes, and the analysis
+//! falls back to timestamp matching when sequences are ambiguous (real
+//! schedulers do not reveal exactly which signal woke a waiter).
+
+use crate::mutex::MutexGuard;
+use crate::session::{record, SessionInner};
+use critlock_trace::{EventKind, ObjId, ObjKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An instrumented condition variable. Use together with
+/// [`crate::Mutex`], Pthreads-style.
+pub struct Condvar {
+    id: ObjId,
+    inner: parking_lot::Condvar,
+    seq: AtomicU64,
+}
+
+impl Condvar {
+    pub(crate) fn new(session: Arc<SessionInner>, name: String) -> Self {
+        let id = session.register_object(ObjKind::Condvar, name);
+        Condvar { id, inner: parking_lot::Condvar::new(), seq: AtomicU64::new(0) }
+    }
+
+    /// The condvar's trace object id.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Block until signalled, releasing (and re-acquiring) the mutex
+    /// guarding the wait. As with Pthreads, wrap in a predicate loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let mutex_id = guard.lock_id();
+        record(EventKind::LockRelease { lock: mutex_id });
+        record(EventKind::CondWaitBegin { cv: self.id });
+        self.inner.wait(guard.inner_mut());
+        let seq = self.seq.load(Ordering::Acquire);
+        record(EventKind::CondWakeup { cv: self.id, signal_seq: seq });
+        record(EventKind::LockAcquire { lock: mutex_id });
+        record(EventKind::LockObtain { lock: mutex_id });
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        record(EventKind::CondSignal { cv: self.id, signal_seq: seq });
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        record(EventKind::CondBroadcast { cv: self.id, signal_seq: seq });
+        self.inner.notify_all();
+    }
+}

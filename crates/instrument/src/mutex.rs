@@ -1,0 +1,107 @@
+//! Instrumented mutex.
+//!
+//! Follows the paper's interposition strategy exactly (Fig. 4): a
+//! non-blocking `try_lock` first — success means an uncontended
+//! invocation; on failure a *contention* record is written and the thread
+//! falls back to the blocking lock. The release record is written *after*
+//! the real unlock so no tracing overhead lands inside the critical
+//! section.
+
+use crate::session::{record, SessionInner};
+use critlock_trace::{EventKind, ObjId, ObjKind};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An instrumented mutual-exclusion lock around a value of type `T`.
+///
+/// Create through [`crate::Session::mutex`]; share across threads with
+/// `Arc`. The API mirrors `parking_lot::Mutex`.
+pub struct Mutex<T> {
+    pub(crate) id: ObjId,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub(crate) fn new(session: Arc<SessionInner>, name: String, value: T) -> Self {
+        let id = session.register_object(ObjKind::Lock, name);
+        Mutex { id, inner: parking_lot::Mutex::new(value) }
+    }
+
+    /// The lock's trace object id.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Acquire the lock, recording acquire/contended/obtain events.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        record(EventKind::LockAcquire { lock: self.id });
+        let guard = match self.inner.try_lock() {
+            Some(g) => g,
+            None => {
+                record(EventKind::LockContended { lock: self.id });
+                self.inner.lock()
+            }
+        };
+        record(EventKind::LockObtain { lock: self.id });
+        MutexGuard { lock: self, guard: Some(guard) }
+    }
+
+    /// Non-blocking acquire. A failed attempt is *not* recorded as a lock
+    /// invocation (it neither waits nor holds).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        record(EventKind::LockAcquire { lock: self.id });
+        record(EventKind::LockObtain { lock: self.id });
+        Some(MutexGuard { lock: self, guard: Some(guard) })
+    }
+
+    /// Access the value without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it records the release event after
+/// the real unlock.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    guard: Option<parking_lot::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real unlock first, then the trace record (paper §IV.A.1).
+        drop(self.guard.take());
+        record(EventKind::LockRelease { lock: self.lock.id });
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// The underlying `parking_lot` guard (used by the condvar wait).
+    pub(crate) fn inner_mut(&mut self) -> &mut parking_lot::MutexGuard<'a, T> {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+
+    /// The trace id of the guarded lock.
+    pub(crate) fn lock_id(&self) -> ObjId {
+        self.lock.id
+    }
+}

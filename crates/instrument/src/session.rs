@@ -1,0 +1,266 @@
+//! Tracing sessions and per-thread event collection.
+//!
+//! The paper's tool interposes on Pthreads via `LD_PRELOAD` and records
+//! MAGIC() events into per-thread buffers that are flushed to disk when
+//! the application completes (§IV.A). Rust has no sanctioned symbol
+//! interposition, so the equivalent here is explicit: a [`Session`] owns
+//! the clock and the object registry, the instrumented primitives
+//! ([`crate::Mutex`], [`crate::Barrier`], [`crate::Condvar`]) record into
+//! a lock-free per-thread buffer held in thread-local storage, and
+//! buffers are handed back to the session when each thread finishes.
+//!
+//! The timestamp source is a process-wide monotonic nanosecond clock
+//! anchored at session creation — the portable stand-in for the paper's
+//! `mftb`/`rdtsc` user-space timestamp reads.
+
+use critlock_trace::{
+    ClockDomain, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace,
+    TraceMeta,
+};
+use parking_lot::Mutex as PlMutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub(crate) struct SessionInner {
+    pub(crate) app: String,
+    pub(crate) start: Instant,
+    next_tid: AtomicU32,
+    objects: PlMutex<Vec<ObjInfo>>,
+    /// Flushed per-thread buffers, keyed by dense thread id.
+    flushed: PlMutex<Vec<FlushedBuffer>>,
+    params: PlMutex<Vec<(String, String)>>,
+}
+
+/// A finished thread's buffer: (id, name, events).
+type FlushedBuffer = (ThreadId, Option<String>, Vec<Event>);
+
+impl SessionInner {
+    pub(crate) fn now(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn register_object(&self, kind: ObjKind, name: String) -> ObjId {
+        let mut objs = self.objects.lock();
+        let id = ObjId(objs.len() as u32);
+        objs.push(ObjInfo { kind, name });
+        id
+    }
+
+    fn alloc_tid(&self) -> ThreadId {
+        ThreadId(self.next_tid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn flush(&self, tid: ThreadId, name: Option<String>, events: Vec<Event>) {
+        self.flushed.lock().push((tid, name, events));
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+struct ThreadCtx {
+    session: Arc<SessionInner>,
+    tid: ThreadId,
+    name: Option<String>,
+    buf: Vec<Event>,
+}
+
+/// Record an event on the current thread, if it is registered with a
+/// session. Events on unregistered threads are dropped (the real locking
+/// still happens); register threads with [`crate::spawn`] or
+/// [`Session::register_current_thread`].
+pub(crate) fn record(kind: EventKind) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            let ts = ctx.session.now();
+            ctx.buf.push(Event::new(ts, kind));
+        }
+    });
+}
+
+fn install_ctx(session: Arc<SessionInner>, tid: ThreadId, name: Option<String>) {
+    CTX.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(slot.is_none(), "thread already registered with a session");
+        *slot = Some(ThreadCtx { session, tid, name, buf: Vec::with_capacity(1024) });
+    });
+}
+
+fn uninstall_ctx() {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().take() {
+            ctx.session.flush(ctx.tid, ctx.name, ctx.buf);
+        }
+    });
+}
+
+/// A tracing session: creates instrumented synchronization objects,
+/// registers threads, and assembles the final [`Trace`].
+///
+/// The creating thread is registered as thread 0 (the "main" thread of
+/// the trace); call [`Session::finish`] on that same thread to close the
+/// trace.
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+impl Session {
+    /// Start a session for an application called `app`, registering the
+    /// calling thread as the trace's main thread.
+    pub fn new(app: impl Into<String>) -> Session {
+        let inner = Arc::new(SessionInner {
+            app: app.into(),
+            start: Instant::now(),
+            next_tid: AtomicU32::new(0),
+            objects: PlMutex::new(Vec::new()),
+            flushed: PlMutex::new(Vec::new()),
+            params: PlMutex::new(Vec::new()),
+        });
+        let tid = inner.alloc_tid();
+        debug_assert_eq!(tid, ThreadId::MAIN);
+        install_ctx(Arc::clone(&inner), tid, Some("main".into()));
+        record(EventKind::ThreadStart);
+        Session { inner }
+    }
+
+    /// Attach a workload parameter to the trace metadata.
+    pub fn param(&self, key: impl Into<String>, value: impl ToString) {
+        self.inner.params.lock().push((key.into(), value.to_string()));
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<SessionInner> {
+        &self.inner
+    }
+
+    /// Register the calling thread (when it was not created through
+    /// [`crate::spawn`]). Returns its trace id. The thread must call
+    /// [`Session::unregister_current_thread`] before the session finishes.
+    pub fn register_current_thread(&self, name: impl Into<String>) -> ThreadId {
+        let tid = self.inner.alloc_tid();
+        install_ctx(Arc::clone(&self.inner), tid, Some(name.into()));
+        record(EventKind::ThreadStart);
+        tid
+    }
+
+    /// Record the exit of a thread registered with
+    /// [`Session::register_current_thread`] and flush its buffer.
+    pub fn unregister_current_thread(&self) {
+        record(EventKind::ThreadExit);
+        uninstall_ctx();
+    }
+
+    /// Allocate a thread id for a child about to be spawned (used by
+    /// [`crate::spawn`]).
+    pub(crate) fn alloc_child(&self) -> ThreadId {
+        self.inner.alloc_tid()
+    }
+
+    /// Install the context for a freshly spawned child thread.
+    pub(crate) fn enter_child(&self, tid: ThreadId, name: String) {
+        install_ctx(Arc::clone(&self.inner), tid, Some(name));
+        record(EventKind::ThreadStart);
+    }
+
+    /// Flush a finished child thread.
+    pub(crate) fn exit_child(&self) {
+        record(EventKind::ThreadExit);
+        uninstall_ctx();
+    }
+
+    /// Finish the session on the main thread: records the main thread's
+    /// exit, gathers all flushed buffers and returns the trace.
+    ///
+    /// All threads spawned through [`crate::spawn`] must have been joined
+    /// first; otherwise their events are missing and validation may fail.
+    pub fn finish(self) -> critlock_trace::Result<Trace> {
+        record(EventKind::ThreadExit);
+        uninstall_ctx();
+
+        let mut meta = TraceMeta::named(self.inner.app.clone());
+        meta.clock = ClockDomain::RealNs;
+        for (k, v) in self.inner.params.lock().iter() {
+            meta.params.insert(k.clone(), v.clone());
+        }
+        meta.params.insert(
+            "traced_threads".into(),
+            self.inner.next_tid.load(Ordering::Relaxed).to_string(),
+        );
+
+        let mut trace = Trace::new(meta);
+        trace.objects = self.inner.objects.lock().clone();
+
+        let mut buffers = std::mem::take(&mut *self.inner.flushed.lock());
+        buffers.sort_by_key(|(tid, _, _)| *tid);
+        let n = self.inner.next_tid.load(Ordering::Relaxed);
+        let mut iter = buffers.into_iter().peekable();
+        for i in 0..n {
+            let tid = ThreadId(i);
+            let mut stream = ThreadStream::new(tid);
+            if iter.peek().map(|(t, _, _)| *t) == Some(tid) {
+                let (_, name, events) = iter.next().unwrap();
+                stream.name = name;
+                stream.events = events;
+            }
+            trace.push_thread(stream);
+        }
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_session_produces_main_only_trace() {
+        let s = Session::new("empty");
+        let t = s.finish().unwrap();
+        assert_eq!(t.num_threads(), 1);
+        assert_eq!(t.meta.app, "empty");
+        assert_eq!(t.meta.clock, ClockDomain::RealNs);
+        let ev = &t.threads[0].events;
+        assert_eq!(ev.first().unwrap().kind, EventKind::ThreadStart);
+        assert_eq!(ev.last().unwrap().kind, EventKind::ThreadExit);
+    }
+
+    #[test]
+    fn params_recorded() {
+        let s = Session::new("p");
+        s.param("threads", 4);
+        s.param("input", "large");
+        let t = s.finish().unwrap();
+        assert_eq!(t.meta.params.get("input").unwrap(), "large");
+        assert_eq!(t.meta.params.get("threads").unwrap(), "4");
+        assert_eq!(t.meta.params.get("traced_threads").unwrap(), "1");
+    }
+
+    #[test]
+    fn manual_thread_registration() {
+        let s = Session::new("manual");
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            let tid = s2.register_current_thread("worker");
+            assert_eq!(tid, ThreadId(1));
+            s2.unregister_current_thread();
+        });
+        h.join().unwrap();
+        let t = s.finish().unwrap();
+        assert_eq!(t.num_threads(), 2);
+        assert_eq!(t.threads[1].name.as_deref(), Some("worker"));
+        assert_eq!(t.threads[1].events.len(), 2); // start + exit
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let s = Session::new("clock");
+        let a = s.inner().now();
+        let b = s.inner().now();
+        assert!(b >= a);
+        s.finish().unwrap();
+    }
+}

@@ -1,0 +1,1261 @@
+//! The deterministic discrete-event execution engine.
+//!
+//! The engine runs [`Program`]s on a configurable simulated machine
+//! ([`MachineConfig`]): a number of hardware contexts, a lock hand-off
+//! policy and optional hand-off/spawn latencies. Virtual time advances
+//! only through `Compute` actions; synchronization operations are
+//! instantaneous (plus configured latencies). Every run with the same
+//! programs, configuration and seed produces a byte-identical trace.
+//!
+//! The produced [`Trace`] uses exactly the event protocol of the paper's
+//! instrumentation tool, so the analysis cannot tell a simulated execution
+//! from a real one.
+
+use crate::error::{Result, SimError};
+use crate::machine::{LockPolicy, MachineConfig};
+use crate::program::{Action, Program, StepCtx};
+use critlock_trace::{
+    ClockDomain, Event, EventKind, ObjId, ObjKind, ThreadId, ThreadStream, Trace, TraceMeta,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EngineEvent {
+    StartThread(ThreadId),
+    ComputeDone { tid: ThreadId, gen: u64 },
+    WakeLock { tid: ThreadId, lock: ObjId },
+    WakeRw { tid: ThreadId, lock: ObjId, write: bool },
+    WakeBarrier { tid: ThreadId, barrier: ObjId, epoch: u32 },
+    WakeCond { tid: ThreadId, cv: ObjId, mutex: ObjId, seq: u64 },
+    WakeJoin { tid: ThreadId, child: ThreadId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    NotStarted,
+    Ready,
+    Running,
+    Computing,
+    BlockedLock(ObjId),
+    InBarrier(ObjId),
+    CondWaiting(ObjId),
+    Joining(ThreadId),
+    Finished,
+}
+
+struct ThreadCell {
+    name: String,
+    program: Option<Box<dyn Program>>,
+    state: TState,
+    events: Vec<Event>,
+    held: Vec<ObjId>,
+    last_spawned: Option<ThreadId>,
+    remaining: u64,
+    slice_start: u64,
+    gen: u64,
+    joiners: Vec<ThreadId>,
+}
+
+struct LockState {
+    owner: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+struct RwLockState {
+    /// Exclusive holder, if any.
+    writer: Option<ThreadId>,
+    /// Shared holders.
+    readers: Vec<ThreadId>,
+    /// FIFO of waiters with their requested mode (true = write). Grants
+    /// happen strictly in queue order, which gives writer-preference the
+    /// moment a writer reaches the front (no reader barging).
+    waiters: VecDeque<(ThreadId, bool)>,
+}
+
+struct BarrierState {
+    parties: usize,
+    arrived: Vec<ThreadId>,
+    epoch: u32,
+}
+
+struct CondvarState {
+    waiters: VecDeque<(ThreadId, ObjId)>,
+    next_seq: u64,
+}
+
+enum Slot {
+    Lock(usize),
+    RwLock(usize),
+    Barrier(usize),
+    Condvar(usize),
+    Marker,
+}
+
+/// The simulator: register synchronization objects, spawn programs, run.
+///
+/// ```
+/// use critlock_sim::{Simulator, MachineConfig, Op, ScriptProgram};
+///
+/// let mut sim = Simulator::new("two-phase", MachineConfig::ideal());
+/// let l = sim.add_lock("L");
+/// for i in 0..2 {
+///     sim.spawn(
+///         format!("T{i}"),
+///         ScriptProgram::new(vec![Op::Critical(l, 10), Op::Compute(5)]),
+///     );
+/// }
+/// let trace = sim.run().unwrap();
+/// // The two critical sections serialize: 10 + 10, then 5 in parallel.
+/// assert_eq!(trace.makespan(), 25);
+/// ```
+pub struct Simulator {
+    cfg: MachineConfig,
+    app: String,
+    rng: SmallRng,
+    time: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, EngineEvent)>>,
+    threads: Vec<ThreadCell>,
+    slots: Vec<Slot>,
+    names: Vec<(ObjKind, String)>,
+    locks: Vec<LockState>,
+    rwlocks: Vec<RwLockState>,
+    barriers: Vec<BarrierState>,
+    condvars: Vec<CondvarState>,
+    ready: VecDeque<ThreadId>,
+    running: usize,
+    event_count: u64,
+}
+
+impl Simulator {
+    /// Create a simulator for an application named `app` on the given
+    /// machine.
+    pub fn new(app: impl Into<String>, cfg: MachineConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Simulator {
+            cfg,
+            app: app.into(),
+            rng,
+            time: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            threads: Vec::new(),
+            slots: Vec::new(),
+            names: Vec::new(),
+            locks: Vec::new(),
+            rwlocks: Vec::new(),
+            barriers: Vec::new(),
+            condvars: Vec::new(),
+            ready: VecDeque::new(),
+            running: 0,
+            event_count: 0,
+        }
+    }
+
+    /// Register a lock.
+    pub fn add_lock(&mut self, name: impl Into<String>) -> ObjId {
+        let id = ObjId(self.slots.len() as u32);
+        self.slots.push(Slot::Lock(self.locks.len()));
+        self.names.push((ObjKind::Lock, name.into()));
+        self.locks.push(LockState { owner: None, waiters: VecDeque::new() });
+        id
+    }
+
+    /// Register a reader-writer lock.
+    pub fn add_rwlock(&mut self, name: impl Into<String>) -> ObjId {
+        let id = ObjId(self.slots.len() as u32);
+        self.slots.push(Slot::RwLock(self.rwlocks.len()));
+        self.names.push((ObjKind::RwLock, name.into()));
+        self.rwlocks.push(RwLockState {
+            writer: None,
+            readers: Vec::new(),
+            waiters: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Register a barrier for `parties` threads.
+    pub fn add_barrier(&mut self, name: impl Into<String>, parties: usize) -> ObjId {
+        assert!(parties > 0, "barrier needs at least one party");
+        let id = ObjId(self.slots.len() as u32);
+        self.slots.push(Slot::Barrier(self.barriers.len()));
+        self.names.push((ObjKind::Barrier, name.into()));
+        self.barriers.push(BarrierState { parties, arrived: Vec::new(), epoch: 0 });
+        id
+    }
+
+    /// Register a condition variable.
+    pub fn add_condvar(&mut self, name: impl Into<String>) -> ObjId {
+        let id = ObjId(self.slots.len() as u32);
+        self.slots.push(Slot::Condvar(self.condvars.len()));
+        self.names.push((ObjKind::Condvar, name.into()));
+        self.condvars.push(CondvarState { waiters: VecDeque::new(), next_seq: 0 });
+        id
+    }
+
+    /// Register a marker object (phase labels; no simulation semantics).
+    pub fn add_marker(&mut self, name: impl Into<String>) -> ObjId {
+        let id = ObjId(self.slots.len() as u32);
+        self.slots.push(Slot::Marker);
+        self.names.push((ObjKind::Marker, name.into()));
+        id
+    }
+
+    /// Spawn a root thread that starts at time 0.
+    pub fn spawn(&mut self, name: impl Into<String>, program: impl Program + 'static) -> ThreadId {
+        self.spawn_boxed(name.into(), Box::new(program), 0)
+    }
+
+    fn spawn_boxed(&mut self, name: String, program: Box<dyn Program>, start_at: u64) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        self.threads.push(ThreadCell {
+            name,
+            program: Some(program),
+            state: TState::NotStarted,
+            events: Vec::new(),
+            held: Vec::new(),
+            last_spawned: None,
+            remaining: 0,
+            slice_start: 0,
+            gen: 0,
+            joiners: Vec::new(),
+        });
+        self.schedule(start_at, EngineEvent::StartThread(tid));
+        tid
+    }
+
+    /// Current virtual time (useful in assertions inside tests).
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    fn schedule(&mut self, at: u64, ev: EngineEvent) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn emit(&mut self, tid: ThreadId, kind: EventKind) {
+        let ts = self.time;
+        self.event_count += 1;
+        self.threads[tid.index()].events.push(Event::new(ts, kind));
+    }
+
+    fn lock_slot(&self, tid: ThreadId, obj: ObjId) -> Result<usize> {
+        match self.slots.get(obj.index()) {
+            Some(Slot::Lock(i)) => Ok(*i),
+            _ => Err(SimError::BadObject { tid, obj, expected: "lock" }),
+        }
+    }
+
+    fn rw_slot(&self, tid: ThreadId, obj: ObjId) -> Result<usize> {
+        match self.slots.get(obj.index()) {
+            Some(Slot::RwLock(i)) => Ok(*i),
+            _ => Err(SimError::BadObject { tid, obj, expected: "rwlock" }),
+        }
+    }
+
+    fn barrier_slot(&self, tid: ThreadId, obj: ObjId) -> Result<usize> {
+        match self.slots.get(obj.index()) {
+            Some(Slot::Barrier(i)) => Ok(*i),
+            _ => Err(SimError::BadObject { tid, obj, expected: "barrier" }),
+        }
+    }
+
+    fn condvar_slot(&self, tid: ThreadId, obj: ObjId) -> Result<usize> {
+        match self.slots.get(obj.index()) {
+            Some(Slot::Condvar(i)) => Ok(*i),
+            _ => Err(SimError::BadObject { tid, obj, expected: "condvar" }),
+        }
+    }
+
+    fn has_free_context(&self) -> bool {
+        self.cfg.contexts == 0 || self.running < self.cfg.contexts
+    }
+
+    fn jittered(&mut self, d: u64) -> u64 {
+        if self.cfg.jitter == 0.0 || d == 0 {
+            return d;
+        }
+        let f = 1.0 + self.cfg.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        ((d as f64) * f).round().max(0.0) as u64
+    }
+
+    fn pick_waiter(&mut self, lock_idx: usize) -> Option<ThreadId> {
+        let policy = self.cfg.lock_policy;
+        let waiters = &mut self.locks[lock_idx].waiters;
+        if waiters.is_empty() {
+            return None;
+        }
+        match policy {
+            LockPolicy::FifoHandoff => waiters.pop_front(),
+            LockPolicy::LifoHandoff => waiters.pop_back(),
+            LockPolicy::RandomHandoff => {
+                let i = self.rng.gen_range(0..waiters.len());
+                waiters.remove(i)
+            }
+        }
+    }
+
+    /// Run the simulation to completion and return the trace.
+    pub fn run(mut self) -> Result<Trace> {
+        loop {
+            self.dispatch()?;
+            if self.cfg.max_events > 0 && self.event_count > self.cfg.max_events {
+                return Err(SimError::EventLimit {
+                    time: self.time,
+                    limit: self.cfg.max_events,
+                });
+            }
+            match self.heap.pop() {
+                Some(Reverse((t, _, ev))) => {
+                    debug_assert!(t >= self.time, "time went backwards");
+                    self.time = t;
+                    self.handle(ev)?;
+                }
+                None => break,
+            }
+        }
+
+        // Everything must have finished, otherwise we deadlocked.
+        let stuck: Vec<(ThreadId, String)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state != TState::Finished)
+            .map(|(i, c)| {
+                let what = match c.state {
+                    TState::BlockedLock(l) => format!("lock {l}"),
+                    TState::InBarrier(b) => format!("barrier {b}"),
+                    TState::CondWaiting(cv) => format!("condvar {cv}"),
+                    TState::Joining(t) => format!("join of {t}"),
+                    other => format!("{other:?}"),
+                };
+                (ThreadId(i as u32), what)
+            })
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { time: self.time, stuck });
+        }
+
+        // Assemble the trace.
+        let mut meta = TraceMeta::named(self.app.clone());
+        meta.clock = ClockDomain::VirtualNs;
+        meta.params = self.cfg.params();
+        meta.params.insert("threads".into(), self.threads.len().to_string());
+        let mut trace = Trace::new(meta);
+        for (kind, name) in &self.names {
+            trace.register_object(*kind, name.clone());
+        }
+        for (i, cell) in self.threads.into_iter().enumerate() {
+            let mut stream = ThreadStream::new(ThreadId(i as u32));
+            stream.name = Some(cell.name);
+            stream.events = cell.events;
+            trace.push_thread(stream);
+        }
+        trace.validate().map_err(SimError::InvalidTrace)?;
+        Ok(trace)
+    }
+
+    /// Hand contexts to ready threads and run them until they block.
+    fn dispatch(&mut self) -> Result<()> {
+        while self.has_free_context() {
+            let Some(tid) = self.ready.pop_front() else { break };
+            self.running += 1;
+            if self.threads[tid.index()].remaining > 0 {
+                // Resuming a preempted compute: finish it before stepping
+                // the program again.
+                self.threads[tid.index()].state = TState::Computing;
+                self.start_slice(tid);
+            } else {
+                self.threads[tid.index()].state = TState::Running;
+                self.run_thread(tid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive one thread's program until it computes, blocks or exits.
+    /// The thread must hold a context (`self.running` already counts it).
+    fn run_thread(&mut self, tid: ThreadId) -> Result<()> {
+        let ti = tid.index();
+        loop {
+            let mut prog = self.threads[ti]
+                .program
+                .take()
+                .expect("running thread must have a program");
+            let action = {
+                let mut ctx = StepCtx {
+                    now: self.time,
+                    tid,
+                    last_spawned: self.threads[ti].last_spawned,
+                    rng: &mut self.rng,
+                };
+                prog.step(&mut ctx)
+            };
+            self.threads[ti].program = Some(prog);
+
+            match action {
+                Action::Compute(d) => {
+                    let d = self.jittered(d);
+                    if d == 0 {
+                        continue;
+                    }
+                    self.threads[ti].remaining = d;
+                    self.threads[ti].state = TState::Computing;
+                    self.start_slice(tid);
+                    return Ok(());
+                }
+                Action::Lock(lock) => {
+                    let li = self.lock_slot(tid, lock)?;
+                    self.emit(tid, EventKind::LockAcquire { lock });
+                    if self.locks[li].owner == Some(tid) {
+                        return Err(SimError::Reentrant { tid, lock });
+                    }
+                    if self.locks[li].owner.is_none() {
+                        self.locks[li].owner = Some(tid);
+                        self.emit(tid, EventKind::LockObtain { lock });
+                        self.threads[ti].held.push(lock);
+                        continue;
+                    }
+                    self.emit(tid, EventKind::LockContended { lock });
+                    self.locks[li].waiters.push_back(tid);
+                    self.threads[ti].state = TState::BlockedLock(lock);
+                    self.running -= 1;
+                    return Ok(());
+                }
+                Action::Unlock(lock) => {
+                    self.do_unlock(tid, lock)?;
+                    continue;
+                }
+                Action::RwRead(lock) | Action::RwWrite(lock) => {
+                    let write = matches!(action, Action::RwWrite(_));
+                    let ri = self.rw_slot(tid, lock)?;
+                    self.emit(tid, EventKind::RwAcquire { lock, write });
+                    {
+                        let rs = &self.rwlocks[ri];
+                        if rs.writer == Some(tid) || rs.readers.contains(&tid) {
+                            return Err(SimError::Reentrant { tid, lock });
+                        }
+                    }
+                    let grantable = {
+                        let rs = &self.rwlocks[ri];
+                        if write {
+                            rs.writer.is_none() && rs.readers.is_empty() && rs.waiters.is_empty()
+                        } else {
+                            rs.writer.is_none() && rs.waiters.is_empty()
+                        }
+                    };
+                    if grantable {
+                        if write {
+                            self.rwlocks[ri].writer = Some(tid);
+                        } else {
+                            self.rwlocks[ri].readers.push(tid);
+                        }
+                        self.emit(tid, EventKind::RwObtain { lock, write });
+                        self.threads[ti].held.push(lock);
+                        continue;
+                    }
+                    self.emit(tid, EventKind::RwContended { lock, write });
+                    self.rwlocks[ri].waiters.push_back((tid, write));
+                    self.threads[ti].state = TState::BlockedLock(lock);
+                    self.running -= 1;
+                    return Ok(());
+                }
+                Action::RwUnlock(lock) => {
+                    self.do_rw_unlock(tid, lock)?;
+                    continue;
+                }
+                Action::Barrier(barrier) => {
+                    let bi = self.barrier_slot(tid, barrier)?;
+                    let epoch = self.barriers[bi].epoch;
+                    self.emit(tid, EventKind::BarrierArrive { barrier, epoch });
+                    self.barriers[bi].arrived.push(tid);
+                    if self.barriers[bi].arrived.len() >= self.barriers[bi].parties {
+                        // Last arriver: release everyone at the current time.
+                        let arrived = std::mem::take(&mut self.barriers[bi].arrived);
+                        self.barriers[bi].epoch += 1;
+                        self.emit(tid, EventKind::BarrierDepart { barrier, epoch });
+                        for other in arrived {
+                            if other != tid {
+                                self.schedule(
+                                    self.time,
+                                    EngineEvent::WakeBarrier { tid: other, barrier, epoch },
+                                );
+                            }
+                        }
+                        continue;
+                    }
+                    self.threads[ti].state = TState::InBarrier(barrier);
+                    self.running -= 1;
+                    return Ok(());
+                }
+                Action::CondWait { cv, mutex } => {
+                    let ci = self.condvar_slot(tid, cv)?;
+                    if !self.threads[ti].held.contains(&mutex) {
+                        return Err(SimError::CondWaitWithoutMutex { tid, cv, mutex });
+                    }
+                    // Atomically release the mutex and enqueue as waiter.
+                    self.do_unlock(tid, mutex)?;
+                    self.emit(tid, EventKind::CondWaitBegin { cv });
+                    self.condvars[ci].waiters.push_back((tid, mutex));
+                    self.threads[ti].state = TState::CondWaiting(cv);
+                    self.running -= 1;
+                    return Ok(());
+                }
+                Action::CondSignal(cv) => {
+                    self.do_signal(tid, cv, false)?;
+                    continue;
+                }
+                Action::CondBroadcast(cv) => {
+                    self.do_signal(tid, cv, true)?;
+                    continue;
+                }
+                Action::Spawn { name, program } => {
+                    let start_at = self.time + self.cfg.spawn_delay_ns;
+                    let child = self.spawn_boxed(name, program, start_at);
+                    self.emit(tid, EventKind::ThreadCreate { child });
+                    self.threads[ti].last_spawned = Some(child);
+                    continue;
+                }
+                Action::Mark(id) => {
+                    match self.slots.get(id.index()) {
+                        Some(Slot::Marker) => {}
+                        _ => return Err(SimError::BadObject { tid, obj: id, expected: "marker" }),
+                    }
+                    self.emit(tid, EventKind::Marker { id });
+                    continue;
+                }
+                Action::Join(target) => {
+                    if target.index() >= self.threads.len() {
+                        return Err(SimError::JoinUnknownThread { tid, target });
+                    }
+                    self.emit(tid, EventKind::JoinBegin { child: target });
+                    if self.threads[target.index()].state == TState::Finished {
+                        self.emit(tid, EventKind::JoinEnd { child: target });
+                        continue;
+                    }
+                    self.threads[target.index()].joiners.push(tid);
+                    self.threads[ti].state = TState::Joining(target);
+                    self.running -= 1;
+                    return Ok(());
+                }
+                Action::Exit => {
+                    if let Some(&lock) = self.threads[ti].held.first() {
+                        return Err(SimError::ExitHoldingLock { tid, lock });
+                    }
+                    self.emit(tid, EventKind::ThreadExit);
+                    self.threads[ti].state = TState::Finished;
+                    let joiners = std::mem::take(&mut self.threads[ti].joiners);
+                    for j in joiners {
+                        self.schedule(self.time, EngineEvent::WakeJoin { tid: j, child: tid });
+                    }
+                    self.running -= 1;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn do_unlock(&mut self, tid: ThreadId, lock: ObjId) -> Result<()> {
+        let li = self.lock_slot(tid, lock)?;
+        if self.locks[li].owner != Some(tid) {
+            return Err(SimError::UnlockNotHeld { tid, lock });
+        }
+        let ti = tid.index();
+        if let Some(pos) = self.threads[ti].held.iter().rposition(|&l| l == lock) {
+            self.threads[ti].held.remove(pos);
+        }
+        self.emit(tid, EventKind::LockRelease { lock });
+        match self.pick_waiter(li) {
+            Some(next) => {
+                // Reserve ownership for the waiter; its obtain event is
+                // emitted when the hand-off completes.
+                self.locks[li].owner = Some(next);
+                self.schedule(
+                    self.time + self.cfg.handoff_ns,
+                    EngineEvent::WakeLock { tid: next, lock },
+                );
+            }
+            None => {
+                self.locks[li].owner = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn do_rw_unlock(&mut self, tid: ThreadId, lock: ObjId) -> Result<()> {
+        let ri = self.rw_slot(tid, lock)?;
+        let write = {
+            let rs = &mut self.rwlocks[ri];
+            if rs.writer == Some(tid) {
+                rs.writer = None;
+                true
+            } else if let Some(pos) = rs.readers.iter().position(|&t| t == tid) {
+                rs.readers.remove(pos);
+                false
+            } else {
+                return Err(SimError::UnlockNotHeld { tid, lock });
+            }
+        };
+        let ti = tid.index();
+        if let Some(pos) = self.threads[ti].held.iter().rposition(|&l| l == lock) {
+            self.threads[ti].held.remove(pos);
+        }
+        self.emit(tid, EventKind::RwRelease { lock, write });
+        self.grant_rw_waiters(ri, lock);
+        Ok(())
+    }
+
+    /// Hand the rwlock to waiters in FIFO order: either one writer, or a
+    /// maximal run of consecutive readers.
+    fn grant_rw_waiters(&mut self, ri: usize, lock: ObjId) {
+        loop {
+            let grant = {
+                let rs = &self.rwlocks[ri];
+                match rs.waiters.front() {
+                    Some(&(_, true)) if rs.writer.is_none() && rs.readers.is_empty() => true,
+                    Some(&(_, false)) if rs.writer.is_none() => true,
+                    _ => false,
+                }
+            };
+            if !grant {
+                break;
+            }
+            let (next, write) = self.rwlocks[ri].waiters.pop_front().expect("front checked");
+            if write {
+                self.rwlocks[ri].writer = Some(next);
+            } else {
+                self.rwlocks[ri].readers.push(next);
+            }
+            self.schedule(
+                self.time + self.cfg.handoff_ns,
+                EngineEvent::WakeRw { tid: next, lock, write },
+            );
+            if write {
+                break;
+            }
+        }
+    }
+
+    fn do_signal(&mut self, tid: ThreadId, cv: ObjId, broadcast: bool) -> Result<()> {
+        let ci = self.condvar_slot(tid, cv)?;
+        self.condvars[ci].next_seq += 1;
+        let seq = self.condvars[ci].next_seq;
+        if broadcast {
+            self.emit(tid, EventKind::CondBroadcast { cv, signal_seq: seq });
+            let waiters: Vec<(ThreadId, ObjId)> =
+                self.condvars[ci].waiters.drain(..).collect();
+            for (w, mutex) in waiters {
+                self.schedule(self.time, EngineEvent::WakeCond { tid: w, cv, mutex, seq });
+            }
+        } else {
+            self.emit(tid, EventKind::CondSignal { cv, signal_seq: seq });
+            if let Some((w, mutex)) = self.condvars[ci].waiters.pop_front() {
+                self.schedule(self.time, EngineEvent::WakeCond { tid: w, cv, mutex, seq });
+            }
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, ev: EngineEvent) -> Result<()> {
+        match ev {
+            EngineEvent::StartThread(tid) => {
+                self.emit(tid, EventKind::ThreadStart);
+                self.threads[tid.index()].state = TState::Ready;
+                self.ready.push_back(tid);
+            }
+            EngineEvent::ComputeDone { tid, gen } => {
+                let ti = tid.index();
+                if self.threads[ti].gen != gen || self.threads[ti].state != TState::Computing {
+                    return Ok(()); // stale slice event after preemption
+                }
+                let elapsed = self.time - self.threads[ti].slice_start;
+                let remaining = self.threads[ti].remaining.saturating_sub(elapsed);
+                self.threads[ti].remaining = remaining;
+                if remaining == 0 {
+                    // Compute finished; continue the program (context kept).
+                    self.threads[ti].state = TState::Running;
+                    self.run_thread(tid)?;
+                } else if !self.ready.is_empty() {
+                    // Quantum expired with others waiting: preempt.
+                    self.threads[ti].state = TState::Ready;
+                    self.ready.push_back(tid);
+                    self.running -= 1;
+                } else {
+                    self.start_slice(tid);
+                }
+            }
+            EngineEvent::WakeLock { tid, lock } => {
+                self.emit(tid, EventKind::LockObtain { lock });
+                self.threads[tid.index()].held.push(lock);
+                self.threads[tid.index()].state = TState::Ready;
+                self.ready.push_back(tid);
+            }
+            EngineEvent::WakeRw { tid, lock, write } => {
+                self.emit(tid, EventKind::RwObtain { lock, write });
+                self.threads[tid.index()].held.push(lock);
+                self.threads[tid.index()].state = TState::Ready;
+                self.ready.push_back(tid);
+            }
+            EngineEvent::WakeBarrier { tid, barrier, epoch } => {
+                self.emit(tid, EventKind::BarrierDepart { barrier, epoch });
+                self.threads[tid.index()].state = TState::Ready;
+                self.ready.push_back(tid);
+            }
+            EngineEvent::WakeCond { tid, cv, mutex, seq } => {
+                self.emit(tid, EventKind::CondWakeup { cv, signal_seq: seq });
+                // Re-acquire the guarding mutex (Pthreads semantics).
+                let li = self.lock_slot(tid, mutex)?;
+                self.emit(tid, EventKind::LockAcquire { lock: mutex });
+                if self.locks[li].owner.is_none() {
+                    self.locks[li].owner = Some(tid);
+                    self.emit(tid, EventKind::LockObtain { lock: mutex });
+                    self.threads[tid.index()].held.push(mutex);
+                    self.threads[tid.index()].state = TState::Ready;
+                    self.ready.push_back(tid);
+                } else {
+                    self.emit(tid, EventKind::LockContended { lock: mutex });
+                    self.locks[li].waiters.push_back(tid);
+                    self.threads[tid.index()].state = TState::BlockedLock(mutex);
+                }
+            }
+            EngineEvent::WakeJoin { tid, child } => {
+                self.emit(tid, EventKind::JoinEnd { child });
+                self.threads[tid.index()].state = TState::Ready;
+                self.ready.push_back(tid);
+            }
+        }
+        Ok(())
+    }
+
+    fn start_slice(&mut self, tid: ThreadId) {
+        let ti = tid.index();
+        let remaining = self.threads[ti].remaining;
+        let slice = if self.cfg.contexts > 0 {
+            remaining.min(self.cfg.quantum.max(1))
+        } else {
+            remaining
+        };
+        self.threads[ti].gen += 1;
+        self.threads[ti].slice_start = self.time;
+        let gen = self.threads[ti].gen;
+        self.schedule(self.time + slice, EngineEvent::ComputeDone { tid, gen });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Op, ScriptProgram};
+    use critlock_analysis::analyze;
+
+    fn script(ops: Vec<Op>) -> ScriptProgram {
+        ScriptProgram::new(ops)
+    }
+
+    #[test]
+    fn two_threads_one_lock_serialize() {
+        let mut sim = Simulator::new("serialize", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        for i in 0..2 {
+            sim.spawn(format!("T{i}"), script(vec![Op::Critical(l, 10), Op::Compute(5)]));
+        }
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 25);
+        trace.validate().unwrap();
+    }
+
+    /// The paper's micro-benchmark (Fig. 5) scaled to 20/25 time units:
+    /// CS1 under L1 then CS2 under L2, four threads. Expected makespan
+    /// a + 4b = 120 and CP shares 16.67% / 83.33% (Fig. 6).
+    #[test]
+    fn micro_benchmark_shape() {
+        let (a, b) = (20u64, 25u64);
+        let mut sim = Simulator::new("micro", MachineConfig::ideal());
+        let l1 = sim.add_lock("L1");
+        let l2 = sim.add_lock("L2");
+        for i in 0..4 {
+            sim.spawn(
+                format!("T{i}"),
+                script(vec![Op::Critical(l1, a), Op::Critical(l2, b)]),
+            );
+        }
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), a + 4 * b);
+
+        let rep = analyze(&trace);
+        assert!(rep.cp_complete);
+        assert_eq!(rep.cp_length, 120);
+        let r1 = rep.lock_by_name("L1").unwrap();
+        let r2 = rep.lock_by_name("L2").unwrap();
+        assert_eq!(r1.cp_time, 20); // one CS1 on the CP
+        assert_eq!(r2.cp_time, 100); // four CS2 on the CP
+        assert!((r1.cp_time_frac - 1.0 / 6.0).abs() < 1e-9);
+        assert!((r2.cp_time_frac - 5.0 / 6.0).abs() < 1e-9);
+        assert_eq!(r2.invocations_on_cp, 4);
+        // 3 of the 4 CP invocations of L2 blocked (T0's did not).
+        assert!((r2.cont_prob_on_cp - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_all_depart_at_last_arrival() {
+        let mut sim = Simulator::new("barrier", MachineConfig::ideal());
+        let bar = sim.add_barrier("B", 3);
+        for i in 0..3u64 {
+            sim.spawn(
+                format!("T{i}"),
+                script(vec![Op::Compute(10 * (i + 1)), Op::Barrier(bar), Op::Compute(5)]),
+            );
+        }
+        let trace = sim.run().unwrap();
+        // Last arrival at 30; everyone departs at 30 and computes 5.
+        assert_eq!(trace.makespan(), 35);
+        let eps = critlock_trace::barrier_episodes(&trace);
+        assert_eq!(eps.len(), 3);
+        assert!(eps.iter().all(|e| e.depart == 30));
+    }
+
+    #[test]
+    fn condvar_producer_consumer() {
+        let mut sim = Simulator::new("cv", MachineConfig::ideal());
+        let m = sim.add_lock("M");
+        let cv = sim.add_condvar("CV");
+        // Consumer: lock, wait (releases), then compute inside lock, unlock.
+        sim.spawn(
+            "consumer",
+            script(vec![
+                Op::Lock(m),
+                Op::CondWait(cv, m),
+                Op::Compute(7),
+                Op::Unlock(m),
+            ]),
+        );
+        // Producer: compute 50, lock, signal, unlock.
+        sim.spawn(
+            "producer",
+            script(vec![Op::Compute(50), Op::Critical(m, 1), Op::CondSignal(cv)]),
+        );
+        let trace = sim.run().unwrap();
+        // Consumer wakes at 51 (signal at 51 after producer CS [50,51]),
+        // reacquires, computes 7 -> exits at 58.
+        assert_eq!(trace.makespan(), 58);
+        let waits = critlock_trace::cond_wait_episodes(&trace);
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].wakeup, 51);
+    }
+
+    #[test]
+    fn condvar_broadcast_wakes_all() {
+        let mut sim = Simulator::new("bcast", MachineConfig::ideal());
+        let m = sim.add_lock("M");
+        let cv = sim.add_condvar("CV");
+        for i in 0..3 {
+            sim.spawn(
+                format!("w{i}"),
+                script(vec![Op::Lock(m), Op::CondWait(cv, m), Op::Unlock(m), Op::Compute(5)]),
+            );
+        }
+        sim.spawn(
+            "boss",
+            script(vec![Op::Compute(20), Op::CondBroadcast(cv)]),
+        );
+        let trace = sim.run().unwrap();
+        let waits = critlock_trace::cond_wait_episodes(&trace);
+        assert_eq!(waits.len(), 3);
+        assert!(waits.iter().all(|w| w.wakeup == 20));
+        // Mutex reacquisition serializes the wakeups but each holds ~0.
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn dynamic_spawn_and_join() {
+        struct Parent {
+            stage: u32,
+        }
+        impl Program for Parent {
+            fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+                self.stage += 1;
+                match self.stage {
+                    1 => Action::Spawn {
+                        name: "child".into(),
+                        program: Box::new(ScriptProgram::new(vec![Op::Compute(30)])),
+                    },
+                    2 => Action::Compute(5),
+                    3 => Action::Join(ctx.last_spawned.unwrap()),
+                    4 => Action::Compute(2),
+                    _ => Action::Exit,
+                }
+            }
+        }
+        let mut sim = Simulator::new("forkjoin", MachineConfig::ideal());
+        sim.spawn("main", Parent { stage: 0 });
+        let trace = sim.run().unwrap();
+        // Child runs [0,30]; parent computes [0,5], joins until 30, +2.
+        assert_eq!(trace.makespan(), 32);
+        assert_eq!(trace.num_threads(), 2);
+        let joins = critlock_trace::join_episodes(&trace);
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].end, 30);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut sim = Simulator::new("deadlock", MachineConfig::ideal());
+        let a = sim.add_lock("A");
+        let b = sim.add_lock("B");
+        sim.spawn(
+            "T0",
+            script(vec![Op::Lock(a), Op::Compute(10), Op::Lock(b), Op::Unlock(b), Op::Unlock(a)]),
+        );
+        sim.spawn(
+            "T1",
+            script(vec![Op::Lock(b), Op::Compute(10), Op::Lock(a), Op::Unlock(a), Op::Unlock(b)]),
+        );
+        match sim.run() {
+            Err(SimError::Deadlock { stuck, .. }) => assert_eq!(stuck.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reentrant_lock_rejected() {
+        let mut sim = Simulator::new("reentrant", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        sim.spawn("T0", script(vec![Op::Lock(l), Op::Lock(l)]));
+        assert!(matches!(sim.run(), Err(SimError::Reentrant { .. })));
+    }
+
+    #[test]
+    fn unlock_not_held_rejected() {
+        let mut sim = Simulator::new("badunlock", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        sim.spawn("T0", script(vec![Op::Unlock(l)]));
+        assert!(matches!(sim.run(), Err(SimError::UnlockNotHeld { .. })));
+    }
+
+    #[test]
+    fn exit_holding_lock_rejected() {
+        let mut sim = Simulator::new("leak", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        sim.spawn("T0", script(vec![Op::Lock(l)]));
+        assert!(matches!(sim.run(), Err(SimError::ExitHoldingLock { .. })));
+    }
+
+    #[test]
+    fn condwait_without_mutex_rejected() {
+        let mut sim = Simulator::new("badwait", MachineConfig::ideal());
+        let m = sim.add_lock("M");
+        let cv = sim.add_condvar("CV");
+        sim.spawn("T0", script(vec![Op::CondWait(cv, m)]));
+        assert!(matches!(sim.run(), Err(SimError::CondWaitWithoutMutex { .. })));
+    }
+
+    #[test]
+    fn wrong_object_kind_rejected() {
+        let mut sim = Simulator::new("badobj", MachineConfig::ideal());
+        let b = sim.add_barrier("B", 1);
+        sim.spawn("T0", script(vec![Op::Lock(b)]));
+        assert!(matches!(sim.run(), Err(SimError::BadObject { .. })));
+    }
+
+    #[test]
+    fn join_unknown_thread_rejected() {
+        let mut sim = Simulator::new("badjoin", MachineConfig::ideal());
+        sim.spawn("T0", script(vec![Op::Join(ThreadId(42))]));
+        assert!(matches!(sim.run(), Err(SimError::JoinUnknownThread { .. })));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let build = || {
+            let mut sim =
+                Simulator::new("det", MachineConfig::default().with_seed(99).with_jitter(0.2));
+            let l = sim.add_lock("L");
+            for i in 0..4 {
+                sim.spawn(
+                    format!("T{i}"),
+                    script(vec![
+                        Op::Repeat { times: 10, count: 2 },
+                        Op::Critical(l, 7),
+                        Op::Compute(13),
+                    ]),
+                );
+            }
+            sim.run().unwrap()
+        };
+        let t1 = build();
+        let t2 = build();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seed_with_jitter_differs() {
+        let build = |seed| {
+            let mut sim = Simulator::new(
+                "jit",
+                MachineConfig::default().with_seed(seed).with_jitter(0.3),
+            );
+            let l = sim.add_lock("L");
+            for i in 0..4 {
+                sim.spawn(
+                    format!("T{i}"),
+                    script(vec![Op::Critical(l, 100), Op::Compute(100)]),
+                );
+            }
+            sim.run().unwrap()
+        };
+        assert_ne!(build(1).makespan(), build(2).makespan());
+    }
+
+    #[test]
+    fn fifo_handoff_orders_waiters() {
+        let mut sim = Simulator::new("fifo", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        // T0 grabs at 0; T1 requests at 1, T2 at 2. FIFO: T1 then T2.
+        sim.spawn("T0", script(vec![Op::Critical(l, 10)]));
+        sim.spawn("T1", script(vec![Op::Compute(1), Op::Critical(l, 10)]));
+        sim.spawn("T2", script(vec![Op::Compute(2), Op::Critical(l, 10)]));
+        let trace = sim.run().unwrap();
+        let eps = critlock_trace::lock_episodes(&trace);
+        let obtain_of = |tid: u32| eps.iter().find(|e| e.tid.0 == tid).unwrap().obtain;
+        assert_eq!(obtain_of(1), 10);
+        assert_eq!(obtain_of(2), 20);
+    }
+
+    #[test]
+    fn lifo_handoff_reverses_order() {
+        let mut sim = Simulator::new(
+            "lifo",
+            MachineConfig::default().with_policy(LockPolicy::LifoHandoff),
+        );
+        let l = sim.add_lock("L");
+        sim.spawn("T0", script(vec![Op::Critical(l, 10)]));
+        sim.spawn("T1", script(vec![Op::Compute(1), Op::Critical(l, 10)]));
+        sim.spawn("T2", script(vec![Op::Compute(2), Op::Critical(l, 10)]));
+        let trace = sim.run().unwrap();
+        let eps = critlock_trace::lock_episodes(&trace);
+        let obtain_of = |tid: u32| eps.iter().find(|e| e.tid.0 == tid).unwrap().obtain;
+        // LIFO: the latest waiter (T2) wins the first hand-off.
+        assert_eq!(obtain_of(2), 10);
+        assert_eq!(obtain_of(1), 20);
+    }
+
+    #[test]
+    fn handoff_latency_extends_makespan() {
+        let mut cfg = MachineConfig::ideal();
+        cfg.handoff_ns = 5;
+        let mut sim = Simulator::new("handoff", cfg);
+        let l = sim.add_lock("L");
+        sim.spawn("T0", script(vec![Op::Critical(l, 10)]));
+        sim.spawn("T1", script(vec![Op::Critical(l, 10)]));
+        let trace = sim.run().unwrap();
+        // Second CS starts at 15 instead of 10.
+        assert_eq!(trace.makespan(), 25);
+    }
+
+    #[test]
+    fn single_context_serializes_compute() {
+        let mut sim = Simulator::new("rr", MachineConfig::default().with_contexts(1));
+        sim.spawn("T0", script(vec![Op::Compute(100)]));
+        sim.spawn("T1", script(vec![Op::Compute(100)]));
+        let trace = sim.run().unwrap();
+        // One context: total work 200 regardless of interleaving.
+        assert_eq!(trace.makespan(), 200);
+    }
+
+    #[test]
+    fn oversubscription_round_robins() {
+        let mut cfg = MachineConfig::default().with_contexts(1);
+        cfg.quantum = 10;
+        let mut sim = Simulator::new("rr2", cfg);
+        sim.spawn("T0", script(vec![Op::Compute(50)]));
+        sim.spawn("T1", script(vec![Op::Compute(50)]));
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 100);
+        // Both threads exit near the end (interleaved), not one at 50.
+        let exit0 = trace.threads[0].end_ts().unwrap();
+        let exit1 = trace.threads[1].end_ts().unwrap();
+        assert!(exit0 > 80, "T0 exits at {exit0}, expected interleaving");
+        assert!(exit1 > 80, "T1 exits at {exit1}");
+    }
+
+    #[test]
+    fn plenty_contexts_run_parallel() {
+        let mut sim = Simulator::new("par", MachineConfig::default().with_contexts(4));
+        for i in 0..4 {
+            sim.spawn(format!("T{i}"), script(vec![Op::Compute(100)]));
+        }
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 100);
+    }
+
+    #[test]
+    fn script_repeat_expands() {
+        let mut sim = Simulator::new("repeat", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        sim.spawn(
+            "T0",
+            script(vec![Op::Repeat { times: 3, count: 2 }, Op::Critical(l, 5), Op::Compute(5)]),
+        );
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 30);
+        assert_eq!(critlock_trace::lock_episodes(&trace).len(), 3);
+    }
+
+    #[test]
+    fn zero_repeat_skips_body() {
+        let mut sim = Simulator::new("zrepeat", MachineConfig::ideal());
+        let l = sim.add_lock("L");
+        sim.spawn(
+            "T0",
+            script(vec![
+                Op::Repeat { times: 0, count: 2 },
+                Op::Critical(l, 5),
+                Op::Compute(5),
+                Op::Compute(3),
+            ]),
+        );
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 3);
+        assert!(critlock_trace::lock_episodes(&trace).is_empty());
+    }
+
+    #[test]
+    fn closure_programs_work() {
+        let mut stage = 0;
+        let prog = move |_ctx: &mut StepCtx<'_>| {
+            stage += 1;
+            match stage {
+                1 => Action::Compute(10),
+                _ => Action::Exit,
+            }
+        };
+        let mut sim = Simulator::new("closure", MachineConfig::ideal());
+        sim.spawn("T0", prog);
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 10);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let mut sim = Simulator::new("rw", MachineConfig::ideal());
+        let l = sim.add_rwlock("R");
+        // Two readers overlap fully; a writer arriving later waits for both.
+        sim.spawn("r0", script(vec![Op::CriticalRead(l, 10)]));
+        sim.spawn("r1", script(vec![Op::CriticalRead(l, 10)]));
+        sim.spawn("w", script(vec![Op::Compute(1), Op::CriticalWrite(l, 5)]));
+        let trace = sim.run().unwrap();
+        // Readers done at 10 (parallel), writer [10,15].
+        assert_eq!(trace.makespan(), 15);
+        let eps = critlock_trace::rw_episodes(&trace);
+        assert_eq!(eps.len(), 3);
+        let w = eps.iter().find(|e| e.write).unwrap();
+        assert!(w.contended);
+        assert_eq!(w.obtain, 10);
+    }
+
+    #[test]
+    fn rwlock_writer_blocks_readers() {
+        let mut sim = Simulator::new("rw2", MachineConfig::ideal());
+        let l = sim.add_rwlock("R");
+        sim.spawn("w", script(vec![Op::CriticalWrite(l, 20)]));
+        sim.spawn("r0", script(vec![Op::Compute(1), Op::CriticalRead(l, 5)]));
+        sim.spawn("r1", script(vec![Op::Compute(2), Op::CriticalRead(l, 5)]));
+        let trace = sim.run().unwrap();
+        // Writer [0,20]; both readers granted together at 20, done at 25.
+        assert_eq!(trace.makespan(), 25);
+        let eps = critlock_trace::rw_episodes(&trace);
+        let readers: Vec<_> = eps.iter().filter(|e| !e.write).collect();
+        assert_eq!(readers.len(), 2);
+        assert!(readers.iter().all(|e| e.obtain == 20 && e.contended));
+    }
+
+    #[test]
+    fn rwlock_fifo_prevents_reader_barging() {
+        let mut sim = Simulator::new("rw3", MachineConfig::ideal());
+        let l = sim.add_rwlock("R");
+        // r0 holds [0,10]; writer queues at 1; r1 arrives at 2 and must NOT
+        // jump the queued writer: w runs [10,15], r1 [15,20].
+        sim.spawn("r0", script(vec![Op::CriticalRead(l, 10)]));
+        sim.spawn("w", script(vec![Op::Compute(1), Op::CriticalWrite(l, 5)]));
+        sim.spawn("r1", script(vec![Op::Compute(2), Op::CriticalRead(l, 5)]));
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.makespan(), 20);
+        let eps = critlock_trace::rw_episodes(&trace);
+        let w = eps.iter().find(|e| e.write).unwrap();
+        assert_eq!((w.obtain, w.release), (10, 15));
+        let r1 = eps.iter().find(|e| !e.write && e.acquire == 2).unwrap();
+        assert_eq!(r1.obtain, 15);
+    }
+
+    #[test]
+    fn rwlock_reentrant_rejected() {
+        let mut sim = Simulator::new("rw4", MachineConfig::ideal());
+        let l = sim.add_rwlock("R");
+        struct P(u8, ObjId);
+        impl Program for P {
+            fn step(&mut self, _: &mut StepCtx<'_>) -> Action {
+                self.0 += 1;
+                match self.0 {
+                    1 => Action::RwRead(self.1),
+                    2 => Action::RwRead(self.1),
+                    _ => Action::Exit,
+                }
+            }
+        }
+        sim.spawn("T0", P(0, l));
+        assert!(matches!(sim.run(), Err(SimError::Reentrant { .. })));
+    }
+
+    #[test]
+    fn rw_unlock_not_held_rejected() {
+        let mut sim = Simulator::new("rw5", MachineConfig::ideal());
+        let l = sim.add_rwlock("R");
+        struct P(u8, ObjId);
+        impl Program for P {
+            fn step(&mut self, _: &mut StepCtx<'_>) -> Action {
+                self.0 += 1;
+                match self.0 {
+                    1 => Action::RwUnlock(self.1),
+                    _ => Action::Exit,
+                }
+            }
+        }
+        sim.spawn("T0", P(0, l));
+        assert!(matches!(sim.run(), Err(SimError::UnlockNotHeld { .. })));
+    }
+
+    #[test]
+    fn rw_identity_replay_preserves_makespan() {
+        let mut sim = Simulator::new("rw6", MachineConfig::ideal());
+        let l = sim.add_rwlock("R");
+        sim.spawn("w", script(vec![Op::CriticalWrite(l, 20), Op::Compute(3)]));
+        sim.spawn("r0", script(vec![Op::Compute(1), Op::CriticalRead(l, 5)]));
+        sim.spawn("r1", script(vec![Op::Compute(2), Op::CriticalRead(l, 9)]));
+        let trace = sim.run().unwrap();
+        let replayed = crate::replay::replay(
+            &trace,
+            MachineConfig::ideal(),
+            &crate::replay::ReplayConfig::identity(),
+        )
+        .unwrap();
+        assert_eq!(replayed.makespan(), trace.makespan());
+        assert_eq!(
+            critlock_trace::rw_episodes(&replayed).len(),
+            critlock_trace::rw_episodes(&trace).len()
+        );
+    }
+
+    #[test]
+    fn trace_metadata_includes_machine_params() {
+        let mut sim = Simulator::new("meta", MachineConfig::power7_like());
+        sim.spawn("T0", script(vec![Op::Compute(1)]));
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.meta.params.get("contexts").unwrap(), "24");
+        assert_eq!(trace.meta.params.get("threads").unwrap(), "1");
+        assert_eq!(trace.meta.app, "meta");
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulator error types.
+
+use critlock_trace::{ObjId, ThreadId};
+use std::fmt;
+
+/// Errors detected while running a simulation. These indicate bugs in the
+/// simulated program (deadlock, protocol misuse), not in the engine.
+#[derive(Debug)]
+pub enum SimError {
+    /// No runnable thread and no pending event, but some threads have not
+    /// exited.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        time: u64,
+        /// The stuck threads and a description of what each waits for.
+        stuck: Vec<(ThreadId, String)>,
+    },
+    /// A thread exited while holding a lock.
+    ExitHoldingLock {
+        /// The exiting thread.
+        tid: ThreadId,
+        /// The still-held lock.
+        lock: ObjId,
+    },
+    /// A thread released a lock it does not hold.
+    UnlockNotHeld {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The lock.
+        lock: ObjId,
+    },
+    /// A thread re-acquired a lock it already holds (the simulated locks
+    /// are non-reentrant, like `pthread_mutex_t` default mutexes).
+    Reentrant {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The lock.
+        lock: ObjId,
+    },
+    /// `CondWait` issued without holding the named mutex.
+    CondWaitWithoutMutex {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The condition variable.
+        cv: ObjId,
+        /// The mutex that was supposed to be held.
+        mutex: ObjId,
+    },
+    /// An action referenced an object of the wrong kind or an unknown id.
+    BadObject {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The object id.
+        obj: ObjId,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// `Join` on a thread id that was never spawned.
+    JoinUnknownThread {
+        /// The joining thread.
+        tid: ThreadId,
+        /// The unknown target.
+        target: ThreadId,
+    },
+    /// The event-count safety valve tripped: the simulated program is
+    /// livelocked or far larger than intended.
+    EventLimit {
+        /// Virtual time when the limit was hit.
+        time: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The produced trace failed validation (engine bug guard).
+    InvalidTrace(critlock_trace::TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time, stuck } => {
+                write!(f, "deadlock at t={time}: ")?;
+                for (i, (tid, what)) in stuck.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{tid} waiting for {what}")?;
+                }
+                Ok(())
+            }
+            SimError::ExitHoldingLock { tid, lock } => {
+                write!(f, "{tid} exited while holding {lock}")
+            }
+            SimError::UnlockNotHeld { tid, lock } => {
+                write!(f, "{tid} released {lock} which it does not hold")
+            }
+            SimError::Reentrant { tid, lock } => {
+                write!(f, "{tid} re-acquired held lock {lock} (non-reentrant)")
+            }
+            SimError::CondWaitWithoutMutex { tid, cv, mutex } => {
+                write!(f, "{tid} waited on {cv} without holding {mutex}")
+            }
+            SimError::BadObject { tid, obj, expected } => {
+                write!(f, "{tid} used {obj} which is not a {expected}")
+            }
+            SimError::JoinUnknownThread { tid, target } => {
+                write!(f, "{tid} joined unknown thread {target}")
+            }
+            SimError::EventLimit { time, limit } => {
+                write!(f, "event limit {limit} exceeded at t={time} (livelocked program?)")
+            }
+            SimError::InvalidTrace(e) => write!(f, "engine produced invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidTrace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for simulator operations.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::Deadlock {
+            time: 42,
+            stuck: vec![(ThreadId(1), "lock obj0".into()), (ThreadId(2), "barrier obj1".into())],
+        };
+        let s = e.to_string();
+        assert!(s.contains("t=42"));
+        assert!(s.contains("T1 waiting for lock obj0"));
+        assert!(s.contains("T2"));
+
+        assert!(SimError::ExitHoldingLock { tid: ThreadId(0), lock: ObjId(3) }
+            .to_string()
+            .contains("obj3"));
+        assert!(SimError::UnlockNotHeld { tid: ThreadId(0), lock: ObjId(3) }
+            .to_string()
+            .contains("does not hold"));
+        assert!(SimError::Reentrant { tid: ThreadId(0), lock: ObjId(3) }
+            .to_string()
+            .contains("non-reentrant"));
+        assert!(SimError::CondWaitWithoutMutex {
+            tid: ThreadId(0),
+            cv: ObjId(1),
+            mutex: ObjId(2)
+        }
+        .to_string()
+        .contains("without holding"));
+        assert!(SimError::BadObject { tid: ThreadId(0), obj: ObjId(1), expected: "lock" }
+            .to_string()
+            .contains("not a lock"));
+        assert!(SimError::JoinUnknownThread { tid: ThreadId(0), target: ThreadId(9) }
+            .to_string()
+            .contains("T9"));
+    }
+}

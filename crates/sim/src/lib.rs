@@ -1,0 +1,34 @@
+//! # critlock-sim
+//!
+//! A deterministic discrete-event simulator of multithreaded executions.
+//!
+//! The paper evaluated on a 24-hardware-thread POWER7 machine that we do
+//! not have; this crate is the substitution (see `DESIGN.md` §2): workload
+//! *programs* run on a configurable number of virtual hardware contexts in
+//! virtual time, producing traces with exactly the event protocol of the
+//! real instrumentation runtime. Determinism makes the paper's experiments
+//! exactly reproducible at any thread count, and lets tests assert
+//! hand-computed timings.
+//!
+//! * [`Simulator`] — the engine: register locks/barriers/condvars, spawn
+//!   [`Program`]s, run to completion, get a `critlock_trace::Trace`.
+//! * [`Program`]/[`Action`] — cooperative thread bodies; closures work,
+//!   and [`ScriptProgram`] covers fixed action sequences.
+//! * [`MachineConfig`] — contexts, preemption quantum, lock hand-off
+//!   policy, hand-off latency, seeded jitter.
+//! * [`replay`] — re-execute a recorded trace with modified critical
+//!   section durations (ground-truth validation of what-if projections).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod machine;
+pub mod program;
+pub mod replay;
+
+pub use engine::Simulator;
+pub use error::{Result, SimError};
+pub use machine::{LockPolicy, MachineConfig};
+pub use program::{Action, Op, Program, ScriptProgram, StepCtx};

@@ -1,0 +1,163 @@
+//! Simulated machine configuration.
+
+use serde_like::ParamMap;
+
+/// How a released, contended lock picks its next owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockPolicy {
+    /// FIFO hand-off: the longest-waiting thread gets the lock (fair,
+    /// queue-lock-like). The default; makes executions easy to reason
+    /// about and matches the hand-off behaviour the paper's FIFO examples
+    /// assume.
+    #[default]
+    FifoHandoff,
+    /// LIFO hand-off: the most recent waiter wins (barging-like, unfair).
+    /// Used by the hand-off ablation study.
+    LifoHandoff,
+    /// Uniformly random waiter wins (seeded; still deterministic).
+    RandomHandoff,
+}
+
+/// Configuration of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of hardware contexts (cores × SMT). `0` means unlimited —
+    /// every runnable thread runs immediately.
+    pub contexts: usize,
+    /// Preemption quantum in virtual ns, used only when more threads are
+    /// runnable than contexts exist.
+    pub quantum: u64,
+    /// Lock hand-off policy.
+    pub lock_policy: LockPolicy,
+    /// Delay between a lock release and the waiter's obtain (hand-off
+    /// latency, cache-line transfer etc.).
+    pub handoff_ns: u64,
+    /// Delay between `Spawn` and the child's first instruction.
+    pub spawn_delay_ns: u64,
+    /// Seed for the engine's deterministic RNG (jitter, random hand-off,
+    /// and whatever programs draw from [`crate::StepCtx::rng`]).
+    pub seed: u64,
+    /// Multiplicative jitter applied to every `Compute` duration, as a
+    /// fraction (0.05 = ±5%). Zero keeps durations exact, which the unit
+    /// tests rely on.
+    pub jitter: f64,
+    /// Safety valve: abort the simulation with an error once this many
+    /// trace events have been emitted (guards against livelocked
+    /// programs, e.g. starvation under unfair hand-off policies).
+    /// `0` disables the check.
+    pub max_events: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            contexts: 0,
+            quantum: 100_000,
+            lock_policy: LockPolicy::FifoHandoff,
+            handoff_ns: 0,
+            spawn_delay_ns: 0,
+            seed: 0x5EED,
+            jitter: 0.0,
+            max_events: 20_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A machine shaped like the paper's test system (Table 1): 2 sockets
+    /// × 6 cores × SMT2 = 24 hardware contexts.
+    pub fn power7_like() -> Self {
+        MachineConfig { contexts: 24, ..Default::default() }
+    }
+
+    /// Unlimited contexts, no overheads: the idealized machine used by
+    /// tests with hand-computed expectations.
+    pub fn ideal() -> Self {
+        MachineConfig::default()
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style context-count override.
+    pub fn with_contexts(mut self, contexts: usize) -> Self {
+        self.contexts = contexts;
+        self
+    }
+
+    /// Builder-style lock-policy override.
+    pub fn with_policy(mut self, policy: LockPolicy) -> Self {
+        self.lock_policy = policy;
+        self
+    }
+
+    /// Builder-style jitter override.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Render the configuration as trace metadata parameters.
+    pub fn params(&self) -> ParamMap {
+        let mut m = ParamMap::new();
+        m.insert("contexts".into(), self.contexts.to_string());
+        m.insert("quantum".into(), self.quantum.to_string());
+        m.insert("lock_policy".into(), format!("{:?}", self.lock_policy));
+        m.insert("handoff_ns".into(), self.handoff_ns.to_string());
+        m.insert("spawn_delay_ns".into(), self.spawn_delay_ns.to_string());
+        m.insert("seed".into(), self.seed.to_string());
+        m.insert("jitter".into(), self.jitter.to_string());
+        m.insert("max_events".into(), self.max_events.to_string());
+        m
+    }
+}
+
+/// Tiny local alias module so `MachineConfig::params` can return the same
+/// map type `TraceMeta` uses without pulling serde into the signature.
+mod serde_like {
+    /// Parameter map type shared with `critlock_trace::TraceMeta::params`.
+    pub type ParamMap = std::collections::BTreeMap<String, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ideal() {
+        let c = MachineConfig::default();
+        assert_eq!(c.contexts, 0);
+        assert_eq!(c.handoff_ns, 0);
+        assert_eq!(c.jitter, 0.0);
+        assert_eq!(c.lock_policy, LockPolicy::FifoHandoff);
+        assert_eq!(MachineConfig::ideal(), c);
+    }
+
+    #[test]
+    fn power7_has_24_contexts() {
+        assert_eq!(MachineConfig::power7_like().contexts, 24);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MachineConfig::default()
+            .with_seed(7)
+            .with_contexts(4)
+            .with_policy(LockPolicy::LifoHandoff)
+            .with_jitter(0.1);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.contexts, 4);
+        assert_eq!(c.lock_policy, LockPolicy::LifoHandoff);
+        assert_eq!(c.jitter, 0.1);
+    }
+
+    #[test]
+    fn params_rendered() {
+        let p = MachineConfig::power7_like().params();
+        assert_eq!(p.get("contexts").unwrap(), "24");
+        assert!(p.contains_key("seed"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Programs: the code simulated threads execute.
+//!
+//! A [`Program`] is a state machine the engine drives one [`Action`] at a
+//! time. Because the simulator is single-threaded, programs may freely
+//! share state through `Rc<RefCell<...>>` — that is how the workload
+//! models implement task queues, work stealing and shared counters without
+//! any real synchronization.
+
+use critlock_trace::{ObjId, ThreadId};
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// What a simulated thread does next.
+pub enum Action {
+    /// Execute for the given number of virtual nanoseconds.
+    Compute(u64),
+    /// Acquire a lock (blocking).
+    Lock(ObjId),
+    /// Release a held lock.
+    Unlock(ObjId),
+    /// Acquire a reader-writer lock in shared (read) mode.
+    RwRead(ObjId),
+    /// Acquire a reader-writer lock in exclusive (write) mode.
+    RwWrite(ObjId),
+    /// Release a held reader-writer lock (either mode).
+    RwUnlock(ObjId),
+    /// Wait at a barrier until all its parties arrive.
+    Barrier(ObjId),
+    /// Atomically release `mutex` and wait on `cv`; on wakeup the engine
+    /// re-acquires `mutex` before the next step (Pthreads semantics).
+    CondWait {
+        /// The condition variable to wait on.
+        cv: ObjId,
+        /// The mutex that must be held when this action is issued.
+        mutex: ObjId,
+    },
+    /// Wake one waiter of a condition variable (no-op if none).
+    CondSignal(ObjId),
+    /// Wake all waiters of a condition variable.
+    CondBroadcast(ObjId),
+    /// Create a new simulated thread running `program`. The child's id is
+    /// available as [`StepCtx::last_spawned`] on the next step.
+    Spawn {
+        /// Thread name for the trace.
+        name: String,
+        /// The program the child runs.
+        program: Box<dyn Program>,
+    },
+    /// Block until the given thread exits.
+    Join(ThreadId),
+    /// Drop a phase marker into the trace (no simulation semantics).
+    Mark(ObjId),
+    /// Terminate this thread. Must not hold any lock.
+    Exit,
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Compute(d) => write!(f, "Compute({d})"),
+            Action::Lock(l) => write!(f, "Lock({l})"),
+            Action::Unlock(l) => write!(f, "Unlock({l})"),
+            Action::RwRead(l) => write!(f, "RwRead({l})"),
+            Action::RwWrite(l) => write!(f, "RwWrite({l})"),
+            Action::RwUnlock(l) => write!(f, "RwUnlock({l})"),
+            Action::Barrier(b) => write!(f, "Barrier({b})"),
+            Action::CondWait { cv, mutex } => write!(f, "CondWait({cv}, {mutex})"),
+            Action::CondSignal(cv) => write!(f, "CondSignal({cv})"),
+            Action::CondBroadcast(cv) => write!(f, "CondBroadcast({cv})"),
+            Action::Spawn { name, .. } => write!(f, "Spawn({name})"),
+            Action::Join(t) => write!(f, "Join({t})"),
+            Action::Mark(m) => write!(f, "Mark({m})"),
+            Action::Exit => write!(f, "Exit"),
+        }
+    }
+}
+
+/// Per-step context handed to programs.
+pub struct StepCtx<'a> {
+    /// Current virtual time in nanoseconds.
+    pub now: u64,
+    /// The stepping thread's id.
+    pub tid: ThreadId,
+    /// The id of the thread created by this thread's most recent
+    /// [`Action::Spawn`], if any.
+    pub last_spawned: Option<ThreadId>,
+    /// Deterministic per-engine random source (seeded from the machine
+    /// configuration).
+    pub rng: &'a mut SmallRng,
+}
+
+/// A simulated thread body. The engine calls [`Program::step`] whenever
+/// the previous action has completed; returning [`Action::Exit`] ends the
+/// thread.
+pub trait Program {
+    /// Produce the next action.
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action;
+}
+
+impl<F> Program for F
+where
+    F: FnMut(&mut StepCtx<'_>) -> Action,
+{
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        self(ctx)
+    }
+}
+
+/// A scripted operation for [`ScriptProgram`]: a fixed action sequence
+/// without dynamic control flow. Enough for micro-benchmarks and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Compute for a duration.
+    Compute(u64),
+    /// Acquire a lock.
+    Lock(ObjId),
+    /// Release a lock.
+    Unlock(ObjId),
+    /// Convenience: lock, compute `hold`, unlock.
+    Critical(ObjId, u64),
+    /// Convenience: rwlock in read mode, compute `hold`, unlock.
+    CriticalRead(ObjId, u64),
+    /// Convenience: rwlock in write mode, compute `hold`, unlock.
+    CriticalWrite(ObjId, u64),
+    /// Wait at a barrier.
+    Barrier(ObjId),
+    /// Wait on a condvar (mutex must be held).
+    CondWait(ObjId, ObjId),
+    /// Signal a condvar.
+    CondSignal(ObjId),
+    /// Broadcast a condvar.
+    CondBroadcast(ObjId),
+    /// Join a thread (by the id assigned at spawn time).
+    Join(ThreadId),
+    /// Drop a phase marker.
+    Mark(ObjId),
+    /// Repeat the following `count` ops `times` times. Nested repeats are
+    /// not supported.
+    Repeat {
+        /// Number of iterations.
+        times: u64,
+        /// How many following ops form the repeated body.
+        count: usize,
+    },
+}
+
+/// A program that executes a fixed script of [`Op`]s and exits.
+#[derive(Debug, Clone)]
+pub struct ScriptProgram {
+    ops: Vec<Op>,
+    /// Index of the next op.
+    pc: usize,
+    /// Sub-state for a `Critical` op in flight.
+    phase: Phase,
+    /// Active repeat: (body_start, body_len, remaining_iterations).
+    repeat: Option<(usize, usize, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Lock granted; compute for the hold duration next.
+    CriticalHold(ObjId, u64),
+    /// Hold computed; unlock next.
+    CriticalUnlock(ObjId),
+    /// RwLock granted; compute for the hold duration next.
+    RwHold(ObjId, u64),
+    /// Rw hold computed; unlock next.
+    RwUnlockNext(ObjId),
+}
+
+impl ScriptProgram {
+    /// Create a program from a script.
+    pub fn new(ops: Vec<Op>) -> Self {
+        ScriptProgram { ops, pc: 0, phase: Phase::Idle, repeat: None }
+    }
+}
+
+impl Program for ScriptProgram {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        match self.phase {
+            Phase::CriticalHold(l, hold) => {
+                self.phase = Phase::CriticalUnlock(l);
+                return Action::Compute(hold);
+            }
+            Phase::CriticalUnlock(l) => {
+                self.phase = Phase::Idle;
+                return Action::Unlock(l);
+            }
+            Phase::RwHold(l, hold) => {
+                self.phase = Phase::RwUnlockNext(l);
+                return Action::Compute(hold);
+            }
+            Phase::RwUnlockNext(l) => {
+                self.phase = Phase::Idle;
+                return Action::RwUnlock(l);
+            }
+            Phase::Idle => {}
+        }
+        loop {
+            // Handle repeat wrap-around.
+            if let Some((start, len, remaining)) = self.repeat {
+                if self.pc >= start + len {
+                    if remaining > 1 {
+                        self.repeat = Some((start, len, remaining - 1));
+                        self.pc = start;
+                    } else {
+                        self.repeat = None;
+                    }
+                }
+            }
+            let Some(op) = self.ops.get(self.pc) else {
+                return Action::Exit;
+            };
+            self.pc += 1;
+            match *op {
+                Op::Compute(d) => return Action::Compute(d),
+                Op::Lock(l) => return Action::Lock(l),
+                Op::Unlock(l) => return Action::Unlock(l),
+                Op::Critical(l, hold) => {
+                    self.phase = Phase::CriticalHold(l, hold);
+                    return Action::Lock(l);
+                }
+                Op::CriticalRead(l, hold) => {
+                    self.phase = Phase::RwHold(l, hold);
+                    return Action::RwRead(l);
+                }
+                Op::CriticalWrite(l, hold) => {
+                    self.phase = Phase::RwHold(l, hold);
+                    return Action::RwWrite(l);
+                }
+                Op::Barrier(b) => return Action::Barrier(b),
+                Op::CondWait(cv, m) => return Action::CondWait { cv, mutex: m },
+                Op::CondSignal(cv) => return Action::CondSignal(cv),
+                Op::CondBroadcast(cv) => return Action::CondBroadcast(cv),
+                Op::Join(t) => return Action::Join(t),
+                Op::Mark(m) => return Action::Mark(m),
+                Op::Repeat { times, count } => {
+                    if times == 0 {
+                        self.pc += count; // skip the body entirely
+                        continue;
+                    }
+                    self.repeat = Some((self.pc, count, times));
+                    continue;
+                }
+            }
+        }
+    }
+}

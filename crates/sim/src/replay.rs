@@ -1,0 +1,572 @@
+//! Trace replay with critical-section rescaling.
+//!
+//! The what-if projection in `critlock-analysis` is a first-order upper
+//! bound: it subtracts saved time from the critical path assuming the
+//! execution's structure does not change. The paper's own validation shows
+//! the real gain is smaller because other segments move onto the critical
+//! path. This module provides the ground truth: it reconstructs each
+//! thread's *program* from a recorded trace (compute intervals and the
+//! sequence of synchronization operations) and re-executes it through the
+//! engine with selected critical sections shrunk. Blocking is re-resolved
+//! from scratch, so path migration effects are captured.
+//!
+//! Limitations (documented, inherent to trace replay): dynamic decisions
+//! the original program made (which queue to steal from, how many loop
+//! iterations to run) are frozen as recorded; only timing is re-derived.
+
+use crate::engine::Simulator;
+use crate::error::Result;
+use crate::machine::MachineConfig;
+use crate::program::{Action, Program, StepCtx};
+use critlock_trace::{EventKind, ObjId, ObjKind, ThreadId, Trace};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How to transform critical-section compute durations during replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayConfig {
+    /// Multiply compute time spent while holding the given lock by the
+    /// factor. Several entries compose (applied independently per lock).
+    pub shrink: Vec<(ObjId, f64)>,
+}
+
+impl ReplayConfig {
+    /// Replay without modifications (identity replay).
+    pub fn identity() -> Self {
+        ReplayConfig::default()
+    }
+
+    /// Shrink one lock's critical sections to `factor` of their recorded
+    /// duration.
+    pub fn shrink_lock(lock: ObjId, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&factor), "factor must be in [0,1]");
+        ReplayConfig { shrink: vec![(lock, factor)] }
+    }
+}
+
+/// Replay operation (a resolved [`Action`] without the dynamic parts).
+#[derive(Debug, Clone, PartialEq)]
+enum ROp {
+    Compute(u64),
+    Mark(ObjId),
+    Lock(ObjId),
+    Unlock(ObjId),
+    Barrier(ObjId),
+    RwRead(ObjId),
+    RwWrite(ObjId),
+    RwUnlock(ObjId),
+    CondWait { cv: ObjId, mutex: ObjId },
+    CondSignal(ObjId),
+    CondBroadcast(ObjId),
+    SpawnChild(ThreadId),
+    Join(ThreadId),
+}
+
+/// Shared pool of per-thread op lists, consumed as children are spawned.
+type OpsPool = Rc<RefCell<Vec<Option<Vec<ROp>>>>>;
+
+struct ReplayProgram {
+    ops: Vec<ROp>,
+    pc: usize,
+    pool: OpsPool,
+    names: Rc<Vec<String>>,
+    /// Original child tid -> new engine tid, for Join translation.
+    tid_map: Rc<RefCell<HashMap<ThreadId, ThreadId>>>,
+    /// Child whose spawn we just issued (original id), to record mapping.
+    pending_child: Option<ThreadId>,
+}
+
+impl Program for ReplayProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        if let Some(orig) = self.pending_child.take() {
+            let new_tid = ctx.last_spawned.expect("spawn must have completed");
+            self.tid_map.borrow_mut().insert(orig, new_tid);
+        }
+        let Some(op) = self.ops.get(self.pc).cloned() else {
+            return Action::Exit;
+        };
+        self.pc += 1;
+        match op {
+            ROp::Compute(d) => Action::Compute(d),
+            ROp::Mark(m) => Action::Mark(m),
+            ROp::Lock(l) => Action::Lock(l),
+            ROp::Unlock(l) => Action::Unlock(l),
+            ROp::Barrier(b) => Action::Barrier(b),
+            ROp::RwRead(l) => Action::RwRead(l),
+            ROp::RwWrite(l) => Action::RwWrite(l),
+            ROp::RwUnlock(l) => Action::RwUnlock(l),
+            ROp::CondWait { cv, mutex } => Action::CondWait { cv, mutex },
+            ROp::CondSignal(cv) => Action::CondSignal(cv),
+            ROp::CondBroadcast(cv) => Action::CondBroadcast(cv),
+            ROp::SpawnChild(orig) => {
+                let ops = self.pool.borrow_mut()[orig.index()]
+                    .take()
+                    .expect("child ops consumed twice");
+                self.pending_child = Some(orig);
+                Action::Spawn {
+                    name: self.names[orig.index()].clone(),
+                    program: Box::new(ReplayProgram {
+                        ops,
+                        pc: 0,
+                        pool: Rc::clone(&self.pool),
+                        names: Rc::clone(&self.names),
+                        tid_map: Rc::clone(&self.tid_map),
+                        pending_child: None,
+                    }),
+                }
+            }
+            ROp::Join(orig) => {
+                let mapped = self
+                    .tid_map
+                    .borrow()
+                    .get(&orig)
+                    .copied()
+                    .unwrap_or(orig);
+                Action::Join(mapped)
+            }
+        }
+    }
+}
+
+/// Extract the replay ops of one thread stream.
+fn ops_of_stream(
+    stream: &critlock_trace::ThreadStream,
+    trace_start: u64,
+    rcfg: &ReplayConfig,
+) -> Vec<ROp> {
+    let mut ops = Vec::new();
+    let mut prev_ts = trace_start;
+    let mut waiting = false;
+    let mut held: Vec<ObjId> = Vec::new();
+    // Mutex whose post-condvar re-acquisition events must be swallowed.
+    let mut skip_reacquire: Option<ObjId> = None;
+
+    let scale = |held: &[ObjId], dt: u64| -> u64 {
+        let mut v = dt as f64;
+        for (lock, factor) in &rcfg.shrink {
+            if held.contains(lock) {
+                v *= factor;
+            }
+        }
+        v.round() as u64
+    };
+
+    let gap = |ops: &mut Vec<ROp>, held: &[ObjId], prev_ts: &mut u64, ts: u64, waiting: bool| {
+        if !waiting && ts > *prev_ts {
+            let dt = scale(held, ts - *prev_ts);
+            if dt > 0 {
+                ops.push(ROp::Compute(dt));
+            }
+        }
+        *prev_ts = ts;
+    };
+
+    for ev in &stream.events {
+        match ev.kind {
+            EventKind::ThreadStart => {
+                // A delayed root start becomes initial compute only for
+                // hand-built traces; engine children get start edges from
+                // their spawner instead, so reset the clock here.
+                prev_ts = ev.ts;
+            }
+            EventKind::LockAcquire { lock } => {
+                if skip_reacquire == Some(lock) {
+                    continue;
+                }
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::Lock(lock));
+                waiting = true;
+            }
+            EventKind::LockContended { .. } => {}
+            EventKind::LockObtain { lock } => {
+                prev_ts = ev.ts;
+                waiting = false;
+                held.push(lock);
+                if skip_reacquire == Some(lock) {
+                    skip_reacquire = None;
+                }
+            }
+            EventKind::LockRelease { lock } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                if let Some(pos) = held.iter().rposition(|&l| l == lock) {
+                    held.remove(pos);
+                }
+                ops.push(ROp::Unlock(lock));
+            }
+            EventKind::RwAcquire { lock, write } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(if write { ROp::RwWrite(lock) } else { ROp::RwRead(lock) });
+                waiting = true;
+            }
+            EventKind::RwContended { .. } => {}
+            EventKind::RwObtain { lock, .. } => {
+                prev_ts = ev.ts;
+                waiting = false;
+                held.push(lock);
+            }
+            EventKind::RwRelease { lock, .. } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                if let Some(pos) = held.iter().rposition(|&l| l == lock) {
+                    held.remove(pos);
+                }
+                ops.push(ROp::RwUnlock(lock));
+            }
+            EventKind::BarrierArrive { barrier, .. } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::Barrier(barrier));
+                waiting = true;
+            }
+            EventKind::BarrierDepart { .. } => {
+                prev_ts = ev.ts;
+                waiting = false;
+            }
+            EventKind::CondWaitBegin { cv } => {
+                // The instrumentation emits Release(mutex) immediately
+                // before the wait; convert that Unlock into a CondWait.
+                match ops.pop() {
+                    Some(ROp::Unlock(mutex)) => {
+                        ops.push(ROp::CondWait { cv, mutex });
+                        skip_reacquire = Some(mutex);
+                    }
+                    other => {
+                        // Wait without a traced mutex release: degrade to a
+                        // plain wait on a synthetic never-contended pattern
+                        // is impossible here, so keep whatever we had and
+                        // wait on the cv with no mutex conversion.
+                        if let Some(op) = other {
+                            ops.push(op);
+                        }
+                        // Cannot express a bare wait; treat it as blocked
+                        // time that the wakeup edge will re-create.
+                    }
+                }
+                waiting = true;
+            }
+            EventKind::CondWakeup { .. } => {
+                prev_ts = ev.ts;
+                waiting = false;
+            }
+            EventKind::CondSignal { cv, .. } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::CondSignal(cv));
+            }
+            EventKind::CondBroadcast { cv, .. } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::CondBroadcast(cv));
+            }
+            EventKind::ThreadCreate { child } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::SpawnChild(child));
+            }
+            EventKind::JoinBegin { child } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::Join(child));
+                waiting = true;
+            }
+            EventKind::JoinEnd { .. } => {
+                prev_ts = ev.ts;
+                waiting = false;
+            }
+            EventKind::ThreadExit => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+            }
+            EventKind::Marker { id } => {
+                gap(&mut ops, &held, &mut prev_ts, ev.ts, waiting);
+                ops.push(ROp::Mark(id));
+            }
+        }
+    }
+    ops
+}
+
+/// Barrier party counts inferred from the trace (max arrivals per epoch).
+fn barrier_parties(trace: &Trace) -> HashMap<ObjId, usize> {
+    let mut counts: HashMap<(ObjId, u32), usize> = HashMap::new();
+    for ep in critlock_trace::barrier_episodes(trace) {
+        *counts.entry((ep.barrier, ep.epoch)).or_insert(0) += 1;
+    }
+    let mut parties: HashMap<ObjId, usize> = HashMap::new();
+    for ((b, _), n) in counts {
+        let e = parties.entry(b).or_insert(0);
+        *e = (*e).max(n);
+    }
+    parties
+}
+
+/// Re-execute a recorded trace on a (possibly different) machine with
+/// optional critical-section rescaling, returning the new trace.
+pub fn replay(trace: &Trace, machine: MachineConfig, rcfg: &ReplayConfig) -> Result<Trace> {
+    let mut sim = Simulator::new(format!("{}-replay", trace.meta.app), machine);
+
+    // Register objects preserving ObjId numbering.
+    let parties = barrier_parties(trace);
+    for (i, obj) in trace.objects.iter().enumerate() {
+        let id = ObjId(i as u32);
+        match obj.kind {
+            ObjKind::Lock => {
+                sim.add_lock(obj.name.clone());
+            }
+            ObjKind::Barrier => {
+                sim.add_barrier(obj.name.clone(), parties.get(&id).copied().unwrap_or(1));
+            }
+            ObjKind::Condvar => {
+                sim.add_condvar(obj.name.clone());
+            }
+            ObjKind::Marker => {
+                sim.add_marker(obj.name.clone());
+            }
+            ObjKind::RwLock => {
+                sim.add_rwlock(obj.name.clone());
+            }
+        }
+    }
+
+    // Build per-thread op lists.
+    let trace_start = trace.start_ts();
+    let mut all_ops: Vec<Option<Vec<ROp>>> = trace
+        .threads
+        .iter()
+        .map(|s| Some(ops_of_stream(s, trace_start, rcfg)))
+        .collect();
+
+    // Threads created by another thread are spawned dynamically; the rest
+    // are roots.
+    let mut created: Vec<bool> = vec![false; trace.threads.len()];
+    for stream in &trace.threads {
+        for ev in &stream.events {
+            if let EventKind::ThreadCreate { child } = ev.kind {
+                if child.index() < created.len() {
+                    created[child.index()] = true;
+                }
+            }
+        }
+    }
+
+    // Roots that started late (hand-built traces) get a leading delay.
+    for (i, stream) in trace.threads.iter().enumerate() {
+        if !created[i] {
+            if let Some(start) = stream.start_ts() {
+                let delay = start - trace_start;
+                if delay > 0 {
+                    if let Some(ops) = all_ops[i].as_mut() {
+                        ops.insert(0, ROp::Compute(delay));
+                    }
+                }
+            }
+        }
+    }
+
+    let names: Rc<Vec<String>> = Rc::new(
+        trace
+            .threads
+            .iter()
+            .map(|s| s.name.clone().unwrap_or_else(|| s.tid.to_string()))
+            .collect(),
+    );
+    let pool: OpsPool = Rc::new(RefCell::new(Vec::new()));
+    let tid_map: Rc<RefCell<HashMap<ThreadId, ThreadId>>> = Rc::new(RefCell::new(HashMap::new()));
+
+    // Move non-root ops into the pool; roots are spawned now.
+    let mut roots: Vec<(ThreadId, Vec<ROp>)> = Vec::new();
+    for (i, slot) in all_ops.iter_mut().enumerate() {
+        if !created[i] {
+            roots.push((ThreadId(i as u32), slot.take().expect("root ops present")));
+        }
+    }
+    *pool.borrow_mut() = all_ops;
+
+    for (orig, ops) in roots {
+        let new_tid = sim.spawn(
+            names[orig.index()].clone(),
+            ReplayProgram {
+                ops,
+                pc: 0,
+                pool: Rc::clone(&pool),
+                names: Rc::clone(&names),
+                tid_map: Rc::clone(&tid_map),
+                pending_child: None,
+            },
+        );
+        tid_map.borrow_mut().insert(orig, new_tid);
+    }
+
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Op, ScriptProgram};
+    use critlock_analysis::analyze;
+
+    fn micro_trace() -> Trace {
+        let (a, b) = (20u64, 25u64);
+        let mut sim = Simulator::new("micro", MachineConfig::ideal());
+        let l1 = sim.add_lock("L1");
+        let l2 = sim.add_lock("L2");
+        for i in 0..4 {
+            sim.spawn(
+                format!("T{i}"),
+                ScriptProgram::new(vec![Op::Critical(l1, a), Op::Critical(l2, b)]),
+            );
+        }
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn identity_replay_preserves_makespan() {
+        let t = micro_trace();
+        let r = replay(&t, MachineConfig::ideal(), &ReplayConfig::identity()).unwrap();
+        assert_eq!(r.makespan(), t.makespan());
+        let rep_a = analyze(&t);
+        let rep_b = analyze(&r);
+        assert_eq!(rep_a.cp_length, rep_b.cp_length);
+        assert_eq!(
+            rep_a.lock_by_name("L2").unwrap().cp_time,
+            rep_b.lock_by_name("L2").unwrap().cp_time
+        );
+    }
+
+    /// Shrinking L2 (the critical lock) helps more than shrinking L1 (the
+    /// wait-heavy lock): the paper's Fig. 6 validation, as ground truth.
+    #[test]
+    fn shrink_validates_cp_ranking() {
+        let t = micro_trace();
+        assert_eq!(t.makespan(), 120);
+        let l1 = t.object_by_name("L1").unwrap();
+        let l2 = t.object_by_name("L2").unwrap();
+
+        // Reduce each CS by 10 units (same optimization effort).
+        let r1 = replay(
+            &t,
+            MachineConfig::ideal(),
+            &ReplayConfig::shrink_lock(l1, 0.5), // 20 -> 10
+        )
+        .unwrap();
+        let r2 = replay(
+            &t,
+            MachineConfig::ideal(),
+            &ReplayConfig::shrink_lock(l2, 0.6), // 25 -> 15
+        )
+        .unwrap();
+        assert_eq!(r1.makespan(), 110); // hand-computed
+        assert_eq!(r2.makespan(), 95); // hand-computed
+        let s1 = 120.0 / r1.makespan() as f64;
+        let s2 = 120.0 / r2.makespan() as f64;
+        assert!(s2 > s1, "optimizing the critical lock must win: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn replay_resolves_new_contention_pattern() {
+        // Shrinking to zero removes the lock's serialization entirely.
+        let t = micro_trace();
+        let l2 = t.object_by_name("L2").unwrap();
+        let r = replay(&t, MachineConfig::ideal(), &ReplayConfig::shrink_lock(l2, 0.0)).unwrap();
+        // Only the L1 chain remains: 4 * 20.
+        assert_eq!(r.makespan(), 80);
+    }
+
+    #[test]
+    fn replay_with_barriers_and_condvars() {
+        let mut sim = Simulator::new("mix", MachineConfig::ideal());
+        let m = sim.add_lock("M");
+        let cv = sim.add_condvar("CV");
+        let bar = sim.add_barrier("B", 2);
+        sim.spawn(
+            "waiter",
+            ScriptProgram::new(vec![
+                Op::Lock(m),
+                Op::CondWait(cv, m),
+                Op::Compute(5),
+                Op::Unlock(m),
+                Op::Barrier(bar),
+                Op::Compute(3),
+            ]),
+        );
+        sim.spawn(
+            "signaler",
+            ScriptProgram::new(vec![
+                Op::Compute(10),
+                Op::Critical(m, 2),
+                Op::CondSignal(cv),
+                Op::Barrier(bar),
+            ]),
+        );
+        let t = sim.run().unwrap();
+        let r = replay(&t, MachineConfig::ideal(), &ReplayConfig::identity()).unwrap();
+        assert_eq!(r.makespan(), t.makespan());
+        assert_eq!(
+            critlock_trace::cond_wait_episodes(&r).len(),
+            critlock_trace::cond_wait_episodes(&t).len()
+        );
+        assert_eq!(
+            critlock_trace::barrier_episodes(&r).len(),
+            critlock_trace::barrier_episodes(&t).len()
+        );
+    }
+
+    #[test]
+    fn replay_with_dynamic_spawn() {
+        struct Parent {
+            stage: u32,
+        }
+        impl Program for Parent {
+            fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+                self.stage += 1;
+                match self.stage {
+                    1 => Action::Spawn {
+                        name: "child".into(),
+                        program: Box::new(ScriptProgram::new(vec![Op::Compute(30)])),
+                    },
+                    2 => Action::Compute(5),
+                    3 => Action::Join(ctx.last_spawned.unwrap()),
+                    _ => Action::Exit,
+                }
+            }
+        }
+        let mut sim = Simulator::new("forkjoin", MachineConfig::ideal());
+        sim.spawn("main", Parent { stage: 0 });
+        let t = sim.run().unwrap();
+        let r = replay(&t, MachineConfig::ideal(), &ReplayConfig::identity()).unwrap();
+        assert_eq!(r.makespan(), t.makespan());
+        assert_eq!(r.num_threads(), 2);
+    }
+
+    #[test]
+    fn replay_on_smaller_machine() {
+        // Two independent compute threads; replaying on one context
+        // doubles the makespan.
+        let mut sim = Simulator::new("par", MachineConfig::ideal());
+        sim.spawn("T0", ScriptProgram::new(vec![Op::Compute(100)]));
+        sim.spawn("T1", ScriptProgram::new(vec![Op::Compute(100)]));
+        let t = sim.run().unwrap();
+        assert_eq!(t.makespan(), 100);
+        let r = replay(
+            &t,
+            MachineConfig::default().with_contexts(1),
+            &ReplayConfig::identity(),
+        )
+        .unwrap();
+        assert_eq!(r.makespan(), 200);
+    }
+
+    #[test]
+    fn projection_is_upper_bound_of_replay() {
+        // The analysis' first-order projection must be >= the replayed
+        // ground truth speedup.
+        let t = micro_trace();
+        let rep = analyze(&t);
+        let l1_proj = critlock_analysis::project_shrink(&rep, "L1", 0.5).unwrap();
+        let l1 = t.object_by_name("L1").unwrap();
+        let ground =
+            replay(&t, MachineConfig::ideal(), &ReplayConfig::shrink_lock(l1, 0.5)).unwrap();
+        let real_speedup = t.makespan() as f64 / ground.makespan() as f64;
+        assert!(
+            l1_proj.projected_speedup >= real_speedup - 1e-9,
+            "projection {} must bound ground truth {}",
+            l1_proj.projected_speedup,
+            real_speedup
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! A small DSL for hand-constructing traces.
+//!
+//! Used throughout the test suites to encode executions like the paper's
+//! Fig. 1 exactly, timestamp by timestamp, and by the documentation
+//! examples. Each thread is driven through a cursor that tracks "now" for
+//! that thread; composite operations append the underlying event protocol.
+//!
+//! ```
+//! use critlock_trace::builder::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new("example");
+//! let l = b.lock("L");
+//! let t0 = b.thread("T0", 0);
+//! let t1 = b.thread("T1", 0);
+//! b.on(t0).cs(l, 4).work(1).exit();
+//! b.on(t1).work(1).cs_blocked(l, 4, 2).exit();
+//! let trace = b.build().unwrap();
+//! assert_eq!(trace.makespan(), 6);
+//! ```
+
+use crate::error::Result;
+use crate::event::{Event, EventKind, Ts, SEQ_UNKNOWN};
+use crate::ids::{ObjId, ObjKind, ThreadId};
+use crate::trace::{ClockDomain, ThreadStream, Trace, TraceMeta};
+
+/// Builder for hand-constructed traces. See the module docs for usage.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace: Trace,
+    cursors: Vec<Ts>,
+    exited: Vec<bool>,
+}
+
+impl TraceBuilder {
+    /// Start building a trace for an application called `app`.
+    pub fn new(app: impl Into<String>) -> Self {
+        let mut meta = TraceMeta::named(app);
+        meta.clock = ClockDomain::VirtualNs;
+        TraceBuilder { trace: Trace::new(meta), cursors: Vec::new(), exited: Vec::new() }
+    }
+
+    /// Attach a workload parameter to the trace metadata.
+    pub fn param(&mut self, key: impl Into<String>, value: impl ToString) -> &mut Self {
+        self.trace.meta.params.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Register a lock.
+    pub fn lock(&mut self, name: impl Into<String>) -> ObjId {
+        self.trace.register_object(ObjKind::Lock, name)
+    }
+
+    /// Register a reader-writer lock.
+    pub fn rwlock(&mut self, name: impl Into<String>) -> ObjId {
+        self.trace.register_object(ObjKind::RwLock, name)
+    }
+
+    /// Register a barrier.
+    pub fn barrier(&mut self, name: impl Into<String>) -> ObjId {
+        self.trace.register_object(ObjKind::Barrier, name)
+    }
+
+    /// Register a condition variable.
+    pub fn condvar(&mut self, name: impl Into<String>) -> ObjId {
+        self.trace.register_object(ObjKind::Condvar, name)
+    }
+
+    /// Register a marker.
+    pub fn marker(&mut self, name: impl Into<String>) -> ObjId {
+        self.trace.register_object(ObjKind::Marker, name)
+    }
+
+    /// Add a thread that starts running at `start_ts`. Returns its id.
+    pub fn thread(&mut self, name: impl Into<String>, start_ts: Ts) -> ThreadId {
+        let tid = ThreadId(self.trace.threads.len() as u32);
+        let mut stream = ThreadStream::new(tid);
+        stream.name = Some(name.into());
+        stream.events.push(Event::new(start_ts, EventKind::ThreadStart));
+        self.trace.push_thread(stream);
+        self.cursors.push(start_ts);
+        self.exited.push(false);
+        tid
+    }
+
+    /// Obtain a cursor for appending events to `tid`'s stream.
+    pub fn on(&mut self, tid: ThreadId) -> Cursor<'_> {
+        assert!(tid.index() < self.trace.threads.len(), "unknown thread {tid}");
+        assert!(!self.exited[tid.index()], "thread {tid} already exited");
+        Cursor { b: self, tid }
+    }
+
+    /// The current cursor time of a thread.
+    pub fn now(&self, tid: ThreadId) -> Ts {
+        self.cursors[tid.index()]
+    }
+
+    /// Finish: validate and return the trace.
+    pub fn build(mut self) -> Result<Trace> {
+        // Close any thread the test forgot to exit, at its cursor.
+        for i in 0..self.trace.threads.len() {
+            if !self.exited[i] {
+                let ts = self.cursors[i];
+                self.trace.threads[i].events.push(Event::new(ts, EventKind::ThreadExit));
+            }
+        }
+        self.trace.validate()?;
+        Ok(self.trace)
+    }
+}
+
+/// Per-thread cursor handed out by [`TraceBuilder::on`]. All operations
+/// append events at (or after) the thread's current time and advance it.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    b: &'a mut TraceBuilder,
+    tid: ThreadId,
+}
+
+impl Cursor<'_> {
+    fn push(&mut self, ts: Ts, kind: EventKind) -> &mut Self {
+        let cur = &mut self.b.cursors[self.tid.index()];
+        assert!(ts >= *cur, "{}: event at {ts} before cursor {cur}", self.tid);
+        *cur = ts;
+        self.b.trace.threads[self.tid.index()].events.push(Event::new(ts, kind));
+        self
+    }
+
+    fn now(&self) -> Ts {
+        self.b.cursors[self.tid.index()]
+    }
+
+    /// Advance the cursor by `d` time units of (non-critical) computation.
+    pub fn work(&mut self, d: Ts) -> &mut Self {
+        self.b.cursors[self.tid.index()] += d;
+        self
+    }
+
+    /// Move the cursor to an absolute time (must not go backwards).
+    pub fn at(&mut self, ts: Ts) -> &mut Self {
+        let cur = self.now();
+        assert!(ts >= cur, "{}: cannot move cursor back from {cur} to {ts}", self.tid);
+        self.b.cursors[self.tid.index()] = ts;
+        self
+    }
+
+    /// Uncontended critical section: acquire+obtain now, hold for `hold`,
+    /// release.
+    pub fn cs(&mut self, lock: ObjId, hold: Ts) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::LockAcquire { lock })
+            .push(t, EventKind::LockObtain { lock })
+            .push(t + hold, EventKind::LockRelease { lock })
+    }
+
+    /// Contended critical section: acquire now, block until `obtain_at`,
+    /// hold for `hold`, release.
+    pub fn cs_blocked(&mut self, lock: ObjId, obtain_at: Ts, hold: Ts) -> &mut Self {
+        let t = self.now();
+        assert!(obtain_at >= t, "{}: obtain at {obtain_at} before acquire {t}", self.tid);
+        self.push(t, EventKind::LockAcquire { lock })
+            .push(t, EventKind::LockContended { lock })
+            .push(obtain_at, EventKind::LockObtain { lock })
+            .push(obtain_at + hold, EventKind::LockRelease { lock })
+    }
+
+    /// Raw acquire+obtain now (for nested-lock scenarios); pair with
+    /// [`Cursor::release`].
+    pub fn acquire(&mut self, lock: ObjId) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::LockAcquire { lock })
+            .push(t, EventKind::LockObtain { lock })
+    }
+
+    /// Raw contended acquire: request now, obtain at `obtain_at`.
+    pub fn acquire_blocked(&mut self, lock: ObjId, obtain_at: Ts) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::LockAcquire { lock })
+            .push(t, EventKind::LockContended { lock })
+            .push(obtain_at, EventKind::LockObtain { lock })
+    }
+
+    /// Release a lock previously acquired with [`Cursor::acquire`].
+    pub fn release(&mut self, lock: ObjId) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::LockRelease { lock })
+    }
+
+    /// Uncontended reader-writer critical section.
+    pub fn rw(&mut self, lock: ObjId, write: bool, hold: Ts) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::RwAcquire { lock, write })
+            .push(t, EventKind::RwObtain { lock, write })
+            .push(t + hold, EventKind::RwRelease { lock, write })
+    }
+
+    /// Contended reader-writer critical section: request now, hold from
+    /// `obtain_at` for `hold`.
+    pub fn rw_blocked(&mut self, lock: ObjId, write: bool, obtain_at: Ts, hold: Ts) -> &mut Self {
+        let t = self.now();
+        assert!(obtain_at >= t);
+        self.push(t, EventKind::RwAcquire { lock, write })
+            .push(t, EventKind::RwContended { lock, write })
+            .push(obtain_at, EventKind::RwObtain { lock, write })
+            .push(obtain_at + hold, EventKind::RwRelease { lock, write })
+    }
+
+    /// Cross a barrier: arrive now, depart at `depart_at`.
+    pub fn barrier(&mut self, barrier: ObjId, epoch: u32, depart_at: Ts) -> &mut Self {
+        let t = self.now();
+        assert!(depart_at >= t);
+        self.push(t, EventKind::BarrierArrive { barrier, epoch })
+            .push(depart_at, EventKind::BarrierDepart { barrier, epoch })
+    }
+
+    /// Wait on a condition variable: begin now, wake at `wake_at` due to
+    /// signal `signal_seq`.
+    pub fn cond_wait(&mut self, cv: ObjId, wake_at: Ts, signal_seq: u64) -> &mut Self {
+        let t = self.now();
+        assert!(wake_at >= t);
+        self.push(t, EventKind::CondWaitBegin { cv })
+            .push(wake_at, EventKind::CondWakeup { cv, signal_seq })
+    }
+
+    /// Wait on a condition variable without a known signal sequence.
+    pub fn cond_wait_unmatched(&mut self, cv: ObjId, wake_at: Ts) -> &mut Self {
+        self.cond_wait(cv, wake_at, SEQ_UNKNOWN)
+    }
+
+    /// Signal a condition variable now.
+    pub fn cond_signal(&mut self, cv: ObjId, signal_seq: u64) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::CondSignal { cv, signal_seq })
+    }
+
+    /// Broadcast a condition variable now.
+    pub fn cond_broadcast(&mut self, cv: ObjId, signal_seq: u64) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::CondBroadcast { cv, signal_seq })
+    }
+
+    /// Record creation of a child thread now.
+    pub fn create(&mut self, child: ThreadId) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::ThreadCreate { child })
+    }
+
+    /// Join a child: begin now, return at `end_at`.
+    pub fn join(&mut self, child: ThreadId, end_at: Ts) -> &mut Self {
+        let t = self.now();
+        assert!(end_at >= t);
+        self.push(t, EventKind::JoinBegin { child })
+            .push(end_at, EventKind::JoinEnd { child })
+    }
+
+    /// Drop a marker now.
+    pub fn mark(&mut self, id: ObjId) -> &mut Self {
+        let t = self.now();
+        self.push(t, EventKind::Marker { id })
+    }
+
+    /// Record the thread's exit at the current cursor.
+    pub fn exit(&mut self) {
+        let t = self.now();
+        self.push(t, EventKind::ThreadExit);
+        self.b.exited[self.tid.index()] = true;
+    }
+
+    /// Record the thread's exit at an absolute time.
+    pub fn exit_at(&mut self, ts: Ts) {
+        self.at(ts).exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episodes::lock_episodes;
+
+    #[test]
+    fn doc_example_builds() {
+        let mut b = TraceBuilder::new("example");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).work(1).exit();
+        b.on(t1).work(1).cs_blocked(l, 4, 2).exit();
+        let trace = b.build().unwrap();
+        assert_eq!(trace.makespan(), 6);
+        let eps = lock_episodes(&trace);
+        assert_eq!(eps.len(), 2);
+        assert!(eps.iter().any(|e| e.contended && e.wait_time() == 3));
+    }
+
+    #[test]
+    fn auto_exit_on_build() {
+        let mut b = TraceBuilder::new("auto");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).work(5);
+        let trace = b.build().unwrap();
+        assert_eq!(trace.threads[0].events.last().unwrap().kind, EventKind::ThreadExit);
+        assert_eq!(trace.threads[0].end_ts(), Some(5));
+    }
+
+    #[test]
+    fn barriers_and_condvars() {
+        let mut b = TraceBuilder::new("sync");
+        let bar = b.barrier("B");
+        let cv = b.condvar("CV");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).work(3).barrier(bar, 0, 5).cond_signal(cv, 1).exit_at(9);
+        b.on(t1).work(5).barrier(bar, 0, 5).cond_wait(cv, 5, 1).exit_at(10);
+        let t = b.build().unwrap();
+        assert_eq!(t.makespan(), 10);
+    }
+
+    #[test]
+    fn spawn_join_edges() {
+        let mut b = TraceBuilder::new("forkjoin");
+        let main = b.thread("main", 0);
+        let w = b.thread("w", 1);
+        b.on(w).work(7).exit(); // exits at 8
+        b.on(main).work(1).create(w).join(w, 8).exit_at(9);
+        let t = b.build().unwrap();
+        assert_eq!(t.makespan(), 9);
+        assert_eq!(t.last_finisher(), Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn nested_locks() {
+        let mut b = TraceBuilder::new("nested");
+        let l1 = b.lock("L1");
+        let l2 = b.lock("L2");
+        let t0 = b.thread("T0", 0);
+        b.on(t0)
+            .acquire(l1)
+            .work(1)
+            .acquire(l2)
+            .work(2)
+            .release(l2)
+            .work(1)
+            .release(l1)
+            .exit();
+        let t = b.build().unwrap();
+        let eps = lock_episodes(&t);
+        assert_eq!(eps.len(), 2);
+        let outer = eps.iter().find(|e| e.lock == l1).unwrap();
+        assert_eq!(outer.hold_time(), 4);
+        let inner = eps.iter().find(|e| e.lock == l2).unwrap();
+        assert_eq!(inner.hold_time(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move cursor back")]
+    fn cursor_cannot_rewind() {
+        let mut b = TraceBuilder::new("bad");
+        let t0 = b.thread("T0", 10);
+        b.on(t0).at(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exited")]
+    fn no_events_after_exit() {
+        let mut b = TraceBuilder::new("bad");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).exit();
+        b.on(t0).work(1);
+    }
+
+    #[test]
+    fn params_recorded() {
+        let mut b = TraceBuilder::new("p");
+        b.param("threads", 4);
+        let t = b.build().unwrap();
+        assert_eq!(t.meta.params.get("threads").unwrap(), "4");
+    }
+}

@@ -1,0 +1,456 @@
+//! Compact binary trace format.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic "CLTR" | version u16-varint
+//! meta: len + JSON bytes of TraceMeta
+//! objects: count, then per object: kind u8, name len + bytes
+//! threads: count, then per thread:
+//!   tid, has_name u8 (+ name), event count,
+//!   events as (delta-ts varint, opcode u8, operands...)
+//! ```
+//!
+//! Timestamps are delta-encoded per thread, which keeps typical event
+//! records at 3–6 bytes.
+
+use crate::error::{Result, TraceError};
+use crate::event::{Event, EventKind};
+use crate::ids::{ObjId, ObjInfo, ObjKind, ThreadId};
+use crate::trace::{ThreadStream, Trace, TraceMeta};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CLTR";
+const VERSION: u64 = 1;
+
+/// Write an unsigned LEB128 varint.
+pub fn write_varint(out: &mut impl Write, mut v: u64) -> Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.write_all(&[byte])?;
+            return Ok(());
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn read_varint(inp: &mut impl Read) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        inp.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(TraceError::Decode("varint overflow".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Decode("varint too long".into()));
+        }
+    }
+}
+
+fn write_bytes(out: &mut impl Write, b: &[u8]) -> Result<()> {
+    write_varint(out, b.len() as u64)?;
+    out.write_all(b)?;
+    Ok(())
+}
+
+fn read_bytes(inp: &mut impl Read) -> Result<Vec<u8>> {
+    let len = read_varint(inp)? as usize;
+    if len > 1 << 30 {
+        return Err(TraceError::Decode(format!("unreasonable length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    inp.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_string(inp: &mut impl Read) -> Result<String> {
+    String::from_utf8(read_bytes(inp)?).map_err(|e| TraceError::Decode(e.to_string()))
+}
+
+fn kind_to_u8(k: ObjKind) -> u8 {
+    match k {
+        ObjKind::Lock => 0,
+        ObjKind::Barrier => 1,
+        ObjKind::Condvar => 2,
+        ObjKind::Marker => 3,
+        ObjKind::RwLock => 4,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Result<ObjKind> {
+    Ok(match v {
+        0 => ObjKind::Lock,
+        1 => ObjKind::Barrier,
+        2 => ObjKind::Condvar,
+        3 => ObjKind::Marker,
+        4 => ObjKind::RwLock,
+        _ => return Err(TraceError::Decode(format!("bad object kind {v}"))),
+    })
+}
+
+fn write_event(out: &mut impl Write, prev_ts: u64, ev: &Event) -> Result<()> {
+    write_varint(out, ev.ts - prev_ts)?;
+    match ev.kind {
+        EventKind::LockAcquire { lock } => {
+            out.write_all(&[0])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::LockContended { lock } => {
+            out.write_all(&[1])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::LockObtain { lock } => {
+            out.write_all(&[2])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::LockRelease { lock } => {
+            out.write_all(&[3])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::BarrierArrive { barrier, epoch } => {
+            out.write_all(&[4])?;
+            write_varint(out, barrier.0 as u64)?;
+            write_varint(out, epoch as u64)?;
+        }
+        EventKind::BarrierDepart { barrier, epoch } => {
+            out.write_all(&[5])?;
+            write_varint(out, barrier.0 as u64)?;
+            write_varint(out, epoch as u64)?;
+        }
+        EventKind::CondWaitBegin { cv } => {
+            out.write_all(&[6])?;
+            write_varint(out, cv.0 as u64)?;
+        }
+        EventKind::CondWakeup { cv, signal_seq } => {
+            out.write_all(&[7])?;
+            write_varint(out, cv.0 as u64)?;
+            write_varint(out, signal_seq)?;
+        }
+        EventKind::CondSignal { cv, signal_seq } => {
+            out.write_all(&[8])?;
+            write_varint(out, cv.0 as u64)?;
+            write_varint(out, signal_seq)?;
+        }
+        EventKind::CondBroadcast { cv, signal_seq } => {
+            out.write_all(&[9])?;
+            write_varint(out, cv.0 as u64)?;
+            write_varint(out, signal_seq)?;
+        }
+        EventKind::ThreadCreate { child } => {
+            out.write_all(&[10])?;
+            write_varint(out, child.0 as u64)?;
+        }
+        EventKind::ThreadStart => out.write_all(&[11])?,
+        EventKind::ThreadExit => out.write_all(&[12])?,
+        EventKind::JoinBegin { child } => {
+            out.write_all(&[13])?;
+            write_varint(out, child.0 as u64)?;
+        }
+        EventKind::JoinEnd { child } => {
+            out.write_all(&[14])?;
+            write_varint(out, child.0 as u64)?;
+        }
+        EventKind::Marker { id } => {
+            out.write_all(&[15])?;
+            write_varint(out, id.0 as u64)?;
+        }
+        EventKind::RwAcquire { lock, write } => {
+            out.write_all(&[16, write as u8])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::RwContended { lock, write } => {
+            out.write_all(&[17, write as u8])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::RwObtain { lock, write } => {
+            out.write_all(&[18, write as u8])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+        EventKind::RwRelease { lock, write } => {
+            out.write_all(&[19, write as u8])?;
+            write_varint(out, lock.0 as u64)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_bool(inp: &mut impl Read) -> Result<bool> {
+    let mut b = [0u8; 1];
+    inp.read_exact(&mut b)?;
+    match b[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(TraceError::Decode(format!("bad bool {other}"))),
+    }
+}
+
+fn read_obj(inp: &mut impl Read) -> Result<ObjId> {
+    let v = read_varint(inp)?;
+    u32::try_from(v)
+        .map(ObjId)
+        .map_err(|_| TraceError::Decode("object id overflow".into()))
+}
+
+fn read_tid(inp: &mut impl Read) -> Result<ThreadId> {
+    let v = read_varint(inp)?;
+    u32::try_from(v)
+        .map(ThreadId)
+        .map_err(|_| TraceError::Decode("thread id overflow".into()))
+}
+
+fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
+    let dt = read_varint(inp)?;
+    let ts = prev_ts
+        .checked_add(dt)
+        .ok_or_else(|| TraceError::Decode("timestamp overflow".into()))?;
+    let mut op = [0u8; 1];
+    inp.read_exact(&mut op)?;
+    let kind = match op[0] {
+        0 => EventKind::LockAcquire { lock: read_obj(inp)? },
+        1 => EventKind::LockContended { lock: read_obj(inp)? },
+        2 => EventKind::LockObtain { lock: read_obj(inp)? },
+        3 => EventKind::LockRelease { lock: read_obj(inp)? },
+        4 => EventKind::BarrierArrive {
+            barrier: read_obj(inp)?,
+            epoch: read_varint(inp)? as u32,
+        },
+        5 => EventKind::BarrierDepart {
+            barrier: read_obj(inp)?,
+            epoch: read_varint(inp)? as u32,
+        },
+        6 => EventKind::CondWaitBegin { cv: read_obj(inp)? },
+        7 => EventKind::CondWakeup { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
+        8 => EventKind::CondSignal { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
+        9 => EventKind::CondBroadcast { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
+        10 => EventKind::ThreadCreate { child: read_tid(inp)? },
+        11 => EventKind::ThreadStart,
+        12 => EventKind::ThreadExit,
+        13 => EventKind::JoinBegin { child: read_tid(inp)? },
+        14 => EventKind::JoinEnd { child: read_tid(inp)? },
+        15 => EventKind::Marker { id: read_obj(inp)? },
+        16 => {
+            let write = read_bool(inp)?;
+            EventKind::RwAcquire { lock: read_obj(inp)?, write }
+        }
+        17 => {
+            let write = read_bool(inp)?;
+            EventKind::RwContended { lock: read_obj(inp)?, write }
+        }
+        18 => {
+            let write = read_bool(inp)?;
+            EventKind::RwObtain { lock: read_obj(inp)?, write }
+        }
+        19 => {
+            let write = read_bool(inp)?;
+            EventKind::RwRelease { lock: read_obj(inp)?, write }
+        }
+        other => return Err(TraceError::Decode(format!("bad opcode {other}"))),
+    };
+    Ok(Event::new(ts, kind))
+}
+
+/// Serialize a trace into the binary format.
+pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
+    out.write_all(MAGIC)?;
+    write_varint(out, VERSION)?;
+    let meta = serde_json::to_vec(&trace.meta)?;
+    write_bytes(out, &meta)?;
+
+    write_varint(out, trace.objects.len() as u64)?;
+    for obj in &trace.objects {
+        out.write_all(&[kind_to_u8(obj.kind)])?;
+        write_bytes(out, obj.name.as_bytes())?;
+    }
+
+    write_varint(out, trace.threads.len() as u64)?;
+    for stream in &trace.threads {
+        write_varint(out, stream.tid.0 as u64)?;
+        match &stream.name {
+            Some(n) => {
+                out.write_all(&[1])?;
+                write_bytes(out, n.as_bytes())?;
+            }
+            None => out.write_all(&[0])?,
+        }
+        write_varint(out, stream.events.len() as u64)?;
+        let mut prev = 0u64;
+        for ev in &stream.events {
+            write_event(out, prev, ev)?;
+            prev = ev.ts;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a trace from the binary format.
+pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::Decode("bad magic (not a CLTR trace)".into()));
+    }
+    let version = read_varint(inp)?;
+    if version != VERSION {
+        return Err(TraceError::Decode(format!("unsupported version {version}")));
+    }
+    let meta: TraceMeta = serde_json::from_slice(&read_bytes(inp)?)?;
+    let mut trace = Trace::new(meta);
+
+    let nobj = read_varint(inp)? as usize;
+    for _ in 0..nobj {
+        let mut k = [0u8; 1];
+        inp.read_exact(&mut k)?;
+        let kind = kind_from_u8(k[0])?;
+        let name = read_string(inp)?;
+        trace.objects.push(ObjInfo { kind, name });
+    }
+
+    let nthreads = read_varint(inp)? as usize;
+    for _ in 0..nthreads {
+        let tid = read_tid(inp)?;
+        let mut has_name = [0u8; 1];
+        inp.read_exact(&mut has_name)?;
+        let name = if has_name[0] == 1 { Some(read_string(inp)?) } else { None };
+        let nev = read_varint(inp)? as usize;
+        let mut events = Vec::with_capacity(nev.min(1 << 20));
+        let mut prev = 0u64;
+        for _ in 0..nev {
+            let ev = read_event(inp, prev)?;
+            prev = ev.ts;
+            events.push(ev);
+        }
+        let mut stream = ThreadStream::new(tid);
+        stream.name = name;
+        stream.events = events;
+        trace.threads.push(stream);
+    }
+    Ok(trace)
+}
+
+/// Save a trace to a file in the binary format.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_trace(trace, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a trace from a binary-format file.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_trace(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use std::io::Cursor;
+
+    fn roundtrip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(trace, &mut buf).unwrap();
+        read_trace(&mut Cursor::new(buf)).unwrap()
+    }
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("codec-sample");
+        b.param("threads", 3);
+        let l = b.lock("L");
+        let bar = b.barrier("B");
+        let cv = b.condvar("CV");
+        let m = b.marker("phase");
+        let t0 = b.thread("main", 0);
+        let t1 = b.thread("w1", 1);
+        let t2 = b.thread("w2", 1);
+        b.on(t1).work(2).cs(l, 5).barrier(bar, 0, 10).exit_at(20);
+        b.on(t2)
+            .work(3)
+            .cs_blocked(l, 8, 2)
+            .barrier(bar, 0, 10)
+            .cond_wait(cv, 15, 1)
+            .exit_at(19);
+        b.on(t0)
+            .create(t1)
+            .create(t2)
+            .mark(m)
+            .work(14)
+            .cond_signal(cv, 1)
+            .join(t1, 20)
+            .join(t2, 20)
+            .exit_at(21);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut Cursor::new(buf)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let buf = vec![0x80u8; 11];
+        assert!(read_varint(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn trace_roundtrip_exact() {
+        let t = sample();
+        let back = roundtrip(&t);
+        assert_eq!(t, back);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE".to_vec();
+        assert!(matches!(
+            read_trace(&mut Cursor::new(buf)),
+            Err(TraceError::Decode(_)) | Err(TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_trace(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("critlock-codec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.cltr");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let t = Trace::default();
+        assert_eq!(roundtrip(&t), t);
+    }
+}

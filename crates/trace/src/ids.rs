@@ -1,0 +1,122 @@
+//! Identifier newtypes for threads and synchronization objects.
+//!
+//! A trace refers to threads and synchronization objects (locks, barriers,
+//! condition variables) by small dense integer identifiers. Human-readable
+//! names (e.g. `"tq[0].qlock"`) are kept in the trace-level name table so the
+//! per-event records stay compact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a thread within one trace.
+///
+/// Thread ids are dense: a trace with `n` threads uses ids `0..n`. Id `0` is
+/// conventionally the main (root) thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main (root) thread of an execution.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a synchronization object (lock, barrier, condition variable
+/// or marker) within one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// The kind of a registered synchronization object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjKind {
+    /// A mutual-exclusion lock.
+    Lock,
+    /// A reader-writer lock.
+    RwLock,
+    /// A barrier.
+    Barrier,
+    /// A condition variable.
+    Condvar,
+    /// A free-form marker (phase boundary etc.).
+    Marker,
+}
+
+impl fmt::Display for ObjKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjKind::Lock => "lock",
+            ObjKind::RwLock => "rwlock",
+            ObjKind::Barrier => "barrier",
+            ObjKind::Condvar => "condvar",
+            ObjKind::Marker => "marker",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata about one registered synchronization object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjInfo {
+    /// What kind of object this is.
+    pub kind: ObjKind,
+    /// Human-readable name, e.g. `"tq[0].qlock"`.
+    pub name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_display_and_index() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(ThreadId(3).index(), 3);
+        assert_eq!(ThreadId::MAIN, ThreadId(0));
+    }
+
+    #[test]
+    fn obj_id_display() {
+        assert_eq!(ObjId(7).to_string(), "obj7");
+        assert_eq!(ObjId(7).index(), 7);
+    }
+
+    #[test]
+    fn obj_kind_display() {
+        assert_eq!(ObjKind::Lock.to_string(), "lock");
+        assert_eq!(ObjKind::RwLock.to_string(), "rwlock");
+        assert_eq!(ObjKind::Barrier.to_string(), "barrier");
+        assert_eq!(ObjKind::Condvar.to_string(), "condvar");
+        assert_eq!(ObjKind::Marker.to_string(), "marker");
+    }
+
+    #[test]
+    fn ids_order() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert!(ObjId(0) < ObjId(1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Self-describing JSON trace format.
+//!
+//! One JSON document per line:
+//!
+//! ```text
+//! {"meta": {...}}                      # line 1: trace metadata
+//! {"objects": [...]}                   # line 2: object table
+//! {"thread": 0, "name": "main", "events": [...]}  # one line per thread
+//! ```
+//!
+//! Intended for interchange with external tooling and for eyeballing traces;
+//! the binary format in [`crate::codec`] is preferred for volume.
+
+use crate::error::{Result, TraceError};
+use crate::event::Event;
+use crate::ids::{ObjInfo, ThreadId};
+use crate::trace::{ThreadStream, Trace, TraceMeta};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct MetaLine {
+    meta: TraceMeta,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ObjectsLine {
+    objects: Vec<ObjInfo>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ThreadLine {
+    thread: u32,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    name: Option<String>,
+    events: Vec<Event>,
+}
+
+/// Serialize a trace as JSONL.
+pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
+    serde_json::to_writer(&mut *out, &MetaLine { meta: trace.meta.clone() })?;
+    out.write_all(b"\n")?;
+    serde_json::to_writer(&mut *out, &ObjectsLine { objects: trace.objects.clone() })?;
+    out.write_all(b"\n")?;
+    for stream in &trace.threads {
+        serde_json::to_writer(
+            &mut *out,
+            &ThreadLine {
+                thread: stream.tid.0,
+                name: stream.name.clone(),
+                events: stream.events.clone(),
+            },
+        )?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Deserialize a trace from JSONL.
+pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
+    let reader = BufReader::new(inp);
+    let mut lines = reader.lines();
+    let meta_line = lines
+        .next()
+        .ok_or_else(|| TraceError::Decode("empty JSONL trace".into()))??;
+    let meta: MetaLine = serde_json::from_str(&meta_line)?;
+    let objects_line = lines
+        .next()
+        .ok_or_else(|| TraceError::Decode("missing objects line".into()))??;
+    let objects: ObjectsLine = serde_json::from_str(&objects_line)?;
+
+    let mut trace = Trace::new(meta.meta);
+    trace.objects = objects.objects;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let tl: ThreadLine = serde_json::from_str(&line)?;
+        let mut stream = ThreadStream::new(ThreadId(tl.thread));
+        stream.name = tl.name;
+        stream.events = tl.events;
+        trace.threads.push(stream);
+    }
+    Ok(trace)
+}
+
+/// Save a trace to a JSONL file.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_trace(trace, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a trace from a JSONL file.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace> {
+    let mut r = File::open(path)?;
+    read_trace(&mut r)
+}
+
+/// Load a trace from a file in either format, sniffing the magic bytes.
+pub fn load_auto(path: impl AsRef<Path>) -> Result<Trace> {
+    let mut f = File::open(&path)?;
+    let mut magic = [0u8; 4];
+    let n = f.read(&mut magic)?;
+    drop(f);
+    if n == 4 && &magic == b"CLTR" {
+        crate::codec::load(path)
+    } else {
+        load(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use std::io::Cursor;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("jsonl-sample");
+        let l = b.lock("L");
+        let t0 = b.thread("main", 0);
+        let t1 = b.thread("w", 0);
+        b.on(t0).cs(l, 3).exit_at(10);
+        b.on(t1).work(1).cs_blocked(l, 3, 2).exit_at(9);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 2 + t.threads.len());
+        let back = read_trace(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let buf: Vec<u8> = Vec::new();
+        assert!(read_trace(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let buf = b"not json\n".to_vec();
+        assert!(read_trace(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn auto_detects_both_formats() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("critlock-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let p1 = dir.join("t.jsonl");
+        save(&t, &p1).unwrap();
+        assert_eq!(load_auto(&p1).unwrap(), t);
+
+        let p2 = dir.join("t.cltr");
+        crate::codec::save(&t, &p2).unwrap();
+        assert_eq!(load_auto(&p2).unwrap(), t);
+
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+}

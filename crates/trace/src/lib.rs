@@ -1,0 +1,46 @@
+//! # critlock-trace
+//!
+//! Synchronization-event trace model for **critical lock analysis**
+//! (Chen & Stenström, *Critical Lock Analysis: Diagnosing Critical Section
+//! Bottlenecks in Multithreaded Applications*, SC 2012).
+//!
+//! This crate is the interchange layer between the producers of traces —
+//! the real-thread instrumentation runtime (`critlock-instrument`) and the
+//! deterministic execution simulator (`critlock-sim`) — and the consumer,
+//! the analysis engine (`critlock-analysis`).
+//!
+//! It provides:
+//!
+//! * the event protocol ([`event`]) mirroring the paper's MAGIC()
+//!   instrumentation points: lock acquire/contended/obtain/release, barrier
+//!   arrive/depart, condvar wait/signal and thread lifecycle edges;
+//! * the trace container ([`trace`]) with a per-thread stream layout,
+//!   object name table and protocol validation;
+//! * episode views ([`episodes`]) reconstructing whole lock invocations,
+//!   barrier crossings and waits from raw events;
+//! * a builder DSL ([`builder`]) for encoding executions by hand (used to
+//!   reproduce the paper's Fig. 1 exactly in tests);
+//! * binary ([`codec`]) and JSONL ([`jsonl`]) serialization.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod codec;
+pub mod episodes;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod jsonl;
+pub mod trace;
+
+pub use builder::TraceBuilder;
+pub use episodes::{
+    barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes,
+    signal_records, BarrierEpisode, CondWaitEpisode, JoinEpisode, LockEpisode, RwEpisode,
+    SignalRecord,
+};
+pub use error::{Result, TraceError};
+pub use event::{Event, EventKind, Ts, SEQ_UNKNOWN};
+pub use ids::{ObjId, ObjInfo, ObjKind, ThreadId};
+pub use trace::{ClockDomain, ThreadStream, Trace, TraceMeta};

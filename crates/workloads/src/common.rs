@@ -1,0 +1,197 @@
+//! Shared infrastructure for the workload models.
+
+use critlock_sim::{Action, MachineConfig, Program, StepCtx};
+use critlock_trace::ThreadId;
+
+/// Configuration shared by every workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadCfg {
+    /// Number of worker threads (the paper sweeps 4/8/16/24).
+    pub threads: usize,
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Workload seed (task structure, per-task work draws). Independent
+    /// of the machine seed.
+    pub seed: u64,
+    /// Input-size multiplier: 1.0 matches the defaults documented per
+    /// workload; tests use smaller scales for speed.
+    pub scale: f64,
+}
+
+impl Default for WorkloadCfg {
+    fn default() -> Self {
+        WorkloadCfg {
+            threads: 24,
+            machine: MachineConfig::power7_like(),
+            seed: 42,
+            scale: 1.0,
+        }
+    }
+}
+
+impl WorkloadCfg {
+    /// A config with the given worker count on a matching machine
+    /// (contexts == threads, like the paper's ≤24-thread runs on the
+    /// 24-context POWER7).
+    pub fn with_threads(threads: usize) -> Self {
+        WorkloadCfg {
+            threads,
+            machine: MachineConfig::default().with_contexts(threads.max(1)),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style scale override.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Scale an integer quantity by the configured factor (min 1).
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64) * self.scale).round().max(1.0) as usize
+    }
+}
+
+/// A root program that spawns a set of workers, joins them in order and
+/// exits — the fork-join main() every benchmark in the paper uses.
+pub struct ForkJoinMain {
+    to_spawn: Vec<(String, Box<dyn Program>)>,
+    spawned: Vec<ThreadId>,
+    join_idx: usize,
+    phase: MainPhase,
+}
+
+enum MainPhase {
+    Spawning,
+    Joining,
+    Done,
+}
+
+impl ForkJoinMain {
+    /// Create the main program from named worker programs.
+    pub fn new(workers: Vec<(String, Box<dyn Program>)>) -> Self {
+        ForkJoinMain {
+            to_spawn: workers,
+            spawned: Vec::new(),
+            join_idx: 0,
+            phase: MainPhase::Spawning,
+        }
+    }
+}
+
+impl Program for ForkJoinMain {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        // Record the tid of the worker spawned by the previous step.
+        if let Some(t) = ctx.last_spawned {
+            if self.spawned.last() != Some(&t) {
+                self.spawned.push(t);
+            }
+        }
+        match self.phase {
+            MainPhase::Spawning => {
+                if let Some((name, program)) = pop_front(&mut self.to_spawn) {
+                    return Action::Spawn { name, program };
+                }
+                self.phase = MainPhase::Joining;
+                self.step(ctx)
+            }
+            MainPhase::Joining => {
+                if self.join_idx < self.spawned.len() {
+                    let t = self.spawned[self.join_idx];
+                    self.join_idx += 1;
+                    return Action::Join(t);
+                }
+                self.phase = MainPhase::Done;
+                Action::Exit
+            }
+            MainPhase::Done => Action::Exit,
+        }
+    }
+}
+
+fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer); used by workloads to
+/// derive per-task values from (seed, id) without carrying RNG state.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic draw in `[lo, hi)` from (seed, id).
+pub fn draw_range(seed: u64, id: u64, lo: u64, hi: u64) -> u64 {
+    debug_assert!(hi > lo);
+    lo + mix64(seed ^ mix64(id)) % (hi - lo)
+}
+
+/// A deterministic probability draw from (seed, id): returns true with
+/// probability `p`.
+pub fn draw_prob(seed: u64, id: u64, p: f64) -> bool {
+    let v = mix64(seed ^ mix64(id ^ 0xABCD_EF01)) as f64 / u64::MAX as f64;
+    v < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_sim::{Op, ScriptProgram, Simulator};
+
+    #[test]
+    fn fork_join_main_spawns_and_joins_all() {
+        let mut sim = Simulator::new("fjm", MachineConfig::ideal());
+        let workers: Vec<(String, Box<dyn Program>)> = (0..3)
+            .map(|i| {
+                (
+                    format!("w{i}"),
+                    Box::new(ScriptProgram::new(vec![Op::Compute(10 * (i + 1))]))
+                        as Box<dyn Program>,
+                )
+            })
+            .collect();
+        sim.spawn("main", ForkJoinMain::new(workers));
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.num_threads(), 4);
+        assert_eq!(trace.makespan(), 30);
+        assert_eq!(critlock_trace::join_episodes(&trace).len(), 3);
+    }
+
+    #[test]
+    fn cfg_helpers() {
+        let cfg = WorkloadCfg::with_threads(8).with_seed(7).with_scale(0.5);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.machine.contexts, 8);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.scaled(100), 50);
+        assert_eq!(cfg.scaled(1), 1);
+        let tiny = WorkloadCfg::with_threads(2).with_scale(0.0001);
+        assert_eq!(tiny.scaled(10), 1); // clamped to 1
+    }
+
+    #[test]
+    fn deterministic_draws() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        for id in 0..100 {
+            let v = draw_range(9, id, 10, 20);
+            assert!((10..20).contains(&v));
+        }
+        // Probability draw is roughly calibrated.
+        let hits = (0..10_000).filter(|&id| draw_prob(3, id, 0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits {hits}");
+    }
+}

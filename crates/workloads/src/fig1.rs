@@ -1,0 +1,104 @@
+//! The paper's Fig. 1 illustrative execution, encoded exactly.
+//!
+//! Four threads, four locks. The figure's stated properties, all of which
+//! the tests pin down:
+//!
+//! * the critical path is 33 time units long;
+//! * six hot critical sections lie on it; L1, L2 and L3 are critical
+//!   locks, L4 is a normal lock;
+//! * CS2 (guarded by L2) appears 4 times on the critical path, each 3
+//!   units: 4·3/33 = 36.36% of the path, with contention probability
+//!   3/4 = 75%;
+//! * CS1 (guarded by L1) appears once, 1 unit: 1/33 = 3.03%, contention
+//!   probability 0;
+//! * CS3 (guarded by L3), invoked by T4, is uncontended yet *on* the
+//!   path — idleness-based methods would miss it entirely;
+//! * CS4 (guarded by L4), invoked by T3, blocks T4 for the longest wait
+//!   of the whole run, yet lies *off* the path: optimizing it cannot help.
+//!
+//! The concrete timeline (start at 0, all threads exit at 33):
+//!
+//! ```text
+//! T1: [CS1 0-1] [CS2 1-4] ........ work to 20, CS4 20-26, idle-free tail
+//! T2: wait L2 .. [CS2 4-7]  work ...
+//! T3: wait L2 ..... [CS2 7-10] work 10-20 [CS4 contended ...]
+//! T4: wait L2 ........ [CS2 10-13] [CS3 13-18] work 18-33  <- finishes last
+//! ```
+//!
+//! T4's tail runs to 33 and the backward walk threads through CS3, the
+//! CS2 hand-off chain and finally T1's CS1.
+
+use critlock_trace::{Trace, TraceBuilder};
+
+/// Build the Fig. 1 trace.
+pub fn fig1_trace() -> Trace {
+    let mut b = TraceBuilder::new("fig1");
+    b.param("source", "paper-fig1");
+    let l1 = b.lock("L1");
+    let l2 = b.lock("L2");
+    let l3 = b.lock("L3");
+    let l4 = b.lock("L4");
+    let t1 = b.thread("T1", 0);
+    let t2 = b.thread("T2", 0);
+    let t3 = b.thread("T3", 0);
+    let t4 = b.thread("T4", 0);
+
+    // T1: CS1 [0,1] uncontended, then CS2 [1,4] uncontended (first holder),
+    // then plain work, then CS4 [20,26] (T1 holds L4 while T3 waits...
+    // no — the figure has T3 holding CS4 blocking T4; here T1 takes CS4
+    // first so T3's CS4 invocation is the contended one that then blocks
+    // nobody on the path).
+    b.on(t1).cs(l1, 1).cs(l2, 3).work(16).cs(l4, 6).exit_at(33);
+
+    // T2: blocks on L2 immediately at 0; gets it at 4 (released by T1),
+    // holds 3; then local work to 33.
+    b.on(t2).cs_blocked(l2, 4, 3).work(10).exit_at(33);
+
+    // T3: blocks on L2 at 0, gets it at 7 (released by T2), holds 3;
+    // works briefly; then contends on L4 at 12 behind T1, waiting 14
+    // units (the longest single wait in the run) until 26, holds 6.
+    b.on(t3).cs_blocked(l2, 7, 3).work(2).cs_blocked(l4, 26, 6).exit_at(33);
+
+    // T4: blocks on L2 at 0, gets it at 10 (released by T3), holds 3;
+    // then CS3 [13,18] uncontended; then works to 33 and finishes last.
+    b.on(t4).cs_blocked(l2, 10, 3).cs(l3, 5).work(15).exit();
+
+    b.build().expect("fig1 trace must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_builds_and_validates() {
+        let t = fig1_trace();
+        assert_eq!(t.num_threads(), 4);
+        assert_eq!(t.makespan(), 33);
+        assert_eq!(t.objects.len(), 4);
+    }
+
+    #[test]
+    fn all_four_locks_used() {
+        let t = fig1_trace();
+        let eps = critlock_trace::lock_episodes(&t);
+        for name in ["L1", "L2", "L3", "L4"] {
+            let id = t.object_by_name(name).unwrap();
+            assert!(eps.iter().any(|e| e.lock == id), "{name} unused");
+        }
+        // L2 is invoked four times, three of them contended.
+        let l2 = t.object_by_name("L2").unwrap();
+        let l2_eps: Vec<_> = eps.iter().filter(|e| e.lock == l2).collect();
+        assert_eq!(l2_eps.len(), 4);
+        assert_eq!(l2_eps.iter().filter(|e| e.contended).count(), 3);
+    }
+
+    #[test]
+    fn l4_has_longest_wait() {
+        let t = fig1_trace();
+        let eps = critlock_trace::lock_episodes(&t);
+        let l4 = t.object_by_name("L4").unwrap();
+        let max_wait_lock = eps.iter().max_by_key(|e| e.wait_time()).unwrap().lock;
+        assert_eq!(max_wait_lock, l4);
+    }
+}

@@ -1,0 +1,45 @@
+//! # critlock-workloads
+//!
+//! Synchronization-skeleton models of the multithreaded applications the
+//! paper evaluates (§V, Table 1), built on the deterministic simulator,
+//! plus real-thread variants of the micro-benchmark on the
+//! instrumentation runtime.
+//!
+//! Each model reproduces its application's *lock topology* — which locks
+//! exist, what they protect, how often and how long they are held, and
+//! where the load imbalance comes from — because those properties
+//! determine every statistic critical lock analysis reports. Absolute
+//! times are virtual; the shapes (which lock dominates the critical path,
+//! where rankings cross over as threads scale, how much an optimization
+//! helps) are the reproduction targets recorded in `EXPERIMENTS.md`.
+//!
+//! | module | paper workload | headline bottleneck |
+//! |---|---|---|
+//! | [`micro`] | Fig. 5 micro-benchmark | L2 (critical) vs L1 (wait-heavy) |
+//! | [`radiosity`] | SPLASH-2 Radiosity | `tq[0].qlock` beyond 8 threads |
+//! | [`tsp`] | Pthreads TSP | global `Qlock` (~68% of the path) |
+//! | [`uts`] | Unbalanced Tree Search | `stackLock[i]`: on-path, no waits |
+//! | [`water`] | SPLASH-2 Water-nsquared | minor locks, barrier-dominated |
+//! | [`volrend`] | SPLASH-2 Volrend | tile queue lock, moderate |
+//! | [`raytrace`] | SPLASH-2 Raytrace | global `mem` arena lock |
+//! | [`ldap`] | OpenLDAP 2.4.21 + SLAMD | none (fine-grained locking) |
+//! | [`fig1`] | the paper's Fig. 1 | hand-encoded illustrative trace |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod fig1;
+pub mod ldap;
+pub mod micro;
+pub mod queue;
+pub mod radiosity;
+pub mod raytrace;
+pub mod suite;
+pub mod tsp;
+pub mod uts;
+pub mod volrend;
+pub mod water;
+
+pub use common::WorkloadCfg;
+pub use fig1::fig1_trace;

@@ -1,0 +1,188 @@
+//! The paper's micro-benchmark (Fig. 5): two consecutive critical
+//! sections per thread, the first guarded by L1 and the second (25%
+//! larger) by L2.
+//!
+//! All threads run `lock(L1); loop(2e9); unlock(L1); lock(L2); loop(2.5e9);
+//! unlock(L2)`. In the simulated variant the loop iteration counts map
+//! directly to virtual time (ratio 2 : 2.5 preserved); the real-thread
+//! variant runs actual counter loops under instrumented mutexes.
+//!
+//! Expected shape (Fig. 6, 4 threads): under critical lock analysis L2
+//! accounts for ~83% of the critical path versus ~17% for L1, while the
+//! classical wait-time metric ranks L1 first — and the measured speedups
+//! after equal-effort optimization confirm L2 is the better target.
+
+use crate::common::WorkloadCfg;
+use critlock_sim::{Op, Result, ScriptProgram, Simulator};
+use critlock_trace::Trace;
+
+/// Virtual-time cost of CS1 at scale 1.0 (stands in for 2e9 iterations).
+pub const CS1_COST: u64 = 2_000;
+/// Virtual-time cost of CS2 at scale 1.0 (stands in for 2.5e9 iterations).
+pub const CS2_COST: u64 = 2_500;
+
+/// Run the simulated micro-benchmark with the default CS costs.
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_custom(cfg, scale_cost(CS1_COST, cfg), scale_cost(CS2_COST, cfg))
+}
+
+/// Run with explicit per-CS costs (used by the optimization validation:
+/// the paper cuts 1e9 iterations — here `CS?_COST * scale - 1000 * scale`
+/// — from one loop at a time).
+pub fn run_custom(cfg: &WorkloadCfg, cs1: u64, cs2: u64) -> Result<Trace> {
+    let mut sim = Simulator::new("micro", cfg.machine.clone());
+    let l1 = sim.add_lock("L1");
+    let l2 = sim.add_lock("L2");
+    for i in 0..cfg.threads {
+        sim.spawn(
+            format!("T{i}"),
+            ScriptProgram::new(vec![Op::Critical(l1, cs1), Op::Critical(l2, cs2)]),
+        );
+    }
+    let mut trace = sim.run()?;
+    trace.meta.params.insert("cs1".into(), cs1.to_string());
+    trace.meta.params.insert("cs2".into(), cs2.to_string());
+    Ok(trace)
+}
+
+/// The "optimize L1" variant: CS1 shortened by the standard effort unit
+/// (1000 virtual ns at scale 1, the 1e9-iteration cut of the paper).
+pub fn run_l1_optimized(cfg: &WorkloadCfg) -> Result<Trace> {
+    let cut = scale_cost(1_000, cfg);
+    run_custom(cfg, scale_cost(CS1_COST, cfg) - cut, scale_cost(CS2_COST, cfg))
+}
+
+/// The "optimize L2" variant: CS2 shortened by the same effort.
+pub fn run_l2_optimized(cfg: &WorkloadCfg) -> Result<Trace> {
+    let cut = scale_cost(1_000, cfg);
+    run_custom(cfg, scale_cost(CS1_COST, cfg), scale_cost(CS2_COST, cfg) - cut)
+}
+
+fn scale_cost(c: u64, cfg: &WorkloadCfg) -> u64 {
+    ((c as f64) * cfg.scale).round().max(1.0) as u64
+}
+
+/// Real-thread variant: actual counter loops under instrumented mutexes.
+/// `iters_*` are loop iteration counts (use ~1e6-1e7 for sub-second runs;
+/// the paper's 2e9/2.5e9 take minutes).
+pub fn run_real(threads: usize, iters_cs1: u64, iters_cs2: u64) -> critlock_trace::Result<Trace> {
+    use critlock_instrument::{spawn, Session};
+    use std::sync::Arc;
+
+    let session = Session::new("micro-real");
+    session.param("threads", threads);
+    session.param("iters_cs1", iters_cs1);
+    session.param("iters_cs2", iters_cs2);
+    // Counters in different cache lines (the paper pads to avoid false
+    // sharing); separate allocations achieve the same.
+    let l1 = Arc::new(session.mutex("L1", 0u64));
+    let l2 = Arc::new(session.mutex("L2", 0u64));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let (l1, l2) = (Arc::clone(&l1), Arc::clone(&l2));
+            spawn(&session, format!("T{i}"), move || {
+                {
+                    let mut a = l1.lock();
+                    for _ in 0..iters_cs1 {
+                        *a = std::hint::black_box(*a + 1);
+                    }
+                }
+                {
+                    let mut b = l2.lock();
+                    for _ in 0..iters_cs2 {
+                        *b = std::hint::black_box(*b + 1);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("micro worker panicked");
+    }
+    session.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn cfg4() -> WorkloadCfg {
+        WorkloadCfg::with_threads(4)
+    }
+
+    #[test]
+    fn sim_micro_matches_fig6_shape() {
+        let trace = run(&cfg4()).unwrap();
+        // Serialized: a + 4b.
+        assert_eq!(trace.makespan(), 2_000 + 4 * 2_500);
+        let rep = analyze(&trace);
+        let l1 = rep.lock_by_name("L1").unwrap();
+        let l2 = rep.lock_by_name("L2").unwrap();
+        // Fig. 6: CP Time 16.67% vs 83.33%.
+        assert!((l1.cp_time_frac - 1.0 / 6.0).abs() < 1e-9);
+        assert!((l2.cp_time_frac - 5.0 / 6.0).abs() < 1e-9);
+        // The methods disagree: wait time ranks L1 first.
+        assert!(l1.avg_wait_frac > l2.avg_wait_frac);
+        assert_eq!(rep.rank_by_cp_time("L2"), Some(1));
+        assert_eq!(rep.rank_by_wait_time("L1"), Some(1));
+    }
+
+    #[test]
+    fn optimizing_l2_beats_optimizing_l1() {
+        let base = run(&cfg4()).unwrap().makespan() as f64;
+        let opt1 = run_l1_optimized(&cfg4()).unwrap().makespan() as f64;
+        let opt2 = run_l2_optimized(&cfg4()).unwrap().makespan() as f64;
+        let s1 = base / opt1;
+        let s2 = base / opt2;
+        // Fig. 6 measured 1.26 vs 1.37; the idealized machine gives
+        // 1.09 vs 1.26 — same winner.
+        assert!(s2 > s1, "L2 optimization must win: {s1:.3} vs {s2:.3}");
+        assert!(s1 > 1.0);
+    }
+
+    #[test]
+    fn scale_shrinks_run() {
+        let cfg = cfg4().with_scale(0.1);
+        let t = run(&cfg).unwrap();
+        assert_eq!(t.makespan(), 200 + 4 * 250);
+    }
+
+    #[test]
+    fn thread_sweep_keeps_l2_dominant() {
+        for threads in [2, 4, 8, 16] {
+            let rep = analyze(&run(&WorkloadCfg::with_threads(threads)).unwrap());
+            assert_eq!(
+                rep.rank_by_cp_time("L2"),
+                Some(1),
+                "L2 must top CP at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn real_micro_runs_and_analyzes() {
+        // Large enough that the serialized critical sections dwarf spawn
+        // and scheduling noise on any host.
+        let trace = run_real(4, 400_000, 500_000).unwrap();
+        let rep = analyze(&trace);
+        assert!(rep.cp_complete);
+        let l2 = rep.lock_by_name("L2").unwrap();
+        assert_eq!(l2.total_invocations, 4);
+        // On a real multicore the shape holds loosely: L2's CP share must
+        // exceed L1's (it is 25% bigger and serialized last). On a 1-CPU
+        // host the threads time-share and the parallel shape degenerates,
+        // so only check it when real parallelism exists.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores >= 4 {
+            let l1 = rep.lock_by_name("L1").unwrap();
+            assert!(
+                l2.cp_time >= l1.cp_time,
+                "L2 {} vs L1 {}",
+                l2.cp_time,
+                l1.cp_time
+            );
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! Radiosity (SPLASH-2) synchronization skeleton.
+//!
+//! The real application computes global illumination by iteratively
+//! refining patch interactions. What matters for critical lock analysis
+//! is its *lock topology* (§V.D):
+//!
+//! * each thread owns a task queue protected by a single `tq[i].qlock`
+//!   taken by **both** enqueue and dequeue — and by thieves;
+//! * initial tasks are distributed round-robin, but a fraction of the
+//!   dynamically spawned tasks funnel through queue 0 (the master
+//!   queue), and idle threads steal scanning from queue 0 upward — so
+//!   `tq[0].qlock` turns into the bottleneck as threads are added;
+//! * every task allocates *interaction* records from a global free list
+//!   under `freeInter`: many small, mostly uncontended critical
+//!   sections — big in aggregate, hence high on the critical path at low
+//!   thread counts despite low wait times;
+//! * a handful of rarer locks (`free_elemvertex`, `free_edge`) and a
+//!   `pbar_lock` + barrier per iteration complete the population.
+//!
+//! The *optimized* variant applies the paper's fix (§V.D.3): each task
+//! queue becomes a Michael–Scott two-lock queue with separate
+//! `tq[i].q_head_lock` / `tq[i].q_tail_lock`, parallelizing enqueues
+//! against dequeues and splitting the hold time.
+
+use crate::common::{draw_prob, draw_range, ForkJoinMain, WorkloadCfg};
+use critlock_sim::{Action, Program, Result, Simulator, StepCtx};
+use critlock_trace::{ObjId, Trace};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Tunable model parameters. Defaults are calibrated so the analysis
+/// reproduces the shape of the paper's Figs. 8–14 (see the fig9 bench).
+#[derive(Debug, Clone)]
+pub struct RadiosityParams {
+    /// Barrier-separated refinement iterations.
+    pub iterations: usize,
+    /// Initial tasks per iteration (split round-robin over queues).
+    pub initial_tasks: usize,
+    /// Base virtual-ns of work per task.
+    pub base_work: u64,
+    /// Additional uniform spread of per-task work.
+    pub work_spread: u64,
+    /// Hold time of the single-lock queue operations.
+    pub queue_hold: u64,
+    /// Hold time of a dequeue attempt that finds the queue empty (the
+    /// emptiness check still takes the lock, as in SPLASH-2 Radiosity).
+    pub check_hold: u64,
+    /// Hold time of each half of the two-lock queue operations.
+    pub split_hold: u64,
+    /// Hold time of a failed dequeue check on a two-lock queue (the head
+    /// pointer inspection is much cheaper than a full queue scan).
+    pub split_check_hold: u64,
+    /// Hold time of a `freeInter` allocation.
+    pub alloc_hold: u64,
+    /// Free-list allocations per task.
+    pub allocs_per_task: usize,
+    /// Probability that a spawned child is enqueued to queue 0 instead of
+    /// the worker's own queue.
+    pub global_enqueue_prob: f64,
+    /// Busy-poll cost when no work is visible.
+    pub idle_spin: u64,
+    /// Hold time of the `pbar_lock` critical section before each barrier.
+    pub pbar_hold: u64,
+    /// Use the two-lock (Michael–Scott) queues.
+    pub optimized: bool,
+}
+
+impl Default for RadiosityParams {
+    fn default() -> Self {
+        RadiosityParams {
+            iterations: 3,
+            initial_tasks: 48,
+            base_work: 260,
+            work_spread: 240,
+            queue_hold: 14,
+            check_hold: 10,
+            split_hold: 10,
+            split_check_hold: 3,
+            alloc_hold: 3,
+            allocs_per_task: 4,
+            global_enqueue_prob: 0.05,
+            idle_spin: 120,
+            pbar_hold: 4,
+            optimized: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    id: u64,
+    work: u64,
+    /// Remaining length of this refinement chain: each task spawns one
+    /// successor until its chain is exhausted. A few chains are long
+    /// (visibility refinements), most are short — the imbalance that
+    /// caps Radiosity's scalability.
+    remaining: u16,
+}
+
+struct Shared {
+    queues: Vec<VecDeque<Task>>,
+    spawned: u64,
+    completed: u64,
+    filled_count: usize,
+    task_counter: u64,
+}
+
+struct Locks {
+    /// Single-lock mode: `tq[i].qlock`. Split mode: unused.
+    tq: Vec<ObjId>,
+    /// Split mode dequeue locks: `tq[i].q_head_lock`.
+    tq_head: Vec<ObjId>,
+    /// Split mode enqueue locks: `tq[i].q_tail_lock`.
+    tq_tail: Vec<ObjId>,
+    free_inter: ObjId,
+    phase_marker: ObjId,
+    free_elemvertex: ObjId,
+    free_edge: ObjId,
+    pbar: ObjId,
+    barrier: ObjId,
+}
+
+impl Locks {
+    fn enq(&self, q: usize, optimized: bool) -> ObjId {
+        if optimized {
+            self.tq_tail[q]
+        } else {
+            self.tq[q]
+        }
+    }
+    fn deq(&self, q: usize, optimized: bool) -> ObjId {
+        if optimized {
+            self.tq_head[q]
+        } else {
+            self.tq[q]
+        }
+    }
+}
+
+enum Phase {
+    FillNext,
+    FillLocked,
+    /// Decide the next dequeue attempt. `scan == None` tries the own
+    /// queue; `Some(k)` tries victim `k` (stealing scans from queue 0
+    /// upward, as Radiosity does).
+    FindWork { scan: Option<usize> },
+    DeqLocked { q: usize, scan: Option<usize> },
+    WorkChunk,
+    AllocLocked { lock: ObjId },
+    EnqChild,
+    EnqLocked { q: usize },
+    PbarLocked,
+    AfterBarrier,
+    Done,
+}
+
+struct Worker {
+    id: usize,
+    /// Index of this worker's local queue (master queue is index 0).
+    own_q: usize,
+    threads: usize,
+    seed: u64,
+    params: Rc<RadiosityParams>,
+    locks: Rc<Locks>,
+    shared: Rc<RefCell<Shared>>,
+    iter: usize,
+    phase: Phase,
+    queued: VecDeque<Action>,
+    fill_left: Vec<Task>,
+    pending_task: Option<Task>,
+    cur_task: Option<Task>,
+    chunks_left: usize,
+    chunk_work: u64,
+    children_left: Vec<Task>,
+    /// Exponential poll backoff, reset whenever a task is obtained.
+    backoff: u64,
+}
+
+impl Worker {
+    fn new(
+        id: usize,
+        threads: usize,
+        seed: u64,
+        params: Rc<RadiosityParams>,
+        locks: Rc<Locks>,
+        shared: Rc<RefCell<Shared>>,
+    ) -> Self {
+        let backoff = params.idle_spin;
+        let mut w = Worker {
+            id,
+            own_q: id + 1,
+            threads,
+            seed,
+            params,
+            locks,
+            shared,
+            iter: 0,
+            phase: Phase::FillNext,
+            queued: VecDeque::new(),
+            fill_left: Vec::new(),
+            pending_task: None,
+            cur_task: None,
+            chunks_left: 0,
+            chunk_work: 0,
+            children_left: Vec::new(),
+            backoff,
+        };
+        w.fill_left = w.initial_tasks_for_iter(0);
+        w
+    }
+
+    /// The iteration's initial chain-head tasks. Worker 0 — the master —
+    /// enqueues all of them into queue 0; everyone else steals from
+    /// there, which is what makes `tq[0]` the distribution channel.
+    fn initial_tasks_for_iter(&mut self, iter: usize) -> Vec<Task> {
+        if self.id != 0 {
+            return Vec::new();
+        }
+        (0..self.params.initial_tasks)
+            .map(|i| {
+                let id = (iter as u64) << 32 | i as u64;
+                // A quarter of the chains are long visibility refinements;
+                // the rest are short.
+                let len = match draw_range(self.seed, id ^ 0x10A6, 0, 3) {
+                    0 => 8 + draw_range(self.seed, id ^ 0x77, 0, 9),
+                    1 => 14 + draw_range(self.seed, id ^ 0x77, 0, 7),
+                    _ => 24 + draw_range(self.seed, id ^ 0x77, 0, 17),
+                };
+                self.make_task(id, len as u16)
+            })
+            .collect()
+    }
+
+    fn make_task(&self, id: u64, remaining: u16) -> Task {
+        let work = draw_range(
+            self.seed,
+            id,
+            self.params.base_work,
+            self.params.base_work + self.params.work_spread,
+        );
+        Task { id, work, remaining }
+    }
+
+    /// Deterministic successor of a completed task: chains continue one
+    /// task at a time until exhausted.
+    fn children_of(&mut self, task: Task) -> Vec<Task> {
+        if task.remaining == 0 {
+            return Vec::new();
+        }
+        let id = {
+            let mut sh = self.shared.borrow_mut();
+            sh.task_counter += 1;
+            (1u64 << 48) | sh.task_counter
+        };
+        vec![self.make_task(id, task.remaining - 1)]
+    }
+
+    fn alloc_lock_for(&self, task_id: u64, alloc_idx: usize) -> ObjId {
+        let key = task_id ^ (alloc_idx as u64) << 17;
+        if draw_prob(self.seed, key ^ 0xE1E, 0.08) {
+            self.locks.free_elemvertex
+        } else if draw_prob(self.seed, key ^ 0xED6E, 0.04) {
+            self.locks.free_edge
+        } else {
+            self.locks.free_inter
+        }
+    }
+
+    fn iteration_done(&self) -> bool {
+        let sh = self.shared.borrow();
+        sh.filled_count == self.threads * (self.iter + 1)
+            && sh.completed == sh.spawned
+            && sh.queues.iter().all(VecDeque::is_empty)
+    }
+
+}
+
+impl Program for Worker {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        loop {
+            if let Some(a) = self.queued.pop_front() {
+                return a;
+            }
+            let optimized = self.params.optimized;
+            match self.phase {
+                Phase::FillNext => {
+                    if self.iter == 0 && self.fill_left.len() == self.params.initial_tasks && self.id == 0 {
+                        // Master marks the start of the parallel phase.
+                        self.queued.push_back(Action::Mark(self.locks.phase_marker));
+                    }
+                    if let Some(task) = self.fill_left.pop() {
+                        self.pending_task = Some(task);
+                        self.queued.push_back(Action::Lock(self.locks.enq(0, optimized)));
+                        self.phase = Phase::FillLocked;
+                    } else {
+                        self.shared.borrow_mut().filled_count += 1;
+                        self.phase = Phase::FindWork { scan: None };
+                    }
+                }
+                Phase::FillLocked => {
+                    let task = self.pending_task.take().expect("fill task pending");
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        sh.queues[0].push_back(task);
+                        sh.spawned += 1;
+                    }
+                    let hold = if optimized { self.params.split_hold } else { self.params.queue_hold };
+                    self.queued.push_back(Action::Compute(hold));
+                    self.queued.push_back(Action::Unlock(self.locks.enq(0, optimized)));
+                    self.phase = Phase::FillNext;
+                }
+                Phase::FindWork { scan } => {
+                    match scan {
+                        None => {
+                            if self.iteration_done() {
+                                self.queued.push_back(Action::Lock(self.locks.pbar));
+                                self.phase = Phase::PbarLocked;
+                            } else {
+                                // Try the own queue first; the emptiness
+                                // check happens under the lock.
+                                let q = self.own_q;
+                                self.queued.push_back(Action::Lock(self.locks.deq(q, optimized)));
+                                self.phase = Phase::DeqLocked { q, scan: Some(0) };
+                            }
+                        }
+                        Some(k) if k <= self.threads => {
+                            if k == self.own_q {
+                                // Own queue already tried; skip to next victim.
+                                self.phase = Phase::FindWork { scan: Some(k + 1) };
+                            } else if k == 0 {
+                                // The master queue is checked under its lock:
+                                // its emptiness cannot be trusted without it
+                                // (new global tasks appear at any moment).
+                                // This steady polling by starved threads is
+                                // what makes tq[0].qlock the scalability
+                                // bottleneck once threads outnumber the
+                                // available chains.
+                                self.queued.push_back(Action::Lock(self.locks.deq(0, optimized)));
+                                self.phase = Phase::DeqLocked { q: 0, scan: Some(k + 1) };
+                            } else if self.shared.borrow().queues[k].len() < 2 {
+                                // Peer queues are peeked cheaply before
+                                // committing to a steal, and a peer's single
+                                // in-flight successor is left alone — only
+                                // queues with surplus work are raided.
+                                self.phase = Phase::FindWork { scan: Some(k + 1) };
+                            } else {
+                                self.queued.push_back(Action::Lock(self.locks.deq(k, optimized)));
+                                self.phase = Phase::DeqLocked { q: k, scan: Some(k + 1) };
+                            }
+                        }
+                        Some(_) => {
+                            // Full scan failed: back off exponentially, then
+                            // re-check from the top (including the
+                            // termination test). The backoff keeps idle
+                            // tails cheap while still letting starved
+                            // threads race for arriving global tasks.
+                            self.queued.push_back(Action::Compute(self.backoff));
+                            self.backoff = self.params.idle_spin;
+                            self.phase = Phase::FindWork { scan: None };
+                        }
+                    }
+                }
+                Phase::DeqLocked { q, scan } => {
+                    self.cur_task = self.shared.borrow_mut().queues[q].pop_front();
+                    let hold = match (self.cur_task.is_some(), optimized) {
+                        (true, false) => self.params.queue_hold,
+                        (true, true) => self.params.split_hold,
+                        (false, false) => self.params.check_hold,
+                        (false, true) => self.params.split_check_hold,
+                    };
+                    self.queued.push_back(Action::Compute(hold));
+                    self.queued.push_back(Action::Unlock(self.locks.deq(q, optimized)));
+                    if let Some(t) = self.cur_task {
+                        self.backoff = self.params.idle_spin;
+                        self.chunks_left = self.params.allocs_per_task;
+                        self.chunk_work = t.work / (self.params.allocs_per_task as u64 + 1);
+                        self.phase = Phase::WorkChunk;
+                    } else {
+                        self.phase = Phase::FindWork { scan };
+                    }
+                }
+                Phase::WorkChunk => {
+                    let task = self.cur_task.expect("task being worked");
+                    if self.chunks_left > 0 {
+                        let idx = self.chunks_left;
+                        self.chunks_left -= 1;
+                        let lock = self.alloc_lock_for(task.id, idx);
+                        self.queued.push_back(Action::Compute(self.chunk_work));
+                        self.queued.push_back(Action::Lock(lock));
+                        self.phase = Phase::AllocLocked { lock };
+                    } else {
+                        self.queued.push_back(Action::Compute(self.chunk_work));
+                        self.children_left = self.children_of(task);
+                        self.phase = Phase::EnqChild;
+                    }
+                }
+                Phase::AllocLocked { lock } => {
+                    self.queued.push_back(Action::Compute(self.params.alloc_hold));
+                    self.queued.push_back(Action::Unlock(lock));
+                    self.phase = Phase::WorkChunk;
+                }
+                Phase::EnqChild => {
+                    if let Some(child) = self.children_left.pop() {
+                        // A fraction of successors are published to the
+                        // master queue for redistribution; the rest stay
+                        // local.
+                        let q = if draw_prob(self.seed, child.id ^ 0x61, self.params.global_enqueue_prob)
+                        {
+                            0
+                        } else {
+                            self.own_q
+                        };
+                        self.pending_task = Some(child);
+                        self.queued.push_back(Action::Lock(self.locks.enq(q, optimized)));
+                        self.phase = Phase::EnqLocked { q };
+                    } else {
+                        self.shared.borrow_mut().completed += 1;
+                        self.cur_task = None;
+                        self.phase = Phase::FindWork { scan: None };
+                    }
+                }
+                Phase::EnqLocked { q } => {
+                    let child = self.pending_task.take().expect("child pending");
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        sh.queues[q].push_back(child);
+                        sh.spawned += 1;
+                    }
+                    let hold = if optimized { self.params.split_hold } else { self.params.queue_hold };
+                    self.queued.push_back(Action::Compute(hold));
+                    self.queued.push_back(Action::Unlock(self.locks.enq(q, optimized)));
+                    self.phase = Phase::EnqChild;
+                }
+                Phase::PbarLocked => {
+                    self.queued.push_back(Action::Compute(self.params.pbar_hold));
+                    self.queued.push_back(Action::Unlock(self.locks.pbar));
+                    self.queued.push_back(Action::Barrier(self.locks.barrier));
+                    self.phase = Phase::AfterBarrier;
+                }
+                Phase::AfterBarrier => {
+                    self.iter += 1;
+                    if self.iter >= self.params.iterations {
+                        if self.id == 0 {
+                            // Master marks the end of the parallel phase.
+                            self.queued.push_back(Action::Mark(self.locks.phase_marker));
+                        }
+                        self.phase = Phase::Done;
+                    } else {
+                        self.fill_left = self.initial_tasks_for_iter(self.iter);
+                        self.phase = Phase::FillNext;
+                    }
+                }
+                Phase::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+/// Run the radiosity model.
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_with(cfg, RadiosityParams { initial_tasks: cfg.scaled(48), ..Default::default() })
+}
+
+/// Run the optimized (two-lock queue) variant.
+pub fn run_optimized(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_with(
+        cfg,
+        RadiosityParams {
+            initial_tasks: cfg.scaled(48),
+            optimized: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// Run with explicit parameters.
+pub fn run_with(cfg: &WorkloadCfg, params: RadiosityParams) -> Result<Trace> {
+    let name = if params.optimized { "radiosity-opt" } else { "radiosity" };
+    let mut sim = Simulator::new(name, cfg.machine.clone());
+    let threads = cfg.threads;
+
+    let mut tq = Vec::new();
+    let mut tq_head = Vec::new();
+    let mut tq_tail = Vec::new();
+    // Queue 0 is the shared master queue; queues 1..=threads are the
+    // workers' local queues.
+    if params.optimized {
+        for i in 0..=threads {
+            tq_head.push(sim.add_lock(format!("tq[{i}].q_head_lock")));
+            tq_tail.push(sim.add_lock(format!("tq[{i}].q_tail_lock")));
+        }
+    } else {
+        for i in 0..=threads {
+            tq.push(sim.add_lock(format!("tq[{i}].qlock")));
+        }
+    }
+    let locks = Rc::new(Locks {
+        tq,
+        tq_head,
+        tq_tail,
+        free_inter: sim.add_lock("freeInter"),
+        phase_marker: sim.add_marker("parallel_phase"),
+        free_elemvertex: sim.add_lock("free_elemvertex"),
+        free_edge: sim.add_lock("free_edge"),
+        pbar: sim.add_lock("pbar_lock"),
+        barrier: sim.add_barrier("phase_barrier", threads),
+    });
+
+    let shared = Rc::new(RefCell::new(Shared {
+        queues: vec![VecDeque::new(); threads + 1],
+        spawned: 0,
+        completed: 0,
+        filled_count: 0,
+        task_counter: 0,
+    }));
+
+    let params = Rc::new(params);
+    let workers: Vec<(String, Box<dyn Program>)> = (0..threads)
+        .map(|i| {
+            (
+                format!("worker-{i}"),
+                Box::new(Worker::new(
+                    i,
+                    threads,
+                    cfg.seed,
+                    Rc::clone(&params),
+                    Rc::clone(&locks),
+                    Rc::clone(&shared),
+                )) as Box<dyn Program>,
+            )
+        })
+        .collect();
+    sim.spawn("main", ForkJoinMain::new(workers));
+
+    let mut trace = sim.run()?;
+    trace
+        .meta
+        .params
+        .insert("workers".into(), threads.to_string());
+    trace
+        .meta
+        .params
+        .insert("optimized".into(), params.optimized.to_string());
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn small(threads: usize) -> WorkloadCfg {
+        WorkloadCfg::with_threads(threads).with_scale(0.4)
+    }
+
+    #[test]
+    fn completes_and_validates() {
+        let t = run(&small(4)).unwrap();
+        assert_eq!(t.num_threads(), 5);
+        let rep = analyze(&t);
+        assert!(rep.cp_complete, "walk must complete");
+        assert_eq!(rep.cp_length, rep.makespan);
+    }
+
+    #[test]
+    fn all_tasks_processed_deterministically() {
+        let a = run(&small(4)).unwrap();
+        let b = run(&small(4)).unwrap();
+        assert_eq!(a, b, "same seed/config must reproduce the trace");
+    }
+
+    #[test]
+    fn tq0_dominates_at_high_thread_count() {
+        let rep = analyze(&run(&small(16)).unwrap());
+        let top = rep.top_critical_lock().unwrap();
+        assert_eq!(top.name, "tq[0].qlock", "report: {:?}", top_names(&rep));
+    }
+
+    #[test]
+    fn free_inter_dominates_at_low_thread_count() {
+        let rep = analyze(&run(&small(4)).unwrap());
+        let top = rep.top_critical_lock().unwrap();
+        assert_eq!(top.name, "freeInter", "report: {:?}", top_names(&rep));
+    }
+
+    #[test]
+    fn optimized_version_is_faster_at_high_threads() {
+        let orig = run(&small(16)).unwrap();
+        let opt = run_optimized(&small(16)).unwrap();
+        assert!(
+            opt.makespan() < orig.makespan(),
+            "optimized {} must beat original {}",
+            opt.makespan(),
+            orig.makespan()
+        );
+    }
+
+    #[test]
+    fn optimized_tq0_share_collapses() {
+        let orig = analyze(&run(&small(16)).unwrap());
+        let opt = analyze(&run_optimized(&small(16)).unwrap());
+        let before = orig.lock_by_name("tq[0].qlock").unwrap().cp_time_frac;
+        let after_head = opt
+            .lock_by_name("tq[0].q_head_lock")
+            .map(|l| l.cp_time_frac)
+            .unwrap_or(0.0);
+        assert!(
+            after_head < before,
+            "head-lock share {after_head} must drop below {before}"
+        );
+    }
+
+    #[test]
+    fn parallel_phase_window_analyzes() {
+        let t = run(&small(8)).unwrap();
+        let phase = critlock_analysis::analyze_phase(&t, "parallel_phase")
+            .expect("phase markers present");
+        assert!(phase.cp_complete);
+        assert!(phase.makespan <= t.makespan());
+        // The phase covers nearly the whole run (radiosity is all
+        // parallel phase here), so the top lock matches the full report.
+        let full = critlock_analysis::analyze(&t);
+        assert_eq!(
+            phase.top_critical_lock().map(|l| l.name.clone()),
+            full.top_critical_lock().map(|l| l.name.clone())
+        );
+    }
+
+    fn top_names(rep: &critlock_analysis::AnalysisReport) -> Vec<(String, f64)> {
+        rep.locks
+            .iter()
+            .take(4)
+            .map(|l| (l.name.clone(), l.cp_time_frac))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod calibration {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    /// Calibration aid: prints the fig9-style table. Run with
+    /// `cargo test -p critlock-workloads calibrate_radiosity -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn calibrate_radiosity() {
+        for threads in [4, 8, 16, 24] {
+            let cfg = WorkloadCfg::with_threads(threads);
+            let t = run(&cfg).unwrap();
+            let rep = analyze(&t);
+            println!("--- {threads} threads: makespan {} events {} ---", t.makespan(), t.num_events());
+            for l in rep.locks.iter().take(5) {
+                println!(
+                    "  {:<18} cp {:>6.2}% wait {:>6.2}% contprob-cp {:>6.2}% invo-cp {:>6} avg-invo {:>7.1} hold {:>5.2}%",
+                    l.name,
+                    l.cp_time_frac * 100.0,
+                    l.avg_wait_frac * 100.0,
+                    l.cont_prob_on_cp * 100.0,
+                    l.invocations_on_cp,
+                    l.avg_invocations_per_thread,
+                    l.avg_hold_frac * 100.0,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration_opt {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    #[test]
+    #[ignore]
+    fn calibrate_radiosity_optimized() {
+        for threads in [4, 8, 16, 24] {
+            let cfg = WorkloadCfg::with_threads(threads);
+            let orig = run(&cfg).unwrap();
+            let opt = run_optimized(&cfg).unwrap();
+            let rep = analyze(&opt);
+            println!(
+                "--- {threads} threads: orig {} opt {} gain {:.1}% ---",
+                orig.makespan(),
+                opt.makespan(),
+                (orig.makespan() as f64 / opt.makespan() as f64 - 1.0) * 100.0
+            );
+            for l in rep.locks.iter().take(3) {
+                println!(
+                    "  {:<22} cp {:>6.2}% wait {:>5.2}% contprob-cp {:>6.2}% invo-cp {:>6} avg-invo {:>7.1} hold {:>5.2}%",
+                    l.name, l.cp_time_frac*100.0, l.avg_wait_frac*100.0,
+                    l.cont_prob_on_cp*100.0, l.invocations_on_cp,
+                    l.avg_invocations_per_thread, l.avg_hold_frac*100.0,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Raytrace (SPLASH-2) synchronization skeleton.
+//!
+//! Ray tracing of the `car` scene: jobs (ray-packet tiles) come from a
+//! distributed job queue (`qlock`), and — the interesting part — node
+//! allocations for the ray tree come from a **global memory arena**
+//! guarded by `mem`. Fig. 8's Raytrace row is one of the paper's
+//! headline discrepancies: the Wait Time metric significantly
+//! *underestimates* `mem`, whose many small allocations sit squarely on
+//! the critical path as threads scale.
+
+use crate::common::{draw_range, ForkJoinMain, WorkloadCfg};
+use critlock_sim::{Action, Program, Result, Simulator, StepCtx};
+use critlock_trace::{ObjId, Trace};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct RaytraceParams {
+    /// Ray-packet jobs per run.
+    pub jobs: usize,
+    /// Minimum per-job tracing work.
+    pub job_work_min: u64,
+    /// Additional per-job work spread (reflective surfaces).
+    pub job_work_spread: u64,
+    /// Ray-tree node allocations per job (from the `mem` arena).
+    pub allocs_per_job: usize,
+    /// Hold time of one `mem` arena allocation.
+    pub mem_hold: u64,
+    /// Hold time of a job-queue pop.
+    pub queue_hold: u64,
+    /// Hold time of an empty-queue check.
+    pub check_hold: u64,
+}
+
+impl Default for RaytraceParams {
+    fn default() -> Self {
+        RaytraceParams {
+            jobs: 1024, // `car 256`: 256x256 image in 8x8 packets
+            job_work_min: 160,
+            job_work_spread: 420,
+            allocs_per_job: 4,
+            mem_hold: 3,
+            queue_hold: 4,
+            check_hold: 2,
+        }
+    }
+}
+
+struct Shared {
+    remaining: usize,
+    traced: u64,
+}
+
+enum Phase {
+    PopLocked,
+    Trace { job: u64, allocs_left: usize, chunk: u64 },
+    MemLocked { job: u64, allocs_left: usize, chunk: u64 },
+    Done,
+}
+
+struct Worker {
+    seed: u64,
+    params: Rc<RaytraceParams>,
+    qlock: ObjId,
+    mem: ObjId,
+    shared: Rc<RefCell<Shared>>,
+    phase: Phase,
+    queued: VecDeque<Action>,
+}
+
+impl Program for Worker {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        loop {
+            if let Some(a) = self.queued.pop_front() {
+                return a;
+            }
+            match self.phase {
+                Phase::PopLocked => {
+                    let job = {
+                        let mut sh = self.shared.borrow_mut();
+                        if sh.remaining > 0 {
+                            sh.remaining -= 1;
+                            Some(sh.remaining as u64)
+                        } else {
+                            None
+                        }
+                    };
+                    let hold = if job.is_some() {
+                        self.params.queue_hold
+                    } else {
+                        self.params.check_hold
+                    };
+                    self.queued.push_back(Action::Compute(hold));
+                    self.queued.push_back(Action::Unlock(self.qlock));
+                    match job {
+                        Some(job) => {
+                            let total = self.params.job_work_min
+                                + draw_range(self.seed, job ^ 0x6A7, 0, self.params.job_work_spread);
+                            let chunk = total / (self.params.allocs_per_job as u64 + 1);
+                            self.phase = Phase::Trace {
+                                job,
+                                allocs_left: self.params.allocs_per_job,
+                                chunk,
+                            };
+                        }
+                        None => self.phase = Phase::Done,
+                    }
+                }
+                Phase::Trace { job, allocs_left, chunk } => {
+                    self.queued.push_back(Action::Compute(chunk));
+                    if allocs_left > 0 {
+                        self.queued.push_back(Action::Lock(self.mem));
+                        self.phase = Phase::MemLocked { job, allocs_left: allocs_left - 1, chunk };
+                    } else {
+                        self.shared.borrow_mut().traced += 1;
+                        self.queued.push_back(Action::Lock(self.qlock));
+                        self.phase = Phase::PopLocked;
+                    }
+                }
+                Phase::MemLocked { job, allocs_left, chunk } => {
+                    self.queued.push_back(Action::Compute(self.params.mem_hold));
+                    self.queued.push_back(Action::Unlock(self.mem));
+                    self.phase = Phase::Trace { job, allocs_left, chunk };
+                }
+                Phase::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+/// Run the Raytrace model.
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_with(cfg, RaytraceParams { jobs: cfg.scaled(1024), ..Default::default() })
+}
+
+/// Run with explicit parameters.
+pub fn run_with(cfg: &WorkloadCfg, params: RaytraceParams) -> Result<Trace> {
+    let mut sim = Simulator::new("raytrace", cfg.machine.clone());
+    let threads = cfg.threads;
+    let qlock = sim.add_lock("qlock");
+    let mem = sim.add_lock("mem");
+    let shared = Rc::new(RefCell::new(Shared { remaining: params.jobs, traced: 0 }));
+    let params = Rc::new(params);
+
+    let workers: Vec<(String, Box<dyn Program>)> = (0..threads)
+        .map(|i| {
+            let mut w = Worker {
+                seed: cfg.seed,
+                params: Rc::clone(&params),
+                qlock,
+                mem,
+                shared: Rc::clone(&shared),
+                phase: Phase::PopLocked,
+                queued: VecDeque::new(),
+            };
+            w.queued.push_back(Action::Lock(qlock));
+            (format!("worker-{i}"), Box::new(w) as Box<dyn Program>)
+        })
+        .collect();
+    sim.spawn("main", ForkJoinMain::new(workers));
+
+    let mut trace = sim.run()?;
+    let sh = shared.borrow();
+    trace.meta.params.insert("jobs".into(), params.jobs.to_string());
+    trace.meta.params.insert("traced".into(), sh.traced.to_string());
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn small(threads: usize) -> WorkloadCfg {
+        WorkloadCfg::with_threads(threads).with_scale(0.3)
+    }
+
+    #[test]
+    fn all_jobs_traced() {
+        let t = run(&small(8)).unwrap();
+        assert_eq!(t.meta.params.get("traced"), t.meta.params.get("jobs"));
+    }
+
+    #[test]
+    fn mem_tops_and_wait_underestimates_it() {
+        let rep = analyze(&run(&small(24)).unwrap());
+        let mem = rep.lock_by_name("mem").unwrap();
+        assert_eq!(rep.rank_by_cp_time("mem"), Some(1));
+        // The discrepancy the paper highlights: CP share well above the
+        // average wait share.
+        assert!(
+            mem.cp_time_frac > 2.0 * mem.avg_wait_frac,
+            "cp {:.2}% vs wait {:.2}%",
+            mem.cp_time_frac * 100.0,
+            mem.avg_wait_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn walk_completes() {
+        let rep = analyze(&run(&small(4)).unwrap());
+        assert!(rep.cp_complete);
+        assert_eq!(rep.cp_length, rep.makespan);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&small(4)).unwrap(), run(&small(4)).unwrap());
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_raytrace() {
+        for threads in [4, 8, 16, 24] {
+            let t = run(&WorkloadCfg::with_threads(threads)).unwrap();
+            let rep = analyze(&t);
+            print!("{threads}t: makespan {}", t.makespan());
+            for l in rep.locks.iter().take(2) {
+                print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Registry of all workloads, for the CLI and the bench harness.
+
+use crate::common::WorkloadCfg;
+use crate::{ldap, micro, radiosity, raytrace, tsp, uts, volrend, water};
+use critlock_sim::Result;
+use critlock_trace::Trace;
+
+/// A named runnable workload.
+pub struct WorkloadSpec {
+    /// Registry name (e.g. `"radiosity"` or `"tsp-opt"`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    runner: fn(&WorkloadCfg) -> Result<Trace>,
+}
+
+impl WorkloadSpec {
+    /// Run the workload.
+    pub fn run(&self, cfg: &WorkloadCfg) -> Result<Trace> {
+        (self.runner)(cfg)
+    }
+}
+
+/// All registered workloads.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "micro",
+            description: "Fig. 5 micro-benchmark: two consecutive critical sections",
+            runner: micro::run,
+        },
+        WorkloadSpec {
+            name: "micro-opt-l1",
+            description: "micro-benchmark with CS1 (under L1) shortened",
+            runner: micro::run_l1_optimized,
+        },
+        WorkloadSpec {
+            name: "micro-opt-l2",
+            description: "micro-benchmark with CS2 (under L2) shortened",
+            runner: micro::run_l2_optimized,
+        },
+        WorkloadSpec {
+            name: "radiosity",
+            description: "SPLASH-2 Radiosity: per-thread task queues + master queue",
+            runner: radiosity::run,
+        },
+        WorkloadSpec {
+            name: "radiosity-opt",
+            description: "Radiosity with Michael-Scott two-lock task queues",
+            runner: radiosity::run_optimized,
+        },
+        WorkloadSpec {
+            name: "tsp",
+            description: "branch-and-bound TSP with a global Qlock queue",
+            runner: tsp::run,
+        },
+        WorkloadSpec {
+            name: "tsp-opt",
+            description: "TSP with the queue split into Q_headlock/Q_taillock",
+            runner: tsp::run_optimized,
+        },
+        WorkloadSpec {
+            name: "uts",
+            description: "Unbalanced Tree Search: per-thread stackLock[i]",
+            runner: uts::run,
+        },
+        WorkloadSpec {
+            name: "water-nsquared",
+            description: "SPLASH-2 Water-nsquared: barrier phases, gl + MolLock[]",
+            runner: water::run,
+        },
+        WorkloadSpec {
+            name: "volrend",
+            description: "SPLASH-2 Volrend: tile queue QLock + CountLock",
+            runner: volrend::run,
+        },
+        WorkloadSpec {
+            name: "raytrace",
+            description: "SPLASH-2 Raytrace: job qlock + global mem arena lock",
+            runner: raytrace::run,
+        },
+        WorkloadSpec {
+            name: "openldap",
+            description: "OpenLDAP-like server: conn queue + striped entry cache",
+            runner: ldap::run,
+        },
+    ]
+}
+
+/// Look up a workload by name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Run a workload by name.
+pub fn run_workload(name: &str, cfg: &WorkloadCfg) -> Option<Result<Trace>> {
+    by_name(name).map(|w| w.run(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique() {
+        let specs = all();
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(by_name("radiosity").is_some());
+        assert!(by_name("tsp-opt").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_at_tiny_scale() {
+        for spec in all() {
+            let cfg = WorkloadCfg::with_threads(4).with_scale(0.2);
+            let trace = spec
+                .run(&cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            assert!(trace.makespan() > 0, "{} produced empty trace", spec.name);
+            trace.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn every_workload_analyzes_cleanly() {
+        for spec in all() {
+            let cfg = WorkloadCfg::with_threads(4).with_scale(0.2);
+            let trace = spec.run(&cfg).unwrap();
+            let rep = critlock_analysis::analyze(&trace);
+            assert!(rep.cp_complete, "{}: walk incomplete", spec.name);
+            assert_eq!(
+                rep.cp_length, rep.makespan,
+                "{}: CP must tile the makespan",
+                spec.name
+            );
+        }
+    }
+}

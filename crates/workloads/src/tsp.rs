@@ -1,0 +1,460 @@
+//! Travelling Salesman Problem (Pthreads version) synchronization
+//! skeleton — with a real branch-and-bound solver inside.
+//!
+//! "A global task queue protected by `Qlock` is used by TSP to maintain
+//! the paths which is accessed by all threads from time to time. ...
+//! `Qlock` contributes to 68% of the critical path" (§V.E). The paper's
+//! fix is the same two-lock split as Radiosity: `Q_headlock` +
+//! `Q_taillock`, reported to improve the 24-thread run by 19%.
+//!
+//! The model runs an actual branch-and-bound TSP over a seeded random
+//! distance matrix: partial tours are expanded, bounded against the best
+//! complete tour (updated under `BestLock`), and children are published
+//! back to the global queue. Expansion *work* advances virtual time; the
+//! tour arithmetic itself is exact.
+
+use crate::common::{draw_range, ForkJoinMain, WorkloadCfg};
+use critlock_sim::{Action, Program, Result, Simulator, StepCtx};
+use critlock_trace::{ObjId, Trace};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct TspParams {
+    /// Number of cities (the paper uses 10).
+    pub cities: usize,
+    /// Virtual-ns of bound/distance computation per expanded node.
+    pub expand_work: u64,
+    /// Additional uniform spread of per-node work.
+    pub work_spread: u64,
+    /// Hold time of a queue pop or push operation.
+    pub queue_hold: u64,
+    /// Hold time of a pop that finds the queue empty.
+    pub check_hold: u64,
+    /// Hold time of the best-tour update.
+    pub best_hold: u64,
+    /// Busy-poll cost when the queue is empty but work is in flight.
+    pub idle_spin: u64,
+    /// Split `Qlock` into `Q_headlock`/`Q_taillock`.
+    pub optimized: bool,
+}
+
+impl Default for TspParams {
+    fn default() -> Self {
+        TspParams {
+            cities: 10,
+            expand_work: 420,
+            work_spread: 160,
+            queue_hold: 17,
+            check_hold: 9,
+            best_hold: 3,
+            idle_spin: 40,
+            optimized: false,
+        }
+    }
+}
+
+/// A partial tour.
+#[derive(Debug, Clone)]
+struct Path {
+    visited_mask: u32,
+    last: u8,
+    len: u8,
+    cost: u32,
+}
+
+struct TspShared {
+    dist: Vec<Vec<u32>>,
+    queue: VecDeque<Path>,
+    best: u32,
+    in_flight: usize,
+    expansions: u64,
+}
+
+impl TspShared {
+    fn new(cities: usize, seed: u64) -> Self {
+        let mut dist = vec![vec![0u32; cities]; cities];
+        for (i, row) in dist.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i != j {
+                    let key = ((i.min(j) as u64) << 16) | i.max(j) as u64;
+                    *cell = 10 + draw_range(seed, key ^ 0xD157, 0, 90) as u32;
+                }
+            }
+        }
+        // Greedy nearest-neighbour tour as the initial bound.
+        let mut visited = 1u32;
+        let mut cur = 0usize;
+        let mut bound = 0u32;
+        for _ in 1..cities {
+            let (next, d) = (0..cities)
+                .filter(|&c| visited & (1 << c) == 0)
+                .map(|c| (c, dist[cur][c]))
+                .min_by_key(|&(_, d)| d)
+                .expect("unvisited city exists");
+            visited |= 1 << next;
+            bound += d;
+            cur = next;
+        }
+        bound += dist[cur][0];
+
+        let mut queue = VecDeque::new();
+        queue.push_back(Path { visited_mask: 1, last: 0, len: 1, cost: 0 });
+        TspShared { dist, queue, best: bound, in_flight: 0, expansions: 0 }
+    }
+}
+
+struct Locks {
+    /// Single-lock mode.
+    qlock: Option<ObjId>,
+    /// Split mode.
+    q_head: Option<ObjId>,
+    q_tail: Option<ObjId>,
+    best: ObjId,
+}
+
+impl Locks {
+    fn deq(&self) -> ObjId {
+        self.q_head.or(self.qlock).expect("queue lock registered")
+    }
+    fn enq(&self) -> ObjId {
+        self.q_tail.or(self.qlock).expect("queue lock registered")
+    }
+}
+
+enum Phase {
+    PopLocked,
+    Expand,
+    BestLocked { improved: u32 },
+    PushLocked,
+    Done,
+}
+
+struct Worker {
+    seed: u64,
+    params: Rc<TspParams>,
+    locks: Rc<Locks>,
+    shared: Rc<RefCell<TspShared>>,
+    phase: Phase,
+    queued: VecDeque<Action>,
+    cur: Option<Path>,
+    children: Vec<Path>,
+}
+
+impl Worker {
+    fn start_find(&mut self) {
+        self.queued.push_back(Action::Lock(self.locks.deq()));
+        self.phase = Phase::PopLocked;
+    }
+
+    /// Expand the current path; returns (children, improved-best).
+    fn expand(&mut self) -> (Vec<Path>, Option<u32>) {
+        let path = self.cur.take().expect("path being expanded");
+        let mut sh = self.shared.borrow_mut();
+        sh.expansions += 1;
+        let n = sh.dist.len();
+        let mut children = Vec::new();
+        let mut improved = None;
+        if path.len as usize == n {
+            // Complete tour: close it.
+            let total = path.cost + sh.dist[path.last as usize][0];
+            if total < sh.best {
+                improved = Some(total);
+            }
+        } else {
+            for city in 1..n {
+                if path.visited_mask & (1 << city) != 0 {
+                    continue;
+                }
+                let cost = path.cost + sh.dist[path.last as usize][city];
+                // Bound: prune against the current best (read without the
+                // lock, as the Pthreads TSP does — stale reads only cost
+                // extra work, never correctness).
+                if cost >= sh.best {
+                    continue;
+                }
+                children.push(Path {
+                    visited_mask: path.visited_mask | (1 << city),
+                    last: city as u8,
+                    len: path.len + 1,
+                    cost,
+                });
+            }
+        }
+        (children, improved)
+    }
+}
+
+impl Program for Worker {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        loop {
+            if let Some(a) = self.queued.pop_front() {
+                return a;
+            }
+            match self.phase {
+                Phase::PopLocked => {
+                    let popped = {
+                        let mut sh = self.shared.borrow_mut();
+                        let p = sh.queue.pop_front();
+                        if p.is_some() {
+                            sh.in_flight += 1;
+                        }
+                        p
+                    };
+                    let hold = if popped.is_some() {
+                        self.params.queue_hold
+                    } else {
+                        self.params.check_hold
+                    };
+                    self.queued.push_back(Action::Compute(hold));
+                    self.queued.push_back(Action::Unlock(self.locks.deq()));
+                    match popped {
+                        Some(p) => {
+                            self.cur = Some(p);
+                            self.phase = Phase::Expand;
+                        }
+                        None => {
+                            if self.shared.borrow().in_flight == 0 {
+                                self.phase = Phase::Done;
+                            } else {
+                                self.queued.push_back(Action::Compute(self.params.idle_spin));
+                                self.start_find();
+                            }
+                        }
+                    }
+                }
+                Phase::Expand => {
+                    let work_key = self.shared.borrow().expansions;
+                    let work = self.params.expand_work
+                        + draw_range(self.seed, work_key, 0, self.params.work_spread.max(1));
+                    self.queued.push_back(Action::Compute(work));
+                    let (children, improved) = self.expand();
+                    self.children = children;
+                    if let Some(best) = improved {
+                        self.queued.push_back(Action::Lock(self.locks.best));
+                        self.phase = Phase::BestLocked { improved: best };
+                    } else if self.children.is_empty() {
+                        self.shared.borrow_mut().in_flight -= 1;
+                        self.start_find();
+                    } else {
+                        self.queued.push_back(Action::Lock(self.locks.enq()));
+                        self.phase = Phase::PushLocked;
+                    }
+                }
+                Phase::BestLocked { improved } => {
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        // Re-check under the lock.
+                        if improved < sh.best {
+                            sh.best = improved;
+                        }
+                        sh.in_flight -= 1;
+                    }
+                    self.queued.push_back(Action::Compute(self.params.best_hold));
+                    self.queued.push_back(Action::Unlock(self.locks.best));
+                    self.start_find();
+                }
+                Phase::PushLocked => {
+                    let n = self.children.len() as u64;
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        for c in self.children.drain(..) {
+                            sh.queue.push_back(c);
+                        }
+                        sh.in_flight -= 1;
+                    }
+                    self.queued.push_back(Action::Compute(self.params.queue_hold + 2 * n));
+                    self.queued.push_back(Action::Unlock(self.locks.enq()));
+                    self.start_find();
+                }
+                Phase::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+/// Run TSP with default parameters (10 cities, as in Table 1).
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    let cities = scaled_cities(cfg);
+    run_with(cfg, TspParams { cities, ..Default::default() })
+}
+
+/// Run the split-queue optimized variant.
+pub fn run_optimized(cfg: &WorkloadCfg) -> Result<Trace> {
+    let cities = scaled_cities(cfg);
+    run_with(cfg, TspParams { cities, optimized: true, ..Default::default() })
+}
+
+fn scaled_cities(cfg: &WorkloadCfg) -> usize {
+    // Scale 1.0 = 10 cities; each 0.15 drop removes roughly one city.
+    let c = (10.0 + (cfg.scale - 1.0) / 0.15).round() as i64;
+    c.clamp(5, 13) as usize
+}
+
+/// Run with explicit parameters.
+pub fn run_with(cfg: &WorkloadCfg, params: TspParams) -> Result<Trace> {
+    let name = if params.optimized { "tsp-opt" } else { "tsp" };
+    let mut sim = Simulator::new(name, cfg.machine.clone());
+    let locks = Rc::new(if params.optimized {
+        Locks {
+            qlock: None,
+            q_head: Some(sim.add_lock("Q_headlock")),
+            q_tail: Some(sim.add_lock("Q_taillock")),
+            best: sim.add_lock("BestLock"),
+        }
+    } else {
+        Locks {
+            qlock: Some(sim.add_lock("Qlock")),
+            q_head: None,
+            q_tail: None,
+            best: sim.add_lock("BestLock"),
+        }
+    });
+    let shared = Rc::new(RefCell::new(TspShared::new(params.cities, cfg.seed)));
+    let params = Rc::new(params);
+
+    let workers: Vec<(String, Box<dyn Program>)> = (0..cfg.threads)
+        .map(|i| {
+            let mut w = Worker {
+                seed: cfg.seed,
+                params: Rc::clone(&params),
+                locks: Rc::clone(&locks),
+                shared: Rc::clone(&shared),
+                phase: Phase::Done,
+                queued: VecDeque::new(),
+                cur: None,
+                children: Vec::new(),
+            };
+            w.start_find();
+            (format!("worker-{i}"), Box::new(w) as Box<dyn Program>)
+        })
+        .collect();
+    sim.spawn("main", ForkJoinMain::new(workers));
+
+    let mut trace = sim.run()?;
+    let sh = shared.borrow();
+    trace.meta.params.insert("cities".into(), params.cities.to_string());
+    trace.meta.params.insert("best_tour".into(), sh.best.to_string());
+    trace.meta.params.insert("expansions".into(), sh.expansions.to_string());
+    trace.meta.params.insert("optimized".into(), params.optimized.to_string());
+    Ok(trace)
+}
+
+/// Exhaustive-search reference for the optimal tour cost (test oracle;
+/// only tractable for small city counts).
+pub fn brute_force_best(cities: usize, seed: u64) -> u32 {
+    let sh = TspShared::new(cities, seed);
+    let mut perm: Vec<usize> = (1..cities).collect();
+    let mut best = u32::MAX;
+    permute(&mut perm, 0, &sh.dist, &mut best);
+    best
+}
+
+fn permute(perm: &mut [usize], k: usize, dist: &[Vec<u32>], best: &mut u32) {
+    if k == perm.len() {
+        let mut cost = dist[0][perm[0]];
+        for w in perm.windows(2) {
+            cost += dist[w[0]][w[1]];
+        }
+        cost += dist[perm[perm.len() - 1]][0];
+        *best = (*best).min(cost);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, dist, best);
+        perm.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn small(threads: usize) -> WorkloadCfg {
+        // scale 0.55 -> 7 cities: fast yet non-trivial.
+        WorkloadCfg::with_threads(threads).with_scale(0.55)
+    }
+
+    #[test]
+    fn solves_tsp_correctly() {
+        let cfg = small(4);
+        let trace = run(&cfg).unwrap();
+        let reported: u32 = trace.meta.params.get("best_tour").unwrap().parse().unwrap();
+        let cities: usize = trace.meta.params.get("cities").unwrap().parse().unwrap();
+        assert_eq!(reported, brute_force_best(cities, cfg.seed));
+    }
+
+    #[test]
+    fn optimized_solves_identically() {
+        let cfg = small(8);
+        let a = run(&cfg).unwrap();
+        let b = run_optimized(&cfg).unwrap();
+        assert_eq!(a.meta.params.get("best_tour"), b.meta.params.get("best_tour"));
+    }
+
+    #[test]
+    fn qlock_dominates_critical_path() {
+        // The full-scale magnitude (~68% at 24 threads, paper §V.E) is
+        // checked by the fig8/tsp bench; at test scale we pin the ranking
+        // and a substantial share.
+        let rep = analyze(&run(&small(24)).unwrap());
+        let q = rep.lock_by_name("Qlock").unwrap();
+        assert_eq!(rep.rank_by_cp_time("Qlock"), Some(1));
+        assert!(
+            q.cp_time_frac > 0.15,
+            "Qlock must dominate, got {:.1}%",
+            q.cp_time_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn split_queue_improves_makespan() {
+        let orig = run(&small(16)).unwrap();
+        let opt = run_optimized(&small(16)).unwrap();
+        assert!(
+            opt.makespan() < orig.makespan(),
+            "split queue must help: {} vs {}",
+            opt.makespan(),
+            orig.makespan()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&small(8)).unwrap();
+        let b = run(&small(8)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walk_completes() {
+        let rep = analyze(&run(&small(8)).unwrap());
+        assert!(rep.cp_complete);
+        assert_eq!(rep.cp_length, rep.makespan);
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_tsp() {
+        for threads in [4, 8, 16, 24] {
+            let cfg = WorkloadCfg::with_threads(threads);
+            let orig = run(&cfg).unwrap();
+            let opt = run_optimized(&cfg).unwrap();
+            let rep = analyze(&orig);
+            let q = rep.lock_by_name("Qlock").unwrap();
+            println!(
+                "{threads}t: makespan {} (opt {} gain {:+.1}%) Qlock cp {:.1}% wait {:.1}% expansions {}",
+                orig.makespan(),
+                opt.makespan(),
+                (orig.makespan() as f64 / opt.makespan() as f64 - 1.0) * 100.0,
+                q.cp_time_frac * 100.0,
+                q.avg_wait_frac * 100.0,
+                orig.meta.params.get("expansions").unwrap(),
+            );
+        }
+    }
+}

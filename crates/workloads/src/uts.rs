@@ -1,0 +1,334 @@
+//! Unbalanced Tree Search (UTS) synchronization skeleton.
+//!
+//! UTS counts the nodes of an implicitly-defined, highly unbalanced tree.
+//! Each thread keeps its own node stack protected by `stackLock[i]`; the
+//! owner takes its lock for every push/pop of the shared region, and idle
+//! threads steal chunks from a victim's stack under the victim's lock.
+//!
+//! The paper's point with UTS (§V.C): its stack locks introduce almost
+//! **no contention** — wait-time tools conclude there is no lock problem
+//! at all — yet `stackLock[5]` still accounts for ~5% of the critical
+//! path, because the owner's (uncontended!) lock operations lie on the
+//! path. Critical lock analysis surfaces them; idleness analysis cannot.
+//!
+//! The tree here is a real implicit tree: child counts derive
+//! deterministically from node ids (a geometric-ish branching law), and
+//! the run records the total node count for verification against a
+//! sequential traversal.
+
+use crate::common::{draw_range, ForkJoinMain, WorkloadCfg};
+use critlock_sim::{Action, Program, Result, Simulator, StepCtx};
+use critlock_trace::{ObjId, Trace};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct UtsParams {
+    /// Number of children of the root (UTS `-b0`).
+    pub root_branching: usize,
+    /// Virtual-ns of hash/bookkeeping work per node.
+    pub node_work: u64,
+    /// Additional uniform spread of per-node work.
+    pub work_spread: u64,
+    /// Hold time of a stack push/pop under the owner's `stackLock`.
+    pub stack_hold: u64,
+    /// Hold time of a steal operation (grabs half the victim's stack).
+    pub steal_hold: u64,
+    /// Busy-poll cost while hunting for a victim.
+    pub idle_spin: u64,
+}
+
+impl Default for UtsParams {
+    fn default() -> Self {
+        UtsParams {
+            root_branching: 320,
+            node_work: 46,
+            work_spread: 18,
+            stack_hold: 2,
+            steal_hold: 4,
+            idle_spin: 30,
+        }
+    }
+}
+
+/// Deterministic child count of a non-root node (subcritical geometric
+/// law: expected branching < 1 so the tree terminates).
+fn children_of(seed: u64, id: u64) -> usize {
+    match draw_range(seed, id ^ 0x0715, 0, 20) {
+        0..=5 => 2, // p = 0.30 -> contributes 0.60
+        6..=8 => 1, // p = 0.15 -> contributes 0.15
+        _ => 0,     // total expected branching 0.75
+    }
+}
+
+/// Sequential reference traversal: total node count (test oracle).
+pub fn sequential_count(params: &UtsParams, seed: u64) -> u64 {
+    let mut stack: Vec<u64> = (0..params.root_branching as u64).map(|i| i + 1).collect();
+    let mut count = 1; // root
+    let mut next_id = params.root_branching as u64 + 1;
+    while let Some(id) = stack.pop() {
+        count += 1;
+        for _ in 0..children_of(seed, id) {
+            stack.push(next_id);
+            next_id += 1;
+        }
+    }
+    count
+}
+
+struct Shared {
+    stacks: Vec<Vec<u64>>,
+    next_id: u64,
+    nodes_counted: u64,
+    in_flight: usize,
+}
+
+enum Phase {
+    PopLocked,
+    Work { node: u64 },
+    PushLocked { children: usize },
+    FindVictim { scan: usize },
+    StealLocked { victim: usize },
+    Done,
+}
+
+struct Worker {
+    id: usize,
+    threads: usize,
+    seed: u64,
+    params: Rc<UtsParams>,
+    stack_locks: Rc<Vec<ObjId>>,
+    shared: Rc<RefCell<Shared>>,
+    phase: Phase,
+    queued: VecDeque<Action>,
+}
+
+impl Program for Worker {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        loop {
+            if let Some(a) = self.queued.pop_front() {
+                return a;
+            }
+            match self.phase {
+                Phase::PopLocked => {
+                    let node = {
+                        let mut sh = self.shared.borrow_mut();
+                        let n = sh.stacks[self.id].pop();
+                        if n.is_some() {
+                            sh.in_flight += 1;
+                        }
+                        n
+                    };
+                    self.queued.push_back(Action::Compute(self.params.stack_hold));
+                    self.queued.push_back(Action::Unlock(self.stack_locks[self.id]));
+                    match node {
+                        Some(node) => self.phase = Phase::Work { node },
+                        None => self.phase = Phase::FindVictim { scan: 0 },
+                    }
+                }
+                Phase::Work { node } => {
+                    let work = self.params.node_work
+                        + draw_range(self.seed, node, 0, self.params.work_spread.max(1));
+                    self.queued.push_back(Action::Compute(work));
+                    let kids = children_of(self.seed, node);
+                    self.shared.borrow_mut().nodes_counted += 1;
+                    if kids > 0 {
+                        self.queued.push_back(Action::Lock(self.stack_locks[self.id]));
+                        self.phase = Phase::PushLocked { children: kids };
+                    } else {
+                        self.shared.borrow_mut().in_flight -= 1;
+                        self.queued.push_back(Action::Lock(self.stack_locks[self.id]));
+                        self.phase = Phase::PopLocked;
+                    }
+                }
+                Phase::PushLocked { children } => {
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        for _ in 0..children {
+                            let id = sh.next_id;
+                            sh.next_id += 1;
+                            sh.stacks[self.id].push(id);
+                        }
+                        sh.in_flight -= 1;
+                    }
+                    self.queued
+                        .push_back(Action::Compute(self.params.stack_hold * children as u64));
+                    self.queued.push_back(Action::Unlock(self.stack_locks[self.id]));
+                    // Continue with a pop from the own stack.
+                    self.queued.push_back(Action::Lock(self.stack_locks[self.id]));
+                    self.phase = Phase::PopLocked;
+                }
+                Phase::FindVictim { scan } => {
+                    if scan >= self.threads {
+                        let done = {
+                            let sh = self.shared.borrow();
+                            sh.in_flight == 0 && sh.stacks.iter().all(Vec::is_empty)
+                        };
+                        if done {
+                            self.phase = Phase::Done;
+                        } else {
+                            self.queued.push_back(Action::Compute(self.params.idle_spin));
+                            self.phase = Phase::FindVictim { scan: 0 };
+                        }
+                        continue;
+                    }
+                    let victim = (self.id + 1 + scan) % self.threads;
+                    if victim != self.id && self.shared.borrow().stacks[victim].len() >= 2 {
+                        self.queued.push_back(Action::Lock(self.stack_locks[victim]));
+                        self.phase = Phase::StealLocked { victim };
+                    } else {
+                        self.phase = Phase::FindVictim { scan: scan + 1 };
+                    }
+                }
+                Phase::StealLocked { victim } => {
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        let take = sh.stacks[victim].len() / 2;
+                        for _ in 0..take {
+                            // Steal from the bottom (oldest, likely subtree
+                            // roots), as UTS chunked stealing does.
+                            let node = sh.stacks[victim].remove(0);
+                            sh.stacks[self.id].push(node);
+                        }
+                    }
+                    self.queued.push_back(Action::Compute(self.params.steal_hold));
+                    self.queued.push_back(Action::Unlock(self.stack_locks[victim]));
+                    // Now pop from the own stack; the transfer happened under
+                    // the victim's lock (UTS chunk-transfer simplification).
+                    self.queued.push_back(Action::Lock(self.stack_locks[self.id]));
+                    self.phase = Phase::PopLocked;
+                }
+                Phase::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+/// Run the UTS model.
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_with(cfg, UtsParams { root_branching: cfg.scaled(320), ..Default::default() })
+}
+
+/// Run with explicit parameters.
+pub fn run_with(cfg: &WorkloadCfg, params: UtsParams) -> Result<Trace> {
+    let mut sim = Simulator::new("uts", cfg.machine.clone());
+    let threads = cfg.threads;
+    let stack_locks: Rc<Vec<ObjId>> = Rc::new(
+        (0..threads)
+            .map(|i| sim.add_lock(format!("stackLock[{i}]")))
+            .collect(),
+    );
+
+    // Root children are dealt round-robin (UTS generates the root's
+    // children on rank 0 and chunked stealing spreads them; dealing
+    // directly skips the warm-up transient without changing steady state).
+    let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); threads];
+    for i in 0..params.root_branching as u64 {
+        stacks[(i as usize) % threads].push(i + 1);
+    }
+    let shared = Rc::new(RefCell::new(Shared {
+        stacks,
+        next_id: params.root_branching as u64 + 1,
+        nodes_counted: 1, // root
+        in_flight: 0,
+    }));
+
+    let params = Rc::new(params);
+    let workers: Vec<(String, Box<dyn Program>)> = (0..threads)
+        .map(|i| {
+            let mut w = Worker {
+                id: i,
+                threads,
+                seed: cfg.seed,
+                params: Rc::clone(&params),
+                stack_locks: Rc::clone(&stack_locks),
+                shared: Rc::clone(&shared),
+                phase: Phase::PopLocked,
+                queued: VecDeque::new(),
+            };
+            w.queued.push_back(Action::Lock(stack_locks[i]));
+            (format!("worker-{i}"), Box::new(w) as Box<dyn Program>)
+        })
+        .collect();
+    sim.spawn("main", ForkJoinMain::new(workers));
+
+    let mut trace = sim.run()?;
+    let sh = shared.borrow();
+    trace.meta.params.insert("nodes".into(), sh.nodes_counted.to_string());
+    trace
+        .meta
+        .params
+        .insert("root_branching".into(), params.root_branching.to_string());
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn small(threads: usize) -> WorkloadCfg {
+        WorkloadCfg::with_threads(threads).with_scale(0.4)
+    }
+
+    #[test]
+    fn counts_match_sequential_reference() {
+        let cfg = small(8);
+        let trace = run(&cfg).unwrap();
+        let counted: u64 = trace.meta.params.get("nodes").unwrap().parse().unwrap();
+        let params = UtsParams { root_branching: cfg.scaled(320), ..Default::default() };
+        assert_eq!(counted, sequential_count(&params, cfg.seed));
+    }
+
+    #[test]
+    fn stack_locks_on_path_without_contention() {
+        let rep = analyze(&run(&small(16)).unwrap());
+        // The top lock is a stackLock with real CP presence...
+        let top = rep.top_critical_lock().unwrap();
+        assert!(
+            top.name.starts_with("stackLock["),
+            "top lock {} unexpected",
+            top.name
+        );
+        assert!(top.cp_time_frac > 0.01, "cp {:.2}%", top.cp_time_frac * 100.0);
+        // ...while its wait time is negligible — the paper's UTS finding.
+        assert!(
+            top.avg_wait_frac < 0.01,
+            "wait {:.2}% should be ~0",
+            top.avg_wait_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&small(4)).unwrap(), run(&small(4)).unwrap());
+    }
+
+    #[test]
+    fn walk_completes() {
+        let rep = analyze(&run(&small(4)).unwrap());
+        assert!(rep.cp_complete);
+        assert_eq!(rep.cp_length, rep.makespan);
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_uts() {
+        for threads in [4, 8, 16, 24] {
+            let t = run(&WorkloadCfg::with_threads(threads)).unwrap();
+            let rep = analyze(&t);
+            let top = rep.top_critical_lock().unwrap();
+            println!(
+                "{threads}t: makespan {} nodes {} top {} cp {:.2}% wait {:.2}% contprob-cp {:.1}%",
+                t.makespan(),
+                t.meta.params.get("nodes").unwrap(),
+                top.name,
+                top.cp_time_frac * 100.0,
+                top.avg_wait_frac * 100.0,
+                top.cont_prob_on_cp * 100.0,
+            );
+        }
+    }
+}

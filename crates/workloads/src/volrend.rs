@@ -1,0 +1,238 @@
+//! Volrend (SPLASH-2) synchronization skeleton.
+//!
+//! Volume rendering: the image is split into tiles kept in a global work
+//! queue guarded by `QLock`; threads also bump a shared tile counter
+//! under `CountLock`. Tile costs vary wildly (empty space skipping), so
+//! the queue sees bursts of contention, but tiles are much larger than
+//! queue operations: the queue lock lands on the critical path with a
+//! moderate share — bigger than Water's locks, far from TSP's `Qlock`.
+
+use crate::common::{draw_range, ForkJoinMain, WorkloadCfg};
+use critlock_sim::{Action, Program, Result, Simulator, StepCtx};
+use critlock_trace::{ObjId, Trace};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct VolrendParams {
+    /// Number of tiles per frame.
+    pub tiles: usize,
+    /// Frames rendered (barrier between frames).
+    pub frames: usize,
+    /// Minimum per-tile ray-casting work.
+    pub tile_work_min: u64,
+    /// Maximum additional per-tile work (empty space skipping spread).
+    pub tile_work_spread: u64,
+    /// Hold time of a queue pop.
+    pub queue_hold: u64,
+    /// Hold time of an empty-queue check.
+    pub check_hold: u64,
+    /// Hold time of the shared counter update.
+    pub count_hold: u64,
+}
+
+impl Default for VolrendParams {
+    fn default() -> Self {
+        VolrendParams {
+            tiles: 576, // 24x24 tile grid over the `head` volume
+            frames: 3,
+            tile_work_min: 60,
+            tile_work_spread: 540,
+            queue_hold: 7,
+            check_hold: 3,
+            count_hold: 2,
+        }
+    }
+}
+
+struct Shared {
+    remaining: usize,
+    rendered: u64,
+}
+
+enum Phase {
+    PopLocked { frame: usize },
+    CountLocked { frame: usize },
+    Done,
+}
+
+struct Worker {
+    seed: u64,
+    params: Rc<VolrendParams>,
+    qlock: ObjId,
+    count_lock: ObjId,
+    barrier: ObjId,
+    shared: Rc<RefCell<Shared>>,
+    phase: Phase,
+    queued: VecDeque<Action>,
+    frames_done: usize,
+}
+
+impl Program for Worker {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        loop {
+            if let Some(a) = self.queued.pop_front() {
+                return a;
+            }
+            match self.phase {
+                Phase::PopLocked { frame } => {
+                    let tile = {
+                        let mut sh = self.shared.borrow_mut();
+                        if sh.remaining > 0 {
+                            sh.remaining -= 1;
+                            Some((frame as u64) << 32 | sh.remaining as u64)
+                        } else {
+                            None
+                        }
+                    };
+                    let hold = if tile.is_some() {
+                        self.params.queue_hold
+                    } else {
+                        self.params.check_hold
+                    };
+                    self.queued.push_back(Action::Compute(hold));
+                    self.queued.push_back(Action::Unlock(self.qlock));
+                    match tile {
+                        Some(t) => {
+                            let work = self.params.tile_work_min
+                                + draw_range(self.seed, t ^ 0x7011, 0, self.params.tile_work_spread);
+                            self.queued.push_back(Action::Compute(work));
+                            self.queued.push_back(Action::Lock(self.count_lock));
+                            self.phase = Phase::CountLocked { frame };
+                        }
+                        None => {
+                            // Frame exhausted: barrier, next frame.
+                            self.queued.push_back(Action::Barrier(self.barrier));
+                            self.frames_done = frame + 1;
+                            if self.frames_done >= self.params.frames {
+                                self.phase = Phase::Done;
+                            } else {
+                                // Frame f+1's tiles are restocked by the
+                                // barrier leader convention: every thread
+                                // runs this code, but only the first one
+                                // to arrive at the new frame refills.
+                                let mut sh = self.shared.borrow_mut();
+                                if sh.rendered >= (self.params.tiles * (frame + 1)) as u64
+                                    && sh.remaining == 0
+                                {
+                                    sh.remaining = self.params.tiles;
+                                }
+                                drop(sh);
+                                self.queued.push_back(Action::Lock(self.qlock));
+                                self.phase = Phase::PopLocked { frame: frame + 1 };
+                            }
+                        }
+                    }
+                }
+                Phase::CountLocked { frame } => {
+                    self.shared.borrow_mut().rendered += 1;
+                    self.queued.push_back(Action::Compute(self.params.count_hold));
+                    self.queued.push_back(Action::Unlock(self.count_lock));
+                    self.queued.push_back(Action::Lock(self.qlock));
+                    self.phase = Phase::PopLocked { frame };
+                }
+                Phase::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+/// Run the Volrend model.
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_with(cfg, VolrendParams { tiles: cfg.scaled(576), ..Default::default() })
+}
+
+/// Run with explicit parameters.
+pub fn run_with(cfg: &WorkloadCfg, params: VolrendParams) -> Result<Trace> {
+    let mut sim = Simulator::new("volrend", cfg.machine.clone());
+    let threads = cfg.threads;
+    let qlock = sim.add_lock("QLock");
+    let count_lock = sim.add_lock("Global->CountLock");
+    let barrier = sim.add_barrier("frame_barrier", threads);
+    let shared = Rc::new(RefCell::new(Shared { remaining: params.tiles, rendered: 0 }));
+    let params = Rc::new(params);
+
+    let workers: Vec<(String, Box<dyn Program>)> = (0..threads)
+        .map(|i| {
+            let mut w = Worker {
+                seed: cfg.seed,
+                params: Rc::clone(&params),
+                qlock,
+                count_lock,
+                barrier,
+                shared: Rc::clone(&shared),
+                phase: Phase::PopLocked { frame: 0 },
+                queued: VecDeque::new(),
+                frames_done: 0,
+            };
+            w.queued.push_back(Action::Lock(qlock));
+            (format!("worker-{i}"), Box::new(w) as Box<dyn Program>)
+        })
+        .collect();
+    sim.spawn("main", ForkJoinMain::new(workers));
+
+    let mut trace = sim.run()?;
+    let sh = shared.borrow();
+    trace.meta.params.insert("tiles".into(), params.tiles.to_string());
+    trace.meta.params.insert("rendered".into(), sh.rendered.to_string());
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn small(threads: usize) -> WorkloadCfg {
+        WorkloadCfg::with_threads(threads).with_scale(0.3)
+    }
+
+    #[test]
+    fn all_tiles_rendered() {
+        let cfg = small(8);
+        let t = run(&cfg).unwrap();
+        let rendered: u64 = t.meta.params.get("rendered").unwrap().parse().unwrap();
+        let tiles: u64 = t.meta.params.get("tiles").unwrap().parse().unwrap();
+        assert_eq!(rendered, tiles * 3);
+    }
+
+    #[test]
+    fn qlock_moderate_on_path() {
+        let rep = analyze(&run(&small(16)).unwrap());
+        let q = rep.lock_by_name("QLock").unwrap();
+        assert!(q.invocations_on_cp > 0);
+        assert!(
+            q.cp_time_frac < 0.5,
+            "QLock should be moderate, got {:.1}%",
+            q.cp_time_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn walk_completes() {
+        let rep = analyze(&run(&small(4)).unwrap());
+        assert!(rep.cp_complete);
+        assert_eq!(rep.cp_length, rep.makespan);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&small(4)).unwrap(), run(&small(4)).unwrap());
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_volrend() {
+        for threads in [4, 8, 16, 24] {
+            let t = run(&WorkloadCfg::with_threads(threads)).unwrap();
+            let rep = analyze(&t);
+            print!("{threads}t: makespan {}", t.makespan());
+            for l in rep.locks.iter().take(2) {
+                print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Water-nsquared (SPLASH-2) synchronization skeleton.
+//!
+//! An O(N²) molecular-dynamics code: timesteps of barrier-separated
+//! phases (predict, intra-molecular forces, inter-molecular forces,
+//! correct, kinetic energy). Locks play a minor role:
+//!
+//! * `gl` — the global-sums lock, taken once per thread per reduction;
+//! * `MolLock[j]` — a lock array striping the molecule array, taken when
+//!   a thread accumulates forces into molecules owned by others.
+//!
+//! The paper's Fig. 8 shows Water's two most critical locks with small
+//! critical-path shares: the application is barrier-dominated, and the
+//! point is that critical lock analysis correctly reports *small* numbers
+//! instead of inventing a bottleneck.
+
+use crate::common::{draw_range, ForkJoinMain, WorkloadCfg};
+use critlock_sim::{Action, Program, Result, Simulator, StepCtx};
+use critlock_trace::{ObjId, Trace};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct WaterParams {
+    /// Number of molecules (Table 1: 512).
+    pub molecules: usize,
+    /// Simulated timesteps.
+    pub steps: usize,
+    /// Virtual-ns of force computation per molecule-pair block.
+    pub pair_work: u64,
+    /// Per-thread imbalance spread on phase work.
+    pub imbalance: u64,
+    /// Hold time of a `MolLock[j]` force accumulation.
+    pub mol_hold: u64,
+    /// Cross-owner accumulations per thread per force phase.
+    pub mol_updates: usize,
+    /// Hold time of the global-sums `gl` critical section.
+    pub gl_hold: u64,
+    /// Number of molecule locks in the stripe array.
+    pub mol_locks: usize,
+}
+
+impl Default for WaterParams {
+    fn default() -> Self {
+        WaterParams {
+            molecules: 512,
+            steps: 4,
+            pair_work: 11,
+            imbalance: 600,
+            mol_hold: 2,
+            mol_updates: 48,
+            gl_hold: 5,
+            mol_locks: 32,
+        }
+    }
+}
+
+enum Phase {
+    /// (step, phase index within step)
+    Start { step: usize, sub: usize },
+    MolUpdates { step: usize, sub: usize, left: usize },
+    GlLocked { step: usize, sub: usize },
+    Done,
+}
+
+struct Worker {
+    id: usize,
+    threads: usize,
+    seed: u64,
+    params: Rc<WaterParams>,
+    mol_locks: Rc<Vec<ObjId>>,
+    gl: ObjId,
+    barrier: ObjId,
+    phase: Phase,
+    queued: VecDeque<Action>,
+    mol_lock_held: Option<ObjId>,
+}
+
+const SUBPHASES: usize = 4;
+
+impl Program for Worker {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        loop {
+            if let Some(a) = self.queued.pop_front() {
+                return a;
+            }
+            match self.phase {
+                Phase::Start { step, sub } => {
+                    if step >= self.params.steps {
+                        self.phase = Phase::Done;
+                        continue;
+                    }
+                    // Per-thread share of the O(N^2)/T pair work, with a
+                    // deterministic imbalance draw per (thread, step, sub).
+                    let n = self.params.molecules as u64;
+                    let base = n * n / (2 * self.threads as u64) * self.params.pair_work / n;
+                    let key = (step as u64) << 32 | (sub as u64) << 16 | self.id as u64;
+                    let work = base + draw_range(self.seed, key ^ 0x3A7E, 0, self.params.imbalance);
+                    self.queued.push_back(Action::Compute(work));
+                    // Only the inter-molecular force sub-phase (index 2)
+                    // touches other threads' molecules.
+                    if sub == 2 {
+                        self.phase = Phase::MolUpdates { step, sub, left: self.params.mol_updates };
+                    } else {
+                        self.queued.push_back(Action::Lock(self.gl));
+                        self.phase = Phase::GlLocked { step, sub };
+                    }
+                }
+                Phase::MolUpdates { step, sub, left } => {
+                    if let Some(l) = self.mol_lock_held.take() {
+                        self.queued.push_back(Action::Compute(self.params.mol_hold));
+                        self.queued.push_back(Action::Unlock(l));
+                        self.phase = Phase::MolUpdates { step, sub, left };
+                        continue;
+                    }
+                    if left == 0 {
+                        self.queued.push_back(Action::Lock(self.gl));
+                        self.phase = Phase::GlLocked { step, sub };
+                        continue;
+                    }
+                    // Accumulate into a molecule owned by someone else.
+                    let key = (step as u64) << 40
+                        | (self.id as u64) << 20
+                        | left as u64;
+                    let mol = draw_range(self.seed, key ^ 0x40C5, 0, self.params.molecules as u64)
+                        as usize;
+                    let lock = self.mol_locks[mol % self.mol_locks.len()];
+                    // A bit of pair work between updates.
+                    self.queued.push_back(Action::Compute(self.params.pair_work));
+                    self.queued.push_back(Action::Lock(lock));
+                    self.mol_lock_held = Some(lock);
+                    self.phase = Phase::MolUpdates { step, sub, left: left - 1 };
+                }
+                Phase::GlLocked { step, sub } => {
+                    self.queued.push_back(Action::Compute(self.params.gl_hold));
+                    self.queued.push_back(Action::Unlock(self.gl));
+                    self.queued.push_back(Action::Barrier(self.barrier));
+                    let (next_step, next_sub) = if sub + 1 == SUBPHASES {
+                        (step + 1, 0)
+                    } else {
+                        (step, sub + 1)
+                    };
+                    self.phase = Phase::Start { step: next_step, sub: next_sub };
+                }
+                Phase::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+/// Run the Water-nsquared model.
+pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
+    run_with(cfg, WaterParams { molecules: cfg.scaled(512), ..Default::default() })
+}
+
+/// Run with explicit parameters.
+pub fn run_with(cfg: &WorkloadCfg, params: WaterParams) -> Result<Trace> {
+    let mut sim = Simulator::new("water-nsquared", cfg.machine.clone());
+    let threads = cfg.threads;
+    let mol_locks: Rc<Vec<ObjId>> = Rc::new(
+        (0..params.mol_locks)
+            .map(|i| sim.add_lock(format!("MolLock[{i}]")))
+            .collect(),
+    );
+    let gl = sim.add_lock("gl");
+    let barrier = sim.add_barrier("phase_barrier", threads);
+    let params = Rc::new(params);
+
+    let workers: Vec<(String, Box<dyn Program>)> = (0..threads)
+        .map(|i| {
+            (
+                format!("worker-{i}"),
+                Box::new(Worker {
+                    id: i,
+                    threads,
+                    seed: cfg.seed,
+                    params: Rc::clone(&params),
+                    mol_locks: Rc::clone(&mol_locks),
+                    gl,
+                    barrier,
+                    phase: Phase::Start { step: 0, sub: 0 },
+                    queued: VecDeque::new(),
+                    mol_lock_held: None,
+                }) as Box<dyn Program>,
+            )
+        })
+        .collect();
+    sim.spawn("main", ForkJoinMain::new(workers));
+
+    let mut trace = sim.run()?;
+    trace.meta.params.insert("molecules".into(), params.molecules.to_string());
+    trace.meta.params.insert("steps".into(), params.steps.to_string());
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_analysis::analyze;
+
+    fn small(threads: usize) -> WorkloadCfg {
+        WorkloadCfg::with_threads(threads).with_scale(0.5)
+    }
+
+    #[test]
+    fn runs_and_walk_completes() {
+        let rep = analyze(&run(&small(8)).unwrap());
+        assert!(rep.cp_complete);
+        assert_eq!(rep.cp_length, rep.makespan);
+    }
+
+    #[test]
+    fn locks_are_minor_bottlenecks() {
+        let rep = analyze(&run(&small(16)).unwrap());
+        // Barrier-dominated: even the top lock stays under 10% of the CP.
+        if let Some(top) = rep.top_critical_lock() {
+            assert!(
+                top.cp_time_frac < 0.10,
+                "{} at {:.1}% is too dominant for water",
+                top.name,
+                top.cp_time_frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn gl_and_mol_locks_used() {
+        let t = run(&small(4)).unwrap();
+        let eps = critlock_trace::lock_episodes(&t);
+        let gl = t.object_by_name("gl").unwrap();
+        assert!(eps.iter().any(|e| e.lock == gl));
+        assert!(eps.iter().any(|e| t.object_name(e.lock).starts_with("MolLock[")));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&small(4)).unwrap(), run(&small(4)).unwrap());
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_water() {
+        for threads in [4, 8, 16, 24] {
+            let t = run(&WorkloadCfg::with_threads(threads)).unwrap();
+            let rep = analyze(&t);
+            print!("{threads}t: makespan {}", t.makespan());
+            for l in rep.locks.iter().take(2) {
+                print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+            }
+            println!();
+        }
+    }
+}

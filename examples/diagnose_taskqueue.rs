@@ -1,0 +1,93 @@
+//! Domain scenario: diagnose and fix a task-queue scalability bottleneck
+//! the way the paper does for Radiosity (§V.D).
+//!
+//! The workflow:
+//! 1. profile the application across thread counts,
+//! 2. identify the critical lock (it changes with scale!),
+//! 3. quantify *why* it is critical (contention probability ×
+//!    critical-section size),
+//! 4. project the gain, apply the two-lock-queue fix and measure.
+//!
+//! ```text
+//! cargo run --release --example diagnose_taskqueue
+//! ```
+
+use critlock::analysis::{analyze, project_shrink};
+use critlock::workloads::{radiosity, WorkloadCfg};
+
+fn main() {
+    println!("== 1. identification: sweep thread counts ==\n");
+    for threads in [4, 8, 16, 24] {
+        let cfg = WorkloadCfg::with_threads(threads);
+        let trace = radiosity::run(&cfg).expect("radiosity runs");
+        let rep = analyze(&trace);
+        let top = rep.top_critical_lock().expect("some lock on the path");
+        println!(
+            "  {threads:>2} threads: makespan {:>7}  top critical lock {:<14} \
+             ({} of the critical path, wait time only {})",
+            trace.makespan(),
+            top.name,
+            fmt_pct(top.cp_time_frac),
+            fmt_pct(top.avg_wait_frac),
+        );
+    }
+
+    println!("\n== 2. quantification at 24 threads ==\n");
+    let cfg = WorkloadCfg::with_threads(24);
+    let trace = radiosity::run(&cfg).expect("radiosity runs");
+    let rep = analyze(&trace);
+    for l in rep.locks.iter().take(3) {
+        println!(
+            "  {:<18} CP {:>7}  cont.prob on CP {:>7}  invocations on CP {:>5} \
+             ({:.1}x the per-thread average)  hold {:>6}",
+            l.name,
+            fmt_pct(l.cp_time_frac),
+            fmt_pct(l.cont_prob_on_cp),
+            l.invocations_on_cp,
+            l.incr_invocations,
+            fmt_pct(l.avg_hold_frac),
+        );
+    }
+    let tq0 = rep.lock_by_name("tq[0].qlock").expect("bottleneck identified");
+    println!(
+        "\n  diagnosis: tq[0].qlock is both highly contended along the path \
+         ({}) and large in aggregate — the master task queue serializes \
+         distribution, exactly the paper's finding.",
+        fmt_pct(tq0.cont_prob_on_cp)
+    );
+
+    println!("\n== 3. projection ==\n");
+    let proj = project_shrink(&rep, "tq[0].qlock", 0.5).expect("lock known");
+    println!(
+        "  halving its critical sections projects a speedup of {:.2}x \
+         (first-order upper bound)",
+        proj.projected_speedup
+    );
+
+    println!("\n== 4. the fix: Michael–Scott two-lock queues ==\n");
+    let opt = radiosity::run_optimized(&cfg).expect("optimized runs");
+    let gain = trace.makespan() as f64 / opt.makespan() as f64 - 1.0;
+    println!(
+        "  makespan {} -> {}  ({:+.1}% end-to-end; the paper measured +7%)",
+        trace.makespan(),
+        opt.makespan(),
+        gain * 100.0
+    );
+    let rep_opt = analyze(&opt);
+    if let Some(head) = rep_opt.lock_by_name("tq[0].q_head_lock") {
+        println!(
+            "  tq[0].q_head_lock now occupies {} of the critical path \
+             (was {} for the single lock)",
+            fmt_pct(head.cp_time_frac),
+            fmt_pct(tq0.cp_time_frac)
+        );
+    }
+    println!(
+        "  note the gain undershoots the removed CP share: other segments \
+         moved onto the critical path, as §V.D.3 observes."
+    );
+}
+
+fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}

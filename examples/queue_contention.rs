@@ -1,0 +1,136 @@
+//! Domain scenario on REAL threads: compare a single-lock queue against
+//! the Michael–Scott two-lock queue under a producer/consumer load, using
+//! the instrumentation runtime end-to-end.
+//!
+//! ```text
+//! cargo run --release --example queue_contention
+//! ```
+
+use critlock::analysis::analyze;
+use critlock::instrument::{spawn, Session};
+use critlock::workloads::queue::{SingleLockQueue, TwoLockQueue};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const ITEMS: u64 = 60_000;
+const PRODUCERS: usize = 2;
+const CONSUMERS: usize = 2;
+
+fn drive_single(session: &Session) {
+    let q = Arc::new(SingleLockQueue::new(session, "single.qlock"));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            spawn(session, format!("producer-{p}"), move || {
+                for i in 0..ITEMS / PRODUCERS as u64 {
+                    q.enqueue(i);
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|c| {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            spawn(session, format!("consumer-{c}"), move || {
+                let mut n = 0u64;
+                loop {
+                    if q.dequeue().is_some() {
+                        n += 1;
+                    } else if done.load(Ordering::Acquire) && q.is_empty() {
+                        break;
+                    }
+                }
+                n
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer");
+    }
+    done.store(true, Ordering::Release);
+    let total: u64 = consumers.into_iter().map(|c| c.join().expect("consumer")).sum();
+    assert_eq!(total, ITEMS / PRODUCERS as u64 * PRODUCERS as u64);
+}
+
+fn drive_two_lock(session: &Session) {
+    let q = Arc::new(TwoLockQueue::new(session, "split"));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            spawn(session, format!("producer-{p}"), move || {
+                for i in 0..ITEMS / PRODUCERS as u64 {
+                    q.enqueue(i);
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|c| {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            spawn(session, format!("consumer-{c}"), move || {
+                let mut n = 0u64;
+                loop {
+                    if q.dequeue().is_some() {
+                        n += 1;
+                    } else if done.load(Ordering::Acquire) {
+                        // Drain once more before exiting.
+                        while q.dequeue().is_some() {
+                            n += 1;
+                        }
+                        break;
+                    }
+                }
+                n
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer");
+    }
+    done.store(true, Ordering::Release);
+    let total: u64 = consumers.into_iter().map(|c| c.join().expect("consumer")).sum();
+    assert_eq!(total, ITEMS / PRODUCERS as u64 * PRODUCERS as u64);
+}
+
+fn main() {
+    println!("producer/consumer over {ITEMS} items, {PRODUCERS}p/{CONSUMERS}c\n");
+
+    let s1 = Session::new("single-lock-queue");
+    drive_single(&s1);
+    let t1 = s1.finish().expect("trace");
+    let r1 = analyze(&t1);
+
+    let s2 = Session::new("two-lock-queue");
+    drive_two_lock(&s2);
+    let t2 = s2.finish().expect("trace");
+    let r2 = analyze(&t2);
+
+    println!("single-lock queue : makespan {:>12} ns", t1.makespan());
+    if let Some(l) = r1.lock_by_name("single.qlock") {
+        println!(
+            "    qlock: {:.1}% of the critical path, {:.1}% contended along it",
+            l.cp_time_frac * 100.0,
+            l.cont_prob_on_cp * 100.0
+        );
+    }
+    println!("two-lock queue    : makespan {:>12} ns", t2.makespan());
+    for name in ["split.q_head_lock", "split.q_tail_lock"] {
+        if let Some(l) = r2.lock_by_name(name) {
+            println!(
+                "    {name}: {:.1}% of the critical path",
+                l.cp_time_frac * 100.0
+            );
+        }
+    }
+    println!(
+        "\nthe two-lock design lets enqueues and dequeues proceed in \
+         parallel — the optimization the paper applies to Radiosity and \
+         TSP, here verified on real threads."
+    );
+}

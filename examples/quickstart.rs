@@ -1,0 +1,71 @@
+//! Quickstart: instrument a real multithreaded program, record a trace,
+//! and run critical lock analysis on it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use critlock::analysis::report::{one_line_summary, render_text, RenderOptions};
+use critlock::analysis::{analyze, project_shrink};
+use critlock::instrument::{spawn, Session};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Start a tracing session. The creating thread becomes the trace's
+    //    main thread; the session owns the clock and the lock registry.
+    let session = Session::new("quickstart");
+
+    // 2. Create instrumented locks. They behave like parking_lot mutexes
+    //    but record the acquire/contended/obtain/release protocol.
+    let hot = Arc::new(session.mutex("hot_counter", 0u64));
+    let cold = Arc::new(session.mutex("cold_counter", 0u64));
+
+    // 3. Run the workload on instrumented threads: every thread hammers
+    //    the hot lock with long critical sections and touches the cold
+    //    lock briefly.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let hot = Arc::clone(&hot);
+            let cold = Arc::clone(&cold);
+            spawn(&session, format!("worker-{i}"), move || {
+                for round in 0..200 {
+                    {
+                        let mut g = hot.lock();
+                        for _ in 0..2_000 {
+                            *g = std::hint::black_box(*g + 1);
+                        }
+                    }
+                    if round % 10 == 0 {
+                        let mut g = cold.lock();
+                        *g += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    // 4. Close the session and analyze the trace.
+    let trace = session.finish().expect("trace assembles");
+    println!(
+        "recorded {} events across {} threads\n",
+        trace.num_events(),
+        trace.num_threads()
+    );
+
+    let report = analyze(&trace);
+    println!("{}", render_text(&report, &RenderOptions::default()));
+    println!("{}", one_line_summary(&report));
+
+    // 5. Ask the what-if engine what halving the hot critical sections
+    //    would buy end-to-end.
+    let top = report.top_critical_lock().expect("a lock is on the path");
+    let proj = project_shrink(&report, &top.name, 0.5).expect("lock known");
+    println!(
+        "\nhalving {}'s critical sections would save up to {} ns of the \
+         critical path (projected speedup {:.2}x)",
+        top.name, proj.cp_time_saved, proj.projected_speedup
+    );
+}

@@ -1,0 +1,62 @@
+//! Domain scenario: profile a server under load and confirm (or refute)
+//! that its locking is healthy — the paper's OpenLDAP study (§V.C).
+//!
+//! The same tool that finds bottlenecks must also *not* cry wolf on a
+//! well-tuned application; the analysis quantifies "healthy" instead of
+//! guessing.
+//!
+//! ```text
+//! cargo run --release --example server_profile
+//! ```
+
+use critlock::analysis::report::{render_text, RenderOptions};
+use critlock::analysis::{analyze, online_analyze};
+use critlock::workloads::{ldap, WorkloadCfg};
+
+fn main() {
+    let cfg = WorkloadCfg::with_threads(16);
+    println!("profiling the LDAP-like server: 16 workers, seeded search load...\n");
+    let trace = ldap::run(&cfg).expect("server runs");
+    println!(
+        "served {} requests; {} trace events\n",
+        trace.meta.params.get("served").expect("recorded"),
+        trace.num_events()
+    );
+
+    let rep = analyze(&trace);
+    println!("{}", render_text(&rep, &RenderOptions { top: Some(5), ..Default::default() }));
+
+    match rep.top_critical_lock() {
+        Some(top) if top.cp_time_frac > 0.05 => {
+            println!(
+                "verdict: {} occupies {:.1}% of the critical path — investigate.",
+                top.name,
+                top.cp_time_frac * 100.0
+            );
+        }
+        Some(top) => {
+            println!(
+                "verdict: no significant critical-section bottleneck; the \
+                 hottest lock ({}) accounts for only {:.2}% of the critical \
+                 path. Fine-grained locking is doing its job — the paper \
+                 reaches the same conclusion for OpenLDAP 2.4.21.",
+                top.name,
+                top.cp_time_frac * 100.0
+            );
+        }
+        None => println!("verdict: no lock ever appeared on the critical path."),
+    }
+
+    // The online profile agrees without needing the offline backward walk
+    // (this is what a production deployment would run continuously).
+    let online = online_analyze(&trace);
+    println!(
+        "\nonline (forward) profile concurs: cp length {}, hottest lock {}",
+        online.cp_length,
+        online
+            .locks
+            .first()
+            .map(|l| format!("{} at {:.2}%", l.name, l.cp_time_frac * 100.0))
+            .unwrap_or_else(|| "none".into())
+    );
+}

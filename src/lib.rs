@@ -1,0 +1,31 @@
+//! # critlock — Critical Lock Analysis
+//!
+//! A Rust reproduction of *Critical Lock Analysis: Diagnosing Critical
+//! Section Bottlenecks in Multithreaded Applications* (Chen & Stenström,
+//! SC 2012).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`trace`] — synchronization event traces, builder DSL, codecs;
+//! * [`sim`] — deterministic discrete-event execution simulator;
+//! * [`instrument`] — real-thread instrumented `Mutex`/`Barrier`/`Condvar`;
+//! * [`analysis`] — the critical-path walk, TYPE 1/TYPE 2 lock metrics,
+//!   reports, what-if projection, online profiling;
+//! * [`workloads`] — the paper's benchmark suite re-modelled (micro,
+//!   Radiosity, TSP, UTS, Water-nsquared, Volrend, Raytrace, an
+//!   OpenLDAP-like server) with original and optimized variants.
+//!
+//! See `README.md` for a walkthrough and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use critlock_analysis as analysis;
+pub use critlock_instrument as instrument;
+pub use critlock_sim as sim;
+pub use critlock_trace as trace;
+pub use critlock_workloads as workloads;
+
+pub use critlock_analysis::{analyze, AnalysisReport};
+pub use critlock_sim::{MachineConfig, Simulator};
+pub use critlock_trace::Trace;

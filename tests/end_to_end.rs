@@ -1,0 +1,120 @@
+//! End-to-end integration: workload → trace → (de)serialization →
+//! analysis → reporting, across all crates through the facade.
+
+use critlock::analysis::report::{render_csv, render_text, RenderOptions};
+use critlock::analysis::validate::{check_critical_path, check_trace};
+use critlock::analysis::{analyze, critical_path, online_analyze};
+use critlock::workloads::{suite, WorkloadCfg};
+
+fn tmpdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join("critlock-e2e");
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn every_workload_end_to_end() {
+    for spec in suite::all() {
+        let cfg = WorkloadCfg::with_threads(6).with_scale(0.25);
+        let trace = spec.run(&cfg).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+
+        // Protocol and cross-thread consistency.
+        trace.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let warnings = check_trace(&trace);
+        assert!(warnings.is_empty(), "{}: {warnings:?}", spec.name);
+
+        // Binary round-trip preserves everything.
+        let path = tmpdir().join(format!("{}.cltr", spec.name));
+        critlock::trace::codec::save(&trace, &path).unwrap();
+        let back = critlock::trace::codec::load(&path).unwrap();
+        assert_eq!(trace, back, "{}: codec round-trip", spec.name);
+        std::fs::remove_file(&path).ok();
+
+        // The walk tiles the makespan on virtual-time traces.
+        let cp = critical_path(&trace);
+        assert!(cp.complete, "{}: incomplete walk", spec.name);
+        let cp_warnings = check_critical_path(&trace, &cp);
+        assert!(cp_warnings.is_empty(), "{}: {cp_warnings:?}", spec.name);
+
+        // Reports render in all formats.
+        let rep = analyze(&trace);
+        let text = render_text(&rep, &RenderOptions::default());
+        assert!(text.contains("critical lock analysis"));
+        let csv = render_csv(&rep);
+        assert_eq!(csv.lines().count(), 1 + rep.locks.len());
+        let json = critlock::analysis::report::to_json(&rep);
+        serde_roundtrip(&json, &rep);
+    }
+}
+
+fn serde_roundtrip(json: &str, rep: &critlock::AnalysisReport) {
+    let back: critlock::AnalysisReport = serde_json::from_str(json).unwrap();
+    assert_eq!(&back, rep);
+}
+
+#[test]
+fn online_matches_offline_cp_length_on_all_workloads() {
+    for spec in suite::all() {
+        let cfg = WorkloadCfg::with_threads(5).with_scale(0.25);
+        let trace = spec.run(&cfg).unwrap();
+        let offline = critical_path(&trace);
+        let online = online_analyze(&trace);
+        assert_eq!(
+            online.cp_length, offline.length,
+            "{}: online {} vs offline {}",
+            spec.name, online.cp_length, offline.length
+        );
+    }
+}
+
+#[test]
+fn jsonl_and_binary_formats_agree() {
+    let cfg = WorkloadCfg::with_threads(4).with_scale(0.3);
+    let trace = suite::run_workload("radiosity", &cfg).unwrap().unwrap();
+    let d = tmpdir();
+    let pb = d.join("r.cltr");
+    let pj = d.join("r.jsonl");
+    critlock::trace::codec::save(&trace, &pb).unwrap();
+    critlock::trace::jsonl::save(&trace, &pj).unwrap();
+    let a = critlock::trace::jsonl::load_auto(&pb).unwrap();
+    let b = critlock::trace::jsonl::load_auto(&pj).unwrap();
+    assert_eq!(a, b);
+    std::fs::remove_file(&pb).ok();
+    std::fs::remove_file(&pj).ok();
+}
+
+#[test]
+fn analysis_is_deterministic_across_runs() {
+    let cfg = WorkloadCfg::with_threads(8).with_scale(0.3).with_seed(99);
+    let a = analyze(&suite::run_workload("tsp", &cfg).unwrap().unwrap());
+    let b = analyze(&suite::run_workload("tsp", &cfg).unwrap().unwrap());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeds_change_executions_but_not_conclusions() {
+    // Different seeds give different traces, but the bottleneck lock of a
+    // saturated workload is stable.
+    let mut tops = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let cfg = WorkloadCfg::with_threads(16).with_scale(0.55).with_seed(seed);
+        let trace = suite::run_workload("tsp", &cfg).unwrap().unwrap();
+        let rep = analyze(&trace);
+        tops.push(rep.top_critical_lock().unwrap().name.clone());
+    }
+    assert!(tops.iter().all(|t| t == "Qlock"), "{tops:?}");
+}
+
+#[test]
+fn facade_reexports_work() {
+    // The facade crate exposes the main entry points directly.
+    let mut sim = critlock::Simulator::new("facade", critlock::MachineConfig::ideal());
+    let l = sim.add_lock("L");
+    sim.spawn(
+        "t",
+        critlock::sim::ScriptProgram::new(vec![critlock::sim::Op::Critical(l, 5)]),
+    );
+    let trace: critlock::Trace = sim.run().unwrap();
+    let rep = critlock::analyze(&trace);
+    assert_eq!(rep.lock_by_name("L").unwrap().cp_time, 5);
+}

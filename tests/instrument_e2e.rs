@@ -1,0 +1,102 @@
+//! Real-thread end-to-end tests: the instrumentation runtime produces
+//! traces the analysis engine accepts and draws sensible conclusions
+//! from, despite real-clock noise.
+
+use critlock::analysis::{analyze, critical_path, online_analyze};
+use critlock::instrument::{run_workers, spawn, Session};
+use critlock::workloads::micro;
+use std::sync::Arc;
+
+#[test]
+fn real_fork_join_pipeline() {
+    let session = Session::new("fork-join");
+    let m = Arc::new(session.mutex("L", 0u64));
+    let b = Arc::new(session.barrier("B", 3));
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (m, b) = (Arc::clone(&m), Arc::clone(&b));
+            spawn(&session, format!("w{i}"), move || {
+                for _ in 0..10 {
+                    {
+                        let mut g = m.lock();
+                        for _ in 0..20_000 {
+                            *g = std::hint::black_box(*g + 1);
+                        }
+                    }
+                    b.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let trace = session.finish().unwrap();
+    trace.validate().unwrap();
+    assert_eq!(*m.lock(), 3 * 10 * 20_000);
+
+    let cp = critical_path(&trace);
+    assert!(cp.complete);
+    assert!(cp.length <= trace.makespan());
+    // Real-clock traces have gaps (futex wakeup latency after each
+    // barrier); with critical sections long enough to dominate, coverage
+    // stays substantial.
+    assert!(cp.coverage() > 0.3, "coverage {}", cp.coverage());
+
+    let rep = analyze(&trace);
+    let l = rep.lock_by_name("L").unwrap();
+    assert_eq!(l.total_invocations, 30);
+    let eps = critlock::trace::barrier_episodes(&trace);
+    assert_eq!(eps.len(), 30);
+}
+
+#[test]
+fn real_micro_saved_and_reloaded() {
+    let trace = micro::run_real(3, 60_000, 75_000).unwrap();
+    let dir = std::env::temp_dir().join("critlock-e2e-real");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("micro-real.cltr");
+    critlock::trace::codec::save(&trace, &path).unwrap();
+    let back = critlock::trace::codec::load(&path).unwrap();
+    assert_eq!(trace, back);
+    std::fs::remove_file(&path).ok();
+
+    let rep = analyze(&back);
+    assert_eq!(rep.lock_by_name("L1").unwrap().total_invocations, 3);
+    assert_eq!(rep.lock_by_name("L2").unwrap().total_invocations, 3);
+}
+
+#[test]
+fn online_profile_works_on_real_traces() {
+    let session = Session::new("online-real");
+    let m = Arc::new(session.mutex("hot", 0u64));
+    let m2 = Arc::clone(&m);
+    run_workers(&session, 4, move |_| {
+        for _ in 0..50 {
+            let mut g = m2.lock();
+            for _ in 0..200 {
+                *g = std::hint::black_box(*g + 1);
+            }
+        }
+    });
+    let trace = session.finish().unwrap();
+    let online = online_analyze(&trace);
+    assert!(online.cp_length > 0);
+    assert!(online.lock_by_name("hot").is_some());
+}
+
+#[test]
+fn panicking_worker_still_flushes_events() {
+    let session = Session::new("panics");
+    let h = spawn(&session, "doomed", || {
+        // No locks held at panic time, so the stream stays well-formed.
+        panic!("intentional");
+    });
+    assert!(h.join().is_err());
+    let trace = session.finish().unwrap();
+    assert_eq!(trace.num_threads(), 2);
+    // Start and exit were both recorded despite the panic.
+    let events = &trace.threads[1].events;
+    assert_eq!(events.first().unwrap().kind, critlock::trace::EventKind::ThreadStart);
+    assert_eq!(events.last().unwrap().kind, critlock::trace::EventKind::ThreadExit);
+}

@@ -1,0 +1,135 @@
+//! The paper's headline claims, asserted as integration tests at
+//! moderate scale. (Full-scale versions with the exact paper numbers
+//! live in `critlock-bench`; these run fast under `cargo test`.)
+
+use critlock::analysis::{analyze, rank_targets, rank_targets_by_wait, ranking_disagreement};
+use critlock::workloads::{fig1_trace, micro, radiosity, suite, tsp, WorkloadCfg};
+
+/// §II / Fig. 1 — idleness is not criticality: the longest-waited lock
+/// (L4) is off the path, an uncontended lock (L3) is on it.
+#[test]
+fn claim_idleness_is_not_criticality() {
+    let rep = analyze(&fig1_trace());
+    let l3 = rep.lock_by_name("L3").unwrap();
+    let l4 = rep.lock_by_name("L4").unwrap();
+    assert_eq!(l3.total_wait, 0, "L3 never waits");
+    assert!(l3.cp_time > 0, "yet L3 is critical");
+    assert!(l4.total_wait > 0, "L4 carries the big wait");
+    assert_eq!(l4.cp_time, 0, "yet L4 is a normal lock");
+}
+
+/// §V.B / Fig. 6 — the two methods pick different locks on the
+/// micro-benchmark and the CP-time choice wins in practice.
+#[test]
+fn claim_micro_benchmark_methods_disagree_and_cp_wins() {
+    let cfg = WorkloadCfg::with_threads(4);
+    let base = micro::run(&cfg).unwrap();
+    let rep = analyze(&base);
+
+    let by_cp = rank_targets(&rep, 0.5);
+    let by_wait = rank_targets_by_wait(&rep, 0.5);
+    assert_eq!(by_cp[0].name, "L2");
+    assert_eq!(by_wait[0].name, "L1");
+    assert!(ranking_disagreement(&rep).is_some());
+
+    // Equal-effort optimizations: the CP-time pick must give the larger
+    // measured speedup.
+    let s_l1 = base.makespan() as f64 / micro::run_l1_optimized(&cfg).unwrap().makespan() as f64;
+    let s_l2 = base.makespan() as f64 / micro::run_l2_optimized(&cfg).unwrap().makespan() as f64;
+    assert!(s_l2 > s_l1);
+}
+
+/// §V.D / Fig. 9 — the critical lock changes with scale: freInter rules
+/// small runs, tq[0].qlock takes over as threads grow.
+#[test]
+fn claim_radiosity_bottleneck_shifts_with_scale() {
+    let scale = 0.5;
+    let low = analyze(&radiosity::run(&WorkloadCfg::with_threads(4).with_scale(scale)).unwrap());
+    let high = analyze(&radiosity::run(&WorkloadCfg::with_threads(16).with_scale(scale)).unwrap());
+    assert_eq!(low.top_critical_lock().unwrap().name, "freeInter");
+    assert_eq!(high.top_critical_lock().unwrap().name, "tq[0].qlock");
+}
+
+/// §V.D.2 — the quantification explains *why*: high contention
+/// probability along the path and invocation inflation for the task
+/// queue, neither of which the wait-time metric shows.
+#[test]
+fn claim_radiosity_quantification_mechanisms() {
+    let rep = analyze(&radiosity::run(&WorkloadCfg::with_threads(16).with_scale(0.5)).unwrap());
+    let tq0 = rep.lock_by_name("tq[0].qlock").unwrap();
+    assert!(tq0.cont_prob_on_cp > tq0.avg_cont_prob * 0.8);
+    assert!(tq0.incr_invocations > 1.2, "{}", tq0.incr_invocations);
+    assert!(tq0.cp_time_frac > tq0.avg_wait_frac);
+}
+
+/// §V.D.3 / Fig. 12 — optimizing the identified lock helps; optimizing a
+/// lock the method calls negligible does not.
+#[test]
+fn claim_optimizing_the_right_lock_helps() {
+    use critlock::sim::replay::{replay, ReplayConfig};
+    let cfg = WorkloadCfg::with_threads(16).with_scale(0.5);
+    let orig = radiosity::run(&cfg).unwrap();
+    let opt = radiosity::run_optimized(&cfg).unwrap();
+    assert!(opt.makespan() < orig.makespan(), "two-lock queue helps");
+
+    // Shrinking a negligible lock (free_edge) does almost nothing.
+    let rep = analyze(&orig);
+    let edge = rep.lock_by_name("free_edge").unwrap();
+    assert!(edge.cp_time_frac < 0.02);
+    let lock = orig.object_by_name("free_edge").unwrap();
+    let replayed = replay(&orig, cfg.machine.clone(), &ReplayConfig::shrink_lock(lock, 0.5)).unwrap();
+    let gain = orig.makespan() as f64 / replayed.makespan() as f64 - 1.0;
+    assert!(gain < 0.02, "negligible lock gave {:.2}%", gain * 100.0);
+}
+
+/// §V.E — TSP's global queue lock dominates and splitting it pays off.
+#[test]
+fn claim_tsp_queue_split_pays_off() {
+    let cfg = WorkloadCfg::with_threads(16).with_scale(0.55);
+    let orig = tsp::run(&cfg).unwrap();
+    let opt = tsp::run_optimized(&cfg).unwrap();
+    let rep = analyze(&orig);
+    assert_eq!(rep.rank_by_cp_time("Qlock"), Some(1));
+    assert!(opt.makespan() < orig.makespan());
+}
+
+/// §V.C — for a well-tuned server the tool reports *no* bottleneck
+/// instead of inventing one.
+#[test]
+fn claim_tuned_server_is_clean() {
+    let rep = analyze(
+        &suite::run_workload("openldap", &WorkloadCfg::with_threads(16).with_scale(0.4))
+            .unwrap()
+            .unwrap(),
+    );
+    if let Some(top) = rep.top_critical_lock() {
+        assert!(top.cp_time_frac < 0.08, "{} {:.1}%", top.name, top.cp_time_frac * 100.0);
+    }
+}
+
+/// §V.C — UTS: locks without any contention still matter when they sit
+/// on the critical path.
+#[test]
+fn claim_uncontended_locks_can_be_critical() {
+    let rep = analyze(
+        &suite::run_workload("uts", &WorkloadCfg::with_threads(8).with_scale(0.4))
+            .unwrap()
+            .unwrap(),
+    );
+    let top = rep.top_critical_lock().unwrap();
+    assert!(top.name.starts_with("stackLock["));
+    assert!(top.cp_time_frac > 0.01);
+    assert!(top.avg_wait_frac < 0.01);
+}
+
+/// §III — the paper's algorithm walks the whole path: its length always
+/// equals the end-to-end completion time on clean traces.
+#[test]
+fn claim_walk_explains_the_whole_completion_time() {
+    for name in ["micro", "radiosity", "tsp", "uts", "water-nsquared", "volrend", "raytrace"] {
+        let cfg = WorkloadCfg::with_threads(6).with_scale(0.3);
+        let rep = analyze(&suite::run_workload(name, &cfg).unwrap().unwrap());
+        assert!(rep.cp_complete, "{name}");
+        assert_eq!(rep.cp_length, rep.makespan, "{name}");
+    }
+}
