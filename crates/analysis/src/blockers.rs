@@ -60,7 +60,11 @@ impl BlockerReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "blocking edges (blocked <- holder via lock), top {n}:");
-        let _ = writeln!(out, "{:<8} {:<8} {:<24} {:>8} {:>12}", "blocked", "holder", "lock", "count", "wait");
+        let _ = writeln!(
+            out,
+            "{:<8} {:<8} {:<24} {:>8} {:>12}",
+            "blocked", "holder", "lock", "count", "wait"
+        );
         for e in self.edges.iter().take(n) {
             let _ = writeln!(
                 out,

@@ -72,16 +72,10 @@ impl CriticalPath {
     pub fn check_tiling(&self, strict: bool) -> Result<(), String> {
         for w in self.slices.windows(2) {
             if w[0].end > w[1].start {
-                return Err(format!(
-                    "overlapping slices: {:?} then {:?}",
-                    w[0], w[1]
-                ));
+                return Err(format!("overlapping slices: {:?} then {:?}", w[0], w[1]));
             }
             if strict && w[0].end != w[1].start {
-                return Err(format!(
-                    "gap between slices: {:?} then {:?}",
-                    w[0], w[1]
-                ));
+                return Err(format!("gap between slices: {:?} then {:?}", w[0], w[1]));
             }
         }
         if strict && self.length != self.makespan {
@@ -158,9 +152,7 @@ pub fn critical_path_segmented(trace: &Trace, st: &SegmentedTrace) -> CriticalPa
             }
             StartCause::BarrierDeparted { barrier, epoch, .. } => {
                 match st.last_arriver(barrier, epoch) {
-                    Some((arrive_ts, arriver)) if arriver != tid => {
-                        Next::Jump(arriver, arrive_ts)
-                    }
+                    Some((arrive_ts, arriver)) if arriver != tid => Next::Jump(arriver, arrive_ts),
                     _ => Next::SameThread,
                 }
             }
@@ -181,19 +173,17 @@ pub fn critical_path_segmented(trace: &Trace, st: &SegmentedTrace) -> CriticalPa
         };
 
         match next {
-            Next::Jump(target, at) => {
-                match st.segment_at(target, at) {
-                    Some(tseg) => {
-                        tid = target;
-                        idx = tseg.index;
-                        upto = at;
-                    }
-                    None => {
-                        complete = false;
-                        break;
-                    }
+            Next::Jump(target, at) => match st.segment_at(target, at) {
+                Some(tseg) => {
+                    tid = target;
+                    idx = tseg.index;
+                    upto = at;
                 }
-            }
+                None => {
+                    complete = false;
+                    break;
+                }
+            },
             Next::SameThread => {
                 if idx == 0 {
                     // First segment, no enabling edge recorded: the walk

@@ -97,11 +97,7 @@ pub fn render(trace: &Trace, cp: &CriticalPath, opts: &GanttOptions) -> String {
             if ep.hold_time() == 0 {
                 continue;
             }
-            let letter = locks
-                .iter()
-                .position(|l| *l == ep.lock)
-                .map(lock_letter)
-                .unwrap_or('?');
+            let letter = locks.iter().position(|l| *l == ep.lock).map(lock_letter).unwrap_or('?');
             let (a, b) = (col_of(ep.obtain), col_of(ep.release.saturating_sub(1)));
             for c in row.iter_mut().take(b + 1).skip(a) {
                 *c = letter;

@@ -119,9 +119,7 @@ impl AnalysisReport {
     pub fn rank_by_wait_time(&self, name: &str) -> Option<usize> {
         let mut by_wait: Vec<&LockReport> = self.locks.iter().collect();
         by_wait.sort_by(|a, b| {
-            b.avg_wait_frac
-                .partial_cmp(&a.avg_wait_frac)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.avg_wait_frac.partial_cmp(&a.avg_wait_frac).unwrap_or(std::cmp::Ordering::Equal)
         });
         by_wait.iter().position(|l| l.name == name).map(|i| i + 1)
     }
@@ -175,11 +173,7 @@ pub fn analyze_with(trace: &Trace, cp: &CriticalPath) -> AnalysisReport {
     analyze_episodes(trace, cp, &episodes)
 }
 
-fn analyze_episodes(
-    trace: &Trace,
-    cp: &CriticalPath,
-    episodes: &[LockEpisode],
-) -> AnalysisReport {
+fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) -> AnalysisReport {
     let n_threads = trace.num_threads();
 
     // Per-thread CP slices, sorted by start (they already are, globally
@@ -290,20 +284,12 @@ fn analyze_episodes(
                 } else {
                     0.0
                 },
-                incr_cs_size: if avg_hold_frac > 0.0 {
-                    cp_time_frac / avg_hold_frac
-                } else {
-                    0.0
-                },
+                incr_cs_size: if avg_hold_frac > 0.0 { cp_time_frac / avg_hold_frac } else { 0.0 },
             }
         })
         .collect();
 
-    locks.sort_by(|a, b| {
-        b.cp_time
-            .cmp(&a.cp_time)
-            .then_with(|| a.name.cmp(&b.name))
-    });
+    locks.sort_by(|a, b| b.cp_time.cmp(&a.cp_time).then_with(|| a.name.cmp(&b.name)));
 
     AnalysisReport {
         app: trace.meta.app.clone(),
@@ -388,7 +374,7 @@ mod tests {
         let t2 = b.thread("T2", 0);
         // T0: long CS under `hot`, runs to 100, finishes last.
         b.on(t0).cs(hot, 60).work(40).exit(); // exit 100
-        // T1 and T2 fight over `idle` but both finish early.
+                                              // T1 and T2 fight over `idle` but both finish early.
         b.on(t1).cs(idle, 30).exit_at(40);
         b.on(t2).cs_blocked(idle, 30, 10).exit_at(45);
         let t = b.build().unwrap();

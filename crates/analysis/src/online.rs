@@ -207,11 +207,7 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
             lock,
             name: trace.object_name(lock),
             cp_time,
-            cp_time_frac: if cp_length > 0 {
-                cp_time as f64 / cp_length as f64
-            } else {
-                0.0
-            },
+            cp_time_frac: if cp_length > 0 { cp_time as f64 / cp_length as f64 } else { 0.0 },
         })
         .collect();
     locks.sort_by(|a, b| b.cp_time.cmp(&a.cp_time).then_with(|| a.name.cmp(&b.name)));
@@ -265,11 +261,8 @@ fn step_event(
                 threads[ti].running = false;
             }
             EventKind::LockObtain { lock } | EventKind::RwObtain { lock, .. } => {
-                let adopted = if !threads[ti].running {
-                    release_vals.get(&lock).cloned()
-                } else {
-                    None
-                };
+                let adopted =
+                    if !threads[ti].running { release_vals.get(&lock).cloned() } else { None };
                 let t = &mut threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);
@@ -287,10 +280,7 @@ fn step_event(
             EventKind::BarrierArrive { barrier, epoch } => {
                 let t = &mut threads[ti];
                 t.running = false;
-                barrier_vals
-                    .entry((barrier, epoch))
-                    .or_default()
-                    .adopt_max(&t.val);
+                barrier_vals.entry((barrier, epoch)).or_default().adopt_max(&t.val);
             }
             EventKind::BarrierDepart { barrier, epoch } => {
                 let adopted = barrier_vals.get(&(barrier, epoch)).cloned();
@@ -310,10 +300,8 @@ fn step_event(
                 latest_signal.insert(cv, v);
             }
             EventKind::CondWakeup { cv, signal_seq } => {
-                let adopted = signal_vals
-                    .get(&(cv, signal_seq))
-                    .or_else(|| latest_signal.get(&cv))
-                    .cloned();
+                let adopted =
+                    signal_vals.get(&(cv, signal_seq)).or_else(|| latest_signal.get(&cv)).cloned();
                 let t = &mut threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);

@@ -28,11 +28,8 @@ fn pct(v: f64) -> String {
 /// Render a report as an aligned text table.
 pub fn render_text(report: &AnalysisReport, opts: &RenderOptions) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "critical lock analysis: {} ({} threads)",
-        report.app, report.num_threads
-    );
+    let _ =
+        writeln!(out, "critical lock analysis: {} ({} threads)", report.app, report.num_threads);
     let _ = writeln!(
         out,
         "makespan {}  critical-path {}  coverage {:.1}%{}",
@@ -70,7 +67,10 @@ pub fn render_text(report: &AnalysisReport, opts: &RenderOptions) -> String {
                 ]);
             }
             if opts.derived {
-                row.extend([format!("{:.2}", l.incr_invocations), format!("{:.2}", l.incr_cs_size)]);
+                row.extend([
+                    format!("{:.2}", l.incr_invocations),
+                    format!("{:.2}", l.incr_cs_size),
+                ]);
             }
             row
         })
@@ -165,7 +165,9 @@ pub fn one_line_summary(report: &AnalysisReport) -> String {
             top.invocations_on_cp,
             pct(top.cont_prob_on_cp),
         ),
-        None => format!("{}: no critical locks (critical sections are not a bottleneck)", report.app),
+        None => {
+            format!("{}: no critical locks (critical sections are not a bottleneck)", report.app)
+        }
     }
 }
 
@@ -235,15 +237,10 @@ mod tests {
     #[test]
     fn text_render_top_limits_rows() {
         let rep = sample_report();
-        let text = render_text(
-            &rep,
-            &RenderOptions { top: Some(1), ..RenderOptions::default() },
-        );
+        let text = render_text(&rep, &RenderOptions { top: Some(1), ..RenderOptions::default() });
         // Only the top lock row appears.
-        let data_lines: Vec<&str> = text
-            .lines()
-            .filter(|l| l.contains("alpha") || l.contains("beta"))
-            .collect();
+        let data_lines: Vec<&str> =
+            text.lines().filter(|l| l.contains("alpha") || l.contains("beta")).collect();
         assert_eq!(data_lines.len(), 1);
     }
 

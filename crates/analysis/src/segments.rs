@@ -112,9 +112,8 @@ impl SegmentedTrace {
                         releases.entry(lock).or_default().push((ev.ts, stream.tid));
                     }
                     EventKind::BarrierArrive { barrier, epoch } => {
-                        let entry = last_arrivers
-                            .entry((barrier, epoch))
-                            .or_insert((ev.ts, stream.tid));
+                        let entry =
+                            last_arrivers.entry((barrier, epoch)).or_insert((ev.ts, stream.tid));
                         if ev.ts >= entry.0 {
                             *entry = (ev.ts, stream.tid);
                         }
@@ -267,18 +266,16 @@ fn segment_thread(stream: &critlock_trace::ThreadStream) -> Vec<Segment> {
     let mut pending_cond: Option<(ObjId, Ts)> = None;
     let mut pending_join: Option<(ThreadId, Ts)> = None;
 
-    let close_open =
-        |segs: &mut Vec<Segment>, seg_start: &mut Ts, cause: &mut StartCause, end: Ts, resume: Ts, new_cause: StartCause| {
-            segs.push(Segment {
-                tid,
-                index: segs.len(),
-                start: *seg_start,
-                end,
-                start_cause: *cause,
-            });
-            *seg_start = resume;
-            *cause = new_cause;
-        };
+    let close_open = |segs: &mut Vec<Segment>,
+                      seg_start: &mut Ts,
+                      cause: &mut StartCause,
+                      end: Ts,
+                      resume: Ts,
+                      new_cause: StartCause| {
+        segs.push(Segment { tid, index: segs.len(), start: *seg_start, end, start_cause: *cause });
+        *seg_start = resume;
+        *cause = new_cause;
+    };
 
     for ev in &stream.events {
         match ev.kind {
@@ -409,10 +406,7 @@ mod tests {
         let s1 = st.threads[1][1];
         assert_eq!((s0.start, s0.end), (0, 1));
         assert_eq!((s1.start, s1.end), (4, 6));
-        assert_eq!(
-            s1.start_cause,
-            StartCause::LockGranted { lock: l, acquire: 1 }
-        );
+        assert_eq!(s1.start_cause, StartCause::LockGranted { lock: l, acquire: 1 });
     }
 
     #[test]
@@ -454,20 +448,11 @@ mod tests {
         b.on(t1).work(10).cs(l, 1).exit(); // release at 11
         let t = b.build().unwrap();
         let st = SegmentedTrace::build(&t);
-        assert_eq!(
-            st.latest_release_before(l, 5, ThreadId(1)),
-            Some((5, ThreadId(0)))
-        );
-        assert_eq!(
-            st.latest_release_before(l, 4, ThreadId(1)),
-            Some((2, ThreadId(0)))
-        );
+        assert_eq!(st.latest_release_before(l, 5, ThreadId(1)), Some((5, ThreadId(0))));
+        assert_eq!(st.latest_release_before(l, 4, ThreadId(1)), Some((2, ThreadId(0))));
         // Excluding T0 skips both of its releases.
         assert_eq!(st.latest_release_before(l, 5, ThreadId(0)), None);
-        assert_eq!(
-            st.latest_release_before(l, 20, ThreadId(0)),
-            Some((11, ThreadId(1)))
-        );
+        assert_eq!(st.latest_release_before(l, 20, ThreadId(0)), Some((11, ThreadId(1))));
         assert_eq!(st.latest_release_before(l, 1, ThreadId(1)), None);
     }
 
@@ -483,10 +468,7 @@ mod tests {
         let st = SegmentedTrace::build(&t);
         assert_eq!(st.matching_signal(cv, 1, 4, ThreadId(1)), Some((4, ThreadId(0))));
         // Unmatched: the latest signal at ts <= 7 is seq 2 at ts 6.
-        assert_eq!(
-            st.matching_signal(cv, SEQ_UNKNOWN, 7, ThreadId(1)),
-            Some((6, ThreadId(0)))
-        );
+        assert_eq!(st.matching_signal(cv, SEQ_UNKNOWN, 7, ThreadId(1)), Some((6, ThreadId(0))));
         assert_eq!(st.matching_signal(cv, SEQ_UNKNOWN, 0, ThreadId(1)), None);
     }
 

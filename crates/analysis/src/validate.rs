@@ -29,8 +29,7 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
         }
     }
     for stream in &trace.threads {
-        if let (Some(&create_ts), Some(start_ts)) =
-            (created.get(&stream.tid.0), stream.start_ts())
+        if let (Some(&create_ts), Some(start_ts)) = (created.get(&stream.tid.0), stream.start_ts())
         {
             if start_ts < create_ts {
                 warnings.push(format!(
@@ -42,11 +41,8 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
     }
 
     // Join edges: join cannot return before the child exits.
-    let exits: HashMap<u32, u64> = trace
-        .threads
-        .iter()
-        .filter_map(|s| s.end_ts().map(|ts| (s.tid.0, ts)))
-        .collect();
+    let exits: HashMap<u32, u64> =
+        trace.threads.iter().filter_map(|s| s.end_ts().map(|ts| (s.tid.0, ts))).collect();
     for j in join_episodes(trace) {
         if let Some(&exit_ts) = exits.get(&j.child.0) {
             if j.end < exit_ts {
@@ -111,10 +107,7 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
     // hold of the same rwlock.
     let mut rw_holds: HashMap<critlock_trace::ObjId, Vec<(u64, u64, bool, u32)>> = HashMap::new();
     for ep in rw_episodes(trace) {
-        rw_holds
-            .entry(ep.lock)
-            .or_default()
-            .push((ep.obtain, ep.release, ep.write, ep.tid.0));
+        rw_holds.entry(ep.lock).or_default().push((ep.obtain, ep.release, ep.write, ep.tid.0));
     }
     for (lock, mut ivs) in rw_holds {
         ivs.sort();
@@ -188,10 +181,7 @@ pub fn check_critical_path(trace: &Trace, cp: &CriticalPath) -> Vec<String> {
     let mut warnings = Vec::new();
 
     if cp.length > cp.makespan {
-        warnings.push(format!(
-            "critical path {} longer than makespan {}",
-            cp.length, cp.makespan
-        ));
+        warnings.push(format!("critical path {} longer than makespan {}", cp.length, cp.makespan));
     }
 
     // Chronology and (for virtual-time traces) exact tiling.
@@ -203,10 +193,8 @@ pub fn check_critical_path(trace: &Trace, cp: &CriticalPath) -> Vec<String> {
     // Every slice must lie within its thread's lifetime.
     for s in &cp.slices {
         if let Some(stream) = trace.thread(s.tid) {
-            let (start, end) = (
-                stream.start_ts().unwrap_or(0),
-                stream.end_ts().unwrap_or(u64::MAX),
-            );
+            let (start, end) =
+                (stream.start_ts().unwrap_or(0), stream.end_ts().unwrap_or(u64::MAX));
             if s.start < start || s.end > end {
                 warnings.push(format!(
                     "CP slice {:?} outside lifetime of {} [{start},{end}]",
@@ -234,13 +222,7 @@ mod tests {
         let main = b.thread("main", 0);
         let w = b.thread("w", 1);
         b.on(w).work(1).cs_blocked(l, 4, 2).barrier(bar, 0, 8).exit_at(9);
-        b.on(main)
-            .create(w)
-            .cs(l, 4)
-            .work(4)
-            .barrier(bar, 0, 8)
-            .join(w, 9)
-            .exit_at(10);
+        b.on(main).create(w).cs(l, 4).work(4).barrier(bar, 0, 8).join(w, 9).exit_at(10);
         b.build().unwrap()
     }
 
@@ -249,11 +231,7 @@ mod tests {
         let t = clean_trace();
         assert!(check_trace(&t).is_empty(), "{:?}", check_trace(&t));
         let cp = critical_path(&t);
-        assert!(
-            check_critical_path(&t, &cp).is_empty(),
-            "{:?}",
-            check_critical_path(&t, &cp)
-        );
+        assert!(check_critical_path(&t, &cp).is_empty(), "{:?}", check_critical_path(&t, &cp));
     }
 
     #[test]

@@ -78,11 +78,8 @@ pub fn project_shrink(report: &AnalysisReport, lock_name: &str, factor: f64) -> 
 /// speedup descending — the optimization priority list critical lock
 /// analysis recommends.
 pub fn rank_targets(report: &AnalysisReport, factor: f64) -> Vec<Projection> {
-    let mut out: Vec<Projection> = report
-        .locks
-        .iter()
-        .filter_map(|l| project_shrink(report, &l.name, factor))
-        .collect();
+    let mut out: Vec<Projection> =
+        report.locks.iter().filter_map(|l| project_shrink(report, &l.name, factor)).collect();
     out.sort_by(|a, b| {
         b.projected_speedup
             .partial_cmp(&a.projected_speedup)

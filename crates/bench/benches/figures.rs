@@ -3,9 +3,7 @@
 
 fn main() {
     // When cargo passes `--bench`/filter arguments, honor a simple filter.
-    let filter: Option<String> = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'));
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     for (id, gen) in critlock_bench::generators() {
         if let Some(f) = &filter {
             if !id.contains(f.as_str()) {

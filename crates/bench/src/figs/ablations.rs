@@ -105,9 +105,7 @@ pub fn generate_ranking_disagreement() -> Artifact {
         let mut app_disagree = 0;
         for seed in seeds {
             let cfg = WorkloadCfg::with_threads(16).with_seed(seed).with_scale(0.6);
-            let trace = suite::run_workload(app, &cfg)
-                .expect("registered")
-                .expect("runs");
+            let trace = suite::run_workload(app, &cfg).expect("registered").expect("runs");
             let rep = analyze(&trace);
             let by_cp = rank_targets(&rep, 0.5);
             let by_wait = rank_targets_by_wait(&rep, 0.5);
@@ -149,13 +147,8 @@ pub fn generate_ranking_disagreement() -> Artifact {
 
 /// What-if projection vs replayed ground truth.
 pub fn generate_whatif_vs_replay() -> Artifact {
-    let mut t = Table::new(&[
-        "Scenario",
-        "lock",
-        "projected speedup",
-        "replayed speedup",
-        "bound holds",
-    ]);
+    let mut t =
+        Table::new(&["Scenario", "lock", "projected speedup", "replayed speedup", "bound holds"]);
 
     // Micro-benchmark, both locks.
     let cfg = WorkloadCfg::with_threads(4);

@@ -24,13 +24,8 @@ pub fn generate() -> Artifact {
     body.push_str(&gantt(&trace, &cp, &GanttOptions { width: 66, show_cp: true }));
     let _ = writeln!(body);
 
-    let mut t = Table::new(&[
-        "Lock",
-        "CP Time %",
-        "Invo# on CP",
-        "Cont.Prob on CP %",
-        "paper says",
-    ]);
+    let mut t =
+        Table::new(&["Lock", "CP Time %", "Invo# on CP", "Cont.Prob on CP %", "paper says"]);
     for l in &rep.locks {
         let paper = match l.name.as_str() {
             "L1" => "3.03%, 1 invocation, 0% contention",
@@ -49,11 +44,7 @@ pub fn generate() -> Artifact {
     }
     body.push_str(&t.render());
 
-    Artifact {
-        id: "fig1",
-        title: "illustrative execution and its critical path".into(),
-        body,
-    }
+    Artifact { id: "fig1", title: "illustrative execution and its critical path".into(), body }
 }
 
 #[cfg(test)]

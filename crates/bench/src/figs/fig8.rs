@@ -34,9 +34,8 @@ pub fn generate() -> Artifact {
     let mut t = Table::new(&["App", "Lock", "CP Time %", "Wait Time %", "note"]);
     for (app, threads) in apps {
         let cfg = WorkloadCfg::with_threads(threads);
-        let trace = suite::run_workload(app, &cfg)
-            .expect("workload registered")
-            .expect("workload runs");
+        let trace =
+            suite::run_workload(app, &cfg).expect("workload registered").expect("workload runs");
         let rep = analyze(&trace);
         let mut shown = 0;
         for l in rep.locks.iter().take(2) {
@@ -50,7 +49,13 @@ pub fn generate() -> Artifact {
             shown += 1;
         }
         if shown == 0 {
-            t.row(vec![app.to_string(), "(no locks)".into(), "-".into(), "-".into(), String::new()]);
+            t.row(vec![
+                app.to_string(),
+                "(no locks)".into(),
+                "-".into(),
+                "-".into(),
+                String::new(),
+            ]);
         }
     }
     let mut body = t.render();
@@ -77,9 +82,7 @@ mod tests {
     fn fig8_shape_assertions() {
         // radiosity: tq[0].qlock top, CP >> wait.
         let rep = analyze(
-            &suite::run_workload("radiosity", &WorkloadCfg::with_threads(24))
-                .unwrap()
-                .unwrap(),
+            &suite::run_workload("radiosity", &WorkloadCfg::with_threads(24)).unwrap().unwrap(),
         );
         let tq0 = rep.lock_by_name("tq[0].qlock").unwrap();
         assert_eq!(rep.rank_by_cp_time("tq[0].qlock"), Some(1));
@@ -87,28 +90,20 @@ mod tests {
 
         // raytrace: mem top, CP >> wait.
         let rep = analyze(
-            &suite::run_workload("raytrace", &WorkloadCfg::with_threads(24))
-                .unwrap()
-                .unwrap(),
+            &suite::run_workload("raytrace", &WorkloadCfg::with_threads(24)).unwrap().unwrap(),
         );
         let mem = rep.lock_by_name("mem").unwrap();
         assert_eq!(rep.rank_by_cp_time("mem"), Some(1));
         assert!(mem.cp_time_frac > 2.0 * mem.avg_wait_frac);
 
         // tsp: Qlock dominates outright.
-        let rep = analyze(
-            &suite::run_workload("tsp", &WorkloadCfg::with_threads(24))
-                .unwrap()
-                .unwrap(),
-        );
+        let rep =
+            analyze(&suite::run_workload("tsp", &WorkloadCfg::with_threads(24)).unwrap().unwrap());
         assert!(rep.lock_by_name("Qlock").unwrap().cp_time_frac > 0.5);
 
         // uts: a stackLock on the path, essentially no waiting.
-        let rep = analyze(
-            &suite::run_workload("uts", &WorkloadCfg::with_threads(24))
-                .unwrap()
-                .unwrap(),
-        );
+        let rep =
+            analyze(&suite::run_workload("uts", &WorkloadCfg::with_threads(24)).unwrap().unwrap());
         let top = rep.top_critical_lock().unwrap();
         assert!(top.name.starts_with("stackLock["));
         assert!(top.cp_time_frac > 0.02);
@@ -116,9 +111,7 @@ mod tests {
 
         // openldap: nothing above 5%.
         let rep = analyze(
-            &suite::run_workload("openldap", &WorkloadCfg::with_threads(16))
-                .unwrap()
-                .unwrap(),
+            &suite::run_workload("openldap", &WorkloadCfg::with_threads(16)).unwrap().unwrap(),
         );
         if let Some(top) = rep.top_critical_lock() {
             assert!(top.cp_time_frac < 0.05, "{} {:.2}%", top.name, top.cp_time_frac * 100.0);

@@ -28,10 +28,9 @@ pub fn generate_fig6() -> Artifact {
         "Speedup after optimization",
         "paper",
     ]);
-    for (name, speedup, paper) in [
-        ("L1", s1, "16.67% / 36.53% / 1.26"),
-        ("L2", s2, "83.33% / 9.02% / 1.37"),
-    ] {
+    for (name, speedup, paper) in
+        [("L1", s1, "16.67% / 36.53% / 1.26"), ("L2", s2, "83.33% / 9.02% / 1.37")]
+    {
         let l = rep.lock_by_name(name).expect("lock present");
         t.row(vec![
             name.to_string(),
@@ -74,11 +73,7 @@ pub fn generate_fig7() -> Artifact {
         "\nL1's idleness is overlapped by the critical path, which CS2 \
          (under L2) dominates — the paper's Fig. 7 observation."
     );
-    Artifact {
-        id: "fig7",
-        title: "micro-benchmark execution and critical path".into(),
-        body,
-    }
+    Artifact { id: "fig7", title: "micro-benchmark execution and critical path".into(), body }
 }
 
 #[cfg(test)]
@@ -96,10 +91,10 @@ mod tests {
         assert!((l2.cp_time_frac - 5.0 / 6.0).abs() < 1e-9);
         assert!(l1.avg_wait_frac > l2.avg_wait_frac);
 
-        let s1 = base.makespan() as f64
-            / micro::run_l1_optimized(&cfg4()).unwrap().makespan() as f64;
-        let s2 = base.makespan() as f64
-            / micro::run_l2_optimized(&cfg4()).unwrap().makespan() as f64;
+        let s1 =
+            base.makespan() as f64 / micro::run_l1_optimized(&cfg4()).unwrap().makespan() as f64;
+        let s2 =
+            base.makespan() as f64 / micro::run_l2_optimized(&cfg4()).unwrap().makespan() as f64;
         assert!(s2 > s1, "L2 wins: {s1:.3} vs {s2:.3}");
         // Idealized machine: 12/11 and 12/9.5.
         assert!((s1 - 12.0 / 11.0).abs() < 1e-6);

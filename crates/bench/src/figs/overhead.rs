@@ -68,9 +68,7 @@ fn run_instrumented(threads: usize, work_per_cs: u64) -> (std::time::Duration, u
 /// applications carry large sections (its whole-app overhead was ~5%),
 /// so the sweep reports the break-even curve explicitly.
 pub fn generate() -> Artifact {
-    let threads = 4usize.min(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
-    );
+    let threads = 4usize.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2));
     let mut t = Table::new(&["CS size (iters)", "plain", "instrumented", "overhead", "events"]);
     for work in [40u64, 400, 4_000] {
         // Median of 3 to tame scheduler noise.

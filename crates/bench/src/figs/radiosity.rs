@@ -46,11 +46,7 @@ pub fn generate_fig9() -> Artifact {
         "\npaper: freInter most critical at <=8 threads; tq[0].qlock \
          dominates beyond 8, reaching 39.15% CP (vs 6.40% wait) at 24."
     );
-    Artifact {
-        id: "fig9",
-        title: "radiosity: top-2 locks across thread counts".into(),
-        body,
-    }
+    Artifact { id: "fig9", title: "radiosity: top-2 locks across thread counts".into(), body }
 }
 
 fn contention_table(rep: &AnalysisReport, top: usize) -> String {
@@ -141,11 +137,7 @@ pub fn generate_fig12() -> Artifact {
          threads — far below tq[0].qlock's 39% CP share, because other \
          segments move onto the critical path after the optimization."
     );
-    Artifact {
-        id: "fig12",
-        title: "radiosity: original vs two-lock-queue speedups".into(),
-        body,
-    }
+    Artifact { id: "fig12", title: "radiosity: original vs two-lock-queue speedups".into(), body }
 }
 
 /// Fig. 13: critical-section size statistics of the optimized version.
@@ -157,11 +149,7 @@ pub fn generate_fig13() -> Artifact {
         "\npaper @24 (optimized): tq[0].q_head_lock drops to 2.53% CP \
          (0.73% hold); freeInter becomes the residual top lock."
     );
-    Artifact {
-        id: "fig13",
-        title: "optimized radiosity @24: critical section sizes".into(),
-        body,
-    }
+    Artifact { id: "fig13", title: "optimized radiosity @24: critical section sizes".into(), body }
 }
 
 /// Fig. 14: contention-probability statistics of the optimized version.
@@ -173,11 +161,7 @@ pub fn generate_fig14() -> Artifact {
         "\npaper @24 (optimized): tq[0].q_head_lock contention on CP \
          falls to 53.62% with invocation inflation 3.34x."
     );
-    Artifact {
-        id: "fig14",
-        title: "optimized radiosity @24: contention probability".into(),
-        body,
-    }
+    Artifact { id: "fig14", title: "optimized radiosity @24: contention probability".into(), body }
 }
 
 #[cfg(test)]
@@ -187,14 +171,11 @@ mod tests {
     /// The Fig. 9 crossover at full scale.
     #[test]
     fn fig9_crossover() {
-        for (threads, expect_top) in [(4, "freeInter"), (8, "freeInter"), (16, "tq[0].qlock"), (24, "tq[0].qlock")]
+        for (threads, expect_top) in
+            [(4, "freeInter"), (8, "freeInter"), (16, "tq[0].qlock"), (24, "tq[0].qlock")]
         {
             let rep = analyze(&run(threads));
-            assert_eq!(
-                rep.top_critical_lock().unwrap().name,
-                expect_top,
-                "at {threads} threads"
-            );
+            assert_eq!(rep.top_critical_lock().unwrap().name, expect_top, "at {threads} threads");
         }
     }
 

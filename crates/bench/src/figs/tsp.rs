@@ -8,14 +8,8 @@ use std::fmt::Write as _;
 /// Generate the TSP artifact (Fig. 8's TSP row plus the §V.E
 /// optimization result).
 pub fn generate() -> Artifact {
-    let mut t = Table::new(&[
-        "Threads",
-        "Qlock CP %",
-        "Qlock Wait %",
-        "makespan",
-        "optimized",
-        "gain",
-    ]);
+    let mut t =
+        Table::new(&["Threads", "Qlock CP %", "Qlock Wait %", "makespan", "optimized", "gain"]);
     for threads in [4, 8, 16, 24] {
         let cfg = WorkloadCfg::with_threads(threads);
         let orig = tsp::run(&cfg).expect("tsp runs");
@@ -62,11 +56,7 @@ mod tests {
             q.cp_time_frac * 100.0
         );
         let gain = orig.makespan() as f64 / opt.makespan() as f64 - 1.0;
-        assert!(
-            (0.08..0.45).contains(&gain),
-            "split gain {:.1}% (paper 19%)",
-            gain * 100.0
-        );
+        assert!((0.08..0.45).contains(&gain), "split gain {:.1}% (paper 19%)", gain * 100.0);
         // Both solve the same instance.
         assert_eq!(orig.meta.params.get("best_tour"), opt.meta.params.get("best_tour"));
     }

@@ -51,9 +51,7 @@ impl Parsed {
     /// A typed option with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value for --{key}: {v}")),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
             None => Ok(default),
         }
     }
@@ -65,10 +63,7 @@ impl Parsed {
 
     /// A required positional argument.
     pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
-        self.positionals
-            .get(idx)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing {what}"))
+        self.positionals.get(idx).map(String::as_str).ok_or_else(|| format!("missing {what}"))
     }
 }
 

@@ -8,6 +8,9 @@
 //! critlock gantt <trace> [--width N]
 //! critlock whatif <trace> --lock NAME [--factor F]
 //! critlock online <trace>
+//! critlock serve [--listen ADDR] [--status ADDR] [--queue N] [--backpressure block|drop]
+//! critlock push <trace> --to ADDR [--pace-ms N]
+//! critlock status --at ADDR [--json]
 //! ```
 
 mod args;
@@ -42,6 +45,16 @@ USAGE:
       Project the speedup from shrinking one lock's critical sections.
   critlock online <trace>
       Run the forward (online) critical-path profile.
+  critlock serve [--listen ADDR] [--status ADDR] [--queue N]
+                 [--backpressure block|drop] [--interval-ms N]
+      Run the live collector daemon. ADDR is unix:/path/to.sock or
+      host:port. Sessions stream in on --listen; snapshots are served on
+      --status.
+  critlock push <trace> --to ADDR [--pace-ms N]
+      Stream a recorded trace to a running collector, optionally pacing
+      the event frames to emulate a live producer.
+  critlock status --at ADDR [--json]
+      Query a collector's live analysis snapshots.
 ";
 
 fn main() -> ExitCode {
@@ -73,6 +86,9 @@ fn run(argv: &[String]) -> Result<String, String> {
         "gantt" => cmd_gantt(&p),
         "whatif" => cmd_whatif(&p),
         "online" => cmd_online(&p),
+        "serve" => cmd_serve(&p),
+        "push" => cmd_push(&p),
+        "status" => cmd_status(&p),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -132,12 +148,13 @@ fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
     if p.flag("csv") {
         return Ok(render_csv(&rep));
     }
-    let top = p.options.get("top").map(|v| v.parse::<usize>()).transpose()
+    let top = p
+        .options
+        .get("top")
+        .map(|v| v.parse::<usize>())
+        .transpose()
         .map_err(|_| "invalid --top".to_string())?;
-    Ok(render_text(
-        &rep,
-        &RenderOptions { top, type2: !p.flag("no-type2"), derived: true },
-    ))
+    Ok(render_text(&rep, &RenderOptions { top, type2: !p.flag("no-type2"), derived: true }))
 }
 
 fn cmd_blockers(p: &args::Parsed) -> Result<String, String> {
@@ -146,10 +163,7 @@ fn cmd_blockers(p: &args::Parsed) -> Result<String, String> {
     let top: usize = p.get_or("top", 15usize)?;
     let mut out = rep.render_text(top);
     if let Some(t) = rep.top_blocker() {
-        out.push_str(&format!(
-            "\ntop blocker: {} (causes the most waiting in other threads)\n",
-            t
-        ));
+        out.push_str(&format!("\ntop blocker: {} (causes the most waiting in other threads)\n", t));
     }
     Ok(out)
 }
@@ -180,10 +194,7 @@ fn cmd_gantt(p: &args::Parsed) -> Result<String, String> {
 
 fn cmd_whatif(p: &args::Parsed) -> Result<String, String> {
     let trace = load_trace(p.positional(0, "trace file")?)?;
-    let lock = p
-        .options
-        .get("lock")
-        .ok_or_else(|| "missing --lock NAME".to_string())?;
+    let lock = p.options.get("lock").ok_or_else(|| "missing --lock NAME".to_string())?;
     let factor: f64 = p.get_or("factor", 0.5f64)?;
     if !(0.0..=1.0).contains(&factor) {
         return Err("--factor must be in [0,1]".into());
@@ -223,6 +234,71 @@ fn cmd_online(p: &args::Parsed) -> Result<String, String> {
     Ok(out)
 }
 
+fn parse_addr(s: &str) -> Result<critlock_collector::Addr, String> {
+    critlock_collector::Addr::parse(s).map_err(|e| e.to_string())
+}
+
+fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
+    use critlock_collector::{start, Backpressure, CollectorConfig};
+
+    let listen = p.options.get("listen").map(String::as_str).unwrap_or("127.0.0.1:9797");
+    let mut config = CollectorConfig::new(parse_addr(listen)?);
+    if let Some(status) = p.options.get("status") {
+        config.status_addr = Some(parse_addr(status)?);
+    }
+    config.queue_capacity = p.get_or("queue", config.queue_capacity)?;
+    config.backpressure = match p.options.get("backpressure").map(String::as_str) {
+        None | Some("block") => Backpressure::Block,
+        Some("drop") => Backpressure::Drop,
+        Some(other) => return Err(format!("invalid --backpressure `{other}` (block|drop)")),
+    };
+    config.snapshot_interval = std::time::Duration::from_millis(p.get_or("interval-ms", 200u64)?);
+
+    let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;
+    println!("critlock collector: ingest on {}", handle.ingest_addr());
+    if let Some(status) = handle.status_addr() {
+        println!("critlock collector: status on {status}");
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Foreground daemon: run until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_push(p: &args::Parsed) -> Result<String, String> {
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let to = p.options.get("to").ok_or_else(|| "missing --to ADDR".to_string())?;
+    let addr = parse_addr(to)?;
+    let pace = match p.options.get("pace-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse().map_err(|_| format!("invalid --pace-ms: {ms}"))?,
+        )),
+        None => None,
+    };
+    let sent = critlock_collector::push(&addr, &trace, pace)
+        .map_err(|e| format!("push to {addr} failed: {e}"))?;
+    Ok(format!(
+        "pushed {sent} frames ({} events, {} threads) to {addr}\n",
+        trace.num_events(),
+        trace.num_threads()
+    ))
+}
+
+fn cmd_status(p: &args::Parsed) -> Result<String, String> {
+    let at = p.options.get("at").ok_or_else(|| "missing --at ADDR".to_string())?;
+    let addr = parse_addr(at)?;
+    let reply = critlock_collector::fetch_status_text(&addr, p.flag("json"))
+        .map_err(|e| format!("status query to {addr} failed: {e}"))?;
+    if reply.is_empty() {
+        // The ingest socket (and anything else that is not a status
+        // endpoint) hangs up without replying.
+        return Err(format!("status query to {addr} failed: empty reply (not a status endpoint?)"));
+    }
+    Ok(reply)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,10 +328,8 @@ mod tests {
         let path = dir.join("micro.cltr");
         let path_s = path.to_str().unwrap();
 
-        let out = run(&sv(&[
-            "run", "micro", "--threads", "4", "--scale", "0.2", "--out", path_s,
-        ]))
-        .unwrap();
+        let out = run(&sv(&["run", "micro", "--threads", "4", "--scale", "0.2", "--out", path_s]))
+            .unwrap();
         assert!(out.contains("saved trace"));
         assert!(out.contains("L2"));
 
@@ -293,6 +367,40 @@ mod tests {
     #[test]
     fn analyze_missing_file_fails() {
         assert!(run(&sv(&["analyze", "/definitely/not/here.cltr"])).is_err());
+    }
+
+    #[test]
+    fn analyze_empty_file_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("critlock-cli-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.cltr");
+        std::fs::write(&path, b"").unwrap();
+        let err = run(&sv(&["analyze", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("cannot load"), "unexpected error text: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_truncated_trace_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("critlock-cli-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.cltr");
+        let full_s = full.to_str().unwrap();
+        run(&sv(&["run", "micro", "--threads", "2", "--scale", "0.2", "--out", full_s])).unwrap();
+
+        let bytes = std::fs::read(&full).unwrap();
+        let cut = dir.join("cut.cltr");
+        // Cut the file at several byte offsets, including mid-header and
+        // mid-event; every truncation must be an error, never a panic or
+        // a silently shortened trace.
+        for frac in [1, 3, 7, 9] {
+            let cut_len = bytes.len() * frac / 10;
+            std::fs::write(&cut, &bytes[..cut_len]).unwrap();
+            let err = run(&sv(&["analyze", cut.to_str().unwrap()])).unwrap_err();
+            assert!(err.contains("cannot load"), "cut at {cut_len}: {err}");
+        }
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&cut).ok();
     }
 
     #[test]

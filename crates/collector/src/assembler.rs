@@ -1,0 +1,572 @@
+//! Disconnect-tolerant assembly of frame streams into well-formed traces.
+//!
+//! The strict inverse of the stream codec lives in
+//! `critlock_trace::stream::read_trace`; this module accepts the messier
+//! reality of live sessions: producers that vanish mid-critical-section,
+//! frames dropped under backpressure, registration frames that never
+//! arrived. [`SessionAssembler`] folds whatever frames do arrive into a
+//! partial [`Trace`], and [`SessionAssembler::finalize`] repairs the
+//! partial trace into one that passes `Trace::validate`:
+//!
+//! * thread streams are made dense (placeholder empty streams for ids
+//!   that were referenced but never announced);
+//! * objects referenced past the registry are registered with a kind
+//!   inferred from their first use;
+//! * per-thread, events that violate the protocol state machine (orphans
+//!   of dropped frames) are discarded;
+//! * open critical sections, barrier waits and condvar waits are closed
+//!   at the thread's last-seen timestamp, and a `ThreadExit` is appended —
+//!   the paper's convention that an incomplete invocation is accounted up
+//!   to the measurement horizon.
+//!
+//! On a well-formed, gracefully ended session the repair is the identity
+//! (beyond ordering streams by thread id), which is what makes live
+//! snapshots of complete sessions exactly match offline analysis.
+
+use critlock_trace::stream::Frame;
+use critlock_trace::{
+    Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts, SEQ_UNKNOWN,
+};
+use std::collections::BTreeMap;
+
+/// Incremental, loss-tolerant trace assembly for one session.
+#[derive(Debug, Default)]
+pub struct SessionAssembler {
+    trace: Trace,
+    started: bool,
+    ended: bool,
+    frames: u64,
+    events: u64,
+}
+
+impl SessionAssembler {
+    /// A fresh assembler with default (empty) metadata.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one frame into the partial trace. Never fails: malformed
+    /// sequences are tolerated here and cleaned up in [`finalize`].
+    ///
+    /// [`finalize`]: SessionAssembler::finalize
+    pub fn apply(&mut self, frame: Frame) {
+        self.frames += 1;
+        match frame {
+            Frame::Start { meta } => {
+                if !self.started {
+                    self.trace.meta = meta;
+                    self.started = true;
+                }
+            }
+            Frame::Param { key, value } => {
+                self.trace.meta.params.insert(key, value);
+            }
+            Frame::Objects { first_id, objects } => {
+                let first = first_id as usize;
+                // Fill any gap left by a dropped registration frame with
+                // placeholders; repair re-kinds them from first use.
+                while self.trace.objects.len() < first {
+                    let i = self.trace.objects.len();
+                    self.trace
+                        .objects
+                        .push(ObjInfo { kind: ObjKind::Marker, name: format!("unregistered-{i}") });
+                }
+                for (i, obj) in objects.into_iter().enumerate() {
+                    let idx = first + i;
+                    if idx < self.trace.objects.len() {
+                        self.trace.objects[idx] = obj;
+                    } else {
+                        self.trace.objects.push(obj);
+                    }
+                }
+            }
+            Frame::Thread { tid, name } => {
+                match self.trace.threads.iter_mut().find(|s| s.tid == tid) {
+                    Some(stream) => stream.name = name,
+                    None => {
+                        let mut stream = ThreadStream::new(tid);
+                        stream.name = name;
+                        self.trace.threads.push(stream);
+                    }
+                }
+            }
+            Frame::Events { tid, events } => {
+                self.events += events.len() as u64;
+                let stream = match self.trace.threads.iter_mut().find(|s| s.tid == tid) {
+                    Some(stream) => stream,
+                    None => {
+                        // Announcement frame lost; synthesize the stream.
+                        self.trace.threads.push(ThreadStream::new(tid));
+                        self.trace.threads.last_mut().expect("just pushed")
+                    }
+                };
+                stream.events.extend(events);
+            }
+            Frame::End => self.ended = true,
+        }
+    }
+
+    /// Whether a `Start` frame has arrived.
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Whether the producer ended the session gracefully with `End`.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Frames folded in so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Events folded in so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The partial trace as received (no repair).
+    pub fn partial(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Produce a well-formed trace from whatever has arrived: a clone of
+    /// the partial trace run through [`repair`].
+    pub fn finalize(&self) -> Trace {
+        let mut trace = self.trace.clone();
+        repair(&mut trace);
+        trace
+    }
+}
+
+/// The object kind an event expects its operand to have.
+fn expected_kind(kind: &EventKind) -> Option<(ObjId, ObjKind)> {
+    Some(match *kind {
+        EventKind::LockAcquire { lock }
+        | EventKind::LockContended { lock }
+        | EventKind::LockObtain { lock }
+        | EventKind::LockRelease { lock } => (lock, ObjKind::Lock),
+        EventKind::RwAcquire { lock, .. }
+        | EventKind::RwContended { lock, .. }
+        | EventKind::RwObtain { lock, .. }
+        | EventKind::RwRelease { lock, .. } => (lock, ObjKind::RwLock),
+        EventKind::BarrierArrive { barrier, .. } | EventKind::BarrierDepart { barrier, .. } => {
+            (barrier, ObjKind::Barrier)
+        }
+        EventKind::CondWaitBegin { cv }
+        | EventKind::CondWakeup { cv, .. }
+        | EventKind::CondSignal { cv, .. }
+        | EventKind::CondBroadcast { cv, .. } => (cv, ObjKind::Condvar),
+        EventKind::Marker { id } => (id, ObjKind::Marker),
+        _ => return None,
+    })
+}
+
+/// Repair a partial trace in place so that `Trace::validate` passes.
+/// Identity (modulo thread-stream order) on already-valid traces.
+pub fn repair(trace: &mut Trace) {
+    // --- dense thread streams ------------------------------------------
+    let mut max_tid: Option<u32> = trace.threads.iter().map(|s| s.tid.0).max();
+    for stream in &trace.threads {
+        for ev in &stream.events {
+            if let Some(peer) = peer_tid(&ev.kind) {
+                max_tid = Some(max_tid.map_or(peer.0, |m| m.max(peer.0)));
+            }
+        }
+    }
+    if let Some(max_tid) = max_tid {
+        let old = std::mem::take(&mut trace.threads);
+        let mut dense: Vec<ThreadStream> =
+            (0..=max_tid).map(|i| ThreadStream::new(ThreadId(i))).collect();
+        for stream in old {
+            let idx = stream.tid.index();
+            dense[idx] = stream;
+        }
+        trace.threads = dense;
+    }
+
+    // --- object registry: infer kinds for unregistered references ------
+    let mut inferred: BTreeMap<u32, ObjKind> = BTreeMap::new();
+    for stream in &trace.threads {
+        for ev in &stream.events {
+            if let Some((obj, kind)) = expected_kind(&ev.kind) {
+                if obj.0 as usize >= trace.objects.len() {
+                    inferred.entry(obj.0).or_insert(kind);
+                }
+            }
+        }
+    }
+    if let Some((&top, _)) = inferred.iter().next_back() {
+        for i in trace.objects.len() as u32..=top {
+            let kind = inferred.get(&i).copied().unwrap_or(ObjKind::Marker);
+            trace.objects.push(ObjInfo { kind, name: format!("unregistered-{i}") });
+        }
+    }
+
+    // --- per-stream protocol repair ------------------------------------
+    let objects = trace.objects.clone();
+    for stream in &mut trace.threads {
+        let events = std::mem::take(&mut stream.events);
+        stream.events = repair_stream(events, &objects);
+    }
+}
+
+fn peer_tid(kind: &EventKind) -> Option<ThreadId> {
+    match *kind {
+        EventKind::ThreadCreate { child }
+        | EventKind::JoinBegin { child }
+        | EventKind::JoinEnd { child } => Some(child),
+        _ => None,
+    }
+}
+
+/// Rebuild one thread's event list so it satisfies the validation state
+/// machine, dropping orphaned events and closing open waits at the end.
+fn repair_stream(events: Vec<Event>, objects: &[ObjInfo]) -> Vec<Event> {
+    if events.is_empty() {
+        return events;
+    }
+
+    let kind_ok = |obj: ObjId, kind: ObjKind| {
+        objects.get(obj.0 as usize).is_some_and(|info| info.kind == kind)
+    };
+
+    // 0 = idle, 1 = acquiring, 2 = contended, 3 = held (same encoding as
+    // `Trace::validate`); rwlocks also remember the requested mode.
+    let mut lock_state: BTreeMap<ObjId, u8> = BTreeMap::new();
+    let mut rw_state: BTreeMap<ObjId, (u8, bool)> = BTreeMap::new();
+    let mut lock_pending: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
+    let mut rw_pending: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
+    let mut in_barrier: Option<(ObjId, u32)> = None;
+    let mut in_wait: Option<ObjId> = None;
+
+    let mut out: Vec<Event> = Vec::with_capacity(events.len() + 4);
+    let mut last_ts: Ts = 0;
+    let mut exited = false;
+
+    for ev in events {
+        if exited {
+            break;
+        }
+        // Clamp any backwards timestamp (possible only after frame loss).
+        let ts = ev.ts.max(last_ts);
+
+        let keep = match ev.kind {
+            EventKind::ThreadStart => out.is_empty(),
+            EventKind::ThreadExit => {
+                exited = true;
+                false // appended at the end, after closing open waits
+            }
+            EventKind::LockAcquire { lock } => {
+                kind_ok(lock, ObjKind::Lock) && *lock_state.entry(lock).or_insert(0) == 0 && {
+                    lock_state.insert(lock, 1);
+                    true
+                }
+            }
+            EventKind::LockContended { lock } => {
+                kind_ok(lock, ObjKind::Lock) && *lock_state.entry(lock).or_insert(0) == 1 && {
+                    lock_state.insert(lock, 2);
+                    true
+                }
+            }
+            EventKind::LockObtain { lock } => {
+                kind_ok(lock, ObjKind::Lock) && matches!(lock_state.get(&lock), Some(1 | 2)) && {
+                    lock_state.insert(lock, 3);
+                    true
+                }
+            }
+            EventKind::LockRelease { lock } => {
+                kind_ok(lock, ObjKind::Lock) && lock_state.get(&lock) == Some(&3) && {
+                    lock_state.insert(lock, 0);
+                    true
+                }
+            }
+            EventKind::RwAcquire { lock, write } => {
+                kind_ok(lock, ObjKind::RwLock)
+                    && rw_state.entry(lock).or_insert((0, write)).0 == 0
+                    && {
+                        rw_state.insert(lock, (1, write));
+                        true
+                    }
+            }
+            EventKind::RwContended { lock, write } => {
+                kind_ok(lock, ObjKind::RwLock) && rw_state.get(&lock).map(|s| s.0) == Some(1) && {
+                    rw_state.insert(lock, (2, write));
+                    true
+                }
+            }
+            EventKind::RwObtain { lock, write } => {
+                kind_ok(lock, ObjKind::RwLock)
+                    && matches!(rw_state.get(&lock).map(|s| s.0), Some(1 | 2))
+                    && {
+                        rw_state.insert(lock, (3, write));
+                        true
+                    }
+            }
+            EventKind::RwRelease { lock, write } => {
+                kind_ok(lock, ObjKind::RwLock) && rw_state.get(&lock).map(|s| s.0) == Some(3) && {
+                    rw_state.insert(lock, (0, write));
+                    true
+                }
+            }
+            EventKind::BarrierArrive { barrier, epoch } => {
+                kind_ok(barrier, ObjKind::Barrier) && in_barrier.is_none() && {
+                    in_barrier = Some((barrier, epoch));
+                    true
+                }
+            }
+            EventKind::BarrierDepart { barrier, epoch } => {
+                in_barrier == Some((barrier, epoch)) && {
+                    in_barrier = None;
+                    true
+                }
+            }
+            EventKind::CondWaitBegin { cv } => {
+                kind_ok(cv, ObjKind::Condvar) && in_wait.is_none() && {
+                    in_wait = Some(cv);
+                    true
+                }
+            }
+            EventKind::CondWakeup { cv, .. } => {
+                in_wait == Some(cv) && {
+                    in_wait = None;
+                    true
+                }
+            }
+            EventKind::CondSignal { cv, .. } | EventKind::CondBroadcast { cv, .. } => {
+                kind_ok(cv, ObjKind::Condvar)
+            }
+            EventKind::Marker { id } => kind_ok(id, ObjKind::Marker),
+            EventKind::ThreadCreate { .. }
+            | EventKind::JoinBegin { .. }
+            | EventKind::JoinEnd { .. } => true,
+        };
+
+        if keep {
+            if out.is_empty() && ev.kind != EventKind::ThreadStart {
+                out.push(Event::new(ts, EventKind::ThreadStart));
+            }
+            let idx = out.len();
+            // Track the indices of an in-flight acquisition so a
+            // contended acquire that never completed can be excised.
+            match ev.kind {
+                EventKind::LockAcquire { lock } => {
+                    lock_pending.insert(lock, vec![idx]);
+                }
+                EventKind::LockContended { lock } => {
+                    lock_pending.entry(lock).or_default().push(idx);
+                }
+                EventKind::LockObtain { lock } => {
+                    lock_pending.remove(&lock);
+                }
+                EventKind::RwAcquire { lock, .. } => {
+                    rw_pending.insert(lock, vec![idx]);
+                }
+                EventKind::RwContended { lock, .. } => {
+                    rw_pending.entry(lock).or_default().push(idx);
+                }
+                EventKind::RwObtain { lock, .. } => {
+                    rw_pending.remove(&lock);
+                }
+                _ => {}
+            }
+            out.push(Event::new(ts, ev.kind));
+            last_ts = ts;
+        } else if exited {
+            last_ts = ts;
+        }
+    }
+
+    if out.is_empty() {
+        // Nothing survived (e.g. only a ThreadExit arrived): an empty
+        // stream is valid.
+        return out;
+    }
+
+    // Close everything still open at the measurement horizon. An
+    // uncontended in-flight acquire (state 1) becomes a zero-hold
+    // invocation; a *contended* one (state 2) is excised instead, because
+    // a synthesized contended obtain would imply a release by another
+    // thread that never happened. A held lock (state 3) gets its release.
+    let mut remove: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    if let Some(cv) = in_wait.take() {
+        out.push(Event::new(last_ts, EventKind::CondWakeup { cv, signal_seq: SEQ_UNKNOWN }));
+    }
+    if let Some((barrier, epoch)) = in_barrier.take() {
+        out.push(Event::new(last_ts, EventKind::BarrierDepart { barrier, epoch }));
+    }
+    for (&lock, &st) in &lock_state {
+        match st {
+            1 => {
+                out.push(Event::new(last_ts, EventKind::LockObtain { lock }));
+                out.push(Event::new(last_ts, EventKind::LockRelease { lock }));
+            }
+            2 => remove.extend(lock_pending.get(&lock).into_iter().flatten().copied()),
+            3 => out.push(Event::new(last_ts, EventKind::LockRelease { lock })),
+            _ => {}
+        }
+    }
+    for (&lock, &(st, write)) in &rw_state {
+        match st {
+            1 => {
+                out.push(Event::new(last_ts, EventKind::RwObtain { lock, write }));
+                out.push(Event::new(last_ts, EventKind::RwRelease { lock, write }));
+            }
+            2 => remove.extend(rw_pending.get(&lock).into_iter().flatten().copied()),
+            3 => out.push(Event::new(last_ts, EventKind::RwRelease { lock, write })),
+            _ => {}
+        }
+    }
+    if !remove.is_empty() {
+        out = out
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !remove.contains(i))
+            .map(|(_, ev)| ev)
+            .collect();
+    }
+    out.push(Event::new(last_ts, EventKind::ThreadExit));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("assembler-sample");
+        let l = b.lock("L");
+        let t0 = b.thread("main", 0);
+        let t1 = b.thread("w1", 1);
+        b.on(t1).work(2).cs(l, 5).exit_at(10);
+        b.on(t0).create(t1).work(4).cs_blocked(l, 7, 3).join(t1, 12).exit_at(13);
+        b.build().unwrap()
+    }
+
+    fn frames_for(trace: &Trace) -> Vec<Frame> {
+        let mut buf = Vec::new();
+        critlock_trace::stream::write_trace(trace, &mut buf).unwrap();
+        let mut r = critlock_trace::stream::StreamReader::new(std::io::Cursor::new(buf)).unwrap();
+        let mut frames = Vec::new();
+        while let Some(f) = r.next_frame().unwrap() {
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn graceful_session_is_identity() {
+        let trace = sample();
+        let mut asm = SessionAssembler::new();
+        for f in frames_for(&trace) {
+            asm.apply(f);
+        }
+        assert!(asm.ended());
+        let out = asm.finalize();
+        assert_eq!(out, trace);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn mid_critical_section_disconnect_is_repaired() {
+        let trace = sample();
+        let frames = frames_for(&trace);
+        let mut asm = SessionAssembler::new();
+        // Drop the tail: no End, and thread 0's events truncated so a
+        // critical section stays open.
+        for f in frames.iter().take(frames.len() - 2).cloned() {
+            if let Frame::Events { tid, mut events } = f {
+                if tid == ThreadId(0) {
+                    events.truncate(5); // cut inside the contended acquire
+                }
+                asm.apply(Frame::Events { tid, events });
+            } else {
+                asm.apply(f);
+            }
+        }
+        assert!(!asm.ended());
+        let out = asm.finalize();
+        out.validate().expect("repaired trace must validate");
+    }
+
+    #[test]
+    fn dropped_registration_frames_are_tolerated() {
+        let trace = sample();
+        let mut asm = SessionAssembler::new();
+        for f in frames_for(&trace) {
+            // Drop every registration: no Objects, no Thread frames.
+            if matches!(f, Frame::Objects { .. } | Frame::Thread { .. }) {
+                continue;
+            }
+            asm.apply(f);
+        }
+        let out = asm.finalize();
+        out.validate().expect("inferred registrations must validate");
+        assert_eq!(out.threads.len(), 2);
+        assert_eq!(out.objects.len(), 1);
+    }
+
+    #[test]
+    fn orphan_events_from_dropped_frames_are_discarded() {
+        let mut asm = SessionAssembler::new();
+        asm.apply(Frame::Start { meta: Default::default() });
+        asm.apply(Frame::Objects {
+            first_id: 0,
+            objects: vec![ObjInfo { kind: ObjKind::Lock, name: "L".into() }],
+        });
+        asm.apply(Frame::Thread { tid: ThreadId(0), name: None });
+        // An Obtain/Release whose Acquire frame was dropped.
+        asm.apply(Frame::Events {
+            tid: ThreadId(0),
+            events: vec![
+                Event::new(5, EventKind::LockObtain { lock: ObjId(0) }),
+                Event::new(9, EventKind::LockRelease { lock: ObjId(0) }),
+            ],
+        });
+        let out = asm.finalize();
+        out.validate().unwrap();
+        // Both orphans are discarded, leaving a valid empty stream.
+        assert!(out.threads[0].events.is_empty());
+    }
+
+    #[test]
+    fn open_condvar_and_barrier_waits_are_closed() {
+        let mut asm = SessionAssembler::new();
+        asm.apply(Frame::Start { meta: Default::default() });
+        asm.apply(Frame::Objects {
+            first_id: 0,
+            objects: vec![
+                ObjInfo { kind: ObjKind::Barrier, name: "B".into() },
+                ObjInfo { kind: ObjKind::Condvar, name: "CV".into() },
+            ],
+        });
+        asm.apply(Frame::Thread { tid: ThreadId(0), name: None });
+        asm.apply(Frame::Thread { tid: ThreadId(1), name: None });
+        asm.apply(Frame::Events {
+            tid: ThreadId(0),
+            events: vec![
+                Event::new(0, EventKind::ThreadStart),
+                Event::new(3, EventKind::BarrierArrive { barrier: ObjId(0), epoch: 0 }),
+            ],
+        });
+        asm.apply(Frame::Events {
+            tid: ThreadId(1),
+            events: vec![
+                Event::new(0, EventKind::ThreadStart),
+                Event::new(2, EventKind::CondWaitBegin { cv: ObjId(1) }),
+            ],
+        });
+        let out = asm.finalize();
+        out.validate().expect("open waits must be closed");
+        assert!(out.threads[0]
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BarrierDepart { .. })));
+        assert!(out.threads[1]
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CondWakeup { .. })));
+    }
+}

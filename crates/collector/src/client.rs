@@ -1,0 +1,63 @@
+//! Client-side helpers: push a recorded trace to a collector and query
+//! the status endpoint. Used by `critlock push` / `critlock status` and
+//! by the integration tests.
+
+use crate::net::{Addr, Stream};
+use crate::snapshot::CollectorStatus;
+use critlock_trace::stream::{trace_frames, Frame, StreamWriter};
+use critlock_trace::Trace;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::time::Duration;
+
+/// Stream a recorded trace to a collector, frame by frame. With `pace`,
+/// sleep that long between `Events` frames to emulate a live producer.
+/// Returns the number of frames sent.
+pub fn push(addr: &Addr, trace: &Trace, pace: Option<Duration>) -> io::Result<u64> {
+    let stream = Stream::connect(addr)?;
+    let mut writer = StreamWriter::new(BufWriter::new(stream))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut sent = 0u64;
+    for frame in trace_frames(trace) {
+        let is_events = matches!(frame, Frame::Events { .. });
+        writer
+            .write_frame(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+        sent += 1;
+        if is_events {
+            if let Some(pace) = pace {
+                writer
+                    .flush()
+                    .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+                std::thread::sleep(pace);
+            }
+        }
+    }
+    writer.flush().map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+    let mut stream = writer.into_inner().into_inner()?;
+    // Half-close, then wait for the collector to drain the socket and
+    // drop the connection: when this returns, every frame has at least
+    // been read (queued or dropped) by the collector.
+    stream.shutdown_write()?;
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+    Ok(sent)
+}
+
+/// Fetch the collector status over the status socket. `json` selects the
+/// machine-readable reply.
+pub fn fetch_status_text(addr: &Addr, json: bool) -> io::Result<String> {
+    let mut stream = Stream::connect(addr)?;
+    let request = if json { "status json\n" } else { "status\n" };
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown_write()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply)?;
+    Ok(reply)
+}
+
+/// Fetch and parse the JSON status.
+pub fn fetch_status(addr: &Addr) -> io::Result<CollectorStatus> {
+    let text = fetch_status_text(addr, true)?;
+    CollectorStatus::parse_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}

@@ -1,0 +1,55 @@
+//! # critlock-collector
+//!
+//! A long-running collector daemon for **live** critical lock analysis:
+//! instrumented applications (or `critlock push` replaying a recorded
+//! trace) stream synchronization-event frames over Unix-domain or TCP
+//! sockets, and the collector folds them into per-session traces,
+//! re-analyzing incrementally and publishing snapshots — the top critical
+//! locks, the critical-path length and the contention probability on the
+//! critical path — over a status endpoint while the application is still
+//! running. This realizes the run-time direction sketched in the paper's
+//! future work (Chen & Stenström, SC 2012): the same analysis that
+//! `critlock analyze` performs post-mortem, kept continuously up to date
+//! against an in-progress execution.
+//!
+//! Architecture (one module per stage):
+//!
+//! * [`net`] — `unix:/path` / `host:port` address handling and the socket
+//!   abstraction;
+//! * [`queue`] — bounded per-session frame queues with configurable
+//!   backpressure ([`Backpressure::Block`] stalls the producer through
+//!   the transport; [`Backpressure::Drop`] sheds frames and counts them);
+//! * [`assembler`] — loss- and disconnect-tolerant assembly of frames
+//!   into traces that always pass `Trace::validate`;
+//! * [`snapshot`] — per-session analysis snapshots and the status
+//!   document, in text and JSON;
+//! * [`server`] — the daemon: accept loops, session reader threads, the
+//!   incremental analysis loop, the status endpoint;
+//! * [`client`] — push/status helpers used by the CLI and tests.
+//!
+//! ```no_run
+//! use critlock_collector::{start, Addr, CollectorConfig};
+//!
+//! let mut config = CollectorConfig::new(Addr::parse("127.0.0.1:0").unwrap());
+//! config.status_addr = Some(Addr::parse("127.0.0.1:0").unwrap());
+//! let handle = start(config).unwrap();
+//! println!("ingest on {}", handle.ingest_addr());
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assembler;
+pub mod client;
+pub mod net;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+
+pub use assembler::{repair, SessionAssembler};
+pub use client::{fetch_status, fetch_status_text, push};
+pub use net::{Addr, Listener, Stream};
+pub use queue::{Backpressure, FrameQueue};
+pub use server::{start, CollectorConfig, CollectorHandle};
+pub use snapshot::{CollectorStatus, SessionSnapshot};

@@ -1,0 +1,241 @@
+//! Transport abstraction: Unix-domain or TCP sockets behind one address
+//! syntax.
+//!
+//! Addresses are written `unix:/path/to.sock` for Unix-domain sockets and
+//! `host:port` for TCP. Unix-domain support is compiled only on Unix;
+//! elsewhere `unix:` addresses fail with a clear error at parse time.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A parsed collector address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// `unix:/path/to.sock`
+    Unix(PathBuf),
+    /// `host:port`
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parse `unix:PATH` or `host:port`.
+    pub fn parse(s: &str) -> io::Result<Addr> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "empty unix socket path (expected unix:/path/to.sock)",
+                ));
+            }
+            if cfg!(unix) {
+                Ok(Addr::Unix(PathBuf::from(path)))
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not supported on this platform",
+                ))
+            }
+        } else if s.contains(':') {
+            Ok(Addr::Tcp(s.to_string()))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("address {s:?} is neither unix:PATH nor host:port"),
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Unix(path) => write!(f, "unix:{}", path.display()),
+            Addr::Tcp(hostport) => write!(f, "{hostport}"),
+        }
+    }
+}
+
+/// A bound listener on either transport.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener; the path is kept for unlink-on-drop.
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Bind the address. For Unix sockets a stale socket file from a
+    /// previous run is removed first.
+    pub fn bind(addr: &Addr) -> io::Result<Listener> {
+        match addr {
+            Addr::Tcp(hostport) => Ok(Listener::Tcp(TcpListener::bind(hostport.as_str())?)),
+            #[cfg(unix)]
+            Addr::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Addr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not supported on this platform",
+            )),
+        }
+    }
+
+    /// Accept one connection; returns the stream and a peer description.
+    pub fn accept(&self) -> io::Result<(Stream, String)> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, peer) = l.accept()?;
+                Ok((Stream::Tcp(stream), peer.to_string()))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, path) => {
+                let (stream, _) = l.accept()?;
+                Ok((Stream::Unix(stream), format!("unix:{}", path.display())))
+            }
+        }
+    }
+
+    /// The actually bound address — resolves `:0` TCP binds to the
+    /// ephemeral port the OS picked.
+    pub fn bound_addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Tcp(l) => Ok(Addr::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(Addr::Unix(path.clone())),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream on either transport.
+pub enum Stream {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connect to a collector address.
+    pub fn connect(addr: &Addr) -> io::Result<Stream> {
+        match addr {
+            Addr::Tcp(hostport) => Ok(Stream::Tcp(TcpStream::connect(hostport.as_str())?)),
+            #[cfg(unix)]
+            Addr::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Addr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not supported on this platform",
+            )),
+        }
+    }
+
+    /// Shut down the write half, signalling end-of-stream to the peer.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tcp_and_unix_addresses() {
+        assert_eq!(Addr::parse("127.0.0.1:9000").unwrap(), Addr::Tcp("127.0.0.1:9000".into()));
+        #[cfg(unix)]
+        assert_eq!(Addr::parse("unix:/tmp/x.sock").unwrap(), Addr::Unix("/tmp/x.sock".into()));
+        assert!(Addr::parse("no-port-here").is_err());
+        assert!(Addr::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_on_ephemeral_port() {
+        let listener = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.bound_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = Stream::connect(&addr).unwrap();
+            s.write_all(b"ping").unwrap();
+            s.shutdown_write().unwrap();
+        });
+        let (mut stream, _peer) = listener.accept().unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"ping");
+        writer.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_roundtrip_and_stale_socket_cleanup() {
+        let dir = std::env::temp_dir().join(format!("critlock-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sock");
+        std::fs::write(&path, b"stale").unwrap(); // stale file must not break bind
+        let addr = Addr::Unix(path.clone());
+        let listener = Listener::bind(&addr).unwrap();
+        let addr2 = addr.clone();
+        let writer = std::thread::spawn(move || {
+            let mut s = Stream::connect(&addr2).unwrap();
+            s.write_all(b"pong").unwrap();
+        });
+        let (mut stream, _peer) = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+        writer.join().unwrap();
+        drop(listener);
+        assert!(!path.exists(), "socket file must be unlinked on drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded per-session frame queues with configurable backpressure.
+//!
+//! Socket reader threads push decoded frames; the analysis loop drains
+//! them. When a queue fills, the configured [`Backpressure`] policy
+//! decides whether the producer blocks (propagating pressure through the
+//! TCP window back to the instrumented process) or the frame is counted
+//! and dropped (bounding producer latency at the cost of a lossy trace).
+
+use critlock_trace::stream::Frame;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// What to do when a session's frame queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the producer until the analysis loop drains the queue.
+    Block,
+    /// Drop the incoming frame and increment the session's drop counter.
+    Drop,
+}
+
+struct Inner {
+    frames: VecDeque<Frame>,
+    closed: bool,
+}
+
+/// A bounded MPSC frame queue between one session's socket reader and the
+/// analysis loop.
+pub struct FrameQueue {
+    inner: Mutex<Inner>,
+    not_full: Condvar,
+    capacity: usize,
+    policy: Backpressure,
+    dropped: AtomicU64,
+    pushed: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl FrameQueue {
+    /// A queue holding at most `capacity` frames, governed by `policy`.
+    pub fn new(capacity: usize, policy: Backpressure) -> Self {
+        FrameQueue {
+            inner: Mutex::new(Inner { frames: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+            dropped: AtomicU64::new(0),
+            pushed: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a frame. Under [`Backpressure::Block`] this waits for
+    /// space; under [`Backpressure::Drop`] a frame that finds the queue
+    /// full is discarded and counted. Returns `false` iff the frame was
+    /// dropped (or the queue is closed).
+    pub fn push(&self, frame: Frame) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if inner.closed {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if inner.frames.len() < self.capacity {
+                inner.frames.push_back(frame);
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                self.high_water.fetch_max(inner.frames.len() as u64, Ordering::Relaxed);
+                return true;
+            }
+            self.high_water.fetch_max(self.capacity as u64, Ordering::Relaxed);
+            match self.policy {
+                Backpressure::Block => {
+                    inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+                Backpressure::Drop => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Take every queued frame (non-blocking) and wake blocked producers.
+    pub fn drain(&self) -> Vec<Frame> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let drained: Vec<Frame> = inner.frames.drain(..).collect();
+        drop(inner);
+        if !drained.is_empty() {
+            self.not_full.notify_all();
+        }
+        drained
+    }
+
+    /// Mark the queue closed (producer disconnected or daemon shutting
+    /// down) and wake any blocked producer.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.not_full.notify_all();
+    }
+
+    /// Current number of queued frames.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).frames.len()
+    }
+
+    /// Frames dropped so far under the [`Backpressure::Drop`] policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has ever been — pressure stays observable even
+    /// after the analysis loop drains the frames.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn drop_policy_counts_overflow() {
+        let q = FrameQueue::new(2, Backpressure::Drop);
+        assert!(q.push(Frame::End));
+        assert!(q.push(Frame::End));
+        assert!(!q.push(Frame::End));
+        assert!(!q.push(Frame::End));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.drain().len(), 2);
+        assert!(q.push(Frame::End));
+        assert_eq!(q.accepted(), 3);
+    }
+
+    #[test]
+    fn block_policy_waits_for_drain() {
+        let q = Arc::new(FrameQueue::new(1, Backpressure::Block));
+        assert!(q.push(Frame::End));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(Frame::End));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!producer.is_finished(), "producer must block on a full queue");
+        assert_eq!(q.drain().len(), 1);
+        assert!(producer.join().unwrap());
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn close_unblocks_producer() {
+        let q = Arc::new(FrameQueue::new(1, Backpressure::Block));
+        assert!(q.push(Frame::End));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(Frame::End));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(!producer.join().unwrap());
+    }
+}

@@ -1,0 +1,338 @@
+//! The collector daemon: sharded session ingestion plus the incremental
+//! analysis loop and the status endpoint.
+//!
+//! Thread layout:
+//!
+//! * one *ingest accept* thread hands each new connection to a dedicated
+//!   *session reader* thread, which performs the stream handshake
+//!   (magic + protocol version) and then decodes frames into that
+//!   session's bounded [`FrameQueue`];
+//! * one *analysis* thread periodically drains every session's queue into
+//!   its [`SessionAssembler`] and republishes [`SessionSnapshot`]s at the
+//!   configured interval;
+//! * an optional *status* thread answers `status` / `status json`
+//!   one-shot requests, refreshing dirty sessions on demand so a request
+//!   issued after a push completed always sees the final analysis.
+//!
+//! Backpressure is per session: `Block` parks the reader thread on the
+//! full queue, which stops it draining the socket, which closes the TCP
+//! window (or fills the Unix socket buffer) back to the producer; `Drop`
+//! discards the frame and counts it, which the repair pass in
+//! [`crate::assembler`] is designed to absorb.
+
+use crate::assembler::SessionAssembler;
+use crate::net::{Addr, Listener, Stream};
+use crate::queue::{Backpressure, FrameQueue};
+use crate::snapshot::{CollectorStatus, SessionSnapshot};
+use critlock_trace::stream::{StreamReader, STREAM_VERSION};
+use critlock_trace::Trace;
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a collector daemon.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Address producers stream frames to.
+    pub ingest_addr: Addr,
+    /// Address the status endpoint listens on, if any.
+    pub status_addr: Option<Addr>,
+    /// Bounded per-session queue capacity, in frames.
+    pub queue_capacity: usize,
+    /// What to do when a session's queue is full.
+    pub backpressure: Backpressure,
+    /// How often the analysis loop republishes snapshots.
+    pub snapshot_interval: Duration,
+    /// How often the analysis loop polls session queues.
+    pub poll_interval: Duration,
+}
+
+impl CollectorConfig {
+    /// A config with defaults suitable for tests and local profiling:
+    /// 256-frame queues, blocking backpressure, 200 ms snapshots.
+    pub fn new(ingest_addr: Addr) -> Self {
+        CollectorConfig {
+            ingest_addr,
+            status_addr: None,
+            queue_capacity: 256,
+            backpressure: Backpressure::Block,
+            snapshot_interval: Duration::from_millis(200),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One producer connection's state, shared between its reader thread, the
+/// analysis loop and the status endpoint.
+struct SessionState {
+    id: u64,
+    peer: String,
+    queue: FrameQueue,
+    asm: Mutex<SessionAssembler>,
+    /// Set when frames were applied since the last snapshot.
+    dirty: AtomicBool,
+    snapshot: Mutex<Option<SessionSnapshot>>,
+}
+
+impl SessionState {
+    /// Drain the queue into the assembler. Returns whether anything new
+    /// arrived. The assembler lock is taken *before* draining so that
+    /// concurrent callers (analysis loop, status endpoint) cannot apply
+    /// drained batches out of order.
+    fn apply_pending(&self) -> bool {
+        let mut asm = self.asm.lock().unwrap_or_else(|e| e.into_inner());
+        let frames = self.queue.drain();
+        if frames.is_empty() {
+            return false;
+        }
+        for frame in frames {
+            asm.apply(frame);
+        }
+        drop(asm);
+        self.dirty.store(true, Ordering::Release);
+        true
+    }
+
+    /// Recompute and publish this session's snapshot.
+    fn refresh_snapshot(&self) -> SessionSnapshot {
+        let asm = self.asm.lock().unwrap_or_else(|e| e.into_inner());
+        let snap = SessionSnapshot::compute(
+            self.id,
+            self.peer.clone(),
+            &asm,
+            self.queue.depth() as u64,
+            self.queue.high_water(),
+            self.queue.dropped(),
+        );
+        drop(asm);
+        self.dirty.store(false, Ordering::Release);
+        *self.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap.clone());
+        snap
+    }
+
+    /// The latest snapshot, recomputing first if new frames arrived.
+    fn current_snapshot(&self) -> SessionSnapshot {
+        self.apply_pending();
+        if self.dirty.load(Ordering::Acquire) {
+            return self.refresh_snapshot();
+        }
+        let published = self.snapshot.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        published.unwrap_or_else(|| self.refresh_snapshot())
+    }
+}
+
+struct Shared {
+    sessions: Mutex<Vec<Arc<SessionState>>>,
+    sessions_total: AtomicU64,
+    rejected_sessions: AtomicU64,
+    shutdown: AtomicBool,
+    config: CollectorConfig,
+}
+
+impl Shared {
+    fn status(&self) -> CollectorStatus {
+        let sessions: Vec<Arc<SessionState>> =
+            self.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        CollectorStatus {
+            protocol_version: STREAM_VERSION,
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
+            sessions: sessions.iter().map(|s| s.current_snapshot()).collect(),
+        }
+    }
+}
+
+/// A running collector daemon. Dropping the handle does *not* stop the
+/// daemon; call [`CollectorHandle::shutdown`].
+pub struct CollectorHandle {
+    ingest_addr: Addr,
+    status_addr: Option<Addr>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl CollectorHandle {
+    /// The address producers should stream to (ephemeral TCP ports
+    /// resolved).
+    pub fn ingest_addr(&self) -> &Addr {
+        &self.ingest_addr
+    }
+
+    /// The bound status address, if a status endpoint was configured.
+    pub fn status_addr(&self) -> Option<&Addr> {
+        self.status_addr.as_ref()
+    }
+
+    /// Compute the current status in-process — the same data the status
+    /// socket serves.
+    pub fn status(&self) -> CollectorStatus {
+        self.shared.status()
+    }
+
+    /// The finalized (repaired) trace of a session, if it exists.
+    pub fn session_trace(&self, session: u64) -> Option<Trace> {
+        let sessions = self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let state = sessions.iter().find(|s| s.id == session)?.clone();
+        drop(sessions);
+        state.apply_pending();
+        let asm = state.asm.lock().unwrap_or_else(|e| e.into_inner());
+        Some(asm.finalize())
+    }
+
+    /// Stop accepting connections, finish pending analysis and join the
+    /// daemon threads. Sessions still connected are finalized as
+    /// disconnects.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock any reader parked on a full queue, then poke the accept
+        // loops so they notice the flag.
+        for session in self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            session.queue.close();
+        }
+        let _ = Stream::connect(&self.ingest_addr);
+        if let Some(addr) = &self.status_addr {
+            let _ = Stream::connect(addr);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Bind the configured addresses and start the daemon threads.
+pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
+    let ingest = Listener::bind(&config.ingest_addr)?;
+    let ingest_addr = ingest.bound_addr()?;
+    let status_listener = match &config.status_addr {
+        Some(addr) => Some(Listener::bind(addr)?),
+        None => None,
+    };
+    let status_addr = match &status_listener {
+        Some(l) => Some(l.bound_addr()?),
+        None => None,
+    };
+
+    let shared = Arc::new(Shared {
+        sessions: Mutex::new(Vec::new()),
+        sessions_total: AtomicU64::new(0),
+        rejected_sessions: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        config: config.clone(),
+    });
+
+    let mut threads = Vec::new();
+
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(ingest, shared)));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || analysis_loop(shared)));
+    }
+    if let Some(listener) = status_listener {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || status_loop(listener, shared)));
+    }
+
+    Ok(CollectorHandle { ingest_addr, status_addr, shared, threads })
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let shared = Arc::clone(&shared);
+        // Reader threads are intentionally not joined on shutdown: they
+        // exit when their producer disconnects.
+        std::thread::spawn(move || session_reader(stream, peer, shared));
+    }
+}
+
+fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
+    // Handshake: magic + version are read here, so an incompatible
+    // producer is rejected before a session is created.
+    let mut reader = match StreamReader::new(BufReader::new(stream)) {
+        Ok(reader) => reader,
+        Err(_) => {
+            shared.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+
+    let id = shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    let session = Arc::new(SessionState {
+        id,
+        peer,
+        queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
+        asm: Mutex::new(SessionAssembler::new()),
+        dirty: AtomicBool::new(true),
+        snapshot: Mutex::new(None),
+    });
+    shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&session));
+
+    // Clean EOF or a decode error both end the session; whatever arrived
+    // is finalized by the repair pass.
+    while let Ok(Some(frame)) = reader.next_frame() {
+        session.queue.push(frame);
+    }
+    session.dirty.store(true, Ordering::Release);
+}
+
+fn analysis_loop(shared: Arc<Shared>) {
+    let mut last_publish = Instant::now();
+    loop {
+        let stopping = shared.shutdown.load(Ordering::Acquire);
+        let sessions: Vec<Arc<SessionState>> =
+            shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        for session in &sessions {
+            session.apply_pending();
+        }
+        if stopping || last_publish.elapsed() >= shared.config.snapshot_interval {
+            for session in &sessions {
+                if session.dirty.load(Ordering::Acquire) {
+                    session.refresh_snapshot();
+                }
+            }
+            last_publish = Instant::now();
+        }
+        if stopping {
+            break;
+        }
+        std::thread::sleep(shared.config.poll_interval);
+    }
+}
+
+fn status_loop(listener: Listener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let _ = serve_status_request(stream, &shared);
+    }
+}
+
+fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status = shared.status();
+    let reply = match line.trim() {
+        "status json" => status.render_json(),
+        _ => status.render_text(),
+    };
+    let mut stream = reader.into_inner();
+    stream.write_all(reply.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,205 @@
+//! Periodic analysis snapshots published by the collector.
+//!
+//! A [`SessionSnapshot`] is computed by repairing the session's partial
+//! trace ([`crate::assembler`]) and running the *full offline analysis*
+//! (`critlock_analysis::analyze`) over it, so for a completed session the
+//! published critical-lock ranking and critical-path length are exactly
+//! what `critlock analyze` reports on the same trace. The forward online
+//! pass (`online_analyze`) runs alongside as the paper's run-time variant;
+//! its critical-path estimate is reported next to the exact one.
+
+use crate::assembler::SessionAssembler;
+use critlock_analysis::{analyze, online_analyze, AnalysisReport};
+use critlock_trace::Ts;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Point-in-time analysis of one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Collector-assigned session id.
+    pub session: u64,
+    /// Peer address the session connected from.
+    pub peer: String,
+    /// Whether the producer ended the session gracefully.
+    pub ended: bool,
+    /// Frames folded into the session so far.
+    pub frames: u64,
+    /// Events folded into the session so far.
+    pub events: u64,
+    /// Frames currently queued and not yet analyzed.
+    pub queue_depth: u64,
+    /// Deepest the session's queue has ever been.
+    pub queue_high_water: u64,
+    /// Frames dropped under the `Drop` backpressure policy.
+    pub dropped_frames: u64,
+    /// Critical-path length estimated by the forward online pass.
+    pub online_cp_length: Ts,
+    /// The offline analysis of the repaired partial trace — identical to
+    /// `critlock analyze` output once the session has ended.
+    pub report: AnalysisReport,
+}
+
+/// Everything the status endpoint publishes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectorStatus {
+    /// Stream protocol version the collector speaks.
+    pub protocol_version: u64,
+    /// Sessions accepted over the collector's lifetime.
+    pub sessions_total: u64,
+    /// Connections rejected at the handshake (bad magic or an
+    /// incompatible protocol version).
+    pub rejected_sessions: u64,
+    /// One snapshot per live or completed session, ordered by session id.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl SessionSnapshot {
+    /// Analyze the session's current state.
+    pub fn compute(
+        session: u64,
+        peer: String,
+        asm: &SessionAssembler,
+        queue_depth: u64,
+        queue_high_water: u64,
+        dropped_frames: u64,
+    ) -> Self {
+        let trace = asm.finalize();
+        let report = analyze(&trace);
+        let online = online_analyze(&trace);
+        SessionSnapshot {
+            session,
+            peer,
+            ended: asm.ended(),
+            frames: asm.frames(),
+            events: asm.events(),
+            queue_depth,
+            queue_high_water,
+            dropped_frames,
+            online_cp_length: online.cp_length,
+            report,
+        }
+    }
+}
+
+impl CollectorStatus {
+    /// Render the status as the human-readable text served by the status
+    /// socket (one session block per session, top locks by CP time).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critlock collector: protocol v{}, {} session(s)",
+            self.protocol_version, self.sessions_total
+        );
+        for snap in &self.sessions {
+            let state = if snap.ended { "ended" } else { "live" };
+            let _ = writeln!(
+                out,
+                "session {} [{}] {} app={:?} threads={} frames={} events={} queued={} high_water={} dropped={}",
+                snap.session,
+                state,
+                snap.peer,
+                snap.report.app,
+                snap.report.num_threads,
+                snap.frames,
+                snap.events,
+                snap.queue_depth,
+                snap.queue_high_water,
+                snap.dropped_frames,
+            );
+            let _ = writeln!(
+                out,
+                "  cp_length={} (online estimate {})  makespan={}  coverage={:.1}%",
+                snap.report.cp_length,
+                snap.online_cp_length,
+                snap.report.makespan,
+                snap.report.coverage * 100.0,
+            );
+            for lock in snap.report.locks.iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "  lock {:<16} cp_time={:<10} cp%={:<6.2} cont_prob_on_cp%={:<6.2} invo_on_cp={}",
+                    lock.name,
+                    lock.cp_time,
+                    lock.cp_time_frac * 100.0,
+                    lock.cont_prob_on_cp * 100.0,
+                    lock.invocations_on_cp,
+                );
+            }
+        }
+        out
+    }
+
+    /// Render the status as JSON (the `status json` reply).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("status serialization cannot fail")
+    }
+
+    /// Parse a JSON status reply (used by tests and `critlock status`).
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::stream::Frame;
+    use critlock_trace::TraceBuilder;
+
+    fn assembled() -> SessionAssembler {
+        let mut b = TraceBuilder::new("snap");
+        let l = b.lock("hot");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit();
+        let trace = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        critlock_trace::stream::write_trace(&trace, &mut buf).unwrap();
+        let mut reader =
+            critlock_trace::stream::StreamReader::new(std::io::Cursor::new(buf)).unwrap();
+        let mut asm = SessionAssembler::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            asm.apply(frame);
+        }
+        asm
+    }
+
+    #[test]
+    fn snapshot_matches_offline_analysis_exactly() {
+        let asm = assembled();
+        let snap = SessionSnapshot::compute(1, "test".into(), &asm, 0, 0, 0);
+        let offline = analyze(asm.partial());
+        assert_eq!(snap.report, offline);
+        assert_eq!(snap.report.top_critical_lock().unwrap().name, "hot");
+    }
+
+    #[test]
+    fn status_json_roundtrips() {
+        let asm = assembled();
+        let status = CollectorStatus {
+            protocol_version: critlock_trace::stream::STREAM_VERSION,
+            sessions_total: 1,
+            rejected_sessions: 0,
+            sessions: vec![SessionSnapshot::compute(7, "unix".into(), &asm, 3, 4, 2)],
+        };
+        let json = status.render_json();
+        let parsed = CollectorStatus::parse_json(&json).unwrap();
+        assert_eq!(parsed, status);
+        assert!(status.render_text().contains("hot"));
+    }
+
+    #[test]
+    fn partial_session_snapshot_is_well_formed() {
+        let mut asm = SessionAssembler::new();
+        asm.apply(Frame::Start { meta: Default::default() });
+        // No threads/events at all: analysis of an empty trace must not
+        // panic and reports zero everything.
+        let snap = SessionSnapshot::compute(0, "p".into(), &asm, 0, 0, 0);
+        assert_eq!(snap.report.cp_length, 0);
+        assert!(!snap.ended);
+    }
+}

@@ -295,10 +295,6 @@ mod tests {
         let trace = session.finish().unwrap();
         let rep = analyze(&trace);
         assert!(rep.cp_complete, "walk should complete");
-        assert!(
-            rep.coverage > 0.5,
-            "coverage {} unexpectedly low",
-            rep.coverage
-        );
+        assert!(rep.coverage > 0.5, "coverage {} unexpectedly low", rep.coverage);
     }
 }

@@ -13,15 +13,30 @@
 //! anchored at session creation — the portable stand-in for the paper's
 //! `mftb`/`rdtsc` user-space timestamp reads.
 
+use critlock_trace::stream::{Frame, StreamWriter, EVENTS_PER_FRAME};
 use critlock_trace::{
     ClockDomain, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace,
     TraceMeta,
 };
 use parking_lot::Mutex as PlMutex;
 use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::io::Write;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many unstreamed events a thread buffers before pushing an `Events`
+/// frame to a live sink attached with [`Session::stream_to`].
+pub const STREAM_FLUSH_EVENTS: usize = 128;
+
+/// Live-streaming sink state: the frame writer plus what has already been
+/// announced on the wire.
+struct SinkState {
+    writer: StreamWriter<Box<dyn Write + Send>>,
+    objects_sent: usize,
+    announced: BTreeSet<ThreadId>,
+}
 
 pub(crate) struct SessionInner {
     pub(crate) app: String,
@@ -31,6 +46,10 @@ pub(crate) struct SessionInner {
     /// Flushed per-thread buffers, keyed by dense thread id.
     flushed: PlMutex<Vec<FlushedBuffer>>,
     params: PlMutex<Vec<(String, String)>>,
+    /// Live streaming sink, if [`Session::stream_to`] was called.
+    /// Cleared on write errors: losing the collector must never take the
+    /// application down.
+    sink: PlMutex<Option<SinkState>>,
 }
 
 /// A finished thread's buffer: (id, name, events).
@@ -55,6 +74,61 @@ impl SessionInner {
     fn flush(&self, tid: ThreadId, name: Option<String>, events: Vec<Event>) {
         self.flushed.lock().push((tid, name, events));
     }
+
+    /// Write any objects registered since the last sync as a dense
+    /// `Objects` frame.
+    fn sync_objects(&self, state: &mut SinkState) -> critlock_trace::Result<()> {
+        let objects = self.objects.lock();
+        if objects.len() > state.objects_sent {
+            let frame = Frame::Objects {
+                first_id: state.objects_sent as u32,
+                objects: objects[state.objects_sent..].to_vec(),
+            };
+            state.objects_sent = objects.len();
+            drop(objects);
+            state.writer.write_frame(&frame)?;
+        }
+        Ok(())
+    }
+
+    fn write_thread_events(
+        &self,
+        state: &mut SinkState,
+        tid: ThreadId,
+        name: Option<String>,
+        events: &[Event],
+    ) -> critlock_trace::Result<()> {
+        self.sync_objects(state)?;
+        if state.announced.insert(tid) {
+            state.writer.write_frame(&Frame::Thread { tid, name })?;
+        }
+        for chunk in events.chunks(EVENTS_PER_FRAME) {
+            state.writer.write_frame(&Frame::Events { tid, events: chunk.to_vec() })?;
+        }
+        state.writer.flush()
+    }
+
+    /// Push a thread's pending events to the live sink, if one is
+    /// attached. Returns whether the events should be considered
+    /// streamed. Write failures detach the sink.
+    fn stream_events(&self, tid: ThreadId, name: Option<String>, events: &[Event]) -> bool {
+        let mut guard = self.sink.lock();
+        let Some(state) = guard.as_mut() else { return false };
+        if self.write_thread_events(state, tid, name, events).is_err() {
+            *guard = None;
+        }
+        true
+    }
+
+    /// Stream a workload parameter, if a sink is attached.
+    fn stream_param(&self, key: &str, value: &str) {
+        let mut guard = self.sink.lock();
+        let Some(state) = guard.as_mut() else { return };
+        let frame = Frame::Param { key: key.to_string(), value: value.to_string() };
+        if state.writer.write_frame(&frame).and_then(|()| state.writer.flush()).is_err() {
+            *guard = None;
+        }
+    }
 }
 
 thread_local! {
@@ -66,6 +140,8 @@ struct ThreadCtx {
     tid: ThreadId,
     name: Option<String>,
     buf: Vec<Event>,
+    /// Prefix of `buf` already pushed to a live sink.
+    streamed: usize,
 }
 
 /// Record an event on the current thread, if it is registered with a
@@ -77,21 +153,36 @@ pub(crate) fn record(kind: EventKind) {
         if let Some(ctx) = c.borrow_mut().as_mut() {
             let ts = ctx.session.now();
             ctx.buf.push(Event::new(ts, kind));
+            if ctx.buf.len() - ctx.streamed >= STREAM_FLUSH_EVENTS {
+                stream_pending(ctx);
+            }
         }
     });
+}
+
+/// Push the unstreamed suffix of a thread's buffer to the live sink.
+fn stream_pending(ctx: &mut ThreadCtx) {
+    let pending = &ctx.buf[ctx.streamed..];
+    if pending.is_empty() {
+        return;
+    }
+    if ctx.session.stream_events(ctx.tid, ctx.name.clone(), pending) {
+        ctx.streamed = ctx.buf.len();
+    }
 }
 
 fn install_ctx(session: Arc<SessionInner>, tid: ThreadId, name: Option<String>) {
     CTX.with(|c| {
         let mut slot = c.borrow_mut();
         assert!(slot.is_none(), "thread already registered with a session");
-        *slot = Some(ThreadCtx { session, tid, name, buf: Vec::with_capacity(1024) });
+        *slot = Some(ThreadCtx { session, tid, name, buf: Vec::with_capacity(1024), streamed: 0 });
     });
 }
 
 fn uninstall_ctx() {
     CTX.with(|c| {
-        if let Some(ctx) = c.borrow_mut().take() {
+        if let Some(mut ctx) = c.borrow_mut().take() {
+            stream_pending(&mut ctx);
             ctx.session.flush(ctx.tid, ctx.name, ctx.buf);
         }
     });
@@ -119,6 +210,7 @@ impl Session {
             objects: PlMutex::new(Vec::new()),
             flushed: PlMutex::new(Vec::new()),
             params: PlMutex::new(Vec::new()),
+            sink: PlMutex::new(None),
         });
         let tid = inner.alloc_tid();
         debug_assert_eq!(tid, ThreadId::MAIN);
@@ -129,7 +221,71 @@ impl Session {
 
     /// Attach a workload parameter to the trace metadata.
     pub fn param(&self, key: impl Into<String>, value: impl ToString) {
-        self.inner.params.lock().push((key.into(), value.to_string()));
+        let (key, value) = (key.into(), value.to_string());
+        self.inner.stream_param(&key, &value);
+        self.inner.params.lock().push((key, value));
+    }
+
+    /// Stream this session live to a collector at `addr` (`unix:/path` or
+    /// `host:port`, as accepted by `critlock serve`).
+    ///
+    /// Events recorded so far are sent immediately; from here on each
+    /// thread pushes an `Events` frame whenever [`STREAM_FLUSH_EVENTS`]
+    /// events accumulate and when it exits, and [`Session::finish`] sends
+    /// the final `End` frame. Streaming is best-effort: if the collector
+    /// goes away, the sink is dropped and the session keeps recording
+    /// locally.
+    pub fn stream_to(&self, addr: &str) -> std::io::Result<()> {
+        let sink: Box<dyn Write + Send> = if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                Box::new(std::os::unix::net::UnixStream::connect(path)?)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not supported on this platform",
+                ));
+            }
+        } else {
+            Box::new(std::net::TcpStream::connect(addr)?)
+        };
+        self.stream_to_writer(sink)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Stream this session live into an arbitrary byte sink (the
+    /// transport-agnostic core of [`Session::stream_to`]).
+    pub fn stream_to_writer(
+        &self,
+        sink: impl Write + Send + 'static,
+    ) -> critlock_trace::Result<()> {
+        let mut writer = StreamWriter::new(Box::new(sink) as Box<dyn Write + Send>)?;
+        let mut meta = TraceMeta::named(self.inner.app.clone());
+        meta.clock = ClockDomain::RealNs;
+        writer.write_frame(&Frame::Start { meta })?;
+        for (key, value) in self.inner.params.lock().iter() {
+            writer.write_frame(&Frame::Param { key: key.clone(), value: value.clone() })?;
+        }
+        let mut state = SinkState { writer, objects_sent: 0, announced: BTreeSet::new() };
+        self.inner.sync_objects(&mut state)?;
+
+        // Install under the sink lock, replaying already-finished threads
+        // first so nothing can fall between replay and installation.
+        let mut guard = self.inner.sink.lock();
+        if guard.is_some() {
+            return Err(critlock_trace::TraceError::Decode(
+                "session is already streaming to a sink".into(),
+            ));
+        }
+        for (tid, name, events) in self.inner.flushed.lock().iter() {
+            self.inner.write_thread_events(&mut state, *tid, name.clone(), events)?;
+        }
+        state.writer.flush()?;
+        *guard = Some(state);
+        Ok(())
     }
 
     pub(crate) fn inner(&self) -> &Arc<SessionInner> {
@@ -179,6 +335,22 @@ impl Session {
     pub fn finish(self) -> critlock_trace::Result<Trace> {
         record(EventKind::ThreadExit);
         uninstall_ctx();
+
+        // Close the live stream, if any: final params, an `End` frame and
+        // a flush. Best-effort — a dead collector must not fail finish().
+        if let Some(mut state) = self.inner.sink.lock().take() {
+            let traced = self.inner.next_tid.load(Ordering::Relaxed).to_string();
+            let _ = self
+                .inner
+                .sync_objects(&mut state)
+                .and_then(|()| {
+                    state
+                        .writer
+                        .write_frame(&Frame::Param { key: "traced_threads".into(), value: traced })
+                })
+                .and_then(|()| state.writer.write_frame(&Frame::End))
+                .and_then(|()| state.writer.flush());
+        }
 
         let mut meta = TraceMeta::named(self.inner.app.clone());
         meta.clock = ClockDomain::RealNs;
@@ -253,6 +425,53 @@ mod tests {
         assert_eq!(t.num_threads(), 2);
         assert_eq!(t.threads[1].name.as_deref(), Some("worker"));
         assert_eq!(t.threads[1].events.len(), 2); // start + exit
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streamed_session_equals_finished_trace() {
+        let s = Session::new("streamed");
+        s.param("phase", "warmup");
+        let buf = SharedBuf::default();
+        s.stream_to_writer(buf.clone()).unwrap();
+        s.param("phase2", "steady");
+
+        let m = std::sync::Arc::new(s.mutex("guard", 0u32));
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            let tid = s2.register_current_thread("worker");
+            assert_eq!(tid, ThreadId(1));
+            *m.lock() += 1;
+            s2.unregister_current_thread();
+        });
+        h.join().unwrap();
+
+        let trace = s.finish().unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let streamed =
+            critlock_trace::stream::read_trace(&mut std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(streamed, trace);
+        streamed.validate().unwrap();
+    }
+
+    #[test]
+    fn double_stream_to_is_rejected() {
+        let s = Session::new("twice");
+        s.stream_to_writer(SharedBuf::default()).unwrap();
+        assert!(s.stream_to_writer(SharedBuf::default()).is_err());
+        s.finish().unwrap();
     }
 
     #[test]

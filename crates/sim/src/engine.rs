@@ -304,10 +304,7 @@ impl Simulator {
         loop {
             self.dispatch()?;
             if self.cfg.max_events > 0 && self.event_count > self.cfg.max_events {
-                return Err(SimError::EventLimit {
-                    time: self.time,
-                    limit: self.cfg.max_events,
-                });
+                return Err(SimError::EventLimit { time: self.time, limit: self.cfg.max_events });
             }
             match self.heap.pop() {
                 Some(Reverse((t, _, ev))) => {
@@ -382,10 +379,8 @@ impl Simulator {
     fn run_thread(&mut self, tid: ThreadId) -> Result<()> {
         let ti = tid.index();
         loop {
-            let mut prog = self.threads[ti]
-                .program
-                .take()
-                .expect("running thread must have a program");
+            let mut prog =
+                self.threads[ti].program.take().expect("running thread must have a program");
             let action = {
                 let mut ctx = StepCtx {
                     now: self.time,
@@ -646,8 +641,7 @@ impl Simulator {
         let seq = self.condvars[ci].next_seq;
         if broadcast {
             self.emit(tid, EventKind::CondBroadcast { cv, signal_seq: seq });
-            let waiters: Vec<(ThreadId, ObjId)> =
-                self.condvars[ci].waiters.drain(..).collect();
+            let waiters: Vec<(ThreadId, ObjId)> = self.condvars[ci].waiters.drain(..).collect();
             for (w, mutex) in waiters {
                 self.schedule(self.time, EngineEvent::WakeCond { tid: w, cv, mutex, seq });
             }
@@ -734,11 +728,8 @@ impl Simulator {
     fn start_slice(&mut self, tid: ThreadId) {
         let ti = tid.index();
         let remaining = self.threads[ti].remaining;
-        let slice = if self.cfg.contexts > 0 {
-            remaining.min(self.cfg.quantum.max(1))
-        } else {
-            remaining
-        };
+        let slice =
+            if self.cfg.contexts > 0 { remaining.min(self.cfg.quantum.max(1)) } else { remaining };
         self.threads[ti].gen += 1;
         self.threads[ti].slice_start = self.time;
         let gen = self.threads[ti].gen;
@@ -778,10 +769,7 @@ mod tests {
         let l1 = sim.add_lock("L1");
         let l2 = sim.add_lock("L2");
         for i in 0..4 {
-            sim.spawn(
-                format!("T{i}"),
-                script(vec![Op::Critical(l1, a), Op::Critical(l2, b)]),
-            );
+            sim.spawn(format!("T{i}"), script(vec![Op::Critical(l1, a), Op::Critical(l2, b)]));
         }
         let trace = sim.run().unwrap();
         assert_eq!(trace.makespan(), a + 4 * b);
@@ -826,12 +814,7 @@ mod tests {
         // Consumer: lock, wait (releases), then compute inside lock, unlock.
         sim.spawn(
             "consumer",
-            script(vec![
-                Op::Lock(m),
-                Op::CondWait(cv, m),
-                Op::Compute(7),
-                Op::Unlock(m),
-            ]),
+            script(vec![Op::Lock(m), Op::CondWait(cv, m), Op::Compute(7), Op::Unlock(m)]),
         );
         // Producer: compute 50, lock, signal, unlock.
         sim.spawn(
@@ -858,10 +841,7 @@ mod tests {
                 script(vec![Op::Lock(m), Op::CondWait(cv, m), Op::Unlock(m), Op::Compute(5)]),
             );
         }
-        sim.spawn(
-            "boss",
-            script(vec![Op::Compute(20), Op::CondBroadcast(cv)]),
-        );
+        sim.spawn("boss", script(vec![Op::Compute(20), Op::CondBroadcast(cv)]));
         let trace = sim.run().unwrap();
         let waits = critlock_trace::cond_wait_episodes(&trace);
         assert_eq!(waits.len(), 3);
@@ -994,16 +974,11 @@ mod tests {
     #[test]
     fn different_seed_with_jitter_differs() {
         let build = |seed| {
-            let mut sim = Simulator::new(
-                "jit",
-                MachineConfig::default().with_seed(seed).with_jitter(0.3),
-            );
+            let mut sim =
+                Simulator::new("jit", MachineConfig::default().with_seed(seed).with_jitter(0.3));
             let l = sim.add_lock("L");
             for i in 0..4 {
-                sim.spawn(
-                    format!("T{i}"),
-                    script(vec![Op::Critical(l, 100), Op::Compute(100)]),
-                );
+                sim.spawn(format!("T{i}"), script(vec![Op::Critical(l, 100), Op::Compute(100)]));
             }
             sim.run().unwrap()
         };
@@ -1027,10 +1002,8 @@ mod tests {
 
     #[test]
     fn lifo_handoff_reverses_order() {
-        let mut sim = Simulator::new(
-            "lifo",
-            MachineConfig::default().with_policy(LockPolicy::LifoHandoff),
-        );
+        let mut sim =
+            Simulator::new("lifo", MachineConfig::default().with_policy(LockPolicy::LifoHandoff));
         let l = sim.add_lock("L");
         sim.spawn("T0", script(vec![Op::Critical(l, 10)]));
         sim.spawn("T1", script(vec![Op::Compute(1), Op::Critical(l, 10)]));

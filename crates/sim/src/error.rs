@@ -149,13 +149,9 @@ mod tests {
         assert!(SimError::Reentrant { tid: ThreadId(0), lock: ObjId(3) }
             .to_string()
             .contains("non-reentrant"));
-        assert!(SimError::CondWaitWithoutMutex {
-            tid: ThreadId(0),
-            cv: ObjId(1),
-            mutex: ObjId(2)
-        }
-        .to_string()
-        .contains("without holding"));
+        assert!(SimError::CondWaitWithoutMutex { tid: ThreadId(0), cv: ObjId(1), mutex: ObjId(2) }
+            .to_string()
+            .contains("without holding"));
         assert!(SimError::BadObject { tid: ThreadId(0), obj: ObjId(1), expected: "lock" }
             .to_string()
             .contains("not a lock"));

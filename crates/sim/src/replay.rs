@@ -100,9 +100,8 @@ impl Program for ReplayProgram {
             ROp::CondSignal(cv) => Action::CondSignal(cv),
             ROp::CondBroadcast(cv) => Action::CondBroadcast(cv),
             ROp::SpawnChild(orig) => {
-                let ops = self.pool.borrow_mut()[orig.index()]
-                    .take()
-                    .expect("child ops consumed twice");
+                let ops =
+                    self.pool.borrow_mut()[orig.index()].take().expect("child ops consumed twice");
                 self.pending_child = Some(orig);
                 Action::Spawn {
                     name: self.names[orig.index()].clone(),
@@ -117,12 +116,7 @@ impl Program for ReplayProgram {
                 }
             }
             ROp::Join(orig) => {
-                let mapped = self
-                    .tid_map
-                    .borrow()
-                    .get(&orig)
-                    .copied()
-                    .unwrap_or(orig);
+                let mapped = self.tid_map.borrow().get(&orig).copied().unwrap_or(orig);
                 Action::Join(mapped)
             }
         }
@@ -324,11 +318,8 @@ pub fn replay(trace: &Trace, machine: MachineConfig, rcfg: &ReplayConfig) -> Res
 
     // Build per-thread op lists.
     let trace_start = trace.start_ts();
-    let mut all_ops: Vec<Option<Vec<ROp>>> = trace
-        .threads
-        .iter()
-        .map(|s| Some(ops_of_stream(s, trace_start, rcfg)))
-        .collect();
+    let mut all_ops: Vec<Option<Vec<ROp>>> =
+        trace.threads.iter().map(|s| Some(ops_of_stream(s, trace_start, rcfg))).collect();
 
     // Threads created by another thread are spawned dynamically; the rest
     // are roots.
@@ -358,11 +349,7 @@ pub fn replay(trace: &Trace, machine: MachineConfig, rcfg: &ReplayConfig) -> Res
     }
 
     let names: Rc<Vec<String>> = Rc::new(
-        trace
-            .threads
-            .iter()
-            .map(|s| s.name.clone().unwrap_or_else(|| s.tid.to_string()))
-            .collect(),
+        trace.threads.iter().map(|s| s.name.clone().unwrap_or_else(|| s.tid.to_string())).collect(),
     );
     let pool: OpsPool = Rc::new(RefCell::new(Vec::new()));
     let tid_map: Rc<RefCell<HashMap<ThreadId, ThreadId>>> = Rc::new(RefCell::new(HashMap::new()));
@@ -542,12 +529,8 @@ mod tests {
         sim.spawn("T1", ScriptProgram::new(vec![Op::Compute(100)]));
         let t = sim.run().unwrap();
         assert_eq!(t.makespan(), 100);
-        let r = replay(
-            &t,
-            MachineConfig::default().with_contexts(1),
-            &ReplayConfig::identity(),
-        )
-        .unwrap();
+        let r = replay(&t, MachineConfig::default().with_contexts(1), &ReplayConfig::identity())
+            .unwrap();
         assert_eq!(r.makespan(), 200);
     }
 

@@ -167,8 +167,7 @@ impl Cursor<'_> {
     /// [`Cursor::release`].
     pub fn acquire(&mut self, lock: ObjId) -> &mut Self {
         let t = self.now();
-        self.push(t, EventKind::LockAcquire { lock })
-            .push(t, EventKind::LockObtain { lock })
+        self.push(t, EventKind::LockAcquire { lock }).push(t, EventKind::LockObtain { lock })
     }
 
     /// Raw contended acquire: request now, obtain at `obtain_at`.
@@ -248,8 +247,7 @@ impl Cursor<'_> {
     pub fn join(&mut self, child: ThreadId, end_at: Ts) -> &mut Self {
         let t = self.now();
         assert!(end_at >= t);
-        self.push(t, EventKind::JoinBegin { child })
-            .push(end_at, EventKind::JoinEnd { child })
+        self.push(t, EventKind::JoinBegin { child }).push(end_at, EventKind::JoinEnd { child })
     }
 
     /// Drop a marker now.
@@ -332,15 +330,7 @@ mod tests {
         let l1 = b.lock("L1");
         let l2 = b.lock("L2");
         let t0 = b.thread("T0", 0);
-        b.on(t0)
-            .acquire(l1)
-            .work(1)
-            .acquire(l2)
-            .work(2)
-            .release(l2)
-            .work(1)
-            .release(l1)
-            .exit();
+        b.on(t0).acquire(l1).work(1).acquire(l2).work(2).release(l2).work(1).release(l1).exit();
         let t = b.build().unwrap();
         let eps = lock_episodes(&t);
         assert_eq!(eps.len(), 2);

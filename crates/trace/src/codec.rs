@@ -60,13 +60,13 @@ pub fn read_varint(inp: &mut impl Read) -> Result<u64> {
     }
 }
 
-fn write_bytes(out: &mut impl Write, b: &[u8]) -> Result<()> {
+pub(crate) fn write_bytes(out: &mut impl Write, b: &[u8]) -> Result<()> {
     write_varint(out, b.len() as u64)?;
     out.write_all(b)?;
     Ok(())
 }
 
-fn read_bytes(inp: &mut impl Read) -> Result<Vec<u8>> {
+pub(crate) fn read_bytes(inp: &mut impl Read) -> Result<Vec<u8>> {
     let len = read_varint(inp)? as usize;
     if len > 1 << 30 {
         return Err(TraceError::Decode(format!("unreasonable length {len}")));
@@ -76,11 +76,11 @@ fn read_bytes(inp: &mut impl Read) -> Result<Vec<u8>> {
     Ok(buf)
 }
 
-fn read_string(inp: &mut impl Read) -> Result<String> {
+pub(crate) fn read_string(inp: &mut impl Read) -> Result<String> {
     String::from_utf8(read_bytes(inp)?).map_err(|e| TraceError::Decode(e.to_string()))
 }
 
-fn kind_to_u8(k: ObjKind) -> u8 {
+pub(crate) fn kind_to_u8(k: ObjKind) -> u8 {
     match k {
         ObjKind::Lock => 0,
         ObjKind::Barrier => 1,
@@ -90,7 +90,7 @@ fn kind_to_u8(k: ObjKind) -> u8 {
     }
 }
 
-fn kind_from_u8(v: u8) -> Result<ObjKind> {
+pub(crate) fn kind_from_u8(v: u8) -> Result<ObjKind> {
     Ok(match v {
         0 => ObjKind::Lock,
         1 => ObjKind::Barrier,
@@ -101,7 +101,7 @@ fn kind_from_u8(v: u8) -> Result<ObjKind> {
     })
 }
 
-fn write_event(out: &mut impl Write, prev_ts: u64, ev: &Event) -> Result<()> {
+pub(crate) fn write_event(out: &mut impl Write, prev_ts: u64, ev: &Event) -> Result<()> {
     write_varint(out, ev.ts - prev_ts)?;
     match ev.kind {
         EventKind::LockAcquire { lock } => {
@@ -199,23 +199,18 @@ fn read_bool(inp: &mut impl Read) -> Result<bool> {
 
 fn read_obj(inp: &mut impl Read) -> Result<ObjId> {
     let v = read_varint(inp)?;
-    u32::try_from(v)
-        .map(ObjId)
-        .map_err(|_| TraceError::Decode("object id overflow".into()))
+    u32::try_from(v).map(ObjId).map_err(|_| TraceError::Decode("object id overflow".into()))
 }
 
-fn read_tid(inp: &mut impl Read) -> Result<ThreadId> {
+pub(crate) fn read_tid(inp: &mut impl Read) -> Result<ThreadId> {
     let v = read_varint(inp)?;
-    u32::try_from(v)
-        .map(ThreadId)
-        .map_err(|_| TraceError::Decode("thread id overflow".into()))
+    u32::try_from(v).map(ThreadId).map_err(|_| TraceError::Decode("thread id overflow".into()))
 }
 
-fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
+pub(crate) fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
     let dt = read_varint(inp)?;
-    let ts = prev_ts
-        .checked_add(dt)
-        .ok_or_else(|| TraceError::Decode("timestamp overflow".into()))?;
+    let ts =
+        prev_ts.checked_add(dt).ok_or_else(|| TraceError::Decode("timestamp overflow".into()))?;
     let mut op = [0u8; 1];
     inp.read_exact(&mut op)?;
     let kind = match op[0] {
@@ -223,14 +218,8 @@ fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
         1 => EventKind::LockContended { lock: read_obj(inp)? },
         2 => EventKind::LockObtain { lock: read_obj(inp)? },
         3 => EventKind::LockRelease { lock: read_obj(inp)? },
-        4 => EventKind::BarrierArrive {
-            barrier: read_obj(inp)?,
-            epoch: read_varint(inp)? as u32,
-        },
-        5 => EventKind::BarrierDepart {
-            barrier: read_obj(inp)?,
-            epoch: read_varint(inp)? as u32,
-        },
+        4 => EventKind::BarrierArrive { barrier: read_obj(inp)?, epoch: read_varint(inp)? as u32 },
+        5 => EventKind::BarrierDepart { barrier: read_obj(inp)?, epoch: read_varint(inp)? as u32 },
         6 => EventKind::CondWaitBegin { cv: read_obj(inp)? },
         7 => EventKind::CondWakeup { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
         8 => EventKind::CondSignal { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
@@ -377,12 +366,7 @@ mod tests {
         let t1 = b.thread("w1", 1);
         let t2 = b.thread("w2", 1);
         b.on(t1).work(2).cs(l, 5).barrier(bar, 0, 10).exit_at(20);
-        b.on(t2)
-            .work(3)
-            .cs_blocked(l, 8, 2)
-            .barrier(bar, 0, 10)
-            .cond_wait(cv, 15, 1)
-            .exit_at(19);
+        b.on(t2).work(3).cs_blocked(l, 8, 2).barrier(bar, 0, 10).cond_wait(cv, 15, 1).exit_at(19);
         b.on(t0)
             .create(t1)
             .create(t2)

@@ -113,10 +113,7 @@ mod tests {
         let e = TraceError::UnknownObject { tid: ThreadId(2), obj: ObjId(9) };
         assert!(e.to_string().contains("obj9"));
 
-        let e = TraceError::UnknownThread {
-            tid: ThreadId(0),
-            referenced: ThreadId(7),
-        };
+        let e = TraceError::UnknownThread { tid: ThreadId(0), referenced: ThreadId(7) };
         assert!(e.to_string().contains("T7"));
 
         let e = TraceError::Decode("bad magic".into());

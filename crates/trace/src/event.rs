@@ -284,10 +284,7 @@ mod tests {
         let l = ObjId(1);
         assert_eq!(EventKind::LockAcquire { lock: l }.obj(), Some(l));
         assert_eq!(EventKind::LockRelease { lock: l }.obj(), Some(l));
-        assert_eq!(
-            EventKind::BarrierArrive { barrier: l, epoch: 0 }.obj(),
-            Some(l)
-        );
+        assert_eq!(EventKind::BarrierArrive { barrier: l, epoch: 0 }.obj(), Some(l));
         assert_eq!(EventKind::CondSignal { cv: l, signal_seq: 0 }.obj(), Some(l));
         assert_eq!(EventKind::ThreadStart.obj(), None);
         assert_eq!(EventKind::ThreadCreate { child: ThreadId(2) }.obj(), None);

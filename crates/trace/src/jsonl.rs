@@ -62,13 +62,11 @@ pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
 pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
     let reader = BufReader::new(inp);
     let mut lines = reader.lines();
-    let meta_line = lines
-        .next()
-        .ok_or_else(|| TraceError::Decode("empty JSONL trace".into()))??;
+    let meta_line =
+        lines.next().ok_or_else(|| TraceError::Decode("empty JSONL trace".into()))??;
     let meta: MetaLine = serde_json::from_str(&meta_line)?;
-    let objects_line = lines
-        .next()
-        .ok_or_else(|| TraceError::Decode("missing objects line".into()))??;
+    let objects_line =
+        lines.next().ok_or_else(|| TraceError::Decode("missing objects line".into()))??;
     let objects: ObjectsLine = serde_json::from_str(&objects_line)?;
 
     let mut trace = Trace::new(meta.meta);

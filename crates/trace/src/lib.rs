@@ -20,7 +20,9 @@
 //!   barrier crossings and waits from raw events;
 //! * a builder DSL ([`builder`]) for encoding executions by hand (used to
 //!   reproduce the paper's Fig. 1 exactly in tests);
-//! * binary ([`codec`]) and JSONL ([`jsonl`]) serialization.
+//! * binary ([`codec`]) and JSONL ([`jsonl`]) serialization, plus a
+//!   length-prefixed, CRC-checked frame format ([`stream`]) for live
+//!   transport of in-progress traces to a collector daemon.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +34,7 @@ pub mod error;
 pub mod event;
 pub mod ids;
 pub mod jsonl;
+pub mod stream;
 pub mod trace;
 
 pub use builder::TraceBuilder;

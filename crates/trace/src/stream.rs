@@ -1,0 +1,582 @@
+//! Length-prefixed streaming frame format for live trace transport.
+//!
+//! Where [`codec`](crate::codec) serializes a *complete* trace, this module
+//! frames the same event encoding for incremental transport over a socket:
+//! a producer emits registration and event frames as the workload runs, and
+//! a collector assembles them into a [`Trace`] on the other end.
+//!
+//! Layout (integers are the codec's LEB128 varints):
+//!
+//! ```text
+//! header:  magic "CLSM" | protocol version varint
+//! frame:   payload-len varint | payload bytes | CRC32(payload) u32-LE
+//! payload: frame-type u8 | type-specific body
+//! ```
+//!
+//! Frame types:
+//!
+//! | type | name    | body                                                |
+//! |------|---------|-----------------------------------------------------|
+//! | 0    | Start   | JSON `TraceMeta`                                    |
+//! | 1    | Param   | key len+bytes, value len+bytes                      |
+//! | 2    | Objects | first id varint, count, then (kind u8, name)        |
+//! | 3    | Thread  | tid varint, has-name u8 (+ name len+bytes)          |
+//! | 4    | Events  | tid varint, count, events (delta-ts, frame-local)   |
+//! | 5    | End     | empty — graceful end of session                     |
+//!
+//! Every frame is self-contained: event timestamps are delta-encoded
+//! against the *previous event in the same frame* (the first event carries
+//! its absolute timestamp), so a frame can be decoded without sender-side
+//! history and a dropped frame never corrupts its successors.
+
+use crate::codec::{
+    kind_from_u8, kind_to_u8, read_bytes, read_event, read_string, read_tid, read_varint,
+    write_bytes, write_event, write_varint,
+};
+use crate::error::{Result, TraceError};
+use crate::event::Event;
+use crate::ids::{ObjInfo, ThreadId};
+use crate::trace::{ThreadStream, Trace, TraceMeta};
+use std::io::{Cursor, ErrorKind, Read, Write};
+
+/// Stream header magic.
+pub const STREAM_MAGIC: &[u8; 4] = b"CLSM";
+/// Current stream protocol version.
+pub const STREAM_VERSION: u64 = 1;
+
+/// Upper bound on a single frame's payload (defense against corrupt
+/// length prefixes).
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// One unit of the streaming protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Session start: the trace metadata (app name, clock domain, any
+    /// params known up front).
+    Start {
+        /// Metadata of the trace being streamed.
+        meta: TraceMeta,
+    },
+    /// A `key = value` trace parameter discovered mid-run.
+    Param {
+        /// Parameter name.
+        key: String,
+        /// Parameter value.
+        value: String,
+    },
+    /// Registration of a contiguous run of synchronization objects.
+    Objects {
+        /// Object id of `objects[0]`; ids are dense, so `objects[i]` has
+        /// id `first_id + i`.
+        first_id: u32,
+        /// The registered objects, in id order.
+        objects: Vec<ObjInfo>,
+    },
+    /// Registration of a thread (its stream may receive events from the
+    /// next frame on).
+    Thread {
+        /// The thread's trace id.
+        tid: ThreadId,
+        /// Optional human-readable name.
+        name: Option<String>,
+    },
+    /// A batch of events for one thread, in timestamp order.
+    Events {
+        /// The thread the events belong to.
+        tid: ThreadId,
+        /// The events, non-decreasing timestamps.
+        events: Vec<Event>,
+    },
+    /// Graceful end of the session; no frames follow.
+    End,
+}
+
+// ------------------------------------------------------------------ CRC32
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+// --------------------------------------------------------------- encoding
+
+fn encode_payload(frame: &Frame) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    match frame {
+        Frame::Start { meta } => {
+            out.push(0);
+            write_bytes(&mut out, &serde_json::to_vec(meta)?)?;
+        }
+        Frame::Param { key, value } => {
+            out.push(1);
+            write_bytes(&mut out, key.as_bytes())?;
+            write_bytes(&mut out, value.as_bytes())?;
+        }
+        Frame::Objects { first_id, objects } => {
+            out.push(2);
+            write_varint(&mut out, *first_id as u64)?;
+            write_varint(&mut out, objects.len() as u64)?;
+            for obj in objects {
+                out.push(kind_to_u8(obj.kind));
+                write_bytes(&mut out, obj.name.as_bytes())?;
+            }
+        }
+        Frame::Thread { tid, name } => {
+            out.push(3);
+            write_varint(&mut out, tid.0 as u64)?;
+            match name {
+                Some(n) => {
+                    out.push(1);
+                    write_bytes(&mut out, n.as_bytes())?;
+                }
+                None => out.push(0),
+            }
+        }
+        Frame::Events { tid, events } => {
+            out.push(4);
+            write_varint(&mut out, tid.0 as u64)?;
+            write_varint(&mut out, events.len() as u64)?;
+            let mut prev = 0u64;
+            for ev in events {
+                if ev.ts < prev {
+                    return Err(TraceError::Decode(format!(
+                        "events frame not sorted: {} after {prev}",
+                        ev.ts
+                    )));
+                }
+                write_event(&mut out, prev, ev)?;
+                prev = ev.ts;
+            }
+        }
+        Frame::End => out.push(5),
+    }
+    Ok(out)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Frame> {
+    let mut inp = Cursor::new(payload);
+    let mut ty = [0u8; 1];
+    inp.read_exact(&mut ty)?;
+    let frame = match ty[0] {
+        0 => {
+            let meta: TraceMeta = serde_json::from_slice(&read_bytes(&mut inp)?)?;
+            Frame::Start { meta }
+        }
+        1 => Frame::Param { key: read_string(&mut inp)?, value: read_string(&mut inp)? },
+        2 => {
+            let first_id = read_varint(&mut inp)?;
+            let first_id = u32::try_from(first_id)
+                .map_err(|_| TraceError::Decode("object id overflow".into()))?;
+            let count = read_varint(&mut inp)? as usize;
+            if count > MAX_FRAME_LEN {
+                return Err(TraceError::Decode(format!("unreasonable object count {count}")));
+            }
+            let mut objects = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let mut k = [0u8; 1];
+                inp.read_exact(&mut k)?;
+                objects.push(ObjInfo { kind: kind_from_u8(k[0])?, name: read_string(&mut inp)? });
+            }
+            Frame::Objects { first_id, objects }
+        }
+        3 => {
+            let tid = read_tid(&mut inp)?;
+            let mut has_name = [0u8; 1];
+            inp.read_exact(&mut has_name)?;
+            let name = match has_name[0] {
+                0 => None,
+                1 => Some(read_string(&mut inp)?),
+                other => return Err(TraceError::Decode(format!("bad name flag {other}"))),
+            };
+            Frame::Thread { tid, name }
+        }
+        4 => {
+            let tid = read_tid(&mut inp)?;
+            let count = read_varint(&mut inp)? as usize;
+            if count > MAX_FRAME_LEN {
+                return Err(TraceError::Decode(format!("unreasonable event count {count}")));
+            }
+            let mut events = Vec::with_capacity(count.min(1 << 16));
+            let mut prev = 0u64;
+            for _ in 0..count {
+                let ev = read_event(&mut inp, prev)?;
+                prev = ev.ts;
+                events.push(ev);
+            }
+            Frame::Events { tid, events }
+        }
+        5 => Frame::End,
+        other => return Err(TraceError::Decode(format!("bad frame type {other}"))),
+    };
+    if (inp.position() as usize) != payload.len() {
+        return Err(TraceError::Decode("trailing bytes in frame payload".into()));
+    }
+    Ok(frame)
+}
+
+// -------------------------------------------------------------- writer
+
+/// Writes the stream header and frames to an underlying writer.
+pub struct StreamWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Write the `CLSM` header and wrap `out` for frame writing.
+    pub fn new(mut out: W) -> Result<Self> {
+        out.write_all(STREAM_MAGIC)?;
+        write_varint(&mut out, STREAM_VERSION)?;
+        Ok(StreamWriter { out })
+    }
+
+    /// Append one frame (length prefix, payload, CRC).
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<()> {
+        let payload = encode_payload(frame)?;
+        write_varint(&mut self.out, payload.len() as u64)?;
+        self.out.write_all(&payload)?;
+        self.out.write_all(&crc32(&payload).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+// -------------------------------------------------------------- reader
+
+/// Reads and validates frames from an underlying reader.
+pub struct StreamReader<R: Read> {
+    inp: R,
+}
+
+impl<R: Read> StreamReader<R> {
+    /// Read and validate the `CLSM` header; rejects unknown protocol
+    /// versions.
+    pub fn new(mut inp: R) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        inp.read_exact(&mut magic)?;
+        if &magic != STREAM_MAGIC {
+            return Err(TraceError::Decode("bad magic (not a CLSM stream)".into()));
+        }
+        let version = read_varint(&mut inp)?;
+        if version != STREAM_VERSION {
+            return Err(TraceError::Decode(format!(
+                "unsupported stream version {version} (expected {STREAM_VERSION})"
+            )));
+        }
+        Ok(StreamReader { inp })
+    }
+
+    /// Read the next frame. Returns `Ok(None)` on a clean end-of-stream at
+    /// a frame boundary; a mid-frame EOF, length overflow or CRC mismatch
+    /// is an error.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let len = {
+            // Distinguish "no more frames" from "torn frame": EOF on the
+            // first byte of the length prefix is a clean end.
+            let mut first = [0u8; 1];
+            match self.inp.read(&mut first) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {
+                    return self.next_frame();
+                }
+                Err(e) => return Err(e.into()),
+            }
+            if first[0] & 0x80 == 0 {
+                first[0] as u64
+            } else {
+                let rest = read_varint(&mut self.inp)?;
+                (first[0] & 0x7f) as u64 | (rest << 7)
+            }
+        };
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len > MAX_FRAME_LEN {
+            return Err(TraceError::Decode(format!("frame length {len} exceeds limit")));
+        }
+        let mut payload = vec![0u8; len];
+        self.inp.read_exact(&mut payload)?;
+        let mut crc_bytes = [0u8; 4];
+        self.inp.read_exact(&mut crc_bytes)?;
+        let expected = u32::from_le_bytes(crc_bytes);
+        let actual = crc32(&payload);
+        if expected != actual {
+            return Err(TraceError::Decode(format!(
+                "frame CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            )));
+        }
+        decode_payload(&payload).map(Some)
+    }
+
+    /// Unwrap the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inp
+    }
+}
+
+// ---------------------------------------------------- trace <-> stream
+
+/// Number of events per `Events` frame used by [`write_trace`].
+pub const EVENTS_PER_FRAME: usize = 256;
+
+/// The frame sequence [`write_trace`] emits for a complete trace: Start,
+/// Params, Objects, Threads, chunked Events (per thread, in timestamp
+/// order), End. Exposed so callers can pace or filter frames (e.g.
+/// `critlock push --pace`).
+pub fn trace_frames(trace: &Trace) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut meta = trace.meta.clone();
+    let params = std::mem::take(&mut meta.params);
+    frames.push(Frame::Start { meta });
+    for (key, value) in &params {
+        frames.push(Frame::Param { key: key.clone(), value: value.clone() });
+    }
+    if !trace.objects.is_empty() {
+        frames.push(Frame::Objects { first_id: 0, objects: trace.objects.clone() });
+    }
+    for stream in &trace.threads {
+        frames.push(Frame::Thread { tid: stream.tid, name: stream.name.clone() });
+    }
+    for stream in &trace.threads {
+        for chunk in stream.events.chunks(EVENTS_PER_FRAME) {
+            frames.push(Frame::Events { tid: stream.tid, events: chunk.to_vec() });
+        }
+    }
+    frames.push(Frame::End);
+    frames
+}
+
+/// Stream a complete trace as frames: Start, Params, Objects, Threads,
+/// chunked Events (round-robin in timestamp order per thread), End.
+pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
+    let mut w = StreamWriter::new(out)?;
+    for frame in trace_frames(trace) {
+        w.write_frame(&frame)?;
+    }
+    w.flush()
+}
+
+/// Strictly assemble a complete frame stream back into a [`Trace`].
+///
+/// Requires a `Start` frame first and an `End` frame last; unknown thread
+/// ids and non-dense object registrations are errors. (The collector crate
+/// layers disconnect-tolerant assembly on top of [`StreamReader`]; this
+/// function is the strict inverse of [`write_trace`].)
+pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
+    let mut r = StreamReader::new(inp)?;
+    let mut trace: Option<Trace> = None;
+    let mut ended = false;
+    while let Some(frame) = r.next_frame()? {
+        if ended {
+            return Err(TraceError::Decode("frame after End".into()));
+        }
+        match frame {
+            Frame::Start { meta } => {
+                if trace.is_some() {
+                    return Err(TraceError::Decode("duplicate Start frame".into()));
+                }
+                trace = Some(Trace::new(meta));
+            }
+            frame => {
+                let trace = trace
+                    .as_mut()
+                    .ok_or_else(|| TraceError::Decode("frame before Start".into()))?;
+                ended = apply_frame(trace, frame)?;
+            }
+        }
+    }
+    if !ended {
+        return Err(TraceError::Decode("stream ended without End frame".into()));
+    }
+    trace.ok_or_else(|| TraceError::Decode("empty stream".into()))
+}
+
+/// Fold one (non-`Start`) frame into a trace under strict protocol rules.
+/// Returns `true` when the frame was `End`.
+pub fn apply_frame(trace: &mut Trace, frame: Frame) -> Result<bool> {
+    match frame {
+        Frame::Start { .. } => {
+            return Err(TraceError::Decode("duplicate Start frame".into()));
+        }
+        Frame::Param { key, value } => {
+            trace.meta.params.insert(key, value);
+        }
+        Frame::Objects { first_id, objects } => {
+            if first_id as usize != trace.objects.len() {
+                return Err(TraceError::Decode(format!(
+                    "non-dense object registration: first id {first_id}, have {}",
+                    trace.objects.len()
+                )));
+            }
+            trace.objects.extend(objects);
+        }
+        Frame::Thread { tid, name } => {
+            if trace.threads.iter().any(|s| s.tid == tid) {
+                return Err(TraceError::Decode(format!("duplicate thread {}", tid.0)));
+            }
+            let mut stream = ThreadStream::new(tid);
+            stream.name = name;
+            trace.threads.push(stream);
+        }
+        Frame::Events { tid, events } => {
+            let stream = trace.threads.iter_mut().find(|s| s.tid == tid).ok_or_else(|| {
+                TraceError::Decode(format!("events for unregistered thread {}", tid.0))
+            })?;
+            if let (Some(last), Some(first)) = (stream.events.last(), events.first()) {
+                if first.ts < last.ts {
+                    return Err(TraceError::Decode(format!(
+                        "events frame for thread {} goes backwards ({} < {})",
+                        tid.0, first.ts, last.ts
+                    )));
+                }
+            }
+            stream.events.extend(events);
+        }
+        Frame::End => {
+            // Live producers announce threads in completion order, not id
+            // order; restore the dense layout on finalization.
+            trace.threads.sort_by_key(|s| s.tid.0);
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("stream-sample");
+        b.param("threads", 2);
+        let l = b.lock("L");
+        let t0 = b.thread("main", 0);
+        let t1 = b.thread("w1", 1);
+        b.on(t1).work(2).cs(l, 5).exit_at(10);
+        b.on(t0).create(t1).work(4).cs_blocked(l, 7, 3).join(t1, 12).exit_at(13);
+        b.build().unwrap()
+    }
+
+    fn stream_roundtrip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(trace, &mut buf).unwrap();
+        read_trace(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let t = sample();
+        let back = stream_roundtrip(&t);
+        assert_eq!(t, back);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::default();
+        assert_eq!(stream_roundtrip(&t), t);
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // Flip one bit somewhere inside the frame section (past the
+        // 5-byte header).
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = read_trace(&mut Cursor::new(buf)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("CRC") || msg.contains("length") || msg.contains("frame"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf[4] = 99; // version varint right after the 4-byte magic
+        let err = read_trace(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("version"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&mut Cursor::new(b"NOPE\x01".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("magic"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let t = sample();
+        let mut full = Vec::new();
+        write_trace(&t, &mut full).unwrap();
+        for cut in [5, full.len() / 3, full.len() / 2, full.len() - 1] {
+            let buf = full[..cut].to_vec();
+            assert!(read_trace(&mut Cursor::new(buf)).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn missing_end_frame_is_detected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        {
+            let mut w = StreamWriter::new(&mut buf).unwrap();
+            w.write_frame(&Frame::Start { meta: t.meta.clone() }).unwrap();
+            // no End
+        }
+        let err = read_trace(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("End"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn frames_before_start_rejected() {
+        let mut buf = Vec::new();
+        {
+            let mut w = StreamWriter::new(&mut buf).unwrap();
+            w.write_frame(&Frame::End).unwrap();
+        }
+        assert!(read_trace(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -113,10 +113,7 @@ impl Trace {
 
     /// Find a registered object by name.
     pub fn object_by_name(&self, name: &str) -> Option<ObjId> {
-        self.objects
-            .iter()
-            .position(|o| o.name == name)
-            .map(|i| ObjId(i as u32))
+        self.objects.iter().position(|o| o.name == name).map(|i| ObjId(i as u32))
     }
 
     /// Ids of all objects of a given kind.
@@ -143,20 +140,12 @@ impl Trace {
 
     /// Earliest timestamp in the trace.
     pub fn start_ts(&self) -> Ts {
-        self.threads
-            .iter()
-            .filter_map(ThreadStream::start_ts)
-            .min()
-            .unwrap_or(0)
+        self.threads.iter().filter_map(ThreadStream::start_ts).min().unwrap_or(0)
     }
 
     /// Latest timestamp in the trace.
     pub fn end_ts(&self) -> Ts {
-        self.threads
-            .iter()
-            .filter_map(ThreadStream::end_ts)
-            .max()
-            .unwrap_or(0)
+        self.threads.iter().filter_map(ThreadStream::end_ts).max().unwrap_or(0)
     }
 
     /// End-to-end completion time (the quantity the critical path explains).
@@ -177,11 +166,8 @@ impl Trace {
 
     /// All events of all threads merged in `(ts, tid, index)` order.
     pub fn global_events(&self) -> Vec<(ThreadId, Event)> {
-        let mut all: Vec<(ThreadId, Event)> = self
-            .threads
-            .iter()
-            .flat_map(|t| t.events.iter().map(move |e| (t.tid, *e)))
-            .collect();
+        let mut all: Vec<(ThreadId, Event)> =
+            self.threads.iter().flat_map(|t| t.events.iter().map(move |e| (t.tid, *e))).collect();
         all.sort_by_key(|(tid, e)| (e.ts, *tid));
         all
     }
@@ -332,7 +318,10 @@ impl Trace {
                     match in_wait.take() {
                         Some(c) if c == cv => {}
                         other => {
-                            return Err(proto(i, format!("wakeup on {cv} but waiting on {other:?}")))
+                            return Err(proto(
+                                i,
+                                format!("wakeup on {cv} but waiting on {other:?}"),
+                            ))
                         }
                     }
                 }
@@ -481,10 +470,7 @@ mod tests {
     fn unsorted_timestamps_rejected() {
         let mut t = two_thread_trace();
         t.threads[0].events[3].ts = 0;
-        assert!(matches!(
-            t.validate(),
-            Err(TraceError::UnsortedTimestamps { .. })
-        ));
+        assert!(matches!(t.validate(), Err(TraceError::UnsortedTimestamps { .. })));
     }
 
     #[test]
@@ -546,10 +532,7 @@ mod tests {
     fn reentrant_lock_rejected() {
         let mut t = two_thread_trace();
         let l = t.object_by_name("L").unwrap();
-        t.threads[0].events.insert(
-            3,
-            Event::new(3, EventKind::LockAcquire { lock: l }),
-        );
+        t.threads[0].events.insert(3, Event::new(3, EventKind::LockAcquire { lock: l }));
         assert!(matches!(t.validate(), Err(TraceError::Protocol { .. })));
     }
 

@@ -1,0 +1,110 @@
+//! Property tests for the CLSM streaming frame codec: round-trips over
+//! arbitrary event sequences, corruption detection via the per-frame CRC,
+//! version-mismatch rejection, and truncation safety.
+
+use critlock_trace::stream::{read_trace, write_trace, StreamReader};
+use critlock_trace::{Event, EventKind, ObjId, ObjKind, ThreadId, ThreadStream, Trace, TraceMeta};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// One thread's events: arbitrary kinds over three registered objects,
+/// with non-decreasing timestamps (the only invariant the codec needs).
+fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((0u64..50, 0u8..10, 0u32..3, 0u32..4), 0..40).prop_map(|tuples| {
+        let mut ts = 0u64;
+        tuples
+            .into_iter()
+            .map(|(delta, sel, obj, aux)| {
+                ts += delta;
+                let obj = ObjId(obj);
+                let kind = match sel {
+                    0 => EventKind::ThreadStart,
+                    1 => EventKind::ThreadExit,
+                    2 => EventKind::LockAcquire { lock: obj },
+                    3 => EventKind::LockContended { lock: obj },
+                    4 => EventKind::LockObtain { lock: obj },
+                    5 => EventKind::LockRelease { lock: obj },
+                    6 => EventKind::BarrierArrive { barrier: obj, epoch: aux },
+                    7 => EventKind::CondSignal { cv: obj, signal_seq: aux as u64 },
+                    8 => EventKind::Marker { id: obj },
+                    _ => EventKind::JoinBegin { child: ThreadId(aux) },
+                };
+                Event::new(ts, kind)
+            })
+            .collect()
+    })
+}
+
+/// A trace with 1–3 dense threads and a small object table. The lock
+/// protocol need not hold — the codec must round-trip any well-ordered
+/// event soup.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(events_strategy(), 1..4).prop_map(|streams| {
+        let mut meta = TraceMeta::named("stream-props");
+        meta.params.insert("threads".into(), streams.len().to_string());
+        let mut trace = Trace::new(meta);
+        trace.register_object(ObjKind::Lock, "L");
+        trace.register_object(ObjKind::Barrier, "B");
+        trace.register_object(ObjKind::Condvar, "CV");
+        for (i, events) in streams.into_iter().enumerate() {
+            let mut stream = ThreadStream::new(ThreadId(i as u32));
+            stream.name = Some(format!("t{i}"));
+            stream.events = events;
+            trace.push_thread(stream);
+        }
+        trace
+    })
+}
+
+fn encode(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("encoding cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_roundtrip_is_exact(trace in trace_strategy()) {
+        let buf = encode(&trace);
+        let back = read_trace(&mut Cursor::new(&buf[..])).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        trace in trace_strategy(),
+        pos in 0usize..100_000,
+        delta in 1u16..256,
+    ) {
+        let mut buf = encode(&trace);
+        let pos = pos % buf.len();
+        buf[pos] = buf[pos].wrapping_add(delta as u8);
+        // Wherever the corruption lands — magic, version, length prefix,
+        // payload or CRC — decoding must fail, never return a wrong trace.
+        prop_assert!(read_trace(&mut Cursor::new(&buf[..])).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic(
+        trace in trace_strategy(),
+        cut in 0usize..100_000,
+    ) {
+        let buf = encode(&trace);
+        let cut = cut % buf.len(); // strictly shorter than the full stream
+        prop_assert!(read_trace(&mut Cursor::new(&buf[..cut])).is_err());
+    }
+
+    #[test]
+    fn future_protocol_versions_are_rejected(
+        trace in trace_strategy(),
+        version in 2u8..128,
+    ) {
+        let mut buf = encode(&trace);
+        // Offset 4: the version varint right after the 4-byte magic
+        // (values < 128 occupy a single byte).
+        buf[4] = version;
+        prop_assert!(StreamReader::new(Cursor::new(&buf[..])).is_err());
+    }
+}

@@ -20,12 +20,7 @@ pub struct WorkloadCfg {
 
 impl Default for WorkloadCfg {
     fn default() -> Self {
-        WorkloadCfg {
-            threads: 24,
-            machine: MachineConfig::power7_like(),
-            seed: 42,
-            scale: 1.0,
-        }
+        WorkloadCfg { threads: 24, machine: MachineConfig::power7_like(), seed: 42, scale: 1.0 }
     }
 }
 

@@ -110,17 +110,18 @@ impl Program for Generator {
                         continue;
                     }
                     let batch = self.params.produce_batch.max(1);
-                    self.queued
-                        .push_back(Action::Compute(self.params.produce_work * batch as u64));
+                    self.queued.push_back(Action::Compute(self.params.produce_work * batch as u64));
                     self.queued.push_back(Action::Lock(self.locks.conn_mutex));
                     self.phase = GenPhase::EnqueueLocked;
                 }
                 GenPhase::EnqueueLocked => {
                     {
                         let mut sh = self.shared.borrow_mut();
-                        let batch = self.params.produce_batch.max(1).min(
-                            self.params.requests - sh.produced,
-                        );
+                        let batch = self
+                            .params
+                            .produce_batch
+                            .max(1)
+                            .min(self.params.requests - sh.produced);
                         for _ in 0..batch {
                             let id = sh.produced as u64;
                             sh.queue.push_back(id);
@@ -209,12 +210,16 @@ impl Program for Worker {
                     self.queued.push_back(Action::Compute(chunk));
                     if lookups_left > 0 {
                         let key = req ^ (lookups_left as u64) << 24;
-                        let idx = draw_range(self.seed, key ^ 0xCAC4E, 0, self.locks.cache.len() as u64)
-                            as usize;
+                        let idx =
+                            draw_range(self.seed, key ^ 0xCAC4E, 0, self.locks.cache.len() as u64)
+                                as usize;
                         let lock = self.locks.cache[idx];
                         // Cache hit: shared lookup. Miss: exclusive refresh.
-                        if crate::common::draw_prob(self.seed, key ^ 0x3155, self.params.cache_miss_prob)
-                        {
+                        if crate::common::draw_prob(
+                            self.seed,
+                            key ^ 0x3155,
+                            self.params.cache_miss_prob,
+                        ) {
                             self.queued.push_back(Action::RwWrite(lock));
                         } else {
                             self.queued.push_back(Action::RwRead(lock));
@@ -370,7 +375,12 @@ mod tests {
         let rep = analyze(&t);
         print!("16t: makespan {}", t.makespan());
         for l in rep.locks.iter().take(3) {
-            print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+            print!(
+                "  {} cp {:.2}% wait {:.2}%",
+                l.name,
+                l.cp_time_frac * 100.0,
+                l.avg_wait_frac * 100.0
+            );
         }
         println!();
     }

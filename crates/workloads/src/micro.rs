@@ -153,11 +153,7 @@ mod tests {
     fn thread_sweep_keeps_l2_dominant() {
         for threads in [2, 4, 8, 16] {
             let rep = analyze(&run(&WorkloadCfg::with_threads(threads)).unwrap());
-            assert_eq!(
-                rep.rank_by_cp_time("L2"),
-                Some(1),
-                "L2 must top CP at {threads} threads"
-            );
+            assert_eq!(rep.rank_by_cp_time("L2"), Some(1), "L2 must top CP at {threads} threads");
         }
     }
 
@@ -177,12 +173,7 @@ mod tests {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         if cores >= 4 {
             let l1 = rep.lock_by_name("L1").unwrap();
-            assert!(
-                l2.cp_time >= l1.cp_time,
-                "L2 {} vs L1 {}",
-                l2.cp_time,
-                l1.cp_time
-            );
+            assert!(l2.cp_time >= l1.cp_time, "L2 {} vs L1 {}", l2.cp_time, l1.cp_time);
         }
     }
 }

@@ -94,9 +94,7 @@ impl<T> TwoLockQueue<T> {
         // SAFETY: *tail_guard is the current tail node; we own the tail
         // lock, so nobody else can update its `next`.
         unsafe {
-            (**tail_guard)
-                .next
-                .store(node, std::sync::atomic::Ordering::Release);
+            (**tail_guard).next.store(node, std::sync::atomic::Ordering::Release);
         }
         // Move the tail pointer. The guard is mutable via interior access.
         let mut tail_guard = tail_guard;
@@ -108,11 +106,7 @@ impl<T> TwoLockQueue<T> {
         let mut head_guard = self.head_lock.lock();
         // SAFETY: *head_guard is the dummy node; its `next` is the first
         // real node, published with Release by the enqueuer.
-        let first = unsafe {
-            (**head_guard)
-                .next
-                .load(std::sync::atomic::Ordering::Acquire)
-        };
+        let first = unsafe { (**head_guard).next.load(std::sync::atomic::Ordering::Acquire) };
         if first.is_null() {
             return None;
         }

@@ -144,12 +144,21 @@ enum Phase {
     /// Decide the next dequeue attempt. `scan == None` tries the own
     /// queue; `Some(k)` tries victim `k` (stealing scans from queue 0
     /// upward, as Radiosity does).
-    FindWork { scan: Option<usize> },
-    DeqLocked { q: usize, scan: Option<usize> },
+    FindWork {
+        scan: Option<usize>,
+    },
+    DeqLocked {
+        q: usize,
+        scan: Option<usize>,
+    },
     WorkChunk,
-    AllocLocked { lock: ObjId },
+    AllocLocked {
+        lock: ObjId,
+    },
     EnqChild,
-    EnqLocked { q: usize },
+    EnqLocked {
+        q: usize,
+    },
     PbarLocked,
     AfterBarrier,
     Done,
@@ -273,7 +282,6 @@ impl Worker {
             && sh.completed == sh.spawned
             && sh.queues.iter().all(VecDeque::is_empty)
     }
-
 }
 
 impl Program for Worker {
@@ -285,7 +293,10 @@ impl Program for Worker {
             let optimized = self.params.optimized;
             match self.phase {
                 Phase::FillNext => {
-                    if self.iter == 0 && self.fill_left.len() == self.params.initial_tasks && self.id == 0 {
+                    if self.iter == 0
+                        && self.fill_left.len() == self.params.initial_tasks
+                        && self.id == 0
+                    {
                         // Master marks the start of the parallel phase.
                         self.queued.push_back(Action::Mark(self.locks.phase_marker));
                     }
@@ -305,7 +316,8 @@ impl Program for Worker {
                         sh.queues[0].push_back(task);
                         sh.spawned += 1;
                     }
-                    let hold = if optimized { self.params.split_hold } else { self.params.queue_hold };
+                    let hold =
+                        if optimized { self.params.split_hold } else { self.params.queue_hold };
                     self.queued.push_back(Action::Compute(hold));
                     self.queued.push_back(Action::Unlock(self.locks.enq(0, optimized)));
                     self.phase = Phase::FillNext;
@@ -405,8 +417,11 @@ impl Program for Worker {
                         // A fraction of successors are published to the
                         // master queue for redistribution; the rest stay
                         // local.
-                        let q = if draw_prob(self.seed, child.id ^ 0x61, self.params.global_enqueue_prob)
-                        {
+                        let q = if draw_prob(
+                            self.seed,
+                            child.id ^ 0x61,
+                            self.params.global_enqueue_prob,
+                        ) {
                             0
                         } else {
                             self.own_q
@@ -427,7 +442,8 @@ impl Program for Worker {
                         sh.queues[q].push_back(child);
                         sh.spawned += 1;
                     }
-                    let hold = if optimized { self.params.split_hold } else { self.params.queue_hold };
+                    let hold =
+                        if optimized { self.params.split_hold } else { self.params.queue_hold };
                     self.queued.push_back(Action::Compute(hold));
                     self.queued.push_back(Action::Unlock(self.locks.enq(q, optimized)));
                     self.phase = Phase::EnqChild;
@@ -466,11 +482,7 @@ pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
 pub fn run_optimized(cfg: &WorkloadCfg) -> Result<Trace> {
     run_with(
         cfg,
-        RadiosityParams {
-            initial_tasks: cfg.scaled(48),
-            optimized: true,
-            ..Default::default()
-        },
+        RadiosityParams { initial_tasks: cfg.scaled(48), optimized: true, ..Default::default() },
     )
 }
 
@@ -534,14 +546,8 @@ pub fn run_with(cfg: &WorkloadCfg, params: RadiosityParams) -> Result<Trace> {
     sim.spawn("main", ForkJoinMain::new(workers));
 
     let mut trace = sim.run()?;
-    trace
-        .meta
-        .params
-        .insert("workers".into(), threads.to_string());
-    trace
-        .meta
-        .params
-        .insert("optimized".into(), params.optimized.to_string());
+    trace.meta.params.insert("workers".into(), threads.to_string());
+    trace.meta.params.insert("optimized".into(), params.optimized.to_string());
     Ok(trace)
 }
 
@@ -601,21 +607,16 @@ mod tests {
         let orig = analyze(&run(&small(16)).unwrap());
         let opt = analyze(&run_optimized(&small(16)).unwrap());
         let before = orig.lock_by_name("tq[0].qlock").unwrap().cp_time_frac;
-        let after_head = opt
-            .lock_by_name("tq[0].q_head_lock")
-            .map(|l| l.cp_time_frac)
-            .unwrap_or(0.0);
-        assert!(
-            after_head < before,
-            "head-lock share {after_head} must drop below {before}"
-        );
+        let after_head =
+            opt.lock_by_name("tq[0].q_head_lock").map(|l| l.cp_time_frac).unwrap_or(0.0);
+        assert!(after_head < before, "head-lock share {after_head} must drop below {before}");
     }
 
     #[test]
     fn parallel_phase_window_analyzes() {
         let t = run(&small(8)).unwrap();
-        let phase = critlock_analysis::analyze_phase(&t, "parallel_phase")
-            .expect("phase markers present");
+        let phase =
+            critlock_analysis::analyze_phase(&t, "parallel_phase").expect("phase markers present");
         assert!(phase.cp_complete);
         assert!(phase.makespan <= t.makespan());
         // The phase covers nearly the whole run (radiosity is all
@@ -628,11 +629,7 @@ mod tests {
     }
 
     fn top_names(rep: &critlock_analysis::AnalysisReport) -> Vec<(String, f64)> {
-        rep.locks
-            .iter()
-            .take(4)
-            .map(|l| (l.name.clone(), l.cp_time_frac))
-            .collect()
+        rep.locks.iter().take(4).map(|l| (l.name.clone(), l.cp_time_frac)).collect()
     }
 }
 
@@ -650,7 +647,11 @@ mod calibration {
             let cfg = WorkloadCfg::with_threads(threads);
             let t = run(&cfg).unwrap();
             let rep = analyze(&t);
-            println!("--- {threads} threads: makespan {} events {} ---", t.makespan(), t.num_events());
+            println!(
+                "--- {threads} threads: makespan {} events {} ---",
+                t.makespan(),
+                t.num_events()
+            );
             for l in rep.locks.iter().take(5) {
                 println!(
                     "  {:<18} cp {:>6.2}% wait {:>6.2}% contprob-cp {:>6.2}% invo-cp {:>6} avg-invo {:>7.1} hold {:>5.2}%",

@@ -87,17 +87,19 @@ impl Program for Worker {
                             None
                         }
                     };
-                    let hold = if job.is_some() {
-                        self.params.queue_hold
-                    } else {
-                        self.params.check_hold
-                    };
+                    let hold =
+                        if job.is_some() { self.params.queue_hold } else { self.params.check_hold };
                     self.queued.push_back(Action::Compute(hold));
                     self.queued.push_back(Action::Unlock(self.qlock));
                     match job {
                         Some(job) => {
                             let total = self.params.job_work_min
-                                + draw_range(self.seed, job ^ 0x6A7, 0, self.params.job_work_spread);
+                                + draw_range(
+                                    self.seed,
+                                    job ^ 0x6A7,
+                                    0,
+                                    self.params.job_work_spread,
+                                );
                             let chunk = total / (self.params.allocs_per_job as u64 + 1);
                             self.phase = Phase::Trace {
                                 job,
@@ -218,7 +220,12 @@ mod tests {
             let rep = analyze(&t);
             print!("{threads}t: makespan {}", t.makespan());
             for l in rep.locks.iter().take(2) {
-                print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+                print!(
+                    "  {} cp {:.2}% wait {:.2}%",
+                    l.name,
+                    l.cp_time_frac * 100.0,
+                    l.avg_wait_frac * 100.0
+                );
             }
             println!();
         }

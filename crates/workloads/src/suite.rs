@@ -121,9 +121,7 @@ mod tests {
     fn every_workload_runs_at_tiny_scale() {
         for spec in all() {
             let cfg = WorkloadCfg::with_threads(4).with_scale(0.2);
-            let trace = spec
-                .run(&cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            let trace = spec.run(&cfg).unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
             assert!(trace.makespan() > 0, "{} produced empty trace", spec.name);
             trace.validate().unwrap();
         }
@@ -136,11 +134,7 @@ mod tests {
             let trace = spec.run(&cfg).unwrap();
             let rep = critlock_analysis::analyze(&trace);
             assert!(rep.cp_complete, "{}: walk incomplete", spec.name);
-            assert_eq!(
-                rep.cp_length, rep.makespan,
-                "{}: CP must tile the makespan",
-                spec.name
-            );
+            assert_eq!(rep.cp_length, rep.makespan, "{}: CP must tile the makespan", spec.name);
         }
     }
 }

@@ -404,11 +404,7 @@ mod tests {
         let rep = analyze(&run(&small(24)).unwrap());
         let q = rep.lock_by_name("Qlock").unwrap();
         assert_eq!(rep.rank_by_cp_time("Qlock"), Some(1));
-        assert!(
-            q.cp_time_frac > 0.15,
-            "Qlock must dominate, got {:.1}%",
-            q.cp_time_frac * 100.0
-        );
+        assert!(q.cp_time_frac > 0.15, "Qlock must dominate, got {:.1}%", q.cp_time_frac * 100.0);
     }
 
     #[test]

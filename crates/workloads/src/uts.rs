@@ -215,11 +215,8 @@ pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
 pub fn run_with(cfg: &WorkloadCfg, params: UtsParams) -> Result<Trace> {
     let mut sim = Simulator::new("uts", cfg.machine.clone());
     let threads = cfg.threads;
-    let stack_locks: Rc<Vec<ObjId>> = Rc::new(
-        (0..threads)
-            .map(|i| sim.add_lock(format!("stackLock[{i}]")))
-            .collect(),
-    );
+    let stack_locks: Rc<Vec<ObjId>> =
+        Rc::new((0..threads).map(|i| sim.add_lock(format!("stackLock[{i}]"))).collect());
 
     // Root children are dealt round-robin (UTS generates the root's
     // children on rank 0 and chunked stealing spreads them; dealing
@@ -257,10 +254,7 @@ pub fn run_with(cfg: &WorkloadCfg, params: UtsParams) -> Result<Trace> {
     let mut trace = sim.run()?;
     let sh = shared.borrow();
     trace.meta.params.insert("nodes".into(), sh.nodes_counted.to_string());
-    trace
-        .meta
-        .params
-        .insert("root_branching".into(), params.root_branching.to_string());
+    trace.meta.params.insert("root_branching".into(), params.root_branching.to_string());
     Ok(trace)
 }
 
@@ -287,18 +281,10 @@ mod tests {
         let rep = analyze(&run(&small(16)).unwrap());
         // The top lock is a stackLock with real CP presence...
         let top = rep.top_critical_lock().unwrap();
-        assert!(
-            top.name.starts_with("stackLock["),
-            "top lock {} unexpected",
-            top.name
-        );
+        assert!(top.name.starts_with("stackLock["), "top lock {} unexpected", top.name);
         assert!(top.cp_time_frac > 0.01, "cp {:.2}%", top.cp_time_frac * 100.0);
         // ...while its wait time is negligible — the paper's UTS finding.
-        assert!(
-            top.avg_wait_frac < 0.01,
-            "wait {:.2}% should be ~0",
-            top.avg_wait_frac * 100.0
-        );
+        assert!(top.avg_wait_frac < 0.01, "wait {:.2}% should be ~0", top.avg_wait_frac * 100.0);
     }
 
     #[test]

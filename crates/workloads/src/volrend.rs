@@ -97,7 +97,12 @@ impl Program for Worker {
                     match tile {
                         Some(t) => {
                             let work = self.params.tile_work_min
-                                + draw_range(self.seed, t ^ 0x7011, 0, self.params.tile_work_spread);
+                                + draw_range(
+                                    self.seed,
+                                    t ^ 0x7011,
+                                    0,
+                                    self.params.tile_work_spread,
+                                );
                             self.queued.push_back(Action::Compute(work));
                             self.queued.push_back(Action::Lock(self.count_lock));
                             self.phase = Phase::CountLocked { frame };
@@ -230,7 +235,12 @@ mod tests {
             let rep = analyze(&t);
             print!("{threads}t: makespan {}", t.makespan());
             for l in rep.locks.iter().take(2) {
-                print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+                print!(
+                    "  {} cp {:.2}% wait {:.2}%",
+                    l.name,
+                    l.cp_time_frac * 100.0,
+                    l.avg_wait_frac * 100.0
+                );
             }
             println!();
         }

@@ -57,9 +57,19 @@ impl Default for WaterParams {
 
 enum Phase {
     /// (step, phase index within step)
-    Start { step: usize, sub: usize },
-    MolUpdates { step: usize, sub: usize, left: usize },
-    GlLocked { step: usize, sub: usize },
+    Start {
+        step: usize,
+        sub: usize,
+    },
+    MolUpdates {
+        step: usize,
+        sub: usize,
+        left: usize,
+    },
+    GlLocked {
+        step: usize,
+        sub: usize,
+    },
     Done,
 }
 
@@ -119,9 +129,7 @@ impl Program for Worker {
                         continue;
                     }
                     // Accumulate into a molecule owned by someone else.
-                    let key = (step as u64) << 40
-                        | (self.id as u64) << 20
-                        | left as u64;
+                    let key = (step as u64) << 40 | (self.id as u64) << 20 | left as u64;
                     let mol = draw_range(self.seed, key ^ 0x40C5, 0, self.params.molecules as u64)
                         as usize;
                     let lock = self.mol_locks[mol % self.mol_locks.len()];
@@ -135,11 +143,8 @@ impl Program for Worker {
                     self.queued.push_back(Action::Compute(self.params.gl_hold));
                     self.queued.push_back(Action::Unlock(self.gl));
                     self.queued.push_back(Action::Barrier(self.barrier));
-                    let (next_step, next_sub) = if sub + 1 == SUBPHASES {
-                        (step + 1, 0)
-                    } else {
-                        (step, sub + 1)
-                    };
+                    let (next_step, next_sub) =
+                        if sub + 1 == SUBPHASES { (step + 1, 0) } else { (step, sub + 1) };
                     self.phase = Phase::Start { step: next_step, sub: next_sub };
                 }
                 Phase::Done => return Action::Exit,
@@ -157,11 +162,8 @@ pub fn run(cfg: &WorkloadCfg) -> Result<Trace> {
 pub fn run_with(cfg: &WorkloadCfg, params: WaterParams) -> Result<Trace> {
     let mut sim = Simulator::new("water-nsquared", cfg.machine.clone());
     let threads = cfg.threads;
-    let mol_locks: Rc<Vec<ObjId>> = Rc::new(
-        (0..params.mol_locks)
-            .map(|i| sim.add_lock(format!("MolLock[{i}]")))
-            .collect(),
-    );
+    let mol_locks: Rc<Vec<ObjId>> =
+        Rc::new((0..params.mol_locks).map(|i| sim.add_lock(format!("MolLock[{i}]"))).collect());
     let gl = sim.add_lock("gl");
     let barrier = sim.add_barrier("phase_barrier", threads);
     let params = Rc::new(params);
@@ -245,7 +247,12 @@ mod tests {
             let rep = analyze(&t);
             print!("{threads}t: makespan {}", t.makespan());
             for l in rep.locks.iter().take(2) {
-                print!("  {} cp {:.2}% wait {:.2}%", l.name, l.cp_time_frac * 100.0, l.avg_wait_frac * 100.0);
+                print!(
+                    "  {} cp {:.2}% wait {:.2}%",
+                    l.name,
+                    l.cp_time_frac * 100.0,
+                    l.avg_wait_frac * 100.0
+                );
             }
             println!();
         }

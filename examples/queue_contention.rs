@@ -122,10 +122,7 @@ fn main() {
     println!("two-lock queue    : makespan {:>12} ns", t2.makespan());
     for name in ["split.q_head_lock", "split.q_tail_lock"] {
         if let Some(l) = r2.lock_by_name(name) {
-            println!(
-                "    {name}: {:.1}% of the critical path",
-                l.cp_time_frac * 100.0
-            );
+            println!("    {name}: {:.1}% of the critical path", l.cp_time_frac * 100.0);
         }
     }
     println!(

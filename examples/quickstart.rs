@@ -49,11 +49,7 @@ fn main() {
 
     // 4. Close the session and analyze the trace.
     let trace = session.finish().expect("trace assembles");
-    println!(
-        "recorded {} events across {} threads\n",
-        trace.num_events(),
-        trace.num_threads()
-    );
+    println!("recorded {} events across {} threads\n", trace.num_events(), trace.num_threads());
 
     let report = analyze(&trace);
     println!("{}", render_text(&report, &RenderOptions::default()));

@@ -1,0 +1,223 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the group/bencher API surface the workspace's benches use,
+//! backed by a simple wall-clock timing loop: each benchmark runs a
+//! handful of timed iterations and prints the mean per-iteration time.
+//! No statistics, plots or baselines — just enough to keep `cargo bench`
+//! working offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How measured iterations are scaled in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// measured computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Scale reported times by work per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Run a benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Print the group's trailing separator.
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<24} {:>12.3} ms/iter ({} iters){}",
+            self.name,
+            id,
+            per_iter * 1e3,
+            b.iters,
+            rate
+        );
+    }
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, throughput: None, _criterion: self }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // warm-up + 3 timed iterations
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_value() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("inputs");
+        g.sample_size(1);
+        g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

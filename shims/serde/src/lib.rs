@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of serde this workspace relies on, modeled as conversions to and
+//! from an owned JSON [`Value`] instead of serde's visitor architecture:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (derivable via the re-exported
+//!   macros from the local `serde_derive` shim);
+//! * implementations for the primitive, container and map types used across
+//!   the workspace;
+//! * the [`Value`] data model itself (printed/parsed by the `serde_json`
+//!   shim).
+//!
+//! Integers are kept exact (`u64`/`i64` variants) so `u64::MAX` sentinels
+//! survive round-trips; floats use Rust's shortest-roundtrip `Display`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An owned JSON value: the data model behind the shim's (de)serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Fetch a key from an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a path-less description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Build from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use for a missing struct field (`Some` only for
+    /// `Option`, mirroring serde's implicit-`None` behavior).
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::custom(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(o) => {
+                o.iter().map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v))).collect()
+            }
+            other => Err(DeError::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(o) => {
+                o.iter().map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v))).collect()
+            }
+            other => Err(DeError::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// --------------------------------------------------- derive support shims
+
+/// Helpers used by the generated derive code; not a public API.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Look up a struct field by name, falling back to the type's
+    /// missing-field value (e.g. `None` for `Option`).
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v {
+            Value::Object(o) => {
+                match o.iter().find(|(k, _)| k == name) {
+                    Some((_, fv)) => T::from_value(fv)
+                        .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+                    None => T::missing()
+                        .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+                }
+            }
+            other => Err(DeError::custom(format!(
+                "expected object with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Index into an array value (tuple structs / tuple variants).
+    pub fn index(v: &Value, i: usize) -> Result<&Value, DeError> {
+        match v {
+            Value::Array(items) => {
+                items.get(i).ok_or_else(|| DeError::custom(format!("missing tuple element {i}")))
+            }
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_defaults_to_none() {
+        let v = Value::Object(vec![]);
+        let got: Option<String> = __private::field(&v, "name").unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn u64_roundtrip_exact() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), "1".to_string());
+        let v = m.to_value();
+        let back: BTreeMap<String, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the `#[derive(Serialize, Deserialize)]` macros against the
+//! local `serde` shim (a JSON-value data model rather than serde's full
+//! serializer/deserializer architecture). It hand-parses the item token
+//! stream — no `syn`/`quote` — and supports exactly the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields (plus `#[serde(skip_serializing_if = "…")]`),
+//! * tuple structs (newtype and multi-field),
+//! * enums with unit, named-field and tuple variants, serialized in serde's
+//!   externally-tagged representation (`"Variant"` / `{"Variant": {...}}`).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is a
+//! compile-time error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// One parsed field of a struct or enum variant.
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    /// Predicate path from `#[serde(skip_serializing_if = "…")]`.
+    skip_if: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: Iter = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume its bracket group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut it);
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: expected `struct` or `enum`"),
+        }
+    }
+}
+
+fn expect_ident(it: &mut Iter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_struct(it: &mut Iter) -> Item {
+    let name = expect_ident(it, "struct name");
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct { name, shape: Shape::Named(parse_named_fields(g.stream())) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::Struct { name, shape: Shape::Tuple(count_tuple_fields(g.stream())) }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            Item::Struct { name, shape: Shape::Unit }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic type `{name}` is not supported")
+        }
+        other => panic!("serde shim derive: unexpected token after struct name: {other:?}"),
+    }
+}
+
+fn parse_enum(it: &mut Iter) -> Item {
+    let name = expect_ident(it, "enum name");
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic enum `{name}` is not supported")
+        }
+        other => panic!("serde shim derive: expected enum body, found {other:?}"),
+    };
+    let mut vit: Iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes (e.g. `#[default]`, doc comments).
+        while matches!(vit.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            vit.next();
+            vit.next();
+        }
+        let vname = match vit.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        let shape = match vit.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = g.stream();
+                vit.next();
+                Shape::Named(parse_named_fields(s))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = g.stream();
+                vit.next();
+                Shape::Tuple(count_tuple_fields(s))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut depth = 0i32;
+        while let Some(tt) = vit.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    vit.next();
+                    break;
+                }
+                _ => {}
+            }
+            vit.next();
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    Item::Enum { name, variants }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut skip_if = None;
+        // Attributes; extract `#[serde(skip_serializing_if = "…")]`.
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.next() {
+                if let Some(pred) = extract_skip_if(g.stream()) {
+                    skip_if = Some(pred);
+                }
+            }
+        }
+        // Visibility.
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma (angle-bracket aware).
+        let mut depth = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                _ => {}
+            }
+            it.next();
+        }
+        fields.push(Field { name: Some(name), skip_if });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in body {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Look for `serde(skip_serializing_if = "pred")` inside an attribute body.
+fn extract_skip_if(attr: TokenStream) -> Option<String> {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut it = inner.into_iter();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "skip_serializing_if" {
+                // `= "pred"`
+                it.next();
+                if let Some(TokenTree::Literal(lit)) = it.next() {
+                    let s = lit.to_string();
+                    return Some(s.trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut s =
+                        String::from("let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n");
+                    for f in fields {
+                        let fname = f.name.as_ref().unwrap();
+                        let push = format!(
+                            "__o.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));"
+                        );
+                        match &f.skip_if {
+                            Some(pred) => {
+                                s.push_str(&format!("if !({pred}(&self.{fname})) {{ {push} }}\n"))
+                            }
+                            None => {
+                                s.push_str(&push);
+                                s.push('\n');
+                            }
+                        }
+                    }
+                    s.push_str("::serde::Value::Object(__o)");
+                    s
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let mut inner = String::from(
+                            "let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for b in &binds {
+                            inner.push_str(&format!(
+                                "__o.push((\"{b}\".to_string(), ::serde::Serialize::to_value({b})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(__o))])\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn named_ctor(path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_ref().unwrap();
+            format!("{fname}: ::serde::__private::field({src}, \"{fname}\")?")
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => format!("Ok({})", named_ctor(name, fields, "__v")),
+                Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::from_value(::serde::__private::index(__v, {i})?)?")
+                        })
+                        .collect();
+                    format!("Ok({name}({}))", elems.join(", "))
+                }
+                Shape::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        str_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Shape::Named(fields) => obj_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({}),\n",
+                        named_ctor(&format!("{name}::{vname}"), fields, "__inner")
+                    )),
+                    Shape::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("{name}::{vname}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(::serde::__private::index(__inner, {i})?)?")
+                                })
+                                .collect();
+                            format!("{name}::{vname}({})", elems.join(", "))
+                        };
+                        obj_arms.push_str(&format!("\"{vname}\" => Ok({ctor}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let __k = &__o[0].0;\n\
+                 let __inner = &__o[0].1;\n\
+                 let _ = __inner;\n\
+                 match __k.as_str() {{\n{obj_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 _ => Err(::serde::DeError::custom(\"invalid enum representation for {name}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}

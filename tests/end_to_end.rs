@@ -110,10 +110,7 @@ fn facade_reexports_work() {
     // The facade crate exposes the main entry points directly.
     let mut sim = critlock::Simulator::new("facade", critlock::MachineConfig::ideal());
     let l = sim.add_lock("L");
-    sim.spawn(
-        "t",
-        critlock::sim::ScriptProgram::new(vec![critlock::sim::Op::Critical(l, 5)]),
-    );
+    sim.spawn("t", critlock::sim::ScriptProgram::new(vec![critlock::sim::Op::Critical(l, 5)]));
     let trace: critlock::Trace = sim.run().unwrap();
     let rep = critlock::analyze(&trace);
     assert_eq!(rep.lock_by_name("L").unwrap().cp_time, 5);

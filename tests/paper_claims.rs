@@ -77,7 +77,8 @@ fn claim_optimizing_the_right_lock_helps() {
     let edge = rep.lock_by_name("free_edge").unwrap();
     assert!(edge.cp_time_frac < 0.02);
     let lock = orig.object_by_name("free_edge").unwrap();
-    let replayed = replay(&orig, cfg.machine.clone(), &ReplayConfig::shrink_lock(lock, 0.5)).unwrap();
+    let replayed =
+        replay(&orig, cfg.machine.clone(), &ReplayConfig::shrink_lock(lock, 0.5)).unwrap();
     let gain = orig.makespan() as f64 / replayed.makespan() as f64 - 1.0;
     assert!(gain < 0.02, "negligible lock gave {:.2}%", gain * 100.0);
 }

@@ -47,17 +47,10 @@ fn workload_strategy() -> impl Strategy<Value = Workload> {
 
 fn build_and_run(w: &Workload, machine: MachineConfig) -> Trace {
     let mut sim = Simulator::new("prop", machine);
-    let locks: Vec<_> = (0..w.num_locks)
-        .map(|i| sim.add_lock(format!("L{i}")))
-        .collect();
-    let rwlocks: Vec<_> = (0..w.num_locks)
-        .map(|i| sim.add_rwlock(format!("R{i}")))
-        .collect();
-    let barrier = if w.barrier_rounds > 0 {
-        Some(sim.add_barrier("B", w.threads.len()))
-    } else {
-        None
-    };
+    let locks: Vec<_> = (0..w.num_locks).map(|i| sim.add_lock(format!("L{i}"))).collect();
+    let rwlocks: Vec<_> = (0..w.num_locks).map(|i| sim.add_rwlock(format!("R{i}"))).collect();
+    let barrier =
+        if w.barrier_rounds > 0 { Some(sim.add_barrier("B", w.threads.len())) } else { None };
     for (ti, rounds) in w.threads.iter().enumerate() {
         let mut ops = Vec::new();
         for (ri, round) in rounds.iter().enumerate() {
@@ -81,10 +74,7 @@ fn build_and_run(w: &Workload, machine: MachineConfig) -> Trace {
 /// Total running time across all threads (sum of segment durations).
 fn total_busy(trace: &Trace) -> u64 {
     let st = critlock::analysis::SegmentedTrace::build(trace);
-    st.threads
-        .iter()
-        .flat_map(|segs| segs.iter().map(|s| s.duration()))
-        .sum()
+    st.threads.iter().flat_map(|segs| segs.iter().map(|s| s.duration())).sum()
 }
 
 proptest! {
