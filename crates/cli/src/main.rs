@@ -9,8 +9,10 @@
 //! critlock whatif <trace> --lock NAME [--factor F]
 //! critlock online <trace>
 //! critlock serve [--listen ADDR] [--status ADDR] [--queue N] [--backpressure block|drop]
-//! critlock push <trace> --to ADDR [--pace-ms N]
-//! critlock status --at ADDR [--json]
+//!                [--journal DIR] [--idle-timeout-ms N]
+//! critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS] [--retries N]
+//!                [--fault-plan NAME|SPEC]
+//! critlock status --at ADDR [--json] [--timeout SECS]
 //! ```
 
 mod args;
@@ -47,14 +49,27 @@ USAGE:
       Run the forward (online) critical-path profile.
   critlock serve [--listen ADDR] [--status ADDR] [--queue N]
                  [--backpressure block|drop] [--interval-ms N]
+                 [--journal DIR] [--idle-timeout-ms N]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
-      --status.
-  critlock push <trace> --to ADDR [--pace-ms N]
+      --status. With --journal, every accepted frame is logged to a
+      crash-safe per-session journal in DIR and recovered on restart.
+      With --idle-timeout-ms, stalled connections are severed and their
+      sessions finalized.
+  critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
+                [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
-      the event frames to emulate a live producer.
-  critlock status --at ADDR [--json]
-      Query a collector's live analysis snapshots.
+      the event frames to emulate a live producer. Pushes are resumable:
+      on transport errors the client reconnects (up to --retries times,
+      default 5) and replays only what the collector has not
+      acknowledged; --retries 0 pushes anonymously in a single attempt.
+      --timeout bounds connect and socket I/O so a dead collector fails
+      fast. --fault-plan injects deterministic transport faults
+      (disconnect|truncation|bit-flip|stall|slow-loris, or a spec like
+      `cut@900;flip@1200`) for testing the recovery path.
+  critlock status --at ADDR [--json] [--timeout SECS]
+      Query a collector's live analysis snapshots. --timeout bounds the
+      query so a hung collector yields an error, not a hang.
 ";
 
 fn main() -> ExitCode {
@@ -253,6 +268,13 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
         Some(other) => return Err(format!("invalid --backpressure `{other}` (block|drop)")),
     };
     config.snapshot_interval = std::time::Duration::from_millis(p.get_or("interval-ms", 200u64)?);
+    if let Some(dir) = p.options.get("journal") {
+        config.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(ms) = p.options.get("idle-timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --idle-timeout-ms: {ms}"))?;
+        config.idle_timeout = Some(std::time::Duration::from_millis(ms));
+    }
 
     let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;
     println!("critlock collector: ingest on {}", handle.ingest_addr());
@@ -277,7 +299,27 @@ fn cmd_push(p: &args::Parsed) -> Result<String, String> {
         )),
         None => None,
     };
-    let sent = critlock_collector::push(&addr, &trace, pace)
+    let timeout = match p.options.get("timeout") {
+        Some(s) => Some(std::time::Duration::from_secs(
+            s.parse().map_err(|_| format!("invalid --timeout: {s}"))?,
+        )),
+        None => None,
+    };
+    let retries: u32 = p.get_or("retries", 5u32)?;
+    let fault_plan = p
+        .options
+        .get("fault-plan")
+        .map(|spec| critlock_trace::FaultPlan::resolve(spec))
+        .transpose()
+        .map_err(|e| format!("invalid --fault-plan: {e}"))?;
+    let opts = critlock_collector::PushOptions {
+        pace,
+        timeout,
+        retry: critlock_trace::RetryPolicy::with_attempts(retries),
+        fault_plan,
+        token: None,
+    };
+    let sent = critlock_collector::push_with(&addr, &trace, &opts)
         .map_err(|e| format!("push to {addr} failed: {e}"))?;
     Ok(format!(
         "pushed {sent} frames ({} events, {} threads) to {addr}\n",
@@ -289,7 +331,13 @@ fn cmd_push(p: &args::Parsed) -> Result<String, String> {
 fn cmd_status(p: &args::Parsed) -> Result<String, String> {
     let at = p.options.get("at").ok_or_else(|| "missing --at ADDR".to_string())?;
     let addr = parse_addr(at)?;
-    let reply = critlock_collector::fetch_status_text(&addr, p.flag("json"))
+    let timeout = match p.options.get("timeout") {
+        Some(s) => Some(std::time::Duration::from_secs(
+            s.parse().map_err(|_| format!("invalid --timeout: {s}"))?,
+        )),
+        None => None,
+    };
+    let reply = critlock_collector::fetch_status_text_timeout(&addr, p.flag("json"), timeout)
         .map_err(|e| format!("status query to {addr} failed: {e}"))?;
     if reply.is_empty() {
         // The ingest socket (and anything else that is not a status

@@ -92,15 +92,15 @@ impl SessionAssembler {
             }
             Frame::Events { tid, events } => {
                 self.events += events.len() as u64;
-                let stream = match self.trace.threads.iter_mut().find(|s| s.tid == tid) {
-                    Some(stream) => stream,
+                let idx = match self.trace.threads.iter().position(|s| s.tid == tid) {
+                    Some(idx) => idx,
                     None => {
                         // Announcement frame lost; synthesize the stream.
                         self.trace.threads.push(ThreadStream::new(tid));
-                        self.trace.threads.last_mut().expect("just pushed")
+                        self.trace.threads.len() - 1
                     }
                 };
-                stream.events.extend(events);
+                self.trace.threads[idx].events.extend(events);
             }
             Frame::End => self.ended = true,
         }

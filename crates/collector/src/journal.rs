@@ -1,0 +1,270 @@
+//! Crash-safe append-only session journals (write-ahead log sidecars).
+//!
+//! When the collector is started with a journal directory, every frame a
+//! session reader accepts is appended to that session's journal file
+//! *before* it is queued for analysis, and the acknowledgement sent to a
+//! resumable producer only covers journaled frames. A collector that
+//! crashes and restarts therefore recovers exactly the frames it acked:
+//! [`recover_dir`] replays each journal into a fresh session, truncating
+//! any torn tail left by a crash mid-append, and reopens the file so the
+//! recovered session keeps journaling when its producer reconnects.
+//!
+//! The file format *is* the CLSM stream format ([`critlock_trace::stream`]):
+//! a header whose handshake carries the session's resume token, followed
+//! by CRC-checked frames. `critlock analyze` could consume a journal
+//! directly if it ever had to.
+
+use critlock_trace::stream::{Frame, Handshake, StreamReader, StreamWriter};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read};
+use std::path::{Path, PathBuf};
+
+/// File extension of session journals.
+pub const JOURNAL_EXT: &str = "clsj";
+
+/// An open, append-only journal for one session.
+pub struct SessionJournal {
+    writer: StreamWriter<BufWriter<File>>,
+    path: PathBuf,
+    frames: u64,
+}
+
+impl std::fmt::Debug for SessionJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionJournal")
+            .field("path", &self.path)
+            .field("frames", &self.frames)
+            .finish()
+    }
+}
+
+/// Hex-encode a session token for use as a file stem.
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The journal path for a session: `<dir>/<hex-token>.clsj`, or
+/// `<dir>/anon-<id>.clsj` for sessions without a resume token.
+pub fn journal_path(dir: &Path, token: &[u8], session_id: u64) -> PathBuf {
+    let stem = if token.is_empty() { format!("anon-{session_id}") } else { hex(token) };
+    dir.join(format!("{stem}.{JOURNAL_EXT}"))
+}
+
+impl SessionJournal {
+    /// Create (or truncate) the journal for a session, writing the CLSM
+    /// header with the session's resume token.
+    pub fn create(dir: &Path, token: &[u8], session_id: u64) -> io::Result<SessionJournal> {
+        let path = journal_path(dir, token, session_id);
+        let file = File::create(&path)?;
+        let handshake = Handshake { token: token.to_vec(), start_seq: 0 };
+        let writer = StreamWriter::with_handshake(BufWriter::new(file), &handshake)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut journal = SessionJournal { writer, path, frames: 0 };
+        journal.writer.flush().map_err(io_err)?;
+        Ok(journal)
+    }
+
+    /// Append one frame and flush it to the OS. The frame is durable
+    /// against a collector crash once this returns (durability against a
+    /// machine crash additionally needs [`SessionJournal::sync`]).
+    pub fn append(&mut self, frame: &Frame) -> io::Result<()> {
+        self.writer.write_frame(frame).map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Flush and fsync the journal file.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush().map_err(io_err)?;
+        self.writer.inner_mut().get_mut().sync_data()
+    }
+
+    /// Frames written to this journal (including recovered ones).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn io_err(e: critlock_trace::TraceError) -> io::Error {
+    match e {
+        critlock_trace::TraceError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// One session recovered from a journal file.
+pub struct RecoveredSession {
+    /// The resume token the journal was created with (empty for
+    /// anonymous sessions).
+    pub token: Vec<u8>,
+    /// Every intact frame, in arrival order.
+    pub frames: Vec<Frame>,
+    /// The journal, reopened for appending after the last intact frame.
+    pub journal: SessionJournal,
+}
+
+/// Counts bytes actually consumed from the underlying reader, so
+/// recovery knows the exact offset of the last intact frame. The counter
+/// is shared so it stays readable while the decoder owns the reader.
+struct CountingReader<R> {
+    inner: R,
+    pos: std::rc::Rc<std::cell::Cell<u64>>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos.set(self.pos.get() + n as u64);
+        Ok(n)
+    }
+}
+
+/// Replay one journal file: decode frames until the end or the first
+/// torn/corrupt frame, truncate the file to the last intact frame, and
+/// reopen it for appending.
+pub fn recover_file(path: &Path) -> io::Result<RecoveredSession> {
+    let file = File::open(path)?;
+    // No BufReader here: read-ahead would inflate the byte count past
+    // what the decoder actually consumed, corrupting the truncation
+    // offset. Recovery is a one-shot startup cost.
+    let pos = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let reader = CountingReader { inner: file, pos: std::rc::Rc::clone(&pos) };
+    let mut stream = StreamReader::new(reader).map_err(io_err)?;
+    let token = stream.handshake().token.clone();
+    let mut frames = Vec::new();
+    let mut good_pos = pos.get();
+    // A decode error here is a torn tail (crash mid-append), not a fatal
+    // condition: everything before it was acked and is recovered.
+    while let Ok(Some(frame)) = stream.next_frame() {
+        frames.push(frame);
+        good_pos = pos.get();
+    }
+    drop(stream);
+
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(good_pos)?;
+    let writer_file = OpenOptions::new().append(true).open(path)?;
+    let writer = StreamWriter::append(BufWriter::new(writer_file));
+    Ok(RecoveredSession {
+        token,
+        frames: frames.clone(),
+        journal: SessionJournal { writer, path: path.to_path_buf(), frames: frames.len() as u64 },
+    })
+}
+
+/// Recover every `*.clsj` journal in a directory, in file-name order
+/// (deterministic across runs). Unreadable files are skipped and
+/// reported alongside the successes.
+pub fn recover_dir(dir: &Path) -> io::Result<(Vec<RecoveredSession>, u64)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(JOURNAL_EXT))
+        .collect();
+    paths.sort();
+    let mut recovered = Vec::new();
+    let mut skipped = 0u64;
+    for path in paths {
+        match recover_file(&path) {
+            Ok(session) => recovered.push(session),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((recovered, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::TraceMeta;
+    use std::io::Write;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("critlock-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Start { meta: TraceMeta::named("journaled") },
+            Frame::Param { key: "threads".into(), value: "2".into() },
+            Frame::End,
+        ]
+    }
+
+    #[test]
+    fn append_then_recover_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let mut journal = SessionJournal::create(&dir, b"tok", 0).unwrap();
+        for frame in sample_frames() {
+            journal.append(&frame).unwrap();
+        }
+        journal.sync().unwrap();
+        assert_eq!(journal.frames(), 3);
+        drop(journal);
+
+        let (sessions, skipped) = recover_dir(&dir).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].token, b"tok");
+        assert_eq!(sessions[0].frames, sample_frames());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmpdir("torn");
+        let mut journal = SessionJournal::create(&dir, b"t2", 0).unwrap();
+        let frames = sample_frames();
+        journal.append(&frames[0]).unwrap();
+        journal.append(&frames[1]).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Simulate a crash mid-append: garbage half-frame at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x19, 0xde, 0xad]).unwrap();
+        }
+
+        let mut rec = recover_file(&path).unwrap();
+        assert_eq!(rec.frames, frames[..2].to_vec());
+
+        // The reopened journal appends cleanly after the truncated tail.
+        rec.journal.append(&frames[2]).unwrap();
+        drop(rec);
+        let rec = recover_file(&path).unwrap();
+        assert_eq!(rec.frames, frames);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn anon_sessions_get_distinct_files() {
+        let dir = tmpdir("anon");
+        let a = SessionJournal::create(&dir, b"", 3).unwrap();
+        let b = SessionJournal::create(&dir, b"", 4).unwrap();
+        assert_ne!(a.path(), b.path());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_journals_are_skipped_not_fatal() {
+        let dir = tmpdir("skip");
+        std::fs::write(dir.join(format!("bogus.{JOURNAL_EXT}")), b"not a stream").unwrap();
+        let mut good = SessionJournal::create(&dir, b"ok", 0).unwrap();
+        good.append(&Frame::End).unwrap();
+        drop(good);
+        let (sessions, skipped) = recover_dir(&dir).unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,7 +25,12 @@
 //!   document, in text and JSON;
 //! * [`server`] — the daemon: accept loops, session reader threads, the
 //!   incremental analysis loop, the status endpoint;
-//! * [`client`] — push/status helpers used by the CLI and tests.
+//! * [`client`] — push/status helpers used by the CLI and tests, with
+//!   resumable reconnect ([`client::push_with`]);
+//! * [`journal`] — crash-safe per-session write-ahead journals and
+//!   startup recovery;
+//! * [`faults`] — the deterministic fault-injection wrapper applying
+//!   `critlock_trace::FaultPlan`s to the client transport.
 //!
 //! ```no_run
 //! use critlock_collector::{start, Addr, CollectorConfig};
@@ -42,13 +47,20 @@
 
 pub mod assembler;
 pub mod client;
+pub mod faults;
+pub mod journal;
 pub mod net;
 pub mod queue;
 pub mod server;
 pub mod snapshot;
 
 pub use assembler::{repair, SessionAssembler};
-pub use client::{fetch_status, fetch_status_text, push};
+pub use client::{
+    fetch_status, fetch_status_text, fetch_status_text_timeout, fetch_status_timeout, push,
+    push_with, PushOptions,
+};
+pub use faults::{FaultState, FaultStream};
+pub use journal::{recover_dir, RecoveredSession, SessionJournal};
 pub use net::{Addr, Listener, Stream};
 pub use queue::{Backpressure, FrameQueue};
 pub use server::{start, CollectorConfig, CollectorHandle};

@@ -148,6 +148,32 @@ impl Stream {
         }
     }
 
+    /// Connect with a bound on how long connection establishment may
+    /// take. For TCP the bound applies per resolved address; Unix-domain
+    /// connects either succeed or fail immediately, so the timeout is
+    /// moot there.
+    pub fn connect_timeout(addr: &Addr, timeout: std::time::Duration) -> io::Result<Stream> {
+        match addr {
+            Addr::Tcp(hostport) => {
+                use std::net::ToSocketAddrs;
+                let mut last = None;
+                for sockaddr in hostport.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sockaddr, timeout) {
+                        Ok(s) => return Ok(Stream::Tcp(s)),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(last.unwrap_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("address {hostport:?} resolved to nothing"),
+                    )
+                }))
+            }
+            Addr::Unix(_) => Self::connect(addr),
+        }
+    }
+
     /// Shut down the write half, signalling end-of-stream to the peer.
     pub fn shutdown_write(&self) -> io::Result<()> {
         match self {
@@ -155,6 +181,52 @@ impl Stream {
             #[cfg(unix)]
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
         }
+    }
+
+    /// Shut down both halves, dropping any in-flight data.
+    pub fn shutdown_both(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+
+    /// Clone the underlying socket handle (reads and writes on the clone
+    /// share the same connection) — used by the collector to answer acks
+    /// on a connection whose read half is owned by the frame decoder.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Bound how long a blocked read may wait. `None` restores blocking
+    /// reads.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Bound how long a blocked write may wait. `None` restores blocking
+    /// writes.
+    pub fn set_write_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    /// Whether an I/O error kind is a read-timeout expiry (the platforms
+    /// disagree: Unix reports `WouldBlock`, Windows `TimedOut`).
+    pub fn is_timeout(err: &io::Error) -> bool {
+        matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
     }
 }
 

@@ -5,8 +5,8 @@
 //!
 //! * one *ingest accept* thread hands each new connection to a dedicated
 //!   *session reader* thread, which performs the stream handshake
-//!   (magic + protocol version) and then decodes frames into that
-//!   session's bounded [`FrameQueue`];
+//!   (magic + protocol version + resume token) and then decodes frames
+//!   into that session's bounded [`FrameQueue`];
 //! * one *analysis* thread periodically drains every session's queue into
 //!   its [`SessionAssembler`] and republishes [`SessionSnapshot`]s at the
 //!   configured interval;
@@ -19,16 +19,33 @@
 //! window (or fills the Unix socket buffer) back to the producer; `Drop`
 //! discards the frame and counts it, which the repair pass in
 //! [`crate::assembler`] is designed to absorb.
+//!
+//! ## Fault tolerance
+//!
+//! A producer that announces a non-empty resume token in its handshake
+//! gets a **resumable session**: the collector replies with the sequence
+//! number of the next frame it expects, so a reconnecting producer
+//! replays only the gap, and duplicate frames from a conservative replay
+//! are skipped by sequence number. With [`CollectorConfig::idle_timeout`]
+//! set, a connection that goes silent is severed and its session is
+//! finalized through the ordinary repair pass (it resumes if the producer
+//! comes back). With [`CollectorConfig::journal_dir`] set, every accepted
+//! frame is appended to a per-session write-ahead journal *before* it is
+//! queued (and therefore before it is ever acknowledged), and a restarted
+//! collector recovers all journaled sessions — acknowledged frames
+//! survive a collector crash.
 
 use crate::assembler::SessionAssembler;
+use crate::journal::{self, SessionJournal};
 use crate::net::{Addr, Listener, Stream};
 use crate::queue::{Backpressure, FrameQueue};
 use crate::snapshot::{CollectorStatus, SessionSnapshot};
-use critlock_trace::stream::{StreamReader, STREAM_VERSION};
-use critlock_trace::Trace;
+use critlock_trace::stream::{write_ack, Frame, StreamReader, STREAM_VERSION};
+use critlock_trace::{Trace, TraceError};
 use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -47,11 +64,19 @@ pub struct CollectorConfig {
     pub snapshot_interval: Duration,
     /// How often the analysis loop polls session queues.
     pub poll_interval: Duration,
+    /// Sever a connection when no frame arrives for this long. The
+    /// session itself survives — it is finalized by the repair pass and
+    /// resumes if its producer reconnects. `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Directory for per-session write-ahead journals. `None` disables
+    /// journaling (a collector crash then loses in-flight sessions).
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl CollectorConfig {
     /// A config with defaults suitable for tests and local profiling:
-    /// 256-frame queues, blocking backpressure, 200 ms snapshots.
+    /// 256-frame queues, blocking backpressure, 200 ms snapshots, no idle
+    /// timeout, no journal.
     pub fn new(ingest_addr: Addr) -> Self {
         CollectorConfig {
             ingest_addr,
@@ -60,20 +85,36 @@ impl CollectorConfig {
             backpressure: Backpressure::Block,
             snapshot_interval: Duration::from_millis(200),
             poll_interval: Duration::from_millis(5),
+            idle_timeout: None,
+            journal_dir: None,
         }
     }
 }
 
-/// One producer connection's state, shared between its reader thread, the
-/// analysis loop and the status endpoint.
+/// One session's state, shared between its reader thread, the analysis
+/// loop and the status endpoint. A session outlives its connections: a
+/// resumable producer may attach, disconnect and re-attach many times.
 struct SessionState {
     id: u64,
     peer: String,
+    /// Resume token from the handshake; empty for anonymous sessions.
+    token: Vec<u8>,
     queue: FrameQueue,
     asm: Mutex<SessionAssembler>,
     /// Set when frames were applied since the last snapshot.
     dirty: AtomicBool,
     snapshot: Mutex<Option<SessionSnapshot>>,
+    /// Sequence number of the next frame this session expects — equal to
+    /// the count of frames durably received (journaled, if enabled).
+    received_seq: AtomicU64,
+    /// Whether a reader thread currently owns this session. At most one
+    /// connection may be attached; concurrent claims are rejected.
+    attached: AtomicBool,
+    /// Write-ahead journal, if journaling is enabled. Dropped (set to
+    /// `None`) if an append fails: availability over durability.
+    journal: Mutex<Option<SessionJournal>>,
+    /// Write half of the live connection (for acks and crash severing).
+    conn: Mutex<Option<Stream>>,
 }
 
 impl SessionState {
@@ -127,7 +168,14 @@ struct Shared {
     sessions: Mutex<Vec<Arc<SessionState>>>,
     sessions_total: AtomicU64,
     rejected_sessions: AtomicU64,
+    timed_out_sessions: AtomicU64,
+    resumed_sessions: AtomicU64,
+    recovered_sessions: AtomicU64,
     shutdown: AtomicBool,
+    /// Analysis-loop pass counter + condvar: [`CollectorHandle::wait_until`]
+    /// sleeps here instead of spinning on wall-clock polls.
+    passes: Mutex<u64>,
+    progress: Condvar,
     config: CollectorConfig,
 }
 
@@ -139,8 +187,16 @@ impl Shared {
             protocol_version: STREAM_VERSION,
             sessions_total: self.sessions_total.load(Ordering::Relaxed),
             rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
+            timed_out_sessions: self.timed_out_sessions.load(Ordering::Relaxed),
+            resumed_sessions: self.resumed_sessions.load(Ordering::Relaxed),
+            recovered_sessions: self.recovered_sessions.load(Ordering::Relaxed),
             sessions: sessions.iter().map(|s| s.current_snapshot()).collect(),
         }
+    }
+
+    fn bump_pass(&self) {
+        *self.passes.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.progress.notify_all();
     }
 }
 
@@ -171,6 +227,36 @@ impl CollectorHandle {
         self.shared.status()
     }
 
+    /// Block until `pred` holds for the collector status or `timeout`
+    /// elapses; returns whether the predicate held. Wakes on every
+    /// analysis pass via a condvar — no wall-clock spinning — so tests
+    /// built on it are paced by the collector, not by sleeps.
+    pub fn wait_until(&self, timeout: Duration, pred: impl Fn(&CollectorStatus) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Evaluate outside the pass lock: status() takes session
+            // locks the analysis loop also needs.
+            if pred(&self.shared.status()) {
+                return true;
+            }
+            let passes = self.shared.passes.lock().unwrap_or_else(|e| e.into_inner());
+            let seen = *passes;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .shared
+                .progress
+                .wait_timeout_while(passes, remaining, |p| *p == seen)
+                .unwrap_or_else(|e| e.into_inner());
+            drop(guard);
+            if Instant::now() >= deadline {
+                return pred(&self.shared.status());
+            }
+        }
+    }
+
     /// The finalized (repaired) trace of a session, if it exists.
     pub fn session_trace(&self, session: u64) -> Option<Trace> {
         let sessions = self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
@@ -183,12 +269,40 @@ impl CollectorHandle {
 
     /// Stop accepting connections, finish pending analysis and join the
     /// daemon threads. Sessions still connected are finalized as
-    /// disconnects.
+    /// disconnects; journals are synced to disk.
     pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        // Unblock any reader parked on a full queue, then poke the accept
-        // loops so they notice the flag.
+        self.stop();
+        // Graceful drain: fold anything the analysis loop left behind and
+        // make every journal durable.
         for session in self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            session.apply_pending();
+            if session.dirty.load(Ordering::Acquire) {
+                session.refresh_snapshot();
+            }
+            if let Some(journal) =
+                session.journal.lock().unwrap_or_else(|e| e.into_inner()).as_mut()
+            {
+                let _ = journal.sync();
+            }
+        }
+    }
+
+    /// Tear the daemon down *without* the graceful drain — connections are
+    /// severed abruptly and no final journal sync happens. Approximates a
+    /// collector crash for recovery testing: everything a restarted
+    /// collector may rely on must already be in the write-ahead journal.
+    pub fn crash(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Sever live connections and unblock any reader parked on a full
+        // queue, then poke the accept loops so they notice the flag.
+        for session in self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            if let Some(conn) = session.conn.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                let _ = conn.shutdown_both();
+            }
             session.queue.close();
         }
         let _ = Stream::connect(&self.ingest_addr);
@@ -201,7 +315,24 @@ impl CollectorHandle {
     }
 }
 
-/// Bind the configured addresses and start the daemon threads.
+/// The highest `anon-N` journal index already present in a journal
+/// directory, so restarted collectors never truncate an earlier run's
+/// anonymous journal by reusing its session id.
+fn max_anon_index(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let path = e.path();
+            let stem = path.file_stem()?.to_str()?;
+            stem.strip_prefix("anon-")?.parse::<u64>().ok().map(|n| n + 1)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Bind the configured addresses, recover journaled sessions (if a
+/// journal directory is configured) and start the daemon threads.
 pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
     let ingest = Listener::bind(&config.ingest_addr)?;
     let ingest_addr = ingest.bound_addr()?;
@@ -214,13 +345,57 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         None => None,
     };
 
+    // Crash recovery: replay every journal in the directory into a
+    // pre-populated session before any producer can connect.
+    let mut recovered = Vec::new();
+    let mut first_id = 0u64;
+    if let Some(dir) = &config.journal_dir {
+        std::fs::create_dir_all(dir)?;
+        first_id = max_anon_index(dir);
+        let (sessions, _unreadable) = journal::recover_dir(dir)?;
+        recovered = sessions;
+    }
+
     let shared = Arc::new(Shared {
         sessions: Mutex::new(Vec::new()),
-        sessions_total: AtomicU64::new(0),
+        sessions_total: AtomicU64::new(first_id),
         rejected_sessions: AtomicU64::new(0),
+        timed_out_sessions: AtomicU64::new(0),
+        resumed_sessions: AtomicU64::new(0),
+        recovered_sessions: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
+        passes: Mutex::new(0),
+        progress: Condvar::new(),
         config: config.clone(),
     });
+
+    for rec in recovered {
+        let id = shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+        let peer = format!(
+            "journal:{}",
+            rec.journal.path().file_name().and_then(|n| n.to_str()).unwrap_or("?")
+        );
+        let mut asm = SessionAssembler::new();
+        let frames = rec.frames.len() as u64;
+        for frame in rec.frames {
+            asm.apply(frame);
+        }
+        let session = Arc::new(SessionState {
+            id,
+            peer,
+            token: rec.token,
+            queue: FrameQueue::new(config.queue_capacity, config.backpressure),
+            asm: Mutex::new(asm),
+            dirty: AtomicBool::new(true),
+            snapshot: Mutex::new(None),
+            received_seq: AtomicU64::new(frames),
+            attached: AtomicBool::new(false),
+            journal: Mutex::new(Some(rec.journal)),
+            conn: Mutex::new(None),
+        });
+        shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(session);
+        shared.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+    }
 
     let mut threads = Vec::new();
 
@@ -256,9 +431,59 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) {
     }
 }
 
+/// Look up the session a resumable handshake refers to, or create a new
+/// session (resumable or anonymous). Returns `None` when the session
+/// exists but another connection is already attached to it.
+fn claim_session(
+    shared: &Arc<Shared>,
+    token: &[u8],
+    peer: String,
+) -> Option<(Arc<SessionState>, bool)> {
+    let mut sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
+    if !token.is_empty() {
+        if let Some(session) = sessions.iter().find(|s| s.token == token).cloned() {
+            drop(sessions);
+            if session.attached.swap(true, Ordering::AcqRel) {
+                // Another reader owns this session: reject the duplicate
+                // connection; the producer retries with backoff.
+                return None;
+            }
+            return Some((session, true));
+        }
+    }
+    let id = shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    let journal = shared.config.journal_dir.as_deref().and_then(|dir| {
+        // A journal that cannot be created degrades the session to
+        // unjournaled rather than refusing the producer.
+        SessionJournal::create(dir, token, id).ok()
+    });
+    let session = Arc::new(SessionState {
+        id,
+        peer,
+        token: token.to_vec(),
+        queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
+        asm: Mutex::new(SessionAssembler::new()),
+        dirty: AtomicBool::new(true),
+        snapshot: Mutex::new(None),
+        received_seq: AtomicU64::new(0),
+        attached: AtomicBool::new(true),
+        journal: Mutex::new(journal),
+        conn: Mutex::new(None),
+    });
+    sessions.push(Arc::clone(&session));
+    Some((session, false))
+}
+
 fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
-    // Handshake: magic + version are read here, so an incompatible
-    // producer is rejected before a session is created.
+    if let Some(idle) = shared.config.idle_timeout {
+        let _ = stream.set_read_timeout(Some(idle));
+    }
+    // The write half for acks: the read half is about to be owned by the
+    // frame decoder.
+    let ack_conn = stream.try_clone().ok();
+
+    // Handshake: magic + version (+ resume token) are read here, so an
+    // incompatible producer is rejected before a session is created.
     let mut reader = match StreamReader::new(BufReader::new(stream)) {
         Ok(reader) => reader,
         Err(_) => {
@@ -266,23 +491,93 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
             return;
         }
     };
+    let handshake = reader.handshake().clone();
 
-    let id = shared.sessions_total.fetch_add(1, Ordering::Relaxed);
-    let session = Arc::new(SessionState {
-        id,
-        peer,
-        queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
-        asm: Mutex::new(SessionAssembler::new()),
-        dirty: AtomicBool::new(true),
-        snapshot: Mutex::new(None),
-    });
-    shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&session));
-
-    // Clean EOF or a decode error both end the session; whatever arrived
-    // is finalized by the repair pass.
-    while let Ok(Some(frame)) = reader.next_frame() {
-        session.queue.push(frame);
+    let Some((session, resumed)) = claim_session(&shared, &handshake.token, peer) else {
+        return;
+    };
+    if resumed {
+        shared.resumed_sessions.fetch_add(1, Ordering::Relaxed);
     }
+    *session.conn.lock().unwrap_or_else(|e| e.into_inner()) = ack_conn;
+
+    // Resumable producers get told where to (re)start: the next sequence
+    // number this session expects. A session whose ack cannot be written
+    // is severed — the producer would otherwise replay blindly.
+    if handshake.resumable() {
+        let acked = {
+            let mut conn = session.conn.lock().unwrap_or_else(|e| e.into_inner());
+            match conn.as_mut() {
+                Some(c) => write_ack(c, session.received_seq.load(Ordering::Acquire)).is_ok(),
+                None => false,
+            }
+        };
+        if !acked {
+            session.attached.store(false, Ordering::Release);
+            return;
+        }
+    }
+
+    // Frame loop. Frame i of this connection carries implicit sequence
+    // number `start_seq + i`; frames the session already holds (a replay
+    // overlap) are skipped, and the journal append happens *before* the
+    // queue push so acknowledgements only ever cover durable frames.
+    let mut seq = handshake.start_seq;
+    let mut timed_out = false;
+    loop {
+        match reader.next_frame() {
+            Ok(Some(frame)) => {
+                let expected = session.received_seq.load(Ordering::Acquire);
+                if seq < expected {
+                    seq += 1;
+                    continue;
+                }
+                if seq > expected {
+                    // The producer skipped ahead — a protocol violation
+                    // (or an ack it never saw). Force a re-handshake.
+                    break;
+                }
+                let is_end = matches!(frame, Frame::End);
+                {
+                    let mut journal = session.journal.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(j) = journal.as_mut() {
+                        if j.append(&frame).is_err() {
+                            *journal = None;
+                        } else if is_end {
+                            let _ = j.sync();
+                        }
+                    }
+                }
+                session.queue.push(frame);
+                seq += 1;
+                session.received_seq.store(seq, Ordering::Release);
+            }
+            Ok(None) => break,
+            Err(TraceError::Io(ref e)) if Stream::is_timeout(e) => {
+                timed_out = true;
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    if timed_out {
+        shared.timed_out_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Tell a resumable producer how far this connection got (best effort
+    // — the wire may already be gone), then release the session.
+    let mut conn = session.conn.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = conn.as_mut() {
+        if handshake.resumable() {
+            let _ = write_ack(c, session.received_seq.load(Ordering::Acquire));
+        }
+        if timed_out {
+            let _ = c.shutdown_both();
+        }
+    }
+    *conn = None;
+    drop(conn);
+    session.attached.store(false, Ordering::Release);
     session.dirty.store(true, Ordering::Release);
 }
 
@@ -303,6 +598,7 @@ fn analysis_loop(shared: Arc<Shared>) {
             }
             last_publish = Instant::now();
         }
+        shared.bump_pass();
         if stopping {
             break;
         }
@@ -329,7 +625,9 @@ fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
     reader.read_line(&mut line)?;
     let status = shared.status();
     let reply = match line.trim() {
-        "status json" => status.render_json(),
+        "status json" => {
+            status.render_json().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
         _ => status.render_text(),
     };
     let mut stream = reader.into_inner();

@@ -50,6 +50,14 @@ pub struct CollectorStatus {
     /// Connections rejected at the handshake (bad magic or an
     /// incompatible protocol version).
     pub rejected_sessions: u64,
+    /// Connections severed because no frame arrived within the idle
+    /// timeout.
+    pub timed_out_sessions: u64,
+    /// Reconnections that successfully resumed an existing session by
+    /// token.
+    pub resumed_sessions: u64,
+    /// Sessions recovered from write-ahead journals at startup.
+    pub recovered_sessions: u64,
     /// One snapshot per live or completed session, ordered by session id.
     pub sessions: Vec<SessionSnapshot>,
 }
@@ -92,6 +100,21 @@ impl CollectorStatus {
             "critlock collector: protocol v{}, {} session(s)",
             self.protocol_version, self.sessions_total
         );
+        if self.rejected_sessions
+            + self.timed_out_sessions
+            + self.resumed_sessions
+            + self.recovered_sessions
+            > 0
+        {
+            let _ = writeln!(
+                out,
+                "  rejected={} timed_out={} resumed={} recovered={}",
+                self.rejected_sessions,
+                self.timed_out_sessions,
+                self.resumed_sessions,
+                self.recovered_sessions,
+            );
+        }
         for snap in &self.sessions {
             let state = if snap.ended { "ended" } else { "live" };
             let _ = writeln!(
@@ -132,8 +155,8 @@ impl CollectorStatus {
     }
 
     /// Render the status as JSON (the `status json` reply).
-    pub fn render_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("status serialization cannot fail")
+    pub fn render_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
     }
 
     /// Parse a JSON status reply (used by tests and `critlock status`).
@@ -184,9 +207,12 @@ mod tests {
             protocol_version: critlock_trace::stream::STREAM_VERSION,
             sessions_total: 1,
             rejected_sessions: 0,
+            timed_out_sessions: 1,
+            resumed_sessions: 2,
+            recovered_sessions: 3,
             sessions: vec![SessionSnapshot::compute(7, "unix".into(), &asm, 3, 4, 2)],
         };
-        let json = status.render_json();
+        let json = status.render_json().unwrap();
         let parsed = CollectorStatus::parse_json(&json).unwrap();
         assert_eq!(parsed, status);
         assert!(status.render_text().contains("hot"));

@@ -5,14 +5,14 @@
 use critlock_analysis::{analyze, validate::check_trace};
 use critlock_collector::{
     fetch_status, fetch_status_text, push, start, Addr, Backpressure, CollectorConfig,
-    CollectorHandle, Stream,
+    CollectorHandle, CollectorStatus, Stream,
 };
 use critlock_instrument::{spawn, Session};
 use critlock_trace::stream::{Frame, StreamWriter};
 use critlock_trace::{Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, Trace, TraceMeta};
 use std::io::Write;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn test_config() -> CollectorConfig {
     let mut config = CollectorConfig::new(Addr::parse("127.0.0.1:0").unwrap());
@@ -20,13 +20,12 @@ fn test_config() -> CollectorConfig {
     config
 }
 
+/// Wait for a collector-status condition without wall-clock spinning:
+/// [`CollectorHandle::wait_until`] parks on the analysis loop's progress
+/// condvar, so the test is paced by the collector, not by sleeps.
 #[track_caller]
-fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while !cond() {
-        assert!(Instant::now() < deadline, "timeout waiting for {what}");
-        std::thread::sleep(Duration::from_millis(10));
-    }
+fn wait_for(handle: &CollectorHandle, what: &str, pred: impl Fn(&CollectorStatus) -> bool) {
+    assert!(handle.wait_until(Duration::from_secs(30), pred), "timeout waiting for {what}");
 }
 
 /// Two threads contending on one lock plus an uncontended one.
@@ -65,14 +64,7 @@ fn pushed_trace_snapshot_matches_offline_analyze_exactly() {
     let sent = push(handle.ingest_addr(), &trace, Some(Duration::from_millis(1))).unwrap();
     assert!(sent >= 6); // Start, Objects, 2×Thread, ≥1 Events, End
 
-    wait_until(
-        || {
-            fetch_status(&status_addr)
-                .map(|s| s.sessions.len() == 1 && s.sessions[0].ended)
-                .unwrap_or(false)
-        },
-        "pushed session to end",
-    );
+    wait_for(&handle, "pushed session to end", |s| s.sessions.len() == 1 && s.sessions[0].ended);
 
     // The acceptance criterion: live snapshot == `critlock analyze`.
     let status = fetch_status(&status_addr).unwrap();
@@ -115,10 +107,9 @@ fn real_thread_session_streams_to_collector() {
     }
     let local = session.finish().unwrap();
 
-    wait_until(
-        || handle.status().sessions.first().is_some_and(|s| s.ended),
-        "streamed session to end",
-    );
+    wait_for(&handle, "streamed session to end", |s| {
+        s.sessions.first().is_some_and(|snap| snap.ended)
+    });
 
     let server_trace = handle.session_trace(0).unwrap();
     // Acceptance criterion: zero validation errors on the collector side.
@@ -162,10 +153,9 @@ fn mid_critical_section_disconnect_is_finalized() {
     writer.flush().unwrap();
     drop(writer); // dies holding L, contended on M, with no End frame
 
-    wait_until(
-        || handle.status().sessions.first().is_some_and(|s| s.frames == 4),
-        "disconnected session frames to be applied",
-    );
+    wait_for(&handle, "disconnected session frames to be applied", |s| {
+        s.sessions.first().is_some_and(|snap| snap.frames == 4)
+    });
 
     let status = handle.status();
     let snap = &status.sessions[0];
@@ -220,14 +210,9 @@ fn block_backpressure_loses_nothing() {
     let trace = big_trace();
     push(handle.ingest_addr(), &trace, None).unwrap();
 
-    wait_until(
-        || {
-            fetch_status(&status_addr)
-                .map(|s| s.sessions.first().is_some_and(|snap| snap.ended))
-                .unwrap_or(false)
-        },
-        "blocked push to complete",
-    );
+    wait_for(&handle, "blocked push to complete", |s| {
+        s.sessions.first().is_some_and(|snap| snap.ended)
+    });
 
     let status = fetch_status(&status_addr).unwrap();
     let snap = &status.sessions[0];
@@ -246,7 +231,7 @@ fn incompatible_handshake_is_rejected() {
     stream.flush().unwrap();
     drop(stream);
 
-    wait_until(|| handle.status().rejected_sessions == 1, "handshake rejection");
+    wait_for(&handle, "handshake rejection", |s| s.rejected_sessions == 1);
     let status = handle.status();
     assert_eq!(status.sessions_total, 0);
     assert!(status.sessions.is_empty());

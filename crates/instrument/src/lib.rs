@@ -40,6 +40,7 @@
 mod barrier;
 mod condvar;
 mod mutex;
+mod resume;
 mod rwlock;
 mod session;
 mod thread;

@@ -1,0 +1,303 @@
+//! Frame sinks for live streaming, including the fault-tolerant one.
+//!
+//! A [`Session`](crate::Session) streams frames through a [`FrameSink`]:
+//! either a [`PlainSink`] (one shot over an arbitrary `Write`, dropped on
+//! the first error — the original `stream_to` behavior) or a
+//! [`ResumableSink`], which keeps every frame it has ever written in a
+//! replay buffer and survives collector restarts. On any transport error
+//! the resumable sink reconnects with capped exponential backoff, resends
+//! its resume token in the CLSM handshake, reads back the sequence number
+//! the collector has durably received, and replays the gap. The extra
+//! memory — a second copy of the event stream for the session's lifetime
+//! — is the price of being able to resume after the collector itself
+//! crashed and recovered from its journal.
+//!
+//! The sequence-number contract mirrors `critlock_collector::push_with`:
+//! the collector numbers a connection's frames from the handshake's
+//! `start_seq`, so the replay always starts exactly there; frames the
+//! collector already holds are skipped server-side by sequence number,
+//! and the initial ack only feeds progress accounting.
+
+use critlock_trace::stream::{read_ack, Frame, Handshake, StreamWriter};
+use critlock_trace::{RetryPolicy, TraceError};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long a resumable sink waits for an acknowledgement before treating
+/// the collector as unreachable and reconnecting.
+const ACK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Where a live session's frames go. Implementations decide what a write
+/// failure means: [`PlainSink`] surfaces it (and the session detaches the
+/// sink), [`ResumableSink`] reconnects and replays first.
+pub(crate) trait FrameSink: Send {
+    /// Write one frame.
+    fn write_frame(&mut self, frame: &Frame) -> critlock_trace::Result<()>;
+    /// Flush buffered bytes to the transport.
+    fn flush(&mut self) -> critlock_trace::Result<()>;
+    /// Close the stream after the final frame; a resumable sink verifies
+    /// here that the collector acknowledged everything.
+    fn close(&mut self) -> critlock_trace::Result<()>;
+}
+
+/// The one-shot sink: a `StreamWriter` over an arbitrary byte sink.
+pub(crate) struct PlainSink {
+    writer: StreamWriter<Box<dyn Write + Send>>,
+}
+
+impl PlainSink {
+    /// Write the CLSM header to `sink` and wrap it.
+    pub(crate) fn new(sink: Box<dyn Write + Send>) -> critlock_trace::Result<PlainSink> {
+        Ok(PlainSink { writer: StreamWriter::new(sink)? })
+    }
+}
+
+impl FrameSink for PlainSink {
+    fn write_frame(&mut self, frame: &Frame) -> critlock_trace::Result<()> {
+        self.writer.write_frame(frame)
+    }
+
+    fn flush(&mut self) -> critlock_trace::Result<()> {
+        self.writer.flush()
+    }
+
+    fn close(&mut self) -> critlock_trace::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// A connected collector transport (`unix:/path` or `host:port`).
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn connect(addr: &str) -> io::Result<Conn> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                return Ok(Conn::Unix(std::os::unix::net::UnixStream::connect(path)?));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not supported on this platform",
+                ));
+            }
+        }
+        Ok(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    fn set_timeouts(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+
+    fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The fault-tolerant sink behind [`Session::stream_to_resumable`]
+/// (see the module docs for the protocol).
+///
+/// [`Session::stream_to_resumable`]: crate::Session::stream_to_resumable
+pub(crate) struct ResumableSink {
+    addr: String,
+    token: Vec<u8>,
+    policy: RetryPolicy,
+    /// Every frame ever written, in order; `frames[acked..]` is the
+    /// replay gap after a reconnect.
+    frames: Vec<Frame>,
+    /// Highest sequence number the collector has acknowledged.
+    acked: u64,
+    conn: Option<Conn>,
+}
+
+impl ResumableSink {
+    /// Connect to `addr` and perform the resumable handshake. Fails fast:
+    /// the *initial* connection does not retry, so a typo'd address
+    /// surfaces immediately instead of after the backoff budget.
+    pub(crate) fn connect(
+        addr: &str,
+        token: Vec<u8>,
+        policy: RetryPolicy,
+    ) -> io::Result<ResumableSink> {
+        let mut sink = ResumableSink {
+            addr: addr.to_string(),
+            token,
+            policy,
+            frames: Vec::new(),
+            acked: 0,
+            conn: None,
+        };
+        sink.try_connect()?;
+        Ok(sink)
+    }
+
+    /// One connection attempt: handshake announcing `acked` as the start
+    /// sequence, read the collector's ack, replay `frames[start..]`.
+    fn try_connect(&mut self) -> io::Result<()> {
+        let mut conn = Conn::connect(&self.addr)?;
+        conn.set_timeouts(Some(ACK_TIMEOUT))?;
+        let start = self.acked.min(self.frames.len() as u64) as usize;
+        let handshake = Handshake { token: self.token.clone(), start_seq: start as u64 };
+        {
+            let mut writer = StreamWriter::with_handshake(&mut conn, &handshake).map_err(to_io)?;
+            writer.flush().map_err(to_io)?;
+        }
+        let ack = read_ack(&mut conn).map_err(to_io)?;
+        self.acked = self.acked.max(ack.min(self.frames.len() as u64));
+        {
+            let mut writer = StreamWriter::append(&mut conn);
+            for frame in &self.frames[start..] {
+                writer.write_frame(frame).map_err(to_io)?;
+            }
+            writer.flush().map_err(to_io)?;
+        }
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    /// Reconnect with backoff until the retry budget is spent. On
+    /// success the connection is re-established and the gap replayed.
+    fn recover(&mut self) -> critlock_trace::Result<()> {
+        self.conn = None;
+        let budget = self.policy.max_attempts.max(1);
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..budget {
+            std::thread::sleep(self.policy.backoff(attempt));
+            match self.try_connect() {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(TraceError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "reconnect budget exhausted")
+        })))
+    }
+
+    /// Send one frame on the live connection, if there is one.
+    fn send(&mut self, frame: &Frame) -> critlock_trace::Result<()> {
+        match self.conn.as_mut() {
+            Some(conn) => StreamWriter::append(conn).write_frame(frame),
+            None => Err(TraceError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "collector connection lost",
+            ))),
+        }
+    }
+}
+
+impl FrameSink for ResumableSink {
+    fn write_frame(&mut self, frame: &Frame) -> critlock_trace::Result<()> {
+        self.frames.push(frame.clone());
+        if self.conn.is_some() && self.send(frame).is_ok() {
+            return Ok(());
+        }
+        // The frame is in the replay buffer; recovery resends it along
+        // with everything else the collector has not acknowledged.
+        self.recover()
+    }
+
+    fn flush(&mut self) -> critlock_trace::Result<()> {
+        match self.conn.as_mut() {
+            Some(conn) => match conn.flush() {
+                Ok(()) => Ok(()),
+                Err(_) => self.recover(),
+            },
+            None => self.recover(),
+        }
+    }
+
+    /// Half-close and wait for the final ack to cover every frame,
+    /// reconnecting and replaying if it does not. Ack progress refunds
+    /// the attempt, mirroring `push_with`.
+    fn close(&mut self) -> critlock_trace::Result<()> {
+        let total = self.frames.len() as u64;
+        let budget = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            if let Some(mut conn) = self.conn.take() {
+                let outcome = conn
+                    .flush()
+                    .and_then(|()| conn.shutdown_write())
+                    .and_then(|()| read_ack(&mut conn).map_err(to_io));
+                match outcome {
+                    Ok(ack) if ack >= total => return Ok(()),
+                    Ok(ack) => {
+                        if ack > self.acked {
+                            self.acked = ack.min(total);
+                            attempt = 0;
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+            attempt += 1;
+            if attempt >= budget {
+                return Err(TraceError::Decode(format!(
+                    "stream close: collector acked {}/{} frames",
+                    self.acked, total
+                )));
+            }
+            std::thread::sleep(self.policy.backoff(attempt - 1));
+            // A failed reconnect leaves `conn` empty; the next loop
+            // iteration then burns another attempt.
+            let _ = self.try_connect();
+        }
+    }
+}
+
+fn to_io(e: TraceError) -> io::Error {
+    match e {
+        TraceError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}

@@ -13,16 +13,17 @@
 //! anchored at session creation — the portable stand-in for the paper's
 //! `mftb`/`rdtsc` user-space timestamp reads.
 
-use critlock_trace::stream::{Frame, StreamWriter, EVENTS_PER_FRAME};
+use crate::resume::{FrameSink, PlainSink, ResumableSink};
+use critlock_trace::stream::{Frame, EVENTS_PER_FRAME};
 use critlock_trace::{
-    ClockDomain, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace,
-    TraceMeta,
+    ClockDomain, Event, EventKind, ObjId, ObjInfo, ObjKind, RetryPolicy, ThreadId, ThreadStream,
+    Trace, TraceMeta,
 };
 use parking_lot::Mutex as PlMutex;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::io::Write;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,10 +31,10 @@ use std::time::Instant;
 /// frame to a live sink attached with [`Session::stream_to`].
 pub const STREAM_FLUSH_EVENTS: usize = 128;
 
-/// Live-streaming sink state: the frame writer plus what has already been
+/// Live-streaming sink state: the frame sink plus what has already been
 /// announced on the wire.
 struct SinkState {
-    writer: StreamWriter<Box<dyn Write + Send>>,
+    sink: Box<dyn FrameSink>,
     objects_sent: usize,
     announced: BTreeSet<ThreadId>,
 }
@@ -86,7 +87,7 @@ impl SessionInner {
             };
             state.objects_sent = objects.len();
             drop(objects);
-            state.writer.write_frame(&frame)?;
+            state.sink.write_frame(&frame)?;
         }
         Ok(())
     }
@@ -100,12 +101,12 @@ impl SessionInner {
     ) -> critlock_trace::Result<()> {
         self.sync_objects(state)?;
         if state.announced.insert(tid) {
-            state.writer.write_frame(&Frame::Thread { tid, name })?;
+            state.sink.write_frame(&Frame::Thread { tid, name })?;
         }
         for chunk in events.chunks(EVENTS_PER_FRAME) {
-            state.writer.write_frame(&Frame::Events { tid, events: chunk.to_vec() })?;
+            state.sink.write_frame(&Frame::Events { tid, events: chunk.to_vec() })?;
         }
-        state.writer.flush()
+        state.sink.flush()
     }
 
     /// Push a thread's pending events to the live sink, if one is
@@ -125,7 +126,7 @@ impl SessionInner {
         let mut guard = self.sink.lock();
         let Some(state) = guard.as_mut() else { return };
         let frame = Frame::Param { key: key.to_string(), value: value.to_string() };
-        if state.writer.write_frame(&frame).and_then(|()| state.writer.flush()).is_err() {
+        if state.sink.write_frame(&frame).and_then(|()| state.sink.flush()).is_err() {
             *guard = None;
         }
     }
@@ -262,14 +263,40 @@ impl Session {
         &self,
         sink: impl Write + Send + 'static,
     ) -> critlock_trace::Result<()> {
-        let mut writer = StreamWriter::new(Box::new(sink) as Box<dyn Write + Send>)?;
+        self.attach_sink(Box::new(PlainSink::new(Box::new(sink))?))
+    }
+
+    /// Stream this session live to a collector at `addr` with
+    /// reconnect-and-resume: the sink keeps a replay buffer of every
+    /// frame it has sent, and on any transport error — including the
+    /// collector being restarted — it reconnects with capped exponential
+    /// backoff per `policy`, presents its resume token, and replays the
+    /// frames the collector has not acknowledged. [`Session::finish`]
+    /// then waits (within the same budget) for the collector's final
+    /// acknowledgement to cover the whole stream.
+    ///
+    /// Costs a second in-memory copy of the frame stream for the
+    /// session's lifetime; use [`Session::stream_to`] when resume is not
+    /// worth that.
+    pub fn stream_to_resumable(&self, addr: &str, policy: RetryPolicy) -> std::io::Result<()> {
+        static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let token = format!("session:{}:{}:{}", self.inner.app, std::process::id(), n).into_bytes();
+        let sink = ResumableSink::connect(addr, token, policy)?;
+        self.attach_sink(Box::new(sink))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Announce the session (Start, params, objects, finished threads)
+    /// through `sink` and install it as the live sink.
+    fn attach_sink(&self, sink: Box<dyn FrameSink>) -> critlock_trace::Result<()> {
+        let mut state = SinkState { sink, objects_sent: 0, announced: BTreeSet::new() };
         let mut meta = TraceMeta::named(self.inner.app.clone());
         meta.clock = ClockDomain::RealNs;
-        writer.write_frame(&Frame::Start { meta })?;
+        state.sink.write_frame(&Frame::Start { meta })?;
         for (key, value) in self.inner.params.lock().iter() {
-            writer.write_frame(&Frame::Param { key: key.clone(), value: value.clone() })?;
+            state.sink.write_frame(&Frame::Param { key: key.clone(), value: value.clone() })?;
         }
-        let mut state = SinkState { writer, objects_sent: 0, announced: BTreeSet::new() };
         self.inner.sync_objects(&mut state)?;
 
         // Install under the sink lock, replaying already-finished threads
@@ -283,7 +310,7 @@ impl Session {
         for (tid, name, events) in self.inner.flushed.lock().iter() {
             self.inner.write_thread_events(&mut state, *tid, name.clone(), events)?;
         }
-        state.writer.flush()?;
+        state.sink.flush()?;
         *guard = Some(state);
         Ok(())
     }
@@ -337,7 +364,9 @@ impl Session {
         uninstall_ctx();
 
         // Close the live stream, if any: final params, an `End` frame and
-        // a flush. Best-effort — a dead collector must not fail finish().
+        // the sink's close (which for a resumable sink waits for the
+        // collector's final ack, reconnecting if needed). Best-effort — a
+        // dead collector must not fail finish().
         if let Some(mut state) = self.inner.sink.lock().take() {
             let traced = self.inner.next_tid.load(Ordering::Relaxed).to_string();
             let _ = self
@@ -345,11 +374,11 @@ impl Session {
                 .sync_objects(&mut state)
                 .and_then(|()| {
                     state
-                        .writer
+                        .sink
                         .write_frame(&Frame::Param { key: "traced_threads".into(), value: traced })
                 })
-                .and_then(|()| state.writer.write_frame(&Frame::End))
-                .and_then(|()| state.writer.flush());
+                .and_then(|()| state.sink.write_frame(&Frame::End))
+                .and_then(|()| state.sink.close());
         }
 
         let mut meta = TraceMeta::named(self.inner.app.clone());

@@ -1,0 +1,308 @@
+//! Deterministic, script-driven fault plans for the streaming transport.
+//!
+//! A [`FaultPlan`] describes *where in the byte stream* a transport fault
+//! fires and *what it does* — sever the connection, tear or corrupt a
+//! frame, stall, or drip bytes slow-loris style. Plans are seedless: the
+//! same plan applied to the same frame stream produces the same faulty
+//! byte sequence every time, which is what makes a reported failure
+//! reproducible from the command line (`critlock push --fault-plan ...`).
+//!
+//! This module is pure data — parsing, rendering and the built-in plan
+//! catalog. The wrapper that actually applies a plan to a socket lives in
+//! the collector crate (`critlock_collector::faults`), next to the
+//! transport it wraps.
+//!
+//! ## Plan syntax
+//!
+//! A plan is a `;`-separated list of actions, each anchored at an
+//! absolute byte offset of the written stream:
+//!
+//! | action             | meaning                                           |
+//! |--------------------|---------------------------------------------------|
+//! | `cut@N`            | sever the connection once N bytes have been sent  |
+//! | `trunc@N+M`        | at offset N, silently discard M bytes, then sever |
+//! | `flip@N`           | XOR the byte at offset N with 0x40                |
+//! | `stall@N:MS`       | at offset N, stop writing for MS milliseconds     |
+//! | `loris@N:CHUNK:MS` | from offset N on, write CHUNK bytes every MS ms   |
+//!
+//! Example: `cut@4096;flip@9000` severs the first connection after 4 KiB
+//! and, once the producer has reconnected and streamed past byte 9000
+//! (cumulative), corrupts one frame.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The bit mask `flip@N` applies to the targeted byte.
+pub const FLIP_MASK: u8 = 0x40;
+
+/// One transport fault, anchored at an absolute byte offset of the
+/// written stream. Offsets are cumulative across reconnects, and every
+/// action fires at most once per plan execution (except
+/// [`FaultAction::SlowLoris`], which stays in effect once triggered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sever the connection once `at` bytes have been written.
+    Cut {
+        /// Byte offset at which the connection is severed.
+        at: u64,
+    },
+    /// At offset `at`, silently discard `drop` bytes (acknowledging them
+    /// to the writer as sent), then sever — the receiving end observes a
+    /// torn frame.
+    Truncate {
+        /// Byte offset at which truncation starts.
+        at: u64,
+        /// Number of bytes discarded before the connection is severed.
+        drop: u64,
+    },
+    /// XOR the byte at offset `at` with [`FLIP_MASK`] — a single-frame
+    /// corruption the per-frame CRC must catch.
+    BitFlip {
+        /// Byte offset of the corrupted byte.
+        at: u64,
+    },
+    /// At offset `at`, stop writing for `millis` milliseconds — an
+    /// apparently-alive but silent producer, the case idle read timeouts
+    /// exist for.
+    Stall {
+        /// Byte offset at which the stall begins.
+        at: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// From offset `at` on, write at most `chunk` bytes per syscall and
+    /// sleep `millis` milliseconds between chunks — a slow-loris
+    /// producer.
+    SlowLoris {
+        /// Byte offset at which pacing starts.
+        at: u64,
+        /// Maximum bytes per write once pacing is active.
+        chunk: u64,
+        /// Sleep between chunks in milliseconds.
+        millis: u64,
+    },
+}
+
+impl FaultAction {
+    /// The byte offset at which this action triggers.
+    pub fn offset(&self) -> u64 {
+        match *self {
+            FaultAction::Cut { at }
+            | FaultAction::Truncate { at, .. }
+            | FaultAction::BitFlip { at }
+            | FaultAction::Stall { at, .. }
+            | FaultAction::SlowLoris { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultAction::Cut { at } => write!(f, "cut@{at}"),
+            FaultAction::Truncate { at, drop } => write!(f, "trunc@{at}+{drop}"),
+            FaultAction::BitFlip { at } => write!(f, "flip@{at}"),
+            FaultAction::Stall { at, millis } => write!(f, "stall@{at}:{millis}"),
+            FaultAction::SlowLoris { at, chunk, millis } => {
+                write!(f, "loris@{at}:{chunk}:{millis}")
+            }
+        }
+    }
+}
+
+/// A named, ordered list of [`FaultAction`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Human-readable plan name (a built-in name, or `"custom"` for
+    /// parsed specs).
+    pub name: String,
+    /// The actions, sorted by trigger offset.
+    pub actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit actions; actions are sorted by offset.
+    pub fn new(name: impl Into<String>, mut actions: Vec<FaultAction>) -> Self {
+        actions.sort_by_key(|a| a.offset());
+        FaultPlan { name: name.into(), actions }
+    }
+
+    /// Resolve a built-in plan by name. The catalog covers one plan per
+    /// fault class the collector must tolerate:
+    ///
+    /// * `disconnect` — two clean connection cuts;
+    /// * `truncation` — a torn frame (partial write, then cut);
+    /// * `bit-flip` — one corrupted byte mid-stream;
+    /// * `stall` — a producer that goes silent for 900 ms;
+    /// * `slow-loris` — a producer dripping 13-byte writes.
+    pub fn builtin(name: &str) -> Option<FaultPlan> {
+        let actions: Vec<FaultAction> = match name {
+            "disconnect" => vec![FaultAction::Cut { at: 900 }, FaultAction::Cut { at: 2500 }],
+            "truncation" => vec![FaultAction::Truncate { at: 1100, drop: 9 }],
+            "bit-flip" => vec![FaultAction::BitFlip { at: 1200 }],
+            "stall" => vec![FaultAction::Stall { at: 800, millis: 900 }],
+            "slow-loris" => vec![FaultAction::SlowLoris { at: 0, chunk: 13, millis: 1 }],
+            _ => return None,
+        };
+        Some(FaultPlan::new(name, actions))
+    }
+
+    /// The names of every built-in plan, in matrix-test order.
+    pub fn builtin_names() -> &'static [&'static str] {
+        &["disconnect", "truncation", "bit-flip", "stall", "slow-loris"]
+    }
+
+    /// Every built-in plan (the fault matrix).
+    pub fn all_builtin() -> Vec<FaultPlan> {
+        Self::builtin_names().iter().filter_map(|n| Self::builtin(n)).collect()
+    }
+
+    /// Resolve a CLI argument: a built-in name, or a parsed action spec.
+    pub fn resolve(spec: &str) -> Result<FaultPlan, String> {
+        if let Some(plan) = Self::builtin(spec) {
+            return Ok(plan);
+        }
+        spec.parse()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("invalid {what} `{s}` in fault spec"))
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parse a `;`-separated action spec (see the module docs for the
+    /// grammar). Not a built-in lookup — use [`FaultPlan::resolve`] for
+    /// CLI arguments.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut actions = Vec::new();
+        for part in s.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (verb, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault action `{part}` is missing `@OFFSET`"))?;
+            let action = match verb {
+                "cut" => FaultAction::Cut { at: parse_u64(rest, "offset")? },
+                "trunc" => {
+                    let (at, drop) = rest
+                        .split_once('+')
+                        .ok_or_else(|| format!("trunc action `{part}` needs `@OFFSET+BYTES`"))?;
+                    FaultAction::Truncate {
+                        at: parse_u64(at, "offset")?,
+                        drop: parse_u64(drop, "byte count")?,
+                    }
+                }
+                "flip" => FaultAction::BitFlip { at: parse_u64(rest, "offset")? },
+                "stall" => {
+                    let (at, ms) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("stall action `{part}` needs `@OFFSET:MILLIS`"))?;
+                    FaultAction::Stall {
+                        at: parse_u64(at, "offset")?,
+                        millis: parse_u64(ms, "duration")?,
+                    }
+                }
+                "loris" => {
+                    let mut it = rest.splitn(3, ':');
+                    let at = it.next().unwrap_or_default();
+                    let (chunk, ms) = match (it.next(), it.next()) {
+                        (Some(c), Some(m)) => (c, m),
+                        _ => {
+                            return Err(format!(
+                                "loris action `{part}` needs `@OFFSET:CHUNK:MILLIS`"
+                            ))
+                        }
+                    };
+                    let chunk = parse_u64(chunk, "chunk size")?;
+                    if chunk == 0 {
+                        return Err("loris chunk size must be nonzero".into());
+                    }
+                    FaultAction::SlowLoris {
+                        at: parse_u64(at, "offset")?,
+                        chunk,
+                        millis: parse_u64(ms, "duration")?,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault verb `{other}` (cut|trunc|flip|stall|loris)"
+                    ))
+                }
+            };
+            actions.push(action);
+        }
+        if actions.is_empty() {
+            return Err("empty fault plan".into());
+        }
+        Ok(FaultPlan::new("custom", actions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_catalog_is_complete() {
+        let all = FaultPlan::all_builtin();
+        assert_eq!(all.len(), FaultPlan::builtin_names().len());
+        for plan in &all {
+            assert!(!plan.actions.is_empty(), "{} has no actions", plan.name);
+        }
+        assert!(FaultPlan::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_display() {
+        let spec = "cut@900;trunc@1100+9;flip@1200;stall@800:900;loris@0:13:1";
+        let plan: FaultPlan = spec.parse().unwrap();
+        assert_eq!(plan.actions.len(), 5);
+        let rendered = plan.to_string();
+        let back: FaultPlan = rendered.parse().unwrap();
+        assert_eq!(back.actions, plan.actions);
+    }
+
+    #[test]
+    fn actions_are_sorted_by_offset() {
+        let plan: FaultPlan = "cut@500;flip@10".parse().unwrap();
+        assert_eq!(plan.actions[0], FaultAction::BitFlip { at: 10 });
+        assert_eq!(plan.actions[1], FaultAction::Cut { at: 500 });
+    }
+
+    #[test]
+    fn resolve_prefers_builtin_names() {
+        assert_eq!(FaultPlan::resolve("stall").unwrap().name, "stall");
+        assert_eq!(FaultPlan::resolve("cut@64").unwrap().name, "custom");
+        assert!(FaultPlan::resolve("definitely-not-a-plan").is_err());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "cut",
+            "cut@",
+            "cut@abc",
+            "trunc@5",
+            "stall@5",
+            "loris@1:2",
+            "loris@0:0:1",
+            "zap@3",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "spec `{bad}` must be rejected");
+        }
+    }
+}

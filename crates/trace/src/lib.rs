@@ -22,7 +22,11 @@
 //!   reproduce the paper's Fig. 1 exactly in tests);
 //! * binary ([`codec`]) and JSONL ([`jsonl`]) serialization, plus a
 //!   length-prefixed, CRC-checked frame format ([`stream`]) for live
-//!   transport of in-progress traces to a collector daemon.
+//!   transport of in-progress traces to a collector daemon, with a
+//!   resumable-session handshake for reconnecting producers;
+//! * deterministic transport fault plans ([`faults`]) and the capped
+//!   exponential reconnect policy ([`retry`]) shared by the streaming
+//!   clients and the collector's fault-injection harness.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,8 +36,10 @@ pub mod codec;
 pub mod episodes;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod ids;
 pub mod jsonl;
+pub mod retry;
 pub mod stream;
 pub mod trace;
 
@@ -45,5 +51,7 @@ pub use episodes::{
 };
 pub use error::{Result, TraceError};
 pub use event::{Event, EventKind, Ts, SEQ_UNKNOWN};
+pub use faults::{FaultAction, FaultPlan};
 pub use ids::{ObjId, ObjInfo, ObjKind, ThreadId};
+pub use retry::RetryPolicy;
 pub use trace::{ClockDomain, ThreadStream, Trace, TraceMeta};

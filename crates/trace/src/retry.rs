@@ -1,0 +1,80 @@
+//! Capped exponential backoff policy shared by the streaming clients.
+//!
+//! Both producer-side reconnect paths — `critlock_collector::push_with`
+//! and `Session::stream_to_resumable` in `critlock-instrument` — space
+//! their reconnection attempts with a [`RetryPolicy`]: the delay doubles
+//! per consecutive failure, capped at `max_backoff`, and the whole
+//! operation gives up after `max_attempts` consecutive failures. Any
+//! successful reconnect resets the failure count.
+
+use std::time::Duration;
+
+/// Reconnection budget and backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts tolerated before giving up. Zero
+    /// disables reconnection entirely.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on the per-attempt delay.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with the default backoff window (25 ms doubling up to
+    /// 1 s) and the given attempt budget.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+
+    /// No reconnection: the first transport error is final.
+    pub fn none() -> Self {
+        RetryPolicy::with_attempts(0)
+    }
+
+    /// The delay before retry number `attempt` (0-based): capped
+    /// exponential, `initial_backoff * 2^attempt` clamped to
+    /// `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.initial_backoff.checked_mul(factor).unwrap_or(self.max_backoff).min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Five attempts over the default backoff window — roughly 1.5 s of
+    /// cumulative waiting before the stream is declared lost.
+    fn default() -> Self {
+        RetryPolicy::with_attempts(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(70),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(70)); // capped
+        assert_eq!(p.backoff(31), Duration::from_millis(70));
+        assert_eq!(p.backoff(63), Duration::from_millis(70)); // shift overflow clamped
+    }
+
+    #[test]
+    fn none_disables_retries() {
+        assert_eq!(RetryPolicy::none().max_attempts, 0);
+    }
+}

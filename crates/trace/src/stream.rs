@@ -9,9 +9,23 @@
 //!
 //! ```text
 //! header:  magic "CLSM" | protocol version varint
+//!          | token-len varint | token bytes | start-seq varint
+//!          | CRC32(version..start-seq) u32-LE          (version ≥ 2)
 //! frame:   payload-len varint | payload bytes | CRC32(payload) u32-LE
 //! payload: frame-type u8 | type-specific body
 //! ```
+//!
+//! The version-2 header carries the resumable-session handshake: `token`
+//! names the logical session across reconnects (empty for one-shot
+//! streams such as files or plain pushes), and `start-seq` is the
+//! sequence number of the first frame this connection will carry. Frame
+//! sequence numbers are implicit — frame *i* of a session has sequence
+//! number `start-seq + i` — so resuming costs no per-frame overhead. A
+//! collector answering a non-empty token replies with an [`ack`]
+//! (`CLSA` magic | seq varint | CRC32) naming the highest frame sequence
+//! it has durably received; the producer replays only the gap.
+//!
+//! [`ack`]: write_ack
 //!
 //! Frame types:
 //!
@@ -41,12 +55,36 @@ use std::io::{Cursor, ErrorKind, Read, Write};
 
 /// Stream header magic.
 pub const STREAM_MAGIC: &[u8; 4] = b"CLSM";
-/// Current stream protocol version.
-pub const STREAM_VERSION: u64 = 1;
+/// Current stream protocol version (2: resumable-session handshake).
+pub const STREAM_VERSION: u64 = 2;
+/// Oldest protocol version still accepted by [`StreamReader`]. Version 1
+/// headers carry no handshake fields; they decode to the default
+/// [`Handshake`] (anonymous, sequence 0).
+pub const MIN_STREAM_VERSION: u64 = 1;
+/// Collector acknowledgement magic (see [`write_ack`]).
+pub const ACK_MAGIC: &[u8; 4] = b"CLSA";
 
 /// Upper bound on a single frame's payload (defense against corrupt
 /// length prefixes).
 pub const MAX_FRAME_LEN: usize = 1 << 26;
+/// Upper bound on a handshake session token.
+pub const MAX_TOKEN_LEN: usize = 128;
+
+/// The per-connection handshake carried by the stream header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Handshake {
+    /// Session resume token; empty for one-shot (non-resumable) streams.
+    pub token: Vec<u8>,
+    /// Sequence number of the first frame this connection carries.
+    pub start_seq: u64,
+}
+
+impl Handshake {
+    /// Whether the producer asked for a resumable session.
+    pub fn resumable(&self) -> bool {
+        !self.token.is_empty()
+    }
+}
 
 /// One unit of the streaming protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,11 +281,38 @@ pub struct StreamWriter<W: Write> {
 }
 
 impl<W: Write> StreamWriter<W> {
-    /// Write the `CLSM` header and wrap `out` for frame writing.
-    pub fn new(mut out: W) -> Result<Self> {
+    /// Write an anonymous (non-resumable) `CLSM` header and wrap `out`
+    /// for frame writing.
+    pub fn new(out: W) -> Result<Self> {
+        Self::with_handshake(out, &Handshake::default())
+    }
+
+    /// Write a `CLSM` header carrying the given handshake and wrap `out`
+    /// for frame writing.
+    pub fn with_handshake(mut out: W, handshake: &Handshake) -> Result<Self> {
+        if handshake.token.len() > MAX_TOKEN_LEN {
+            return Err(TraceError::Decode(format!(
+                "session token length {} exceeds limit {MAX_TOKEN_LEN}",
+                handshake.token.len()
+            )));
+        }
         out.write_all(STREAM_MAGIC)?;
-        write_varint(&mut out, STREAM_VERSION)?;
+        // The handshake fields are CRC-protected as a unit so a corrupted
+        // header is rejected instead of desynchronizing the frame stream.
+        let mut fields = Vec::new();
+        write_varint(&mut fields, STREAM_VERSION)?;
+        write_bytes(&mut fields, &handshake.token)?;
+        write_varint(&mut fields, handshake.start_seq)?;
+        out.write_all(&fields)?;
+        out.write_all(&crc32(&fields).to_le_bytes())?;
         Ok(StreamWriter { out })
+    }
+
+    /// Wrap `out` for frame writing *without* emitting a header — for
+    /// appending to a stream whose header was already written (e.g.
+    /// reopening a journal file after recovery).
+    pub fn append(out: W) -> Self {
+        StreamWriter { out }
     }
 
     /// Append one frame (length prefix, payload, CRC).
@@ -269,6 +334,11 @@ impl<W: Write> StreamWriter<W> {
     pub fn into_inner(self) -> W {
         self.out
     }
+
+    /// Borrow the underlying writer (e.g. to fsync a journal file).
+    pub fn inner_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
 }
 
 // -------------------------------------------------------------- reader
@@ -276,24 +346,58 @@ impl<W: Write> StreamWriter<W> {
 /// Reads and validates frames from an underlying reader.
 pub struct StreamReader<R: Read> {
     inp: R,
+    handshake: Handshake,
 }
 
 impl<R: Read> StreamReader<R> {
     /// Read and validate the `CLSM` header; rejects unknown protocol
-    /// versions.
+    /// versions and corrupted handshakes. Version-1 headers (no
+    /// handshake fields) are still accepted and decode to the default
+    /// handshake.
     pub fn new(mut inp: R) -> Result<Self> {
         let mut magic = [0u8; 4];
         inp.read_exact(&mut magic)?;
         if &magic != STREAM_MAGIC {
             return Err(TraceError::Decode("bad magic (not a CLSM stream)".into()));
         }
+        // Re-encode the fields as read to verify the header CRC without
+        // buffering the raw wire bytes.
+        let mut fields = Vec::new();
         let version = read_varint(&mut inp)?;
-        if version != STREAM_VERSION {
+        write_varint(&mut fields, version)?;
+        if version == 1 {
+            return Ok(StreamReader { inp, handshake: Handshake::default() });
+        }
+        if !(MIN_STREAM_VERSION..=STREAM_VERSION).contains(&version) {
             return Err(TraceError::Decode(format!(
-                "unsupported stream version {version} (expected {STREAM_VERSION})"
+                "unsupported stream version {version} (expected {MIN_STREAM_VERSION}..={STREAM_VERSION})"
             )));
         }
-        Ok(StreamReader { inp })
+        let token = read_bytes(&mut inp)?;
+        if token.len() > MAX_TOKEN_LEN {
+            return Err(TraceError::Decode(format!(
+                "session token length {} exceeds limit {MAX_TOKEN_LEN}",
+                token.len()
+            )));
+        }
+        write_bytes(&mut fields, &token)?;
+        let start_seq = read_varint(&mut inp)?;
+        write_varint(&mut fields, start_seq)?;
+        let mut crc_bytes = [0u8; 4];
+        inp.read_exact(&mut crc_bytes)?;
+        let expected = u32::from_le_bytes(crc_bytes);
+        let actual = crc32(&fields);
+        if expected != actual {
+            return Err(TraceError::Decode(format!(
+                "header CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            )));
+        }
+        Ok(StreamReader { inp, handshake: Handshake { token, start_seq } })
+    }
+
+    /// The handshake carried by the stream header.
+    pub fn handshake(&self) -> &Handshake {
+        &self.handshake
     }
 
     /// Read the next frame. Returns `Ok(None)` on a clean end-of-stream at
@@ -341,6 +445,45 @@ impl<R: Read> StreamReader<R> {
     pub fn into_inner(self) -> R {
         self.inp
     }
+}
+
+// ------------------------------------------------------------ acks
+
+/// Write a collector acknowledgement: `CLSA` magic, the highest frame
+/// sequence durably received (as a varint), and a CRC32 of the varint
+/// bytes. Sent by a collector in reply to a resumable handshake and
+/// again when a connection ends, so the producer knows exactly which
+/// frames to replay after a reconnect.
+pub fn write_ack(out: &mut impl Write, seq: u64) -> Result<()> {
+    out.write_all(ACK_MAGIC)?;
+    let mut fields = Vec::new();
+    write_varint(&mut fields, seq)?;
+    out.write_all(&fields)?;
+    out.write_all(&crc32(&fields).to_le_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Read and validate a collector acknowledgement (see [`write_ack`]).
+pub fn read_ack(inp: &mut impl Read) -> Result<u64> {
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if &magic != ACK_MAGIC {
+        return Err(TraceError::Decode("bad ack magic (not a CLSA reply)".into()));
+    }
+    let seq = read_varint(inp)?;
+    let mut fields = Vec::new();
+    write_varint(&mut fields, seq)?;
+    let mut crc_bytes = [0u8; 4];
+    inp.read_exact(&mut crc_bytes)?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&fields);
+    if expected != actual {
+        return Err(TraceError::Decode(format!(
+            "ack CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(seq)
 }
 
 // ---------------------------------------------------- trace <-> stream
@@ -578,5 +721,72 @@ mod tests {
     fn crc32_known_vector() {
         // Standard IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn resumable_handshake_roundtrips() {
+        let hs = Handshake { token: b"push-42".to_vec(), start_seq: 17 };
+        let mut buf = Vec::new();
+        {
+            let mut w = StreamWriter::with_handshake(&mut buf, &hs).unwrap();
+            w.write_frame(&Frame::End).unwrap();
+        }
+        let mut r = StreamReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(r.handshake(), &hs);
+        assert!(r.handshake().resumable());
+        assert_eq!(r.next_frame().unwrap(), Some(Frame::End));
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn v1_header_is_still_accepted() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STREAM_MAGIC);
+        buf.push(1); // version 1: no handshake fields, no header CRC
+        {
+            let mut w = StreamWriter::append(&mut buf);
+            w.write_frame(&Frame::End).unwrap();
+        }
+        let mut r = StreamReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(r.handshake(), &Handshake::default());
+        assert_eq!(r.next_frame().unwrap(), Some(Frame::End));
+    }
+
+    #[test]
+    fn corrupted_handshake_is_rejected() {
+        let hs = Handshake { token: b"session".to_vec(), start_seq: 9 };
+        let mut buf = Vec::new();
+        StreamWriter::with_handshake(&mut buf, &hs).unwrap();
+        for pos in 4..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                StreamReader::new(Cursor::new(bad)).is_err(),
+                "header corruption at byte {pos} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_token_is_rejected() {
+        let hs = Handshake { token: vec![7u8; MAX_TOKEN_LEN + 1], start_seq: 0 };
+        assert!(StreamWriter::with_handshake(Vec::new(), &hs).is_err());
+    }
+
+    #[test]
+    fn ack_roundtrips_and_detects_corruption() {
+        for seq in [0u64, 1, 127, 128, u64::MAX] {
+            let mut buf = Vec::new();
+            write_ack(&mut buf, seq).unwrap();
+            assert_eq!(read_ack(&mut Cursor::new(&buf[..])).unwrap(), seq);
+            for pos in 0..buf.len() {
+                let mut bad = buf.clone();
+                bad[pos] ^= 0x04;
+                assert!(
+                    read_ack(&mut Cursor::new(&bad[..])).is_err(),
+                    "ack corruption at byte {pos} (seq {seq}) must be rejected"
+                );
+            }
+        }
     }
 }

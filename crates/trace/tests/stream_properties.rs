@@ -99,11 +99,12 @@ proptest! {
     #[test]
     fn future_protocol_versions_are_rejected(
         trace in trace_strategy(),
-        version in 2u8..128,
+        version in 3u8..128,
     ) {
         let mut buf = encode(&trace);
         // Offset 4: the version varint right after the 4-byte magic
-        // (values < 128 occupy a single byte).
+        // (values < 128 occupy a single byte). Versions 1 and 2 are the
+        // accepted range; anything newer must be rejected.
         buf[4] = version;
         prop_assert!(StreamReader::new(Cursor::new(&buf[..])).is_err());
     }
