@@ -12,6 +12,16 @@
 //!
 //! The walk produces a list of [`CpSlice`]s — per-thread time intervals
 //! whose concatenation (in chronological order) is the critical path.
+//!
+//! Unlike segment construction and metric accumulation (parallelized in
+//! [`crate::segments`] / [`crate::metrics`]), the walk itself is — and
+//! must stay — serial: each step's position depends on the previous
+//! step's resolved dependence (which thread enabled this segment, found
+//! by querying the index at the walk's current instant), so it is a
+//! single dependence chain with no independent work to distribute. It is
+//! also cheap: one step per traversed segment over pre-built indices,
+//! `O(path length)`, while the parallelizable pre-processing is
+//! `O(total events)`.
 
 use crate::segments::{SegmentedTrace, StartCause};
 use critlock_trace::{ThreadId, Trace, Ts};

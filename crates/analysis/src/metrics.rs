@@ -16,8 +16,8 @@
 
 use crate::cp::{CpSlice, CriticalPath};
 use critlock_trace::{lock_episodes, rw_episodes, LockEpisode, ObjId, Trace, Ts};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Combined TYPE 1 + TYPE 2 statistics for one lock.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -173,45 +173,38 @@ pub fn analyze_with(trace: &Trace, cp: &CriticalPath) -> AnalysisReport {
     analyze_episodes(trace, cp, &episodes)
 }
 
-fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) -> AnalysisReport {
-    let n_threads = trace.num_threads();
+/// Per-lock accumulator. Every field is an integer sum or count, so
+/// merging chunk-local accumulators is commutative and associative and
+/// the parallel totals are bit-identical to a serial pass; the floating
+/// point fractions are derived only after the merge.
+#[derive(Default, Clone)]
+struct Acc {
+    cp_time: Ts,
+    invocations_on_cp: u64,
+    contended_on_cp: u64,
+    total_invocations: u64,
+    total_contended: u64,
+    total_wait: Ts,
+    total_hold: Ts,
+    // Per-thread wait/hold for the averaged fractions.
+    per_thread_wait: Vec<Ts>,
+    per_thread_hold: Vec<Ts>,
+}
 
-    // Per-thread CP slices, sorted by start (they already are, globally
-    // chronological, and per thread that order is preserved).
-    let mut per_thread_slices: Vec<Vec<CpSlice>> = vec![Vec::new(); n_threads];
-    for s in &cp.slices {
-        per_thread_slices[s.tid.index()].push(*s);
-    }
-
-    // Thread lifetimes for the TYPE 2 fractions.
-    let thread_durations: Vec<Ts> = trace
-        .threads
-        .iter()
-        .map(|t| {
-            let s = t.start_ts().unwrap_or(0);
-            let e = t.end_ts().unwrap_or(s);
-            e.saturating_sub(s)
-        })
-        .collect();
-
-    #[derive(Default, Clone)]
-    struct Acc {
-        cp_time: Ts,
-        invocations_on_cp: u64,
-        contended_on_cp: u64,
-        total_invocations: u64,
-        total_contended: u64,
-        total_wait: Ts,
-        total_hold: Ts,
-        // Per-thread wait/hold for the averaged fractions.
-        per_thread_wait: Vec<Ts>,
-        per_thread_hold: Vec<Ts>,
-    }
-
-    let mut accs: HashMap<ObjId, Acc> = HashMap::new();
-
+/// Fold a run of episodes into dense per-lock accumulators (indexed by
+/// `ObjId`, which is small and dense).
+fn accumulate(
+    episodes: &[LockEpisode],
+    per_thread_slices: &[Vec<CpSlice>],
+    n_threads: usize,
+) -> Vec<Option<Acc>> {
+    let mut accs: Vec<Option<Acc>> = Vec::new();
     for ep in episodes {
-        let acc = accs.entry(ep.lock).or_insert_with(|| Acc {
+        let i = ep.lock.index();
+        if accs.len() <= i {
+            accs.resize(i + 1, None);
+        }
+        let acc = accs[i].get_or_insert_with(|| Acc {
             per_thread_wait: vec![0; n_threads],
             per_thread_hold: vec![0; n_threads],
             ..Default::default()
@@ -235,10 +228,79 @@ fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) 
             }
         }
     }
+    accs
+}
+
+fn merge_accs(mut into: Vec<Option<Acc>>, from: Vec<Option<Acc>>) -> Vec<Option<Acc>> {
+    if into.len() < from.len() {
+        into.resize(from.len(), None);
+    }
+    for (slot, f) in into.iter_mut().zip(from) {
+        let Some(f) = f else { continue };
+        match slot {
+            Some(acc) => {
+                acc.cp_time += f.cp_time;
+                acc.invocations_on_cp += f.invocations_on_cp;
+                acc.contended_on_cp += f.contended_on_cp;
+                acc.total_invocations += f.total_invocations;
+                acc.total_contended += f.total_contended;
+                acc.total_wait += f.total_wait;
+                acc.total_hold += f.total_hold;
+                for (a, b) in acc.per_thread_wait.iter_mut().zip(&f.per_thread_wait) {
+                    *a += b;
+                }
+                for (a, b) in acc.per_thread_hold.iter_mut().zip(&f.per_thread_hold) {
+                    *a += b;
+                }
+            }
+            None => *slot = Some(f),
+        }
+    }
+    into
+}
+
+/// Below this episode count the chunk/merge overhead outweighs the
+/// parallel accumulation win.
+const PAR_EPISODES_MIN: usize = 4096;
+
+fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) -> AnalysisReport {
+    let n_threads = trace.num_threads();
+
+    // Per-thread CP slices, sorted by start (they already are, globally
+    // chronological, and per thread that order is preserved).
+    let mut per_thread_slices: Vec<Vec<CpSlice>> = vec![Vec::new(); n_threads];
+    for s in &cp.slices {
+        per_thread_slices[s.tid.index()].push(*s);
+    }
+
+    // Thread lifetimes for the TYPE 2 fractions.
+    let thread_durations: Vec<Ts> = trace
+        .threads
+        .iter()
+        .map(|t| {
+            let s = t.start_ts().unwrap_or(0);
+            let e = t.end_ts().unwrap_or(s);
+            e.saturating_sub(s)
+        })
+        .collect();
+
+    let workers = rayon::current_num_threads();
+    let accs: Vec<Option<Acc>> = if workers > 1 && episodes.len() >= PAR_EPISODES_MIN {
+        episodes
+            .par_chunks(episodes.len().div_ceil(workers))
+            .map(|chunk| accumulate(chunk, &per_thread_slices, n_threads))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(Vec::new(), merge_accs)
+    } else {
+        accumulate(episodes, &per_thread_slices, n_threads)
+    };
 
     let cp_len = cp.length.max(1) as f64;
     let mut locks: Vec<LockReport> = accs
         .into_iter()
+        .enumerate()
+        .filter_map(|(i, acc)| acc.map(|acc| (ObjId(i as u32), acc)))
         .map(|(lock, acc)| {
             let avg_invocations = acc.total_invocations as f64 / n_threads.max(1) as f64;
             let avg_cont_prob = if acc.total_invocations > 0 {
@@ -289,7 +351,14 @@ fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) 
         })
         .collect();
 
-    locks.sort_by(|a, b| b.cp_time.cmp(&a.cp_time).then_with(|| a.name.cmp(&b.name)));
+    // Total order (cp_time desc, name, id) so the report is byte-stable
+    // regardless of how the accumulators were produced.
+    locks.sort_by(|a, b| {
+        b.cp_time
+            .cmp(&a.cp_time)
+            .then_with(|| a.name.cmp(&b.name))
+            .then_with(|| a.lock.0.cmp(&b.lock.0))
+    });
 
     AnalysisReport {
         app: trace.meta.app.clone(),

@@ -16,8 +16,9 @@
 //! see the equivalence tests.
 
 use critlock_trace::{EventKind, ObjId, ThreadId, Trace, Ts};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Per-lock attribution of critical-path time, as estimated online.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,20 +51,32 @@ impl OnlineReport {
     }
 }
 
-type Profile = HashMap<ObjId, Ts>;
+type Profile = FxHashMap<ObjId, Ts>;
 
+/// A dependence-path value: its length plus the per-lock attribution of
+/// that length. The profile is shared copy-on-write behind an `Rc` —
+/// publishing a producer value or adopting a winning value is a pointer
+/// bump, and the map is deep-copied only when a thread mutates a profile
+/// that is still shared (`Rc::make_mut`). This removes the dominant
+/// allocation cost of the forward pass (deep map clones on every
+/// release/signal/exit) without changing any computed value.
 #[derive(Clone, Default)]
 struct PathVal {
     len: Ts,
-    profile: Profile,
+    profile: Rc<Profile>,
 }
 
 impl PathVal {
     fn adopt_max(&mut self, other: &PathVal) {
         if other.len > self.len {
             self.len = other.len;
-            self.profile = other.profile.clone();
+            self.profile = Rc::clone(&other.profile);
         }
+    }
+
+    /// Attribute `dt` of path time to `lock`.
+    fn attribute(&mut self, lock: ObjId, dt: Ts) {
+        *Rc::make_mut(&mut self.profile).entry(lock).or_insert(0) += dt;
     }
 }
 
@@ -123,12 +136,12 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
         })
         .collect();
 
-    let mut release_vals: HashMap<ObjId, PathVal> = HashMap::new();
-    let mut barrier_vals: HashMap<(ObjId, u32), PathVal> = HashMap::new();
-    let mut signal_vals: HashMap<(ObjId, u64), PathVal> = HashMap::new();
-    let mut latest_signal: HashMap<ObjId, PathVal> = HashMap::new();
-    let mut create_vals: HashMap<ThreadId, PathVal> = HashMap::new();
-    let mut exit_vals: HashMap<ThreadId, PathVal> = HashMap::new();
+    let mut release_vals: FxHashMap<ObjId, PathVal> = FxHashMap::default();
+    let mut barrier_vals: FxHashMap<(ObjId, u32), PathVal> = FxHashMap::default();
+    let mut signal_vals: FxHashMap<(ObjId, u64), PathVal> = FxHashMap::default();
+    let mut latest_signal: FxHashMap<ObjId, PathVal> = FxHashMap::default();
+    let mut create_vals: FxHashMap<ThreadId, PathVal> = FxHashMap::default();
+    let mut exit_vals: FxHashMap<ThreadId, PathVal> = FxHashMap::default();
     let mut final_candidate: Option<(Ts, ThreadId, PathVal)> = None;
 
     let mut i = 0;
@@ -149,7 +162,7 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
                 let dt = ts - t.last_ts;
                 t.val.len += dt;
                 if let Some(&inner) = t.held.last() {
-                    *t.val.profile.entry(inner).or_insert(0) += dt;
+                    t.val.attribute(inner, dt);
                 }
             }
             t.last_ts = ts;
@@ -197,8 +210,10 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
     }
 
     let (cp_length, final_thread, profile) = match final_candidate {
-        Some((len, tid, val)) => (len, Some(tid), val.profile),
-        None => (0, None, Profile::new()),
+        Some((len, tid, val)) => {
+            (len, Some(tid), Rc::try_unwrap(val.profile).unwrap_or_else(|rc| (*rc).clone()))
+        }
+        None => (0, None, Profile::default()),
     };
 
     let mut locks: Vec<OnlineLockStat> = profile
@@ -210,12 +225,17 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
             cp_time_frac: if cp_length > 0 { cp_time as f64 / cp_length as f64 } else { 0.0 },
         })
         .collect();
-    locks.sort_by(|a, b| b.cp_time.cmp(&a.cp_time).then_with(|| a.name.cmp(&b.name)));
+    locks.sort_by(|a, b| {
+        b.cp_time
+            .cmp(&a.cp_time)
+            .then_with(|| a.name.cmp(&b.name))
+            .then_with(|| a.lock.0.cmp(&b.lock.0))
+    });
 
     OnlineReport { cp_length, final_thread, locks }
 }
 
-type ValMap<K> = HashMap<K, PathVal>;
+type ValMap<K> = FxHashMap<K, PathVal>;
 
 #[allow(clippy::too_many_arguments)]
 fn step_event(

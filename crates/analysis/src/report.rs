@@ -182,16 +182,16 @@ pub fn sweep_csv(reports: &[(String, &AnalysisReport)], lock_names: &[&str]) -> 
     }
     let _ = writeln!(out, "{header}");
     for (label, rep) in reports {
-        let mut line = label.clone();
+        out.push_str(label);
         for name in lock_names {
             match rep.lock_by_name(name) {
                 Some(l) => {
-                    let _ = write!(line, ",{:.6},{:.6}", l.cp_time_frac, l.avg_wait_frac);
+                    let _ = write!(out, ",{:.6},{:.6}", l.cp_time_frac, l.avg_wait_frac);
                 }
-                None => line.push_str(",0,0"),
+                None => out.push_str(",0,0"),
             }
         }
-        let _ = writeln!(out, "{line}");
+        out.push('\n');
     }
     out
 }

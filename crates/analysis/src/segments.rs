@@ -9,7 +9,8 @@
 //! this structure.
 
 use critlock_trace::{EventKind, ObjId, ThreadId, Trace, Ts, SEQ_UNKNOWN};
-use std::collections::HashMap;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
 
 /// Why a segment started running at its `start` timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,70 +80,100 @@ pub struct SegmentedTrace {
     /// Per-thread segment lists, indexed by `ThreadId`.
     pub threads: Vec<Vec<Segment>>,
     /// Per-lock release history `(release_ts, tid)`, sorted by timestamp.
-    releases: HashMap<ObjId, Vec<(Ts, ThreadId)>>,
+    /// Indexed densely by `ObjId` (object ids are small and dense).
+    releases: Vec<Vec<(Ts, ThreadId)>>,
     /// Last arriver per (barrier, epoch).
-    last_arrivers: HashMap<(ObjId, u32), (Ts, ThreadId)>,
-    /// Signals/broadcasts per condvar `(ts, tid, seq)`, sorted by timestamp.
-    signals: HashMap<ObjId, Vec<(Ts, ThreadId, u64)>>,
+    last_arrivers: FxHashMap<(ObjId, u32), (Ts, ThreadId)>,
+    /// Signals/broadcasts per condvar `(ts, tid, seq)`, sorted by
+    /// timestamp. Indexed densely by `ObjId`.
+    signals: Vec<Vec<(Ts, ThreadId, u64)>>,
     /// Exact signal lookup by (cv, seq).
-    signals_by_seq: HashMap<(ObjId, u64), (Ts, ThreadId)>,
-    /// Creation edge per child thread: (parent, create_ts).
-    creates: HashMap<ThreadId, (ThreadId, Ts)>,
+    signals_by_seq: FxHashMap<(ObjId, u64), (Ts, ThreadId)>,
+    /// Creation edge per child thread `(parent, create_ts)`, indexed by
+    /// the child's `ThreadId`.
+    creates: Vec<Option<(ThreadId, Ts)>>,
     /// Exit timestamp per thread.
     exits: Vec<Option<Ts>>,
     /// Earliest timestamp in the trace.
     pub trace_start: Ts,
 }
 
+/// Index contributions of one thread's stream, merged across threads in
+/// thread-id order after the parallel scan.
+#[derive(Default)]
+struct ThreadIndex {
+    /// Lock/rwlock releases `(lock, ts)` in event order.
+    releases: Vec<(ObjId, Ts)>,
+    /// Barrier arrivals `(barrier, epoch, ts)` in event order.
+    arrivals: Vec<(ObjId, u32, Ts)>,
+    /// Signals/broadcasts `(cv, seq, ts)` in event order.
+    signals: Vec<(ObjId, u64, Ts)>,
+    /// Thread creations `(child, ts)` in event order.
+    creates: Vec<(ThreadId, Ts)>,
+    /// Last exit timestamp.
+    exit: Option<Ts>,
+}
+
+/// Grow-on-demand dense slot access (object/thread ids are dense, but
+/// repaired partial traces may reference ids past the registered range).
+fn slot<T: Default>(v: &mut Vec<T>, i: usize) -> &mut T {
+    if v.len() <= i {
+        v.resize_with(i + 1, T::default);
+    }
+    &mut v[i]
+}
+
 impl SegmentedTrace {
     /// Build the segmented view of a trace.
+    ///
+    /// Each thread's stream is scanned independently (in parallel across
+    /// the active rayon pool); the per-thread index contributions are then
+    /// merged serially in thread-id order, which reproduces the exact
+    /// tie-breaking of a single sequential pass over `trace.threads`.
     pub fn build(trace: &Trace) -> Self {
         let n = trace.threads.len();
-        let mut releases: HashMap<ObjId, Vec<(Ts, ThreadId)>> = HashMap::new();
-        let mut last_arrivers: HashMap<(ObjId, u32), (Ts, ThreadId)> = HashMap::new();
-        let mut signals: HashMap<ObjId, Vec<(Ts, ThreadId, u64)>> = HashMap::new();
-        let mut signals_by_seq: HashMap<(ObjId, u64), (Ts, ThreadId)> = HashMap::new();
-        let mut creates: HashMap<ThreadId, (ThreadId, Ts)> = HashMap::new();
+        let scanned: Vec<(Vec<Segment>, ThreadIndex)> =
+            trace.threads.par_iter().map(scan_thread).collect();
+
+        let mut releases: Vec<Vec<(Ts, ThreadId)>> = Vec::new();
+        let mut last_arrivers: FxHashMap<(ObjId, u32), (Ts, ThreadId)> = FxHashMap::default();
+        let mut signals: Vec<Vec<(Ts, ThreadId, u64)>> = Vec::new();
+        let mut signals_by_seq: FxHashMap<(ObjId, u64), (Ts, ThreadId)> = FxHashMap::default();
+        let mut creates: Vec<Option<(ThreadId, Ts)>> = Vec::new();
         let mut exits: Vec<Option<Ts>> = vec![None; n];
 
-        for stream in &trace.threads {
-            for ev in &stream.events {
-                match ev.kind {
-                    EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
-                        releases.entry(lock).or_default().push((ev.ts, stream.tid));
-                    }
-                    EventKind::BarrierArrive { barrier, epoch } => {
-                        let entry =
-                            last_arrivers.entry((barrier, epoch)).or_insert((ev.ts, stream.tid));
-                        if ev.ts >= entry.0 {
-                            *entry = (ev.ts, stream.tid);
-                        }
-                    }
-                    EventKind::CondSignal { cv, signal_seq }
-                    | EventKind::CondBroadcast { cv, signal_seq } => {
-                        signals.entry(cv).or_default().push((ev.ts, stream.tid, signal_seq));
-                        if signal_seq != SEQ_UNKNOWN {
-                            signals_by_seq.insert((cv, signal_seq), (ev.ts, stream.tid));
-                        }
-                    }
-                    EventKind::ThreadCreate { child } => {
-                        creates.entry(child).or_insert((stream.tid, ev.ts));
-                    }
-                    EventKind::ThreadExit => {
-                        exits[stream.tid.index()] = Some(ev.ts);
-                    }
-                    _ => {}
+        let mut threads = Vec::with_capacity(n);
+        for (stream, (segs, idx)) in trace.threads.iter().zip(scanned) {
+            let tid = stream.tid;
+            threads.push(segs);
+            for (lock, ts) in idx.releases {
+                slot(&mut releases, lock.index()).push((ts, tid));
+            }
+            for (barrier, epoch, ts) in idx.arrivals {
+                let entry = last_arrivers.entry((barrier, epoch)).or_insert((ts, tid));
+                if ts >= entry.0 {
+                    *entry = (ts, tid);
                 }
             }
+            for (cv, seq, ts) in idx.signals {
+                slot(&mut signals, cv.index()).push((ts, tid, seq));
+                if seq != SEQ_UNKNOWN {
+                    signals_by_seq.insert((cv, seq), (ts, tid));
+                }
+            }
+            for (child, ts) in idx.creates {
+                slot(&mut creates, child.index()).get_or_insert((tid, ts));
+            }
+            if idx.exit.is_some() {
+                *slot(&mut exits, tid.index()) = idx.exit;
+            }
         }
-        for list in releases.values_mut() {
+        for list in &mut releases {
             list.sort_by_key(|(ts, tid)| (*ts, *tid));
         }
-        for list in signals.values_mut() {
+        for list in &mut signals {
             list.sort_by_key(|(ts, tid, seq)| (*ts, *tid, *seq));
         }
-
-        let threads = trace.threads.iter().map(segment_thread).collect();
 
         SegmentedTrace {
             threads,
@@ -169,7 +200,7 @@ impl SegmentedTrace {
         at: Ts,
         exclude: ThreadId,
     ) -> Option<(Ts, ThreadId)> {
-        let list = self.releases.get(&lock)?;
+        let list = self.releases.get(lock.index())?;
         // Index of the first release with ts > at.
         let mut i = list.partition_point(|(ts, _)| *ts <= at);
         while i > 0 {
@@ -201,7 +232,7 @@ impl SegmentedTrace {
                 return Some(found);
             }
         }
-        let list = self.signals.get(&cv)?;
+        let list = self.signals.get(cv.index())?;
         let mut i = list.partition_point(|(ts, _, _)| *ts <= wakeup);
         while i > 0 {
             i -= 1;
@@ -215,7 +246,7 @@ impl SegmentedTrace {
 
     /// The creation edge of a thread, if recorded.
     pub fn creator_of(&self, tid: ThreadId) -> Option<(ThreadId, Ts)> {
-        self.creates.get(&tid).copied()
+        self.creates.get(tid.index()).copied().flatten()
     }
 
     /// The exit timestamp of a thread.
@@ -249,19 +280,23 @@ impl SegmentedTrace {
     }
 }
 
-/// Split one thread's event stream into segments.
-fn segment_thread(stream: &critlock_trace::ThreadStream) -> Vec<Segment> {
+/// Scan one thread's event stream once, producing both its segment list
+/// and its index contributions.
+fn scan_thread(stream: &critlock_trace::ThreadStream) -> (Vec<Segment>, ThreadIndex) {
     let tid = stream.tid;
     let mut segs: Vec<Segment> = Vec::new();
+    let mut idx = ThreadIndex::default();
     let Some(first) = stream.events.first() else {
-        return segs;
+        return (segs, idx);
     };
 
     let mut seg_start: Ts = first.ts;
     let mut cause = StartCause::ThreadStart;
-    // Block-begin timestamps for the pending blocking operation. Plain
-    // locks and rwlocks share the map (their ids never collide).
-    let mut pending_lock: HashMap<ObjId, (Ts, bool)> = HashMap::new(); // acquire ts, contended
+    // Block-begin timestamps for the pending blocking operations, one
+    // `(lock, acquire_ts, contended)` entry per outstanding acquire.
+    // Nesting depth is tiny, so a linear-scanned Vec beats any map. Plain
+    // locks and rwlocks share the list (their ids never collide).
+    let mut pending_lock: Vec<(ObjId, Ts, bool)> = Vec::new();
     let mut pending_barrier: Option<(ObjId, u32, Ts)> = None;
     let mut pending_cond: Option<(ObjId, Ts)> = None;
     let mut pending_join: Option<(ThreadId, Ts)> = None;
@@ -280,15 +315,21 @@ fn segment_thread(stream: &critlock_trace::ThreadStream) -> Vec<Segment> {
     for ev in &stream.events {
         match ev.kind {
             EventKind::LockAcquire { lock } | EventKind::RwAcquire { lock, .. } => {
-                pending_lock.insert(lock, (ev.ts, false));
+                // A re-acquire of an outstanding lock replaces its entry
+                // (matching map-insert semantics).
+                if let Some(pos) = pending_lock.iter().rposition(|p| p.0 == lock) {
+                    pending_lock.remove(pos);
+                }
+                pending_lock.push((lock, ev.ts, false));
             }
             EventKind::LockContended { lock } | EventKind::RwContended { lock, .. } => {
-                if let Some(p) = pending_lock.get_mut(&lock) {
-                    p.1 = true;
+                if let Some(p) = pending_lock.iter_mut().rev().find(|p| p.0 == lock) {
+                    p.2 = true;
                 }
             }
             EventKind::LockObtain { lock } | EventKind::RwObtain { lock, .. } => {
-                if let Some((acq, contended)) = pending_lock.remove(&lock) {
+                if let Some(pos) = pending_lock.iter().rposition(|p| p.0 == lock) {
+                    let (_, acq, contended) = pending_lock.remove(pos);
                     if contended {
                         // The thread blocked from the contention point
                         // (== acquire ts) until the obtain.
@@ -303,7 +344,18 @@ fn segment_thread(stream: &critlock_trace::ThreadStream) -> Vec<Segment> {
                     }
                 }
             }
+            EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
+                idx.releases.push((lock, ev.ts));
+            }
+            EventKind::CondSignal { cv, signal_seq }
+            | EventKind::CondBroadcast { cv, signal_seq } => {
+                idx.signals.push((cv, signal_seq, ev.ts));
+            }
+            EventKind::ThreadCreate { child } => {
+                idx.creates.push((child, ev.ts));
+            }
             EventKind::BarrierArrive { barrier, epoch } => {
+                idx.arrivals.push((barrier, epoch, ev.ts));
                 pending_barrier = Some((barrier, epoch, ev.ts));
             }
             EventKind::BarrierDepart { barrier, epoch } => {
@@ -362,11 +414,12 @@ fn segment_thread(stream: &critlock_trace::ThreadStream) -> Vec<Segment> {
                     end: ev.ts,
                     start_cause: cause,
                 });
+                idx.exit = Some(ev.ts);
             }
             _ => {}
         }
     }
-    segs
+    (segs, idx)
 }
 
 #[cfg(test)]

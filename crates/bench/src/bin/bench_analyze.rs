@@ -1,0 +1,76 @@
+//! `bench_analyze` — regenerate `BENCH_ANALYZE.json`.
+//!
+//! ```text
+//! cargo run --release -p critlock-bench --bin bench_analyze
+//! cargo run --release -p critlock-bench --bin bench_analyze -- \
+//!     --scale 8 --app-threads 16 --seed 42 --reps 3 --threads 1,2,8 \
+//!     --out BENCH_ANALYZE.json
+//! ```
+//!
+//! With no `--out` the JSON goes to stdout; the summary table always goes
+//! to stderr so the two can be piped separately.
+
+use critlock_bench::perfbench::{self, BenchConfig};
+use std::process::ExitCode;
+
+fn parse_args(argv: &[String]) -> Result<(BenchConfig, Option<String>), String> {
+    let mut cfg = BenchConfig::default();
+    let mut out = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--scale" => {
+                cfg.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--app-threads" => {
+                cfg.app_threads =
+                    value("--app-threads")?.parse().map_err(|e| format!("--app-threads: {e}"))?
+            }
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--reps" => cfg.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--threads" => {
+                cfg.thread_counts = value("--threads")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if cfg.thread_counts.is_empty() || cfg.thread_counts.contains(&0) {
+                    return Err("--threads expects a comma list of positive counts".into());
+                }
+            }
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((cfg, out))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, out) = match parse_args(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = perfbench::run(&cfg);
+    let json = perfbench::to_json(&report);
+    if let Err(e) = perfbench::validate_schema(&json) {
+        eprintln!("error: generated report fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprint!("{}", perfbench::render_text(&report));
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

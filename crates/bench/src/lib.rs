@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod perfbench;
 
 use std::fmt::Write as _;
 

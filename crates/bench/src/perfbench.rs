@@ -1,0 +1,349 @@
+//! Per-stage performance benchmark for the analysis pipeline.
+//!
+//! Generates a large synthetic trace (a scaled-up run of the built-in
+//! workloads), then times each pipeline stage — frame decode, segment
+//! construction, the critical-path walk, metric accumulation, and the
+//! end-to-end `bytes → report` path — at several analysis thread counts.
+//! Results are written as a versioned, machine-readable JSON document
+//! (`BENCH_ANALYZE.json` at the repo root) so regressions show up in
+//! review diffs.
+//!
+//! Two honesty rules govern the output:
+//!
+//! * every stage is timed as the **minimum over `reps` repetitions** (the
+//!   least-noise estimator for a deterministic computation);
+//! * the host's `available_parallelism` is recorded next to the numbers,
+//!   because speedup claims are meaningless without it — a 1-CPU host
+//!   cannot show wall-clock scaling no matter how parallel the code is.
+//!
+//! The analysis itself is bit-identical at every thread count (see
+//! `DESIGN.md`); this harness asserts that on every run.
+
+use critlock_analysis::{analyze, analyze_with, critical_path, SegmentedTrace};
+use critlock_trace::{codec, Trace};
+use critlock_workloads::{suite, WorkloadCfg};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema version of [`BenchReport`]; bump on any incompatible change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Configuration for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Workload scale factor (event count grows roughly linearly).
+    pub scale: f64,
+    /// Simulated application threads in the synthetic trace.
+    pub app_threads: usize,
+    /// Workload RNG seed (the trace is deterministic given this).
+    pub seed: u64,
+    /// Repetitions per stage; the minimum is reported.
+    pub reps: usize,
+    /// Analysis thread counts to measure.
+    pub thread_counts: Vec<usize>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { scale: 8.0, app_threads: 16, seed: 42, reps: 3, thread_counts: vec![1, 2, 8] }
+    }
+}
+
+/// Host facts that speedup numbers cannot be interpreted without.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// `std::thread::available_parallelism()` at run time. Wall-clock
+    /// speedup is bounded by this regardless of the requested pool size.
+    pub available_parallelism: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+}
+
+impl HostInfo {
+    fn detect() -> Self {
+        HostInfo {
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+}
+
+/// Minimum wall-clock time of each pipeline stage, in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// `codec::read_trace_bytes`: encoded bytes → `Trace`.
+    pub decode_ns: u64,
+    /// `SegmentedTrace::build`: trace → segments + dependence indexes.
+    pub segment_ns: u64,
+    /// `critical_path`: the backward CP walk (serial by design).
+    pub cp_ns: u64,
+    /// `analyze_with`: episode extraction + metric accumulation, given
+    /// a precomputed critical path.
+    pub metrics_ns: u64,
+    /// Encoded bytes → full `AnalysisReport` (decode + analyze).
+    pub end_to_end_ns: u64,
+}
+
+/// Timings measured inside a pool of `threads` workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadRun {
+    /// Requested analysis pool size.
+    pub threads: usize,
+    /// Per-stage minimum times at this pool size.
+    pub timings: StageTimings,
+}
+
+/// The versioned document written to `BENCH_ANALYZE.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Must equal [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Exact command that regenerates this file.
+    pub command: String,
+    /// Host facts the numbers were measured on.
+    pub host: HostInfo,
+    /// Workload generator name.
+    pub workload: String,
+    /// Workload scale factor used.
+    pub scale: f64,
+    /// Simulated application threads in the trace.
+    pub app_threads: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Events in the synthetic trace.
+    pub trace_events: u64,
+    /// Encoded trace size in bytes.
+    pub trace_bytes: u64,
+    /// Repetitions per stage (minimum reported).
+    pub reps: usize,
+    /// Whether every thread count produced a bit-identical report.
+    pub deterministic: bool,
+    /// One entry per measured pool size.
+    pub runs: Vec<ThreadRun>,
+}
+
+/// The workload the benchmark scales up.
+pub const BENCH_WORKLOAD: &str = "radiosity";
+
+/// Generate the deterministic synthetic trace the benchmark measures.
+pub fn synth_trace(cfg: &BenchConfig) -> Trace {
+    suite::run_workload(
+        BENCH_WORKLOAD,
+        &WorkloadCfg::with_threads(cfg.app_threads).with_scale(cfg.scale).with_seed(cfg.seed),
+    )
+    .expect("bench workload must exist")
+    .expect("bench workload must simulate cleanly")
+}
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed().as_nanos() as u64;
+        drop(out);
+        best = best.min(dt.max(1));
+    }
+    best
+}
+
+fn measure_stages(bytes: &[u8], trace: &Trace, reps: usize) -> StageTimings {
+    let cp = critical_path(trace);
+    StageTimings {
+        decode_ns: time_min(reps, || codec::read_trace_bytes(bytes).unwrap()),
+        segment_ns: time_min(reps, || SegmentedTrace::build(trace)),
+        cp_ns: time_min(reps, || critical_path(trace)),
+        metrics_ns: time_min(reps, || analyze_with(trace, &cp)),
+        end_to_end_ns: time_min(reps, || analyze(&codec::read_trace_bytes(bytes).unwrap())),
+    }
+}
+
+/// Run the benchmark and collect the report.
+pub fn run(cfg: &BenchConfig) -> BenchReport {
+    let trace = synth_trace(cfg);
+    let mut bytes = Vec::new();
+    codec::write_trace(&trace, &mut bytes).expect("in-memory encode cannot fail");
+
+    let mut runs = Vec::new();
+    let mut reports: Vec<String> = Vec::new();
+    for &threads in &cfg.thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build cannot fail");
+        let timings = pool.install(|| measure_stages(&bytes, &trace, cfg.reps));
+        reports.push(pool.install(|| serde_json::to_string(&analyze(&trace)).unwrap()));
+        runs.push(ThreadRun { threads, timings });
+    }
+    let deterministic = reports.windows(2).all(|w| w[0] == w[1]);
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        command: format!(
+            "cargo run --release -p critlock-bench --bin bench_analyze -- --scale {} --app-threads {} --seed {} --reps {}",
+            cfg.scale, cfg.app_threads, cfg.seed, cfg.reps
+        ),
+        host: HostInfo::detect(),
+        workload: BENCH_WORKLOAD.to_string(),
+        scale: cfg.scale,
+        app_threads: cfg.app_threads,
+        seed: cfg.seed,
+        trace_events: trace.num_events() as u64,
+        trace_bytes: bytes.len() as u64,
+        reps: cfg.reps,
+        deterministic,
+        runs,
+    }
+}
+
+/// Serialize a report as the pretty JSON committed to the repo.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut json = serde_json::to_string_pretty(report).expect("bench report serializes");
+    json.push('\n');
+    json
+}
+
+/// Validate that a JSON document is a well-formed current-schema bench
+/// report. Used by the CI bench-smoke job; checks shape, not speed.
+pub fn validate_schema(json: &str) -> Result<BenchReport, String> {
+    let report: BenchReport =
+        serde_json::from_str(json).map_err(|e| format!("not a bench report: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} (this build understands {SCHEMA_VERSION})",
+            report.schema_version
+        ));
+    }
+    if report.runs.is_empty() {
+        return Err("no thread runs recorded".into());
+    }
+    if report.host.available_parallelism == 0 {
+        return Err("host.available_parallelism must be >= 1".into());
+    }
+    if report.trace_events == 0 || report.trace_bytes == 0 {
+        return Err("empty benchmark trace".into());
+    }
+    for run in &report.runs {
+        if run.threads == 0 {
+            return Err("a run with 0 threads".into());
+        }
+        let t = &run.timings;
+        if [t.decode_ns, t.segment_ns, t.cp_ns, t.metrics_ns, t.end_to_end_ns]
+            .iter()
+            .any(|&ns| ns == 0)
+        {
+            return Err(format!("zero timing in the {}-thread run", run.threads));
+        }
+    }
+    if !report.deterministic {
+        return Err("analysis output differed across thread counts".into());
+    }
+    Ok(report)
+}
+
+/// Human-readable summary of a report (printed after a bench run).
+pub fn render_text(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench_analyze: {} scale={} app_threads={} seed={} ({} events, {} KiB encoded)",
+        report.workload,
+        report.scale,
+        report.app_threads,
+        report.seed,
+        report.trace_events,
+        report.trace_bytes / 1024,
+    );
+    let _ = writeln!(
+        out,
+        "host: {}/{} available_parallelism={}  reps={}  deterministic={}",
+        report.host.os,
+        report.host.arch,
+        report.host.available_parallelism,
+        report.reps,
+        report.deterministic,
+    );
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "threads", "decode", "segment", "cp", "metrics", "end-to-end"
+    );
+    let ms = |ns: u64| format!("{:.2}ms", ns as f64 / 1e6);
+    for run in &report.runs {
+        let t = &run.timings;
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>12} {:>12} {:>12} {:>12} {:>12}",
+            run.threads,
+            ms(t.decode_ns),
+            ms(t.segment_ns),
+            ms(t.cp_ns),
+            ms(t.metrics_ns),
+            ms(t.end_to_end_ns),
+        );
+    }
+    if report.host.available_parallelism < 2 {
+        let _ = writeln!(
+            out,
+            "note: host has 1 CPU; pool-size runs measure overhead, not wall-clock scaling"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig { scale: 0.05, app_threads: 4, seed: 7, reps: 1, thread_counts: vec![1, 2] }
+    }
+
+    #[test]
+    fn report_roundtrips_and_validates() {
+        let report = run(&tiny());
+        let json = to_json(&report);
+        let back = validate_schema(&json).expect("fresh report must validate");
+        assert_eq!(back, report);
+        assert!(report.deterministic, "analysis must not depend on pool size");
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].threads, 1);
+        assert_eq!(report.runs[1].threads, 2);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(validate_schema("{}").is_err());
+        assert!(validate_schema("not json").is_err());
+
+        let mut report = run(&tiny());
+        report.schema_version = 999;
+        assert!(validate_schema(&to_json(&report)).is_err());
+        report.schema_version = SCHEMA_VERSION;
+        report.runs.clear();
+        assert!(validate_schema(&to_json(&report)).is_err());
+    }
+
+    #[test]
+    fn committed_baseline_is_schema_valid() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ANALYZE.json");
+        let json = std::fs::read_to_string(path)
+            .expect("BENCH_ANALYZE.json must be committed at the repo root");
+        let report = validate_schema(&json).expect("committed baseline must match the schema");
+        assert_eq!(report.workload, BENCH_WORKLOAD);
+    }
+
+    #[test]
+    fn render_mentions_host_parallelism() {
+        let report = run(&tiny());
+        let text = render_text(&report);
+        assert!(text.contains("available_parallelism"));
+        assert!(text.contains("end-to-end"));
+    }
+}

@@ -4,8 +4,9 @@
 //! ```text
 //! critlock list
 //! critlock run <workload> [--threads N] [--scale S] [--seed X] [-o|--out trace.cltr]
-//! critlock analyze <trace> [--top N] [--csv|--json] [--no-type2]
+//! critlock analyze <trace> [--top N] [--csv|--json] [--no-type2] [--threads N]
 //! critlock gantt <trace> [--width N]
+//! critlock bench [--scale S] [--reps N] [--threads 1,2,8] [--out FILE]
 //! critlock whatif <trace> --lock NAME [--factor F]
 //! critlock online <trace>
 //! critlock serve [--listen ADDR] [--status ADDR] [--queue N] [--backpressure block|drop]
@@ -35,8 +36,11 @@ USAGE:
       Run a workload on the simulator; print the analysis, optionally
       save the trace (.cltr binary, or .jsonl when the name ends so).
   critlock analyze <trace> [--top N] [--csv|--json] [--no-type2] [--phase MARKER]
+                   [--threads N]
       Run critical lock analysis on a recorded trace (optionally only on
-      the window delimited by a named phase marker).
+      the window delimited by a named phase marker). --threads sizes the
+      analysis worker pool (default: the host's available parallelism);
+      the output is bit-identical at any thread count.
   critlock blockers <trace> [--top N]
       Show who-blocks-whom edges, heaviest waits first.
   critlock threads <trace>
@@ -47,15 +51,22 @@ USAGE:
       Project the speedup from shrinking one lock's critical sections.
   critlock online <trace>
       Run the forward (online) critical-path profile.
+  critlock bench [--scale S] [--app-threads N] [--seed X] [--reps N]
+                 [--threads 1,2,8] [--out FILE]
+      Time every analysis pipeline stage (decode, segment, critical-path
+      walk, metrics, end-to-end) on a large synthetic trace at each
+      requested pool size, and emit the machine-readable report that
+      BENCH_ANALYZE.json at the repo root is generated from.
   critlock serve [--listen ADDR] [--status ADDR] [--queue N]
                  [--backpressure block|drop] [--interval-ms N]
-                 [--journal DIR] [--idle-timeout-ms N]
+                 [--journal DIR] [--idle-timeout-ms N] [--threads N]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
       --status. With --journal, every accepted frame is logged to a
       crash-safe per-session journal in DIR and recovered on restart.
       With --idle-timeout-ms, stalled connections are severed and their
-      sessions finalized.
+      sessions finalized. --threads sizes the snapshot analysis pool
+      (default: the host's available parallelism).
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -96,6 +107,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "list" => cmd_list(),
         "run" => cmd_run(&p),
         "analyze" => cmd_analyze(&p),
+        "bench" => cmd_bench(&p),
         "blockers" => cmd_blockers(&p),
         "threads" => cmd_threads(&p),
         "gantt" => cmd_gantt(&p),
@@ -150,12 +162,25 @@ fn cmd_run(p: &args::Parsed) -> Result<String, String> {
     Ok(out)
 }
 
+/// Build the scoped analysis worker pool selected by `--threads`
+/// (default: the host's available parallelism). Analysis output is
+/// bit-identical at any pool size; the flag only trades CPU for latency.
+fn analysis_pool(p: &args::Parsed) -> Result<rayon::ThreadPool, String> {
+    let threads: usize = p.get_or("threads", 0usize)?;
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| format!("cannot build analysis pool: {e}"))
+}
+
 fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
-    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let pool = analysis_pool(p)?;
+    let trace = pool.install(|| load_trace(p.positional(0, "trace file")?))?;
     let rep = match p.options.get("phase") {
-        Some(marker) => analyze_phase(&trace, marker)
+        Some(marker) => pool
+            .install(|| analyze_phase(&trace, marker))
             .ok_or_else(|| format!("marker `{marker}` not found (or fires only once)"))?,
-        None => analyze(&trace),
+        None => pool.install(|| analyze(&trace)),
     };
     if p.flag("json") {
         return Ok(to_json(&rep));
@@ -170,6 +195,36 @@ fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
         .transpose()
         .map_err(|_| "invalid --top".to_string())?;
     Ok(render_text(&rep, &RenderOptions { top, type2: !p.flag("no-type2"), derived: true }))
+}
+
+fn cmd_bench(p: &args::Parsed) -> Result<String, String> {
+    use critlock_bench::perfbench::{self, BenchConfig};
+
+    let mut cfg = BenchConfig::default();
+    cfg.scale = p.get_or("scale", cfg.scale)?;
+    cfg.app_threads = p.get_or("app-threads", cfg.app_threads)?;
+    cfg.seed = p.get_or("seed", cfg.seed)?;
+    cfg.reps = p.get_or("reps", cfg.reps)?;
+    if let Some(list) = p.options.get("threads") {
+        cfg.thread_counts = list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().map_err(|_| format!("invalid --threads: {list}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        if cfg.thread_counts.is_empty() || cfg.thread_counts.contains(&0) {
+            return Err("--threads expects a comma list of positive counts".into());
+        }
+    }
+
+    let report = perfbench::run(&cfg);
+    let json = perfbench::to_json(&report);
+    perfbench::validate_schema(&json)
+        .map_err(|e| format!("generated report fails its own schema: {e}"))?;
+    let mut out = perfbench::render_text(&report);
+    if let Some(path) = p.options.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
 }
 
 fn cmd_blockers(p: &args::Parsed) -> Result<String, String> {
@@ -274,6 +329,14 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
     if let Some(ms) = p.options.get("idle-timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| format!("invalid --idle-timeout-ms: {ms}"))?;
         config.idle_timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(threads) = p.options.get("threads") {
+        let threads: usize =
+            threads.parse().map_err(|_| format!("invalid --threads: {threads}"))?;
+        if threads == 0 {
+            return Err("--threads must be >= 1".into());
+        }
+        config.analysis_threads = Some(threads);
     }
 
     let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;
@@ -449,6 +512,51 @@ mod tests {
         }
         std::fs::remove_file(&full).ok();
         std::fs::remove_file(&cut).ok();
+    }
+
+    #[test]
+    fn analyze_is_byte_identical_across_thread_counts() {
+        let dir = std::env::temp_dir().join("critlock-cli-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("radiosity.cltr");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&["run", "radiosity", "--threads", "8", "--scale", "0.3", "--out", path_s]))
+            .unwrap();
+
+        let serial = run(&sv(&["analyze", path_s, "--json", "--threads", "1"])).unwrap();
+        let parallel = run(&sv(&["analyze", path_s, "--json", "--threads", "8"])).unwrap();
+        assert_eq!(serial, parallel, "analysis output must not depend on the pool size");
+        // The default (host parallelism) must agree too.
+        let auto = run(&sv(&["analyze", path_s, "--json"])).unwrap();
+        assert_eq!(serial, auto);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_writes_valid_report() {
+        let dir = std::env::temp_dir().join("critlock-cli-bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path_s = path.to_str().unwrap();
+        let out = run(&sv(&[
+            "bench",
+            "--scale",
+            "0.05",
+            "--app-threads",
+            "4",
+            "--reps",
+            "1",
+            "--threads",
+            "1,2",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("available_parallelism"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        critlock_bench::perfbench::validate_schema(&json).unwrap();
+        assert!(run(&sv(&["bench", "--threads", "0"])).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

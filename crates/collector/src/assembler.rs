@@ -27,7 +27,7 @@ use critlock_trace::stream::Frame;
 use critlock_trace::{
     Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts, SEQ_UNKNOWN,
 };
-use std::collections::BTreeMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Incremental, loss-tolerant trace assembly for one session.
 #[derive(Debug, Default)]
@@ -187,7 +187,7 @@ pub fn repair(trace: &mut Trace) {
     }
 
     // --- object registry: infer kinds for unregistered references ------
-    let mut inferred: BTreeMap<u32, ObjKind> = BTreeMap::new();
+    let mut inferred: FxHashMap<u32, ObjKind> = FxHashMap::default();
     for stream in &trace.threads {
         for ev in &stream.events {
             if let Some((obj, kind)) = expected_kind(&ev.kind) {
@@ -197,7 +197,7 @@ pub fn repair(trace: &mut Trace) {
             }
         }
     }
-    if let Some((&top, _)) = inferred.iter().next_back() {
+    if let Some(&top) = inferred.keys().max() {
         for i in trace.objects.len() as u32..=top {
             let kind = inferred.get(&i).copied().unwrap_or(ObjKind::Marker);
             trace.objects.push(ObjInfo { kind, name: format!("unregistered-{i}") });
@@ -233,11 +233,14 @@ fn repair_stream(events: Vec<Event>, objects: &[ObjInfo]) -> Vec<Event> {
     };
 
     // 0 = idle, 1 = acquiring, 2 = contended, 3 = held (same encoding as
-    // `Trace::validate`); rwlocks also remember the requested mode.
-    let mut lock_state: BTreeMap<ObjId, u8> = BTreeMap::new();
-    let mut rw_state: BTreeMap<ObjId, (u8, bool)> = BTreeMap::new();
-    let mut lock_pending: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
-    let mut rw_pending: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
+    // `Trace::validate`); rwlocks also remember the requested mode. These
+    // are hit once per event, so they use the fast deterministic hasher;
+    // close-time iteration sorts the keys to keep synthesized-event order
+    // independent of insertion history.
+    let mut lock_state: FxHashMap<ObjId, u8> = FxHashMap::default();
+    let mut rw_state: FxHashMap<ObjId, (u8, bool)> = FxHashMap::default();
+    let mut lock_pending: FxHashMap<ObjId, Vec<usize>> = FxHashMap::default();
+    let mut rw_pending: FxHashMap<ObjId, Vec<usize>> = FxHashMap::default();
     let mut in_barrier: Option<(ObjId, u32)> = None;
     let mut in_wait: Option<ObjId> = None;
 
@@ -389,15 +392,17 @@ fn repair_stream(events: Vec<Event>, objects: &[ObjInfo]) -> Vec<Event> {
     // invocation; a *contended* one (state 2) is excised instead, because
     // a synthesized contended obtain would imply a release by another
     // thread that never happened. A held lock (state 3) gets its release.
-    let mut remove: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut remove: FxHashSet<usize> = FxHashSet::default();
     if let Some(cv) = in_wait.take() {
         out.push(Event::new(last_ts, EventKind::CondWakeup { cv, signal_seq: SEQ_UNKNOWN }));
     }
     if let Some((barrier, epoch)) = in_barrier.take() {
         out.push(Event::new(last_ts, EventKind::BarrierDepart { barrier, epoch }));
     }
-    for (&lock, &st) in &lock_state {
-        match st {
+    let mut lock_ids: Vec<ObjId> = lock_state.keys().copied().collect();
+    lock_ids.sort_unstable();
+    for lock in lock_ids {
+        match lock_state[&lock] {
             1 => {
                 out.push(Event::new(last_ts, EventKind::LockObtain { lock }));
                 out.push(Event::new(last_ts, EventKind::LockRelease { lock }));
@@ -407,7 +412,10 @@ fn repair_stream(events: Vec<Event>, objects: &[ObjInfo]) -> Vec<Event> {
             _ => {}
         }
     }
-    for (&lock, &(st, write)) in &rw_state {
+    let mut rw_ids: Vec<ObjId> = rw_state.keys().copied().collect();
+    rw_ids.sort_unstable();
+    for lock in rw_ids {
+        let (st, write) = rw_state[&lock];
         match st {
             1 => {
                 out.push(Event::new(last_ts, EventKind::RwObtain { lock, write }));

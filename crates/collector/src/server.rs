@@ -71,6 +71,10 @@ pub struct CollectorConfig {
     /// Directory for per-session write-ahead journals. `None` disables
     /// journaling (a collector crash then loses in-flight sessions).
     pub journal_dir: Option<PathBuf>,
+    /// Worker threads for the snapshot analysis pipeline. `None` uses the
+    /// host's available parallelism. Snapshot contents are bit-identical
+    /// at any thread count; this only trades latency for CPU.
+    pub analysis_threads: Option<usize>,
 }
 
 impl CollectorConfig {
@@ -87,6 +91,7 @@ impl CollectorConfig {
             poll_interval: Duration::from_millis(5),
             idle_timeout: None,
             journal_dir: None,
+            analysis_threads: None,
         }
     }
 }
@@ -136,9 +141,28 @@ impl SessionState {
         true
     }
 
-    /// Recompute and publish this session's snapshot.
+    /// Recompute and publish this session's snapshot. If no frame has
+    /// arrived since the last published snapshot, the repair + analysis
+    /// pass is skipped entirely — re-running it would reproduce the same
+    /// report bit for bit — and only the cheap queue counters refresh.
+    /// (The `dirty` flag alone cannot guarantee this: it is also raised on
+    /// frame-free transitions such as a reader detaching.)
     fn refresh_snapshot(&self) -> SessionSnapshot {
         let asm = self.asm.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.snapshot.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(prev) = slot.as_ref() {
+            if prev.frames == asm.frames() {
+                let mut snap = prev.clone();
+                snap.queue_depth = self.queue.depth() as u64;
+                snap.queue_high_water = self.queue.high_water();
+                snap.dropped_frames = self.queue.dropped();
+                drop(asm);
+                self.dirty.store(false, Ordering::Release);
+                *slot = Some(snap.clone());
+                return snap;
+            }
+        }
+        drop(slot);
         let snap = SessionSnapshot::compute(
             self.id,
             self.peer.clone(),
@@ -582,6 +606,14 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
 }
 
 fn analysis_loop(shared: Arc<Shared>) {
+    // The snapshot analysis (repair + offline analyze) runs inside a
+    // dedicated worker pool sized by `analysis_threads`; snapshots are
+    // bit-identical at any pool size, so this is purely a latency knob.
+    let workers = shared
+        .config
+        .analysis_threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().ok();
     let mut last_publish = Instant::now();
     loop {
         let stopping = shared.shutdown.load(Ordering::Acquire);
@@ -593,7 +625,14 @@ fn analysis_loop(shared: Arc<Shared>) {
         if stopping || last_publish.elapsed() >= shared.config.snapshot_interval {
             for session in &sessions {
                 if session.dirty.load(Ordering::Acquire) {
-                    session.refresh_snapshot();
+                    match &pool {
+                        Some(pool) => {
+                            pool.install(|| session.refresh_snapshot());
+                        }
+                        None => {
+                            session.refresh_snapshot();
+                        }
+                    }
                 }
             }
             last_publish = Instant::now();

@@ -8,22 +8,33 @@
 //! objects: count, then per object: kind u8, name len + bytes
 //! threads: count, then per thread:
 //!   tid, has_name u8 (+ name), event count,
+//!   (v2) section byte length,
 //!   events as (delta-ts varint, opcode u8, operands...)
 //! ```
 //!
 //! Timestamps are delta-encoded per thread, which keeps typical event
 //! records at 3–6 bytes.
+//!
+//! Version 2 prefixes each thread's encoded event block with its byte
+//! length, so a reader holding the whole trace in memory can locate every
+//! section without decoding it and hand the sections to worker threads:
+//! [`read_trace_bytes`] decodes them in parallel (event timestamps are
+//! delta-encoded *per thread*, so each section is self-contained).
+//! Version 1 traces (no section lengths) are still read, serially.
 
 use crate::error::{Result, TraceError};
 use crate::event::{Event, EventKind};
 use crate::ids::{ObjId, ObjInfo, ObjKind, ThreadId};
 use crate::trace::{ThreadStream, Trace, TraceMeta};
+use rayon::prelude::*;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CLTR";
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
+/// Oldest format version [`read_trace`] still accepts.
+const MIN_VERSION: u64 = 1;
 
 /// Write an unsigned LEB128 varint.
 pub fn write_varint(out: &mut impl Write, mut v: u64) -> Result<()> {
@@ -265,6 +276,7 @@ pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
     }
 
     write_varint(out, trace.threads.len() as u64)?;
+    let mut section = Vec::new();
     for stream in &trace.threads {
         write_varint(out, stream.tid.0 as u64)?;
         match &stream.name {
@@ -275,24 +287,45 @@ pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
             None => out.write_all(&[0])?,
         }
         write_varint(out, stream.events.len() as u64)?;
+        // v2: the event block is length-prefixed so readers can skip to
+        // the next section without decoding. Encode into a reusable
+        // scratch buffer to learn the length.
+        section.clear();
         let mut prev = 0u64;
         for ev in &stream.events {
-            write_event(out, prev, ev)?;
+            write_event(&mut section, prev, ev)?;
             prev = ev.ts;
         }
+        write_bytes(out, &section)?;
     }
     Ok(())
 }
 
-/// Deserialize a trace from the binary format.
-pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
+/// Decode one thread's event block from its self-contained section.
+fn decode_events(mut section: &[u8], nev: usize) -> Result<Vec<Event>> {
+    let mut events = Vec::with_capacity(nev.min(1 << 20));
+    let mut prev = 0u64;
+    for _ in 0..nev {
+        let ev = read_event(&mut section, prev)?;
+        prev = ev.ts;
+        events.push(ev);
+    }
+    if !section.is_empty() {
+        return Err(TraceError::Decode("trailing bytes in thread section".into()));
+    }
+    Ok(events)
+}
+
+/// Read everything before the thread sections; returns the trace shell
+/// plus the declared thread count and format version.
+fn read_preamble(inp: &mut impl Read) -> Result<(Trace, usize, u64)> {
     let mut magic = [0u8; 4];
     inp.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(TraceError::Decode("bad magic (not a CLTR trace)".into()));
     }
     let version = read_varint(inp)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(TraceError::Decode(format!("unsupported version {version}")));
     }
     let meta: TraceMeta = serde_json::from_slice(&read_bytes(inp)?)?;
@@ -308,23 +341,83 @@ pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
     }
 
     let nthreads = read_varint(inp)? as usize;
+    Ok((trace, nthreads, version))
+}
+
+fn read_thread_header(inp: &mut impl Read) -> Result<(ThreadId, Option<String>, usize)> {
+    let tid = read_tid(inp)?;
+    let mut has_name = [0u8; 1];
+    inp.read_exact(&mut has_name)?;
+    let name = if has_name[0] == 1 { Some(read_string(inp)?) } else { None };
+    let nev = read_varint(inp)? as usize;
+    Ok((tid, name, nev))
+}
+
+/// Deserialize a trace from the binary format (streaming, serial).
+pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
+    let (mut trace, nthreads, version) = read_preamble(inp)?;
     for _ in 0..nthreads {
-        let tid = read_tid(inp)?;
-        let mut has_name = [0u8; 1];
-        inp.read_exact(&mut has_name)?;
-        let name = if has_name[0] == 1 { Some(read_string(inp)?) } else { None };
-        let nev = read_varint(inp)? as usize;
-        let mut events = Vec::with_capacity(nev.min(1 << 20));
-        let mut prev = 0u64;
-        for _ in 0..nev {
-            let ev = read_event(inp, prev)?;
-            prev = ev.ts;
-            events.push(ev);
-        }
+        let (tid, name, nev) = read_thread_header(inp)?;
+        let events = if version >= 2 {
+            decode_events(&read_bytes(inp)?, nev)?
+        } else {
+            let mut events = Vec::with_capacity(nev.min(1 << 20));
+            let mut prev = 0u64;
+            for _ in 0..nev {
+                let ev = read_event(inp, prev)?;
+                prev = ev.ts;
+                events.push(ev);
+            }
+            events
+        };
         let mut stream = ThreadStream::new(tid);
         stream.name = name;
         stream.events = events;
         trace.threads.push(stream);
+    }
+    Ok(trace)
+}
+
+/// Deserialize a trace held entirely in memory.
+///
+/// For version-2 traces the section lengths let this path scan the thread
+/// headers serially and then decode all event blocks in parallel across
+/// the active rayon pool; output is identical to [`read_trace`]. Earlier
+/// versions fall back to the serial reader.
+pub fn read_trace_bytes(buf: &[u8]) -> Result<Trace> {
+    let mut rem = buf;
+    let (mut trace, nthreads, version) = read_preamble(&mut rem)?;
+    if version < 2 {
+        let mut rest = buf;
+        return read_trace(&mut rest);
+    }
+    // Serial boundary scan: headers are tiny, sections are skipped whole.
+    let mut sections: Vec<(ThreadId, Option<String>, usize, &[u8])> =
+        Vec::with_capacity(nthreads.min(1 << 16));
+    for _ in 0..nthreads {
+        let (tid, name, nev) = read_thread_header(&mut rem)?;
+        let len = read_varint(&mut rem)? as usize;
+        if len > rem.len() {
+            return Err(TraceError::Decode(format!(
+                "thread section length {len} exceeds remaining {}",
+                rem.len()
+            )));
+        }
+        let (section, rest) = rem.split_at(len);
+        rem = rest;
+        sections.push((tid, name, nev, section));
+    }
+    let decoded: Vec<Result<ThreadStream>> = sections
+        .into_par_iter()
+        .map(|(tid, name, nev, section)| {
+            let mut stream = ThreadStream::new(tid);
+            stream.name = name;
+            stream.events = decode_events(section, nev)?;
+            Ok(stream)
+        })
+        .collect();
+    for stream in decoded {
+        trace.threads.push(stream?);
     }
     Ok(trace)
 }
@@ -338,9 +431,13 @@ pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<()> {
 }
 
 /// Load a trace from a binary-format file.
+///
+/// Reads the file into memory in one pass and decodes via
+/// [`read_trace_bytes`], avoiding per-byte reader overhead and letting
+/// thread sections decode in parallel.
 pub fn load(path: impl AsRef<Path>) -> Result<Trace> {
-    let mut r = BufReader::new(File::open(path)?);
-    read_trace(&mut r)
+    let buf = std::fs::read(path)?;
+    read_trace_bytes(&buf)
 }
 
 #[cfg(test)]
@@ -436,5 +533,62 @@ mod tests {
     fn empty_trace_roundtrip() {
         let t = Trace::default();
         assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn bytes_path_matches_streaming_reader() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let streaming = read_trace(&mut Cursor::new(buf.clone())).unwrap();
+        let parallel = read_trace_bytes(&buf).unwrap();
+        assert_eq!(streaming, parallel);
+        assert_eq!(parallel, t);
+    }
+
+    /// Hand-encode a v1 trace (no section byte lengths) and check both
+    /// readers still accept it.
+    #[test]
+    fn version1_still_readable() {
+        let t = sample();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, 1).unwrap();
+        write_bytes(&mut buf, &serde_json::to_vec(&t.meta).unwrap()).unwrap();
+        write_varint(&mut buf, t.objects.len() as u64).unwrap();
+        for obj in &t.objects {
+            buf.push(kind_to_u8(obj.kind));
+            write_bytes(&mut buf, obj.name.as_bytes()).unwrap();
+        }
+        write_varint(&mut buf, t.threads.len() as u64).unwrap();
+        for stream in &t.threads {
+            write_varint(&mut buf, stream.tid.0 as u64).unwrap();
+            match &stream.name {
+                Some(n) => {
+                    buf.push(1);
+                    write_bytes(&mut buf, n.as_bytes()).unwrap();
+                }
+                None => buf.push(0),
+            }
+            write_varint(&mut buf, stream.events.len() as u64).unwrap();
+            let mut prev = 0u64;
+            for ev in &stream.events {
+                write_event(&mut buf, prev, ev).unwrap();
+                prev = ev.ts;
+            }
+        }
+        assert_eq!(read_trace(&mut Cursor::new(buf.clone())).unwrap(), t);
+        assert_eq!(read_trace_bytes(&buf).unwrap(), t);
+    }
+
+    /// A section length pointing past the end of the buffer (here:
+    /// truncating the file under an intact length) must error, not panic.
+    #[test]
+    fn oversized_section_length_rejected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_trace_bytes(&buf).is_err());
     }
 }

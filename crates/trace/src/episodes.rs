@@ -8,7 +8,8 @@
 
 use crate::event::{EventKind, Ts};
 use crate::ids::{ObjId, ThreadId};
-use crate::trace::Trace;
+use crate::trace::{ThreadStream, Trace};
+use rayon::prelude::*;
 
 /// One lock invocation by one thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,40 +150,45 @@ pub struct JoinEpisode {
 /// Incomplete trailing invocations (possible in truncated traces) are
 /// dropped.
 pub fn lock_episodes(trace: &Trace) -> Vec<LockEpisode> {
+    // Episodes are per-thread state machines over per-thread streams, so
+    // the threads extract independently; concatenating in thread order
+    // reproduces the serial output exactly.
+    concat(trace.threads.par_iter().map(lock_episodes_of).collect())
+}
+
+fn lock_episodes_of(stream: &ThreadStream) -> Vec<LockEpisode> {
     let mut out = Vec::new();
-    for stream in &trace.threads {
-        // lock -> (acquire_ts, contended, obtain_ts)
-        let mut pending: Vec<(ObjId, Ts, bool, Option<Ts>)> = Vec::new();
-        for ev in &stream.events {
-            match ev.kind {
-                EventKind::LockAcquire { lock } => pending.push((lock, ev.ts, false, None)),
-                EventKind::LockContended { lock } => {
-                    if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
-                        p.2 = true;
-                    }
+    // lock -> (acquire_ts, contended, obtain_ts)
+    let mut pending: Vec<(ObjId, Ts, bool, Option<Ts>)> = Vec::new();
+    for ev in &stream.events {
+        match ev.kind {
+            EventKind::LockAcquire { lock } => pending.push((lock, ev.ts, false, None)),
+            EventKind::LockContended { lock } => {
+                if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
+                    p.2 = true;
                 }
-                EventKind::LockObtain { lock } => {
-                    if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
-                        p.3 = Some(ev.ts);
-                    }
-                }
-                EventKind::LockRelease { lock } => {
-                    if let Some(pos) = pending.iter().rposition(|p| p.0 == lock) {
-                        let (l, acq, contended, obtain) = pending.remove(pos);
-                        if let Some(obt) = obtain {
-                            out.push(LockEpisode {
-                                tid: stream.tid,
-                                lock: l,
-                                acquire: acq,
-                                obtain: obt,
-                                release: ev.ts,
-                                contended,
-                            });
-                        }
-                    }
-                }
-                _ => {}
             }
+            EventKind::LockObtain { lock } => {
+                if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
+                    p.3 = Some(ev.ts);
+                }
+            }
+            EventKind::LockRelease { lock } => {
+                if let Some(pos) = pending.iter().rposition(|p| p.0 == lock) {
+                    let (l, acq, contended, obtain) = pending.remove(pos);
+                    if let Some(obt) = obtain {
+                        out.push(LockEpisode {
+                            tid: stream.tid,
+                            lock: l,
+                            acquire: acq,
+                            obtain: obt,
+                            release: ev.ts,
+                            contended,
+                        });
+                    }
+                }
+            }
+            _ => {}
         }
     }
     out
@@ -190,44 +196,55 @@ pub fn lock_episodes(trace: &Trace) -> Vec<LockEpisode> {
 
 /// All reader-writer lock episodes of a trace.
 pub fn rw_episodes(trace: &Trace) -> Vec<RwEpisode> {
+    concat(trace.threads.par_iter().map(rw_episodes_of).collect())
+}
+
+fn rw_episodes_of(stream: &ThreadStream) -> Vec<RwEpisode> {
     let mut out = Vec::new();
-    for stream in &trace.threads {
-        // rwlock -> (acquire_ts, write, contended, obtain_ts)
-        let mut pending: Vec<(ObjId, Ts, bool, bool, Option<Ts>)> = Vec::new();
-        for ev in &stream.events {
-            match ev.kind {
-                EventKind::RwAcquire { lock, write } => {
-                    pending.push((lock, ev.ts, write, false, None));
-                }
-                EventKind::RwContended { lock, .. } => {
-                    if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
-                        p.3 = true;
-                    }
-                }
-                EventKind::RwObtain { lock, .. } => {
-                    if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
-                        p.4 = Some(ev.ts);
-                    }
-                }
-                EventKind::RwRelease { lock, .. } => {
-                    if let Some(pos) = pending.iter().rposition(|p| p.0 == lock) {
-                        let (l, acquire, write, contended, obtain) = pending.remove(pos);
-                        if let Some(obtain) = obtain {
-                            out.push(RwEpisode {
-                                tid: stream.tid,
-                                lock: l,
-                                write,
-                                acquire,
-                                obtain,
-                                release: ev.ts,
-                                contended,
-                            });
-                        }
-                    }
-                }
-                _ => {}
+    // rwlock -> (acquire_ts, write, contended, obtain_ts)
+    let mut pending: Vec<(ObjId, Ts, bool, bool, Option<Ts>)> = Vec::new();
+    for ev in &stream.events {
+        match ev.kind {
+            EventKind::RwAcquire { lock, write } => {
+                pending.push((lock, ev.ts, write, false, None));
             }
+            EventKind::RwContended { lock, .. } => {
+                if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
+                    p.3 = true;
+                }
+            }
+            EventKind::RwObtain { lock, .. } => {
+                if let Some(p) = pending.iter_mut().rev().find(|p| p.0 == lock) {
+                    p.4 = Some(ev.ts);
+                }
+            }
+            EventKind::RwRelease { lock, .. } => {
+                if let Some(pos) = pending.iter().rposition(|p| p.0 == lock) {
+                    let (l, acquire, write, contended, obtain) = pending.remove(pos);
+                    if let Some(obtain) = obtain {
+                        out.push(RwEpisode {
+                            tid: stream.tid,
+                            lock: l,
+                            write,
+                            acquire,
+                            obtain,
+                            release: ev.ts,
+                            contended,
+                        });
+                    }
+                }
+            }
+            _ => {}
         }
+    }
+    out
+}
+
+fn concat<T>(parts: Vec<Vec<T>>) -> Vec<T> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
     }
     out
 }

@@ -51,7 +51,7 @@ use crate::error::{Result, TraceError};
 use crate::event::Event;
 use crate::ids::{ObjInfo, ThreadId};
 use crate::trace::{ThreadStream, Trace, TraceMeta};
-use std::io::{Cursor, ErrorKind, Read, Write};
+use std::io::{ErrorKind, Read, Write};
 
 /// Stream header magic.
 pub const STREAM_MAGIC: &[u8; 4] = b"CLSM";
@@ -213,7 +213,10 @@ fn encode_payload(frame: &Frame) -> Result<Vec<u8>> {
 }
 
 fn decode_payload(payload: &[u8]) -> Result<Frame> {
-    let mut inp = Cursor::new(payload);
+    // Decode through a plain slice cursor: `Read for &[u8]` advances the
+    // slice in place, so the sub-byte reads inline to pointer bumps with
+    // no position bookkeeping.
+    let mut inp: &[u8] = payload;
     let mut ty = [0u8; 1];
     inp.read_exact(&mut ty)?;
     let frame = match ty[0] {
@@ -267,7 +270,7 @@ fn decode_payload(payload: &[u8]) -> Result<Frame> {
         5 => Frame::End,
         other => return Err(TraceError::Decode(format!("bad frame type {other}"))),
     };
-    if (inp.position() as usize) != payload.len() {
+    if !inp.is_empty() {
         return Err(TraceError::Decode("trailing bytes in frame payload".into()));
     }
     Ok(frame)
@@ -347,6 +350,10 @@ impl<W: Write> StreamWriter<W> {
 pub struct StreamReader<R: Read> {
     inp: R,
     handshake: Handshake,
+    /// Scratch for frame payloads, reused across [`Self::next_frame`]
+    /// calls so steady-state reading allocates only for decoded frame
+    /// contents, not for every wire payload.
+    payload: Vec<u8>,
 }
 
 impl<R: Read> StreamReader<R> {
@@ -366,7 +373,7 @@ impl<R: Read> StreamReader<R> {
         let version = read_varint(&mut inp)?;
         write_varint(&mut fields, version)?;
         if version == 1 {
-            return Ok(StreamReader { inp, handshake: Handshake::default() });
+            return Ok(StreamReader { inp, handshake: Handshake::default(), payload: Vec::new() });
         }
         if !(MIN_STREAM_VERSION..=STREAM_VERSION).contains(&version) {
             return Err(TraceError::Decode(format!(
@@ -392,7 +399,7 @@ impl<R: Read> StreamReader<R> {
                 "header CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
             )));
         }
-        Ok(StreamReader { inp, handshake: Handshake { token, start_seq } })
+        Ok(StreamReader { inp, handshake: Handshake { token, start_seq }, payload: Vec::new() })
     }
 
     /// The handshake carried by the stream header.
@@ -427,18 +434,19 @@ impl<R: Read> StreamReader<R> {
         if len > MAX_FRAME_LEN {
             return Err(TraceError::Decode(format!("frame length {len} exceeds limit")));
         }
-        let mut payload = vec![0u8; len];
-        self.inp.read_exact(&mut payload)?;
+        self.payload.clear();
+        self.payload.resize(len, 0);
+        self.inp.read_exact(&mut self.payload)?;
         let mut crc_bytes = [0u8; 4];
         self.inp.read_exact(&mut crc_bytes)?;
         let expected = u32::from_le_bytes(crc_bytes);
-        let actual = crc32(&payload);
+        let actual = crc32(&self.payload);
         if expected != actual {
             return Err(TraceError::Decode(format!(
                 "frame CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
             )));
         }
-        decode_payload(&payload).map(Some)
+        decode_payload(&self.payload).map(Some)
     }
 
     /// Unwrap the underlying reader.
@@ -618,6 +626,7 @@ pub fn apply_frame(trace: &mut Trace, frame: Frame) -> Result<bool> {
 mod tests {
     use super::*;
     use crate::builder::TraceBuilder;
+    use std::io::Cursor;
 
     fn sample() -> Trace {
         let mut b = TraceBuilder::new("stream-sample");

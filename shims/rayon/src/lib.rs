@@ -1,0 +1,406 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the API subset this workspace uses — `par_iter()` /
+//! `into_par_iter()` / `par_chunks()` with `map` + `collect`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] — over
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! worker and results are rejoined in input order, so `collect()` returns
+//! items in exactly the order a serial `iter().map().collect()` would:
+//! callers rely on that for byte-identical parallel output.
+//!
+//! Pool semantics: the active pool size is a thread-local. `install`
+//! pins it for the duration of the closure; worker threads run with an
+//! active size of 1 so nested parallel calls execute inline instead of
+//! oversubscribing. With an active size of 1 (or a single item) no
+//! threads are spawned at all.
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    static ACTIVE_POOL: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    ACTIVE_POOL.with(Cell::get).unwrap_or_else(default_parallelism)
+}
+
+/// Restores the previous thread-local pool size on drop (unwind-safe).
+struct PoolGuard(Option<usize>);
+
+impl PoolGuard {
+    fn set(size: usize) -> Self {
+        PoolGuard(ACTIVE_POOL.with(|c| c.replace(Some(size))))
+    }
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        ACTIVE_POOL.with(|c| c.set(prev));
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in, but
+/// part of the rayon signature callers match on).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool size; `0` means available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads == 0 { default_parallelism() } else { self.num_threads };
+        Ok(ThreadPool { size })
+    }
+}
+
+/// A scoped pool: parallel operations inside [`ThreadPool::install`] use
+/// this pool's thread count instead of the global default.
+#[derive(Debug)]
+pub struct ThreadPool {
+    size: usize,
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.size
+    }
+
+    /// Run `op` with this pool active on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let _guard = PoolGuard::set(self.size);
+        op()
+    }
+}
+
+/// Map `f` over `items` across the active pool, preserving input order.
+fn run_map<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let workers = current_num_threads().min(items.len()).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // Nested parallel calls inside a worker run inline.
+                    let _guard = PoolGuard::set(1);
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// A parallel iterator: a pipeline that can be driven to an ordered `Vec`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Execute the pipeline, returning items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collect the pipeline's output.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Source stage holding already-materialized items.
+pub struct IterPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterPar<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazy `map` stage.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        run_map(self.base.drive(), self.f)
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterPar<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IterPar { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IterPar<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IterPar { items: self.collect() }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item: Send + 'data;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = IterPar<&'data T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        IterPar { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = IterPar<&'data T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        IterPar { items: self.iter().collect() }
+    }
+}
+
+/// Parallel chunked views of a slice.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `size` items (last
+    /// chunk may be shorter). `size` must be non-zero.
+    fn par_chunks(&self, size: usize) -> IterPar<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> IterPar<&[T]> {
+        assert!(size != 0, "chunk size must be non-zero");
+        IterPar { items: self.chunks(size).collect() }
+    }
+}
+
+/// The traits, for glob import.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
+}
+
+/// Collection from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection by driving the pipeline.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
+        par.drive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        let serial: Vec<u64> = v.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn into_par_iter_by_value() {
+        let v: Vec<String> = (0..40).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = v.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, v.iter().map(String::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_cover_slice_in_order() {
+        let v: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        let serial: Vec<u32> = v.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, serial);
+        assert_eq!(sums.len(), 11);
+    }
+
+    #[test]
+    fn range_source() {
+        let squares: Vec<usize> = (0..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn install_sets_and_restores_pool_size() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let before = current_num_threads();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> =
+            pool.install(|| (0..8).into_par_iter().map(|_| std::thread::current().id()).collect());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn workers_run_nested_calls_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let nested: Vec<usize> =
+            pool.install(|| (0..8).into_par_iter().map(|_| current_num_threads()).collect());
+        // Inside a worker (or inline on the caller when fewer items than
+        // workers) the active size is 1 — except the degenerate inline
+        // case keeps the pool size. Either way nested calls must not see
+        // the outer pool multiplied.
+        assert!(nested.iter().all(|&n| n <= 4));
+        let deep: Vec<Vec<u32>> = pool.install(|| {
+            (0..4)
+                .into_par_iter()
+                .map(|i| (0..4).into_par_iter().map(move |j| (i * 4 + j) as u32).collect())
+                .collect()
+        });
+        let flat: Vec<u32> = deep.into_iter().flatten().collect();
+        assert_eq!(flat, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                let _: Vec<u32> = (0..8)
+                    .into_par_iter()
+                    .map(|i| if i == 5 { panic!("boom") } else { 0 })
+                    .collect();
+            })
+        });
+        assert!(result.is_err());
+        // Pool-size thread-local must be restored after the unwind.
+        let _ = current_num_threads();
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `rustc-hash`.
+//!
+//! Provides the `FxHasher` family: a fast, non-cryptographic,
+//! fully deterministic hasher (no per-process `RandomState` seeding) in
+//! the multiply-rotate style rustc uses internally. Only the surface this
+//! workspace uses is provided: [`FxHasher`], [`FxBuildHasher`],
+//! [`FxHashMap`] and [`FxHashSet`].
+//!
+//! Determinism matters here beyond speed: map iteration order feeds into
+//! analysis pipelines that promise byte-identical output across runs, so
+//! a seeded `RandomState` default hasher is actively wrong for them.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Fast deterministic hasher (multiply-rotate over 64-bit words).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (head, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(head.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (head, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(head.try_into().unwrap())));
+            bytes = rest;
+        }
+        if bytes.len() >= 2 {
+            let (head, rest) = bytes.split_at(2);
+            self.add_to_hash(u64::from(u16::from_le_bytes(head.try_into().unwrap())));
+            bytes = rest;
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"critical lock"), hash_of(b"critical lock"));
+        let mut a = FxHasher::default();
+        a.write_u64(42);
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+        assert_ne!(hash_of(b""), hash_of(b"a"));
+        let mut h = FxHasher::default();
+        h.write_u32(7);
+        let mut g = FxHasher::default();
+        g.write_u32(8);
+        assert_ne!(h.finish(), g.finish());
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn tail_bytes_hashed() {
+        // 9 bytes exercises the 8 + 1 split; 7 exercises 4 + 2 + 1.
+        assert_ne!(hash_of(&[1; 9]), hash_of(&[1; 8]));
+        assert_ne!(hash_of(b"abcdefg"), hash_of(b"abcdefh"));
+    }
+}

@@ -140,6 +140,40 @@ proptest! {
     }
 
     #[test]
+    fn parallel_analysis_is_bit_identical_to_serial(w in workload_strategy()) {
+        // The determinism contract of the parallel pipeline: at any pool
+        // size, decode, segmentation, metrics and the online pass produce
+        // *exactly* the report a 1-thread pool produces — equal structs
+        // and byte-identical JSON (so float formatting is covered too).
+        let trace = build_and_run(&w, MachineConfig::ideal().with_seed(w.seed));
+        let mut buf = Vec::new();
+        critlock::trace::codec::write_trace(&trace, &mut buf).expect("encode");
+
+        let serial_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let parallel_pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+
+        let serial_trace = serial_pool
+            .install(|| critlock::trace::codec::read_trace_bytes(&buf))
+            .expect("serial decode");
+        let parallel_trace = parallel_pool
+            .install(|| critlock::trace::codec::read_trace_bytes(&buf))
+            .expect("parallel decode");
+        prop_assert_eq!(&serial_trace, &parallel_trace);
+
+        let serial = serial_pool.install(|| analyze(&serial_trace));
+        let parallel = parallel_pool.install(|| analyze(&parallel_trace));
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+
+        let serial_online = serial_pool.install(|| online_analyze(&trace));
+        let parallel_online = parallel_pool.install(|| online_analyze(&trace));
+        prop_assert_eq!(serial_online.cp_length, parallel_online.cp_length);
+    }
+
+    #[test]
     fn identity_replay_preserves_work_and_holds(w in workload_strategy()) {
         // Identity replay preserves every thread's work and every lock's
         // hold profile exactly. The makespan is preserved only up to
