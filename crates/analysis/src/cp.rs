@@ -411,6 +411,30 @@ mod tests {
         cp.check_tiling(true).unwrap();
     }
 
+    /// A quarantined thread (emptied by salvage) must not break the walk:
+    /// the remaining threads still produce a complete path over their own
+    /// dependence chain.
+    #[test]
+    fn quarantined_thread_is_tolerated() {
+        let mut b = TraceBuilder::new("quarantine");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        let t2 = b.thread("T2", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit(); // exits at 9
+        b.on(t2).work(2).exit();
+        let mut t = b.build().unwrap();
+        // Simulate salvage quarantining T2: its stream is emptied but the
+        // thread slot is preserved so indices stay valid.
+        t.threads[2].events.clear();
+        let cp = critical_path(&t);
+        assert_eq!(cp.makespan, 9);
+        assert_eq!(cp.length, 9);
+        cp.check_tiling(false).unwrap();
+        assert!(cp.slices.iter().all(|s| s.tid != ThreadId(2)));
+    }
+
     /// A writer blocked by two readers: the walk jumps through the reader
     /// that released last, and the rw critical sections land on the path.
     #[test]

@@ -15,7 +15,9 @@
 //! is than its average hold share — are computed here too.
 
 use crate::cp::{CpSlice, CriticalPath};
-use critlock_trace::{lock_episodes, rw_episodes, LockEpisode, ObjId, Trace, Ts};
+use critlock_trace::{
+    lock_episodes, rw_episodes, Anomaly, Budget, LockEpisode, ObjId, SalvageReport, Trace, Ts,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +92,23 @@ pub struct AnalysisReport {
     /// Per-lock statistics, sorted by `cp_time` descending (the paper's
     /// presentation order).
     pub locks: Vec<LockReport>,
+    /// True when a resource budget (events, threads, bytes, deadline)
+    /// truncated the analyzed input; absent from JSON when false.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub degraded: bool,
+    /// What salvage repaired, when the trace needed repairs; absent from
+    /// JSON for traces analyzed without loss.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub salvage: Option<SalvageReport>,
+    /// Typed cross-thread validation warnings; absent from JSON when
+    /// empty.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// `skip_serializing_if` predicate for the `degraded` flag.
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl AnalysisReport {
@@ -368,7 +387,29 @@ fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) 
         cp_complete: cp.complete,
         coverage: cp.coverage(),
         locks,
+        degraded: false,
+        salvage: None,
+        anomalies: Vec::new(),
     }
+}
+
+/// Run the full analysis under a resource [`Budget`].
+///
+/// An in-budget trace analyzes exactly as [`analyze`] does. Past a
+/// budget, the input is tail-truncated deterministically through the
+/// salvage pass and the report comes back with `degraded: true` and the
+/// [`SalvageReport`] attached — the pipeline never aborts on size.
+pub fn analyze_governed(trace: &Trace, budget: &Budget) -> AnalysisReport {
+    if budget.is_unlimited() {
+        return analyze(trace);
+    }
+    let salvaged = critlock_trace::salvage::salvage_trace(trace, budget);
+    let mut report = analyze(&salvaged.trace);
+    report.degraded = salvaged.report.degraded;
+    if !salvaged.report.is_clean() {
+        report.salvage = Some(salvaged.report);
+    }
+    report
 }
 
 #[cfg(test)]

@@ -187,6 +187,29 @@ impl SegmentedTrace {
         }
     }
 
+    /// Like [`SegmentedTrace::build`], but respecting the budget's
+    /// wall-clock deadline at this stage boundary: if the deadline has
+    /// already expired the scan is skipped entirely and every thread
+    /// gets an empty segment list. Returns `true` in the second slot
+    /// when that degradation happened.
+    pub fn build_bounded(trace: &Trace, budget: &critlock_trace::Budget) -> (Self, bool) {
+        if !budget.deadline_expired() {
+            return (Self::build(trace), false);
+        }
+        let n = trace.threads.len();
+        let degraded = SegmentedTrace {
+            threads: vec![Vec::new(); n],
+            releases: Vec::new(),
+            last_arrivers: FxHashMap::default(),
+            signals: Vec::new(),
+            signals_by_seq: FxHashMap::default(),
+            creates: Vec::new(),
+            exits: vec![None; n],
+            trace_start: trace.start_ts(),
+        };
+        (degraded, true)
+    }
+
     /// Total number of segments across all threads.
     pub fn num_segments(&self) -> usize {
         self.threads.iter().map(Vec::len).sum()

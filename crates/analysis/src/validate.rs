@@ -3,20 +3,22 @@
 //! [`critlock_trace::Trace::validate`] checks the *per-thread* event
 //! protocol; this module adds the *cross-thread* invariants the analysis
 //! relies on, and sanity checks on the analysis output itself. Violations
-//! are reported as warnings rather than errors: real-clock traces can
-//! legitimately contain small anomalies (wakeup latencies, clock skew
-//! between cores) that the analysis tolerates.
+//! are reported as typed [`Anomaly`] warnings rather than errors: real-
+//! clock traces can legitimately contain small anomalies (wakeup
+//! latencies, clock skew between cores) that the analysis tolerates.
+//! JSON reports carry the anomalies machine-readably; their
+//! [`std::fmt::Display`] form is the human-readable warning text.
 
 use crate::cp::CriticalPath;
 use critlock_trace::{
-    barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes, ClockDomain,
-    EventKind, Trace,
+    barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes, Anomaly,
+    ClockDomain, EventKind, Trace,
 };
 use std::collections::HashMap;
 
-/// Check cross-thread consistency of a trace. Returns human-readable
-/// warnings; empty means clean.
-pub fn check_trace(trace: &Trace) -> Vec<String> {
+/// Check cross-thread consistency of a trace. Returns typed warnings;
+/// empty means clean.
+pub fn check_trace(trace: &Trace) -> Vec<Anomaly> {
     let mut warnings = Vec::new();
 
     // Creation edges: child must start at or after its creation.
@@ -32,10 +34,11 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
         if let (Some(&create_ts), Some(start_ts)) = (created.get(&stream.tid.0), stream.start_ts())
         {
             if start_ts < create_ts {
-                warnings.push(format!(
-                    "{} starts at {} before its creation at {}",
-                    stream.tid, start_ts, create_ts
-                ));
+                warnings.push(Anomaly::StartBeforeCreation {
+                    tid: stream.tid,
+                    start: start_ts,
+                    create: create_ts,
+                });
             }
         }
     }
@@ -46,13 +49,15 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
     for j in join_episodes(trace) {
         if let Some(&exit_ts) = exits.get(&j.child.0) {
             if j.end < exit_ts {
-                warnings.push(format!(
-                    "{} join of {} returned at {} before child exit at {}",
-                    j.tid, j.child, j.end, exit_ts
-                ));
+                warnings.push(Anomaly::JoinBeforeChildExit {
+                    tid: j.tid,
+                    child: j.child,
+                    join_end: j.end,
+                    child_exit: exit_ts,
+                });
             }
         } else {
-            warnings.push(format!("{} joins {} which never exits", j.tid, j.child));
+            warnings.push(Anomaly::JoinOfNonExitingThread { tid: j.tid, child: j.child });
         }
     }
 
@@ -60,22 +65,22 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
     let st = crate::segments::SegmentedTrace::build(trace);
     for ep in lock_episodes(trace) {
         if ep.contended && st.latest_release_before(ep.lock, ep.obtain, ep.tid).is_none() {
-            warnings.push(format!(
-                "{} contended obtain of {} at {} has no prior release by another thread",
-                ep.tid,
-                trace.object_name(ep.lock),
-                ep.obtain
-            ));
+            warnings.push(Anomaly::OrphanContendedObtain {
+                tid: ep.tid,
+                lock: trace.object_name(ep.lock),
+                obtain: ep.obtain,
+                rw: false,
+            });
         }
     }
     for ep in rw_episodes(trace) {
         if ep.contended && st.latest_release_before(ep.lock, ep.obtain, ep.tid).is_none() {
-            warnings.push(format!(
-                "{} contended rw-obtain of {} at {} has no prior release by another thread",
-                ep.tid,
-                trace.object_name(ep.lock),
-                ep.obtain
-            ));
+            warnings.push(Anomaly::OrphanContendedObtain {
+                tid: ep.tid,
+                lock: trace.object_name(ep.lock),
+                obtain: ep.obtain,
+                rw: true,
+            });
         }
     }
 
@@ -91,14 +96,13 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
             let (_, end_a, tid_a) = w[0];
             let (start_b, _, tid_b) = w[1];
             if start_b < end_a && tid_a != tid_b {
-                warnings.push(format!(
-                    "lock {} held concurrently by T{} and T{} ({} < {})",
-                    trace.object_name(lock),
-                    tid_a,
-                    tid_b,
-                    start_b,
-                    end_a
-                ));
+                warnings.push(Anomaly::OverlappingHolds {
+                    lock: trace.object_name(lock),
+                    first: critlock_trace::ThreadId(tid_a),
+                    second: critlock_trace::ThreadId(tid_b),
+                    start: start_b,
+                    end: end_a,
+                });
             }
         }
     }
@@ -119,10 +123,11 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
                     break;
                 }
                 if (wa || wb) && sb < ea && sa < eb && ta != tb {
-                    warnings.push(format!(
-                        "rwlock {} write hold overlaps another hold (T{ta} vs T{tb})",
-                        trace.object_name(lock)
-                    ));
+                    warnings.push(Anomaly::RwWriteOverlap {
+                        lock: trace.object_name(lock),
+                        first: critlock_trace::ThreadId(ta),
+                        second: critlock_trace::ThreadId(tb),
+                    });
                 }
             }
         }
@@ -135,17 +140,22 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
         let e = by_episode.entry((ep.barrier.0, ep.epoch)).or_insert((0, ep.depart));
         e.0 = e.0.max(ep.arrive);
         if ep.depart != e.1 {
-            warnings.push(format!(
-                "barrier {} epoch {} departs at inconsistent times ({} vs {})",
-                ep.barrier, ep.epoch, ep.depart, e.1
-            ));
+            warnings.push(Anomaly::InconsistentBarrierDeparts {
+                barrier: ep.barrier,
+                epoch: ep.epoch,
+                depart: ep.depart,
+                expected: e.1,
+            });
         }
     }
     for ((b, epoch), (max_arrive, depart)) in by_episode {
         if depart < max_arrive {
-            warnings.push(format!(
-                "barrier obj{b} epoch {epoch} departs at {depart} before last arrival {max_arrive}"
-            ));
+            warnings.push(Anomaly::BarrierDepartBeforeArrival {
+                barrier: critlock_trace::ObjId(b),
+                epoch,
+                depart,
+                last_arrival: max_arrive,
+            });
         }
     }
 
@@ -160,14 +170,17 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
     for w in cond_wait_episodes(trace) {
         if w.signal_seq != critlock_trace::SEQ_UNKNOWN {
             match by_seq.get(&(w.cv.0, w.signal_seq)) {
-                Some(&sig_ts) if w.wakeup < sig_ts => warnings.push(format!(
-                    "{} woke at {} before its signal #{} at {}",
-                    w.tid, w.wakeup, w.signal_seq, sig_ts
-                )),
-                None => warnings.push(format!(
-                    "{} woken by unrecorded signal #{} on {}",
-                    w.tid, w.signal_seq, w.cv
-                )),
+                Some(&sig_ts) if w.wakeup < sig_ts => warnings.push(Anomaly::WakeupBeforeSignal {
+                    tid: w.tid,
+                    wakeup: w.wakeup,
+                    signal_seq: w.signal_seq,
+                    signal_ts: sig_ts,
+                }),
+                None => warnings.push(Anomaly::UnrecordedSignal {
+                    tid: w.tid,
+                    cv: w.cv,
+                    signal_seq: w.signal_seq,
+                }),
                 _ => {}
             }
         }
@@ -177,17 +190,17 @@ pub fn check_trace(trace: &Trace) -> Vec<String> {
 }
 
 /// Check the invariants of a computed critical path against its trace.
-pub fn check_critical_path(trace: &Trace, cp: &CriticalPath) -> Vec<String> {
+pub fn check_critical_path(trace: &Trace, cp: &CriticalPath) -> Vec<Anomaly> {
     let mut warnings = Vec::new();
 
     if cp.length > cp.makespan {
-        warnings.push(format!("critical path {} longer than makespan {}", cp.length, cp.makespan));
+        warnings.push(Anomaly::PathLongerThanMakespan { length: cp.length, makespan: cp.makespan });
     }
 
     // Chronology and (for virtual-time traces) exact tiling.
     let strict = trace.meta.clock == ClockDomain::VirtualNs && cp.complete;
     if let Err(e) = cp.check_tiling(strict) {
-        warnings.push(e);
+        warnings.push(Anomaly::BrokenTiling { detail: e });
     }
 
     // Every slice must lie within its thread's lifetime.
@@ -196,13 +209,16 @@ pub fn check_critical_path(trace: &Trace, cp: &CriticalPath) -> Vec<String> {
             let (start, end) =
                 (stream.start_ts().unwrap_or(0), stream.end_ts().unwrap_or(u64::MAX));
             if s.start < start || s.end > end {
-                warnings.push(format!(
-                    "CP slice {:?} outside lifetime of {} [{start},{end}]",
-                    s, s.tid
-                ));
+                warnings.push(Anomaly::SliceOutsideLifetime {
+                    tid: s.tid,
+                    slice_start: s.start,
+                    slice_end: s.end,
+                    start,
+                    end,
+                });
             }
         } else {
-            warnings.push(format!("CP slice references unknown thread {}", s.tid));
+            warnings.push(Anomaly::SliceUnknownThread { tid: s.tid });
         }
     }
 
@@ -243,7 +259,8 @@ mod tests {
         b.on(main).work(5).create(w).exit_at(6); // ... created at 5
         let t = b.build().unwrap();
         let w = check_trace(&t);
-        assert!(w.iter().any(|m| m.contains("before its creation")), "{w:?}");
+        assert!(w.iter().any(|m| m.to_string().contains("before its creation")), "{w:?}");
+        assert!(w.iter().any(|m| matches!(m, Anomaly::StartBeforeCreation { .. })));
     }
 
     #[test]
@@ -254,7 +271,8 @@ mod tests {
         b.on(t0).cs_blocked(l, 5, 2).exit();
         let t = b.build().unwrap();
         let w = check_trace(&t);
-        assert!(w.iter().any(|m| m.contains("no prior release")), "{w:?}");
+        assert!(w.iter().any(|m| m.to_string().contains("no prior release")), "{w:?}");
+        assert!(w.iter().any(|m| matches!(m, Anomaly::OrphanContendedObtain { rw: false, .. })));
     }
 
     #[test]
@@ -276,7 +294,8 @@ mod tests {
         }
         t.validate().unwrap();
         let w = check_trace(&t);
-        assert!(w.iter().any(|m| m.contains("held concurrently")), "{w:?}");
+        assert!(w.iter().any(|m| m.to_string().contains("held concurrently")), "{w:?}");
+        assert!(w.iter().any(|m| matches!(m, Anomaly::OverlappingHolds { .. })));
     }
 
     #[test]
@@ -294,7 +313,8 @@ mod tests {
         t.push_thread(critlock_trace::ThreadStream::new(ThreadId(1)));
         t.validate().unwrap();
         let w = check_trace(&t);
-        assert!(w.iter().any(|m| m.contains("never exits")), "{w:?}");
+        assert!(w.iter().any(|m| m.to_string().contains("never exits")), "{w:?}");
+        assert!(w.iter().any(|m| matches!(m, Anomaly::JoinOfNonExitingThread { .. })));
     }
 
     #[test]

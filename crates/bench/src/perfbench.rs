@@ -234,10 +234,7 @@ pub fn validate_schema(json: &str) -> Result<BenchReport, String> {
             return Err("a run with 0 threads".into());
         }
         let t = &run.timings;
-        if [t.decode_ns, t.segment_ns, t.cp_ns, t.metrics_ns, t.end_to_end_ns]
-            .iter()
-            .any(|&ns| ns == 0)
-        {
+        if [t.decode_ns, t.segment_ns, t.cp_ns, t.metrics_ns, t.end_to_end_ns].contains(&0) {
             return Err(format!("zero timing in the {}-thread run", run.threads));
         }
     }

@@ -36,11 +36,19 @@ USAGE:
       Run a workload on the simulator; print the analysis, optionally
       save the trace (.cltr binary, or .jsonl when the name ends so).
   critlock analyze <trace> [--top N] [--csv|--json] [--no-type2] [--phase MARKER]
-                   [--threads N]
+                   [--threads N] [--strict] [--max-events N] [--max-threads N]
+                   [--max-bytes N] [--deadline-ms N]
       Run critical lock analysis on a recorded trace (optionally only on
       the window delimited by a named phase marker). --threads sizes the
       analysis worker pool (default: the host's available parallelism);
-      the output is bit-identical at any thread count.
+      the output is bit-identical at any thread count. By default a
+      damaged trace is *salvaged* — each thread is truncated to its
+      longest protocol-consistent prefix, unrepairable threads are
+      quarantined — and the report carries a `salvage` section plus a
+      `degraded` flag; --strict restores fail-fast loading instead. The
+      --max-* / --deadline-ms budgets bound decode and analysis cost:
+      oversized inputs are tail-truncated deterministically (degraded
+      output), never an abort.
   critlock blockers <trace> [--top N]
       Show who-blocks-whom edges, heaviest waits first.
   critlock threads <trace>
@@ -60,13 +68,20 @@ USAGE:
   critlock serve [--listen ADDR] [--status ADDR] [--queue N]
                  [--backpressure block|drop] [--interval-ms N]
                  [--journal DIR] [--idle-timeout-ms N] [--threads N]
+                 [--strict] [--max-sessions N] [--session-quota-bytes N]
+                 [--max-events N]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
       --status. With --journal, every accepted frame is logged to a
       crash-safe per-session journal in DIR and recovered on restart.
       With --idle-timeout-ms, stalled connections are severed and their
       sessions finalized. --threads sizes the snapshot analysis pool
-      (default: the host's available parallelism).
+      (default: the host's available parallelism). --max-sessions caps
+      concurrent sessions (excess connects are shed and counted in
+      status); --session-quota-bytes caps per-session ingest bytes and
+      --max-events caps per-session assembled events — over-quota
+      sessions are truncated and marked degraded (default) or
+      disconnected (--strict).
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -173,15 +188,62 @@ fn analysis_pool(p: &args::Parsed) -> Result<rayon::ThreadPool, String> {
         .map_err(|e| format!("cannot build analysis pool: {e}"))
 }
 
+/// Build a [`critlock_trace::Budget`] from the `--max-*` / `--deadline-ms`
+/// options. All limits default to unlimited.
+fn budget_from(p: &args::Parsed) -> Result<critlock_trace::Budget, String> {
+    let mut b = critlock_trace::Budget::unlimited();
+    if let Some(v) = p.options.get("max-events") {
+        b.max_events = Some(v.parse().map_err(|_| format!("invalid --max-events: {v}"))?);
+    }
+    if let Some(v) = p.options.get("max-threads") {
+        b.max_threads = Some(v.parse().map_err(|_| format!("invalid --max-threads: {v}"))?);
+    }
+    if let Some(v) = p.options.get("max-bytes") {
+        b.max_bytes = Some(v.parse().map_err(|_| format!("invalid --max-bytes: {v}"))?);
+    }
+    if let Some(v) = p.options.get("deadline-ms") {
+        let ms: u64 = v.parse().map_err(|_| format!("invalid --deadline-ms: {v}"))?;
+        b = b.with_deadline_in(std::time::Duration::from_millis(ms));
+    }
+    Ok(b)
+}
+
 fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
     let pool = analysis_pool(p)?;
-    let trace = pool.install(|| load_trace(p.positional(0, "trace file")?))?;
-    let rep = match p.options.get("phase") {
+    let path = p.positional(0, "trace file")?;
+    let budget = budget_from(p)?;
+    let (trace, salvage) = if p.flag("strict") {
+        (pool.install(|| load_trace(path))?, None)
+    } else {
+        let s = pool
+            .install(|| critlock_trace::salvage::load(path, &budget))
+            .map_err(|e| format!("cannot load {path}: {e}"))?;
+        (s.trace, Some(s.report))
+    };
+    let mut rep = match p.options.get("phase") {
         Some(marker) => pool
             .install(|| analyze_phase(&trace, marker))
             .ok_or_else(|| format!("marker `{marker}` not found (or fires only once)"))?,
         None => pool.install(|| analyze(&trace)),
     };
+    let mut salvage_note = String::new();
+    if let Some(report) = salvage {
+        if !report.is_clean() {
+            salvage_note = format!(
+                "\nsalvage: kept {} events, dropped {}, synthesized {}, clamped {} \
+                 timestamps, quarantined {} threads (confidence {:.3}{})\n",
+                report.events_kept,
+                report.events_dropped,
+                report.events_synthesized,
+                report.timestamps_clamped,
+                report.threads_quarantined,
+                report.confidence,
+                if report.degraded { ", DEGRADED by budget" } else { "" },
+            );
+            rep.degraded = report.degraded;
+            rep.salvage = Some(report);
+        }
+    }
     if p.flag("json") {
         return Ok(to_json(&rep));
     }
@@ -194,7 +256,10 @@ fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
         .map(|v| v.parse::<usize>())
         .transpose()
         .map_err(|_| "invalid --top".to_string())?;
-    Ok(render_text(&rep, &RenderOptions { top, type2: !p.flag("no-type2"), derived: true }))
+    let mut out =
+        render_text(&rep, &RenderOptions { top, type2: !p.flag("no-type2"), derived: true });
+    out.push_str(&salvage_note);
+    Ok(out)
 }
 
 fn cmd_bench(p: &args::Parsed) -> Result<String, String> {
@@ -338,6 +403,17 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
         }
         config.analysis_threads = Some(threads);
     }
+    if let Some(v) = p.options.get("max-sessions") {
+        config.max_sessions = Some(v.parse().map_err(|_| format!("invalid --max-sessions: {v}"))?);
+    }
+    if let Some(v) = p.options.get("session-quota-bytes") {
+        config.session_quota_bytes =
+            Some(v.parse().map_err(|_| format!("invalid --session-quota-bytes: {v}"))?);
+    }
+    if let Some(v) = p.options.get("max-events") {
+        config.max_events = Some(v.parse().map_err(|_| format!("invalid --max-events: {v}"))?);
+    }
+    config.strict = p.flag("strict");
 
     let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;
     println!("critlock collector: ingest on {}", handle.ingest_addr());
@@ -492,7 +568,7 @@ mod tests {
     }
 
     #[test]
-    fn analyze_truncated_trace_is_a_clean_error() {
+    fn analyze_truncated_trace_is_a_clean_error_under_strict() {
         let dir = std::env::temp_dir().join("critlock-cli-trunc");
         std::fs::create_dir_all(&dir).unwrap();
         let full = dir.join("full.cltr");
@@ -502,16 +578,132 @@ mod tests {
         let bytes = std::fs::read(&full).unwrap();
         let cut = dir.join("cut.cltr");
         // Cut the file at several byte offsets, including mid-header and
-        // mid-event; every truncation must be an error, never a panic or
-        // a silently shortened trace.
+        // mid-event; under --strict every truncation must be an error,
+        // never a panic or a silently shortened trace. In default
+        // (salvage) mode the same cuts must either recover a degraded
+        // trace — visible in the report's salvage section — or fail with
+        // the same clean error, never a panic.
         for frac in [1, 3, 7, 9] {
             let cut_len = bytes.len() * frac / 10;
             std::fs::write(&cut, &bytes[..cut_len]).unwrap();
-            let err = run(&sv(&["analyze", cut.to_str().unwrap()])).unwrap_err();
+            let err = run(&sv(&["analyze", cut.to_str().unwrap(), "--strict"])).unwrap_err();
             assert!(err.contains("cannot load"), "cut at {cut_len}: {err}");
+            match run(&sv(&["analyze", cut.to_str().unwrap(), "--json"])) {
+                Ok(json) => {
+                    assert!(json.contains("\"salvage\""), "cut at {cut_len}: no salvage: {json}")
+                }
+                Err(err) => assert!(err.contains("cannot load"), "cut at {cut_len}: {err}"),
+            }
         }
         std::fs::remove_file(&full).ok();
         std::fs::remove_file(&cut).ok();
+    }
+
+    /// Acceptance criterion of the salvage work: every transport fault of
+    /// the PR 2 matrix, applied as a byte-level mutation to an on-disk
+    /// CLTR file, must yield either a salvaged analysis whose report
+    /// carries a non-empty salvage section, or a typed `cannot load`
+    /// error under `--strict` — never a panic, and never a silently
+    /// wrong report.
+    #[test]
+    fn fault_matrix_on_disk_salvages_or_errors_cleanly() {
+        use critlock_trace::{FaultAction, FaultPlan};
+
+        let dir = std::env::temp_dir().join("critlock-cli-fault-matrix");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.cltr");
+        let full_s = full.to_str().unwrap();
+        run(&sv(&["run", "radiosity", "--threads", "8", "--scale", "0.3", "--out", full_s]))
+            .unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        // The built-in plans anchor faults at offsets up to 2500.
+        assert!(bytes.len() > 2600, "trace file too small for the fault matrix");
+        let pristine = run(&sv(&["analyze", full_s, "--json"])).unwrap();
+
+        let hurt = dir.join("hurt.cltr");
+        let hurt_s = hurt.to_str().unwrap();
+        for plan in FaultPlan::all_builtin() {
+            let mut mutated = bytes.clone();
+            for action in &plan.actions {
+                match *action {
+                    FaultAction::Cut { at } => mutated.truncate(at as usize),
+                    FaultAction::Truncate { at, drop } => {
+                        let at = (at as usize).min(mutated.len());
+                        let end = (at + drop as usize).min(mutated.len());
+                        mutated.drain(at..end);
+                    }
+                    FaultAction::BitFlip { at } => {
+                        let at = (at as usize).min(mutated.len() - 1);
+                        mutated[at] ^= critlock_trace::faults::FLIP_MASK;
+                    }
+                    // Timing faults do not change bytes at rest.
+                    FaultAction::Stall { .. } | FaultAction::SlowLoris { .. } => {}
+                }
+            }
+            std::fs::write(&hurt, &mutated).unwrap();
+
+            if mutated == bytes {
+                // stall / slow-loris: byte-identical file, identical report.
+                let out = run(&sv(&["analyze", hurt_s, "--json"])).unwrap();
+                assert_eq!(
+                    out, pristine,
+                    "plan {}: clean file must analyze identically",
+                    plan.name
+                );
+                continue;
+            }
+            let err = run(&sv(&["analyze", hurt_s, "--strict"]))
+                .expect_err(&format!("plan {}: strict must reject mutated bytes", plan.name));
+            assert!(err.contains("cannot load"), "plan {}: {err}", plan.name);
+            match run(&sv(&["analyze", hurt_s, "--json"])) {
+                Ok(json) => assert!(
+                    json.contains("\"salvage\""),
+                    "plan {}: salvaged analysis must report what was repaired: {json}",
+                    plan.name
+                ),
+                Err(err) => assert!(err.contains("cannot load"), "plan {}: {err}", plan.name),
+            }
+        }
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&hurt).ok();
+    }
+
+    #[test]
+    fn analyze_salvage_mode_is_identical_on_clean_traces() {
+        let dir = std::env::temp_dir().join("critlock-cli-salvage-clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro.cltr");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&["run", "micro", "--threads", "4", "--scale", "0.2", "--out", path_s])).unwrap();
+
+        // On an uncorrupted trace, default (salvage) mode must be
+        // byte-identical to --strict in every output format.
+        for fmt in [&["--json"][..], &["--csv"][..], &[][..]] {
+            let mut strict = sv(&["analyze", path_s, "--strict"]);
+            strict.extend(fmt.iter().map(|s| s.to_string()));
+            let mut lax = sv(&["analyze", path_s]);
+            lax.extend(fmt.iter().map(|s| s.to_string()));
+            assert_eq!(run(&strict).unwrap(), run(&lax).unwrap(), "format {fmt:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_budget_exhaustion_degrades_not_aborts() {
+        let dir = std::env::temp_dir().join("critlock-cli-budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("radiosity.cltr");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&["run", "radiosity", "--threads", "8", "--scale", "0.3", "--out", path_s]))
+            .unwrap();
+
+        let json = run(&sv(&["analyze", path_s, "--json", "--max-events", "64"])).unwrap();
+        assert!(json.contains("\"degraded\": true"), "missing degraded flag: {json}");
+        assert!(json.contains("\"salvage\""), "missing salvage report: {json}");
+        // Text mode flags the degradation too.
+        let text = run(&sv(&["analyze", path_s, "--max-events", "64"])).unwrap();
+        assert!(text.contains("DEGRADED"), "missing degradation note: {text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -25,7 +25,8 @@
 
 use critlock_trace::stream::Frame;
 use critlock_trace::{
-    Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts, SEQ_UNKNOWN,
+    Budget, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts,
+    SEQ_UNKNOWN,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -37,12 +38,24 @@ pub struct SessionAssembler {
     ended: bool,
     frames: u64,
     events: u64,
+    budget: Budget,
+    events_dropped: u64,
 }
 
 impl SessionAssembler {
-    /// A fresh assembler with default (empty) metadata.
+    /// A fresh assembler with default (empty) metadata and no budget.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh assembler that enforces `budget.max_events`: events past
+    /// the cap are tail-truncated deterministically (in arrival order)
+    /// and counted in [`events_dropped`], instead of growing without
+    /// bound under a runaway producer.
+    ///
+    /// [`events_dropped`]: SessionAssembler::events_dropped
+    pub fn with_budget(budget: Budget) -> Self {
+        SessionAssembler { budget, ..Self::default() }
     }
 
     /// Fold one frame into the partial trace. Never fails: malformed
@@ -90,7 +103,14 @@ impl SessionAssembler {
                     }
                 }
             }
-            Frame::Events { tid, events } => {
+            Frame::Events { tid, mut events } => {
+                if let Some(cap) = self.budget.max_events {
+                    let allow = cap.saturating_sub(self.events);
+                    if events.len() as u64 > allow {
+                        self.events_dropped += events.len() as u64 - allow;
+                        events.truncate(allow as usize);
+                    }
+                }
                 self.events += events.len() as u64;
                 let idx = match self.trace.threads.iter().position(|s| s.tid == tid) {
                     Some(idx) => idx,
@@ -121,9 +141,20 @@ impl SessionAssembler {
         self.frames
     }
 
-    /// Events folded in so far.
+    /// Events folded in so far (after budget truncation).
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Events discarded by the event budget.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Whether the event budget forced a truncation: the assembled trace
+    /// is a deterministic prefix of what the producer sent, not all of it.
+    pub fn degraded(&self) -> bool {
+        self.events_dropped > 0
     }
 
     /// The partial trace as received (no repair).
@@ -537,6 +568,35 @@ mod tests {
         out.validate().unwrap();
         // Both orphans are discarded, leaving a valid empty stream.
         assert!(out.threads[0].events.is_empty());
+    }
+
+    #[test]
+    fn event_budget_truncates_deterministically() {
+        let trace = sample();
+        let frames = frames_for(&trace);
+        let total: u64 = trace.num_events() as u64;
+        let cap = total / 2;
+        let mut asm = SessionAssembler::with_budget(Budget::unlimited().with_max_events(cap));
+        let mut again = SessionAssembler::with_budget(Budget::unlimited().with_max_events(cap));
+        for f in &frames {
+            asm.apply(f.clone());
+            again.apply(f.clone());
+        }
+        assert!(asm.degraded());
+        assert_eq!(asm.events(), cap);
+        assert_eq!(asm.events_dropped(), total - cap);
+        let out = asm.finalize();
+        out.validate().expect("budget-truncated trace must repair to valid");
+        // Same frames, same cap -> bit-identical repaired trace.
+        assert_eq!(out, again.finalize());
+
+        // An ample budget is a no-op: identity with the unbudgeted path.
+        let mut roomy = SessionAssembler::with_budget(Budget::unlimited().with_max_events(total));
+        for f in frames {
+            roomy.apply(f);
+        }
+        assert!(!roomy.degraded());
+        assert_eq!(roomy.finalize(), trace);
     }
 
     #[test]

@@ -75,6 +75,26 @@ pub struct CollectorConfig {
     /// host's available parallelism. Snapshot contents are bit-identical
     /// at any thread count; this only trades latency for CPU.
     pub analysis_threads: Option<usize>,
+    /// Admission control: cap on concurrently tracked sessions. A new
+    /// producer arriving at the cap is *shed* — its connection is closed
+    /// before a session is created — and counted in the status report.
+    /// `None` admits everyone.
+    pub max_sessions: Option<usize>,
+    /// Per-session cap on ingested frame-payload bytes (counted across
+    /// reconnects). A session crossing the quota stops ingesting: further
+    /// frames are discarded at the socket and the session's published
+    /// report is marked `degraded`. `None` is unlimited.
+    pub session_quota_bytes: Option<u64>,
+    /// Per-session cap on assembled events, enforced inside the
+    /// [`SessionAssembler`]: events past the cap are tail-truncated
+    /// deterministically and the session's report is marked `degraded`.
+    /// `None` is unlimited.
+    pub max_events: Option<u64>,
+    /// Strict resource policy: instead of truncating and degrading, a
+    /// session that exceeds its byte quota or event budget has its live
+    /// connection severed, so the producer sees a hard error rather than
+    /// a silently shortened analysis.
+    pub strict: bool,
 }
 
 impl CollectorConfig {
@@ -92,7 +112,18 @@ impl CollectorConfig {
             idle_timeout: None,
             journal_dir: None,
             analysis_threads: None,
+            max_sessions: None,
+            session_quota_bytes: None,
+            max_events: None,
+            strict: false,
         }
+    }
+
+    /// The per-session resource budget implied by this config.
+    fn session_budget(&self) -> critlock_trace::Budget {
+        let mut budget = critlock_trace::Budget::unlimited();
+        budget.max_events = self.max_events;
+        budget
     }
 }
 
@@ -120,6 +151,15 @@ struct SessionState {
     journal: Mutex<Option<SessionJournal>>,
     /// Write half of the live connection (for acks and crash severing).
     conn: Mutex<Option<Stream>>,
+    /// Frame-payload bytes ingested by this session across all of its
+    /// connections, for the per-session byte quota.
+    bytes_ingested: AtomicU64,
+    /// Set when the byte quota stopped this session's ingest; the
+    /// published report is marked degraded from then on.
+    over_quota: AtomicBool,
+    /// Guards the once-per-session quota-stop accounting (a resuming
+    /// producer can trip the quota on every reconnect).
+    quota_counted: AtomicBool,
 }
 
 impl SessionState {
@@ -156,6 +196,7 @@ impl SessionState {
                 snap.queue_depth = self.queue.depth() as u64;
                 snap.queue_high_water = self.queue.high_water();
                 snap.dropped_frames = self.queue.dropped();
+                snap.report.degraded |= asm.degraded() || self.over_quota.load(Ordering::Acquire);
                 drop(asm);
                 self.dirty.store(false, Ordering::Release);
                 *slot = Some(snap.clone());
@@ -163,7 +204,7 @@ impl SessionState {
             }
         }
         drop(slot);
-        let snap = SessionSnapshot::compute(
+        let mut snap = SessionSnapshot::compute(
             self.id,
             self.peer.clone(),
             &asm,
@@ -171,6 +212,7 @@ impl SessionState {
             self.queue.high_water(),
             self.queue.dropped(),
         );
+        snap.report.degraded |= asm.degraded() || self.over_quota.load(Ordering::Acquire);
         drop(asm);
         self.dirty.store(false, Ordering::Release);
         *self.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap.clone());
@@ -190,11 +232,21 @@ impl SessionState {
 
 struct Shared {
     sessions: Mutex<Vec<Arc<SessionState>>>,
+    /// Dedicated session-id allocator, seeded past any `anon-N` journal
+    /// of an earlier run. Kept separate from [`Shared::sessions_total`]:
+    /// the two used to be one atomic, which made the status counter wrong
+    /// after journal recovery and let concurrently admitted sessions
+    /// observe ids that double as (skewed) statistics.
+    next_session_id: AtomicU64,
+    /// Pure statistic: sessions accepted (or recovered) over the
+    /// collector's lifetime. Never used for id assignment.
     sessions_total: AtomicU64,
     rejected_sessions: AtomicU64,
     timed_out_sessions: AtomicU64,
     resumed_sessions: AtomicU64,
     recovered_sessions: AtomicU64,
+    shed_sessions: AtomicU64,
+    quota_stopped_sessions: AtomicU64,
     shutdown: AtomicBool,
     /// Analysis-loop pass counter + condvar: [`CollectorHandle::wait_until`]
     /// sleeps here instead of spinning on wall-clock polls.
@@ -214,6 +266,8 @@ impl Shared {
             timed_out_sessions: self.timed_out_sessions.load(Ordering::Relaxed),
             resumed_sessions: self.resumed_sessions.load(Ordering::Relaxed),
             recovered_sessions: self.recovered_sessions.load(Ordering::Relaxed),
+            shed_sessions: self.shed_sessions.load(Ordering::Relaxed),
+            quota_stopped_sessions: self.quota_stopped_sessions.load(Ordering::Relaxed),
             sessions: sessions.iter().map(|s| s.current_snapshot()).collect(),
         }
     }
@@ -382,11 +436,14 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
 
     let shared = Arc::new(Shared {
         sessions: Mutex::new(Vec::new()),
-        sessions_total: AtomicU64::new(first_id),
+        next_session_id: AtomicU64::new(first_id),
+        sessions_total: AtomicU64::new(0),
         rejected_sessions: AtomicU64::new(0),
         timed_out_sessions: AtomicU64::new(0),
         resumed_sessions: AtomicU64::new(0),
         recovered_sessions: AtomicU64::new(0),
+        shed_sessions: AtomicU64::new(0),
+        quota_stopped_sessions: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
         passes: Mutex::new(0),
         progress: Condvar::new(),
@@ -394,12 +451,13 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
     });
 
     for rec in recovered {
-        let id = shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+        let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        shared.sessions_total.fetch_add(1, Ordering::Relaxed);
         let peer = format!(
             "journal:{}",
             rec.journal.path().file_name().and_then(|n| n.to_str()).unwrap_or("?")
         );
-        let mut asm = SessionAssembler::new();
+        let mut asm = SessionAssembler::with_budget(config.session_budget());
         let frames = rec.frames.len() as u64;
         for frame in rec.frames {
             asm.apply(frame);
@@ -416,6 +474,9 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
             attached: AtomicBool::new(false),
             journal: Mutex::new(Some(rec.journal)),
             conn: Mutex::new(None),
+            bytes_ingested: AtomicU64::new(0),
+            over_quota: AtomicBool::new(false),
+            quota_counted: AtomicBool::new(false),
         });
         shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(session);
         shared.recovered_sessions.fetch_add(1, Ordering::Relaxed);
@@ -455,14 +516,22 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) {
     }
 }
 
+/// Outcome of a connection's attempt to claim a session.
+enum Claim {
+    /// The connection owns the session; the flag says it resumed one.
+    Attached(Arc<SessionState>, bool),
+    /// The session exists but another connection already owns it.
+    Busy,
+    /// Admission control: the collector is at `max_sessions`, the
+    /// connection was shed before a session was created.
+    Shed,
+}
+
 /// Look up the session a resumable handshake refers to, or create a new
-/// session (resumable or anonymous). Returns `None` when the session
-/// exists but another connection is already attached to it.
-fn claim_session(
-    shared: &Arc<Shared>,
-    token: &[u8],
-    peer: String,
-) -> Option<(Arc<SessionState>, bool)> {
+/// session (resumable or anonymous). Session ids come from the dedicated
+/// [`Shared::next_session_id`] allocator — never from the statistics
+/// counters — so concurrent connects always get unique, monotonic ids.
+fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
     let mut sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
     if !token.is_empty() {
         if let Some(session) = sessions.iter().find(|s| s.token == token).cloned() {
@@ -470,12 +539,17 @@ fn claim_session(
             if session.attached.swap(true, Ordering::AcqRel) {
                 // Another reader owns this session: reject the duplicate
                 // connection; the producer retries with backoff.
-                return None;
+                return Claim::Busy;
             }
-            return Some((session, true));
+            return Claim::Attached(session, true);
         }
     }
-    let id = shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    if shared.config.max_sessions.is_some_and(|max| sessions.len() >= max) {
+        shared.shed_sessions.fetch_add(1, Ordering::Relaxed);
+        return Claim::Shed;
+    }
+    let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+    shared.sessions_total.fetch_add(1, Ordering::Relaxed);
     let journal = shared.config.journal_dir.as_deref().and_then(|dir| {
         // A journal that cannot be created degrades the session to
         // unjournaled rather than refusing the producer.
@@ -486,16 +560,19 @@ fn claim_session(
         peer,
         token: token.to_vec(),
         queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
-        asm: Mutex::new(SessionAssembler::new()),
+        asm: Mutex::new(SessionAssembler::with_budget(shared.config.session_budget())),
         dirty: AtomicBool::new(true),
         snapshot: Mutex::new(None),
         received_seq: AtomicU64::new(0),
         attached: AtomicBool::new(true),
         journal: Mutex::new(journal),
         conn: Mutex::new(None),
+        bytes_ingested: AtomicU64::new(0),
+        over_quota: AtomicBool::new(false),
+        quota_counted: AtomicBool::new(false),
     });
     sessions.push(Arc::clone(&session));
-    Some((session, false))
+    Claim::Attached(session, false)
 }
 
 fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
@@ -517,8 +594,9 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
     };
     let handshake = reader.handshake().clone();
 
-    let Some((session, resumed)) = claim_session(&shared, &handshake.token, peer) else {
-        return;
+    let (session, resumed) = match claim_session(&shared, &handshake.token, peer) {
+        Claim::Attached(session, resumed) => (session, resumed),
+        Claim::Busy | Claim::Shed => return,
     };
     if resumed {
         shared.resumed_sessions.fetch_add(1, Ordering::Relaxed);
@@ -548,9 +626,27 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
     // queue push so acknowledgements only ever cover durable frames.
     let mut seq = handshake.start_seq;
     let mut timed_out = false;
+    let mut quota_cut = false;
+    let mut conn_bytes = 0u64;
     loop {
         match reader.next_frame() {
             Ok(Some(frame)) => {
+                // Per-session byte quota, counted across reconnects. The
+                // frame that crosses the line is discarded (not queued,
+                // not acknowledged) and ingest stops deterministically.
+                let now = reader.payload_bytes();
+                session.bytes_ingested.fetch_add(now - conn_bytes, Ordering::Relaxed);
+                conn_bytes = now;
+                if let Some(quota) = shared.config.session_quota_bytes {
+                    if session.bytes_ingested.load(Ordering::Relaxed) > quota {
+                        session.over_quota.store(true, Ordering::Release);
+                        if !session.quota_counted.swap(true, Ordering::AcqRel) {
+                            shared.quota_stopped_sessions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        quota_cut = true;
+                        break;
+                    }
+                }
                 let expected = session.received_seq.load(Ordering::Acquire);
                 if seq < expected {
                     seq += 1;
@@ -595,7 +691,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
         if handshake.resumable() {
             let _ = write_ack(c, session.received_seq.load(Ordering::Acquire));
         }
-        if timed_out {
+        if timed_out || quota_cut {
             let _ = c.shutdown_both();
         }
     }
@@ -621,6 +717,20 @@ fn analysis_loop(shared: Arc<Shared>) {
             shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
         for session in &sessions {
             session.apply_pending();
+            if shared.config.strict {
+                // Strict resource policy: a session whose assembly had to
+                // be truncated (event budget) or whose ingest hit the
+                // byte quota is severed instead of served degraded.
+                let over = session.asm.lock().unwrap_or_else(|e| e.into_inner()).degraded()
+                    || session.over_quota.load(Ordering::Acquire);
+                if over {
+                    if let Some(conn) =
+                        session.conn.lock().unwrap_or_else(|e| e.into_inner()).take()
+                    {
+                        let _ = conn.shutdown_both();
+                    }
+                }
+            }
         }
         if stopping || last_publish.elapsed() >= shared.config.snapshot_interval {
             for session in &sessions {

@@ -58,6 +58,13 @@ pub struct CollectorStatus {
     pub resumed_sessions: u64,
     /// Sessions recovered from write-ahead journals at startup.
     pub recovered_sessions: u64,
+    /// Connections shed by admission control (the collector was at its
+    /// `max_sessions` cap when they arrived).
+    #[serde(default)]
+    pub shed_sessions: u64,
+    /// Sessions whose ingest was stopped by the per-session byte quota.
+    #[serde(default)]
+    pub quota_stopped_sessions: u64,
     /// One snapshot per live or completed session, ordered by session id.
     pub sessions: Vec<SessionSnapshot>,
 }
@@ -104,24 +111,29 @@ impl CollectorStatus {
             + self.timed_out_sessions
             + self.resumed_sessions
             + self.recovered_sessions
+            + self.shed_sessions
+            + self.quota_stopped_sessions
             > 0
         {
             let _ = writeln!(
                 out,
-                "  rejected={} timed_out={} resumed={} recovered={}",
+                "  rejected={} timed_out={} resumed={} recovered={} shed={} quota_stopped={}",
                 self.rejected_sessions,
                 self.timed_out_sessions,
                 self.resumed_sessions,
                 self.recovered_sessions,
+                self.shed_sessions,
+                self.quota_stopped_sessions,
             );
         }
         for snap in &self.sessions {
             let state = if snap.ended { "ended" } else { "live" };
             let _ = writeln!(
                 out,
-                "session {} [{}] {} app={:?} threads={} frames={} events={} queued={} high_water={} dropped={}",
+                "session {} [{}{}] {} app={:?} threads={} frames={} events={} queued={} high_water={} dropped={}",
                 snap.session,
                 state,
+                if snap.report.degraded { " degraded" } else { "" },
                 snap.peer,
                 snap.report.app,
                 snap.report.num_threads,
@@ -210,6 +222,8 @@ mod tests {
             timed_out_sessions: 1,
             resumed_sessions: 2,
             recovered_sessions: 3,
+            shed_sessions: 4,
+            quota_stopped_sessions: 5,
             sessions: vec![SessionSnapshot::compute(7, "unix".into(), &asm, 3, 4, 2)],
         };
         let json = status.render_json().unwrap();

@@ -113,7 +113,7 @@ fn real_thread_session_streams_to_collector() {
 
     let server_trace = handle.session_trace(0).unwrap();
     // Acceptance criterion: zero validation errors on the collector side.
-    assert_eq!(check_trace(&server_trace), Vec::<String>::new());
+    assert_eq!(check_trace(&server_trace), Vec::new());
     server_trace.validate().unwrap();
     // The collector reconstructed the exact trace the session recorded.
     assert_eq!(server_trace, local);
@@ -163,7 +163,7 @@ fn mid_critical_section_disconnect_is_finalized() {
 
     let trace = handle.session_trace(0).unwrap();
     trace.validate().unwrap();
-    assert_eq!(check_trace(&trace), Vec::<String>::new());
+    assert_eq!(check_trace(&trace), Vec::new());
     // The held lock was released at the last-seen timestamp and counts as
     // an invocation; the incomplete contended acquire was excised.
     assert_eq!(snap.report.lock_by_name("L").unwrap().total_invocations, 1);
@@ -194,7 +194,7 @@ fn drop_backpressure_sheds_frames_and_is_observable() {
     // Whatever survived still forms a valid trace.
     let survived = handle.session_trace(0).unwrap();
     survived.validate().unwrap();
-    assert_eq!(check_trace(&survived), Vec::<String>::new());
+    assert_eq!(check_trace(&survived), Vec::new());
     shutdown(handle);
 }
 

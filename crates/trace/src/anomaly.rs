@@ -1,0 +1,456 @@
+//! Typed diagnostics shared by trace validation and salvage.
+//!
+//! An [`Anomaly`] is a machine-readable description of one defect found
+//! in a trace — a cross-thread inconsistency flagged by the analysis
+//! validator, a protocol violation the salvage pass repaired, or a
+//! resource-budget truncation. Anomalies are warnings, not errors: the
+//! pipeline keeps going and reports what it saw. The [`std::fmt::Display`]
+//! rendering is the human-readable form used in logs and text reports;
+//! the serde form rides along in JSON reports.
+
+use crate::event::Ts;
+use crate::ids::{ObjId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One defect observed in a trace or in an analysis result.
+///
+/// Variants fall into three families: cross-thread validation findings
+/// (produced by `critlock_analysis::validate`), per-thread salvage
+/// repairs (produced by [`crate::salvage`]), and resource-governance
+/// degradations (produced when a [`crate::Budget`] is exceeded).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// A thread's first event precedes the `ThreadCreate` that spawned it.
+    StartBeforeCreation {
+        /// The child thread.
+        tid: ThreadId,
+        /// Timestamp of the child's first event.
+        start: Ts,
+        /// Timestamp of the creating event.
+        create: Ts,
+    },
+    /// A join returned before the joined child's last event.
+    JoinBeforeChildExit {
+        /// The joining thread.
+        tid: ThreadId,
+        /// The child being joined.
+        child: ThreadId,
+        /// Timestamp at which the join returned.
+        join_end: Ts,
+        /// Timestamp of the child's last event.
+        child_exit: Ts,
+    },
+    /// A thread joins a child that never records an exit.
+    JoinOfNonExitingThread {
+        /// The joining thread.
+        tid: ThreadId,
+        /// The child that never exits.
+        child: ThreadId,
+    },
+    /// A contended obtain has no enabling release by another thread.
+    OrphanContendedObtain {
+        /// The obtaining thread.
+        tid: ThreadId,
+        /// Rendered name of the lock.
+        lock: String,
+        /// Timestamp of the obtain.
+        obtain: Ts,
+        /// True if this was a reader-writer lock episode.
+        rw: bool,
+    },
+    /// Two threads hold the same mutex at overlapping times.
+    OverlappingHolds {
+        /// Rendered name of the lock.
+        lock: String,
+        /// First holder.
+        first: ThreadId,
+        /// Second holder.
+        second: ThreadId,
+        /// Start of the overlapping hold.
+        start: Ts,
+        /// End of the earlier hold.
+        end: Ts,
+    },
+    /// A write hold of an rwlock overlaps another hold of the same lock.
+    RwWriteOverlap {
+        /// Rendered name of the rwlock.
+        lock: String,
+        /// First holder.
+        first: ThreadId,
+        /// Second holder.
+        second: ThreadId,
+    },
+    /// Participants of one barrier episode depart at different times.
+    InconsistentBarrierDeparts {
+        /// The barrier object.
+        barrier: ObjId,
+        /// Barrier generation.
+        epoch: u32,
+        /// A departure timestamp that disagrees.
+        depart: Ts,
+        /// The departure timestamp first seen for the episode.
+        expected: Ts,
+    },
+    /// A barrier episode departs before its last arrival.
+    BarrierDepartBeforeArrival {
+        /// The barrier object.
+        barrier: ObjId,
+        /// Barrier generation.
+        epoch: u32,
+        /// The (too early) departure timestamp.
+        depart: Ts,
+        /// Timestamp of the last arrival.
+        last_arrival: Ts,
+    },
+    /// A condvar wait ended before the signal it claims woke it.
+    WakeupBeforeSignal {
+        /// The woken thread.
+        tid: ThreadId,
+        /// Timestamp of the wakeup.
+        wakeup: Ts,
+        /// Sequence number of the claimed signal.
+        signal_seq: u64,
+        /// Timestamp of that signal.
+        signal_ts: Ts,
+    },
+    /// A condvar wakeup references a signal the trace never recorded.
+    UnrecordedSignal {
+        /// The woken thread.
+        tid: ThreadId,
+        /// The condition variable.
+        cv: ObjId,
+        /// The unmatched sequence number.
+        signal_seq: u64,
+    },
+    /// The computed critical path is longer than the makespan.
+    PathLongerThanMakespan {
+        /// Critical-path length.
+        length: Ts,
+        /// Trace makespan.
+        makespan: Ts,
+    },
+    /// The critical-path slices do not tile the execution as required.
+    BrokenTiling {
+        /// Human-readable detail from the tiling checker.
+        detail: String,
+    },
+    /// A critical-path slice lies outside its thread's lifetime.
+    SliceOutsideLifetime {
+        /// The slice's thread.
+        tid: ThreadId,
+        /// Slice start.
+        slice_start: Ts,
+        /// Slice end.
+        slice_end: Ts,
+        /// Thread lifetime start.
+        start: Ts,
+        /// Thread lifetime end.
+        end: Ts,
+    },
+    /// A critical-path slice references a thread the trace doesn't have.
+    SliceUnknownThread {
+        /// The unknown thread id.
+        tid: ThreadId,
+    },
+    /// Salvage clamped one or more backwards timestamps to the running
+    /// maximum of the thread's stream.
+    ClampedTimestamps {
+        /// The repaired thread.
+        tid: ThreadId,
+        /// How many events were clamped.
+        count: u64,
+    },
+    /// Salvage cut a thread's stream at its first protocol violation,
+    /// keeping the longest protocol-consistent prefix.
+    ProtocolTruncation {
+        /// The truncated thread.
+        tid: ThreadId,
+        /// Index of the first event dropped.
+        index: usize,
+        /// What the offending event did wrong.
+        reason: String,
+    },
+    /// Salvage dropped an event referencing an unregistered object (or
+    /// one registered with a different kind).
+    DanglingObjectRef {
+        /// The thread whose event was dropped.
+        tid: ThreadId,
+        /// Index of the dropped event.
+        index: usize,
+        /// The unresolvable object id.
+        obj: ObjId,
+    },
+    /// Salvage dropped an event referencing a thread id outside the
+    /// trace.
+    DanglingThreadRef {
+        /// The thread whose event was dropped.
+        tid: ThreadId,
+        /// Index of the dropped event.
+        index: usize,
+        /// The unresolvable thread id.
+        referenced: ThreadId,
+    },
+    /// Salvage synthesized the missing `ThreadStart` of a stream.
+    SynthesizedStart {
+        /// The repaired thread.
+        tid: ThreadId,
+    },
+    /// Salvage closed open critical sections / waits and appended the
+    /// missing `ThreadExit` of a stream.
+    SynthesizedExit {
+        /// The repaired thread.
+        tid: ThreadId,
+    },
+    /// Salvage could keep nothing of a thread's stream; the thread is
+    /// retained as an empty (quarantined) stream.
+    QuarantinedThread {
+        /// The quarantined thread.
+        tid: ThreadId,
+        /// Why nothing was salvageable.
+        reason: String,
+    },
+    /// A per-thread section of a binary trace failed to decode; the
+    /// events decoded before the failure were kept.
+    CorruptSection {
+        /// The affected thread.
+        tid: ThreadId,
+        /// Events recovered from the section before the decode failure.
+        recovered: u64,
+        /// The decoder's error message.
+        detail: String,
+    },
+    /// The trace file's whole-file checksum did not match its contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        expected: u32,
+        /// Checksum computed over the file contents.
+        actual: u32,
+    },
+    /// The trace file ended before all announced sections were read.
+    TruncatedFile {
+        /// Threads whose sections were fully or partially lost.
+        missing_threads: u64,
+    },
+    /// The event budget was exhausted; the trace was tail-truncated.
+    BudgetEventsTruncated {
+        /// Events kept.
+        kept: u64,
+        /// Events dropped.
+        dropped: u64,
+    },
+    /// The thread budget was exhausted; trailing threads were dropped.
+    BudgetThreadsTruncated {
+        /// Threads kept.
+        kept: u64,
+        /// Threads dropped.
+        dropped: u64,
+    },
+    /// The byte budget was exhausted before the input was fully read.
+    BudgetBytesTruncated {
+        /// The configured byte budget.
+        limit: u64,
+        /// Estimated bytes the input would have needed.
+        needed: u64,
+    },
+    /// The wall-clock deadline expired; later pipeline stages were
+    /// skipped or truncated.
+    DeadlineExceeded {
+        /// The stage at which the deadline fired.
+        stage: String,
+    },
+}
+
+impl Anomaly {
+    /// The thread this anomaly is about, if it concerns a single thread.
+    pub fn thread(&self) -> Option<ThreadId> {
+        match *self {
+            Anomaly::StartBeforeCreation { tid, .. }
+            | Anomaly::JoinBeforeChildExit { tid, .. }
+            | Anomaly::JoinOfNonExitingThread { tid, .. }
+            | Anomaly::OrphanContendedObtain { tid, .. }
+            | Anomaly::WakeupBeforeSignal { tid, .. }
+            | Anomaly::UnrecordedSignal { tid, .. }
+            | Anomaly::SliceOutsideLifetime { tid, .. }
+            | Anomaly::SliceUnknownThread { tid }
+            | Anomaly::ClampedTimestamps { tid, .. }
+            | Anomaly::ProtocolTruncation { tid, .. }
+            | Anomaly::DanglingObjectRef { tid, .. }
+            | Anomaly::DanglingThreadRef { tid, .. }
+            | Anomaly::SynthesizedStart { tid }
+            | Anomaly::SynthesizedExit { tid }
+            | Anomaly::QuarantinedThread { tid, .. }
+            | Anomaly::CorruptSection { tid, .. } => Some(tid),
+            _ => None,
+        }
+    }
+
+    /// Whether this anomaly came from the salvage/governance machinery
+    /// (as opposed to a cross-thread validation finding).
+    pub fn is_repair(&self) -> bool {
+        matches!(
+            self,
+            Anomaly::ClampedTimestamps { .. }
+                | Anomaly::ProtocolTruncation { .. }
+                | Anomaly::DanglingObjectRef { .. }
+                | Anomaly::DanglingThreadRef { .. }
+                | Anomaly::SynthesizedStart { .. }
+                | Anomaly::SynthesizedExit { .. }
+                | Anomaly::QuarantinedThread { .. }
+                | Anomaly::CorruptSection { .. }
+                | Anomaly::ChecksumMismatch { .. }
+                | Anomaly::TruncatedFile { .. }
+                | Anomaly::BudgetEventsTruncated { .. }
+                | Anomaly::BudgetThreadsTruncated { .. }
+                | Anomaly::BudgetBytesTruncated { .. }
+                | Anomaly::DeadlineExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anomaly::StartBeforeCreation { tid, start, create } => {
+                write!(f, "{tid} starts at {start} before its creation at {create}")
+            }
+            Anomaly::JoinBeforeChildExit { tid, child, join_end, child_exit } => write!(
+                f,
+                "{tid} join of {child} returned at {join_end} before child exit at {child_exit}"
+            ),
+            Anomaly::JoinOfNonExitingThread { tid, child } => {
+                write!(f, "{tid} joins {child} which never exits")
+            }
+            Anomaly::OrphanContendedObtain { tid, lock, obtain, rw } => write!(
+                f,
+                "{tid} contended {}obtain of {lock} at {obtain} has no prior release by another thread",
+                if *rw { "rw-" } else { "" }
+            ),
+            Anomaly::OverlappingHolds { lock, first, second, start, end } => write!(
+                f,
+                "lock {lock} held concurrently by T{} and T{} ({start} < {end})",
+                first.0, second.0
+            ),
+            Anomaly::RwWriteOverlap { lock, first, second } => write!(
+                f,
+                "rwlock {lock} write hold overlaps another hold (T{} vs T{})",
+                first.0, second.0
+            ),
+            Anomaly::InconsistentBarrierDeparts { barrier, epoch, depart, expected } => write!(
+                f,
+                "barrier {barrier} epoch {epoch} departs at inconsistent times ({depart} vs {expected})"
+            ),
+            Anomaly::BarrierDepartBeforeArrival { barrier, epoch, depart, last_arrival } => write!(
+                f,
+                "barrier {barrier} epoch {epoch} departs at {depart} before last arrival {last_arrival}"
+            ),
+            Anomaly::WakeupBeforeSignal { tid, wakeup, signal_seq, signal_ts } => write!(
+                f,
+                "{tid} woke at {wakeup} before its signal #{signal_seq} at {signal_ts}"
+            ),
+            Anomaly::UnrecordedSignal { tid, cv, signal_seq } => {
+                write!(f, "{tid} woken by unrecorded signal #{signal_seq} on {cv}")
+            }
+            Anomaly::PathLongerThanMakespan { length, makespan } => {
+                write!(f, "critical path {length} longer than makespan {makespan}")
+            }
+            Anomaly::BrokenTiling { detail } => f.write_str(detail),
+            Anomaly::SliceOutsideLifetime { tid, slice_start, slice_end, start, end } => write!(
+                f,
+                "CP slice [{slice_start},{slice_end}] outside lifetime of {tid} [{start},{end}]"
+            ),
+            Anomaly::SliceUnknownThread { tid } => {
+                write!(f, "CP slice references unknown thread {tid}")
+            }
+            Anomaly::ClampedTimestamps { tid, count } => {
+                write!(f, "{tid}: clamped {count} backwards timestamp(s)")
+            }
+            Anomaly::ProtocolTruncation { tid, index, reason } => {
+                write!(f, "{tid}: stream cut at event {index} ({reason})")
+            }
+            Anomaly::DanglingObjectRef { tid, index, obj } => {
+                write!(f, "{tid}: dropped event {index} referencing unknown object {obj}")
+            }
+            Anomaly::DanglingThreadRef { tid, index, referenced } => {
+                write!(f, "{tid}: dropped event {index} referencing unknown thread {referenced}")
+            }
+            Anomaly::SynthesizedStart { tid } => {
+                write!(f, "{tid}: synthesized missing ThreadStart")
+            }
+            Anomaly::SynthesizedExit { tid } => {
+                write!(f, "{tid}: closed open sections and synthesized ThreadExit")
+            }
+            Anomaly::QuarantinedThread { tid, reason } => {
+                write!(f, "{tid}: quarantined ({reason})")
+            }
+            Anomaly::CorruptSection { tid, recovered, detail } => {
+                write!(f, "{tid}: corrupt section, recovered {recovered} event(s) ({detail})")
+            }
+            Anomaly::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "file checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            ),
+            Anomaly::TruncatedFile { missing_threads } => {
+                write!(f, "file truncated: {missing_threads} thread section(s) missing or partial")
+            }
+            Anomaly::BudgetEventsTruncated { kept, dropped } => {
+                write!(f, "event budget exhausted: kept {kept}, dropped {dropped}")
+            }
+            Anomaly::BudgetThreadsTruncated { kept, dropped } => {
+                write!(f, "thread budget exhausted: kept {kept}, dropped {dropped}")
+            }
+            Anomaly::BudgetBytesTruncated { limit, needed } => {
+                write!(f, "byte budget exhausted: limit {limit}, input needs about {needed}")
+            }
+            Anomaly::DeadlineExceeded { stage } => {
+                write!(f, "wall-clock deadline exceeded during {stage}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_key_phrases() {
+        let a = Anomaly::StartBeforeCreation { tid: ThreadId(1), start: 3, create: 7 };
+        assert!(a.to_string().contains("before its creation"));
+        let a = Anomaly::JoinOfNonExitingThread { tid: ThreadId(0), child: ThreadId(2) };
+        assert!(a.to_string().contains("never exits"));
+        let a = Anomaly::OrphanContendedObtain {
+            tid: ThreadId(0),
+            lock: "L".into(),
+            obtain: 9,
+            rw: false,
+        };
+        assert!(a.to_string().contains("no prior release"));
+        let a = Anomaly::OverlappingHolds {
+            lock: "L".into(),
+            first: ThreadId(0),
+            second: ThreadId(1),
+            start: 1,
+            end: 5,
+        };
+        assert!(a.to_string().contains("held concurrently"));
+    }
+
+    #[test]
+    fn thread_attribution() {
+        let a = Anomaly::ProtocolTruncation { tid: ThreadId(3), index: 4, reason: "x".into() };
+        assert_eq!(a.thread(), Some(ThreadId(3)));
+        assert!(a.is_repair());
+        let a = Anomaly::PathLongerThanMakespan { length: 2, makespan: 1 };
+        assert_eq!(a.thread(), None);
+        assert!(!a.is_repair());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Anomaly::ChecksumMismatch { expected: 1, actual: 2 };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Anomaly = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

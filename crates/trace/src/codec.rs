@@ -21,10 +21,20 @@
 //! [`read_trace_bytes`] decodes them in parallel (event timestamps are
 //! delta-encoded *per thread*, so each section is self-contained).
 //! Version 1 traces (no section lengths) are still read, serially.
+//!
+//! Version 3 appends a whole-file CRC32 (4 bytes, little-endian, over
+//! everything from the magic through the last section) so the strict
+//! readers deterministically reject byte-level corruption instead of
+//! depending on a mutation happening to break the grammar. The tolerant
+//! reader, [`read_trace_bytes_salvage`], records a checksum mismatch as
+//! an [`Anomaly`] and keeps decoding.
 
+use crate::anomaly::Anomaly;
+use crate::budget::Budget;
 use crate::error::{Result, TraceError};
 use crate::event::{Event, EventKind};
 use crate::ids::{ObjId, ObjInfo, ObjKind, ThreadId};
+use crate::stream::{crc32, crc32_finish, crc32_update, CRC32_INIT};
 use crate::trace::{ThreadStream, Trace, TraceMeta};
 use rayon::prelude::*;
 use std::fs::File;
@@ -32,9 +42,11 @@ use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CLTR";
-const VERSION: u64 = 2;
+const VERSION: u64 = 3;
 /// Oldest format version [`read_trace`] still accepts.
 const MIN_VERSION: u64 = 1;
+/// First version carrying the trailing whole-file checksum.
+const CRC_VERSION: u64 = 3;
 
 /// Write an unsigned LEB128 varint.
 pub fn write_varint(out: &mut impl Write, mut v: u64) -> Result<()> {
@@ -82,8 +94,17 @@ pub(crate) fn read_bytes(inp: &mut impl Read) -> Result<Vec<u8>> {
     if len > 1 << 30 {
         return Err(TraceError::Decode(format!("unreasonable length {len}")));
     }
-    let mut buf = vec![0u8; len];
-    inp.read_exact(&mut buf)?;
+    // Read through `take` instead of pre-allocating `len` bytes: a
+    // corrupt length claim up to the 1 GiB cap must not commit a huge
+    // allocation before the (short) input runs out.
+    let mut buf = Vec::new();
+    inp.by_ref().take(len as u64).read_to_end(&mut buf)?;
+    if buf.len() != len {
+        return Err(TraceError::Decode(format!(
+            "byte string truncated ({} of {len} bytes)",
+            buf.len()
+        )));
+    }
     Ok(buf)
 }
 
@@ -262,31 +283,64 @@ pub(crate) fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
     Ok(Event::new(ts, kind))
 }
 
-/// Serialize a trace into the binary format.
-pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
-    out.write_all(MAGIC)?;
-    write_varint(out, VERSION)?;
-    let meta = serde_json::to_vec(&trace.meta)?;
-    write_bytes(out, &meta)?;
+/// Checksums everything written through it, without buffering.
+struct CrcWriter<'a, W: Write> {
+    inner: &'a mut W,
+    state: u32,
+}
 
-    write_varint(out, trace.objects.len() as u64)?;
-    for obj in &trace.objects {
-        out.write_all(&[kind_to_u8(obj.kind)])?;
-        write_bytes(out, obj.name.as_bytes())?;
+impl<W: Write> Write for CrcWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.state = crc32_update(self.state, &buf[..n]);
+        Ok(n)
     }
 
-    write_varint(out, trace.threads.len() as u64)?;
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Checksums everything read through it, without buffering.
+struct CrcReader<'a, R: Read> {
+    inner: &'a mut R,
+    state: u32,
+}
+
+impl<R: Read> Read for CrcReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.state = crc32_update(self.state, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Serialize a trace into the binary format.
+pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
+    let mut out = CrcWriter { inner: out, state: CRC32_INIT };
+    out.write_all(MAGIC)?;
+    write_varint(&mut out, VERSION)?;
+    let meta = serde_json::to_vec(&trace.meta)?;
+    write_bytes(&mut out, &meta)?;
+
+    write_varint(&mut out, trace.objects.len() as u64)?;
+    for obj in &trace.objects {
+        out.write_all(&[kind_to_u8(obj.kind)])?;
+        write_bytes(&mut out, obj.name.as_bytes())?;
+    }
+
+    write_varint(&mut out, trace.threads.len() as u64)?;
     let mut section = Vec::new();
     for stream in &trace.threads {
-        write_varint(out, stream.tid.0 as u64)?;
+        write_varint(&mut out, stream.tid.0 as u64)?;
         match &stream.name {
             Some(n) => {
                 out.write_all(&[1])?;
-                write_bytes(out, n.as_bytes())?;
+                write_bytes(&mut out, n.as_bytes())?;
             }
             None => out.write_all(&[0])?,
         }
-        write_varint(out, stream.events.len() as u64)?;
+        write_varint(&mut out, stream.events.len() as u64)?;
         // v2: the event block is length-prefixed so readers can skip to
         // the next section without decoding. Encode into a reusable
         // scratch buffer to learn the length.
@@ -296,8 +350,11 @@ pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
             write_event(&mut section, prev, ev)?;
             prev = ev.ts;
         }
-        write_bytes(out, &section)?;
+        write_bytes(&mut out, &section)?;
     }
+    // v3: whole-file checksum trailer, excluded from its own coverage.
+    let crc = crc32_finish(out.state);
+    out.inner.write_all(&crc.to_le_bytes())?;
     Ok(())
 }
 
@@ -355,16 +412,17 @@ fn read_thread_header(inp: &mut impl Read) -> Result<(ThreadId, Option<String>, 
 
 /// Deserialize a trace from the binary format (streaming, serial).
 pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
-    let (mut trace, nthreads, version) = read_preamble(inp)?;
+    let mut inp = CrcReader { inner: inp, state: CRC32_INIT };
+    let (mut trace, nthreads, version) = read_preamble(&mut inp)?;
     for _ in 0..nthreads {
-        let (tid, name, nev) = read_thread_header(inp)?;
+        let (tid, name, nev) = read_thread_header(&mut inp)?;
         let events = if version >= 2 {
-            decode_events(&read_bytes(inp)?, nev)?
+            decode_events(&read_bytes(&mut inp)?, nev)?
         } else {
             let mut events = Vec::with_capacity(nev.min(1 << 20));
             let mut prev = 0u64;
             for _ in 0..nev {
-                let ev = read_event(inp, prev)?;
+                let ev = read_event(&mut inp, prev)?;
                 prev = ev.ts;
                 events.push(ev);
             }
@@ -374,6 +432,17 @@ pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
         stream.name = name;
         stream.events = events;
         trace.threads.push(stream);
+    }
+    if version >= CRC_VERSION {
+        let actual = crc32_finish(inp.state);
+        let mut trailer = [0u8; 4];
+        inp.inner.read_exact(&mut trailer)?;
+        let expected = u32::from_le_bytes(trailer);
+        if expected != actual {
+            return Err(TraceError::Decode(format!(
+                "file checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            )));
+        }
     }
     Ok(trace)
 }
@@ -390,6 +459,9 @@ pub fn read_trace_bytes(buf: &[u8]) -> Result<Trace> {
     if version < 2 {
         let mut rest = buf;
         return read_trace(&mut rest);
+    }
+    if version >= CRC_VERSION {
+        rem = check_trailer(buf, rem)?;
     }
     // Serial boundary scan: headers are tiny, sections are skipped whole.
     let mut sections: Vec<(ThreadId, Option<String>, usize, &[u8])> =
@@ -420,6 +492,187 @@ pub fn read_trace_bytes(buf: &[u8]) -> Result<Trace> {
         trace.threads.push(stream?);
     }
     Ok(trace)
+}
+
+/// Verify the v3 whole-file checksum trailer of `buf` and return `rem`
+/// (the unconsumed tail) with the 4 trailer bytes sliced off.
+fn check_trailer<'a>(buf: &'a [u8], rem: &'a [u8]) -> Result<&'a [u8]> {
+    let consumed = buf.len() - rem.len();
+    let body = buf
+        .len()
+        .checked_sub(4)
+        .filter(|&b| b >= consumed)
+        .ok_or_else(|| TraceError::Decode("file checksum trailer missing".into()))?;
+    let expected = u32::from_le_bytes([buf[body], buf[body + 1], buf[body + 2], buf[body + 3]]);
+    let actual = crc32(&buf[..body]);
+    if expected != actual {
+        return Err(TraceError::Decode(format!(
+            "file checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(&buf[consumed..body])
+}
+
+/// Decode up to `take` events from a section, returning whatever prefix
+/// decodes cleanly, the count of unconsumed section bytes, and the error
+/// message that stopped the scan, if any.
+fn decode_events_prefix(mut section: &[u8], take: u64) -> (Vec<Event>, usize, Option<String>) {
+    let mut events = Vec::with_capacity((take.min(1 << 20)) as usize);
+    let mut prev = 0u64;
+    for _ in 0..take {
+        match read_event(&mut section, prev) {
+            Ok(ev) => {
+                prev = ev.ts;
+                events.push(ev);
+            }
+            Err(e) => return (events, section.len(), Some(e.to_string())),
+        }
+    }
+    (events, section.len(), None)
+}
+
+/// Tolerant decode for salvage mode: recover whatever the byte buffer
+/// still encodes instead of failing on the first inconsistency.
+///
+/// Only an unreadable preamble (magic/version/meta/object table) is an
+/// error — past that point every problem is recorded as an [`Anomaly`]:
+/// a checksum mismatch keeps decoding, a corrupt or truncated thread
+/// section contributes its longest decodable event prefix, and missing
+/// trailing sections are reported but don't discard the threads already
+/// decoded. The [`Budget`] is enforced here too, so sections past the
+/// event/thread allowance are never decoded (or even allocated).
+///
+/// The returned trace makes no protocol guarantees; run it through
+/// [`crate::salvage::salvage_trace`] before analysis.
+pub fn read_trace_bytes_salvage(buf: &[u8], budget: &Budget) -> Result<(Trace, Vec<Anomaly>)> {
+    let mut rem = buf;
+    let (mut trace, nthreads, version) = read_preamble(&mut rem)?;
+    let mut anomalies = Vec::new();
+
+    if version >= CRC_VERSION {
+        let consumed = buf.len() - rem.len();
+        match buf.len().checked_sub(4).filter(|&b| b >= consumed) {
+            Some(body) => {
+                let expected =
+                    u32::from_le_bytes([buf[body], buf[body + 1], buf[body + 2], buf[body + 3]]);
+                let actual = crc32(&buf[..body]);
+                if expected != actual {
+                    anomalies.push(Anomaly::ChecksumMismatch { expected, actual });
+                }
+                rem = &buf[consumed..body];
+            }
+            None => anomalies.push(Anomaly::TruncatedFile { missing_threads: nthreads as u64 }),
+        }
+    }
+
+    let kept_threads = budget.thread_allowance(nthreads).unwrap_or(nthreads);
+    if kept_threads < nthreads {
+        anomalies.push(Anomaly::BudgetThreadsTruncated {
+            kept: kept_threads as u64,
+            dropped: (nthreads - kept_threads) as u64,
+        });
+    }
+    let per_event = std::mem::size_of::<Event>() as u64;
+    let event_cap = budget.max_events;
+    let byte_cap = budget.max_bytes.map(|b| b / per_event.max(1));
+    let mut allowance = event_cap.unwrap_or(u64::MAX).min(byte_cap.unwrap_or(u64::MAX));
+    let mut declared_total = 0u64;
+
+    for i in 0..kept_threads {
+        if budget.deadline_expired() {
+            anomalies.push(Anomaly::DeadlineExceeded { stage: "decode".into() });
+            break;
+        }
+        let tid = ThreadId(i as u32);
+        let Ok((read_tid, name, nev)) = read_thread_header(&mut rem) else {
+            anomalies.push(Anomaly::TruncatedFile { missing_threads: (nthreads - i) as u64 });
+            break;
+        };
+        declared_total = declared_total.saturating_add(nev as u64);
+        let take = (nev as u64).min(allowance);
+
+        let (events, decode_err, poisoned) = if version >= 2 {
+            match read_varint(&mut rem) {
+                Ok(len) if (len as usize) <= rem.len() => {
+                    let (section, rest) = rem.split_at(len as usize);
+                    rem = rest;
+                    let (events, unconsumed, err) = decode_events_prefix(section, take);
+                    // Trailing section bytes after a full decode mean the
+                    // section itself is inconsistent; keep the events.
+                    let err = err.or_else(|| {
+                        (take == nev as u64 && unconsumed > 0)
+                            .then(|| "trailing bytes in thread section".to_string())
+                    });
+                    (events, err, false)
+                }
+                Ok(len) => {
+                    // Length points past the end of the file: decode what
+                    // is physically there, then the buffer is exhausted.
+                    let section = rem;
+                    rem = &[];
+                    let (events, _, _) = decode_events_prefix(section, take);
+                    (events, Some(format!("section length {len} exceeds file")), false)
+                }
+                Err(e) => (Vec::new(), Some(e.to_string()), true),
+            }
+        } else {
+            // v1: sections are not framed, so a decode error loses sync
+            // with every section after this one.
+            let (events, err) = decode_events_prefix_stream(&mut rem, take);
+            let poisoned = err.is_some();
+            (events, err, poisoned)
+        };
+
+        if let Some(detail) = decode_err {
+            anomalies.push(Anomaly::CorruptSection { tid, recovered: events.len() as u64, detail });
+        }
+        allowance -= events.len() as u64;
+        let mut stream = ThreadStream::new(read_tid);
+        stream.name = name;
+        stream.events = events;
+        trace.threads.push(stream);
+
+        if poisoned {
+            let missing = (nthreads - i - 1) as u64;
+            if missing > 0 {
+                anomalies.push(Anomaly::TruncatedFile { missing_threads: missing });
+            }
+            break;
+        }
+    }
+
+    if let Some(cap) = event_cap {
+        if declared_total > cap {
+            anomalies
+                .push(Anomaly::BudgetEventsTruncated { kept: cap, dropped: declared_total - cap });
+        }
+    }
+    if let Some(cap) = byte_cap {
+        if declared_total > cap {
+            anomalies.push(Anomaly::BudgetBytesTruncated {
+                limit: budget.max_bytes.unwrap_or(0),
+                needed: declared_total.saturating_mul(per_event),
+            });
+        }
+    }
+    Ok((trace, anomalies))
+}
+
+/// Like [`decode_events_prefix`] but consumes from a shared stream (v1
+/// layout, no section framing).
+fn decode_events_prefix_stream(rem: &mut &[u8], take: u64) -> (Vec<Event>, Option<String>) {
+    let mut events = Vec::with_capacity((take.min(1 << 20)) as usize);
+    let mut prev = 0u64;
+    for _ in 0..take {
+        match read_event(rem, prev) {
+            Ok(ev) => {
+                prev = ev.ts;
+                events.push(ev);
+            }
+            Err(e) => return (events, Some(e.to_string())),
+        }
+    }
+    (events, None)
 }
 
 /// Save a trace to a file in the binary format.
@@ -590,5 +843,92 @@ mod tests {
         write_trace(&t, &mut buf).unwrap();
         buf.truncate(buf.len() - 4);
         assert!(read_trace_bytes(&buf).is_err());
+    }
+
+    /// Any single-byte corruption of a v3 file is rejected by both
+    /// strict readers via the whole-file checksum, even where the
+    /// mutated byte still decodes as valid grammar.
+    #[test]
+    fn v3_checksum_detects_bit_flip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        for at in [7, buf.len() / 2, buf.len() - 5] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x40;
+            assert!(read_trace_bytes(&bad).is_err(), "flip at {at} accepted by bytes reader");
+            assert!(
+                read_trace(&mut Cursor::new(bad)).is_err(),
+                "flip at {at} accepted by streaming reader"
+            );
+        }
+    }
+
+    /// The tolerant reader records the checksum mismatch as an anomaly
+    /// and still decodes the (grammatically intact) trace.
+    #[test]
+    fn salvage_decode_reports_checksum_mismatch() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let at = buf.len() - 1; // corrupt the trailer itself
+        buf[at] ^= 0x40;
+        let (back, anomalies) = read_trace_bytes_salvage(&buf, &Budget::unlimited()).unwrap();
+        assert_eq!(back, t);
+        assert!(anomalies.iter().any(|a| matches!(a, Anomaly::ChecksumMismatch { .. })));
+    }
+
+    /// Cutting the file mid-section loses the tail but salvage-decode
+    /// keeps every section before the cut.
+    #[test]
+    fn salvage_decode_recovers_truncated_file() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() * 2 / 3);
+        let (back, anomalies) = read_trace_bytes_salvage(&buf, &Budget::unlimited()).unwrap();
+        assert!(!anomalies.is_empty());
+        assert!(back.num_events() > 0, "nothing recovered from a 2/3 file");
+        assert!(back.num_events() < t.num_events());
+    }
+
+    /// An uncorrupted file salvage-decodes to the identical trace with
+    /// no anomalies.
+    #[test]
+    fn salvage_decode_of_clean_file_is_identity() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let (back, anomalies) = read_trace_bytes_salvage(&buf, &Budget::unlimited()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(anomalies, Vec::new());
+    }
+
+    /// Event budgets are enforced during decode: sections past the
+    /// allowance are never decoded, and the truncation is recorded.
+    #[test]
+    fn salvage_decode_enforces_event_budget() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let budget = Budget::unlimited().with_max_events(4);
+        let (back, anomalies) = read_trace_bytes_salvage(&buf, &budget).unwrap();
+        assert!(back.num_events() <= 4);
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::BudgetEventsTruncated { kept: 4, .. })));
+    }
+
+    /// A corrupt length claim near the 1 GiB cap over a short input must
+    /// fail from the input running out, not commit the huge allocation.
+    #[test]
+    fn huge_length_claim_is_a_cheap_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, VERSION).unwrap();
+        write_varint(&mut buf, (1u64 << 30) - 1).unwrap(); // meta length
+        buf.extend_from_slice(b"{}");
+        let err = read_trace(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 }

@@ -26,11 +26,19 @@
 //!   resumable-session handshake for reconnecting producers;
 //! * deterministic transport fault plans ([`faults`]) and the capped
 //!   exponential reconnect policy ([`retry`]) shared by the streaming
-//!   clients and the collector's fault-injection harness.
+//!   clients and the collector's fault-injection harness;
+//! * a typed anomaly vocabulary ([`anomaly`]) shared by validation and
+//!   repair, best-effort trace salvage ([`salvage`]) that recovers the
+//!   longest protocol-consistent prefix of each thread instead of
+//!   rejecting the whole trace, and resource budgets ([`budget`])
+//!   enforced in decode and analysis so oversized inputs degrade
+//!   deterministically instead of exhausting the host.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anomaly;
+pub mod budget;
 pub mod builder;
 pub mod codec;
 pub mod episodes;
@@ -40,9 +48,12 @@ pub mod faults;
 pub mod ids;
 pub mod jsonl;
 pub mod retry;
+pub mod salvage;
 pub mod stream;
 pub mod trace;
 
+pub use anomaly::Anomaly;
+pub use budget::Budget;
 pub use builder::TraceBuilder;
 pub use episodes::{
     barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes,
@@ -54,4 +65,5 @@ pub use event::{Event, EventKind, Ts, SEQ_UNKNOWN};
 pub use faults::{FaultAction, FaultPlan};
 pub use ids::{ObjId, ObjInfo, ObjKind, ThreadId};
 pub use retry::RetryPolicy;
+pub use salvage::{SalvageReport, Salvaged, ThreadSalvage};
 pub use trace::{ClockDomain, ThreadStream, Trace, TraceMeta};

@@ -1,0 +1,797 @@
+//! Best-effort trace repair: keep what's consistent, quarantine the rest.
+//!
+//! [`Trace::validate`] rejects a whole trace on the first protocol
+//! violation. That is the right posture for the deterministic simulator,
+//! but real instrumented runs arrive torn (a crashed producer), skewed
+//! (cross-core clock drift) or referencing objects whose registration
+//! frames were lost. Salvage takes the opposite posture:
+//!
+//! * each thread stream is truncated to its *longest protocol-consistent
+//!   prefix* — the first unrecoverable protocol violation cuts the
+//!   stream there, never the whole trace;
+//! * backwards timestamps are clamped to the running per-thread maximum;
+//! * events referencing unregistered objects (or objects of the wrong
+//!   kind) and out-of-range thread ids are dropped individually;
+//! * open critical sections, waits and barrier episodes at a cut are
+//!   closed with synthesized events (zero-length holds for in-flight
+//!   acquires, excision for abandoned contended waits), matching the
+//!   conventions of the collector's assembler, and a `ThreadExit` is
+//!   appended;
+//! * a thread with nothing salvageable is *quarantined*: it stays in the
+//!   trace as an empty stream so thread ids remain dense, and the
+//!   critical-path walker treats references to it gracefully.
+//!
+//! The result always passes [`Trace::validate`], and salvaging an
+//! already-valid trace is the identity — same trace, clean report.
+//!
+//! Salvage is also where a [`Budget`] is applied to in-memory traces:
+//! excess threads and events are tail-truncated deterministically (in
+//! `(thread, index)` order) and the report is marked degraded.
+
+use crate::anomaly::Anomaly;
+use crate::budget::Budget;
+use crate::error::Result;
+use crate::event::{Event, EventKind, SEQ_UNKNOWN};
+use crate::ids::{ObjId, ObjInfo, ObjKind, ThreadId};
+use crate::trace::{ThreadStream, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Per-thread salvage accounting. Only threads that needed repairs
+/// appear in [`SalvageReport::threads`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSalvage {
+    /// The thread (position in the salvaged trace).
+    pub tid: ThreadId,
+    /// Original events kept.
+    pub kept: u64,
+    /// Original events dropped (truncation, dangling refs, budget).
+    pub dropped: u64,
+    /// Timestamps clamped to the running maximum.
+    pub clamped: u64,
+    /// Events synthesized to close the stream.
+    pub synthesized: u64,
+    /// True if nothing of a non-empty stream was salvageable.
+    pub quarantined: bool,
+}
+
+/// What salvage did to a trace: aggregate counts, per-thread detail for
+/// repaired threads, and the anomaly list explaining every repair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SalvageReport {
+    /// Original events kept across all threads.
+    pub events_kept: u64,
+    /// Original events dropped across all threads.
+    pub events_dropped: u64,
+    /// Events synthesized (stream closes, missing starts/exits).
+    pub events_synthesized: u64,
+    /// Backwards timestamps clamped.
+    pub timestamps_clamped: u64,
+    /// Threads quarantined as empty streams.
+    pub threads_quarantined: u64,
+    /// True if a resource budget (events, threads, bytes, deadline)
+    /// truncated the input.
+    pub degraded: bool,
+    /// Fraction of input events kept (1.0 when nothing was dropped).
+    pub confidence: f64,
+    /// Per-thread detail, repaired threads only.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub threads: Vec<ThreadSalvage>,
+    /// Every repair and degradation, in discovery order.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl Default for SalvageReport {
+    fn default() -> Self {
+        SalvageReport {
+            events_kept: 0,
+            events_dropped: 0,
+            events_synthesized: 0,
+            timestamps_clamped: 0,
+            threads_quarantined: 0,
+            degraded: false,
+            confidence: 1.0,
+            threads: Vec::new(),
+            anomalies: Vec::new(),
+        }
+    }
+}
+
+impl SalvageReport {
+    /// True if salvage changed nothing: no drops, no repairs, no
+    /// degradation. A clean report means the salvaged trace is the
+    /// input trace.
+    pub fn is_clean(&self) -> bool {
+        self.events_dropped == 0
+            && self.events_synthesized == 0
+            && self.timestamps_clamped == 0
+            && self.threads_quarantined == 0
+            && !self.degraded
+            && self.threads.is_empty()
+            && self.anomalies.is_empty()
+    }
+
+    /// Fold decode-stage anomalies (corrupt sections, checksum
+    /// mismatches, decode-time budget truncations) into the report,
+    /// ahead of the repair anomalies.
+    pub fn absorb_decode_anomalies(&mut self, mut decode: Vec<Anomaly>) {
+        if decode.is_empty() {
+            return;
+        }
+        self.degraded = self.degraded || decode.iter().any(budgetary);
+        decode.append(&mut self.anomalies);
+        self.anomalies = decode;
+    }
+
+    fn finalize(&mut self) {
+        let considered = self.events_kept + self.events_dropped;
+        self.confidence =
+            if considered == 0 { 1.0 } else { self.events_kept as f64 / considered as f64 };
+        self.degraded = self.degraded || self.anomalies.iter().any(budgetary);
+    }
+}
+
+fn budgetary(a: &Anomaly) -> bool {
+    matches!(
+        a,
+        Anomaly::BudgetEventsTruncated { .. }
+            | Anomaly::BudgetThreadsTruncated { .. }
+            | Anomaly::BudgetBytesTruncated { .. }
+            | Anomaly::DeadlineExceeded { .. }
+    )
+}
+
+/// A salvaged trace plus the report of what it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvaged {
+    /// The repaired trace; always passes [`Trace::validate`].
+    pub trace: Trace,
+    /// What was repaired, dropped and synthesized.
+    pub report: SalvageReport,
+}
+
+/// Salvage a trace under a budget. See the module docs for the repair
+/// rules. On a valid trace within budget this is the identity.
+pub fn salvage_trace(trace: &Trace, budget: &Budget) -> Salvaged {
+    let mut report = SalvageReport::default();
+    let mut out = Trace::new(trace.meta.clone());
+    out.objects = trace.objects.clone();
+
+    // Thread budget: drop trailing streams whole.
+    let total_threads = trace.threads.len();
+    let kept_threads = budget.thread_allowance(total_threads).unwrap_or(total_threads);
+    if kept_threads < total_threads {
+        report.anomalies.push(Anomaly::BudgetThreadsTruncated {
+            kept: kept_threads as u64,
+            dropped: (total_threads - kept_threads) as u64,
+        });
+        for stream in &trace.threads[kept_threads..] {
+            report.events_dropped += stream.events.len() as u64;
+        }
+    }
+
+    // Event budget: a single allowance consumed in (thread, index)
+    // order, combining the explicit event cap with the one implied by
+    // the resident-byte cap.
+    let total_events: u64 =
+        trace.threads[..kept_threads].iter().map(|s| s.events.len() as u64).sum();
+    let mut allowance = u64::MAX;
+    if let Some(cap) = budget.event_allowance(total_events) {
+        allowance = cap;
+        report
+            .anomalies
+            .push(Anomaly::BudgetEventsTruncated { kept: cap, dropped: total_events - cap });
+    }
+    if let Some(max_bytes) = budget.max_bytes {
+        let per_event = std::mem::size_of::<Event>() as u64;
+        let byte_cap = max_bytes / per_event.max(1);
+        if total_events > byte_cap {
+            allowance = allowance.min(byte_cap);
+            report.anomalies.push(Anomaly::BudgetBytesTruncated {
+                limit: max_bytes,
+                needed: total_events.saturating_mul(per_event),
+            });
+        }
+    }
+
+    let mut remaining = allowance;
+    let mut deadline_hit = false;
+    for (pos, stream) in trace.threads.iter().take(kept_threads).enumerate() {
+        if !deadline_hit && budget.deadline_expired() {
+            deadline_hit = true;
+            report.anomalies.push(Anomaly::DeadlineExceeded { stage: "salvage".into() });
+        }
+        let take = if deadline_hit { 0 } else { stream.events.len().min(remaining as usize) };
+        remaining -= take as u64;
+        let (salvaged, stats) = salvage_stream(&out.objects, kept_threads, pos, stream, take);
+        report.events_kept += stats.kept;
+        report.events_dropped += stats.dropped;
+        report.events_synthesized += stats.synthesized;
+        report.timestamps_clamped += stats.clamped;
+        if stats.quarantined {
+            report.threads_quarantined += 1;
+        }
+        if stats.dropped > 0 || stats.clamped > 0 || stats.synthesized > 0 || stats.quarantined {
+            report.threads.push(stats.accounting);
+        }
+        report.anomalies.extend(stats.anomalies);
+        out.threads.push(salvaged);
+    }
+
+    report.finalize();
+    debug_assert!(out.validate().is_ok(), "salvaged trace must validate");
+    Salvaged { trace: out, report }
+}
+
+/// Load a trace file (binary CLTR or JSONL, sniffed by magic) in salvage
+/// mode. Binary traces decode tolerantly — corrupt or truncated thread
+/// sections contribute their decodable prefix — and the decoded trace is
+/// then repaired under the budget. Only an unreadable preamble (or I/O
+/// failure) is an error.
+pub fn load(path: impl AsRef<Path>, budget: &Budget) -> Result<Salvaged> {
+    let buf = std::fs::read(&path)?;
+    if buf.len() >= 4 && &buf[..4] == b"CLTR" {
+        let (trace, decode_anomalies) = crate::codec::read_trace_bytes_salvage(&buf, budget)?;
+        let mut s = salvage_trace(&trace, budget);
+        s.report.absorb_decode_anomalies(decode_anomalies);
+        s.report.finalize();
+        Ok(s)
+    } else {
+        let trace = crate::jsonl::read_trace(&mut &buf[..])?;
+        Ok(salvage_trace(&trace, budget))
+    }
+}
+
+struct StreamStats {
+    kept: u64,
+    dropped: u64,
+    clamped: u64,
+    synthesized: u64,
+    quarantined: bool,
+    accounting: ThreadSalvage,
+    anomalies: Vec<Anomaly>,
+}
+
+fn expected_kind(kind: &EventKind) -> Option<ObjKind> {
+    match kind {
+        EventKind::LockAcquire { .. }
+        | EventKind::LockContended { .. }
+        | EventKind::LockObtain { .. }
+        | EventKind::LockRelease { .. } => Some(ObjKind::Lock),
+        EventKind::BarrierArrive { .. } | EventKind::BarrierDepart { .. } => Some(ObjKind::Barrier),
+        EventKind::CondWaitBegin { .. }
+        | EventKind::CondWakeup { .. }
+        | EventKind::CondSignal { .. }
+        | EventKind::CondBroadcast { .. } => Some(ObjKind::Condvar),
+        EventKind::Marker { .. } => Some(ObjKind::Marker),
+        EventKind::RwAcquire { .. }
+        | EventKind::RwContended { .. }
+        | EventKind::RwObtain { .. }
+        | EventKind::RwRelease { .. } => Some(ObjKind::RwLock),
+        _ => None,
+    }
+}
+
+/// Salvage one stream: `take` caps how many input events may be
+/// considered (the event budget); `nthreads` bounds valid thread refs.
+fn salvage_stream(
+    objects: &[ObjInfo],
+    nthreads: usize,
+    pos: usize,
+    stream: &ThreadStream,
+    take: usize,
+) -> (ThreadStream, StreamStats) {
+    let tid = ThreadId(pos as u32);
+    let mut anomalies = Vec::new();
+    if stream.tid != tid {
+        anomalies.push(Anomaly::CorruptSection {
+            tid,
+            recovered: 0,
+            detail: format!("stream id {} at position {pos} remapped", stream.tid),
+        });
+    }
+
+    let mut kept: Vec<Event> = Vec::with_capacity(take);
+    let mut kept_orig = 0u64;
+    let mut clamped = 0u64;
+    let mut synthesized = 0u64;
+
+    // Per-lock state: 0 idle, 1 acquiring, 2 contended, 3 held — the
+    // same machine `Trace::validate` runs. `*_open` tracks the kept
+    // indexes of the in-flight acquire/contended events so an abandoned
+    // contended wait can be excised at close time.
+    let mut lock_state: BTreeMap<ObjId, u8> = BTreeMap::new();
+    let mut lock_open: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
+    let mut rw_state: BTreeMap<ObjId, u8> = BTreeMap::new();
+    let mut rw_open: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
+    let mut rw_write: BTreeMap<ObjId, bool> = BTreeMap::new();
+    let mut in_barrier: Option<(ObjId, u32)> = None;
+    let mut in_wait: Option<ObjId> = None;
+
+    let mut last_ts = 0u64;
+    let mut ended_clean = false;
+    let mut synthesized_start = false;
+
+    for (i, ev) in stream.events.iter().take(take).enumerate() {
+        let mut ev = *ev;
+
+        // Dangling references: drop the single event, keep scanning.
+        if let Some(obj) = ev.kind.obj() {
+            let ok = matches!(objects.get(obj.index()), Some(info)
+                if Some(info.kind) == expected_kind(&ev.kind));
+            if !ok {
+                anomalies.push(Anomaly::DanglingObjectRef { tid, index: i, obj });
+                continue;
+            }
+        }
+        if let Some(peer) = ev.kind.peer_thread() {
+            if peer.index() >= nthreads {
+                anomalies.push(Anomaly::DanglingThreadRef { tid, index: i, referenced: peer });
+                continue;
+            }
+        }
+
+        // Clock skew: clamp to the running maximum.
+        if ev.ts < last_ts {
+            ev.ts = last_ts;
+            clamped += 1;
+        }
+        last_ts = ev.ts;
+
+        // Structural protocol: ThreadStart exactly first, ThreadExit
+        // only as the true last event over a quiesced thread.
+        if kept.is_empty() && ev.kind != EventKind::ThreadStart {
+            kept.push(Event::new(ev.ts, EventKind::ThreadStart));
+            synthesized += 1;
+            synthesized_start = true;
+            anomalies.push(Anomaly::SynthesizedStart { tid });
+        } else if !kept.is_empty() && ev.kind == EventKind::ThreadStart {
+            anomalies.push(Anomaly::ProtocolTruncation {
+                tid,
+                index: i,
+                reason: "duplicate ThreadStart".into(),
+            });
+            break;
+        }
+        if ev.kind == EventKind::ThreadExit {
+            let quiesced = lock_state.values().all(|&s| s == 0)
+                && rw_state.values().all(|&s| s == 0)
+                && in_barrier.is_none()
+                && in_wait.is_none();
+            if i + 1 == stream.events.len() && i + 1 == take && quiesced {
+                kept.push(ev);
+                kept_orig += 1;
+                ended_clean = true;
+                break;
+            }
+            let reason = if quiesced {
+                "ThreadExit before end of stream"
+            } else {
+                "ThreadExit with open sections"
+            };
+            anomalies.push(Anomaly::ProtocolTruncation { tid, index: i, reason: reason.into() });
+            break;
+        }
+
+        // Synchronization protocol: first violation cuts the stream.
+        let violation: Option<String> = match ev.kind {
+            EventKind::LockAcquire { lock } => {
+                let st = lock_state.entry(lock).or_insert(0);
+                if *st != 0 {
+                    Some(format!("acquire of {lock} while in state {st}"))
+                } else {
+                    *st = 1;
+                    lock_open.entry(lock).or_default().push(kept.len());
+                    None
+                }
+            }
+            EventKind::LockContended { lock } => {
+                let st = lock_state.entry(lock).or_insert(0);
+                if *st != 1 {
+                    Some(format!("contended on {lock} without acquire"))
+                } else {
+                    *st = 2;
+                    lock_open.entry(lock).or_default().push(kept.len());
+                    None
+                }
+            }
+            EventKind::LockObtain { lock } => {
+                let st = lock_state.entry(lock).or_insert(0);
+                if *st != 1 && *st != 2 {
+                    Some(format!("obtain of {lock} without acquire"))
+                } else {
+                    *st = 3;
+                    None
+                }
+            }
+            EventKind::LockRelease { lock } => {
+                let st = lock_state.entry(lock).or_insert(0);
+                if *st != 3 {
+                    Some(format!("release of {lock} not held"))
+                } else {
+                    *st = 0;
+                    lock_open.remove(&lock);
+                    None
+                }
+            }
+            EventKind::RwAcquire { lock, write } => {
+                let st = rw_state.entry(lock).or_insert(0);
+                if *st != 0 {
+                    Some(format!("rw-acquire of {lock} while in state {st}"))
+                } else {
+                    *st = 1;
+                    rw_write.insert(lock, write);
+                    rw_open.entry(lock).or_default().push(kept.len());
+                    None
+                }
+            }
+            EventKind::RwContended { lock, .. } => {
+                let st = rw_state.entry(lock).or_insert(0);
+                if *st != 1 {
+                    Some(format!("rw-contended on {lock} without acquire"))
+                } else {
+                    *st = 2;
+                    rw_open.entry(lock).or_default().push(kept.len());
+                    None
+                }
+            }
+            EventKind::RwObtain { lock, .. } => {
+                let st = rw_state.entry(lock).or_insert(0);
+                if *st != 1 && *st != 2 {
+                    Some(format!("rw-obtain of {lock} without acquire"))
+                } else {
+                    *st = 3;
+                    None
+                }
+            }
+            EventKind::RwRelease { lock, .. } => {
+                let st = rw_state.entry(lock).or_insert(0);
+                if *st != 3 {
+                    Some(format!("rw-release of {lock} not held"))
+                } else {
+                    *st = 0;
+                    rw_open.remove(&lock);
+                    None
+                }
+            }
+            EventKind::BarrierArrive { barrier, epoch } => match in_barrier {
+                Some((b, _)) => Some(format!("arrive at {barrier} while inside {b}")),
+                None => {
+                    in_barrier = Some((barrier, epoch));
+                    None
+                }
+            },
+            EventKind::BarrierDepart { barrier, epoch } => match in_barrier {
+                Some((b, e)) if b == barrier && e == epoch => {
+                    in_barrier = None;
+                    None
+                }
+                ref other => Some(format!("depart {barrier}@{epoch} but waiting on {other:?}")),
+            },
+            EventKind::CondWaitBegin { cv } => match in_wait {
+                Some(c) => Some(format!("wait on {cv} while waiting on {c}")),
+                None => {
+                    in_wait = Some(cv);
+                    None
+                }
+            },
+            EventKind::CondWakeup { cv, .. } => match in_wait {
+                Some(c) if c == cv => {
+                    in_wait = None;
+                    None
+                }
+                ref other => Some(format!("wakeup on {cv} but waiting on {other:?}")),
+            },
+            _ => None,
+        };
+        if let Some(reason) = violation {
+            anomalies.push(Anomaly::ProtocolTruncation { tid, index: i, reason });
+            break;
+        }
+
+        kept.push(ev);
+        kept_orig += 1;
+    }
+
+    // Close an unfinished stream: excise abandoned contended waits,
+    // zero-close in-flight acquires, release held locks, resolve open
+    // waits/barriers, then append the missing ThreadExit.
+    if !kept.is_empty() && !ended_clean {
+        let mut excise: Vec<usize> = Vec::new();
+        for (&lock, st) in &lock_state {
+            match st {
+                1 => {
+                    kept.push(Event::new(last_ts, EventKind::LockObtain { lock }));
+                    kept.push(Event::new(last_ts, EventKind::LockRelease { lock }));
+                    synthesized += 2;
+                }
+                2 => excise.extend(lock_open.get(&lock).into_iter().flatten().copied()),
+                3 => {
+                    kept.push(Event::new(last_ts, EventKind::LockRelease { lock }));
+                    synthesized += 1;
+                }
+                _ => {}
+            }
+        }
+        for (&lock, st) in &rw_state {
+            let write = rw_write.get(&lock).copied().unwrap_or(false);
+            match st {
+                1 => {
+                    kept.push(Event::new(last_ts, EventKind::RwObtain { lock, write }));
+                    kept.push(Event::new(last_ts, EventKind::RwRelease { lock, write }));
+                    synthesized += 2;
+                }
+                2 => excise.extend(rw_open.get(&lock).into_iter().flatten().copied()),
+                3 => {
+                    kept.push(Event::new(last_ts, EventKind::RwRelease { lock, write }));
+                    synthesized += 1;
+                }
+                _ => {}
+            }
+        }
+        if let Some(cv) = in_wait {
+            kept.push(Event::new(last_ts, EventKind::CondWakeup { cv, signal_seq: SEQ_UNKNOWN }));
+            synthesized += 1;
+        }
+        if let Some((barrier, epoch)) = in_barrier {
+            kept.push(Event::new(last_ts, EventKind::BarrierDepart { barrier, epoch }));
+            synthesized += 1;
+        }
+        if !excise.is_empty() {
+            excise.sort_unstable();
+            let mut next = 0usize;
+            let mut idx = 0usize;
+            kept.retain(|_| {
+                let drop = next < excise.len() && excise[next] == idx;
+                if drop {
+                    next += 1;
+                }
+                idx += 1;
+                !drop
+            });
+            kept_orig -= excise.len() as u64;
+        }
+        kept.push(Event::new(last_ts, EventKind::ThreadExit));
+        synthesized += 1;
+        anomalies.push(Anomaly::SynthesizedExit { tid });
+    }
+
+    // Quarantine: a non-empty input stream with no salvageable events,
+    // or one reduced to only synthesized scaffolding.
+    let quarantined = !stream.events.is_empty() && kept_orig == 0;
+    if quarantined {
+        kept.clear();
+        synthesized = 0;
+        if synthesized_start {
+            anomalies.retain(|a| {
+                !matches!(a, Anomaly::SynthesizedStart { .. } | Anomaly::SynthesizedExit { .. })
+            });
+        }
+        anomalies.push(Anomaly::QuarantinedThread {
+            tid,
+            reason: format!("no salvageable events out of {}", stream.events.len()),
+        });
+    }
+
+    let dropped = stream.events.len() as u64 - kept_orig;
+    let stats = StreamStats {
+        kept: kept_orig,
+        dropped,
+        clamped,
+        synthesized,
+        quarantined,
+        accounting: ThreadSalvage {
+            tid,
+            kept: kept_orig,
+            dropped,
+            clamped,
+            synthesized,
+            quarantined,
+        },
+        anomalies,
+    };
+    let mut out = ThreadStream::new(tid);
+    out.name = stream.name.clone();
+    out.events = kept;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn valid_trace() -> Trace {
+        let mut b = TraceBuilder::new("salvage-sample");
+        let l = b.lock("L");
+        let bar = b.barrier("B");
+        let cv = b.condvar("CV");
+        let t0 = b.thread("main", 0);
+        let t1 = b.thread("w", 0);
+        b.on(t1).work(2).cs_blocked(l, 5, 2).barrier(bar, 0, 12).cond_wait(cv, 16, 1).exit_at(20);
+        b.on(t0).cs(l, 5).barrier(bar, 0, 12).work(2).cond_signal(cv, 1).exit_at(21);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_trace_is_identity() {
+        let t = valid_trace();
+        let s = salvage_trace(&t, &Budget::unlimited());
+        assert_eq!(s.trace, t);
+        assert!(s.report.is_clean(), "{:?}", s.report);
+        assert_eq!(s.report.confidence, 1.0);
+        assert!(!s.report.degraded);
+    }
+
+    #[test]
+    fn backwards_timestamp_clamped() {
+        let mut t = valid_trace();
+        let i = t.threads[0].events.len() - 2;
+        t.threads[0].events[i].ts = 1; // jumps backwards
+        assert!(t.validate().is_err());
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        assert_eq!(s.report.timestamps_clamped, 1);
+        assert_eq!(s.report.events_dropped, 0);
+        assert!(!s.report.is_clean());
+    }
+
+    #[test]
+    fn missing_exit_synthesized() {
+        let mut t = valid_trace();
+        t.threads[0].events.pop();
+        assert!(t.validate().is_err());
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        assert!(s.report.events_synthesized >= 1);
+        assert!(s.report.anomalies.iter().any(|a| matches!(a, Anomaly::SynthesizedExit { .. })));
+    }
+
+    #[test]
+    fn held_lock_at_cut_released() {
+        let mut t = valid_trace();
+        // Cut thread 0 right after its LockObtain: the lock is held.
+        let obtain = t.threads[0]
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::LockObtain { .. }))
+            .unwrap();
+        t.threads[0].events.truncate(obtain + 1);
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        let kinds: Vec<_> = s.trace.threads[0].events.iter().map(|e| e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, EventKind::LockRelease { .. })));
+        assert!(matches!(kinds.last(), Some(EventKind::ThreadExit)));
+    }
+
+    #[test]
+    fn abandoned_contended_wait_excised() {
+        let mut t = valid_trace();
+        // Cut thread 1 right after LockContended: acquire+contended with
+        // no obtain must be excised, not left dangling.
+        let cont = t.threads[1]
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::LockContended { .. }))
+            .unwrap();
+        t.threads[1].events.truncate(cont + 1);
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        let kinds: Vec<_> = s.trace.threads[1].events.iter().map(|e| e.kind).collect();
+        assert!(!kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::LockAcquire { .. } | EventKind::LockContended { .. })));
+    }
+
+    #[test]
+    fn protocol_violation_cuts_prefix_not_trace() {
+        let mut t = valid_trace();
+        // A release without a hold mid-stream on thread 0.
+        let l = t.object_by_name("L").unwrap();
+        t.threads[0].events.insert(1, Event::new(0, EventKind::LockRelease { lock: l }));
+        assert!(t.validate().is_err());
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        // Thread 0 is cut at index 1; thread 1 survives whole.
+        assert_eq!(s.trace.threads[1].events, t.threads[1].events);
+        assert!(s
+            .report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::ProtocolTruncation { tid: ThreadId(0), .. })));
+    }
+
+    #[test]
+    fn dangling_refs_dropped_individually() {
+        let mut t = valid_trace();
+        let n = t.threads[0].events.len();
+        t.threads[0].events.insert(n - 1, Event::new(21, EventKind::Marker { id: ObjId(99) }));
+        t.threads[0]
+            .events
+            .insert(n - 1, Event::new(21, EventKind::ThreadCreate { child: ThreadId(40) }));
+        assert!(t.validate().is_err());
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        assert_eq!(s.report.events_dropped, 2);
+        // Everything after the dropped events is retained.
+        assert!(matches!(
+            s.trace.threads[0].events.last().map(|e| e.kind),
+            Some(EventKind::ThreadExit)
+        ));
+        assert_eq!(s.trace.threads[0].events.len(), t.threads[0].events.len() - 2);
+    }
+
+    #[test]
+    fn hopeless_thread_quarantined_others_survive() {
+        let mut t = valid_trace();
+        // Thread 0's stream becomes garbage from the first event.
+        let l = t.object_by_name("L").unwrap();
+        t.threads[0].events = vec![Event::new(0, EventKind::LockRelease { lock: l })];
+        let s = salvage_trace(&t, &Budget::unlimited());
+        s.trace.validate().unwrap();
+        assert!(s.trace.threads[0].events.is_empty());
+        assert_eq!(s.report.threads_quarantined, 1);
+        assert!(!s.trace.threads[1].events.is_empty());
+    }
+
+    #[test]
+    fn event_budget_tail_truncates_deterministically() {
+        let t = valid_trace();
+        let budget = Budget::unlimited().with_max_events(5);
+        let s = salvage_trace(&t, &budget);
+        s.trace.validate().unwrap();
+        assert!(s.report.degraded);
+        assert!(s
+            .report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::BudgetEventsTruncated { kept: 5, .. })));
+        // Thread 0 keeps a (closed) 5-event prefix; thread 1 is emptied.
+        assert_eq!(s.trace.threads[1].events.len(), 0);
+        let again = salvage_trace(&t, &budget);
+        assert_eq!(again.trace, s.trace);
+        assert_eq!(again.report, s.report);
+    }
+
+    #[test]
+    fn thread_budget_drops_trailing_streams() {
+        let t = valid_trace();
+        let s = salvage_trace(&t, &Budget::unlimited().with_max_threads(1));
+        s.trace.validate().unwrap();
+        assert_eq!(s.trace.num_threads(), 1);
+        assert!(s.report.degraded);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_instead_of_aborting() {
+        let t = valid_trace();
+        let budget = Budget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let s = salvage_trace(&t, &budget);
+        s.trace.validate().unwrap();
+        assert!(s.report.degraded);
+        assert!(s.report.anomalies.iter().any(|a| matches!(a, Anomaly::DeadlineExceeded { .. })));
+        assert_eq!(s.trace.num_threads(), t.num_threads());
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let mut t = valid_trace();
+        t.threads[0].events.pop();
+        let s = salvage_trace(&t, &Budget::unlimited().with_max_events(4));
+        let json = serde_json::to_string(&s.report).unwrap();
+        let back: SalvageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s.report);
+        // Empty per-thread/anomaly lists are skipped at serialization and
+        // must still deserialize (as empty) from the compact form.
+        let clean = SalvageReport::default();
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(!json.contains("\"threads\"") && !json.contains("\"anomalies\""), "{json}");
+        let back: SalvageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, clean);
+    }
+}

@@ -133,12 +133,27 @@ pub enum Frame {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC32_INIT, bytes))
+}
+
+/// Initial state for an incremental CRC-32 computation.
+pub const CRC32_INIT: u32 = !0u32;
+
+/// Fold `bytes` into a running CRC-32 state. Start from [`CRC32_INIT`]
+/// and finish with [`crc32_finish`]; feeding the data in any split is
+/// equivalent to one [`crc32`] call over the concatenation.
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
-    let mut crc = !0u32;
+    let mut crc = state;
     for &b in bytes {
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
     }
-    !crc
+    crc
+}
+
+/// Finalize an incremental CRC-32 state into the checksum value.
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
 }
 
 const fn crc32_table() -> [u32; 256] {
@@ -354,6 +369,8 @@ pub struct StreamReader<R: Read> {
     /// calls so steady-state reading allocates only for decoded frame
     /// contents, not for every wire payload.
     payload: Vec<u8>,
+    /// Cumulative payload bytes consumed (framing overhead excluded).
+    consumed: u64,
 }
 
 impl<R: Read> StreamReader<R> {
@@ -373,7 +390,12 @@ impl<R: Read> StreamReader<R> {
         let version = read_varint(&mut inp)?;
         write_varint(&mut fields, version)?;
         if version == 1 {
-            return Ok(StreamReader { inp, handshake: Handshake::default(), payload: Vec::new() });
+            return Ok(StreamReader {
+                inp,
+                handshake: Handshake::default(),
+                payload: Vec::new(),
+                consumed: 0,
+            });
         }
         if !(MIN_STREAM_VERSION..=STREAM_VERSION).contains(&version) {
             return Err(TraceError::Decode(format!(
@@ -399,7 +421,12 @@ impl<R: Read> StreamReader<R> {
                 "header CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
             )));
         }
-        Ok(StreamReader { inp, handshake: Handshake { token, start_seq }, payload: Vec::new() })
+        Ok(StreamReader {
+            inp,
+            handshake: Handshake { token, start_seq },
+            payload: Vec::new(),
+            consumed: 0,
+        })
     }
 
     /// The handshake carried by the stream header.
@@ -437,6 +464,7 @@ impl<R: Read> StreamReader<R> {
         self.payload.clear();
         self.payload.resize(len, 0);
         self.inp.read_exact(&mut self.payload)?;
+        self.consumed += len as u64;
         let mut crc_bytes = [0u8; 4];
         self.inp.read_exact(&mut crc_bytes)?;
         let expected = u32::from_le_bytes(crc_bytes);
@@ -447,6 +475,14 @@ impl<R: Read> StreamReader<R> {
             )));
         }
         decode_payload(&self.payload).map(Some)
+    }
+
+    /// Total frame payload bytes consumed so far. Framing overhead
+    /// (length prefixes, CRC trailers) is excluded, so this is a stable
+    /// lower bound on wire bytes — the collector's per-session byte
+    /// quota is enforced against it.
+    pub fn payload_bytes(&self) -> u64 {
+        self.consumed
     }
 
     /// Unwrap the underlying reader.
@@ -730,6 +766,12 @@ mod tests {
     fn crc32_known_vector() {
         // Standard IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Incremental computation over any split matches the one-shot.
+        let mut st = CRC32_INIT;
+        st = crc32_update(st, b"1234");
+        st = crc32_update(st, b"");
+        st = crc32_update(st, b"56789");
+        assert_eq!(crc32_finish(st), 0xCBF4_3926);
     }
 
     #[test]

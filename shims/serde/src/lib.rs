@@ -329,6 +329,22 @@ pub mod __private {
     }
 
     /// Index into an array value (tuple structs / tuple variants).
+    /// Like [`field`], but a missing field yields `Default::default()`
+    /// (the shim's `#[serde(default)]`).
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v {
+            Value::Object(o) => match o.iter().find(|(k, _)| k == name) {
+                Some((_, fv)) => {
+                    T::from_value(fv).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+                }
+                None => Ok(T::default()),
+            },
+            other => Err(DeError::custom(format!(
+                "expected object with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
     pub fn index(v: &Value, i: usize) -> Result<&Value, DeError> {
         match v {
             Value::Array(items) => {

@@ -7,7 +7,9 @@
 //! stream — no `syn`/`quote` — and supports exactly the shapes this
 //! workspace uses:
 //!
-//! * structs with named fields (plus `#[serde(skip_serializing_if = "…")]`),
+//! * structs with named fields (plus `#[serde(skip_serializing_if = "…")]`
+//!   and `#[serde(default)]`, which fills a missing field from
+//!   `Default::default()` on deserialize),
 //! * tuple structs (newtype and multi-field),
 //! * enums with unit, named-field and tuple variants, serialized in serde's
 //!   externally-tagged representation (`"Variant"` / `{"Variant": {...}}`).
@@ -26,6 +28,9 @@ struct Field {
     name: Option<String>,
     /// Predicate path from `#[serde(skip_serializing_if = "…")]`.
     skip_if: Option<String>,
+    /// `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 enum Shape {
@@ -171,13 +176,16 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     loop {
         let mut skip_if = None;
-        // Attributes; extract `#[serde(skip_serializing_if = "…")]`.
+        let mut default = false;
+        // Attributes; extract `#[serde(default, skip_serializing_if = "…")]`.
         while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             it.next();
             if let Some(TokenTree::Group(g)) = it.next() {
-                if let Some(pred) = extract_skip_if(g.stream()) {
+                let opts = extract_serde_opts(g.stream());
+                if let Some(pred) = opts.skip_if {
                     skip_if = Some(pred);
                 }
+                default |= opts.default;
             }
         }
         // Visibility.
@@ -212,7 +220,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             }
             it.next();
         }
-        fields.push(Field { name: Some(name), skip_if });
+        fields.push(Field { name: Some(name), skip_if, default });
     }
     fields
 }
@@ -244,31 +252,43 @@ fn count_tuple_fields(body: TokenStream) -> usize {
     }
 }
 
-/// Look for `serde(skip_serializing_if = "pred")` inside an attribute body.
-fn extract_skip_if(attr: TokenStream) -> Option<String> {
+#[derive(Default)]
+struct SerdeOpts {
+    skip_if: Option<String>,
+    default: bool,
+}
+
+/// Parse `serde(...)` options out of one attribute body: the
+/// `skip_serializing_if = "pred"` predicate and the `default` flag.
+fn extract_serde_opts(attr: TokenStream) -> SerdeOpts {
+    let mut opts = SerdeOpts::default();
     let mut it = attr.into_iter();
     match it.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return None,
+        _ => return opts,
     }
     let inner = match it.next() {
         Some(TokenTree::Group(g)) => g.stream(),
-        _ => return None,
+        _ => return opts,
     };
     let mut it = inner.into_iter();
     while let Some(tt) = it.next() {
         if let TokenTree::Ident(id) = &tt {
-            if id.to_string() == "skip_serializing_if" {
-                // `= "pred"`
-                it.next();
-                if let Some(TokenTree::Literal(lit)) = it.next() {
-                    let s = lit.to_string();
-                    return Some(s.trim_matches('"').to_string());
+            match id.to_string().as_str() {
+                "skip_serializing_if" => {
+                    // `= "pred"`
+                    it.next();
+                    if let Some(TokenTree::Literal(lit)) = it.next() {
+                        let s = lit.to_string();
+                        opts.skip_if = Some(s.trim_matches('"').to_string());
+                    }
                 }
+                "default" => opts.default = true,
+                _ => {}
             }
         }
     }
-    None
+    opts
 }
 
 // ---------------------------------------------------------------- codegen
@@ -368,7 +388,8 @@ fn named_ctor(path: &str, fields: &[Field], src: &str) -> String {
         .iter()
         .map(|f| {
             let fname = f.name.as_ref().unwrap();
-            format!("{fname}: ::serde::__private::field({src}, \"{fname}\")?")
+            let getter = if f.default { "field_or_default" } else { "field" };
+            format!("{fname}: ::serde::__private::{getter}({src}, \"{fname}\")?")
         })
         .collect();
     format!("{path} {{ {} }}", inits.join(", "))
