@@ -58,7 +58,7 @@ pub mod window;
 
 pub use blockers::{blocker_report, BlockerReport, BlockingEdge};
 pub use cp::{critical_path, CpSlice, CriticalPath};
-pub use metrics::{analyze, analyze_with, AnalysisReport, LockReport};
+pub use metrics::{analyze, analyze_profiled, analyze_with, AnalysisReport, LockReport};
 pub use online::{online_analyze, OnlineReport};
 pub use segments::{Segment, SegmentedTrace, StartCause};
 pub use threads::{thread_report, ThreadCriticality, ThreadReport};

@@ -16,7 +16,8 @@
 
 use crate::cp::{CpSlice, CriticalPath};
 use critlock_trace::{
-    lock_episodes, rw_episodes, Anomaly, Budget, LockEpisode, ObjId, SalvageReport, Trace, Ts,
+    lock_episodes, rw_episodes, Anomaly, Budget, LockEpisode, ObjId, SalvageReport, ThreadId,
+    Trace, Ts,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,11 @@ pub struct AnalysisReport {
     /// empty.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub anomalies: Vec<Anomaly>,
+    /// Per-stage wall-time spans when the analysis ran with
+    /// self-profiling (`analyze --self-profile`); absent otherwise. Pure
+    /// observability payload — it never affects the analysis results.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub self_profile: Option<critlock_obs::SpanProfile>,
 }
 
 /// `skip_serializing_if` predicate for the `degraded` flag.
@@ -171,6 +177,16 @@ fn overlap_with_slices(slices: &[CpSlice], lo: Ts, hi: Ts) -> Ts {
 pub fn analyze(trace: &Trace) -> AnalysisReport {
     let cp = crate::cp::critical_path(trace);
     analyze_with(trace, &cp)
+}
+
+/// Run the full analysis recording per-stage spans (`segments`,
+/// `cp_walk`, `metrics`) on `rec`. The report is bit-identical to
+/// [`analyze`] — the recorder only watches the clock; the caller attaches
+/// `rec.finish()` to [`AnalysisReport::self_profile`] if desired.
+pub fn analyze_profiled(trace: &Trace, rec: &critlock_obs::SpanRecorder) -> AnalysisReport {
+    let st = rec.time("segments", || crate::segments::SegmentedTrace::build(trace));
+    let cp = rec.time("cp_walk", || crate::cp::critical_path_segmented(trace, &st));
+    rec.time("metrics", || analyze_with(trace, &cp))
 }
 
 /// Compute all metrics against a pre-computed critical path.
@@ -315,7 +331,29 @@ fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) 
         accumulate(episodes, &per_thread_slices, n_threads)
     };
 
-    let cp_len = cp.length.max(1) as f64;
+    // Degenerate-input guards: a zero-length critical path or a
+    // zero-lifetime thread would make the fractions below 0/0 or v/0.
+    // Each such ratio is reported as an explicit 0.0 and the condition
+    // surfaces as a typed anomaly instead of a NaN/Inf or a silently
+    // masked denominator.
+    let mut anomalies: Vec<Anomaly> = Vec::new();
+    if cp.length == 0 && !episodes.is_empty() {
+        anomalies.push(Anomaly::ZeroLengthCriticalPath { episodes: episodes.len() as u64 });
+    }
+    let mut thread_busy: Vec<Ts> = vec![0; n_threads];
+    for acc in accs.iter().flatten() {
+        for (busy, (&w, &h)) in
+            thread_busy.iter_mut().zip(acc.per_thread_wait.iter().zip(&acc.per_thread_hold))
+        {
+            *busy += w + h;
+        }
+    }
+    for (i, (&busy, &dur)) in thread_busy.iter().zip(&thread_durations).enumerate() {
+        if busy > 0 && dur == 0 {
+            anomalies.push(Anomaly::ZeroDurationThread { tid: ThreadId(i as u32), busy });
+        }
+    }
+
     let mut locks: Vec<LockReport> = accs
         .into_iter()
         .enumerate()
@@ -339,7 +377,8 @@ fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) 
             };
             let avg_wait_frac = frac_avg(&acc.per_thread_wait);
             let avg_hold_frac = frac_avg(&acc.per_thread_hold);
-            let cp_time_frac = acc.cp_time as f64 / cp_len;
+            let cp_time_frac =
+                if cp.length > 0 { acc.cp_time as f64 / cp.length as f64 } else { 0.0 };
             let cont_prob_on_cp = if acc.invocations_on_cp > 0 {
                 acc.contended_on_cp as f64 / acc.invocations_on_cp as f64
             } else {
@@ -389,7 +428,8 @@ fn analyze_episodes(trace: &Trace, cp: &CriticalPath, episodes: &[LockEpisode]) 
         locks,
         degraded: false,
         salvage: None,
-        anomalies: Vec::new(),
+        anomalies,
+        self_profile: None,
     }
 }
 
@@ -561,6 +601,113 @@ mod tests {
         let json = serde_json::to_string(&rep).unwrap();
         let back: AnalysisReport = serde_json::from_str(&json).unwrap();
         assert_eq!(rep, back);
+    }
+
+    /// A trace whose every event shares one timestamp has a zero-length
+    /// critical path. All fractions must come back as finite explicit
+    /// zeros, flagged by a typed anomaly — not NaN, not a masked
+    /// denominator.
+    #[test]
+    fn zero_length_cp_yields_explicit_zeros_and_anomaly() {
+        let mut b = TraceBuilder::new("degenerate");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 0).exit_at(0);
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+
+        assert_eq!(rep.cp_length, 0);
+        assert_eq!(rep.makespan, 0);
+        let lr = rep.lock_by_name("L").unwrap();
+        for frac in [
+            lr.cp_time_frac,
+            lr.cont_prob_on_cp,
+            lr.avg_cont_prob,
+            lr.avg_wait_frac,
+            lr.avg_hold_frac,
+            lr.incr_invocations,
+            lr.incr_cs_size,
+            rep.coverage,
+        ] {
+            assert!(frac.is_finite(), "non-finite fraction {frac}");
+        }
+        assert_eq!(lr.cp_time_frac, 0.0);
+        assert_eq!(lr.avg_hold_frac, 0.0);
+        assert!(rep
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::ZeroLengthCriticalPath { episodes: 1 })));
+    }
+
+    /// A corrupted stream whose last event's timestamp collapses the
+    /// thread lifetime to zero while a critical section still spans real
+    /// time: the TYPE 2 fractions must be explicit zeros and the thread
+    /// flagged, not `hold / 0 = inf`.
+    #[test]
+    fn zero_duration_thread_yields_explicit_zeros_and_anomaly() {
+        let mut b = TraceBuilder::new("degenerate2");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 5).exit_at(5);
+        let mut t = b.build().unwrap();
+        // Corrupt the exit timestamp backwards so first == last event ts.
+        t.threads[0].events.last_mut().unwrap().ts = 0;
+        let rep = analyze(&t);
+
+        let lr = rep.lock_by_name("L").unwrap();
+        assert!(lr.avg_wait_frac.is_finite() && lr.avg_hold_frac.is_finite());
+        assert_eq!(lr.avg_wait_frac, 0.0);
+        assert_eq!(lr.avg_hold_frac, 0.0);
+        assert_eq!(lr.total_hold, 5);
+        assert!(rep.anomalies.iter().any(
+            |a| matches!(a, Anomaly::ZeroDurationThread { tid, busy: 5 } if tid.index() == 0)
+        ));
+    }
+
+    /// Healthy traces stay bit-identical: the degenerate-input guards
+    /// must not add anomalies or change any fraction.
+    #[test]
+    fn guards_are_inert_on_healthy_traces() {
+        let mut b = TraceBuilder::new("healthy");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit();
+        let t = b.build().unwrap();
+        let rep = analyze(&t);
+        assert!(rep.anomalies.is_empty());
+        let json = serde_json::to_string(&rep).unwrap();
+        assert!(!json.contains("anomalies"), "empty anomalies must stay out of the JSON");
+    }
+
+    /// Observability must be provably inert: the profiled pipeline
+    /// produces a report bit-identical to the plain one (the span profile
+    /// itself rides outside the comparison, attached by the caller).
+    #[test]
+    fn profiled_analysis_is_bit_identical() {
+        let mut b = TraceBuilder::new("inert");
+        let l = b.lock("L");
+        let m = b.lock("M");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).work(2).cs(m, 3).exit();
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit();
+        let t = b.build().unwrap();
+
+        let plain = analyze(&t);
+        let rec = critlock_obs::SpanRecorder::new("analyze");
+        let profiled = analyze_profiled(&t, &rec);
+        assert_eq!(plain, profiled);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&profiled).unwrap()
+        );
+
+        let profile = rec.finish();
+        for stage in ["segments", "cp_walk", "metrics"] {
+            assert!(profile.find(stage).is_some(), "missing span {stage}");
+        }
     }
 
     /// Partial CS overlap with the CP is pro-rated.

@@ -74,7 +74,6 @@ impl ThreadReport {
 /// Compute per-thread criticality for a trace and its critical path.
 pub fn thread_report(trace: &Trace, cp: &CriticalPath) -> ThreadReport {
     let st = SegmentedTrace::build(trace);
-    let cp_len = cp.length.max(1) as f64;
 
     let mut threads: Vec<ThreadCriticality> = trace
         .threads
@@ -90,7 +89,7 @@ pub fn thread_report(trace: &Trace, cp: &CriticalPath) -> ThreadReport {
                 tid,
                 name: stream.name.clone(),
                 cp_time,
-                cp_frac: cp_time as f64 / cp_len,
+                cp_frac: if cp.length > 0 { cp_time as f64 / cp.length as f64 } else { 0.0 },
                 slices: slices.len(),
                 busy,
                 busy_frac: if lifetime > 0 { busy as f64 / lifetime as f64 } else { 0.0 },

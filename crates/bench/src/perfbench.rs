@@ -8,6 +8,11 @@
 //! (`BENCH_ANALYZE.json` at the repo root) so regressions show up in
 //! review diffs.
 //!
+//! Timing uses the `critlock-obs` span recorder: each repetition records
+//! one [`critlock_obs::SpanProfile`] of the pipeline and the profiles are
+//! min-merged, so the benchmark and `analyze --self-profile` share one
+//! clock-reading code path.
+//!
 //! Two honesty rules govern the output:
 //!
 //! * every stage is timed as the **minimum over `reps` repetitions** (the
@@ -20,11 +25,11 @@
 //! `DESIGN.md`); this harness asserts that on every run.
 
 use critlock_analysis::{analyze, analyze_with, critical_path, SegmentedTrace};
+use critlock_obs::{SpanProfile, SpanRecorder};
 use critlock_trace::{codec, Trace};
 use critlock_workloads::{suite, WorkloadCfg};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Schema version of [`BenchReport`]; bump on any incompatible change.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -141,26 +146,44 @@ pub fn synth_trace(cfg: &BenchConfig) -> Trace {
     .expect("bench workload must simulate cleanly")
 }
 
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
-    let mut best = u64::MAX;
-    for _ in 0..reps.max(1) {
-        let start = Instant::now();
-        let out = f();
-        let dt = start.elapsed().as_nanos() as u64;
-        drop(out);
-        best = best.min(dt.max(1));
-    }
-    best
+/// Time one repetition of every pipeline stage into a span profile.
+fn profile_stages(
+    bytes: &[u8],
+    trace: &Trace,
+    cp: &critlock_analysis::CriticalPath,
+) -> SpanProfile {
+    let rec = SpanRecorder::new("bench_analyze");
+    rec.time("decode", || codec::read_trace_bytes(bytes).unwrap());
+    rec.time("segment", || SegmentedTrace::build(trace));
+    rec.time("cp", || critical_path(trace));
+    rec.time("metrics", || analyze_with(trace, cp));
+    rec.time("end_to_end", || analyze(&codec::read_trace_bytes(bytes).unwrap()));
+    rec.finish()
 }
 
+/// Measure every stage as the per-span minimum over `reps` profiled
+/// repetitions (the `critlock-obs` span recorder does the timing; this
+/// merely merges and flattens the tree into the stable v1 schema).
 fn measure_stages(bytes: &[u8], trace: &Trace, reps: usize) -> StageTimings {
     let cp = critical_path(trace);
+    let mut merged: Option<SpanProfile> = None;
+    for _ in 0..reps.max(1) {
+        let profile = profile_stages(bytes, trace, &cp);
+        merged = Some(match merged {
+            Some(best) => best.merge_min(&profile),
+            None => profile,
+        });
+    }
+    let merged = merged.expect("at least one repetition runs");
+    // Clamp to 1ns: a stage too fast for the clock still counts as ran
+    // (the schema treats 0 as "never measured").
+    let stage = |name: &str| merged.child(name).map_or(1, |s| s.duration_ns.max(1));
     StageTimings {
-        decode_ns: time_min(reps, || codec::read_trace_bytes(bytes).unwrap()),
-        segment_ns: time_min(reps, || SegmentedTrace::build(trace)),
-        cp_ns: time_min(reps, || critical_path(trace)),
-        metrics_ns: time_min(reps, || analyze_with(trace, &cp)),
-        end_to_end_ns: time_min(reps, || analyze(&codec::read_trace_bytes(bytes).unwrap())),
+        decode_ns: stage("decode"),
+        segment_ns: stage("segment"),
+        cp_ns: stage("cp"),
+        metrics_ns: stage("metrics"),
+        end_to_end_ns: stage("end_to_end"),
     }
 }
 

@@ -15,7 +15,8 @@ pub struct Parsed {
 }
 
 /// Options that never take a value.
-const BARE_FLAGS: &[&str] = &["json", "csv", "no-type2", "help", "version", "strict"];
+const BARE_FLAGS: &[&str] =
+    &["json", "csv", "no-type2", "help", "version", "strict", "self-profile"];
 
 /// Parse an argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Parsed, String> {

@@ -9,11 +9,12 @@
 //! critlock bench [--scale S] [--reps N] [--threads 1,2,8] [--out FILE]
 //! critlock whatif <trace> --lock NAME [--factor F]
 //! critlock online <trace>
-//! critlock serve [--listen ADDR] [--status ADDR] [--queue N] [--backpressure block|drop]
-//!                [--journal DIR] [--idle-timeout-ms N]
+//! critlock serve [--listen ADDR] [--status ADDR] [--metrics ADDR] [--queue N]
+//!                [--backpressure block|drop] [--journal DIR] [--idle-timeout-ms N]
 //! critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS] [--retries N]
 //!                [--fault-plan NAME|SPEC]
 //! critlock status --at ADDR [--json] [--timeout SECS]
+//! critlock metrics <addr> [--timeout SECS]
 //! ```
 
 mod args;
@@ -37,7 +38,7 @@ USAGE:
       save the trace (.cltr binary, or .jsonl when the name ends so).
   critlock analyze <trace> [--top N] [--csv|--json] [--no-type2] [--phase MARKER]
                    [--threads N] [--strict] [--max-events N] [--max-threads N]
-                   [--max-bytes N] [--deadline-ms N]
+                   [--max-bytes N] [--deadline-ms N] [--self-profile]
       Run critical lock analysis on a recorded trace (optionally only on
       the window delimited by a named phase marker). --threads sizes the
       analysis worker pool (default: the host's available parallelism);
@@ -48,7 +49,10 @@ USAGE:
       `degraded` flag; --strict restores fail-fast loading instead. The
       --max-* / --deadline-ms budgets bound decode and analysis cost:
       oversized inputs are tail-truncated deterministically (degraded
-      output), never an abort.
+      output), never an abort. --self-profile times each pipeline stage
+      (decode, salvage, segments, CP walk, metrics) and embeds the span
+      tree in the JSON report; the analysis numbers are bit-identical
+      with or without it.
   critlock blockers <trace> [--top N]
       Show who-blocks-whom edges, heaviest waits first.
   critlock threads <trace>
@@ -65,7 +69,7 @@ USAGE:
       walk, metrics, end-to-end) on a large synthetic trace at each
       requested pool size, and emit the machine-readable report that
       BENCH_ANALYZE.json at the repo root is generated from.
-  critlock serve [--listen ADDR] [--status ADDR] [--queue N]
+  critlock serve [--listen ADDR] [--status ADDR] [--metrics ADDR] [--queue N]
                  [--backpressure block|drop] [--interval-ms N]
                  [--journal DIR] [--idle-timeout-ms N] [--threads N]
                  [--strict] [--max-sessions N] [--session-quota-bytes N]
@@ -81,7 +85,8 @@ USAGE:
       status); --session-quota-bytes caps per-session ingest bytes and
       --max-events caps per-session assembled events — over-quota
       sessions are truncated and marked degraded (default) or
-      disconnected (--strict).
+      disconnected (--strict). With --metrics, collector-wide counters,
+      gauges and latency histograms are served Prometheus-style on ADDR.
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -96,6 +101,9 @@ USAGE:
   critlock status --at ADDR [--json] [--timeout SECS]
       Query a collector's live analysis snapshots. --timeout bounds the
       query so a hung collector yields an error, not a hang.
+  critlock metrics <addr> [--timeout SECS]
+      Scrape a collector's metrics endpoint (Prometheus exposition
+      format). <addr> is the collector's --metrics address.
 ";
 
 fn main() -> ExitCode {
@@ -131,6 +139,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "serve" => cmd_serve(&p),
         "push" => cmd_push(&p),
         "status" => cmd_status(&p),
+        "metrics" => cmd_metrics(&p),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -212,20 +221,45 @@ fn cmd_analyze(p: &args::Parsed) -> Result<String, String> {
     let pool = analysis_pool(p)?;
     let path = p.positional(0, "trace file")?;
     let budget = budget_from(p)?;
+    // --self-profile wraps every stage in a span; the recorder only
+    // watches the clock, so the analysis output stays bit-identical.
+    let profile = p.flag("self-profile").then(|| critlock_obs::SpanRecorder::new("analyze"));
     let (trace, salvage) = if p.flag("strict") {
-        (pool.install(|| load_trace(path))?, None)
+        let started = std::time::Instant::now();
+        let t = pool.install(|| load_trace(path))?;
+        if let Some(rec) = &profile {
+            rec.record_ns("decode", started.elapsed().as_nanos() as u64);
+        }
+        (t, None)
     } else {
         let s = pool
-            .install(|| critlock_trace::salvage::load(path, &budget))
+            .install(|| {
+                critlock_trace::salvage::load_timed(path, &budget, &mut |stage, took| {
+                    if let Some(rec) = &profile {
+                        rec.record_ns(stage, took.as_nanos() as u64);
+                    }
+                })
+            })
             .map_err(|e| format!("cannot load {path}: {e}"))?;
         (s.trace, Some(s.report))
     };
-    let mut rep = match p.options.get("phase") {
-        Some(marker) => pool
-            .install(|| analyze_phase(&trace, marker))
-            .ok_or_else(|| format!("marker `{marker}` not found (or fires only once)"))?,
-        None => pool.install(|| analyze(&trace)),
+    let mut rep = match (p.options.get("phase"), &profile) {
+        (Some(marker), rec) => {
+            let started = std::time::Instant::now();
+            let phased = pool
+                .install(|| analyze_phase(&trace, marker))
+                .ok_or_else(|| format!("marker `{marker}` not found (or fires only once)"))?;
+            if let Some(rec) = rec {
+                rec.record_ns("analyze_phase", started.elapsed().as_nanos() as u64);
+            }
+            phased
+        }
+        (None, Some(rec)) => pool.install(|| critlock_analysis::analyze_profiled(&trace, rec)),
+        (None, None) => pool.install(|| analyze(&trace)),
     };
+    if let Some(rec) = profile {
+        rep.self_profile = Some(rec.finish());
+    }
     let mut salvage_note = String::new();
     if let Some(report) = salvage {
         if !report.is_clean() {
@@ -381,6 +415,9 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
     if let Some(status) = p.options.get("status") {
         config.status_addr = Some(parse_addr(status)?);
     }
+    if let Some(metrics) = p.options.get("metrics") {
+        config.metrics_addr = Some(parse_addr(metrics)?);
+    }
     config.queue_capacity = p.get_or("queue", config.queue_capacity)?;
     config.backpressure = match p.options.get("backpressure").map(String::as_str) {
         None | Some("block") => Backpressure::Block,
@@ -419,6 +456,9 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
     println!("critlock collector: ingest on {}", handle.ingest_addr());
     if let Some(status) = handle.status_addr() {
         println!("critlock collector: status on {status}");
+    }
+    if let Some(metrics) = handle.metrics_addr() {
+        println!("critlock collector: metrics on {metrics}");
     }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -486,6 +526,25 @@ fn cmd_status(p: &args::Parsed) -> Result<String, String> {
     Ok(reply)
 }
 
+fn cmd_metrics(p: &args::Parsed) -> Result<String, String> {
+    let at = p.positional(0, "metrics address")?;
+    let addr = parse_addr(at)?;
+    let timeout = match p.options.get("timeout") {
+        Some(s) => Some(std::time::Duration::from_secs(
+            s.parse().map_err(|_| format!("invalid --timeout: {s}"))?,
+        )),
+        None => None,
+    };
+    let reply = critlock_collector::fetch_metrics_text(&addr, timeout)
+        .map_err(|e| format!("metrics scrape from {addr} failed: {e}"))?;
+    if reply.is_empty() {
+        return Err(format!(
+            "metrics scrape from {addr} failed: empty reply (not a metrics endpoint?)"
+        ));
+    }
+    Ok(reply)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +608,55 @@ mod tests {
     #[test]
     fn run_unknown_workload_fails() {
         assert!(run(&sv(&["run", "nope"])).is_err());
+    }
+
+    /// Regression: `--deadline-ms u64::MAX` used to panic in
+    /// `Instant + Duration` overflow inside the budget; it must now mean
+    /// "no deadline" and analyze normally.
+    #[test]
+    fn analyze_with_huge_deadline_does_not_panic() {
+        let dir = std::env::temp_dir().join("critlock-cli-deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro.cltr");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&["run", "micro", "--threads", "2", "--scale", "0.2", "--out", path_s])).unwrap();
+
+        let out = run(&sv(&["analyze", path_s, "--deadline-ms", "18446744073709551615"])).unwrap();
+        assert!(out.contains("CP Time %"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `--self-profile` embeds the per-stage span tree in the JSON report
+    /// and changes nothing else: stripping the profile must restore a
+    /// report equal to the unprofiled run.
+    #[test]
+    fn analyze_self_profile_embeds_spans_and_stays_bit_identical() {
+        use critlock_analysis::AnalysisReport;
+
+        let dir = std::env::temp_dir().join("critlock-cli-selfprof");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro.cltr");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&["run", "micro", "--threads", "2", "--scale", "0.2", "--out", path_s])).unwrap();
+
+        let plain_json = run(&sv(&["analyze", path_s, "--json"])).unwrap();
+        let prof_json = run(&sv(&["analyze", path_s, "--json", "--self-profile"])).unwrap();
+        assert!(!plain_json.contains("self_profile"));
+
+        let plain: AnalysisReport = serde_json::from_str(&plain_json).unwrap();
+        let mut prof: AnalysisReport = serde_json::from_str(&prof_json).unwrap();
+        let spans = prof.self_profile.take().expect("--self-profile must embed spans");
+        for stage in ["decode", "salvage", "segments", "cp_walk", "metrics"] {
+            assert!(spans.find(stage).is_some(), "missing span `{stage}`");
+        }
+        assert_eq!(plain, prof, "--self-profile must not change the analysis");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_verb_arg_errors() {
+        assert!(run(&sv(&["metrics"])).unwrap_err().contains("metrics address"));
+        assert!(run(&sv(&["metrics", "not an addr !"])).is_err());
     }
 
     #[test]

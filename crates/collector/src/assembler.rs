@@ -23,6 +23,7 @@
 //! (beyond ordering streams by thread id), which is what makes live
 //! snapshots of complete sessions exactly match offline analysis.
 
+use critlock_obs::Counter;
 use critlock_trace::stream::Frame;
 use critlock_trace::{
     Budget, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts,
@@ -40,6 +41,10 @@ pub struct SessionAssembler {
     events: u64,
     budget: Budget,
     events_dropped: u64,
+    /// Observability: events arriving in `Events` frames (pre-truncation).
+    events_in_counter: Option<Counter>,
+    /// Observability: events discarded by the event budget.
+    events_dropped_counter: Option<Counter>,
 }
 
 impl SessionAssembler {
@@ -56,6 +61,13 @@ impl SessionAssembler {
     /// [`events_dropped`]: SessionAssembler::events_dropped
     pub fn with_budget(budget: Budget) -> Self {
         SessionAssembler { budget, ..Self::default() }
+    }
+
+    /// Attach observability counters for incoming and budget-dropped
+    /// events. Pure accounting: assembly output is unaffected.
+    pub fn set_counters(&mut self, events_in: Counter, events_dropped: Counter) {
+        self.events_in_counter = Some(events_in);
+        self.events_dropped_counter = Some(events_dropped);
     }
 
     /// Fold one frame into the partial trace. Never fails: malformed
@@ -104,10 +116,17 @@ impl SessionAssembler {
                 }
             }
             Frame::Events { tid, mut events } => {
+                if let Some(c) = &self.events_in_counter {
+                    c.add(events.len() as u64);
+                }
                 if let Some(cap) = self.budget.max_events {
                     let allow = cap.saturating_sub(self.events);
                     if events.len() as u64 > allow {
-                        self.events_dropped += events.len() as u64 - allow;
+                        let dropped = events.len() as u64 - allow;
+                        self.events_dropped += dropped;
+                        if let Some(c) = &self.events_dropped_counter {
+                            c.add(dropped);
+                        }
                         events.truncate(allow as usize);
                     }
                 }

@@ -276,6 +276,23 @@ pub fn fetch_status_text(addr: &Addr, json: bool) -> io::Result<String> {
     fetch_status_text_timeout(addr, json, None)
 }
 
+/// Scrape the collector's Prometheus-style metrics text over the metrics
+/// socket. `timeout` bounds connect and socket I/O.
+pub fn fetch_metrics_text(addr: &Addr, timeout: Option<Duration>) -> io::Result<String> {
+    let mut stream = match timeout {
+        Some(t) => Stream::connect_timeout(addr, t)?,
+        None => Stream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    stream.write_all(b"metrics\n")?;
+    stream.flush()?;
+    stream.shutdown_write()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply)?;
+    Ok(reply)
+}
+
 /// Fetch and parse the JSON status.
 pub fn fetch_status(addr: &Addr) -> io::Result<CollectorStatus> {
     fetch_status_timeout(addr, None)

@@ -14,6 +14,7 @@
 //! by CRC-checked frames. `critlock analyze` could consume a journal
 //! directly if it ever had to.
 
+use crate::metrics::JournalCounters;
 use critlock_trace::stream::{Frame, Handshake, StreamReader, StreamWriter};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read};
@@ -27,6 +28,7 @@ pub struct SessionJournal {
     writer: StreamWriter<BufWriter<File>>,
     path: PathBuf,
     frames: u64,
+    counters: Option<JournalCounters>,
 }
 
 impl std::fmt::Debug for SessionJournal {
@@ -59,25 +61,47 @@ impl SessionJournal {
         let handshake = Handshake { token: token.to_vec(), start_seq: 0 };
         let writer = StreamWriter::with_handshake(BufWriter::new(file), &handshake)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut journal = SessionJournal { writer, path, frames: 0 };
+        let mut journal = SessionJournal { writer, path, frames: 0, counters: None };
         journal.writer.flush().map_err(io_err)?;
         Ok(journal)
+    }
+
+    /// Attach observability counters: appends, append failures and syncs
+    /// are accounted where the I/O happens.
+    pub fn set_counters(&mut self, counters: JournalCounters) {
+        self.counters = Some(counters);
     }
 
     /// Append one frame and flush it to the OS. The frame is durable
     /// against a collector crash once this returns (durability against a
     /// machine crash additionally needs [`SessionJournal::sync`]).
     pub fn append(&mut self, frame: &Frame) -> io::Result<()> {
-        self.writer.write_frame(frame).map_err(io_err)?;
-        self.writer.flush().map_err(io_err)?;
-        self.frames += 1;
-        Ok(())
+        let res = self.writer.write_frame(frame).and_then(|()| self.writer.flush()).map_err(io_err);
+        match res {
+            Ok(()) => {
+                self.frames += 1;
+                if let Some(c) = &self.counters {
+                    c.appends.inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(c) = &self.counters {
+                    c.append_failures.inc();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Flush and fsync the journal file.
     pub fn sync(&mut self) -> io::Result<()> {
         self.writer.flush().map_err(io_err)?;
-        self.writer.inner_mut().get_mut().sync_data()
+        self.writer.inner_mut().get_mut().sync_data()?;
+        if let Some(c) = &self.counters {
+            c.syncs.inc();
+        }
+        Ok(())
     }
 
     /// Frames written to this journal (including recovered ones).
@@ -154,7 +178,12 @@ pub fn recover_file(path: &Path) -> io::Result<RecoveredSession> {
     Ok(RecoveredSession {
         token,
         frames: frames.clone(),
-        journal: SessionJournal { writer, path: path.to_path_buf(), frames: frames.len() as u64 },
+        journal: SessionJournal {
+            writer,
+            path: path.to_path_buf(),
+            frames: frames.len() as u64,
+            counters: None,
+        },
     })
 }
 

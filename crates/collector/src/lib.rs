@@ -29,6 +29,9 @@
 //!   resumable reconnect ([`client::push_with`]);
 //! * [`journal`] — crash-safe per-session write-ahead journals and
 //!   startup recovery;
+//! * [`metrics`] — collector-wide observability counters, gauges and
+//!   latency histograms (`critlock-obs`), served Prometheus-style by the
+//!   `--metrics` endpoint;
 //! * [`faults`] — the deterministic fault-injection wrapper applying
 //!   `critlock_trace::FaultPlan`s to the client transport.
 //!
@@ -49,6 +52,7 @@ pub mod assembler;
 pub mod client;
 pub mod faults;
 pub mod journal;
+pub mod metrics;
 pub mod net;
 pub mod queue;
 pub mod server;
@@ -56,11 +60,12 @@ pub mod snapshot;
 
 pub use assembler::{repair, SessionAssembler};
 pub use client::{
-    fetch_status, fetch_status_text, fetch_status_text_timeout, fetch_status_timeout, push,
-    push_with, PushOptions,
+    fetch_metrics_text, fetch_status, fetch_status_text, fetch_status_text_timeout,
+    fetch_status_timeout, push, push_with, PushOptions,
 };
 pub use faults::{FaultState, FaultStream};
 pub use journal::{recover_dir, RecoveredSession, SessionJournal};
+pub use metrics::{CollectorMetrics, JournalCounters};
 pub use net::{Addr, Listener, Stream};
 pub use queue::{Backpressure, FrameQueue};
 pub use server::{start, CollectorConfig, CollectorHandle};

@@ -37,6 +37,7 @@
 
 use crate::assembler::SessionAssembler;
 use crate::journal::{self, SessionJournal};
+use crate::metrics::CollectorMetrics;
 use crate::net::{Addr, Listener, Stream};
 use crate::queue::{Backpressure, FrameQueue};
 use crate::snapshot::{CollectorStatus, SessionSnapshot};
@@ -56,6 +57,8 @@ pub struct CollectorConfig {
     pub ingest_addr: Addr,
     /// Address the status endpoint listens on, if any.
     pub status_addr: Option<Addr>,
+    /// Address the Prometheus-style metrics endpoint listens on, if any.
+    pub metrics_addr: Option<Addr>,
     /// Bounded per-session queue capacity, in frames.
     pub queue_capacity: usize,
     /// What to do when a session's queue is full.
@@ -105,6 +108,7 @@ impl CollectorConfig {
         CollectorConfig {
             ingest_addr,
             status_addr: None,
+            metrics_addr: None,
             queue_capacity: 256,
             backpressure: Backpressure::Block,
             snapshot_interval: Duration::from_millis(200),
@@ -160,6 +164,8 @@ struct SessionState {
     /// Guards the once-per-session quota-stop accounting (a resuming
     /// producer can trip the quota on every reconnect).
     quota_counted: AtomicBool,
+    /// Collector-wide metric handles (shared atomics; cheap clone).
+    metrics: CollectorMetrics,
 }
 
 impl SessionState {
@@ -192,6 +198,7 @@ impl SessionState {
         let mut slot = self.snapshot.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(prev) = slot.as_ref() {
             if prev.frames == asm.frames() {
+                self.metrics.snapshot_skips.inc();
                 let mut snap = prev.clone();
                 snap.queue_depth = self.queue.depth() as u64;
                 snap.queue_high_water = self.queue.high_water();
@@ -204,6 +211,7 @@ impl SessionState {
             }
         }
         drop(slot);
+        let started = Instant::now();
         let mut snap = SessionSnapshot::compute(
             self.id,
             self.peer.clone(),
@@ -212,6 +220,8 @@ impl SessionState {
             self.queue.high_water(),
             self.queue.dropped(),
         );
+        self.metrics.snapshot_refreshes.inc();
+        self.metrics.snapshot_refresh_ns.observe(started.elapsed().as_nanos() as u64);
         snap.report.degraded |= asm.degraded() || self.over_quota.load(Ordering::Acquire);
         drop(asm);
         self.dirty.store(false, Ordering::Release);
@@ -253,6 +263,7 @@ struct Shared {
     passes: Mutex<u64>,
     progress: Condvar,
     config: CollectorConfig,
+    metrics: CollectorMetrics,
 }
 
 impl Shared {
@@ -276,6 +287,19 @@ impl Shared {
         *self.passes.lock().unwrap_or_else(|e| e.into_inner()) += 1;
         self.progress.notify_all();
     }
+
+    /// Refresh the scrape-time gauges and render the metrics text.
+    /// Deliberately avoids session assembler locks: only queue counters
+    /// and atomics are read, so a scrape never contends with analysis.
+    fn render_metrics(&self) -> String {
+        let sessions: Vec<Arc<SessionState>> =
+            self.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let m = &self.metrics;
+        m.sessions_active.set(sessions.len() as u64);
+        m.queue_depth.set(sessions.iter().map(|s| s.queue.depth() as u64).sum());
+        m.queue_high_water.set(sessions.iter().map(|s| s.queue.high_water()).max().unwrap_or(0));
+        m.registry.render_prometheus()
+    }
 }
 
 /// A running collector daemon. Dropping the handle does *not* stop the
@@ -283,6 +307,7 @@ impl Shared {
 pub struct CollectorHandle {
     ingest_addr: Addr,
     status_addr: Option<Addr>,
+    metrics_addr: Option<Addr>,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -299,18 +324,40 @@ impl CollectorHandle {
         self.status_addr.as_ref()
     }
 
+    /// The bound metrics address, if a metrics endpoint was configured.
+    pub fn metrics_addr(&self) -> Option<&Addr> {
+        self.metrics_addr.as_ref()
+    }
+
     /// Compute the current status in-process — the same data the status
     /// socket serves.
     pub fn status(&self) -> CollectorStatus {
         self.shared.status()
     }
 
+    /// Render the metrics in-process — the same text the metrics socket
+    /// serves (available whether or not an endpoint is bound).
+    pub fn metrics_text(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// A deterministic (name-sorted) snapshot of every collector metric.
+    pub fn metrics_snapshot(&self) -> critlock_obs::MetricsSnapshot {
+        // render_metrics refreshes the scrape-time gauges as a side effect.
+        let _ = self.shared.render_metrics();
+        self.shared.metrics.registry.snapshot()
+    }
+
     /// Block until `pred` holds for the collector status or `timeout`
     /// elapses; returns whether the predicate held. Wakes on every
     /// analysis pass via a condvar — no wall-clock spinning — so tests
     /// built on it are paced by the collector, not by sleeps.
+    ///
+    /// A `timeout` too large for the monotonic clock to represent (e.g.
+    /// `Duration::MAX` from `--timeout u64::MAX`) saturates to "no
+    /// deadline" instead of panicking on `Instant` overflow.
     pub fn wait_until(&self, timeout: Duration, pred: impl Fn(&CollectorStatus) -> bool) -> bool {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         loop {
             // Evaluate outside the pass lock: status() takes session
             // locks the analysis loop also needs.
@@ -319,17 +366,25 @@ impl CollectorHandle {
             }
             let passes = self.shared.passes.lock().unwrap_or_else(|e| e.into_inner());
             let seen = *passes;
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return false;
-            }
+            let remaining = match deadline {
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return false;
+                    }
+                    remaining
+                }
+                // No representable deadline: wake on progress (or at a
+                // coarse re-check interval) forever.
+                None => Duration::from_secs(3600),
+            };
             let (guard, _timeout) = self
                 .shared
                 .progress
                 .wait_timeout_while(passes, remaining, |p| *p == seen)
                 .unwrap_or_else(|e| e.into_inner());
             drop(guard);
-            if Instant::now() >= deadline {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
                 return pred(&self.shared.status());
             }
         }
@@ -387,6 +442,9 @@ impl CollectorHandle {
         if let Some(addr) = &self.status_addr {
             let _ = Stream::connect(addr);
         }
+        if let Some(addr) = &self.metrics_addr {
+            let _ = Stream::connect(addr);
+        }
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
@@ -422,6 +480,15 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         Some(l) => Some(l.bound_addr()?),
         None => None,
     };
+    let metrics_listener = match &config.metrics_addr {
+        Some(addr) => Some(Listener::bind(addr)?),
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.bound_addr()?),
+        None => None,
+    };
+    let metrics = CollectorMetrics::new();
 
     // Crash recovery: replay every journal in the directory into a
     // pre-populated session before any producer can connect.
@@ -448,20 +515,25 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         passes: Mutex::new(0),
         progress: Condvar::new(),
         config: config.clone(),
+        metrics: metrics.clone(),
     });
 
-    for rec in recovered {
+    for mut rec in recovered {
         let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
         shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+        metrics.sessions_started.inc();
         let peer = format!(
             "journal:{}",
             rec.journal.path().file_name().and_then(|n| n.to_str()).unwrap_or("?")
         );
         let mut asm = SessionAssembler::with_budget(config.session_budget());
+        asm.set_counters(metrics.events_in.clone(), metrics.events_budget_dropped.clone());
         let frames = rec.frames.len() as u64;
+        metrics.journal_frames_recovered.add(frames);
         for frame in rec.frames {
             asm.apply(frame);
         }
+        rec.journal.set_counters(metrics.journal_counters());
         let session = Arc::new(SessionState {
             id,
             peer,
@@ -477,9 +549,11 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
             bytes_ingested: AtomicU64::new(0),
             over_quota: AtomicBool::new(false),
             quota_counted: AtomicBool::new(false),
+            metrics: metrics.clone(),
         });
         shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(session);
         shared.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+        metrics.sessions_recovered.inc();
     }
 
     let mut threads = Vec::new();
@@ -496,8 +570,12 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || status_loop(listener, shared)));
     }
+    if let Some(listener) = metrics_listener {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || metrics_loop(listener, shared)));
+    }
 
-    Ok(CollectorHandle { ingest_addr, status_addr, shared, threads })
+    Ok(CollectorHandle { ingest_addr, status_addr, metrics_addr, shared, threads })
 }
 
 fn accept_loop(listener: Listener, shared: Arc<Shared>) {
@@ -546,21 +624,31 @@ fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
     }
     if shared.config.max_sessions.is_some_and(|max| sessions.len() >= max) {
         shared.shed_sessions.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.sessions_shed.inc();
         return Claim::Shed;
     }
     let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
     shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.sessions_started.inc();
     let journal = shared.config.journal_dir.as_deref().and_then(|dir| {
         // A journal that cannot be created degrades the session to
         // unjournaled rather than refusing the producer.
-        SessionJournal::create(dir, token, id).ok()
+        SessionJournal::create(dir, token, id).ok().map(|mut j| {
+            j.set_counters(shared.metrics.journal_counters());
+            j
+        })
     });
+    let mut asm = SessionAssembler::with_budget(shared.config.session_budget());
+    asm.set_counters(
+        shared.metrics.events_in.clone(),
+        shared.metrics.events_budget_dropped.clone(),
+    );
     let session = Arc::new(SessionState {
         id,
         peer,
         token: token.to_vec(),
         queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
-        asm: Mutex::new(SessionAssembler::with_budget(shared.config.session_budget())),
+        asm: Mutex::new(asm),
         dirty: AtomicBool::new(true),
         snapshot: Mutex::new(None),
         received_seq: AtomicU64::new(0),
@@ -570,6 +658,7 @@ fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
         bytes_ingested: AtomicU64::new(0),
         over_quota: AtomicBool::new(false),
         quota_counted: AtomicBool::new(false),
+        metrics: shared.metrics.clone(),
     });
     sessions.push(Arc::clone(&session));
     Claim::Attached(session, false)
@@ -589,6 +678,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
         Ok(reader) => reader,
         Err(_) => {
             shared.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.sessions_rejected.inc();
             return;
         }
     };
@@ -600,6 +690,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
     };
     if resumed {
         shared.resumed_sessions.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.sessions_resumed.inc();
     }
     *session.conn.lock().unwrap_or_else(|e| e.into_inner()) = ack_conn;
 
@@ -628,20 +719,25 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
     let mut timed_out = false;
     let mut quota_cut = false;
     let mut conn_bytes = 0u64;
+    let metrics = &shared.metrics;
     loop {
         match reader.next_frame() {
             Ok(Some(frame)) => {
+                metrics.frames_in.inc();
                 // Per-session byte quota, counted across reconnects. The
                 // frame that crosses the line is discarded (not queued,
                 // not acknowledged) and ingest stops deterministically.
                 let now = reader.payload_bytes();
                 session.bytes_ingested.fetch_add(now - conn_bytes, Ordering::Relaxed);
+                metrics.bytes_in.add(now - conn_bytes);
                 conn_bytes = now;
                 if let Some(quota) = shared.config.session_quota_bytes {
                     if session.bytes_ingested.load(Ordering::Relaxed) > quota {
+                        metrics.frames_quota_dropped.inc();
                         session.over_quota.store(true, Ordering::Release);
                         if !session.quota_counted.swap(true, Ordering::AcqRel) {
                             shared.quota_stopped_sessions.fetch_add(1, Ordering::Relaxed);
+                            metrics.sessions_quota_stopped.inc();
                         }
                         quota_cut = true;
                         break;
@@ -649,12 +745,14 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
                 }
                 let expected = session.received_seq.load(Ordering::Acquire);
                 if seq < expected {
+                    metrics.frames_replayed.inc();
                     seq += 1;
                     continue;
                 }
                 if seq > expected {
                     // The producer skipped ahead — a protocol violation
                     // (or an ack it never saw). Force a re-handshake.
+                    metrics.frames_gap_rejected.inc();
                     break;
                 }
                 let is_end = matches!(frame, Frame::End);
@@ -668,7 +766,11 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
                         }
                     }
                 }
-                session.queue.push(frame);
+                if session.queue.push(frame) {
+                    metrics.frames_assembled.inc();
+                } else {
+                    metrics.frames_queue_dropped.inc();
+                }
                 seq += 1;
                 session.received_seq.store(seq, Ordering::Release);
             }
@@ -677,11 +779,18 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
                 timed_out = true;
                 break;
             }
+            Err(TraceError::Decode(_)) => {
+                // Frame CRC mismatch or corrupt framing: the connection is
+                // unusable past this point; count it and sever.
+                metrics.frames_crc_failed.inc();
+                break;
+            }
             Err(_) => break,
         }
     }
     if timed_out {
         shared.timed_out_sessions.fetch_add(1, Ordering::Relaxed);
+        metrics.sessions_timed_out.inc();
     }
 
     // Tell a resumable producer how far this connection got (best effort
@@ -766,6 +875,32 @@ fn status_loop(listener: Listener, shared: Arc<Shared>) {
         }
         let _ = serve_status_request(stream, &shared);
     }
+}
+
+fn metrics_loop(listener: Listener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let _ = serve_metrics_request(stream, &shared);
+    }
+}
+
+/// Serve one scrape: read the request line (`metrics`, or an HTTP GET —
+/// the reply is the same plaintext exposition either way) and write the
+/// rendered metrics.
+fn serve_metrics_request(stream: Stream, shared: &Shared) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let reply = shared.render_metrics();
+    let mut stream = reader.into_inner();
+    stream.write_all(reply.as_bytes())?;
+    stream.flush()
 }
 
 fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {

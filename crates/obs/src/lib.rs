@@ -1,0 +1,25 @@
+//! Self-observability primitives for the critlock stack.
+//!
+//! Two building blocks, both deliberately dependency-light and inert:
+//!
+//! * [`metrics`] — a registry of named monotonic counters, gauges and
+//!   fixed-bucket histograms. Updates are single relaxed atomic operations
+//!   (lock-free on the hot path); snapshots and Prometheus-style rendering
+//!   are deterministic (lexicographic name order).
+//! * [`span`] — hierarchical wall-clock span timing for pipeline stages,
+//!   producing a serializable [`SpanProfile`] tree.
+//!
+//! The determinism contract: observability must never change what the
+//! analyzer computes. Metrics and spans only *read* clocks and counters;
+//! analysis output stays bit-identical with or without them.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricsRegistry,
+    MetricsSnapshot, DEFAULT_LATENCY_BOUNDS_NS,
+};
+pub use span::{min_time_ns, time_ns, SpanProfile, SpanRecorder};

@@ -1,0 +1,507 @@
+//! Lock-free metrics registry: monotonic counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Handles returned by the registry are cheap `Arc`-wrapped atomics, so the
+//! hot path (an `inc`, `add`, `set` or `observe`) is a single relaxed atomic
+//! RMW and never touches a lock. The registry itself is only locked on the
+//! cold paths: metric registration and snapshot/render.
+//!
+//! Snapshots are deterministic: metrics are emitted in lexicographic name
+//! order regardless of registration order or thread interleaving, so two
+//! scrapes of identical counter states render byte-identical text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying cell; all clones observe the same value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a detached counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, active sessions).
+///
+/// Cloning shares the underlying cell; all clones observe the same value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a detached gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `v` as the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water tracking).
+    #[inline]
+    pub fn fetch_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Increments the gauge by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the gauge by one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default bucket upper bounds for latency histograms, in nanoseconds:
+/// 1µs · 4µs · 16µs · 64µs · 256µs · 1ms · 4ms · 16ms · 64ms · 256ms · 1s · 4s,
+/// with the implicit `+Inf` bucket above.
+pub const DEFAULT_LATENCY_BOUNDS_NS: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending upper bounds; an implicit `+Inf` bucket follows the last.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` non-cumulative bucket counts.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Bucket bounds are chosen at registration time
+/// and never change, so `observe` is a branch-free bound scan plus two
+/// relaxed atomic adds — no locking, no allocation.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Creates a detached histogram with the given ascending bucket bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    fn sample(&self, name: &str) -> HistogramSample {
+        HistogramSample {
+            name: name.to_string(),
+            bounds: self.inner.bounds.clone(),
+            buckets: self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A counter's name and value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// A gauge's name and value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: u64,
+}
+
+/// A histogram's buckets in a [`MetricsSnapshot`].
+///
+/// `buckets` are non-cumulative and have one more entry than `bounds`
+/// (the final entry is the `+Inf` bucket).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// A point-in-time, deterministically ordered copy of every registered
+/// metric. Each section is sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, name-sorted.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram sample by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Registry of named metrics.
+///
+/// Cloning shares the registry. Registration is idempotent: asking for an
+/// existing name of the same kind returns a handle to the same metric;
+/// re-registering a name as a different kind panics (a programming error).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}: use [a-z_][a-z0-9_]*");
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { help: help.to_string(), metric: make() });
+        entry.metric.clone()
+    }
+
+    /// Registers (or retrieves) a monotonic counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.register(name, help, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {name:?} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {name:?} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a fixed-bucket histogram.
+    ///
+    /// `bounds` are only consulted on first registration.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        match self.register(name, help, || Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {name:?} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Captures a deterministic (name-sorted) snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, entry) in map.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    snap.counters.push(CounterSample { name: name.clone(), value: c.get() })
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.push(GaugeSample { name: name.clone(), value: g.get() })
+                }
+                Metric::Histogram(h) => snap.histograms.push(h.sample(name)),
+            }
+        }
+        snap
+    }
+
+    /// Renders every metric in Prometheus plaintext exposition format,
+    /// in lexicographic name order. Histogram buckets are emitted
+    /// cumulatively with an explicit `+Inf` bucket, per convention.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, entry) in map.iter() {
+            if !entry.help.is_empty() {
+                out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            }
+            out.push_str(&format!("# TYPE {name} {}\n", entry.metric.kind()));
+            match &entry.metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let s = h.sample(name);
+                    let mut cum = 0u64;
+                    for (i, &b) in s.buckets.iter().enumerate() {
+                        cum += b;
+                        match s.bounds.get(i) {
+                            Some(le) => {
+                                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"))
+                            }
+                            None => out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n")),
+                        }
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", s.sum));
+                    out.push_str(&format!("{name}_count {}\n", s.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("frames_in_total", "frames decoded");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Idempotent registration returns the same underlying cell.
+        let c2 = reg.counter("frames_in_total", "frames decoded");
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = reg.gauge("queue_depth", "queued frames");
+        g.set(9);
+        g.fetch_max(3);
+        assert_eq!(g.get(), 9);
+        g.fetch_max(12);
+        assert_eq!(g.get(), 12);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", "");
+        reg.gauge("x_total", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        MetricsRegistry::new().counter("Frames-In", "");
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 5000 + 1_000_000);
+        let s = h.sample("h");
+        // le=10 gets {1,10}; le=100 gets {11,100}; le=1000 none; +Inf {5000,1e6}.
+        assert_eq!(s.buckets, vec![2, 2, 0, 2]);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_regardless_of_registration_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zebra_total", "");
+        reg.counter("alpha_total", "");
+        reg.gauge("mid_gauge", "");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha_total", "zebra_total"]);
+        assert_eq!(snap.gauge("mid_gauge"), Some(0));
+    }
+
+    #[test]
+    fn identical_state_renders_identical_text() {
+        let mk = |order: &[&str]| {
+            let reg = MetricsRegistry::new();
+            for name in order {
+                reg.counter(name, "help text").add(7);
+            }
+            reg.histogram("lat_ns", "latency", &[10, 20]).observe(15);
+            reg.render_prometheus()
+        };
+        assert_eq!(mk(&["a_total", "b_total"]), mk(&["b_total", "a_total"]));
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("frames_in_total", "frames decoded from the wire").add(3);
+        let h = reg.histogram("refresh_ns", "snapshot refresh latency", &[100, 200]);
+        h.observe(50);
+        h.observe(150);
+        h.observe(5000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE frames_in_total counter\nframes_in_total 3\n"));
+        assert!(text.contains("refresh_ns_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("refresh_ns_bucket{le=\"200\"} 2\n"));
+        assert!(text.contains("refresh_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("refresh_ns_sum 5200\n"));
+        assert!(text.contains("refresh_ns_count 3\n"));
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total", "");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().counter("hits_total"), Some(40_000));
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "").add(2);
+        reg.histogram("h_ns", "", &[5]).observe(3);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,257 @@
+//! Hierarchical span timing for the analysis pipeline.
+//!
+//! A [`SpanRecorder`] times nested stages (decode → salvage → segments →
+//! CP walk → metrics) into a tree of [`SpanProfile`] nodes. Recording is
+//! strictly additive instrumentation: the recorder only reads the clock
+//! around closures, so the instrumented computation's results are untouched.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One timed stage: its name, wall-clock duration and nested child stages,
+/// in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanProfile {
+    /// Stage name (e.g. `"cp_walk"`).
+    pub name: String,
+    /// Wall-clock duration of the stage in nanoseconds, children included.
+    pub duration_ns: u64,
+    /// Nested stages, in the order they ran.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub children: Vec<SpanProfile>,
+}
+
+impl SpanProfile {
+    /// Finds a direct child span by name.
+    pub fn child(&self, name: &str) -> Option<&SpanProfile> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Finds a span anywhere in the tree by name (pre-order).
+    pub fn find(&self, name: &str) -> Option<&SpanProfile> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Time spent in this span excluding its children (saturating).
+    pub fn self_ns(&self) -> u64 {
+        self.duration_ns.saturating_sub(self.children.iter().map(|c| c.duration_ns).sum())
+    }
+
+    /// Merges two profiles of the same shape by taking the per-span minimum
+    /// duration — the standard way to combine repeated benchmark runs into
+    /// a noise-floor estimate. Children are matched positionally by name;
+    /// spans present in only one profile are kept as-is.
+    pub fn merge_min(&self, other: &SpanProfile) -> SpanProfile {
+        let mut merged = SpanProfile {
+            name: self.name.clone(),
+            duration_ns: self.duration_ns.min(other.duration_ns),
+            children: Vec::with_capacity(self.children.len()),
+        };
+        for (i, c) in self.children.iter().enumerate() {
+            match other.children.get(i) {
+                Some(o) if o.name == c.name => merged.children.push(c.merge_min(o)),
+                _ => merged.children.push(c.clone()),
+            }
+        }
+        merged
+    }
+}
+
+struct Node {
+    name: String,
+    started: Instant,
+    duration_ns: u64,
+    children: Vec<usize>,
+}
+
+struct RecInner {
+    /// Arena of spans; index 0 is the root.
+    nodes: Vec<Node>,
+    /// Indices of currently open spans; the root stays open until `finish`.
+    stack: Vec<usize>,
+}
+
+/// Records a tree of timed spans. Not `Sync`: one recorder belongs to the
+/// thread driving the pipeline (stages may fan out internally — only the
+/// stage boundaries are timed here).
+pub struct SpanRecorder {
+    inner: RefCell<RecInner>,
+}
+
+impl SpanRecorder {
+    /// Starts a recorder whose root span is `root` (its clock starts now).
+    pub fn new(root: &str) -> Self {
+        let node = Node {
+            name: root.to_string(),
+            started: Instant::now(),
+            duration_ns: 0,
+            children: Vec::new(),
+        };
+        Self { inner: RefCell::new(RecInner { nodes: vec![node], stack: vec![0] }) }
+    }
+
+    /// Runs `f` inside a child span named `name` of the innermost open span,
+    /// returning `f`'s result. Nested calls to `time` from within `f`
+    /// produce nested spans.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let idx = {
+            let mut inner = self.inner.borrow_mut();
+            let idx = inner.nodes.len();
+            inner.nodes.push(Node {
+                name: name.to_string(),
+                started: Instant::now(),
+                duration_ns: 0,
+                children: Vec::new(),
+            });
+            let parent = *inner.stack.last().expect("span stack never empty");
+            inner.nodes[parent].children.push(idx);
+            inner.stack.push(idx);
+            idx
+        };
+        let result = f();
+        let mut inner = self.inner.borrow_mut();
+        let popped = inner.stack.pop().expect("span stack never empty");
+        debug_assert_eq!(popped, idx, "span stack discipline violated");
+        inner.nodes[idx].duration_ns = inner.nodes[idx].started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    /// Records a leaf span with an externally measured duration (for stages
+    /// timed elsewhere, e.g. reading bytes off a socket).
+    pub fn record_ns(&self, name: &str, duration_ns: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.nodes.len();
+        inner.nodes.push(Node {
+            name: name.to_string(),
+            started: Instant::now(),
+            duration_ns,
+            children: Vec::new(),
+        });
+        let parent = *inner.stack.last().expect("span stack never empty");
+        inner.nodes[parent].children.push(idx);
+    }
+
+    /// Closes the root span and returns the completed profile tree.
+    pub fn finish(self) -> SpanProfile {
+        let mut inner = self.inner.into_inner();
+        inner.nodes[0].duration_ns = inner.nodes[0].started.elapsed().as_nanos() as u64;
+        build(&inner.nodes, 0)
+    }
+}
+
+fn build(nodes: &[Node], idx: usize) -> SpanProfile {
+    let n = &nodes[idx];
+    SpanProfile {
+        name: n.name.clone(),
+        duration_ns: n.duration_ns,
+        children: n.children.iter().map(|&c| build(nodes, c)).collect(),
+    }
+}
+
+/// Times a single closure, returning its result and elapsed nanoseconds.
+pub fn time_ns<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_nanos() as u64)
+}
+
+/// Runs `f` `reps` times (at least once) and returns the minimum elapsed
+/// nanoseconds — the conventional noise-floor estimator for benchmarks.
+pub fn min_time_ns(reps: u32, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let (_, ns) = time_ns(&mut f);
+        best = best.min(ns);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn records_nested_spans_in_order() {
+        let rec = SpanRecorder::new("analyze");
+        let v = rec.time("segments", || {
+            rec.time("scan", || 1u32);
+            rec.time("merge", || 2u32)
+        });
+        assert_eq!(v, 2);
+        rec.time("cp_walk", || ());
+        let profile = rec.finish();
+        assert_eq!(profile.name, "analyze");
+        let names: Vec<&str> = profile.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["segments", "cp_walk"]);
+        let seg = profile.child("segments").unwrap();
+        let inner: Vec<&str> = seg.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(inner, ["scan", "merge"]);
+        assert!(profile.find("merge").is_some());
+        assert!(profile.find("missing").is_none());
+    }
+
+    #[test]
+    fn durations_are_monotone_in_nesting() {
+        let rec = SpanRecorder::new("root");
+        rec.time("outer", || {
+            rec.time("inner", || std::thread::sleep(Duration::from_millis(2)));
+        });
+        let p = rec.finish();
+        let outer = p.child("outer").unwrap();
+        let inner = outer.child("inner").unwrap();
+        assert!(inner.duration_ns >= 2_000_000);
+        assert!(outer.duration_ns >= inner.duration_ns);
+        assert!(p.duration_ns >= outer.duration_ns);
+        assert_eq!(outer.self_ns(), outer.duration_ns - inner.duration_ns);
+    }
+
+    #[test]
+    fn record_ns_attaches_externally_timed_leaf() {
+        let rec = SpanRecorder::new("root");
+        rec.record_ns("decode", 1234);
+        let p = rec.finish();
+        assert_eq!(p.child("decode").unwrap().duration_ns, 1234);
+    }
+
+    #[test]
+    fn merge_min_takes_per_span_minimum() {
+        let a = SpanProfile {
+            name: "r".into(),
+            duration_ns: 100,
+            children: vec![SpanProfile { name: "x".into(), duration_ns: 60, children: vec![] }],
+        };
+        let b = SpanProfile {
+            name: "r".into(),
+            duration_ns: 90,
+            children: vec![SpanProfile { name: "x".into(), duration_ns: 70, children: vec![] }],
+        };
+        let m = a.merge_min(&b);
+        assert_eq!(m.duration_ns, 90);
+        assert_eq!(m.child("x").unwrap().duration_ns, 60);
+    }
+
+    #[test]
+    fn profile_serde_roundtrip_skips_empty_children() {
+        let rec = SpanRecorder::new("root");
+        rec.time("leaf", || ());
+        let p = rec.finish();
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(!json.contains("\"children\":[]"), "empty children must be skipped: {json}");
+        let back: SpanProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn min_time_ns_runs_at_least_once() {
+        let mut calls = 0;
+        let ns = min_time_ns(0, || calls += 1);
+        assert_eq!(calls, 1);
+        assert!(ns < u64::MAX);
+    }
+}

@@ -259,6 +259,22 @@ pub enum Anomaly {
         /// The stage at which the deadline fired.
         stage: String,
     },
+    /// The critical path has zero length even though the trace contains
+    /// lock episodes; every CP-time fraction is reported as an explicit
+    /// zero rather than a masked or undefined ratio.
+    ZeroLengthCriticalPath {
+        /// Lock episodes present in the trace.
+        episodes: u64,
+    },
+    /// A thread recorded lock wait/hold time despite a zero-length
+    /// lifetime (its first and last event share a timestamp); its TYPE 2
+    /// fractions are reported as explicit zeros rather than infinities.
+    ZeroDurationThread {
+        /// The degenerate thread.
+        tid: ThreadId,
+        /// Wait + hold time the thread recorded despite zero lifetime.
+        busy: Ts,
+    },
 }
 
 impl Anomaly {
@@ -280,7 +296,8 @@ impl Anomaly {
             | Anomaly::SynthesizedStart { tid }
             | Anomaly::SynthesizedExit { tid }
             | Anomaly::QuarantinedThread { tid, .. }
-            | Anomaly::CorruptSection { tid, .. } => Some(tid),
+            | Anomaly::CorruptSection { tid, .. }
+            | Anomaly::ZeroDurationThread { tid, .. } => Some(tid),
             _ => None,
         }
     }
@@ -404,6 +421,12 @@ impl fmt::Display for Anomaly {
             }
             Anomaly::DeadlineExceeded { stage } => {
                 write!(f, "wall-clock deadline exceeded during {stage}")
+            }
+            Anomaly::ZeroLengthCriticalPath { episodes } => {
+                write!(f, "critical path has zero length despite {episodes} lock episode(s); CP-time fractions reported as zero")
+            }
+            Anomaly::ZeroDurationThread { tid, busy } => {
+                write!(f, "{tid} has zero lifetime but {busy} time unit(s) of lock wait/hold; fractions reported as zero")
             }
         }
     }

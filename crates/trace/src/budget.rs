@@ -63,8 +63,13 @@ impl Budget {
     }
 
     /// Set the deadline to `d` from now, builder-style.
+    ///
+    /// Saturates: a `d` so large that `now + d` is not representable by
+    /// the monotonic clock (e.g. `Duration::MAX` from `--deadline-ms
+    /// u64::MAX`) means the deadline can never be reached, so no deadline
+    /// is set rather than panicking on `Instant` overflow.
     pub fn with_deadline_in(mut self, d: Duration) -> Self {
-        self.deadline = Some(Instant::now() + d);
+        self.deadline = Instant::now().checked_add(d);
         self
     }
 
@@ -141,6 +146,18 @@ mod tests {
         };
         assert!(b.deadline_expired());
         let b = Budget::unlimited().with_deadline_in(Duration::from_secs(3600));
+        assert!(!b.deadline_expired());
+    }
+
+    /// Regression: `with_deadline_in(Duration::MAX)` used to panic with
+    /// "overflow when adding duration to instant". An unrepresentable
+    /// deadline saturates to "no deadline".
+    #[test]
+    fn unrepresentable_deadline_saturates_instead_of_panicking() {
+        let b = Budget::unlimited().with_deadline_in(Duration::MAX);
+        assert_eq!(b.deadline, None);
+        assert!(!b.deadline_expired());
+        let b = Budget::unlimited().with_deadline_in(Duration::from_millis(u64::MAX));
         assert!(!b.deadline_expired());
     }
 

@@ -231,16 +231,36 @@ pub fn salvage_trace(trace: &Trace, budget: &Budget) -> Salvaged {
 /// then repaired under the budget. Only an unreadable preamble (or I/O
 /// failure) is an error.
 pub fn load(path: impl AsRef<Path>, budget: &Budget) -> Result<Salvaged> {
+    load_timed(path, budget, &mut |_, _| {})
+}
+
+/// [`load`] with per-stage wall-time reporting: `observe` is called once
+/// with `("decode", elapsed)` after the file is read and decoded and once
+/// with `("salvage", elapsed)` after the repair pass. The result is
+/// identical to [`load`] — the observer only watches the clock.
+pub fn load_timed(
+    path: impl AsRef<Path>,
+    budget: &Budget,
+    observe: &mut dyn FnMut(&'static str, std::time::Duration),
+) -> Result<Salvaged> {
+    let decode_started = std::time::Instant::now();
     let buf = std::fs::read(&path)?;
     if buf.len() >= 4 && &buf[..4] == b"CLTR" {
         let (trace, decode_anomalies) = crate::codec::read_trace_bytes_salvage(&buf, budget)?;
+        observe("decode", decode_started.elapsed());
+        let salvage_started = std::time::Instant::now();
         let mut s = salvage_trace(&trace, budget);
         s.report.absorb_decode_anomalies(decode_anomalies);
         s.report.finalize();
+        observe("salvage", salvage_started.elapsed());
         Ok(s)
     } else {
         let trace = crate::jsonl::read_trace(&mut &buf[..])?;
-        Ok(salvage_trace(&trace, budget))
+        observe("decode", decode_started.elapsed());
+        let salvage_started = std::time::Instant::now();
+        let s = salvage_trace(&trace, budget);
+        observe("salvage", salvage_started.elapsed());
+        Ok(s)
     }
 }
 
