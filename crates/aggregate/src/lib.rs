@@ -1,0 +1,323 @@
+//! # critlock-aggregate
+//!
+//! Cross-session aggregation: turn a merged [`Rollup`] (the CLAG
+//! document of per-session lock digests) into a **fleet report** — the
+//! answer to "which lock is critical *across the fleet*?", in the spirit
+//! of fleet-wide serialization-bottleneck profiling (GAPP): "lock X is
+//! critical in 40% of sessions, mean CP share 31%".
+//!
+//! The report derives every percentage from the rollup's integer totals
+//! at render time: a per-lock session count, the count of sessions where
+//! the lock sits on the critical path, the exact integer sum of
+//! fixed-point per-session CP shares, and summed invocation/wait/hold
+//! totals. Because rollup merge is order-independent (see
+//! `critlock_trace::rollup`), the fleet report is a pure function of the
+//! *set* of sessions — byte-identical however the rollups were sharded,
+//! forwarded or re-ordered on the way in.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use critlock_trace::rollup::{Rollup, PPM};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lock's fleet-wide statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetLockStat {
+    /// Lock name (locks are identified by name across sessions).
+    pub name: String,
+    /// Sessions in which the lock appears at all.
+    pub sessions_seen: u64,
+    /// Sessions in which the lock lies on the critical path — the
+    /// paper's *critical lock* test, counted fleet-wide.
+    pub sessions_critical: u64,
+    /// `sessions_critical / total sessions` (0 when the rollup is
+    /// empty).
+    pub critical_session_frac: f64,
+    /// Mean over the sessions where the lock appears of its per-session
+    /// CP share (`cp_time / cp_length`), derived from the exact integer
+    /// ppm sum.
+    pub mean_cp_share: f64,
+    /// Exact integer sum of per-session fixed-point CP shares (ppm) —
+    /// the value `mean_cp_share` is derived from.
+    pub cp_share_ppm_sum: u64,
+    /// Summed critical-path time across sessions.
+    pub total_cp_time: u64,
+    /// Summed on-CP invocations across sessions.
+    pub invocations_on_cp: u64,
+    /// Summed contended on-CP invocations across sessions.
+    pub contended_on_cp: u64,
+    /// Summed invocations across sessions.
+    pub total_invocations: u64,
+    /// Summed wait time across sessions.
+    pub total_wait: u64,
+    /// Summed hold time across sessions.
+    pub total_hold: u64,
+}
+
+/// The fleet-wide aggregation of a rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Sessions covered.
+    pub sessions: u64,
+    /// Sessions whose analysis was degraded (salvage or budget).
+    pub degraded_sessions: u64,
+    /// Session count per application name.
+    pub apps: BTreeMap<String, u64>,
+    /// Per-lock fleet statistics, ranked by fleet criticality (sessions
+    /// critical, then summed CP share, then summed CP time, then name).
+    pub locks: Vec<FleetLockStat>,
+}
+
+impl FleetReport {
+    /// Aggregate a rollup. Deterministic: the output depends only on the
+    /// set of session digests, not on merge or insertion order.
+    pub fn from_rollup(rollup: &Rollup) -> Self {
+        #[derive(Default)]
+        struct Acc {
+            sessions_seen: u64,
+            sessions_critical: u64,
+            cp_share_ppm_sum: u64,
+            total_cp_time: u64,
+            invocations_on_cp: u64,
+            contended_on_cp: u64,
+            total_invocations: u64,
+            total_wait: u64,
+            total_hold: u64,
+        }
+        let mut by_lock: BTreeMap<&str, Acc> = BTreeMap::new();
+        let mut apps: BTreeMap<String, u64> = BTreeMap::new();
+        let mut degraded = 0u64;
+        for digest in rollup.sessions.values() {
+            *apps.entry(digest.app.clone()).or_default() += 1;
+            degraded += digest.degraded as u64;
+            for lock in &digest.locks {
+                let acc = by_lock.entry(&lock.name).or_default();
+                acc.sessions_seen += 1;
+                acc.sessions_critical += (lock.invocations_on_cp > 0) as u64;
+                acc.cp_share_ppm_sum = acc.cp_share_ppm_sum.saturating_add(lock.cp_share_ppm);
+                acc.total_cp_time = acc.total_cp_time.saturating_add(lock.cp_time);
+                acc.invocations_on_cp += lock.invocations_on_cp;
+                acc.contended_on_cp += lock.contended_on_cp;
+                acc.total_invocations += lock.total_invocations;
+                acc.total_wait = acc.total_wait.saturating_add(lock.total_wait);
+                acc.total_hold = acc.total_hold.saturating_add(lock.total_hold);
+            }
+        }
+        let sessions = rollup.len() as u64;
+        let mut locks: Vec<FleetLockStat> = by_lock
+            .into_iter()
+            .map(|(name, acc)| FleetLockStat {
+                name: name.to_string(),
+                sessions_seen: acc.sessions_seen,
+                sessions_critical: acc.sessions_critical,
+                critical_session_frac: if sessions == 0 {
+                    0.0
+                } else {
+                    acc.sessions_critical as f64 / sessions as f64
+                },
+                mean_cp_share: if acc.sessions_seen == 0 {
+                    0.0
+                } else {
+                    acc.cp_share_ppm_sum as f64 / (acc.sessions_seen as f64 * PPM as f64)
+                },
+                cp_share_ppm_sum: acc.cp_share_ppm_sum,
+                total_cp_time: acc.total_cp_time,
+                invocations_on_cp: acc.invocations_on_cp,
+                contended_on_cp: acc.contended_on_cp,
+                total_invocations: acc.total_invocations,
+                total_wait: acc.total_wait,
+                total_hold: acc.total_hold,
+            })
+            .collect();
+        // Fleet criticality ranking, fully deterministic (name tiebreak).
+        locks.sort_by(|a, b| {
+            b.sessions_critical
+                .cmp(&a.sessions_critical)
+                .then(b.cp_share_ppm_sum.cmp(&a.cp_share_ppm_sum))
+                .then(b.total_cp_time.cmp(&a.total_cp_time))
+                .then(a.name.cmp(&b.name))
+        });
+        FleetReport { sessions, degraded_sessions: degraded, apps, locks }
+    }
+
+    /// The fleet's top critical lock, if any lock reaches a critical
+    /// path anywhere.
+    pub fn top_critical_lock(&self) -> Option<&FleetLockStat> {
+        self.locks.first().filter(|l| l.sessions_critical > 0)
+    }
+
+    /// Render the report as an aligned text table.
+    pub fn render_text(&self, top: Option<usize>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet aggregate: {} session(s), {} degraded, {} app(s)",
+            self.sessions,
+            self.degraded_sessions,
+            self.apps.len()
+        );
+        for (app, count) in &self.apps {
+            let _ = writeln!(out, "  app {app}: {count} session(s)");
+        }
+        let headers =
+            ["Lock", "Critical in", "Sessions", "Mean CP Share %", "Total CP Time", "Invo# on CP"];
+        let rows: Vec<Vec<String>> = self
+            .locks
+            .iter()
+            .take(top.unwrap_or(usize::MAX))
+            .map(|l| {
+                vec![
+                    l.name.clone(),
+                    format!("{:.1}%", l.critical_session_frac * 100.0),
+                    format!("{}/{}", l.sessions_seen, self.sessions),
+                    format!("{:.2}%", l.mean_cp_share * 100.0),
+                    l.total_cp_time.to_string(),
+                    l.invocations_on_cp.to_string(),
+                ]
+            })
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+                } else {
+                    let _ = write!(line, "  {:>w$}", cell, w = widths[i]);
+                }
+            }
+            line
+        };
+        let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(out, "{}", fmt_row(&header_cells));
+        let total_width = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total_width));
+        for row in &rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        if rows.is_empty() {
+            let _ = writeln!(out, "(no locks in any session)");
+        }
+        if let Some(topl) = self.top_critical_lock() {
+            let _ = writeln!(
+                out,
+                "\ntop fleet lock: {} — critical in {:.1}% of sessions, mean CP share {:.2}%",
+                topl.name,
+                topl.critical_session_frac * 100.0,
+                topl.mean_cp_share * 100.0,
+            );
+        }
+        out
+    }
+
+    /// Serialize the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet report serialization cannot fail")
+    }
+
+    /// Parse a JSON fleet report.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critlock_trace::rollup::{cp_share_ppm, LockDigest, SessionDigest};
+
+    fn digest(key: &str, app: &str, locks: &[(&str, u64, u64)]) -> SessionDigest {
+        let cp_length = 100;
+        let mut locks: Vec<LockDigest> = locks
+            .iter()
+            .map(|(name, cp_time, on_cp)| LockDigest {
+                name: name.to_string(),
+                cp_time: *cp_time,
+                cp_share_ppm: cp_share_ppm(*cp_time, cp_length),
+                invocations_on_cp: *on_cp,
+                contended_on_cp: on_cp / 2,
+                total_invocations: on_cp + 3,
+                total_wait: cp_time * 2,
+                total_hold: cp_time * 3,
+            })
+            .collect();
+        locks.sort_by(|a, b| a.name.cmp(&b.name));
+        SessionDigest {
+            key: key.into(),
+            app: app.into(),
+            cp_length,
+            makespan: 120,
+            degraded: false,
+            locks,
+        }
+    }
+
+    fn sample() -> Rollup {
+        let mut r = Rollup::new();
+        r.insert(digest("s1", "web", &[("hot", 40, 4), ("cold", 0, 0)]));
+        r.insert(digest("s2", "web", &[("hot", 20, 2)]));
+        r.insert(digest("s3", "db", &[("cold", 10, 1)]));
+        r
+    }
+
+    #[test]
+    fn fleet_fractions_and_ranking() {
+        let rep = FleetReport::from_rollup(&sample());
+        assert_eq!(rep.sessions, 3);
+        assert_eq!(rep.apps["web"], 2);
+        assert_eq!(rep.apps["db"], 1);
+        let hot = &rep.locks[0];
+        assert_eq!(hot.name, "hot");
+        assert_eq!(hot.sessions_seen, 2);
+        assert_eq!(hot.sessions_critical, 2);
+        assert!((hot.critical_session_frac - 2.0 / 3.0).abs() < 1e-9);
+        // mean of 40% and 20% CP share.
+        assert!((hot.mean_cp_share - 0.30).abs() < 1e-9);
+        let cold = rep.locks.iter().find(|l| l.name == "cold").unwrap();
+        assert_eq!(cold.sessions_seen, 2);
+        assert_eq!(cold.sessions_critical, 1);
+        assert_eq!(rep.top_critical_lock().unwrap().name, "hot");
+    }
+
+    #[test]
+    fn report_is_merge_order_independent() {
+        let r = sample();
+        let mut reversed = Rollup::new();
+        for d in r.sessions.values().rev() {
+            reversed.insert(d.clone());
+        }
+        let a = FleetReport::from_rollup(&r);
+        let b = FleetReport::from_rollup(&reversed);
+        assert_eq!(a, b);
+        assert_eq!(a.render_text(None), b.render_text(None));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn render_shapes() {
+        let rep = FleetReport::from_rollup(&sample());
+        let text = rep.render_text(Some(1));
+        assert!(text.contains("fleet aggregate: 3 session(s)"));
+        assert!(text.contains("top fleet lock: hot"));
+        // --top limits rows: `cold` only appears if unlimited.
+        assert!(!text.contains("\ncold"));
+        let back = FleetReport::parse_json(&rep.to_json()).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn empty_rollup_reports_cleanly() {
+        let rep = FleetReport::from_rollup(&Rollup::new());
+        assert_eq!(rep.sessions, 0);
+        assert!(rep.top_critical_lock().is_none());
+        assert!(rep.render_text(None).contains("no locks in any session"));
+    }
+}

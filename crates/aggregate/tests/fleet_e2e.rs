@@ -1,0 +1,135 @@
+//! End-to-end aggregation invariant: merging N *single-session* rollups
+//! (the unit a collector forwards for each session) produces exactly the
+//! fleet report you get by analyzing the sessions independently and
+//! combining their digests by hand — regardless of merge order, batching
+//! or duplicate delivery. This is the acceptance property of the
+//! aggregation subsystem: sharding and forwarding topology must be
+//! invisible in the final report.
+
+use critlock_aggregate::FleetReport;
+use critlock_analysis::{analyze, digest_report};
+use critlock_trace::rollup::{Rollup, SessionDigest};
+use critlock_trace::{Trace, TraceBuilder};
+
+/// A small family of distinct sessions: different thread counts and
+/// critical-section mixes over a shared lock vocabulary, so the fleet
+/// report exercises both "critical everywhere" and "critical somewhere"
+/// locks.
+fn sessions() -> Vec<(String, Trace)> {
+    let mut out = Vec::new();
+    for (i, (threads, hot_cs, cold_cs)) in
+        [(2usize, 8u64, 1u64), (3, 5, 4), (4, 2, 9), (2, 7, 7)].iter().enumerate()
+    {
+        let mut b = TraceBuilder::new(format!("app-{}", i % 2));
+        let hot = b.lock("hot");
+        let cold = b.lock("cold");
+        let tids: Vec<_> = (0..*threads).map(|t| b.thread(format!("T{t}"), 0)).collect();
+        for (t, &tid) in tids.iter().enumerate() {
+            let t = t as u64;
+            b.on(tid).work(t + 1);
+            // Cursor is now at t + 1; block on `hot` until t + 1 + wait.
+            b.on(tid).cs_blocked(hot, t + 1 + (t % 3), *hot_cs);
+            b.on(tid).work(2).cs(cold, *cold_cs).work(1);
+            b.on(tid).exit();
+        }
+        out.push((format!("session-{i}"), b.build().unwrap()));
+    }
+    out
+}
+
+fn digests() -> Vec<SessionDigest> {
+    sessions().iter().map(|(key, trace)| digest_report(key, &analyze(trace))).collect()
+}
+
+/// The hand-built reference: every digest inserted into one rollup
+/// directly, no wire format, no merging of partial rollups.
+fn reference_report() -> FleetReport {
+    let mut rollup = Rollup::new();
+    for digest in digests() {
+        rollup.insert(digest);
+    }
+    FleetReport::from_rollup(&rollup)
+}
+
+/// One single-session rollup per session, each pushed through the CLAG
+/// wire format — what a collector actually forwards.
+fn single_session_rollups() -> Vec<Rollup> {
+    digests()
+        .into_iter()
+        .map(|digest| {
+            let mut rollup = Rollup::new();
+            rollup.insert(digest);
+            Rollup::from_bytes(&rollup.to_bytes()).expect("wire roundtrip")
+        })
+        .collect()
+}
+
+#[test]
+fn aggregating_single_session_rollups_equals_hand_merged_analysis() {
+    let reference = reference_report();
+    let mut merged = Rollup::new();
+    for part in single_session_rollups() {
+        merged.merge(&part);
+    }
+    let report = FleetReport::from_rollup(&merged);
+    assert_eq!(report, reference);
+    assert_eq!(report.render_text(None), reference.render_text(None));
+    assert_eq!(report.to_json(), reference.to_json());
+}
+
+#[test]
+fn aggregation_is_order_and_batching_invariant() {
+    let reference = reference_report();
+    let parts = single_session_rollups();
+
+    // Reverse order.
+    let mut reversed = Rollup::new();
+    for part in parts.iter().rev() {
+        reversed.merge(part);
+    }
+    assert_eq!(FleetReport::from_rollup(&reversed), reference);
+
+    // Two-level tree: two "child collectors" each merge half, then a
+    // "parent" merges the children — with one session delivered by both
+    // children (a duplicate path), which must not double-count.
+    let mut child_a = Rollup::new();
+    let mut child_b = Rollup::new();
+    for (i, part) in parts.iter().enumerate() {
+        if i % 2 == 0 {
+            child_a.merge(part);
+        }
+        if i % 2 == 1 || i == 0 {
+            child_b.merge(part);
+        }
+    }
+    let mut parent = Rollup::new();
+    parent.merge(&child_a);
+    parent.merge(&child_b);
+    assert_eq!(parent.len(), parts.len(), "duplicate delivery must not add sessions");
+    assert_eq!(FleetReport::from_rollup(&parent), reference);
+    // Byte-level determinism, not just structural equality.
+    let mut flat = Rollup::new();
+    for part in &parts {
+        flat.merge(part);
+    }
+    assert_eq!(parent.to_bytes(), flat.to_bytes());
+}
+
+#[test]
+fn fleet_report_fractions_reflect_per_session_criticality() {
+    let report = reference_report();
+    let digests = digests();
+    assert_eq!(report.sessions, digests.len() as u64);
+    for name in ["hot", "cold"] {
+        let stat = report.locks.iter().find(|l| l.name == name).expect("lock in fleet report");
+        let seen = digests.iter().filter(|d| d.locks.iter().any(|l| l.name == name)).count();
+        let critical = digests
+            .iter()
+            .filter(|d| d.locks.iter().any(|l| l.name == name && l.invocations_on_cp > 0))
+            .count();
+        assert_eq!(stat.sessions_seen, seen as u64, "{name}: sessions seen");
+        assert_eq!(stat.sessions_critical, critical as u64, "{name}: sessions critical");
+        let frac = critical as f64 / digests.len() as f64;
+        assert!((stat.critical_session_frac - frac).abs() < 1e-9, "{name}: critical fraction");
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-session ranking extraction: compress an [`AnalysisReport`] into
+//! the mergeable [`SessionDigest`] accumulator that cross-session
+//! aggregation (`critlock aggregate`, collector rollup forwarding) is
+//! built on.
+//!
+//! Only integer totals cross the boundary — every floating-point column
+//! of the report is either recomputable from the totals or deliberately
+//! dropped, so merging digests from thousands of sessions stays exact
+//! and order-independent. The per-session CP share is fixed to
+//! parts-per-million *here*, while the session's own `cp_length` is at
+//! hand; fleet means are then integer sums of those shares.
+
+use crate::metrics::AnalysisReport;
+use critlock_trace::rollup::{cp_share_ppm, LockDigest, SessionDigest};
+
+/// Extract the mergeable digest of one session's analysis. `key` must be
+/// unique across every session that can ever meet in one aggregation
+/// (resume token, `collector/anon-N`, trace file path): it is the dedup
+/// identity under rollup merge.
+pub fn digest_report(key: &str, report: &AnalysisReport) -> SessionDigest {
+    let mut locks: Vec<LockDigest> = report
+        .locks
+        .iter()
+        .map(|l| LockDigest {
+            name: l.name.clone(),
+            cp_time: l.cp_time,
+            cp_share_ppm: cp_share_ppm(l.cp_time, report.cp_length),
+            invocations_on_cp: l.invocations_on_cp,
+            contended_on_cp: l.contended_on_cp,
+            total_invocations: l.total_invocations,
+            total_wait: l.total_wait,
+            total_hold: l.total_hold,
+        })
+        .collect();
+    // The report is ranked by CP time; the digest is keyed by name so
+    // encoded digests are canonical regardless of ranking ties.
+    locks.sort_by(|a, b| a.name.cmp(&b.name));
+    SessionDigest {
+        key: key.to_string(),
+        app: report.app.clone(),
+        cp_length: report.cp_length,
+        makespan: report.makespan,
+        degraded: report.degraded,
+        locks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use critlock_trace::TraceBuilder;
+
+    fn report() -> AnalysisReport {
+        let mut b = TraceBuilder::new("digest");
+        let l1 = b.lock("hot");
+        let l2 = b.lock("cold");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l1, 4).cs(l2, 1).exit_at(10);
+        b.on(t1).work(1).cs_blocked(l1, 4, 3).work(4).exit();
+        analyze(&b.build().unwrap())
+    }
+
+    #[test]
+    fn digest_preserves_totals_and_sorts_by_name() {
+        let rep = report();
+        let d = digest_report("session-1", &rep);
+        assert_eq!(d.key, "session-1");
+        assert_eq!(d.app, rep.app);
+        assert_eq!(d.cp_length, rep.cp_length);
+        assert_eq!(d.makespan, rep.makespan);
+        let names: Vec<&str> = d.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["cold", "hot"], "digest locks must be name-sorted");
+        let hot = d.locks.iter().find(|l| l.name == "hot").unwrap();
+        let hot_rep = rep.lock_by_name("hot").unwrap();
+        assert_eq!(hot.cp_time, hot_rep.cp_time);
+        assert_eq!(hot.invocations_on_cp, hot_rep.invocations_on_cp);
+        assert_eq!(hot.total_invocations, hot_rep.total_invocations);
+        // Fixed-point share agrees with the float column to ppm accuracy.
+        let expected = (hot_rep.cp_time_frac * 1_000_000.0).round() as i64;
+        assert!((hot.cp_share_ppm as i64 - expected).abs() <= 1);
+    }
+
+    #[test]
+    fn digest_of_empty_report_is_well_formed() {
+        let rep = analyze(&critlock_trace::Trace::default());
+        let d = digest_report("empty", &rep);
+        assert!(d.locks.is_empty());
+        assert_eq!(d.cp_length, 0);
+    }
+}

@@ -46,6 +46,7 @@
 
 pub mod blockers;
 pub mod cp;
+pub mod digest;
 pub mod gantt;
 pub mod metrics;
 pub mod online;
@@ -58,6 +59,7 @@ pub mod window;
 
 pub use blockers::{blocker_report, BlockerReport, BlockingEdge};
 pub use cp::{critical_path, CpSlice, CriticalPath};
+pub use digest::digest_report;
 pub use metrics::{analyze, analyze_profiled, analyze_with, AnalysisReport, LockReport};
 pub use online::{online_analyze, OnlineReport};
 pub use segments::{Segment, SegmentedTrace, StartCause};

@@ -11,10 +11,12 @@
 //! critlock online <trace>
 //! critlock serve [--listen ADDR] [--status ADDR] [--metrics ADDR] [--queue N]
 //!                [--backpressure block|drop] [--journal DIR] [--idle-timeout-ms N]
+//!                [--shards N] [--forward ADDR] [--collector-id ID]
 //! critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS] [--retries N]
 //!                [--fault-plan NAME|SPEC]
 //! critlock status --at ADDR [--json] [--timeout SECS]
 //! critlock metrics <addr> [--timeout SECS]
+//! critlock aggregate [INPUT...] [--at ADDR] [--json] [--top N] [--out FILE]
 //! ```
 
 mod args;
@@ -73,7 +75,8 @@ USAGE:
                  [--backpressure block|drop] [--interval-ms N]
                  [--journal DIR] [--idle-timeout-ms N] [--threads N]
                  [--strict] [--max-sessions N] [--session-quota-bytes N]
-                 [--max-events N]
+                 [--max-events N] [--shards N] [--forward ADDR]
+                 [--forward-interval-ms N] [--collector-id ID]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
       --status. With --journal, every accepted frame is logged to a
@@ -87,6 +90,13 @@ USAGE:
       sessions are truncated and marked degraded (default) or
       disconnected (--strict). With --metrics, collector-wide counters,
       gauges and latency histograms are served Prometheus-style on ADDR.
+      --shards N splits ingestion into N independent worker shards
+      (sessions route by resume-token hash; per-shard counters appear in
+      status and as labelled metrics). --forward ADDR pushes this
+      collector's rollup to a parent collector's status socket every
+      --forward-interval-ms (default 500), forming an aggregation tree;
+      give each child a distinct --collector-id so anonymous sessions
+      stay distinct in the fleet aggregate.
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -104,6 +114,18 @@ USAGE:
   critlock metrics <addr> [--timeout SECS]
       Scrape a collector's metrics endpoint (Prometheus exposition
       format). <addr> is the collector's --metrics address.
+  critlock aggregate [INPUT...] [--at ADDR] [--json] [--top N] [--out FILE]
+                     [--timeout SECS]
+      Merge per-session critical-lock rankings into one fleet-wide
+      report: which locks are critical in what fraction of sessions, and
+      their mean critical-path share. INPUTs are CLAG rollup files
+      (*.clag, as written by --out or a collector) and/or recorded
+      traces, which are analyzed and digested on the fly; --at fetches a
+      live collector's rollup (repeatable via multiple invocations and
+      --out, since merging is idempotent). --out saves the merged rollup
+      as a CLAG file for later (re-)aggregation. The report is
+      deterministic: byte-identical for the same set of sessions, no
+      matter how they were sharded, ordered or batched.
 ";
 
 fn main() -> ExitCode {
@@ -140,6 +162,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "push" => cmd_push(&p),
         "status" => cmd_status(&p),
         "metrics" => cmd_metrics(&p),
+        "aggregate" => cmd_aggregate(&p),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -451,6 +474,18 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
         config.max_events = Some(v.parse().map_err(|_| format!("invalid --max-events: {v}"))?);
     }
     config.strict = p.flag("strict");
+    config.shards = p.get_or("shards", config.shards)?;
+    if config.shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    if let Some(parent) = p.options.get("forward") {
+        config.forward = Some(parse_addr(parent)?);
+    }
+    config.forward_interval =
+        std::time::Duration::from_millis(p.get_or("forward-interval-ms", 500u64)?);
+    if let Some(id) = p.options.get("collector-id") {
+        config.collector_id = id.clone();
+    }
 
     let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;
     println!("critlock collector: ingest on {}", handle.ingest_addr());
@@ -543,6 +578,59 @@ fn cmd_metrics(p: &args::Parsed) -> Result<String, String> {
         ));
     }
     Ok(reply)
+}
+
+fn cmd_aggregate(p: &args::Parsed) -> Result<String, String> {
+    use critlock_aggregate::FleetReport;
+    use critlock_trace::rollup::Rollup;
+
+    let timeout = match p.options.get("timeout") {
+        Some(s) => Some(std::time::Duration::from_secs(
+            s.parse().map_err(|_| format!("invalid --timeout: {s}"))?,
+        )),
+        None => None,
+    };
+    let mut rollup = Rollup::new();
+    for input in &p.positionals {
+        if input.ends_with(".clag") {
+            let part = Rollup::load(input).map_err(|e| format!("cannot load {input}: {e}"))?;
+            rollup.merge(&part);
+        } else {
+            // A recorded trace: analyze it here and digest the report,
+            // keyed by its path — the same digest a collector would
+            // publish for the session.
+            let trace = load_trace(input)?;
+            rollup.insert(critlock_analysis::digest_report(input, &analyze(&trace)));
+        }
+    }
+    if let Some(at) = p.options.get("at") {
+        let addr = parse_addr(at)?;
+        let part = critlock_collector::fetch_rollup(&addr, timeout)
+            .map_err(|e| format!("rollup fetch from {addr} failed: {e}"))?;
+        rollup.merge(&part);
+    }
+    if p.positionals.is_empty() && !p.options.contains_key("at") {
+        return Err("nothing to aggregate: give CLAG/trace inputs and/or --at ADDR".into());
+    }
+
+    let mut out = String::new();
+    if let Some(path) = p.options.get("out") {
+        rollup.save(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("wrote rollup ({} session(s)) to {path}\n", rollup.len()));
+    }
+    let report = FleetReport::from_rollup(&rollup);
+    if p.flag("json") {
+        out.push_str(&report.to_json());
+        return Ok(out);
+    }
+    let top = p
+        .options
+        .get("top")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| "invalid --top".to_string())?;
+    out.push_str(&report.render_text(top));
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 use crate::faults::{FaultState, FaultStream};
 use crate::net::{Addr, Stream};
 use crate::snapshot::CollectorStatus;
+use critlock_trace::rollup::Rollup;
 use critlock_trace::stream::{read_ack, trace_frames, Frame, Handshake, StreamWriter};
 use critlock_trace::{FaultPlan, RetryPolicy, Trace};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -291,6 +292,54 @@ pub fn fetch_metrics_text(addr: &Addr, timeout: Option<Duration>) -> io::Result<
     let mut reply = String::new();
     BufReader::new(stream).read_to_string(&mut reply)?;
     Ok(reply)
+}
+
+/// Fetch a collector's CLAG rollup over the status socket: every session
+/// the collector tracks, digested, merged with anything its children
+/// forwarded up. `timeout` bounds connect and socket I/O.
+pub fn fetch_rollup(addr: &Addr, timeout: Option<Duration>) -> io::Result<Rollup> {
+    let mut stream = match timeout {
+        Some(t) => Stream::connect_timeout(addr, t)?,
+        None => Stream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    stream.write_all(b"rollup\n")?;
+    stream.flush()?;
+    stream.shutdown_write()?;
+    let mut reply = Vec::new();
+    BufReader::new(stream).read_to_end(&mut reply)?;
+    Rollup::from_bytes(&reply).map_err(to_io)
+}
+
+/// Push a CLAG rollup into a parent collector over its status socket
+/// (the `rollup-push` request a forwarding child issues). Returns the
+/// number of sessions the parent merged. The parent's merge is
+/// idempotent, so re-pushing after an error is always safe.
+pub fn push_rollup(addr: &Addr, rollup: &Rollup, timeout: Option<Duration>) -> io::Result<u64> {
+    let mut stream = match timeout {
+        Some(t) => Stream::connect_timeout(addr, t)?,
+        None => Stream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let bytes = rollup.to_bytes();
+    stream.write_all(format!("rollup-push {}\n", bytes.len()).as_bytes())?;
+    stream.write_all(&bytes)?;
+    stream.flush()?;
+    stream.shutdown_write()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply)?;
+    let reply = reply.trim();
+    match reply.strip_prefix("ok ") {
+        Some(n) => n
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad rollup-push reply")),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("rollup-push rejected: {reply}"),
+        )),
+    }
 }
 
 /// Fetch and parse the JSON status.

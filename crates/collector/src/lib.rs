@@ -60,13 +60,13 @@ pub mod snapshot;
 
 pub use assembler::{repair, SessionAssembler};
 pub use client::{
-    fetch_metrics_text, fetch_status, fetch_status_text, fetch_status_text_timeout,
-    fetch_status_timeout, push, push_with, PushOptions,
+    fetch_metrics_text, fetch_rollup, fetch_status, fetch_status_text, fetch_status_text_timeout,
+    fetch_status_timeout, push, push_rollup, push_with, PushOptions,
 };
 pub use faults::{FaultState, FaultStream};
 pub use journal::{recover_dir, RecoveredSession, SessionJournal};
-pub use metrics::{CollectorMetrics, JournalCounters};
+pub use metrics::{CollectorMetrics, JournalCounters, ShardMetrics};
 pub use net::{Addr, Listener, Stream};
 pub use queue::{Backpressure, FrameQueue};
 pub use server::{start, CollectorConfig, CollectorHandle};
-pub use snapshot::{CollectorStatus, SessionSnapshot};
+pub use snapshot::{CollectorStatus, SessionSnapshot, ShardStatus};

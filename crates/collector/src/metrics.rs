@@ -33,6 +33,33 @@ pub struct JournalCounters {
     pub syncs: Counter,
 }
 
+/// Per-shard metric handles, one set per ingestion shard, registered as
+/// labelled series (`critlock_shard_sessions_total{shard="3"}`) so a
+/// scrape shows the fleet split alongside the collector-wide totals.
+/// Shard counters are the *source of truth* for the per-shard status
+/// lines: the status endpoint reads them back with [`Counter::get`].
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Sessions accepted (or recovered) into this shard.
+    pub sessions_total: Counter,
+    /// Connections on this shard severed by the idle timeout.
+    pub sessions_timed_out: Counter,
+    /// Reconnections that resumed one of this shard's sessions.
+    pub sessions_resumed: Counter,
+    /// Sessions recovered into this shard from journals at startup.
+    pub sessions_recovered: Counter,
+    /// Connections shed by this shard's admission cap.
+    pub sessions_shed: Counter,
+    /// Sessions on this shard stopped by the byte quota.
+    pub sessions_quota_stopped: Counter,
+    /// Sessions currently tracked by this shard (scrape-time gauge).
+    pub sessions_active: Gauge,
+    /// Frames currently queued across this shard's sessions.
+    pub queue_depth: Gauge,
+    /// Deepest any of this shard's session queues has ever been.
+    pub queue_high_water: Gauge,
+}
+
 /// Handles for every metric the collector maintains. Cloning is cheap
 /// (shared atomics) — each session holds a clone.
 #[derive(Debug, Clone)]
@@ -205,6 +232,62 @@ impl CollectorMetrics {
                 DEFAULT_LATENCY_BOUNDS_NS,
             ),
             registry: r,
+        }
+    }
+
+    /// Register (or re-attach to) the labelled metric set for shard
+    /// `index`. Label values make series names unique, so calling this
+    /// twice for the same index yields handles on the same atomics.
+    pub fn shard(&self, index: usize) -> ShardMetrics {
+        let r = &self.registry;
+        let idx = index.to_string();
+        let labels: &[(&str, &str)] = &[("shard", idx.as_str())];
+        ShardMetrics {
+            sessions_total: r.counter_with(
+                "critlock_shard_sessions_total",
+                labels,
+                "Sessions accepted or recovered, by ingestion shard",
+            ),
+            sessions_timed_out: r.counter_with(
+                "critlock_shard_sessions_timed_out_total",
+                labels,
+                "Connections severed by the idle timeout, by ingestion shard",
+            ),
+            sessions_resumed: r.counter_with(
+                "critlock_shard_sessions_resumed_total",
+                labels,
+                "Reconnections that resumed a session, by ingestion shard",
+            ),
+            sessions_recovered: r.counter_with(
+                "critlock_shard_sessions_recovered_total",
+                labels,
+                "Sessions recovered from journals at startup, by ingestion shard",
+            ),
+            sessions_shed: r.counter_with(
+                "critlock_shard_sessions_shed_total",
+                labels,
+                "Connections shed by the per-shard admission cap",
+            ),
+            sessions_quota_stopped: r.counter_with(
+                "critlock_shard_sessions_quota_stopped_total",
+                labels,
+                "Sessions stopped by the byte quota, by ingestion shard",
+            ),
+            sessions_active: r.gauge_with(
+                "critlock_shard_sessions_active",
+                labels,
+                "Currently tracked sessions, by ingestion shard",
+            ),
+            queue_depth: r.gauge_with(
+                "critlock_shard_queue_depth",
+                labels,
+                "Frames currently queued, by ingestion shard",
+            ),
+            queue_high_water: r.gauge_with(
+                "critlock_shard_queue_high_water",
+                labels,
+                "Deepest any session queue has ever been, by ingestion shard",
+            ),
         }
     }
 

@@ -1,5 +1,6 @@
 //! The collector daemon: sharded session ingestion plus the incremental
-//! analysis loop and the status endpoint.
+//! analysis loop, the status endpoint and cross-collector rollup
+//! forwarding.
 //!
 //! Thread layout:
 //!
@@ -7,12 +8,23 @@
 //!   *session reader* thread, which performs the stream handshake
 //!   (magic + protocol version + resume token) and then decodes frames
 //!   into that session's bounded [`FrameQueue`];
-//! * one *analysis* thread periodically drains every session's queue into
-//!   its [`SessionAssembler`] and republishes [`SessionSnapshot`]s at the
-//!   configured interval;
+//! * sessions are partitioned across `N = config.shards` independent
+//!   **shards** — token sessions by a stable hash of the token, anonymous
+//!   sessions by id — each shard owning its own session map, journal
+//!   subdirectory, admission slice of `max_sessions` and analysis thread;
+//! * one *analysis* thread **per shard** periodically drains its shard's
+//!   queues into [`SessionAssembler`]s and republishes
+//!   [`SessionSnapshot`]s at the configured interval;
 //! * an optional *status* thread answers `status` / `status json`
 //!   one-shot requests, refreshing dirty sessions on demand so a request
-//!   issued after a push completed always sees the final analysis.
+//!   issued after a push completed always sees the final analysis. The
+//!   same socket speaks the rollup protocol: `rollup` replies with the
+//!   collector's CLAG rollup (every session digested, merged with
+//!   anything child collectors pushed up), and `rollup-push LEN` + LEN
+//!   CLAG bytes merges a child's rollup into this collector;
+//! * with [`CollectorConfig::forward`] set, a *forwarder* thread
+//!   periodically pushes this collector's rollup to a parent collector's
+//!   status socket, forming an aggregation tree.
 //!
 //! Backpressure is per session: `Block` parks the reader thread on the
 //! full queue, which stops it draining the socket, which closes the TCP
@@ -33,17 +45,21 @@
 //! frame is appended to a per-session write-ahead journal *before* it is
 //! queued (and therefore before it is ever acknowledged), and a restarted
 //! collector recovers all journaled sessions — acknowledged frames
-//! survive a collector crash.
+//! survive a collector crash. Rollup forwarding is best-effort and
+//! idempotent: the merge is a set union keyed by session, so a child that
+//! re-pushes after a failed or partial forward never double-counts.
 
 use crate::assembler::SessionAssembler;
 use crate::journal::{self, SessionJournal};
-use crate::metrics::CollectorMetrics;
+use crate::metrics::{CollectorMetrics, ShardMetrics};
 use crate::net::{Addr, Listener, Stream};
 use crate::queue::{Backpressure, FrameQueue};
-use crate::snapshot::{CollectorStatus, SessionSnapshot};
+use crate::snapshot::{CollectorStatus, SessionSnapshot, ShardStatus};
+use critlock_analysis::digest_report;
+use critlock_trace::rollup::{Rollup, MAX_ROLLUP_LEN};
 use critlock_trace::stream::{write_ack, Frame, StreamReader, STREAM_VERSION};
 use critlock_trace::{Trace, TraceError};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -73,13 +89,19 @@ pub struct CollectorConfig {
     pub idle_timeout: Option<Duration>,
     /// Directory for per-session write-ahead journals. `None` disables
     /// journaling (a collector crash then loses in-flight sessions).
+    /// With more than one shard, each shard journals into its own
+    /// `shard-N/` subdirectory; recovery scans the root and every
+    /// subdirectory, so restarting with a different shard count loses
+    /// nothing.
     pub journal_dir: Option<PathBuf>,
-    /// Worker threads for the snapshot analysis pipeline. `None` uses the
-    /// host's available parallelism. Snapshot contents are bit-identical
-    /// at any thread count; this only trades latency for CPU.
+    /// Worker threads for the snapshot analysis pipeline, divided across
+    /// shards. `None` uses the host's available parallelism. Snapshot
+    /// contents are bit-identical at any thread count; this only trades
+    /// latency for CPU.
     pub analysis_threads: Option<usize>,
-    /// Admission control: cap on concurrently tracked sessions. A new
-    /// producer arriving at the cap is *shed* — its connection is closed
+    /// Admission control: cap on concurrently tracked sessions, enforced
+    /// per shard as `ceil(max_sessions / shards)`. A new producer
+    /// arriving at its shard's cap is *shed* — its connection is closed
     /// before a session is created — and counted in the status report.
     /// `None` admits everyone.
     pub max_sessions: Option<usize>,
@@ -98,12 +120,31 @@ pub struct CollectorConfig {
     /// connection severed, so the producer sees a hard error rather than
     /// a silently shortened analysis.
     pub strict: bool,
+    /// Number of independent ingestion shards. Sessions are routed by a
+    /// stable hash of the resume token (anonymous sessions by id), so a
+    /// resuming producer always lands on the shard that owns its
+    /// session. `1` (the default) reproduces unsharded behavior exactly,
+    /// including the journal directory layout.
+    pub shards: usize,
+    /// Status address of a **parent** collector to forward this
+    /// collector's rollup to, forming an aggregation tree. `None`
+    /// disables forwarding.
+    pub forward: Option<Addr>,
+    /// How often the forwarder pushes the rollup upstream. Failed pushes
+    /// are retried on the next tick; the merge is idempotent, so
+    /// re-sending after a partial forward is safe.
+    pub forward_interval: Duration,
+    /// Identity prefix for anonymous sessions in rollups
+    /// (`<collector_id>/anon-<id>`). Give each collector in a fleet a
+    /// distinct id, or anonymous sessions from different collectors
+    /// collide in the aggregate. Token sessions use the token itself.
+    pub collector_id: String,
 }
 
 impl CollectorConfig {
     /// A config with defaults suitable for tests and local profiling:
     /// 256-frame queues, blocking backpressure, 200 ms snapshots, no idle
-    /// timeout, no journal.
+    /// timeout, no journal, one shard, no forwarding.
     pub fn new(ingest_addr: Addr) -> Self {
         CollectorConfig {
             ingest_addr,
@@ -120,6 +161,10 @@ impl CollectorConfig {
             session_quota_bytes: None,
             max_events: None,
             strict: false,
+            shards: 1,
+            forward: None,
+            forward_interval: Duration::from_millis(500),
+            collector_id: "collector".to_string(),
         }
     }
 
@@ -166,6 +211,8 @@ struct SessionState {
     quota_counted: AtomicBool,
     /// Collector-wide metric handles (shared atomics; cheap clone).
     metrics: CollectorMetrics,
+    /// Labelled metric handles of the shard that owns this session.
+    shard_metrics: ShardMetrics,
 }
 
 impl SessionState {
@@ -238,28 +285,65 @@ impl SessionState {
         let published = self.snapshot.lock().unwrap_or_else(|e| e.into_inner()).clone();
         published.unwrap_or_else(|| self.refresh_snapshot())
     }
+
+    /// The key this session carries in rollups: the resume token when it
+    /// has one (fleet-unique by construction of auto-tokens), otherwise
+    /// `<collector_id>/anon-<id>`.
+    fn rollup_key(&self, collector_id: &str) -> String {
+        if self.token.is_empty() {
+            format!("{collector_id}/anon-{}", self.id)
+        } else {
+            String::from_utf8_lossy(&self.token).into_owned()
+        }
+    }
+}
+
+/// One ingestion shard: an independent session map with its own journal
+/// directory, admission slice and analysis thread. All cross-session
+/// state a reader thread touches lives in exactly one shard, so sessions
+/// on different shards never contend on a shared map lock.
+struct Shard {
+    index: usize,
+    sessions: Mutex<Vec<Arc<SessionState>>>,
+    /// Where this shard's journals live (`journal_dir` itself for a
+    /// single-shard collector, `journal_dir/shard-N` otherwise).
+    journal_dir: Option<PathBuf>,
+    /// Labelled per-shard counters/gauges; also the source of truth for
+    /// the per-shard status lines.
+    metrics: ShardMetrics,
+}
+
+/// FNV-1a over the resume token: the stable shard router. Anything
+/// stable works, but it must never change across versions or a resuming
+/// producer would land on a shard that does not own its session.
+fn token_shard(token: &[u8], shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in token {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
 }
 
 struct Shared {
-    sessions: Mutex<Vec<Arc<SessionState>>>,
+    shards: Vec<Shard>,
     /// Dedicated session-id allocator, seeded past any `anon-N` journal
-    /// of an earlier run. Kept separate from [`Shared::sessions_total`]:
-    /// the two used to be one atomic, which made the status counter wrong
+    /// of an earlier run. Kept separate from the statistics counters: the
+    /// two used to be one atomic, which made the status counter wrong
     /// after journal recovery and let concurrently admitted sessions
     /// observe ids that double as (skewed) statistics.
     next_session_id: AtomicU64,
-    /// Pure statistic: sessions accepted (or recovered) over the
-    /// collector's lifetime. Never used for id assignment.
-    sessions_total: AtomicU64,
+    /// Connections rejected at the handshake. Global, not per shard: a
+    /// rejected connection never presented a token, so it has no shard.
     rejected_sessions: AtomicU64,
-    timed_out_sessions: AtomicU64,
-    resumed_sessions: AtomicU64,
-    recovered_sessions: AtomicU64,
-    shed_sessions: AtomicU64,
-    quota_stopped_sessions: AtomicU64,
+    /// Rollups pushed up by child collectors, merged as they arrive.
+    /// Served back (merged with this collector's own sessions) on
+    /// `rollup` requests and forwarded upstream by the forwarder.
+    received_rollup: Mutex<Rollup>,
     shutdown: AtomicBool,
     /// Analysis-loop pass counter + condvar: [`CollectorHandle::wait_until`]
-    /// sleeps here instead of spinning on wall-clock polls.
+    /// sleeps here instead of spinning on wall-clock polls. Every shard's
+    /// analysis loop bumps it.
     passes: Mutex<u64>,
     progress: Condvar,
     config: CollectorConfig,
@@ -267,20 +351,74 @@ struct Shared {
 }
 
 impl Shared {
+    /// The shard that owns (or will own) a session. Token sessions hash
+    /// the token so reconnects find their session; anonymous sessions
+    /// spread by id.
+    fn shard_for(&self, token: &[u8], id: u64) -> &Shard {
+        let n = self.shards.len();
+        let index = if token.is_empty() { (id % n as u64) as usize } else { token_shard(token, n) };
+        &self.shards[index]
+    }
+
+    /// Every tracked session across all shards, ordered by session id.
+    fn all_sessions(&self) -> Vec<Arc<SessionState>> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.sessions.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned());
+        }
+        all.sort_by_key(|s| s.id);
+        all
+    }
+
     fn status(&self) -> CollectorStatus {
-        let sessions: Vec<Arc<SessionState>> =
-            self.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut shard_statuses = Vec::with_capacity(self.shards.len());
+        let mut snaps = Vec::new();
+        for shard in &self.shards {
+            let sessions: Vec<Arc<SessionState>> =
+                shard.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            let m = &shard.metrics;
+            shard_statuses.push(ShardStatus {
+                shard: shard.index as u64,
+                sessions: sessions.len() as u64,
+                sessions_total: m.sessions_total.get(),
+                timed_out_sessions: m.sessions_timed_out.get(),
+                resumed_sessions: m.sessions_resumed.get(),
+                recovered_sessions: m.sessions_recovered.get(),
+                shed_sessions: m.sessions_shed.get(),
+                quota_stopped_sessions: m.sessions_quota_stopped.get(),
+                queue_depth: sessions.iter().map(|s| s.queue.depth() as u64).sum(),
+                queue_high_water: sessions.iter().map(|s| s.queue.high_water()).max().unwrap_or(0),
+            });
+            snaps.extend(sessions.iter().map(|s| s.current_snapshot()));
+        }
+        snaps.sort_by_key(|s| s.session);
+        let sum = |f: fn(&ShardStatus) -> u64| shard_statuses.iter().map(f).sum::<u64>();
         CollectorStatus {
             protocol_version: STREAM_VERSION,
-            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            sessions_total: sum(|s| s.sessions_total),
             rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
-            timed_out_sessions: self.timed_out_sessions.load(Ordering::Relaxed),
-            resumed_sessions: self.resumed_sessions.load(Ordering::Relaxed),
-            recovered_sessions: self.recovered_sessions.load(Ordering::Relaxed),
-            shed_sessions: self.shed_sessions.load(Ordering::Relaxed),
-            quota_stopped_sessions: self.quota_stopped_sessions.load(Ordering::Relaxed),
-            sessions: sessions.iter().map(|s| s.current_snapshot()).collect(),
+            timed_out_sessions: sum(|s| s.timed_out_sessions),
+            resumed_sessions: sum(|s| s.resumed_sessions),
+            recovered_sessions: sum(|s| s.recovered_sessions),
+            shed_sessions: sum(|s| s.shed_sessions),
+            quota_stopped_sessions: sum(|s| s.quota_stopped_sessions),
+            shards: shard_statuses,
+            sessions: snaps,
         }
+    }
+
+    /// This collector's CLAG rollup: every tracked session digested at
+    /// its current snapshot, merged over anything child collectors have
+    /// pushed up. Deterministic for quiesced sessions — the digest is
+    /// taken from the same snapshot `status` serves.
+    fn rollup(&self) -> Rollup {
+        let mut rollup = self.received_rollup.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        for session in self.all_sessions() {
+            let snap = session.current_snapshot();
+            let key = session.rollup_key(&self.config.collector_id);
+            rollup.insert(digest_report(&key, &snap.report));
+        }
+        rollup
     }
 
     fn bump_pass(&self) {
@@ -292,12 +430,25 @@ impl Shared {
     /// Deliberately avoids session assembler locks: only queue counters
     /// and atomics are read, so a scrape never contends with analysis.
     fn render_metrics(&self) -> String {
-        let sessions: Vec<Arc<SessionState>> =
-            self.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut active = 0u64;
+        let mut depth = 0u64;
+        let mut high_water = 0u64;
+        for shard in &self.shards {
+            let sessions: Vec<Arc<SessionState>> =
+                shard.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            let shard_depth: u64 = sessions.iter().map(|s| s.queue.depth() as u64).sum();
+            let shard_high = sessions.iter().map(|s| s.queue.high_water()).max().unwrap_or(0);
+            shard.metrics.sessions_active.set(sessions.len() as u64);
+            shard.metrics.queue_depth.set(shard_depth);
+            shard.metrics.queue_high_water.set(shard_high);
+            active += sessions.len() as u64;
+            depth += shard_depth;
+            high_water = high_water.max(shard_high);
+        }
         let m = &self.metrics;
-        m.sessions_active.set(sessions.len() as u64);
-        m.queue_depth.set(sessions.iter().map(|s| s.queue.depth() as u64).sum());
-        m.queue_high_water.set(sessions.iter().map(|s| s.queue.high_water()).max().unwrap_or(0));
+        m.sessions_active.set(active);
+        m.queue_depth.set(depth);
+        m.queue_high_water.set(high_water);
         m.registry.render_prometheus()
     }
 }
@@ -333,6 +484,12 @@ impl CollectorHandle {
     /// socket serves.
     pub fn status(&self) -> CollectorStatus {
         self.shared.status()
+    }
+
+    /// Compute the current CLAG rollup in-process — the same bytes the
+    /// status socket serves for a `rollup` request.
+    pub fn rollup(&self) -> Rollup {
+        self.shared.rollup()
     }
 
     /// Render the metrics in-process — the same text the metrics socket
@@ -392,9 +549,7 @@ impl CollectorHandle {
 
     /// The finalized (repaired) trace of a session, if it exists.
     pub fn session_trace(&self, session: u64) -> Option<Trace> {
-        let sessions = self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        let state = sessions.iter().find(|s| s.id == session)?.clone();
-        drop(sessions);
+        let state = self.shared.all_sessions().into_iter().find(|s| s.id == session)?;
         state.apply_pending();
         let asm = state.asm.lock().unwrap_or_else(|e| e.into_inner());
         Some(asm.finalize())
@@ -407,7 +562,7 @@ impl CollectorHandle {
         self.stop();
         // Graceful drain: fold anything the analysis loop left behind and
         // make every journal durable.
-        for session in self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        for session in self.shared.all_sessions() {
             session.apply_pending();
             if session.dirty.load(Ordering::Acquire) {
                 session.refresh_snapshot();
@@ -432,7 +587,7 @@ impl CollectorHandle {
         self.shared.shutdown.store(true, Ordering::Release);
         // Sever live connections and unblock any reader parked on a full
         // queue, then poke the accept loops so they notice the flag.
-        for session in self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        for session in self.shared.all_sessions() {
             if let Some(conn) = session.conn.lock().unwrap_or_else(|e| e.into_inner()).take() {
                 let _ = conn.shutdown_both();
             }
@@ -467,9 +622,35 @@ fn max_anon_index(dir: &std::path::Path) -> u64 {
         .unwrap_or(0)
 }
 
+/// Every directory journals may live in under `root`: the root itself
+/// (the single-shard layout, and legacy journals after a shard-count
+/// change) plus any existing `shard-N/` subdirectory — including shards
+/// beyond the current count, so scaling *down* loses nothing.
+fn journal_dirs(root: &std::path::Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.to_path_buf()];
+    if let Ok(entries) = std::fs::read_dir(root) {
+        let mut subs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .and_then(|n| n.strip_prefix("shard-"))
+                        .is_some_and(|n| n.parse::<u64>().is_ok())
+            })
+            .collect();
+        subs.sort();
+        dirs.extend(subs);
+    }
+    dirs
+}
+
 /// Bind the configured addresses, recover journaled sessions (if a
 /// journal directory is configured) and start the daemon threads.
 pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
+    let mut config = config;
+    config.shards = config.shards.max(1);
     let ingest = Listener::bind(&config.ingest_addr)?;
     let ingest_addr = ingest.bound_addr()?;
     let status_listener = match &config.status_addr {
@@ -490,27 +671,46 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
     };
     let metrics = CollectorMetrics::new();
 
-    // Crash recovery: replay every journal in the directory into a
-    // pre-populated session before any producer can connect.
+    // Crash recovery: replay every journal under the directory (root and
+    // any shard subdirectory) into a pre-populated session before any
+    // producer can connect.
     let mut recovered = Vec::new();
     let mut first_id = 0u64;
-    if let Some(dir) = &config.journal_dir {
-        std::fs::create_dir_all(dir)?;
-        first_id = max_anon_index(dir);
-        let (sessions, _unreadable) = journal::recover_dir(dir)?;
-        recovered = sessions;
+    if let Some(root) = &config.journal_dir {
+        std::fs::create_dir_all(root)?;
+        for dir in journal_dirs(root) {
+            first_id = first_id.max(max_anon_index(&dir));
+            let (sessions, _unreadable) = journal::recover_dir(&dir)?;
+            recovered.extend(sessions);
+        }
     }
 
+    let shards = (0..config.shards)
+        .map(|index| {
+            let journal_dir = config.journal_dir.as_ref().map(|root| {
+                if config.shards == 1 {
+                    root.clone()
+                } else {
+                    root.join(format!("shard-{index}"))
+                }
+            });
+            if let Some(dir) = &journal_dir {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            Shard {
+                index,
+                sessions: Mutex::new(Vec::new()),
+                journal_dir,
+                metrics: metrics.shard(index),
+            }
+        })
+        .collect();
+
     let shared = Arc::new(Shared {
-        sessions: Mutex::new(Vec::new()),
+        shards,
         next_session_id: AtomicU64::new(first_id),
-        sessions_total: AtomicU64::new(0),
         rejected_sessions: AtomicU64::new(0),
-        timed_out_sessions: AtomicU64::new(0),
-        resumed_sessions: AtomicU64::new(0),
-        recovered_sessions: AtomicU64::new(0),
-        shed_sessions: AtomicU64::new(0),
-        quota_stopped_sessions: AtomicU64::new(0),
+        received_rollup: Mutex::new(Rollup::new()),
         shutdown: AtomicBool::new(false),
         passes: Mutex::new(0),
         progress: Condvar::new(),
@@ -520,7 +720,8 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
 
     for mut rec in recovered {
         let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
-        shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+        let shard = shared.shard_for(&rec.token, id);
+        shard.metrics.sessions_total.inc();
         metrics.sessions_started.inc();
         let peer = format!(
             "journal:{}",
@@ -537,7 +738,7 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         let session = Arc::new(SessionState {
             id,
             peer,
-            token: rec.token,
+            token: rec.token.clone(),
             queue: FrameQueue::new(config.queue_capacity, config.backpressure),
             asm: Mutex::new(asm),
             dirty: AtomicBool::new(true),
@@ -550,9 +751,10 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
             over_quota: AtomicBool::new(false),
             quota_counted: AtomicBool::new(false),
             metrics: metrics.clone(),
+            shard_metrics: shard.metrics.clone(),
         });
-        shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(session);
-        shared.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+        shard.sessions.lock().unwrap_or_else(|e| e.into_inner()).push(session);
+        shard.metrics.sessions_recovered.inc();
         metrics.sessions_recovered.inc();
     }
 
@@ -562,9 +764,9 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || accept_loop(ingest, shared)));
     }
-    {
+    for index in 0..shared.shards.len() {
         let shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || analysis_loop(shared)));
+        threads.push(std::thread::spawn(move || analysis_loop(shared, index)));
     }
     if let Some(listener) = status_listener {
         let shared = Arc::clone(&shared);
@@ -573,6 +775,10 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
     if let Some(listener) = metrics_listener {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || metrics_loop(listener, shared)));
+    }
+    if shared.config.forward.is_some() {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || forward_loop(shared)));
     }
 
     Ok(CollectorHandle { ingest_addr, status_addr, metrics_addr, shared, threads })
@@ -600,18 +806,24 @@ enum Claim {
     Attached(Arc<SessionState>, bool),
     /// The session exists but another connection already owns it.
     Busy,
-    /// Admission control: the collector is at `max_sessions`, the
+    /// Admission control: the owning shard is at its session cap, the
     /// connection was shed before a session was created.
     Shed,
 }
 
 /// Look up the session a resumable handshake refers to, or create a new
-/// session (resumable or anonymous). Session ids come from the dedicated
-/// [`Shared::next_session_id`] allocator — never from the statistics
-/// counters — so concurrent connects always get unique, monotonic ids.
+/// session (resumable or anonymous) in its shard. Session ids come from
+/// the dedicated [`Shared::next_session_id`] allocator — never from the
+/// statistics counters — so concurrent connects always get unique,
+/// monotonic ids. The owning shard's map lock is held across the
+/// lookup-or-create, so two concurrent claims of one token cannot both
+/// create; claims on different shards never contend.
 fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
-    let mut sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
     if !token.is_empty() {
+        // Token sessions route by the token hash — no id needed, so a
+        // resume (the common reconnect path) allocates nothing.
+        let shard = shared.shard_for(token, 0);
+        let sessions = shard.sessions.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(session) = sessions.iter().find(|s| s.token == token).cloned() {
             drop(sessions);
             if session.attached.swap(true, Ordering::AcqRel) {
@@ -621,16 +833,62 @@ fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
             }
             return Claim::Attached(session, true);
         }
+        if shard_at_cap(shared, shard, sessions.len()) {
+            return Claim::Shed;
+        }
+        let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        return create_session(shared, shard, sessions, id, token, peer);
     }
-    if shared.config.max_sessions.is_some_and(|max| sessions.len() >= max) {
-        shared.shed_sessions.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.sessions_shed.inc();
+    if shared.shards.len() == 1 {
+        // Anonymous, single shard: cap first, then allocate — exactly
+        // the unsharded collector's order, so shed connections burn no
+        // session id.
+        let shard = &shared.shards[0];
+        let sessions = shard.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        if shard_at_cap(shared, shard, sessions.len()) {
+            return Claim::Shed;
+        }
+        let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        return create_session(shared, shard, sessions, id, token, peer);
+    }
+    // Anonymous, multiple shards: routed by id, so the id must exist
+    // before the shard is known; an id burned on a shed connection is
+    // harmless (ids only need to be unique and monotonic).
+    let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+    let shard = shared.shard_for(token, id);
+    let sessions = shard.sessions.lock().unwrap_or_else(|e| e.into_inner());
+    if shard_at_cap(shared, shard, sessions.len()) {
         return Claim::Shed;
     }
-    let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
-    shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    create_session(shared, shard, sessions, id, token, peer)
+}
+
+/// Admission is per shard: each shard owns an equal slice of the global
+/// cap, so one hot shard cannot starve the others' admission. Counts the
+/// shed on both the shard and the collector-wide counter.
+fn shard_at_cap(shared: &Shared, shard: &Shard, tracked: usize) -> bool {
+    let cap = shared.config.max_sessions.map(|max| max.div_ceil(shared.shards.len()));
+    if cap.is_some_and(|cap| tracked >= cap) {
+        shard.metrics.sessions_shed.inc();
+        shared.metrics.sessions_shed.inc();
+        return true;
+    }
+    false
+}
+
+/// Build a new session in `shard` (whose map lock the caller holds) and
+/// attach the calling connection to it.
+fn create_session(
+    shared: &Arc<Shared>,
+    shard: &Shard,
+    mut sessions: std::sync::MutexGuard<'_, Vec<Arc<SessionState>>>,
+    id: u64,
+    token: &[u8],
+    peer: String,
+) -> Claim {
+    shard.metrics.sessions_total.inc();
     shared.metrics.sessions_started.inc();
-    let journal = shared.config.journal_dir.as_deref().and_then(|dir| {
+    let journal = shard.journal_dir.as_deref().and_then(|dir| {
         // A journal that cannot be created degrades the session to
         // unjournaled rather than refusing the producer.
         SessionJournal::create(dir, token, id).ok().map(|mut j| {
@@ -659,6 +917,7 @@ fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
         over_quota: AtomicBool::new(false),
         quota_counted: AtomicBool::new(false),
         metrics: shared.metrics.clone(),
+        shard_metrics: shard.metrics.clone(),
     });
     sessions.push(Arc::clone(&session));
     Claim::Attached(session, false)
@@ -689,7 +948,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
         Claim::Busy | Claim::Shed => return,
     };
     if resumed {
-        shared.resumed_sessions.fetch_add(1, Ordering::Relaxed);
+        session.shard_metrics.sessions_resumed.inc();
         shared.metrics.sessions_resumed.inc();
     }
     *session.conn.lock().unwrap_or_else(|e| e.into_inner()) = ack_conn;
@@ -736,7 +995,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
                         metrics.frames_quota_dropped.inc();
                         session.over_quota.store(true, Ordering::Release);
                         if !session.quota_counted.swap(true, Ordering::AcqRel) {
-                            shared.quota_stopped_sessions.fetch_add(1, Ordering::Relaxed);
+                            session.shard_metrics.sessions_quota_stopped.inc();
                             metrics.sessions_quota_stopped.inc();
                         }
                         quota_cut = true;
@@ -789,7 +1048,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
         }
     }
     if timed_out {
-        shared.timed_out_sessions.fetch_add(1, Ordering::Relaxed);
+        session.shard_metrics.sessions_timed_out.inc();
         metrics.sessions_timed_out.inc();
     }
 
@@ -810,20 +1069,25 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
     session.dirty.store(true, Ordering::Release);
 }
 
-fn analysis_loop(shared: Arc<Shared>) {
+/// One shard's analysis loop: drain that shard's queues, enforce the
+/// strict resource policy, republish snapshots on the configured
+/// interval. Each shard gets an equal slice of the analysis worker pool.
+fn analysis_loop(shared: Arc<Shared>, shard_index: usize) {
     // The snapshot analysis (repair + offline analyze) runs inside a
-    // dedicated worker pool sized by `analysis_threads`; snapshots are
-    // bit-identical at any pool size, so this is purely a latency knob.
+    // dedicated worker pool sized by `analysis_threads`, split across
+    // shards; snapshots are bit-identical at any pool size, so this is
+    // purely a latency knob.
     let workers = shared
         .config
         .analysis_threads
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let workers = workers.div_ceil(shared.shards.len()).max(1);
     let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().ok();
     let mut last_publish = Instant::now();
     loop {
         let stopping = shared.shutdown.load(Ordering::Acquire);
         let sessions: Vec<Arc<SessionState>> =
-            shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            shared.shards[shard_index].sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
         for session in &sessions {
             session.apply_pending();
             if shared.config.strict {
@@ -861,6 +1125,32 @@ fn analysis_loop(shared: Arc<Shared>) {
             break;
         }
         std::thread::sleep(shared.config.poll_interval);
+    }
+}
+
+/// Periodically push this collector's rollup to the parent collector's
+/// status socket. Best effort: a failed push is simply retried on the
+/// next tick, and the idempotent merge makes re-sending after a partial
+/// forward safe. A final push is attempted when shutdown begins, so a
+/// short-lived child flushes what it saw.
+fn forward_loop(shared: Arc<Shared>) {
+    let Some(parent) = shared.config.forward.clone() else { return };
+    let interval = shared.config.forward_interval;
+    let step = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+    loop {
+        // Sleep in small steps so shutdown is prompt.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline && !shared.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(step);
+        }
+        let stopping = shared.shutdown.load(Ordering::Acquire);
+        let rollup = shared.rollup();
+        if !rollup.is_empty() {
+            let _ = crate::client::push_rollup(&parent, &rollup, Some(Duration::from_secs(5)));
+        }
+        if stopping {
+            break;
+        }
     }
 }
 
@@ -903,12 +1193,43 @@ fn serve_metrics_request(stream: Stream, shared: &Shared) -> io::Result<()> {
     stream.flush()
 }
 
+/// Serve one status-socket request. The socket is line-oriented:
+///
+/// * `status` / `status json` — the status document (text / JSON);
+/// * `rollup` — this collector's CLAG rollup, as raw bytes;
+/// * `rollup-push LEN` followed by exactly LEN CLAG bytes — merge a
+///   child collector's rollup into this one; replies `ok N\n` (N =
+///   merged session count) or `err REASON\n`. A push whose bytes fail
+///   the CRC (a child died mid-forward) is rejected whole: the parent
+///   keeps its last good rollup and the child re-sends next tick.
 fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
+    let request = line.trim();
+
+    if request == "rollup" {
+        let reply = shared.rollup().to_bytes();
+        let mut stream = reader.into_inner();
+        stream.write_all(&reply)?;
+        return stream.flush();
+    }
+    if let Some(len) = request.strip_prefix("rollup-push ") {
+        let reply = match receive_rollup(&mut reader, len) {
+            Ok(rollup) => {
+                let mut received = shared.received_rollup.lock().unwrap_or_else(|e| e.into_inner());
+                received.merge(&rollup);
+                format!("ok {}\n", rollup.len())
+            }
+            Err(reason) => format!("err {reason}\n"),
+        };
+        let mut stream = reader.into_inner();
+        stream.write_all(reply.as_bytes())?;
+        return stream.flush();
+    }
+
     let status = shared.status();
-    let reply = match line.trim() {
+    let reply = match request {
         "status json" => {
             status.render_json().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
         }
@@ -917,4 +1238,18 @@ fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
     let mut stream = reader.into_inner();
     stream.write_all(reply.as_bytes())?;
     stream.flush()
+}
+
+/// Read and decode the body of a `rollup-push`: a declared length, then
+/// that many CLAG bytes. Every failure mode (bad length, oversized push,
+/// short read, framing/CRC mismatch) is folded into a printable reason —
+/// the connection served an invalid push, not the collector's problem.
+fn receive_rollup(reader: &mut impl Read, len: &str) -> Result<Rollup, String> {
+    let len: usize = len.trim().parse().map_err(|_| "bad length".to_string())?;
+    if len > MAX_ROLLUP_LEN + 64 {
+        return Err(format!("rollup too large ({len} bytes)"));
+    }
+    let mut bytes = vec![0u8; len];
+    reader.read_exact(&mut bytes).map_err(|e| format!("short read: {e}"))?;
+    Rollup::from_bytes(&bytes).map_err(|e| e.to_string())
 }

@@ -40,6 +40,33 @@ pub struct SessionSnapshot {
     pub report: AnalysisReport,
 }
 
+/// One ingestion shard's slice of the collector counters. The global
+/// fields on [`CollectorStatus`] are exact sums over these (plus the
+/// pre-handshake `rejected_sessions`, which has no shard to land on).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index (`0..shards`).
+    pub shard: u64,
+    /// Sessions currently tracked by this shard.
+    pub sessions: u64,
+    /// Sessions accepted (or recovered) into this shard over its lifetime.
+    pub sessions_total: u64,
+    /// Connections on this shard severed by the idle timeout.
+    pub timed_out_sessions: u64,
+    /// Reconnections that resumed one of this shard's sessions.
+    pub resumed_sessions: u64,
+    /// Sessions recovered into this shard from journals at startup.
+    pub recovered_sessions: u64,
+    /// Connections shed by this shard's admission cap.
+    pub shed_sessions: u64,
+    /// Sessions on this shard stopped by the byte quota.
+    pub quota_stopped_sessions: u64,
+    /// Frames currently queued across this shard's sessions.
+    pub queue_depth: u64,
+    /// Deepest any of this shard's session queues has ever been.
+    pub queue_high_water: u64,
+}
+
 /// Everything the status endpoint publishes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CollectorStatus {
@@ -65,6 +92,11 @@ pub struct CollectorStatus {
     /// Sessions whose ingest was stopped by the per-session byte quota.
     #[serde(default)]
     pub quota_stopped_sessions: u64,
+    /// Per-shard counter slices, one per ingestion shard, ordered by
+    /// shard index. A pre-sharding status document deserializes to an
+    /// empty list.
+    #[serde(default)]
+    pub shards: Vec<ShardStatus>,
     /// One snapshot per live or completed session, ordered by session id.
     pub sessions: Vec<SessionSnapshot>,
 }
@@ -125,6 +157,24 @@ impl CollectorStatus {
                 self.shed_sessions,
                 self.quota_stopped_sessions,
             );
+        }
+        if self.shards.len() > 1 {
+            for shard in &self.shards {
+                let _ = writeln!(
+                    out,
+                    "  shard {}: sessions={} total={} timed_out={} resumed={} recovered={} shed={} quota_stopped={} queued={} high_water={}",
+                    shard.shard,
+                    shard.sessions,
+                    shard.sessions_total,
+                    shard.timed_out_sessions,
+                    shard.resumed_sessions,
+                    shard.recovered_sessions,
+                    shard.shed_sessions,
+                    shard.quota_stopped_sessions,
+                    shard.queue_depth,
+                    shard.queue_high_water,
+                );
+            }
         }
         for snap in &self.sessions {
             let state = if snap.ended { "ended" } else { "live" };
@@ -224,12 +274,35 @@ mod tests {
             recovered_sessions: 3,
             shed_sessions: 4,
             quota_stopped_sessions: 5,
+            shards: vec![
+                ShardStatus { shard: 0, sessions: 1, sessions_total: 1, ..Default::default() },
+                ShardStatus { shard: 1, shed_sessions: 4, ..Default::default() },
+            ],
             sessions: vec![SessionSnapshot::compute(7, "unix".into(), &asm, 3, 4, 2)],
         };
         let json = status.render_json().unwrap();
         let parsed = CollectorStatus::parse_json(&json).unwrap();
         assert_eq!(parsed, status);
-        assert!(status.render_text().contains("hot"));
+        let text = status.render_text();
+        assert!(text.contains("hot"));
+        assert!(text.contains("shard 1"), "multi-shard status must list shards:\n{text}");
+    }
+
+    #[test]
+    fn single_shard_status_text_has_no_shard_lines() {
+        let status = CollectorStatus {
+            protocol_version: critlock_trace::stream::STREAM_VERSION,
+            sessions_total: 0,
+            rejected_sessions: 0,
+            timed_out_sessions: 0,
+            resumed_sessions: 0,
+            recovered_sessions: 0,
+            shed_sessions: 0,
+            quota_stopped_sessions: 0,
+            shards: vec![ShardStatus::default()],
+            sessions: Vec::new(),
+        };
+        assert!(!status.render_text().contains("shard"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod metrics;
 pub mod span;
 
 pub use metrics::{
-    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricsRegistry,
-    MetricsSnapshot, DEFAULT_LATENCY_BOUNDS_NS,
+    series_name, Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample,
+    MetricsRegistry, MetricsSnapshot, DEFAULT_LATENCY_BOUNDS_NS,
 };
 pub use span::{min_time_ns, time_ns, SpanProfile, SpanRecorder};

@@ -197,6 +197,10 @@ impl Metric {
 
 #[derive(Debug)]
 struct Entry {
+    /// Base metric name, without the label set.
+    base: String,
+    /// Sorted `(key, value)` label pairs; empty for unlabelled series.
+    labels: Vec<(String, String)>,
     help: String,
     metric: Metric,
 }
@@ -271,6 +275,13 @@ impl MetricsSnapshot {
 /// Cloning shares the registry. Registration is idempotent: asking for an
 /// existing name of the same kind returns a handle to the same metric;
 /// re-registering a name as a different kind panics (a programming error).
+///
+/// Metrics may carry a **label set** (`counter_with` and friends): the
+/// same base name registered with different labels yields independent
+/// series — `critlock_shard_queue_depth{shard="0"}` and `{shard="1"}` —
+/// that render under one `# TYPE` header. Labels are canonicalized
+/// (key-sorted, values escaped), so registration order never affects the
+/// rendered text, and every series of one base name must share a kind.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     inner: Arc<Mutex<BTreeMap<String, Entry>>>,
@@ -282,24 +293,93 @@ fn valid_name(name: &str) -> bool {
         && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
 }
 
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Canonicalize a label slice: validated keys, sorted by key, duplicates
+/// rejected. Returns owned pairs with *unescaped* values (escaping is a
+/// rendering concern).
+fn canonical_labels(base: &str, labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(
+                valid_name(k),
+                "invalid label name {k:?} on metric {base:?}: use [a-z_][a-z0-9_]*"
+            );
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    out.sort();
+    assert!(out.windows(2).all(|w| w[0].0 != w[1].0), "duplicate label key on metric {base:?}");
+    out
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The canonical full name of a labelled series — the key it appears
+/// under in [`MetricsSnapshot`] lookups: `base{k1="v1",k2="v2"}` with
+/// keys sorted and values escaped. With no labels, just `base`.
+pub fn series_name(base: &str, labels: &[(&str, &str)]) -> String {
+    format!("{base}{}", render_labels(&canonical_labels(base, labels)))
+}
+
 impl MetricsRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
         assert!(valid_name(name), "invalid metric name {name:?}: use [a-z_][a-z0-9_]*");
+        let labels = canonical_labels(name, labels);
+        let full = format!("{name}{}", render_labels(&labels));
         let mut map = self.inner.lock().expect("metrics registry poisoned");
-        let entry = map
-            .entry(name.to_string())
-            .or_insert_with(|| Entry { help: help.to_string(), metric: make() });
+        let entry = map.entry(full).or_insert_with(|| Entry {
+            base: name.to_string(),
+            labels,
+            help: help.to_string(),
+            metric: make(),
+        });
         entry.metric.clone()
+    }
+
+    /// Panic unless every already-registered series of `base` has `kind`
+    /// — all label variants of one metric name must share a kind.
+    fn assert_base_kind(&self, base: &str, kind: &'static str) {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        for entry in map.values() {
+            assert!(
+                entry.base != base || entry.metric.kind() == kind,
+                "metric {base:?} already registered as a {}",
+                entry.metric.kind()
+            );
+        }
     }
 
     /// Registers (or retrieves) a monotonic counter.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
-        match self.register(name, help, || Metric::Counter(Counter::new())) {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a labelled monotonic counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.assert_base_kind(name, "counter");
+        match self.register(name, labels, help, || Metric::Counter(Counter::new())) {
             Metric::Counter(c) => c,
             m => panic!("metric {name:?} already registered as a {}", m.kind()),
         }
@@ -307,7 +387,13 @@ impl MetricsRegistry {
 
     /// Registers (or retrieves) a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.register(name, help, || Metric::Gauge(Gauge::new())) {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        self.assert_base_kind(name, "gauge");
+        match self.register(name, labels, help, || Metric::Gauge(Gauge::new())) {
             Metric::Gauge(g) => g,
             m => panic!("metric {name:?} already registered as a {}", m.kind()),
         }
@@ -317,7 +403,19 @@ impl MetricsRegistry {
     ///
     /// `bounds` are only consulted on first registration.
     pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
-        match self.register(name, help, || Metric::Histogram(Histogram::new(bounds))) {
+        self.histogram_with(name, &[], help, bounds)
+    }
+
+    /// Registers (or retrieves) a labelled fixed-bucket histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[u64],
+    ) -> Histogram {
+        self.assert_base_kind(name, "histogram");
+        match self.register(name, labels, help, || Metric::Histogram(Histogram::new(bounds))) {
             Metric::Histogram(h) => h,
             m => panic!("metric {name:?} already registered as a {}", m.kind()),
         }
@@ -341,34 +439,61 @@ impl MetricsRegistry {
         snap
     }
 
-    /// Renders every metric in Prometheus plaintext exposition format,
-    /// in lexicographic name order. Histogram buckets are emitted
-    /// cumulatively with an explicit `+Inf` bucket, per convention.
+    /// Renders every metric in Prometheus plaintext exposition format.
+    /// Series are grouped by base name (every label variant under one
+    /// `# TYPE` header), bases in lexicographic order and label sets in
+    /// lexicographic order within a base, so two scrapes of identical
+    /// counter states render byte-identical text regardless of
+    /// registration order. Histogram buckets are emitted cumulatively
+    /// with an explicit `+Inf` bucket, per convention; a labelled
+    /// histogram folds `le` into its label set
+    /// (`base_bucket{shard="0",le="100"}`).
     pub fn render_prometheus(&self) -> String {
         let map = self.inner.lock().expect("metrics registry poisoned");
+        // Group by base so label variants stay adjacent even when another
+        // base name sorts between their full series names.
+        let mut groups: BTreeMap<&str, Vec<&Entry>> = BTreeMap::new();
+        for entry in map.values() {
+            groups.entry(&entry.base).or_default().push(entry);
+        }
         let mut out = String::new();
-        for (name, entry) in map.iter() {
-            if !entry.help.is_empty() {
-                out.push_str(&format!("# HELP {name} {}\n", entry.help));
+        for (base, entries) in groups {
+            let entries = {
+                let mut v = entries;
+                v.sort_by_key(|e| &e.labels);
+                v
+            };
+            let first = entries[0];
+            if !first.help.is_empty() {
+                out.push_str(&format!("# HELP {base} {}\n", first.help));
             }
-            out.push_str(&format!("# TYPE {name} {}\n", entry.metric.kind()));
-            match &entry.metric {
-                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
-                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
-                Metric::Histogram(h) => {
-                    let s = h.sample(name);
-                    let mut cum = 0u64;
-                    for (i, &b) in s.buckets.iter().enumerate() {
-                        cum += b;
-                        match s.bounds.get(i) {
-                            Some(le) => {
-                                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"))
-                            }
-                            None => out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n")),
+            out.push_str(&format!("# TYPE {base} {}\n", first.metric.kind()));
+            for entry in entries {
+                let labels = render_labels(&entry.labels);
+                match &entry.metric {
+                    Metric::Counter(c) => out.push_str(&format!("{base}{labels} {}\n", c.get())),
+                    Metric::Gauge(g) => out.push_str(&format!("{base}{labels} {}\n", g.get())),
+                    Metric::Histogram(h) => {
+                        let s = h.sample(base);
+                        // `le` joins the series' own labels inside one brace
+                        // pair, keeping the text Prometheus-parseable.
+                        let bucket_labels = |le: &str| {
+                            let mut pairs = entry.labels.clone();
+                            pairs.push(("le".to_string(), le.to_string()));
+                            render_labels(&pairs)
+                        };
+                        let mut cum = 0u64;
+                        for (i, &b) in s.buckets.iter().enumerate() {
+                            cum += b;
+                            let le = match s.bounds.get(i) {
+                                Some(le) => le.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            out.push_str(&format!("{base}_bucket{} {cum}\n", bucket_labels(&le)));
                         }
+                        out.push_str(&format!("{base}_sum{labels} {}\n", s.sum));
+                        out.push_str(&format!("{base}_count{labels} {}\n", s.count));
                     }
-                    out.push_str(&format!("{name}_sum {}\n", s.sum));
-                    out.push_str(&format!("{name}_count {}\n", s.count));
                 }
             }
         }
@@ -492,6 +617,92 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(reg.snapshot().counter("hits_total"), Some(40_000));
+    }
+
+    #[test]
+    fn labelled_series_are_independent_and_canonical() {
+        let reg = MetricsRegistry::new();
+        let s0 = reg.counter_with("shard_sessions_total", &[("shard", "0")], "per-shard sessions");
+        let s1 = reg.counter_with("shard_sessions_total", &[("shard", "1")], "per-shard sessions");
+        s0.add(3);
+        s1.add(5);
+        // Distinct label values are distinct cells; same labels share one.
+        let again = reg.counter_with("shard_sessions_total", &[("shard", "0")], "");
+        again.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(&series_name("shard_sessions_total", &[("shard", "0")])), Some(4));
+        assert_eq!(snap.counter("shard_sessions_total{shard=\"1\"}"), Some(5));
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        // Keys are sorted at registration, so both spellings name the
+        // same series and the rendered order is deterministic.
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("x_total", &[("b", "2"), ("a", "1")], "");
+        let b = reg.counter_with("x_total", &[("a", "1"), ("b", "2")], "");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x_total{a=\"1\",b=\"2\"}"), Some(2));
+        assert!(reg.render_prometheus().contains("x_total{a=\"1\",b=\"2\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("esc_total", &[("path", "a\"b\\c\nd")], "").inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"), "got: {text}");
+    }
+
+    #[test]
+    fn labelled_series_group_under_one_type_header() {
+        let reg = MetricsRegistry::new();
+        // `z{...}` sorts after `z_extra` by full name; grouping by base
+        // must still render both z series adjacent under one header.
+        reg.counter_with("z", &[("shard", "1")], "help").inc();
+        reg.counter("z_extra", "other");
+        reg.counter_with("z", &[("shard", "0")], "help").add(2);
+        let text = reg.render_prometheus();
+        let z_type = text.find("# TYPE z counter").unwrap();
+        let s0 = text.find("z{shard=\"0\"} 2").unwrap();
+        let s1 = text.find("z{shard=\"1\"} 1").unwrap();
+        let extra = text.find("# TYPE z_extra counter").unwrap();
+        assert!(z_type < s0 && s0 < s1 && s1 < extra, "bad ordering:\n{text}");
+        assert_eq!(text.matches("# TYPE z counter").count(), 1);
+    }
+
+    #[test]
+    fn labelled_histogram_folds_le_into_labels() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("lat_ns", &[("shard", "3")], "latency", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_ns_bucket{shard=\"3\",le=\"10\"} 1\n"), "got: {text}");
+        assert!(text.contains("lat_ns_bucket{shard=\"3\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_ns_sum{shard=\"3\"} 55\n"));
+        assert!(text.contains("lat_ns_count{shard=\"3\"} 2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn label_variants_must_share_a_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("mixed", &[("shard", "0")], "");
+        reg.gauge_with("mixed", &[("shard", "1")], "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn bad_label_key_panics() {
+        MetricsRegistry::new().counter_with("ok_total", &[("Bad-Key", "v")], "");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label key")]
+    fn duplicate_label_key_panics() {
+        MetricsRegistry::new().counter_with("ok_total", &[("k", "1"), ("k", "2")], "");
     }
 
     #[test]

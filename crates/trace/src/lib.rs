@@ -48,6 +48,7 @@ pub mod faults;
 pub mod ids;
 pub mod jsonl;
 pub mod retry;
+pub mod rollup;
 pub mod salvage;
 pub mod stream;
 pub mod trace;
@@ -65,5 +66,6 @@ pub use event::{Event, EventKind, Ts, SEQ_UNKNOWN};
 pub use faults::{FaultAction, FaultPlan};
 pub use ids::{ObjId, ObjInfo, ObjKind, ThreadId};
 pub use retry::RetryPolicy;
+pub use rollup::{LockDigest, Rollup, SessionDigest};
 pub use salvage::{SalvageReport, Salvaged, ThreadSalvage};
 pub use trace::{ClockDomain, ThreadStream, Trace, TraceMeta};

@@ -1,0 +1,487 @@
+//! CLAG — the versioned, CRC-framed **cross-session rollup** format.
+//!
+//! A [`Rollup`] carries one [`SessionDigest`] per analyzed session: the
+//! compact, *mergeable* core of a per-session critical-lock ranking
+//! (integer totals only — every fleet-level percentage is derived at
+//! render time, so merging never accumulates floating-point error).
+//! Rollups are what collectors forward up an aggregation tree and what
+//! `critlock aggregate` merges into a fleet report.
+//!
+//! ## Merge algebra
+//!
+//! [`Rollup::merge`] is a join on a map keyed by session: the union of
+//! the two session sets, with duplicate keys resolved by a canonical
+//! total order over digests (the lexicographically larger encoded digest
+//! wins). That makes merge
+//!
+//! * **commutative** — `a ∪ b == b ∪ a`,
+//! * **associative** — `(a ∪ b) ∪ c == a ∪ (b ∪ c)`,
+//! * **idempotent** — `a ∪ a == a`,
+//!
+//! for *any* inputs (a join-semilattice), so hierarchical forwarding is
+//! safe by construction: a child that re-forwards its whole rollup after
+//! a reconnect, or two paths that deliver the same session twice, cannot
+//! change the fleet totals. On disjoint session sets the merge is plain
+//! union and session counts add exactly.
+//!
+//! ## Wire layout
+//!
+//! ```text
+//! magic "CLAG" | version varint
+//! | payload-len varint | payload bytes | CRC32(payload) u32-LE
+//! ```
+//!
+//! The payload is the varint/length-prefixed encoding produced by
+//! [`Rollup::encode_payload`]. A truncated or bit-flipped file fails the
+//! CRC (or the length check) and decodes to a typed error — a parent
+//! collector keeps its last good rollup when a child dies mid-forward.
+
+use crate::codec::{read_varint, write_varint};
+use crate::error::TraceError;
+use crate::stream::crc32;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Rollup file/stream magic.
+pub const ROLLUP_MAGIC: &[u8; 4] = b"CLAG";
+
+/// Current rollup format version.
+pub const ROLLUP_VERSION: u64 = 1;
+
+/// Hard cap on an encoded rollup payload (64 MiB) — a length prefix
+/// beyond this is treated as corruption, not an allocation request.
+pub const MAX_ROLLUP_LEN: usize = 1 << 26;
+
+type Result<T> = std::result::Result<T, TraceError>;
+
+/// Scale for fixed-point per-session critical-path shares: shares are
+/// stored in parts-per-million, so merged means stay exact integers.
+pub const PPM: u64 = 1_000_000;
+
+/// One lock's mergeable totals within a single session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockDigest {
+    /// Registered lock name.
+    pub name: String,
+    /// Time this lock's critical sections occupy on the session's
+    /// critical path.
+    pub cp_time: u64,
+    /// Fixed-point `cp_time / cp_length` in parts-per-million (0 when
+    /// the session's critical path is empty). Precomputed per session so
+    /// fleet means are sums of integers.
+    pub cp_share_ppm: u64,
+    /// Invocations whose critical section lies on the critical path.
+    pub invocations_on_cp: u64,
+    /// How many of those were contended.
+    pub contended_on_cp: u64,
+    /// Total invocations by all threads.
+    pub total_invocations: u64,
+    /// Total wait time across threads.
+    pub total_wait: u64,
+    /// Total hold time across threads.
+    pub total_hold: u64,
+}
+
+/// The mergeable core of one session's analysis: identity, headline
+/// numbers and the per-lock totals, sorted by lock name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionDigest {
+    /// Globally unique session key (resume token, `collector/anon-N`, or
+    /// a trace file path) — the dedup identity under merge.
+    pub key: String,
+    /// Application name from the trace metadata.
+    pub app: String,
+    /// Critical-path length.
+    pub cp_length: u64,
+    /// End-to-end completion time.
+    pub makespan: u64,
+    /// Whether the session's analysis was degraded (salvage or budget).
+    pub degraded: bool,
+    /// Per-lock totals, sorted by `name` ascending.
+    pub locks: Vec<LockDigest>,
+}
+
+impl SessionDigest {
+    /// Canonical encoded form, used both on the wire and as the total
+    /// order that resolves duplicate keys deterministically.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_str(&mut out, &self.key);
+        write_str(&mut out, &self.app);
+        let _ = write_varint(&mut out, self.cp_length);
+        let _ = write_varint(&mut out, self.makespan);
+        out.push(self.degraded as u8);
+        let _ = write_varint(&mut out, self.locks.len() as u64);
+        for lock in &self.locks {
+            write_str(&mut out, &lock.name);
+            for v in [
+                lock.cp_time,
+                lock.cp_share_ppm,
+                lock.invocations_on_cp,
+                lock.contended_on_cp,
+                lock.total_invocations,
+                lock.total_wait,
+                lock.total_hold,
+            ] {
+                let _ = write_varint(&mut out, v);
+            }
+        }
+        out
+    }
+
+    fn decode(inp: &mut impl Read) -> Result<Self> {
+        let key = read_str(inp)?;
+        let app = read_str(inp)?;
+        let cp_length = read_varint(inp)?;
+        let makespan = read_varint(inp)?;
+        let mut flag = [0u8; 1];
+        inp.read_exact(&mut flag).map_err(TraceError::Io)?;
+        if flag[0] > 1 {
+            return Err(TraceError::Decode(format!("invalid degraded flag {}", flag[0])));
+        }
+        let count = read_varint(inp)? as usize;
+        if count > MAX_ROLLUP_LEN {
+            return Err(TraceError::Decode(format!("implausible lock count {count}")));
+        }
+        let mut locks = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let name = read_str(inp)?;
+            let mut vals = [0u64; 7];
+            for v in vals.iter_mut() {
+                *v = read_varint(inp)?;
+            }
+            locks.push(LockDigest {
+                name,
+                cp_time: vals[0],
+                cp_share_ppm: vals[1],
+                invocations_on_cp: vals[2],
+                contended_on_cp: vals[3],
+                total_invocations: vals[4],
+                total_wait: vals[5],
+                total_hold: vals[6],
+            });
+        }
+        if !locks.windows(2).all(|w| w[0].name < w[1].name) {
+            return Err(TraceError::Decode("lock digests not sorted by name".into()));
+        }
+        Ok(SessionDigest { key, app, cp_length, makespan, degraded: flag[0] == 1, locks })
+    }
+}
+
+/// A mergeable set of session digests — the CLAG document.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rollup {
+    /// Digests keyed by session key.
+    pub sessions: BTreeMap<String, SessionDigest>,
+}
+
+impl Rollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sessions covered.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the rollup covers no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Insert one session digest, resolving a duplicate key by the
+    /// canonical digest order (larger encoded form wins — on equal
+    /// digests this is a no-op, which is what makes merge idempotent).
+    pub fn insert(&mut self, digest: SessionDigest) {
+        match self.sessions.get(&digest.key) {
+            Some(existing) if existing.encoded() >= digest.encoded() => {}
+            _ => {
+                self.sessions.insert(digest.key.clone(), digest);
+            }
+        }
+    }
+
+    /// Merge another rollup into this one (set union with canonical
+    /// duplicate resolution). Commutative, associative and idempotent —
+    /// see the module docs.
+    pub fn merge(&mut self, other: &Rollup) {
+        for digest in other.sessions.values() {
+            self.insert(digest.clone());
+        }
+    }
+
+    /// The canonical payload bytes (without framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let _ = write_varint(&mut out, self.sessions.len() as u64);
+        for digest in self.sessions.values() {
+            out.extend_from_slice(&digest.encoded());
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`Rollup::encode_payload`].
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self> {
+        let mut inp = bytes;
+        let count = read_varint(&mut inp)? as usize;
+        if count > MAX_ROLLUP_LEN {
+            return Err(TraceError::Decode(format!("implausible session count {count}")));
+        }
+        let mut rollup = Rollup::new();
+        for _ in 0..count {
+            let digest = SessionDigest::decode(&mut inp)?;
+            if rollup.sessions.contains_key(&digest.key) {
+                return Err(TraceError::Decode(format!("duplicate session key {:?}", digest.key)));
+            }
+            rollup.insert(digest);
+        }
+        if !inp.is_empty() {
+            return Err(TraceError::Decode(format!("{} trailing rollup bytes", inp.len())));
+        }
+        Ok(rollup)
+    }
+
+    /// Write the framed CLAG document: magic, version, length-prefixed
+    /// payload, CRC32.
+    pub fn write_to(&self, out: &mut impl Write) -> Result<()> {
+        let payload = self.encode_payload();
+        out.write_all(ROLLUP_MAGIC).map_err(TraceError::Io)?;
+        write_varint(out, ROLLUP_VERSION)?;
+        write_varint(out, payload.len() as u64)?;
+        out.write_all(&payload).map_err(TraceError::Io)?;
+        out.write_all(&crc32(&payload).to_le_bytes()).map_err(TraceError::Io)?;
+        Ok(())
+    }
+
+    /// The framed CLAG document as bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("in-memory rollup encode cannot fail");
+        out
+    }
+
+    /// Read a framed CLAG document: checks magic, version, length bound
+    /// and payload CRC before decoding.
+    pub fn read_from(inp: &mut impl Read) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        inp.read_exact(&mut magic).map_err(TraceError::Io)?;
+        if &magic != ROLLUP_MAGIC {
+            return Err(TraceError::Decode(format!("bad rollup magic {magic:02x?}")));
+        }
+        let version = read_varint(inp)?;
+        if version == 0 || version > ROLLUP_VERSION {
+            return Err(TraceError::Decode(format!("unsupported rollup version {version}")));
+        }
+        let len = read_varint(inp)? as usize;
+        if len > MAX_ROLLUP_LEN {
+            return Err(TraceError::Decode(format!("implausible rollup length {len}")));
+        }
+        let mut payload = vec![0u8; len];
+        inp.read_exact(&mut payload).map_err(TraceError::Io)?;
+        let mut crc = [0u8; 4];
+        inp.read_exact(&mut crc).map_err(TraceError::Io)?;
+        if u32::from_le_bytes(crc) != crc32(&payload) {
+            return Err(TraceError::Decode("rollup CRC mismatch".into()));
+        }
+        Self::decode_payload(&payload)
+    }
+
+    /// Decode a framed CLAG document from a byte slice, rejecting
+    /// trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut inp = bytes;
+        let rollup = Self::read_from(&mut inp)?;
+        if !inp.is_empty() {
+            return Err(TraceError::Decode(format!("{} trailing bytes after rollup", inp.len())));
+        }
+        Ok(rollup)
+    }
+
+    /// Save the framed document to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let mut file = std::fs::File::create(path).map_err(TraceError::Io)?;
+        self.write_to(&mut file)?;
+        file.sync_all().map_err(TraceError::Io)
+    }
+
+    /// Load a framed document from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(TraceError::Io)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Fixed-point per-session CP share: `cp_time / cp_length` in
+/// parts-per-million, 0 for an empty critical path. Saturates (at
+/// `u64::MAX`) on the pathological `cp_time >> cp_length` case instead
+/// of overflowing.
+pub fn cp_share_ppm(cp_time: u64, cp_length: u64) -> u64 {
+    if cp_length == 0 {
+        return 0;
+    }
+    ((cp_time as u128 * PPM as u128) / cp_length as u128).min(u64::MAX as u128) as u64
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    let _ = write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(inp: &mut impl Read) -> Result<String> {
+    let len = read_varint(inp)? as usize;
+    if len > MAX_ROLLUP_LEN {
+        return Err(TraceError::Decode(format!("implausible string length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    inp.read_exact(&mut buf).map_err(TraceError::Io)?;
+    String::from_utf8(buf).map_err(|e| TraceError::Decode(format!("invalid UTF-8 string: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn digest(key: &str, locks: &[(&str, u64)]) -> SessionDigest {
+        let cp_length = 100u64;
+        let mut locks: Vec<LockDigest> = locks
+            .iter()
+            .map(|(name, cp_time)| LockDigest {
+                name: name.to_string(),
+                cp_time: *cp_time,
+                cp_share_ppm: cp_share_ppm(*cp_time, cp_length),
+                invocations_on_cp: *cp_time / 2,
+                contended_on_cp: *cp_time / 4,
+                total_invocations: *cp_time,
+                total_wait: *cp_time * 3,
+                total_hold: *cp_time * 5,
+            })
+            .collect();
+        locks.sort_by(|a, b| a.name.cmp(&b.name));
+        SessionDigest {
+            key: key.to_string(),
+            app: "test".to_string(),
+            cp_length,
+            makespan: 120,
+            degraded: false,
+            locks,
+        }
+    }
+
+    fn rollup(keys: &[&str]) -> Rollup {
+        let mut r = Rollup::new();
+        for key in keys {
+            r.insert(digest(key, &[("hot", 40), ("cold", 5)]));
+        }
+        r
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let r = rollup(&["s1", "s2", "s3"]);
+        let bytes = r.to_bytes();
+        assert_eq!(&bytes[..4], ROLLUP_MAGIC);
+        let back = Rollup::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+        // Deterministic encoding: same rollup, same bytes.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let r = rollup(&["s1", "s2"]);
+        let bytes = r.to_bytes();
+        // Truncation anywhere must fail, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Rollup::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A bit flip anywhere must fail (magic, version, length or CRC).
+        for at in 0..bytes.len() {
+            let mut hurt = bytes.clone();
+            hurt[at] ^= 0x40;
+            assert!(Rollup::from_bytes(&hurt).is_err(), "flip at {at}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Rollup::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn merge_is_union_on_disjoint_sessions() {
+        let mut a = rollup(&["s1", "s2"]);
+        let b = rollup(&["s3"]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.sessions.contains_key("s3"));
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative_associative() {
+        let a = rollup(&["s1", "s2"]);
+        let b = rollup(&["s2", "s3"]);
+        let c = rollup(&["s4"]);
+
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa, a, "idempotent");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associative");
+    }
+
+    #[test]
+    fn duplicate_key_resolution_is_deterministic() {
+        // Two *different* digests under one key: whichever merge order,
+        // the canonically larger encoded digest must win.
+        let d1 = digest("dup", &[("hot", 40)]);
+        let d2 = digest("dup", &[("hot", 41)]);
+        let mut r1 = Rollup::new();
+        r1.insert(d1.clone());
+        r1.insert(d2.clone());
+        let mut r2 = Rollup::new();
+        r2.insert(d2);
+        r2.insert(d1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_or_duplicate_entries() {
+        let mut d = digest("s", &[("hot", 1), ("cold", 2)]);
+        d.locks.reverse(); // break the sort invariant
+        let mut payload = Vec::new();
+        let _ = write_varint(&mut payload, 1);
+        payload.extend_from_slice(&d.encoded());
+        assert!(Rollup::decode_payload(&payload).is_err());
+
+        let d = digest("s", &[("hot", 1)]);
+        let mut payload = Vec::new();
+        let _ = write_varint(&mut payload, 2);
+        payload.extend_from_slice(&d.encoded());
+        payload.extend_from_slice(&d.encoded());
+        assert!(Rollup::decode_payload(&payload).is_err(), "duplicate keys must be rejected");
+    }
+
+    #[test]
+    fn cp_share_fixed_point() {
+        assert_eq!(cp_share_ppm(0, 0), 0);
+        assert_eq!(cp_share_ppm(5, 0), 0);
+        assert_eq!(cp_share_ppm(50, 100), 500_000);
+        assert_eq!(cp_share_ppm(1, 3), 333_333);
+        assert_eq!(cp_share_ppm(u64::MAX, 1), u64::MAX);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the CLAG rollup merge algebra: [`Rollup::merge`]
+//! must be a join-semilattice — commutative, associative, idempotent —
+//! for *arbitrary* inputs (including rollups that disagree about the
+//! same session key), and plain union on disjoint session sets. These
+//! are the invariants hierarchical forwarding relies on: children
+//! re-push their whole rollup after reconnects, and two delivery paths
+//! may carry the same session, so any order- or multiplicity-dependence
+//! would skew fleet totals.
+
+use critlock_trace::rollup::{LockDigest, Rollup, SessionDigest};
+use proptest::prelude::*;
+
+/// Deterministically expand compact integer seeds into a digest. Lock
+/// seeds are deduplicated and name-sorted, as the format requires.
+fn digest(
+    key_id: u8,
+    app_id: u8,
+    shape: (u64, u64, bool),
+    lock_seeds: &[(u8, u64, u64)],
+) -> SessionDigest {
+    let (cp_length, makespan, degraded) = shape;
+    let mut locks: Vec<LockDigest> = Vec::new();
+    for &(lock_id, cp_time, wait) in lock_seeds {
+        let name = format!("lock-{lock_id:03}");
+        if locks.iter().any(|l| l.name == name) {
+            continue;
+        }
+        locks.push(LockDigest {
+            name,
+            cp_time,
+            cp_share_ppm: critlock_trace::rollup::cp_share_ppm(cp_time, cp_length),
+            invocations_on_cp: cp_time % 7,
+            contended_on_cp: cp_time % 3,
+            total_invocations: cp_time % 7 + wait % 5,
+            total_wait: wait,
+            total_hold: cp_time.saturating_add(wait / 2),
+        });
+    }
+    locks.sort_by(|a, b| a.name.cmp(&b.name));
+    SessionDigest {
+        key: format!("session-{key_id}"),
+        app: format!("app-{app_id}"),
+        cp_length,
+        makespan,
+        degraded,
+        locks,
+    }
+}
+
+type DigestSeed = (u8, u8, (u64, u64, bool), Vec<(u8, u64, u64)>);
+
+fn rollup_from(seeds: &[DigestSeed]) -> Rollup {
+    let mut rollup = Rollup::new();
+    for (key_id, app_id, shape, lock_seeds) in seeds {
+        rollup.insert(digest(*key_id, *app_id, *shape, lock_seeds));
+    }
+    rollup
+}
+
+fn merged(a: &Rollup, b: &Rollup) -> Rollup {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// A strategy producing seed lists whose session keys overlap freely
+/// across rollups (key space of 8), with occasional *conflicting*
+/// digests for one key (same key id, different contents).
+fn seeds() -> impl Strategy<Value = Vec<DigestSeed>> {
+    prop::collection::vec(
+        (
+            0u8..8,
+            0u8..3,
+            (0u64..10_000, 0u64..20_000, any::<bool>()),
+            prop::collection::vec((0u8..6, 0u64..5_000, 0u64..1_000), 0..5),
+        ),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `a ∪ b == b ∪ a`, byte for byte — even when both sides carry
+    /// different digests under the same session key.
+    #[test]
+    fn merge_is_commutative(sa in seeds(), sb in seeds()) {
+        let (a, b) = (rollup_from(&sa), rollup_from(&sb));
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_bytes(), ba.to_bytes());
+    }
+
+    /// `(a ∪ b) ∪ c == a ∪ (b ∪ c)`.
+    #[test]
+    fn merge_is_associative(sa in seeds(), sb in seeds(), sc in seeds()) {
+        let (a, b, c) = (rollup_from(&sa), rollup_from(&sb), rollup_from(&sc));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.to_bytes(), right.to_bytes());
+    }
+
+    /// `a ∪ a == a`, and re-merging an already-merged rollup changes
+    /// nothing — the exact shape of a child re-forwarding after a
+    /// reconnect.
+    #[test]
+    fn merge_is_idempotent(sa in seeds(), sb in seeds()) {
+        let (a, b) = (rollup_from(&sa), rollup_from(&sb));
+        prop_assert_eq!(merged(&a, &a), a.clone());
+        let ab = merged(&a, &b);
+        prop_assert_eq!(merged(&ab, &a), ab.clone());
+        prop_assert_eq!(merged(&ab, &b), ab.clone());
+        prop_assert_eq!(merged(&ab, &ab), ab);
+    }
+
+    /// On disjoint session keys the merge is plain union: every digest
+    /// survives unchanged and the counts add exactly.
+    #[test]
+    fn merge_is_union_on_disjoint_sessions(sa in seeds(), sb in seeds()) {
+        // Force disjointness by offsetting b's key space past a's.
+        let sb: Vec<DigestSeed> =
+            sb.into_iter().map(|(k, a_, s, l)| (k + 8, a_, s, l)).collect();
+        let (a, b) = (rollup_from(&sa), rollup_from(&sb));
+        let ab = merged(&a, &b);
+        prop_assert_eq!(ab.len(), a.len() + b.len());
+        for rollup in [&a, &b] {
+            for (key, digest) in &rollup.sessions {
+                prop_assert_eq!(ab.sessions.get(key), Some(digest));
+            }
+        }
+    }
+
+    /// Encode → decode survives any merge result (the wire format can
+    /// carry whatever the algebra produces).
+    #[test]
+    fn merged_rollups_roundtrip(sa in seeds(), sb in seeds()) {
+        let ab = merged(&rollup_from(&sa), &rollup_from(&sb));
+        let bytes = ab.to_bytes();
+        let back = Rollup::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(back, ab);
+    }
+}
