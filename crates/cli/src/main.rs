@@ -77,6 +77,7 @@ USAGE:
                  [--strict] [--max-sessions N] [--session-quota-bytes N]
                  [--max-events N] [--shards N] [--forward ADDR]
                  [--forward-interval-ms N] [--collector-id ID]
+                 [--max-rollup-sessions N]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
       --status. With --journal, every accepted frame is logged to a
@@ -96,7 +97,9 @@ USAGE:
       collector's rollup to a parent collector's status socket every
       --forward-interval-ms (default 500), forming an aggregation tree;
       give each child a distinct --collector-id so anonymous sessions
-      stay distinct in the fleet aggregate.
+      stay distinct in the fleet aggregate. --max-rollup-sessions caps
+      the sessions a parent retains from child pushes (default 65536);
+      pushes past the cap are rejected whole.
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -485,6 +488,10 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
         std::time::Duration::from_millis(p.get_or("forward-interval-ms", 500u64)?);
     if let Some(id) = p.options.get("collector-id") {
         config.collector_id = id.clone();
+    }
+    config.max_rollup_sessions = p.get_or("max-rollup-sessions", config.max_rollup_sessions)?;
+    if config.max_rollup_sessions == 0 {
+        return Err("--max-rollup-sessions must be >= 1".into());
     }
 
     let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;

@@ -314,8 +314,10 @@ pub fn fetch_rollup(addr: &Addr, timeout: Option<Duration>) -> io::Result<Rollup
 
 /// Push a CLAG rollup into a parent collector over its status socket
 /// (the `rollup-push` request a forwarding child issues). Returns the
-/// number of sessions the parent merged. The parent's merge is
-/// idempotent, so re-pushing after an error is always safe.
+/// parent's total retained session count after the merge. The parent's
+/// merge is idempotent, so re-pushing after an error is always safe; a
+/// parent at its rollup-session cap rejects the push whole (an `err`
+/// reply surfaces here as `InvalidData`).
 pub fn push_rollup(addr: &Addr, rollup: &Rollup, timeout: Option<Duration>) -> io::Result<u64> {
     let mut stream = match timeout {
         Some(t) => Stream::connect_timeout(addr, t)?,

@@ -99,11 +99,15 @@ pub struct CollectorConfig {
     /// contents are bit-identical at any thread count; this only trades
     /// latency for CPU.
     pub analysis_threads: Option<usize>,
-    /// Admission control: cap on concurrently tracked sessions, enforced
-    /// per shard as `ceil(max_sessions / shards)`. A new producer
-    /// arriving at its shard's cap is *shed* — its connection is closed
-    /// before a session is created — and counted in the status report.
-    /// `None` admits everyone.
+    /// Admission control: hard cap on concurrently tracked sessions,
+    /// enforced in two layers — each shard admits at most
+    /// `ceil(max_sessions / shards)` (one hot shard cannot starve the
+    /// others), and the collector-wide total never exceeds
+    /// `max_sessions` itself (the per-shard ceilings alone would admit
+    /// up to `shards - 1` extra). A new producer arriving past either
+    /// bound is *shed* — its connection is closed before a session is
+    /// created — and counted in the status report. `None` admits
+    /// everyone.
     pub max_sessions: Option<usize>,
     /// Per-session cap on ingested frame-payload bytes (counted across
     /// reconnects). A session crossing the quota stops ingesting: further
@@ -139,6 +143,14 @@ pub struct CollectorConfig {
     /// distinct id, or anonymous sessions from different collectors
     /// collide in the aggregate. Token sessions use the token itself.
     pub collector_id: String,
+    /// Cap on the sessions retained in the merged child-rollup state.
+    /// The `rollup-push` endpoint is unauthenticated and its merge state
+    /// would otherwise grow without bound under churning child sessions
+    /// (or a misbehaving peer): a push whose merge would lift the
+    /// retained session count past this cap is rejected whole (`err
+    /// rollup cap ...`); pushes that only refresh already-retained
+    /// sessions always succeed.
+    pub max_rollup_sessions: usize,
 }
 
 impl CollectorConfig {
@@ -165,6 +177,7 @@ impl CollectorConfig {
             forward: None,
             forward_interval: Duration::from_millis(500),
             collector_id: "collector".to_string(),
+            max_rollup_sessions: 65_536,
         }
     }
 
@@ -181,6 +194,13 @@ impl CollectorConfig {
 /// resumable producer may attach, disconnect and re-attach many times.
 struct SessionState {
     id: u64,
+    /// Index used for the `anon-<N>` rollup key. Equals `id` for fresh
+    /// sessions; a journal-recovered anonymous session keeps the
+    /// `anon-N` index of its journal file, because recovery hands out a
+    /// *fresh* session id and the rollup key must survive the restart —
+    /// otherwise the recovered session would re-forward under a new key
+    /// and a parent collector would double-count it.
+    rollup_id: u64,
     peer: String,
     /// Resume token from the handshake; empty for anonymous sessions.
     token: Vec<u8>,
@@ -288,10 +308,11 @@ impl SessionState {
 
     /// The key this session carries in rollups: the resume token when it
     /// has one (fleet-unique by construction of auto-tokens), otherwise
-    /// `<collector_id>/anon-<id>`.
+    /// `<collector_id>/anon-<N>` where N is stable across journal
+    /// recovery (see [`SessionState::rollup_id`]).
     fn rollup_key(&self, collector_id: &str) -> String {
         if self.token.is_empty() {
-            format!("{collector_id}/anon-{}", self.id)
+            format!("{collector_id}/anon-{}", self.rollup_id)
         } else {
             String::from_utf8_lossy(&self.token).into_owned()
         }
@@ -336,6 +357,11 @@ struct Shared {
     /// Connections rejected at the handshake. Global, not per shard: a
     /// rejected connection never presented a token, so it has no shard.
     rejected_sessions: AtomicU64,
+    /// Sessions tracked collector-wide (admitted + recovered; sessions
+    /// are never removed). Admission *reserves* a slot here before
+    /// creating a session, so the global `max_sessions` bound holds even
+    /// under concurrent admissions on different shards.
+    tracked_sessions: AtomicU64,
     /// Rollups pushed up by child collectors, merged as they arrive.
     /// Served back (merged with this collector's own sessions) on
     /// `rollup` requests and forwarded upstream by the forwarder.
@@ -710,6 +736,7 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         shards,
         next_session_id: AtomicU64::new(first_id),
         rejected_sessions: AtomicU64::new(0),
+        tracked_sessions: AtomicU64::new(0),
         received_rollup: Mutex::new(Rollup::new()),
         shutdown: AtomicBool::new(false),
         passes: Mutex::new(0),
@@ -720,6 +747,10 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
 
     for mut rec in recovered {
         let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        // Recovered sessions count against the global admission bound
+        // (they may exceed it — recovery never drops journaled data —
+        // but further admissions then shed until capacity frees up).
+        shared.tracked_sessions.fetch_add(1, Ordering::Relaxed);
         let shard = shared.shard_for(&rec.token, id);
         shard.metrics.sessions_total.inc();
         metrics.sessions_started.inc();
@@ -727,6 +758,17 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
             "journal:{}",
             rec.journal.path().file_name().and_then(|n| n.to_str()).unwrap_or("?")
         );
+        // Recovered anonymous sessions keep the `anon-N` index of their
+        // journal file as their rollup identity, so the key they were
+        // already forwarded under before the crash stays theirs.
+        let rollup_id = rec
+            .journal
+            .path()
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_prefix("anon-"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(id);
         let mut asm = SessionAssembler::with_budget(config.session_budget());
         asm.set_counters(metrics.events_in.clone(), metrics.events_budget_dropped.clone());
         let frames = rec.frames.len() as u64;
@@ -737,6 +779,7 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         rec.journal.set_counters(metrics.journal_counters());
         let session = Arc::new(SessionState {
             id,
+            rollup_id,
             peer,
             token: rec.token.clone(),
             queue: FrameQueue::new(config.queue_capacity, config.backpressure),
@@ -863,17 +906,28 @@ fn claim_session(shared: &Arc<Shared>, token: &[u8], peer: String) -> Claim {
     create_session(shared, shard, sessions, id, token, peer)
 }
 
-/// Admission is per shard: each shard owns an equal slice of the global
-/// cap, so one hot shard cannot starve the others' admission. Counts the
-/// shed on both the shard and the collector-wide counter.
+/// Two-layer admission check: each shard owns an equal slice
+/// (`ceil(max / shards)`) of the global cap so one hot shard cannot
+/// starve the others, and the collector-wide total is additionally held
+/// to `max_sessions` itself by reserving a slot in the global counter —
+/// every caller that passes this check creates its session immediately
+/// (under the shard map lock it already holds), so a reserved slot is
+/// always consumed. Counts the shed on both the shard and the
+/// collector-wide counter.
 fn shard_at_cap(shared: &Shared, shard: &Shard, tracked: usize) -> bool {
-    let cap = shared.config.max_sessions.map(|max| max.div_ceil(shared.shards.len()));
-    if cap.is_some_and(|cap| tracked >= cap) {
+    let Some(max) = shared.config.max_sessions else { return false };
+    let shed = tracked >= max.div_ceil(shared.shards.len())
+        || shared
+            .tracked_sessions
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < max as u64).then_some(n + 1)
+            })
+            .is_err();
+    if shed {
         shard.metrics.sessions_shed.inc();
         shared.metrics.sessions_shed.inc();
-        return true;
     }
-    false
+    shed
 }
 
 /// Build a new session in `shard` (whose map lock the caller holds) and
@@ -903,6 +957,7 @@ fn create_session(
     );
     let session = Arc::new(SessionState {
         id,
+        rollup_id: id,
         peer,
         token: token.to_vec(),
         queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
@@ -1198,10 +1253,13 @@ fn serve_metrics_request(stream: Stream, shared: &Shared) -> io::Result<()> {
 /// * `status` / `status json` — the status document (text / JSON);
 /// * `rollup` — this collector's CLAG rollup, as raw bytes;
 /// * `rollup-push LEN` followed by exactly LEN CLAG bytes — merge a
-///   child collector's rollup into this one; replies `ok N\n` (N =
-///   merged session count) or `err REASON\n`. A push whose bytes fail
-///   the CRC (a child died mid-forward) is rejected whole: the parent
-///   keeps its last good rollup and the child re-sends next tick.
+///   child collector's rollup into this one; replies `ok N\n` (N = the
+///   parent's total retained session count after the merge) or
+///   `err REASON\n`. A push whose bytes fail the CRC (a child died
+///   mid-forward) is rejected whole, as is one that would lift the
+///   retained state past [`CollectorConfig::max_rollup_sessions`]: the
+///   parent keeps its last good rollup and the child re-sends next
+///   tick.
 fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -1218,8 +1276,18 @@ fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
         let reply = match receive_rollup(&mut reader, len) {
             Ok(rollup) => {
                 let mut received = shared.received_rollup.lock().unwrap_or_else(|e| e.into_inner());
-                received.merge(&rollup);
-                format!("ok {}\n", rollup.len())
+                let new = rollup
+                    .sessions
+                    .keys()
+                    .filter(|key| !received.sessions.contains_key(*key))
+                    .count();
+                let cap = shared.config.max_rollup_sessions;
+                if received.len() + new > cap {
+                    format!("err rollup cap {cap} sessions reached\n")
+                } else {
+                    received.merge(&rollup);
+                    format!("ok {}\n", received.len())
+                }
             }
             Err(reason) => format!("err {reason}\n"),
         };

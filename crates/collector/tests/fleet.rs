@@ -5,9 +5,10 @@
 use critlock_aggregate::FleetReport;
 use critlock_analysis::{analyze, digest_report};
 use critlock_collector::{
-    fetch_metrics_text, fetch_rollup, push_with, start, Addr, CollectorConfig, CollectorHandle,
-    CollectorStatus, PushOptions,
+    fetch_metrics_text, fetch_rollup, push, push_rollup, push_with, start, Addr, CollectorConfig,
+    CollectorHandle, CollectorStatus, PushOptions,
 };
+use critlock_trace::rollup::{Rollup, SessionDigest};
 use critlock_trace::{RetryPolicy, Trace};
 use std::time::Duration;
 
@@ -166,6 +167,70 @@ fn child_collector_forwards_rollup_to_parent() {
     let after = fetch_rollup(&parent_status, Some(Duration::from_secs(5))).unwrap();
     assert_eq!(after.len(), traces.len());
     parent.shutdown();
+}
+
+/// A parent bounds what `rollup-push` can make it retain, and replies
+/// with its post-merge session count (not the pushed rollup's size).
+#[test]
+fn rollup_push_is_capped_and_reports_post_merge_count() {
+    let mut config = test_config();
+    config.max_rollup_sessions = 2;
+    let handle = start(config).unwrap();
+    let status_addr = handle.status_addr().unwrap().clone();
+    let timeout = Some(Duration::from_secs(5));
+
+    let digest = |key: &str| SessionDigest {
+        key: key.into(),
+        app: "fleet".into(),
+        cp_length: 10,
+        makespan: 12,
+        degraded: false,
+        locks: Vec::new(),
+    };
+    let mut two = Rollup::new();
+    two.insert(digest("a"));
+    two.insert(digest("b"));
+    assert_eq!(push_rollup(&status_addr, &two, timeout).unwrap(), 2);
+    // Re-pushing retained sessions at the cap is idempotent, not an error.
+    assert_eq!(push_rollup(&status_addr, &two, timeout).unwrap(), 2);
+
+    let mut three = two.clone();
+    three.insert(digest("c"));
+    let err = push_rollup(&status_addr, &three, timeout).unwrap_err();
+    assert!(err.to_string().contains("rollup cap"), "unexpected error: {err}");
+    // The rejected push left the last good state untouched.
+    let retained = fetch_rollup(&status_addr, timeout).unwrap();
+    assert_eq!(retained.len(), 2);
+    assert!(!retained.sessions.contains_key("c"));
+    handle.shutdown();
+}
+
+/// A crashed-and-recovered collector must re-forward its anonymous
+/// sessions under the *same* rollup keys: recovery hands out fresh
+/// session ids, but the key is pinned to the journal's `anon-N` index,
+/// so a parent that already merged the session never double-counts it.
+#[test]
+fn recovered_anonymous_session_keeps_its_rollup_key() {
+    let dir = std::env::temp_dir().join(format!("critlock-fleet-anonkey-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut config = test_config();
+    config.journal_dir = Some(dir.clone());
+    config.collector_id = "child-a".into();
+    let handle = start(config.clone()).unwrap();
+    let (_, trace) = fleet_traces().remove(0);
+    push(handle.ingest_addr(), &trace, None).unwrap();
+    wait_for(&handle, "anonymous session to end", |s| s.sessions.len() == 1 && s.sessions[0].ended);
+    let before: Vec<String> = handle.rollup().sessions.keys().cloned().collect();
+    handle.crash();
+
+    let handle = start(config).unwrap();
+    wait_for(&handle, "journaled session to recover", |s| s.recovered_sessions == 1);
+    let after: Vec<String> = handle.rollup().sessions.keys().cloned().collect();
+    assert_eq!(before, after, "rollup key must survive crash recovery");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

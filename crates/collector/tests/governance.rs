@@ -86,6 +86,35 @@ fn admission_control_sheds_excess_sessions() {
     handle.shutdown();
 }
 
+/// `max_sessions` is a hard *global* bound, not just per-shard slices:
+/// with max 3 over 2 shards the per-shard ceiling is 2, so a fourth
+/// connect landing on the less-loaded shard would slip in if only the
+/// per-shard check existed. The global reservation must shed it.
+#[test]
+fn global_session_cap_holds_across_shards() {
+    let mut config = test_config();
+    config.max_sessions = Some(3);
+    config.shards = 2;
+    let handle = start(config).unwrap();
+    let trace = sample_trace();
+    // Anonymous sessions route by id % shards: ids 0..3 put two sessions
+    // on shard 0 and one on shard 1.
+    for _ in 0..3 {
+        push(handle.ingest_addr(), &trace, None).unwrap();
+    }
+    wait_for(&handle, "three admitted sessions", |s| {
+        s.sessions.len() == 3 && s.sessions.iter().all(|snap| snap.ended)
+    });
+    // The fourth routes to shard 1 (one session, under its ceiling of
+    // 2) — only the global bound can shed it.
+    let _ = push(handle.ingest_addr(), &trace, None);
+    wait_for(&handle, "fourth connect to be shed", |s| s.shed_sessions >= 1);
+    let status = handle.status();
+    assert_eq!(status.sessions.len(), 3, "global max_sessions must hold across shards");
+    assert_eq!(status.sessions_total, 3);
+    handle.shutdown();
+}
+
 #[test]
 fn byte_quota_stops_ingest_and_degrades_the_session() {
     let mut config = test_config();

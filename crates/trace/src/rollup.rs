@@ -11,8 +11,16 @@
 //!
 //! [`Rollup::merge`] is a join on a map keyed by session: the union of
 //! the two session sets, with duplicate keys resolved by a canonical
-//! total order over digests (the lexicographically larger encoded digest
-//! wins). That makes merge
+//! total order over digests. The order is **freshness-monotone**: it
+//! compares the numeric totals first (makespan, critical-path length,
+//! event and wait/hold sums — all of which only grow as a live session
+//! ingests more events), with the encoded bytes as a final tiebreaker.
+//! A parent that received an intermediate digest of a still-running
+//! session therefore always yields to that session's later/final
+//! digest. (Raw encoded-byte order would not do: varint byte order is
+//! not monotone in value — `varint(200) = [C8 01]` sorts above
+//! `varint(300) = [AC 02]` — so it could permanently pin a stale
+//! digest.) The greater digest wins, which makes merge
 //!
 //! * **commutative** — `a ∪ b == b ∪ a`,
 //! * **associative** — `(a ∪ b) ∪ c == a ∪ (b ∪ c)`,
@@ -39,6 +47,7 @@
 use crate::codec::{read_varint, write_varint};
 use crate::error::TraceError;
 use crate::stream::crc32;
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
@@ -104,8 +113,32 @@ pub struct SessionDigest {
 }
 
 impl SessionDigest {
-    /// Canonical encoded form, used both on the wire and as the total
-    /// order that resolves duplicate keys deterministically.
+    /// Freshness key: every component only grows as a live session
+    /// ingests more events, so a later digest of the same session never
+    /// compares below an earlier one.
+    fn freshness_key(&self) -> (u64, u64, u64, u64) {
+        let mut events = 0u64;
+        let mut work = 0u64;
+        for lock in &self.locks {
+            events = events.saturating_add(lock.total_invocations);
+            work = work.saturating_add(lock.total_wait).saturating_add(lock.total_hold);
+        }
+        (self.makespan, self.cp_length, events, work)
+    }
+
+    /// The canonical total order that resolves duplicate session keys:
+    /// numeric freshness first — varint byte order is not monotone in
+    /// value, so raw encoded bytes must never be the primary criterion —
+    /// then the full encoded bytes, so the order is total and only
+    /// byte-identical digests compare equal.
+    fn cmp_canonical(&self, other: &SessionDigest) -> Ordering {
+        self.freshness_key()
+            .cmp(&other.freshness_key())
+            .then_with(|| self.encoded().cmp(&other.encoded()))
+    }
+
+    /// Canonical encoded form, used on the wire and as the tiebreaker of
+    /// the duplicate-key order.
     fn encoded(&self) -> Vec<u8> {
         let mut out = Vec::new();
         write_str(&mut out, &self.key);
@@ -194,11 +227,12 @@ impl Rollup {
     }
 
     /// Insert one session digest, resolving a duplicate key by the
-    /// canonical digest order (larger encoded form wins — on equal
-    /// digests this is a no-op, which is what makes merge idempotent).
+    /// canonical freshness-monotone order (the greater digest wins — on
+    /// equal digests this is a no-op, which is what makes merge
+    /// idempotent).
     pub fn insert(&mut self, digest: SessionDigest) {
         match self.sessions.get(&digest.key) {
-            Some(existing) if existing.encoded() >= digest.encoded() => {}
+            Some(existing) if existing.cmp_canonical(&digest) != Ordering::Less => {}
             _ => {
                 self.sessions.insert(digest.key.clone(), digest);
             }
@@ -447,7 +481,7 @@ mod tests {
     #[test]
     fn duplicate_key_resolution_is_deterministic() {
         // Two *different* digests under one key: whichever merge order,
-        // the canonically larger encoded digest must win.
+        // the canonically greater digest must win.
         let d1 = digest("dup", &[("hot", 40)]);
         let d2 = digest("dup", &[("hot", 41)]);
         let mut r1 = Rollup::new();
@@ -457,6 +491,28 @@ mod tests {
         r2.insert(d2);
         r2.insert(d1);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn duplicate_key_resolution_prefers_fresher_digest() {
+        // varint(200) = [C8 01] sorts lexicographically above
+        // varint(300) = [AC 02], so an encoded-byte order would keep the
+        // *earlier* digest of a live session forever. The canonical
+        // order must be numeric: the digest with the larger makespan — a
+        // later snapshot of the same session — wins in either insert
+        // order.
+        let mut early = digest("dup", &[("hot", 10)]);
+        early.makespan = 200;
+        let mut late = digest("dup", &[("hot", 10)]);
+        late.makespan = 300;
+        assert!(early.encoded() > late.encoded(), "premise: varint order is inverted here");
+        for pair in [[&early, &late], [&late, &early]] {
+            let mut r = Rollup::new();
+            for d in pair {
+                r.insert((*d).clone());
+            }
+            assert_eq!(r.sessions["dup"].makespan, 300, "fresher digest must win");
+        }
     }
 
     #[test]
