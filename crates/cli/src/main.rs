@@ -15,6 +15,7 @@
 //! critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS] [--retries N]
 //!                [--fault-plan NAME|SPEC]
 //! critlock status --at ADDR [--json] [--timeout SECS]
+//! critlock health <addr> [--json] [--timeout SECS]
 //! critlock metrics <addr> [--timeout SECS]
 //! critlock aggregate [INPUT...] [--at ADDR] [--json] [--top N] [--out FILE]
 //! ```
@@ -76,7 +77,9 @@ USAGE:
                  [--journal DIR] [--idle-timeout-ms N] [--threads N]
                  [--strict] [--max-sessions N] [--session-quota-bytes N]
                  [--max-events N] [--shards N] [--forward ADDR]
-                 [--forward-interval-ms N] [--collector-id ID]
+                 [--forward-interval-ms N] [--forward-fallback ADDR]
+                 [--forward-timeout-ms N] [--forward-retries N]
+                 [--forward-fault-plan NAME|SPEC] [--collector-id ID]
                  [--max-rollup-sessions N]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
@@ -97,9 +100,16 @@ USAGE:
       collector's rollup to a parent collector's status socket every
       --forward-interval-ms (default 500), forming an aggregation tree;
       give each child a distinct --collector-id so anonymous sessions
-      stay distinct in the fleet aggregate. --max-rollup-sessions caps
-      the sessions a parent retains from child pushes (default 65536);
-      pushes past the cap are rejected whole.
+      stay distinct in the fleet aggregate. Failed pushes retry with
+      capped exponential backoff, bounded per push by
+      --forward-timeout-ms (default 5000); after --forward-retries
+      (default 5) consecutive failures the forwarder fails over to
+      --forward-fallback (when given) and probes its way back. With
+      --journal, an undelivered rollup is spooled to
+      <journal>/outbox.clag and re-forwarded after a restart.
+      --max-rollup-sessions caps the sessions a parent retains from
+      child pushes (default 65536); pushes past the cap are rejected
+      whole.
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -114,6 +124,13 @@ USAGE:
   critlock status --at ADDR [--json] [--timeout SECS]
       Query a collector's live analysis snapshots. --timeout bounds the
       query so a hung collector yields an error, not a hang.
+  critlock health <addr> [--json] [--timeout SECS]
+      Probe a collector's health over its status socket and classify it
+      ok / degraded / unhealthy from queue saturation, shed and quota
+      rates, journal write errors, analysis worker panics and forward
+      staleness. Exit code is the classification, Nagios-style: 0 ok,
+      1 degraded, 2 unhealthy, 3 unreachable — usable directly as a
+      liveness/readiness probe. --timeout defaults to 5 seconds.
   critlock metrics <addr> [--timeout SECS]
       Scrape a collector's metrics endpoint (Prometheus exposition
       format). <addr> is the collector's --metrics address.
@@ -122,8 +139,11 @@ USAGE:
       Merge per-session critical-lock rankings into one fleet-wide
       report: which locks are critical in what fraction of sessions, and
       their mean critical-path share. INPUTs are CLAG rollup files
-      (*.clag, as written by --out or a collector) and/or recorded
-      traces, which are analyzed and digested on the fly; --at fetches a
+      (*.clag, as written by --out or a collector), directories — every
+      *.clag underneath is merged, so a dead collector's journal
+      directory (with its orphaned outbox.clag spool) aggregates
+      directly — and/or recorded traces, which are analyzed and
+      digested on the fly; --at fetches a
       live collector's rollup (repeatable via multiple invocations and
       --out, since merging is idempotent). --out saves the merged rollup
       as a CLAG file for later (re-)aggregation. The report is
@@ -133,6 +153,21 @@ USAGE:
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `health` is a probe with Nagios-style exit semantics (0 ok,
+    // 1 degraded, 2 unhealthy, 3 unreachable), so it bypasses the
+    // ordinary ok/err exit mapping.
+    if argv.first().map(String::as_str) == Some("health") {
+        match args::parse(&argv).and_then(|p| cmd_health(&p)) {
+            Ok((output, code)) => {
+                print!("{output}");
+                return ExitCode::from(code);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
     match run(&argv) {
         Ok(output) => {
             print!("{output}");
@@ -164,6 +199,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "serve" => cmd_serve(&p),
         "push" => cmd_push(&p),
         "status" => cmd_status(&p),
+        "health" => cmd_health(&p).map(|(output, _exit)| output),
         "metrics" => cmd_metrics(&p),
         "aggregate" => cmd_aggregate(&p),
         other => Err(format!("unknown command `{other}`")),
@@ -486,6 +522,22 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
     }
     config.forward_interval =
         std::time::Duration::from_millis(p.get_or("forward-interval-ms", 500u64)?);
+    if let Some(fallback) = p.options.get("forward-fallback") {
+        config.forward_fallback = Some(parse_addr(fallback)?);
+    }
+    config.forward_timeout =
+        std::time::Duration::from_millis(p.get_or("forward-timeout-ms", 5000u64)?);
+    let retries: u32 = p.get_or("forward-retries", config.forward_retry.max_attempts)?;
+    if retries == 0 {
+        return Err("--forward-retries must be >= 1".into());
+    }
+    config.forward_retry = critlock_trace::RetryPolicy::with_attempts(retries);
+    if let Some(spec) = p.options.get("forward-fault-plan") {
+        config.forward_fault_plan = Some(
+            critlock_trace::FaultPlan::resolve(spec)
+                .map_err(|e| format!("invalid --forward-fault-plan: {e}"))?,
+        );
+    }
     if let Some(id) = p.options.get("collector-id") {
         config.collector_id = id.clone();
     }
@@ -568,6 +620,26 @@ fn cmd_status(p: &args::Parsed) -> Result<String, String> {
     Ok(reply)
 }
 
+/// `critlock health`: probe a collector and classify it. Returns the
+/// rendered report plus the Nagios-style exit code (0 ok, 1 degraded,
+/// 2 unhealthy); transport errors bubble up as `Err` and exit 3.
+fn cmd_health(p: &args::Parsed) -> Result<(String, u8), String> {
+    let at = p.positional(0, "status address")?;
+    let addr = parse_addr(at)?;
+    let secs: u64 = p.get_or("timeout", 5u64)?;
+    let timeout = Some(std::time::Duration::from_secs(secs.max(1)));
+    let report = critlock_collector::fetch_health(&addr, timeout)
+        .map_err(|e| format!("health probe of {addr} failed: {e}"))?;
+    let output = if p.flag("json") {
+        let mut json = report.render_json()?;
+        json.push('\n');
+        json
+    } else {
+        report.render_text()
+    };
+    Ok((output, report.class.exit_code()))
+}
+
 fn cmd_metrics(p: &args::Parsed) -> Result<String, String> {
     let at = p.positional(0, "metrics address")?;
     let addr = parse_addr(at)?;
@@ -587,6 +659,26 @@ fn cmd_metrics(p: &args::Parsed) -> Result<String, String> {
     Ok(reply)
 }
 
+/// Collect every `*.clag` file under `dir`, recursively, in sorted
+/// order (so directory aggregation is deterministic).
+fn collect_clag_files(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_clag_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "clag") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
 fn cmd_aggregate(p: &args::Parsed) -> Result<String, String> {
     use critlock_aggregate::FleetReport;
     use critlock_trace::rollup::Rollup;
@@ -599,7 +691,22 @@ fn cmd_aggregate(p: &args::Parsed) -> Result<String, String> {
     };
     let mut rollup = Rollup::new();
     for input in &p.positionals {
-        if input.ends_with(".clag") {
+        let path = std::path::Path::new(input);
+        if path.is_dir() {
+            // A directory (e.g. a dead collector's journal dir): merge
+            // every *.clag underneath, sorted for determinism. This is
+            // how an orphaned outbox.clag spool gets ingested.
+            let mut files = Vec::new();
+            collect_clag_files(path, &mut files)?;
+            if files.is_empty() {
+                return Err(format!("no .clag files under {input}"));
+            }
+            for file in files {
+                let part = Rollup::load(&file)
+                    .map_err(|e| format!("cannot load {}: {e}", file.display()))?;
+                rollup.merge(&part);
+            }
+        } else if input.ends_with(".clag") {
             let part = Rollup::load(input).map_err(|e| format!("cannot load {input}: {e}"))?;
             rollup.merge(&part);
         } else {

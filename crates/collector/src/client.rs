@@ -11,6 +11,7 @@
 //! producers that do not need resume.
 
 use crate::faults::{FaultState, FaultStream};
+use crate::health::HealthReport;
 use crate::net::{Addr, Stream};
 use crate::snapshot::CollectorStatus;
 use critlock_trace::rollup::Rollup;
@@ -319,19 +320,36 @@ pub fn fetch_rollup(addr: &Addr, timeout: Option<Duration>) -> io::Result<Rollup
 /// parent at its rollup-session cap rejects the push whole (an `err`
 /// reply surfaces here as `InvalidData`).
 pub fn push_rollup(addr: &Addr, rollup: &Rollup, timeout: Option<Duration>) -> io::Result<u64> {
-    let mut stream = match timeout {
+    push_rollup_with(addr, rollup, timeout, &None)
+}
+
+/// [`push_rollup`] with deterministic transport faults on the wire — the
+/// forwarder's chaos-testing path. `faults` is the shared [`FaultState`]
+/// so one-shot fault actions are consumed across pushes, exactly like the
+/// resumable trace-push path consumes them across reconnects.
+pub fn push_rollup_with(
+    addr: &Addr,
+    rollup: &Rollup,
+    timeout: Option<Duration>,
+    faults: &Option<Arc<Mutex<FaultState>>>,
+) -> io::Result<u64> {
+    let stream = match timeout {
         Some(t) => Stream::connect_timeout(addr, t)?,
         None => Stream::connect(addr)?,
     };
     stream.set_read_timeout(timeout)?;
     stream.set_write_timeout(timeout)?;
+    let mut conn = match faults {
+        Some(state) => PushConn::Faulty(FaultStream::new(stream, Arc::clone(state))),
+        None => PushConn::Plain(stream),
+    };
     let bytes = rollup.to_bytes();
-    stream.write_all(format!("rollup-push {}\n", bytes.len()).as_bytes())?;
-    stream.write_all(&bytes)?;
-    stream.flush()?;
-    stream.shutdown_write()?;
+    conn.write_all(format!("rollup-push {}\n", bytes.len()).as_bytes())?;
+    conn.write_all(&bytes)?;
+    conn.flush()?;
+    conn.shutdown_write()?;
     let mut reply = String::new();
-    BufReader::new(stream).read_to_string(&mut reply)?;
+    BufReader::new(conn).read_to_string(&mut reply)?;
     let reply = reply.trim();
     match reply.strip_prefix("ok ") {
         Some(n) => n
@@ -342,6 +360,31 @@ pub fn push_rollup(addr: &Addr, rollup: &Rollup, timeout: Option<Duration>) -> i
             format!("rollup-push rejected: {reply}"),
         )),
     }
+}
+
+/// Fetch the collector's health classification over the status socket.
+/// `json` selects the machine-readable reply; `timeout` bounds connect
+/// and socket I/O so probing a hung collector fails fast.
+pub fn fetch_health_text(addr: &Addr, json: bool, timeout: Option<Duration>) -> io::Result<String> {
+    let mut stream = match timeout {
+        Some(t) => Stream::connect_timeout(addr, t)?,
+        None => Stream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let request = if json { "health json\n" } else { "health\n" };
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown_write()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply)?;
+    Ok(reply)
+}
+
+/// Fetch and parse the JSON health report.
+pub fn fetch_health(addr: &Addr, timeout: Option<Duration>) -> io::Result<HealthReport> {
+    let text = fetch_health_text(addr, true, timeout)?;
+    HealthReport::parse_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Fetch and parse the JSON status.

@@ -1,0 +1,367 @@
+//! Health classification for liveness/readiness probes.
+//!
+//! A `health` request on the status socket (and the `critlock health`
+//! CLI verb built on it) classifies the collector as **ok**, **degraded**
+//! or **unhealthy** from the signals an orchestrator cares about: queue
+//! saturation, shed/quota rates, journal write errors, analysis worker
+//! panics, and forward staleness. Every non-ok classification carries a
+//! human-readable finding naming the signal that caused it, so a probe
+//! failure is diagnosable from the probe output alone.
+//!
+//! The classification is a pure function of [`HealthInputs`]
+//! ([`classify`]), so the rules are unit-testable without a daemon:
+//!
+//! | class       | rule                                                          |
+//! |-------------|---------------------------------------------------------------|
+//! | `unhealthy` | session queues fully saturated, or forwarding configured and no successful push for more than [`STALE_INTERVALS`] forward intervals while failing |
+//! | `degraded`  | any worker panic, failing forward pushes (including running on the fallback parent or with a spooled rollup), journal append failures, shed connections, quota-stopped sessions, or queues ≥ 90 % full |
+//! | `ok`        | none of the above                                             |
+//!
+//! Degraded means "serving, but something needs attention"; unhealthy
+//! means "data is being lost or going stale *right now*". The forwarder
+//! ticks at least once per forward interval, so a dead parent turns the
+//! classification within one interval of the first failed push.
+
+use crate::snapshot::ForwardStatus;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Forward intervals without a successful push (while pushes are
+/// failing) after which a forwarding collector is unhealthy rather than
+/// degraded: its view of the fleet is going stale and its rollup is only
+/// surviving on the local spool.
+pub const STALE_INTERVALS: u32 = 10;
+
+/// Queue fill fraction (in percent) at which the collector degrades.
+pub const QUEUE_DEGRADED_PCT: u64 = 90;
+
+/// The three-way health classification, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthClass {
+    /// Everything nominal.
+    Ok,
+    /// Serving, but a signal needs operator attention.
+    Degraded,
+    /// Data loss or staleness is happening right now.
+    Unhealthy,
+}
+
+// Hand-rolled so the wire form is the lowercase name ("ok"), matching
+// the text rendering and the exit-code table in the CLI docs.
+impl Serialize for HealthClass {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for HealthClass {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "ok" => Ok(HealthClass::Ok),
+                "degraded" => Ok(HealthClass::Degraded),
+                "unhealthy" => Ok(HealthClass::Unhealthy),
+                other => Err(serde::DeError::custom(format!("unknown health class `{other}`"))),
+            },
+            _ => Err(serde::DeError::custom("health class must be a string")),
+        }
+    }
+}
+
+impl HealthClass {
+    /// The process exit code `critlock health` maps this class to
+    /// (Nagios-style: 0 ok, 1 degraded/warning, 2 unhealthy/critical;
+    /// the CLI uses 3 for "could not reach the collector").
+    pub fn exit_code(self) -> u8 {
+        match self {
+            HealthClass::Ok => 0,
+            HealthClass::Degraded => 1,
+            HealthClass::Unhealthy => 2,
+        }
+    }
+
+    /// The lowercase name used on the wire and in renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthClass::Ok => "ok",
+            HealthClass::Degraded => "degraded",
+            HealthClass::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything [`classify`] looks at, gathered from the live collector.
+#[derive(Debug, Clone, Default)]
+pub struct HealthInputs {
+    /// Currently tracked sessions.
+    pub sessions_active: u64,
+    /// Frames currently queued across all sessions.
+    pub queue_depth: u64,
+    /// Total queue capacity (per-session capacity × active sessions).
+    pub queue_capacity: u64,
+    /// Connections shed by admission control.
+    pub shed_sessions: u64,
+    /// Sessions stopped by the byte quota.
+    pub quota_stopped_sessions: u64,
+    /// Failed journal appends (sessions degraded to unjournaled).
+    pub journal_append_failures: u64,
+    /// Analysis worker panics caught (quarantined sessions).
+    pub worker_panics: u64,
+    /// How often the forwarder pushes, when forwarding is configured.
+    pub forward_interval: Duration,
+    /// Live forwarder state; `None` when forwarding is not configured.
+    pub forward: Option<ForwardStatus>,
+}
+
+/// The reply to a `health` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// The classification.
+    pub class: HealthClass,
+    /// One line per signal that contributed to a non-ok class, most
+    /// severe first. Empty when ok.
+    pub findings: Vec<String>,
+    /// Currently tracked sessions.
+    pub sessions_active: u64,
+    /// Analysis worker panics caught since startup.
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Connections shed by admission control since startup.
+    #[serde(default)]
+    pub shed_sessions: u64,
+    /// Sessions stopped by the byte quota since startup.
+    #[serde(default)]
+    pub quota_stopped_sessions: u64,
+    /// Failed journal appends since startup.
+    #[serde(default)]
+    pub journal_append_failures: u64,
+    /// Forwarder state, when forwarding is configured.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub forward: Option<ForwardStatus>,
+}
+
+impl HealthReport {
+    /// Render the human-readable form (the plain `health` reply).
+    pub fn render_text(&self) -> String {
+        let mut out = format!("health: {}\n", self.class);
+        for finding in &self.findings {
+            out.push_str("  - ");
+            out.push_str(finding);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the machine-readable form (the `health json` reply).
+    pub fn render_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parse a `health json` reply.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Classify the collector's health from its observable signals. Pure and
+/// deterministic — the whole classification policy lives here.
+pub fn classify(inputs: &HealthInputs) -> HealthReport {
+    let mut unhealthy = Vec::new();
+    let mut degraded = Vec::new();
+
+    if inputs.queue_capacity > 0 && inputs.sessions_active > 0 {
+        let pct = inputs.queue_depth.saturating_mul(100) / inputs.queue_capacity;
+        if inputs.queue_depth >= inputs.queue_capacity {
+            unhealthy.push(format!(
+                "session queues fully saturated ({}/{} frames queued)",
+                inputs.queue_depth, inputs.queue_capacity
+            ));
+        } else if pct >= QUEUE_DEGRADED_PCT {
+            degraded.push(format!(
+                "session queues {pct}% full ({}/{} frames queued)",
+                inputs.queue_depth, inputs.queue_capacity
+            ));
+        }
+    }
+    if let Some(fwd) = &inputs.forward {
+        if fwd.consecutive_failures > 0 {
+            let stale_after = inputs
+                .forward_interval
+                .saturating_mul(STALE_INTERVALS)
+                .as_secs()
+                .max(u64::from(STALE_INTERVALS));
+            let stale = match fwd.last_success_age_secs {
+                Some(age) => age > stale_after,
+                // Failing and never once succeeded: stale as soon as the
+                // failure streak alone covers the staleness window.
+                None => fwd.consecutive_failures >= u64::from(STALE_INTERVALS),
+            };
+            let line = format!(
+                "forward pushes failing ({} consecutive failure(s), last success {})",
+                fwd.consecutive_failures,
+                match fwd.last_success_age_secs {
+                    Some(age) => format!("{age}s ago"),
+                    None => "never".to_string(),
+                }
+            );
+            if stale {
+                unhealthy.push(format!("{line}; rollup going stale"));
+            } else {
+                degraded.push(line);
+            }
+        }
+        if fwd.using_fallback {
+            degraded.push("forwarding to the fallback parent (primary unreachable)".into());
+        }
+        if fwd.spooled {
+            degraded.push("undelivered rollup spooled to outbox.clag".into());
+        }
+    }
+    if inputs.worker_panics > 0 {
+        degraded.push(format!(
+            "{} analysis worker panic(s); poisoned session(s) quarantined",
+            inputs.worker_panics
+        ));
+    }
+    if inputs.journal_append_failures > 0 {
+        degraded.push(format!(
+            "{} journal append failure(s); affected sessions run unjournaled",
+            inputs.journal_append_failures
+        ));
+    }
+    if inputs.shed_sessions > 0 {
+        degraded.push(format!("{} connection(s) shed by admission control", inputs.shed_sessions));
+    }
+    if inputs.quota_stopped_sessions > 0 {
+        degraded.push(format!(
+            "{} session(s) stopped by the byte quota",
+            inputs.quota_stopped_sessions
+        ));
+    }
+
+    let class = if !unhealthy.is_empty() {
+        HealthClass::Unhealthy
+    } else if !degraded.is_empty() {
+        HealthClass::Degraded
+    } else {
+        HealthClass::Ok
+    };
+    let mut findings = unhealthy;
+    findings.extend(degraded);
+    HealthReport {
+        class,
+        findings,
+        sessions_active: inputs.sessions_active,
+        worker_panics: inputs.worker_panics,
+        shed_sessions: inputs.shed_sessions,
+        quota_stopped_sessions: inputs.quota_stopped_sessions,
+        journal_append_failures: inputs.journal_append_failures,
+        forward: inputs.forward.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forwarding(consecutive: u64, age: Option<u64>) -> HealthInputs {
+        HealthInputs {
+            forward_interval: Duration::from_millis(500),
+            forward: Some(ForwardStatus {
+                pushes: 10,
+                failures: consecutive,
+                consecutive_failures: consecutive,
+                last_success_age_secs: age,
+                using_fallback: false,
+                spooled: false,
+            }),
+            ..HealthInputs::default()
+        }
+    }
+
+    #[test]
+    fn quiet_collector_is_ok_with_distinct_exit_codes() {
+        let report = classify(&HealthInputs::default());
+        assert_eq!(report.class, HealthClass::Ok);
+        assert!(report.findings.is_empty());
+        assert_eq!(HealthClass::Ok.exit_code(), 0);
+        assert_eq!(HealthClass::Degraded.exit_code(), 1);
+        assert_eq!(HealthClass::Unhealthy.exit_code(), 2);
+    }
+
+    #[test]
+    fn one_failed_push_degrades_within_the_interval() {
+        let report = classify(&forwarding(1, Some(1)));
+        assert_eq!(report.class, HealthClass::Degraded);
+        assert!(report.findings[0].contains("forward pushes failing"), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn sustained_forward_staleness_is_unhealthy() {
+        // 500 ms interval × STALE_INTERVALS = 5 s; 60 s since the last
+        // success while failing is well past stale.
+        let report = classify(&forwarding(30, Some(60)));
+        assert_eq!(report.class, HealthClass::Unhealthy);
+        assert!(report.findings[0].contains("stale"), "{:?}", report.findings);
+        // Never-succeeded forwarders go unhealthy on the streak alone.
+        let report = classify(&forwarding(u64::from(STALE_INTERVALS), None));
+        assert_eq!(report.class, HealthClass::Unhealthy);
+    }
+
+    #[test]
+    fn panics_journal_errors_shed_and_quota_degrade() {
+        for inputs in [
+            HealthInputs { worker_panics: 1, ..HealthInputs::default() },
+            HealthInputs { journal_append_failures: 2, ..HealthInputs::default() },
+            HealthInputs { shed_sessions: 3, ..HealthInputs::default() },
+            HealthInputs { quota_stopped_sessions: 4, ..HealthInputs::default() },
+        ] {
+            let report = classify(&inputs);
+            assert_eq!(report.class, HealthClass::Degraded, "{inputs:?}");
+            assert_eq!(report.findings.len(), 1);
+        }
+    }
+
+    #[test]
+    fn queue_saturation_escalates_from_degraded_to_unhealthy() {
+        let mut inputs = HealthInputs {
+            sessions_active: 2,
+            queue_capacity: 100,
+            queue_depth: 95,
+            ..HealthInputs::default()
+        };
+        assert_eq!(classify(&inputs).class, HealthClass::Degraded);
+        inputs.queue_depth = 100;
+        assert_eq!(classify(&inputs).class, HealthClass::Unhealthy);
+        inputs.queue_depth = 50;
+        assert_eq!(classify(&inputs).class, HealthClass::Ok);
+    }
+
+    #[test]
+    fn fallback_and_spool_are_visible_degradations() {
+        let mut inputs = forwarding(0, Some(1));
+        if let Some(f) = inputs.forward.as_mut() {
+            f.using_fallback = true;
+            f.spooled = true;
+        }
+        let report = classify(&inputs);
+        assert_eq!(report.class, HealthClass::Degraded);
+        assert_eq!(report.findings.len(), 2);
+        let text = report.render_text();
+        assert!(text.starts_with("health: degraded\n"), "{text}");
+        assert!(text.contains("fallback"), "{text}");
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let report = classify(&forwarding(2, Some(7)));
+        let json = report.render_json().unwrap();
+        assert_eq!(HealthReport::parse_json(&json).unwrap(), report);
+    }
+}

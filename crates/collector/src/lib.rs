@@ -33,7 +33,12 @@
 //!   latency histograms (`critlock-obs`), served Prometheus-style by the
 //!   `--metrics` endpoint;
 //! * [`faults`] — the deterministic fault-injection wrapper applying
-//!   `critlock_trace::FaultPlan`s to the client transport.
+//!   `critlock_trace::FaultPlan`s to the client transport (and, via
+//!   `CollectorConfig::forward_fault_plan`, to the rollup-push wire);
+//! * [`outbox`] — the durable forward spool a failed rollup push falls
+//!   back to, re-forwarded after a restart;
+//! * [`health`] — the ok/degraded/unhealthy classification served for
+//!   `health` requests and consumed by `critlock health`.
 //!
 //! ```no_run
 //! use critlock_collector::{start, Addr, CollectorConfig};
@@ -51,22 +56,26 @@
 pub mod assembler;
 pub mod client;
 pub mod faults;
+pub mod health;
 pub mod journal;
 pub mod metrics;
 pub mod net;
+pub mod outbox;
 pub mod queue;
 pub mod server;
 pub mod snapshot;
 
 pub use assembler::{repair, SessionAssembler};
 pub use client::{
-    fetch_metrics_text, fetch_rollup, fetch_status, fetch_status_text, fetch_status_text_timeout,
-    fetch_status_timeout, push, push_rollup, push_with, PushOptions,
+    fetch_health, fetch_health_text, fetch_metrics_text, fetch_rollup, fetch_status,
+    fetch_status_text, fetch_status_text_timeout, fetch_status_timeout, push, push_rollup,
+    push_rollup_with, push_with, PushOptions,
 };
 pub use faults::{FaultState, FaultStream};
+pub use health::{HealthClass, HealthReport};
 pub use journal::{recover_dir, RecoveredSession, SessionJournal};
 pub use metrics::{CollectorMetrics, JournalCounters, ShardMetrics};
 pub use net::{Addr, Listener, Stream};
 pub use queue::{Backpressure, FrameQueue};
 pub use server::{start, CollectorConfig, CollectorHandle};
-pub use snapshot::{CollectorStatus, SessionSnapshot, ShardStatus};
+pub use snapshot::{CollectorStatus, ForwardStatus, SessionSnapshot, ShardStatus};

@@ -52,6 +52,9 @@ pub struct ShardMetrics {
     pub sessions_shed: Counter,
     /// Sessions on this shard stopped by the byte quota.
     pub sessions_quota_stopped: Counter,
+    /// Analysis worker panics caught on this shard (each one quarantines
+    /// the poisoned session).
+    pub worker_panics: Counter,
     /// Sessions currently tracked by this shard (scrape-time gauge).
     pub sessions_active: Gauge,
     /// Frames currently queued across this shard's sessions.
@@ -103,6 +106,8 @@ pub struct CollectorMetrics {
     pub sessions_shed: Counter,
     /// Sessions stopped by the byte quota.
     pub sessions_quota_stopped: Counter,
+    /// Analysis worker panics caught collector-wide.
+    pub worker_panics: Counter,
     /// Currently tracked sessions (scrape-time gauge).
     pub sessions_active: Gauge,
 
@@ -119,6 +124,14 @@ pub struct CollectorMetrics {
     pub journal_syncs: Counter,
     /// Frames replayed out of journals during startup recovery.
     pub journal_frames_recovered: Counter,
+
+    /// Successful rollup pushes to the parent collector.
+    pub forward_pushes: Counter,
+    /// Failed rollup push attempts (primary or fallback).
+    pub forward_failures: Counter,
+    /// Seconds since the forwarder's last successful push (scrape-time
+    /// gauge; 0 until the first success).
+    pub forward_last_success_seconds: Gauge,
 
     /// Full snapshot recomputations (repair + analysis).
     pub snapshot_refreshes: Counter,
@@ -200,6 +213,10 @@ impl CollectorMetrics {
                 "critlock_sessions_quota_stopped_total",
                 "Sessions whose ingest was stopped by the byte quota",
             ),
+            worker_panics: r.counter(
+                "critlock_worker_panics_total",
+                "Analysis worker panics caught; each quarantines the poisoned session",
+            ),
             sessions_active: r.gauge("critlock_sessions_active", "Currently tracked sessions"),
             queue_depth: r
                 .gauge("critlock_queue_depth", "Frames currently queued across all sessions"),
@@ -217,6 +234,18 @@ impl CollectorMetrics {
             journal_frames_recovered: r.counter(
                 "critlock_journal_frames_recovered_total",
                 "Frames replayed out of journals during startup recovery",
+            ),
+            forward_pushes: r.counter(
+                "critlock_forward_pushes_total",
+                "Successful rollup pushes to the parent collector",
+            ),
+            forward_failures: r.counter(
+                "critlock_forward_failures_total",
+                "Failed rollup push attempts (primary or fallback parent)",
+            ),
+            forward_last_success_seconds: r.gauge(
+                "critlock_forward_last_success_seconds",
+                "Seconds since the last successful rollup push (0 before the first)",
             ),
             snapshot_refreshes: r.counter(
                 "critlock_snapshot_refreshes_total",
@@ -272,6 +301,11 @@ impl CollectorMetrics {
                 "critlock_shard_sessions_quota_stopped_total",
                 labels,
                 "Sessions stopped by the byte quota, by ingestion shard",
+            ),
+            worker_panics: r.counter_with(
+                "critlock_shard_worker_panics_total",
+                labels,
+                "Analysis worker panics caught, by ingestion shard",
             ),
             sessions_active: r.gauge_with(
                 "critlock_shard_sessions_active",

@@ -1,0 +1,64 @@
+//! The durable forward spool: `<journal_dir>/outbox.clag`.
+//!
+//! Whenever a rollup push to the parent fails (including the bounded
+//! shutdown flush), the forwarder persists the rollup it tried to send
+//! here, so a child that dies with its parent unreachable loses nothing:
+//! a restarted collector merges the spool back into its rollup state and
+//! re-forwards it, and `critlock aggregate <journal-dir>` ingests an
+//! orphaned spool directly (the CLAG merge is idempotent, so a spool
+//! that was in fact delivered is harmless to ingest again).
+//!
+//! The spool is replaced **atomically**: the new document is written to
+//! `outbox.clag.tmp`, fsynced, and renamed over the old spool. A crash
+//! at any byte leaves either the previous spool or the new one on disk,
+//! never a torn file — and the CLAG CRC framing rejects any other
+//! corruption at load time, so a reader never observes a torn rollup.
+
+use critlock_trace::rollup::Rollup;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the spool inside the journal directory.
+pub const OUTBOX_FILE: &str = "outbox.clag";
+
+/// Where the spool lives under `dir`.
+pub fn outbox_path(dir: &Path) -> PathBuf {
+    dir.join(OUTBOX_FILE)
+}
+
+/// Atomically replace the spool with `rollup`: write-to-temp, fsync,
+/// rename. The rename is the commit point.
+pub fn save(dir: &Path, rollup: &Rollup) -> io::Result<()> {
+    let tmp = dir.join("outbox.clag.tmp");
+    rollup.save(&tmp).map_err(to_io)?;
+    std::fs::rename(&tmp, outbox_path(dir))
+}
+
+/// Load the spooled rollup, if a spool exists and decodes. A spool that
+/// fails the CLAG framing or CRC (disk corruption — atomic replacement
+/// never produces one) is treated as absent rather than fatal: the
+/// collector starts and the bad file is left in place for inspection.
+pub fn load(dir: &Path) -> Option<Rollup> {
+    let path = outbox_path(dir);
+    if !path.exists() {
+        return None;
+    }
+    Rollup::load(&path).ok()
+}
+
+/// Remove the spool after a successful push delivered a rollup at least
+/// as fresh as the spooled one. Missing files are fine (never spooled,
+/// or already cleared).
+pub fn clear(dir: &Path) -> io::Result<()> {
+    match std::fs::remove_file(outbox_path(dir)) {
+        Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
+    }
+}
+
+fn to_io(e: critlock_trace::TraceError) -> io::Error {
+    match e {
+        critlock_trace::TraceError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}

@@ -50,16 +50,20 @@
 //! re-pushes after a failed or partial forward never double-counts.
 
 use crate::assembler::SessionAssembler;
+use crate::faults::FaultState;
+use crate::health::{classify, HealthInputs, HealthReport};
 use crate::journal::{self, SessionJournal};
 use crate::metrics::{CollectorMetrics, ShardMetrics};
 use crate::net::{Addr, Listener, Stream};
+use crate::outbox;
 use crate::queue::{Backpressure, FrameQueue};
-use crate::snapshot::{CollectorStatus, SessionSnapshot, ShardStatus};
+use crate::snapshot::{CollectorStatus, ForwardStatus, SessionSnapshot, ShardStatus};
 use critlock_analysis::digest_report;
 use critlock_trace::rollup::{Rollup, MAX_ROLLUP_LEN};
 use critlock_trace::stream::{write_ack, Frame, StreamReader, STREAM_VERSION};
-use critlock_trace::{Trace, TraceError};
+use critlock_trace::{Anomaly, FaultPlan, RetryPolicy, Trace, TraceError};
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -151,6 +155,27 @@ pub struct CollectorConfig {
     /// rollup cap ...`); pushes that only refresh already-retained
     /// sessions always succeed.
     pub max_rollup_sessions: usize,
+    /// Status address of a **secondary** parent to fail over to when
+    /// pushes to [`CollectorConfig::forward`] keep failing (after
+    /// `forward_retry.max_attempts` consecutive failures). While on the
+    /// fallback, the primary is probed periodically and forwarding fails
+    /// back as soon as it answers. `None` disables failover.
+    pub forward_fallback: Option<Addr>,
+    /// Bound on connect and socket I/O for each rollup push.
+    pub forward_timeout: Duration,
+    /// Backoff schedule for failed pushes: after a failure the forwarder
+    /// retries on `forward_retry.backoff(..)` (capped exponential)
+    /// instead of the plain forward interval, and `max_attempts` doubles
+    /// as the failover threshold and the shutdown-flush retry budget.
+    pub forward_retry: RetryPolicy,
+    /// Deterministic transport faults injected on the rollup-push wire
+    /// (chaos testing). `None` forwards over the plain socket.
+    pub forward_fault_plan: Option<FaultPlan>,
+    /// Test hook: panic inside the analysis worker when it refreshes a
+    /// session whose trace metadata names this app, to exercise the
+    /// quarantine path. Never set outside tests.
+    #[doc(hidden)]
+    pub panic_on_app: Option<String>,
 }
 
 impl CollectorConfig {
@@ -178,6 +203,11 @@ impl CollectorConfig {
             forward_interval: Duration::from_millis(500),
             collector_id: "collector".to_string(),
             max_rollup_sessions: 65_536,
+            forward_fallback: None,
+            forward_timeout: Duration::from_secs(5),
+            forward_retry: RetryPolicy::default(),
+            forward_fault_plan: None,
+            panic_on_app: None,
         }
     }
 
@@ -229,6 +259,14 @@ struct SessionState {
     /// Guards the once-per-session quota-stop accounting (a resuming
     /// producer can trip the quota on every reconnect).
     quota_counted: AtomicBool,
+    /// Set when an analysis worker panicked on this session. A poisoned
+    /// session is quarantined: its last published snapshot keeps being
+    /// served (marked degraded, with an [`Anomaly::AnalysisPanicked`]),
+    /// further frames are discarded undrained, and every other session —
+    /// including new admissions on the same shard — is unaffected.
+    poisoned: AtomicBool,
+    /// Copy of [`CollectorConfig::panic_on_app`] (test hook).
+    panic_app: Option<String>,
     /// Collector-wide metric handles (shared atomics; cheap clone).
     metrics: CollectorMetrics,
     /// Labelled metric handles of the shard that owns this session.
@@ -278,6 +316,11 @@ impl SessionState {
             }
         }
         drop(slot);
+        if let Some(app) = &self.panic_app {
+            if asm.partial().meta.app == *app {
+                panic!("injected analysis panic for app {app:?}");
+            }
+        }
         let started = Instant::now();
         let mut snap = SessionSnapshot::compute(
             self.id,
@@ -296,14 +339,76 @@ impl SessionState {
         snap
     }
 
-    /// The latest snapshot, recomputing first if new frames arrived.
+    /// The latest snapshot, recomputing first if new frames arrived. A
+    /// poisoned (quarantined) session serves its last good snapshot.
     fn current_snapshot(&self) -> SessionSnapshot {
-        self.apply_pending();
-        if self.dirty.load(Ordering::Acquire) {
-            return self.refresh_snapshot();
+        self.supervised(|| {
+            self.apply_pending();
+            if self.dirty.load(Ordering::Acquire) {
+                return self.refresh_snapshot();
+            }
+            let published = self.snapshot.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            published.unwrap_or_else(|| self.refresh_snapshot())
+        })
+        .unwrap_or_else(|| self.quarantined_snapshot())
+    }
+
+    /// Run an analysis-side operation under panic supervision. Returns
+    /// `None` without running anything if the session is already
+    /// quarantined; a panic inside `f` quarantines the session (the
+    /// panic is caught, never unwinding into the calling worker).
+    fn supervised<T>(&self, f: impl FnOnce() -> T) -> Option<T> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return None;
         }
-        let published = self.snapshot.lock().unwrap_or_else(|e| e.into_inner()).clone();
-        published.unwrap_or_else(|| self.refresh_snapshot())
+        match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(value) => Some(value),
+            Err(payload) => {
+                self.quarantine(payload.as_ref());
+                None
+            }
+        }
+    }
+
+    /// First panic on this session: mark it poisoned, count it (globally
+    /// and on the owning shard's labelled counter) and publish a degraded
+    /// snapshot carrying [`Anomaly::AnalysisPanicked`], based on the last
+    /// good snapshot when one exists.
+    fn quarantine(&self, payload: &(dyn std::any::Any + Send)) {
+        if self.poisoned.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        self.metrics.worker_panics.inc();
+        self.shard_metrics.worker_panics.inc();
+        let mut slot = self.snapshot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = slot.clone().unwrap_or_else(|| self.placeholder_snapshot());
+        snap.report.degraded = true;
+        snap.report.anomalies.push(Anomaly::AnalysisPanicked { detail });
+        *slot = Some(snap);
+        drop(slot);
+        self.dirty.store(false, Ordering::Release);
+    }
+
+    /// The snapshot a quarantined session serves: whatever `quarantine`
+    /// published (last good state plus the panic anomaly).
+    fn quarantined_snapshot(&self) -> SessionSnapshot {
+        self.snapshot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or_else(|| self.placeholder_snapshot())
+    }
+
+    /// An empty-trace snapshot for sessions that panicked before ever
+    /// publishing one. Computed from a fresh assembler — never touches
+    /// this session's (possibly poisoned) state.
+    fn placeholder_snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot::compute(self.id, self.peer.clone(), &SessionAssembler::new(), 0, 0, 0)
     }
 
     /// The key this session carries in rollups: the resume token when it
@@ -346,6 +451,22 @@ fn token_shard(token: &[u8], shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// Live forwarder state, shared between the forwarder thread, the
+/// status/health endpoints and the scrape-time gauge refresh.
+#[derive(Default)]
+struct ForwardState {
+    /// Failed forward ticks since the last delivered rollup.
+    consecutive_failures: u64,
+    /// When a push last succeeded (either parent).
+    last_success: Option<Instant>,
+    /// Whether pushes currently go to the fallback parent.
+    using_fallback: bool,
+    /// Whether an undelivered rollup sits in the outbox spool.
+    spooled: bool,
+    /// Tick counter while on the fallback, pacing fail-back probes.
+    ticks: u64,
+}
+
 struct Shared {
     shards: Vec<Shard>,
     /// Dedicated session-id allocator, seeded past any `anon-N` journal
@@ -372,6 +493,8 @@ struct Shared {
     /// analysis loop bumps it.
     passes: Mutex<u64>,
     progress: Condvar,
+    /// Forwarder state; meaningful only when forwarding is configured.
+    forward: Mutex<ForwardState>,
     config: CollectorConfig,
     metrics: CollectorMetrics,
 }
@@ -412,6 +535,7 @@ impl Shared {
                 recovered_sessions: m.sessions_recovered.get(),
                 shed_sessions: m.sessions_shed.get(),
                 quota_stopped_sessions: m.sessions_quota_stopped.get(),
+                worker_panics: m.worker_panics.get(),
                 queue_depth: sessions.iter().map(|s| s.queue.depth() as u64).sum(),
                 queue_high_water: sessions.iter().map(|s| s.queue.high_water()).max().unwrap_or(0),
             });
@@ -428,9 +552,50 @@ impl Shared {
             recovered_sessions: sum(|s| s.recovered_sessions),
             shed_sessions: sum(|s| s.shed_sessions),
             quota_stopped_sessions: sum(|s| s.quota_stopped_sessions),
+            worker_panics: sum(|s| s.worker_panics),
+            forward: self.forward_status(),
             shards: shard_statuses,
             sessions: snaps,
         }
+    }
+
+    /// The forwarder's observable state, or `None` when this collector
+    /// does not forward.
+    fn forward_status(&self) -> Option<ForwardStatus> {
+        self.config.forward.as_ref()?;
+        let fwd = self.forward.lock().unwrap_or_else(|e| e.into_inner());
+        Some(ForwardStatus {
+            pushes: self.metrics.forward_pushes.get(),
+            failures: self.metrics.forward_failures.get(),
+            consecutive_failures: fwd.consecutive_failures,
+            last_success_age_secs: fwd.last_success.map(|at| at.elapsed().as_secs()),
+            using_fallback: fwd.using_fallback,
+            spooled: fwd.spooled,
+        })
+    }
+
+    /// Classify this collector's health — the `health` request's answer.
+    /// Reads only queue counters, atomics and the forwarder state; never
+    /// a session assembler lock, so a probe cannot hang behind analysis.
+    fn health(&self) -> HealthReport {
+        let mut sessions_active = 0u64;
+        let mut queue_depth = 0u64;
+        for shard in &self.shards {
+            let sessions = shard.sessions.lock().unwrap_or_else(|e| e.into_inner());
+            sessions_active += sessions.len() as u64;
+            queue_depth += sessions.iter().map(|s| s.queue.depth() as u64).sum::<u64>();
+        }
+        classify(&HealthInputs {
+            sessions_active,
+            queue_depth,
+            queue_capacity: sessions_active * self.config.queue_capacity as u64,
+            shed_sessions: self.metrics.sessions_shed.get(),
+            quota_stopped_sessions: self.metrics.sessions_quota_stopped.get(),
+            journal_append_failures: self.metrics.journal_append_failures.get(),
+            worker_panics: self.metrics.worker_panics.get(),
+            forward_interval: self.config.forward_interval,
+            forward: self.forward_status(),
+        })
     }
 
     /// This collector's CLAG rollup: every tracked session digested at
@@ -475,6 +640,9 @@ impl Shared {
         m.sessions_active.set(active);
         m.queue_depth.set(depth);
         m.queue_high_water.set(high_water);
+        if let Some(at) = self.forward.lock().unwrap_or_else(|e| e.into_inner()).last_success {
+            m.forward_last_success_seconds.set(at.elapsed().as_secs());
+        }
         m.registry.render_prometheus()
     }
 }
@@ -516,6 +684,12 @@ impl CollectorHandle {
     /// status socket serves for a `rollup` request.
     pub fn rollup(&self) -> Rollup {
         self.shared.rollup()
+    }
+
+    /// Classify the collector's health in-process — the same report the
+    /// status socket serves for a `health` request.
+    pub fn health(&self) -> HealthReport {
+        self.shared.health()
     }
 
     /// Render the metrics in-process — the same text the metrics socket
@@ -574,11 +748,15 @@ impl CollectorHandle {
     }
 
     /// The finalized (repaired) trace of a session, if it exists.
+    /// `None` for quarantined sessions — their assembler state is not
+    /// trusted after a worker panic.
     pub fn session_trace(&self, session: u64) -> Option<Trace> {
         let state = self.shared.all_sessions().into_iter().find(|s| s.id == session)?;
-        state.apply_pending();
-        let asm = state.asm.lock().unwrap_or_else(|e| e.into_inner());
-        Some(asm.finalize())
+        state.supervised(|| {
+            state.apply_pending();
+            let asm = state.asm.lock().unwrap_or_else(|e| e.into_inner());
+            asm.finalize()
+        })
     }
 
     /// Stop accepting connections, finish pending analysis and join the
@@ -587,12 +765,16 @@ impl CollectorHandle {
     pub fn shutdown(mut self) {
         self.stop();
         // Graceful drain: fold anything the analysis loop left behind and
-        // make every journal durable.
+        // make every journal durable. Quarantined sessions skip the
+        // drain (their assembler is not trusted) but still sync their
+        // journal — the frames are good even if the analysis panicked.
         for session in self.shared.all_sessions() {
-            session.apply_pending();
-            if session.dirty.load(Ordering::Acquire) {
-                session.refresh_snapshot();
-            }
+            session.supervised(|| {
+                session.apply_pending();
+                if session.dirty.load(Ordering::Acquire) {
+                    session.refresh_snapshot();
+                }
+            });
             if let Some(journal) =
                 session.journal.lock().unwrap_or_else(|e| e.into_inner()).as_mut()
             {
@@ -741,9 +923,22 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         shutdown: AtomicBool::new(false),
         passes: Mutex::new(0),
         progress: Condvar::new(),
+        forward: Mutex::new(ForwardState::default()),
         config: config.clone(),
         metrics: metrics.clone(),
     });
+
+    // A spool left by an earlier run (it died before delivering a
+    // rollup) merges straight back into the forwarded state. The merge
+    // is idempotent, so a spool that did reach the parent is harmless.
+    // Deliberately not subject to `max_rollup_sessions`: this is the
+    // collector's own previously-accepted data, not an untrusted push.
+    if let Some(root) = &config.journal_dir {
+        if let Some(spooled) = outbox::load(root) {
+            shared.received_rollup.lock().unwrap_or_else(|e| e.into_inner()).merge(&spooled);
+            shared.forward.lock().unwrap_or_else(|e| e.into_inner()).spooled = true;
+        }
+    }
 
     for mut rec in recovered {
         let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
@@ -793,6 +988,8 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
             bytes_ingested: AtomicU64::new(0),
             over_quota: AtomicBool::new(false),
             quota_counted: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            panic_app: config.panic_on_app.clone(),
             metrics: metrics.clone(),
             shard_metrics: shard.metrics.clone(),
         });
@@ -809,7 +1006,19 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
     }
     for index in 0..shared.shards.len() {
         let shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || analysis_loop(shared, index)));
+        // Supervised: a panic that somehow escapes the per-session
+        // quarantine (a bug in the loop itself) restarts the worker
+        // instead of silently halting the shard's analysis forever.
+        threads.push(std::thread::spawn(move || loop {
+            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                analysis_loop(Arc::clone(&shared), index)
+            }));
+            if run.is_ok() || shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            shared.metrics.worker_panics.inc();
+            shared.shards[index].metrics.worker_panics.inc();
+        }));
     }
     if let Some(listener) = status_listener {
         let shared = Arc::clone(&shared);
@@ -971,6 +1180,8 @@ fn create_session(
         bytes_ingested: AtomicU64::new(0),
         over_quota: AtomicBool::new(false),
         quota_counted: AtomicBool::new(false),
+        poisoned: AtomicBool::new(false),
+        panic_app: shared.config.panic_on_app.clone(),
         metrics: shared.metrics.clone(),
         shard_metrics: shard.metrics.clone(),
     });
@@ -1144,7 +1355,14 @@ fn analysis_loop(shared: Arc<Shared>, shard_index: usize) {
         let sessions: Vec<Arc<SessionState>> =
             shared.shards[shard_index].sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
         for session in &sessions {
-            session.apply_pending();
+            if session.poisoned.load(Ordering::Acquire) {
+                // Quarantined: discard instead of assembling, so a
+                // blocked producer is released and the queue never
+                // wedges shutdown. The published snapshot is frozen.
+                let _ = session.queue.drain();
+                continue;
+            }
+            session.supervised(|| session.apply_pending());
             if shared.config.strict {
                 // Strict resource policy: a session whose assembly had to
                 // be truncated (event budget) or whose ingest hit the
@@ -1163,12 +1381,15 @@ fn analysis_loop(shared: Arc<Shared>, shard_index: usize) {
         if stopping || last_publish.elapsed() >= shared.config.snapshot_interval {
             for session in &sessions {
                 if session.dirty.load(Ordering::Acquire) {
+                    // The panic guard sits *inside* the pool closure, so
+                    // a panicking refresh quarantines one session without
+                    // ever unwinding through rayon into this loop.
                     match &pool {
                         Some(pool) => {
-                            pool.install(|| session.refresh_snapshot());
+                            pool.install(|| session.supervised(|| session.refresh_snapshot()));
                         }
                         None => {
-                            session.refresh_snapshot();
+                            session.supervised(|| session.refresh_snapshot());
                         }
                     }
                 }
@@ -1183,30 +1404,192 @@ fn analysis_loop(shared: Arc<Shared>, shard_index: usize) {
     }
 }
 
+/// While on the fallback parent, every Nth tick probes the primary first
+/// so forwarding fails back as soon as the primary recovers.
+const FAILBACK_PROBE_TICKS: u64 = 4;
+
+/// How long the forwarder sleeps before its next tick: the plain forward
+/// interval while pushes succeed, the retry policy's capped exponential
+/// backoff once they fail (failure `n` sleeps `retry.backoff(n - 1)`, so
+/// the first retry is prompt and sustained failure settles at the
+/// policy's cap instead of hammering a dead parent). Pure, so the
+/// schedule is unit-testable.
+fn forward_pause(retry: &RetryPolicy, interval: Duration, consecutive_failures: u64) -> Duration {
+    if consecutive_failures == 0 {
+        return interval;
+    }
+    let attempt = (consecutive_failures - 1).min(u64::from(u32::MAX)) as u32;
+    retry.backoff(attempt)
+}
+
+/// One push attempt to one parent, counting the outcome.
+fn try_push(
+    shared: &Shared,
+    addr: &Addr,
+    rollup: &Rollup,
+    faults: &Option<Arc<Mutex<FaultState>>>,
+) -> bool {
+    let timeout = Some(shared.config.forward_timeout);
+    match crate::client::push_rollup_with(addr, rollup, timeout, faults) {
+        Ok(_) => {
+            shared.metrics.forward_pushes.inc();
+            true
+        }
+        Err(_) => {
+            shared.metrics.forward_failures.inc();
+            false
+        }
+    }
+}
+
+/// A rollup was delivered: reset the failure streak, note which parent
+/// took it, and clear the spool — everything spooled is now upstream.
+fn record_forward_success(shared: &Shared, on_fallback: bool) {
+    let mut fwd = shared.forward.lock().unwrap_or_else(|e| e.into_inner());
+    fwd.consecutive_failures = 0;
+    fwd.last_success = Some(Instant::now());
+    fwd.using_fallback = on_fallback;
+    if fwd.spooled {
+        if let Some(root) = &shared.config.journal_dir {
+            let _ = outbox::clear(root);
+        }
+        fwd.spooled = false;
+    }
+}
+
+/// Persist the undelivered rollup to the outbox spool (when journaling
+/// gives us a directory to spool into) and extend the failure streak.
+/// Returns the streak length.
+fn record_forward_failure(shared: &Shared, rollup: &Rollup) -> u64 {
+    if let Some(root) = &shared.config.journal_dir {
+        if outbox::save(root, rollup).is_ok() {
+            shared.forward.lock().unwrap_or_else(|e| e.into_inner()).spooled = true;
+        }
+    }
+    let mut fwd = shared.forward.lock().unwrap_or_else(|e| e.into_inner());
+    fwd.consecutive_failures += 1;
+    fwd.consecutive_failures
+}
+
+/// One forward tick: deliver `rollup` to the primary or the fallback,
+/// driving the failover state machine. Returns whether it was delivered.
+///
+/// * On the primary: push there; a failure spools the rollup, and once
+///   the streak reaches `forward_retry.max_attempts` the fallback (if
+///   configured) is tried in the same tick — success fails over.
+/// * On the fallback: every [`FAILBACK_PROBE_TICKS`]th tick probes the
+///   primary first (success fails back), otherwise the fallback carries
+///   the push; a tick with no delivery spools and extends the streak.
+fn forward_tick(
+    shared: &Shared,
+    primary: &Addr,
+    fallback: Option<&Addr>,
+    rollup: &Rollup,
+    faults: &Option<Arc<Mutex<FaultState>>>,
+) -> bool {
+    let using_fallback = {
+        let mut fwd = shared.forward.lock().unwrap_or_else(|e| e.into_inner());
+        fwd.ticks += 1;
+        fwd.using_fallback
+    };
+    if !using_fallback {
+        if try_push(shared, primary, rollup, faults) {
+            record_forward_success(shared, false);
+            return true;
+        }
+        let streak = record_forward_failure(shared, rollup);
+        if let Some(fb) = fallback {
+            if streak >= u64::from(shared.config.forward_retry.max_attempts.max(1))
+                && try_push(shared, fb, rollup, faults)
+            {
+                record_forward_success(shared, true);
+                return true;
+            }
+        }
+        return false;
+    }
+    let probe = shared
+        .forward
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .ticks
+        .is_multiple_of(FAILBACK_PROBE_TICKS);
+    if probe && try_push(shared, primary, rollup, faults) {
+        record_forward_success(shared, false);
+        return true;
+    }
+    if let Some(fb) = fallback {
+        if try_push(shared, fb, rollup, faults) {
+            record_forward_success(shared, true);
+            return true;
+        }
+    }
+    record_forward_failure(shared, rollup);
+    false
+}
+
 /// Periodically push this collector's rollup to the parent collector's
-/// status socket. Best effort: a failed push is simply retried on the
-/// next tick, and the idempotent merge makes re-sending after a partial
-/// forward safe. A final push is attempted when shutdown begins, so a
-/// short-lived child flushes what it saw.
+/// status socket. At-least-once with an idempotent merge: a failed push
+/// is spooled to the outbox and retried with capped exponential backoff
+/// ([`CollectorConfig::forward_retry`]), failing over to
+/// [`CollectorConfig::forward_fallback`] after a sustained streak and
+/// probing its way back to the primary. Shutdown flushes the final
+/// rollup with the same bounded retry budget — and spools it first, so
+/// a child dying with every parent unreachable still loses nothing.
 fn forward_loop(shared: Arc<Shared>) {
-    let Some(parent) = shared.config.forward.clone() else { return };
+    let Some(primary) = shared.config.forward.clone() else { return };
+    let fallback = shared.config.forward_fallback.clone();
+    let retry = shared.config.forward_retry;
     let interval = shared.config.forward_interval;
+    // One FaultState for the thread's lifetime: one-shot fault actions
+    // are consumed across pushes, like the trace-push path across
+    // reconnects.
+    let faults = shared.config.forward_fault_plan.as_ref().map(FaultState::new);
     let step = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
     loop {
+        let streak = shared.forward.lock().unwrap_or_else(|e| e.into_inner()).consecutive_failures;
+        let deadline = Instant::now() + forward_pause(&retry, interval, streak);
         // Sleep in small steps so shutdown is prompt.
-        let deadline = Instant::now() + interval;
         while Instant::now() < deadline && !shared.shutdown.load(Ordering::Acquire) {
             std::thread::sleep(step);
         }
-        let stopping = shared.shutdown.load(Ordering::Acquire);
-        let rollup = shared.rollup();
-        if !rollup.is_empty() {
-            let _ = crate::client::push_rollup(&parent, &rollup, Some(Duration::from_secs(5)));
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
         }
-        if stopping {
+        let rollup = shared.rollup();
+        if rollup.is_empty() {
+            continue;
+        }
+        forward_tick(&shared, &primary, fallback.as_ref(), &rollup, &faults);
+    }
+    // Shutdown flush. Spool before the first attempt: the rollup is
+    // durable even if the process is killed mid-flush.
+    let rollup = shared.rollup();
+    if rollup.is_empty() {
+        return;
+    }
+    if let Some(root) = &shared.config.journal_dir {
+        if outbox::save(root, &rollup).is_ok() {
+            shared.forward.lock().unwrap_or_else(|e| e.into_inner()).spooled = true;
+        }
+    }
+    for attempt in 0..shared.config.forward_retry.max_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(retry.backoff(attempt - 1));
+        }
+        if forward_tick(&shared, &primary, fallback.as_ref(), &rollup, &faults) {
             break;
         }
     }
+}
+
+/// Explicitly refuse a connection accepted in the window between the
+/// shutdown flag being raised and the accept loop observing it. The
+/// client gets a definite `err` line instead of a silently dropped
+/// socket it might block on.
+fn refuse_request(mut stream: Stream) -> io::Result<()> {
+    stream.write_all(b"err collector shutting down\n")?;
+    stream.flush()
 }
 
 fn status_loop(listener: Listener, shared: Arc<Shared>) {
@@ -1216,6 +1599,7 @@ fn status_loop(listener: Listener, shared: Arc<Shared>) {
             Err(_) => break,
         };
         if shared.shutdown.load(Ordering::Acquire) {
+            let _ = refuse_request(stream);
             break;
         }
         let _ = serve_status_request(stream, &shared);
@@ -1229,6 +1613,7 @@ fn metrics_loop(listener: Listener, shared: Arc<Shared>) {
             Err(_) => break,
         };
         if shared.shutdown.load(Ordering::Acquire) {
+            let _ = refuse_request(stream);
             break;
         }
         let _ = serve_metrics_request(stream, &shared);
@@ -1251,6 +1636,8 @@ fn serve_metrics_request(stream: Stream, shared: &Shared) -> io::Result<()> {
 /// Serve one status-socket request. The socket is line-oriented:
 ///
 /// * `status` / `status json` — the status document (text / JSON);
+/// * `health` / `health json` — the ok/degraded/unhealthy
+///   classification (see [`crate::health`]);
 /// * `rollup` — this collector's CLAG rollup, as raw bytes;
 /// * `rollup-push LEN` followed by exactly LEN CLAG bytes — merge a
 ///   child collector's rollup into this one; replies `ok N\n` (N = the
@@ -1270,6 +1657,17 @@ fn serve_status_request(stream: Stream, shared: &Shared) -> io::Result<()> {
         let reply = shared.rollup().to_bytes();
         let mut stream = reader.into_inner();
         stream.write_all(&reply)?;
+        return stream.flush();
+    }
+    if request == "health" || request == "health json" {
+        let report = shared.health();
+        let reply = if request == "health json" {
+            report.render_json().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        } else {
+            report.render_text()
+        };
+        let mut stream = reader.into_inner();
+        stream.write_all(reply.as_bytes())?;
         return stream.flush();
     }
     if let Some(len) = request.strip_prefix("rollup-push ") {
@@ -1320,4 +1718,31 @@ fn receive_rollup(reader: &mut impl Read, len: &str) -> Result<Rollup, String> {
     let mut bytes = vec![0u8; len];
     reader.read_exact(&mut bytes).map_err(|e| format!("short read: {e}"))?;
     Rollup::from_bytes(&bytes).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_pause_is_interval_then_capped_exponential() {
+        let retry = RetryPolicy::default();
+        let interval = Duration::from_millis(500);
+        assert_eq!(forward_pause(&retry, interval, 0), interval);
+        // Failure n sleeps backoff(n - 1): doubling from the policy's
+        // initial backoff up to its documented cap, never past it.
+        assert_eq!(forward_pause(&retry, interval, 1), retry.initial_backoff);
+        assert_eq!(forward_pause(&retry, interval, 2), retry.initial_backoff * 2);
+        assert_eq!(forward_pause(&retry, interval, 3), retry.initial_backoff * 4);
+        let mut prev = Duration::ZERO;
+        for failures in 1..=64u64 {
+            let pause = forward_pause(&retry, interval, failures);
+            assert!(pause <= retry.max_backoff, "failure {failures} slept {pause:?}");
+            assert!(pause >= prev, "backoff must be monotone");
+            prev = pause;
+        }
+        assert_eq!(forward_pause(&retry, interval, 64), retry.max_backoff);
+        // A huge streak must not overflow the shift.
+        assert_eq!(forward_pause(&retry, interval, u64::MAX), retry.max_backoff);
+    }
 }

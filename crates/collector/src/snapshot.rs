@@ -61,10 +61,35 @@ pub struct ShardStatus {
     pub shed_sessions: u64,
     /// Sessions on this shard stopped by the byte quota.
     pub quota_stopped_sessions: u64,
+    /// Analysis worker panics caught on this shard; each one quarantined
+    /// the poisoned session. A pre-supervision status document
+    /// deserializes to zero.
+    #[serde(default)]
+    pub worker_panics: u64,
     /// Frames currently queued across this shard's sessions.
     pub queue_depth: u64,
     /// Deepest any of this shard's session queues has ever been.
     pub queue_high_water: u64,
+}
+
+/// Live state of the rollup forwarder, surfaced in the status document
+/// and in health classification.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ForwardStatus {
+    /// Successful rollup pushes since startup.
+    pub pushes: u64,
+    /// Failed push attempts since startup (primary or fallback).
+    pub failures: u64,
+    /// Consecutive fully-failed forward ticks (0 while healthy). Resets
+    /// on any successful push, to either parent.
+    pub consecutive_failures: u64,
+    /// Seconds since the last successful push; `None` before the first.
+    pub last_success_age_secs: Option<u64>,
+    /// Whether the forwarder has failed over to the fallback parent.
+    pub using_fallback: bool,
+    /// Whether an undelivered rollup is currently spooled to
+    /// `outbox.clag`.
+    pub spooled: bool,
 }
 
 /// Everything the status endpoint publishes.
@@ -92,6 +117,15 @@ pub struct CollectorStatus {
     /// Sessions whose ingest was stopped by the per-session byte quota.
     #[serde(default)]
     pub quota_stopped_sessions: u64,
+    /// Analysis worker panics caught collector-wide (sum of the shard
+    /// counters). Each one quarantined exactly one session.
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Live forwarder state, present when this collector forwards its
+    /// rollup to a parent. A pre-resilience status document (or a
+    /// non-forwarding collector) deserializes to `None`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub forward: Option<ForwardStatus>,
     /// Per-shard counter slices, one per ingestion shard, ordered by
     /// shard index. A pre-sharding status document deserializes to an
     /// empty list.
@@ -145,17 +179,35 @@ impl CollectorStatus {
             + self.recovered_sessions
             + self.shed_sessions
             + self.quota_stopped_sessions
+            + self.worker_panics
             > 0
         {
             let _ = writeln!(
                 out,
-                "  rejected={} timed_out={} resumed={} recovered={} shed={} quota_stopped={}",
+                "  rejected={} timed_out={} resumed={} recovered={} shed={} quota_stopped={} worker_panics={}",
                 self.rejected_sessions,
                 self.timed_out_sessions,
                 self.resumed_sessions,
                 self.recovered_sessions,
                 self.shed_sessions,
                 self.quota_stopped_sessions,
+                self.worker_panics,
+            );
+        }
+        if let Some(fwd) = &self.forward {
+            let age = match fwd.last_success_age_secs {
+                Some(secs) => format!("{secs}s ago"),
+                None => "never".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  forward: pushes={} failures={} consecutive_failures={} last_success={}{}{}",
+                fwd.pushes,
+                fwd.failures,
+                fwd.consecutive_failures,
+                age,
+                if fwd.using_fallback { " (on fallback)" } else { "" },
+                if fwd.spooled { " (rollup spooled)" } else { "" },
             );
         }
         if self.shards.len() > 1 {
@@ -274,6 +326,15 @@ mod tests {
             recovered_sessions: 3,
             shed_sessions: 4,
             quota_stopped_sessions: 5,
+            worker_panics: 1,
+            forward: Some(ForwardStatus {
+                pushes: 9,
+                failures: 2,
+                consecutive_failures: 1,
+                last_success_age_secs: Some(3),
+                using_fallback: true,
+                spooled: true,
+            }),
             shards: vec![
                 ShardStatus { shard: 0, sessions: 1, sessions_total: 1, ..Default::default() },
                 ShardStatus { shard: 1, shed_sessions: 4, ..Default::default() },
@@ -286,6 +347,8 @@ mod tests {
         let text = status.render_text();
         assert!(text.contains("hot"));
         assert!(text.contains("shard 1"), "multi-shard status must list shards:\n{text}");
+        assert!(text.contains("on fallback"), "forward line missing:\n{text}");
+        assert!(text.contains("worker_panics=1"), "panic counter missing:\n{text}");
     }
 
     #[test]
@@ -299,6 +362,8 @@ mod tests {
             recovered_sessions: 0,
             shed_sessions: 0,
             quota_stopped_sessions: 0,
+            worker_panics: 0,
+            forward: None,
             shards: vec![ShardStatus::default()],
             sessions: Vec::new(),
         };

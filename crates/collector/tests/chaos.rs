@@ -1,0 +1,414 @@
+//! Fleet chaos harness: kill parents mid-forward, spool through dead
+//! parents, fail over and back, inject transport faults on the
+//! rollup-push wire, and panic analysis workers — always checking the
+//! same invariant: the surviving parent's fleet view equals the union of
+//! per-child offline analyses, with no session double-counted.
+
+use critlock_aggregate::FleetReport;
+use critlock_analysis::{analyze, digest_report};
+use critlock_collector::{
+    fetch_health, fetch_rollup, outbox, push_with, start, Addr, CollectorConfig, CollectorHandle,
+    CollectorStatus, HealthClass, PushOptions,
+};
+use critlock_trace::rollup::Rollup;
+use critlock_trace::{Anomaly, FaultPlan, RetryPolicy, Trace};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn test_config() -> CollectorConfig {
+    let mut config = CollectorConfig::new(Addr::parse("127.0.0.1:0").unwrap());
+    config.status_addr = Some(Addr::parse("127.0.0.1:0").unwrap());
+    config
+}
+
+/// A child tuned for chaos: fast forward ticks, fast capped backoff, a
+/// short push timeout, so every failure mode plays out in milliseconds.
+fn chaos_child(parent: Addr) -> CollectorConfig {
+    let mut config = test_config();
+    config.forward = Some(parent);
+    config.forward_interval = Duration::from_millis(10);
+    config.forward_timeout = Duration::from_millis(500);
+    config.forward_retry = RetryPolicy {
+        max_attempts: 2,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+    };
+    config.collector_id = "chaos-child".into();
+    config
+}
+
+/// A fixed unix status address, so a crashed parent can be restarted on
+/// the *same* address its children keep pushing to.
+fn unix_addr(name: &str) -> Addr {
+    let path = std::env::temp_dir().join(format!("clk-chaos-{name}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Addr::parse(&format!("unix:{}", path.display())).unwrap()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("critlock-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[track_caller]
+fn wait_for(handle: &CollectorHandle, what: &str, pred: impl Fn(&CollectorStatus) -> bool) {
+    assert!(handle.wait_until(Duration::from_secs(30), pred), "timeout waiting for {what}");
+}
+
+/// Three distinct sessions; "hot" dominates the critical path in two.
+fn fleet_traces() -> Vec<(Vec<u8>, Trace)> {
+    let mut out = Vec::new();
+    for (i, (hot_hold, cold_hold)) in [(40u64, 5u64), (30, 8), (6, 25)].iter().enumerate() {
+        let mut b = critlock_trace::TraceBuilder::new(format!("chaos-app-{i}"));
+        let hot = b.lock("hot");
+        let cold = b.lock("cold");
+        let t0 = b.thread("main", 0);
+        let t1 = b.thread("worker", 0);
+        b.on(t0).cs(hot, *hot_hold).cs(cold, *cold_hold).work(2).exit();
+        b.on(t1).work(3).cs_blocked(hot, 3 + *hot_hold, *hot_hold / 2).work(1).exit();
+        out.push((format!("chaos-session-{i}").into_bytes(), b.build().unwrap()));
+    }
+    out
+}
+
+fn push_fleet(handle: &CollectorHandle, traces: &[(Vec<u8>, Trace)]) {
+    for (token, trace) in traces {
+        push_with(
+            handle.ingest_addr(),
+            trace,
+            &PushOptions {
+                token: Some(token.clone()),
+                retry: RetryPolicy::none(),
+                ..PushOptions::default()
+            },
+        )
+        .unwrap();
+    }
+    wait_for(handle, "all fleet sessions to end", |s| {
+        s.sessions.len() == traces.len() && s.sessions.iter().all(|snap| snap.ended)
+    });
+}
+
+/// The ground truth every chaos scenario must converge to: each session
+/// analyzed offline and digested under its token, union-merged.
+fn offline_union(traces: &[(Vec<u8>, Trace)]) -> Rollup {
+    let mut rollup = Rollup::new();
+    for (token, trace) in traces {
+        let key = String::from_utf8(token.clone()).unwrap();
+        rollup.insert(digest_report(&key, &analyze(trace)));
+    }
+    rollup
+}
+
+#[track_caller]
+fn assert_union(rollup: &Rollup, union: &Rollup, what: &str) {
+    assert_eq!(rollup.to_bytes(), union.to_bytes(), "{what}: rollup must be the offline union");
+    let (got, want) = (FleetReport::from_rollup(rollup), FleetReport::from_rollup(union));
+    assert_eq!(got, want, "{what}: fleet report must match the offline union");
+    assert_eq!(got.to_json(), want.to_json());
+    assert_eq!(got.sessions, 3, "{what}: no session may be double-counted");
+}
+
+#[track_caller]
+fn wait_rollup(status_addr: &Addr, union: &Rollup, what: &str) -> Rollup {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(rollup) = fetch_rollup(status_addr, Some(Duration::from_secs(5))) {
+            if rollup.to_bytes() == union.to_bytes() {
+                break rollup;
+            }
+        }
+        assert!(Instant::now() < deadline, "timeout waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Parent dies mid-forward and restarts on the same address: the child's
+/// at-least-once re-pushes rebuild the parent's fleet view from nothing,
+/// byte-identical to the offline union — nothing lost, nothing counted
+/// twice.
+#[test]
+fn parent_restart_mid_forward_recovers_the_union() {
+    let parent_status = unix_addr("restart");
+    let mut parent_config = CollectorConfig::new(Addr::parse("127.0.0.1:0").unwrap());
+    parent_config.status_addr = Some(parent_status.clone());
+    let parent = start(parent_config.clone()).unwrap();
+
+    let child = start(chaos_child(parent_status.clone())).unwrap();
+    let traces = fleet_traces();
+    let union = offline_union(&traces);
+    push_fleet(&child, &traces);
+    wait_rollup(&parent_status, &union, "first parent to assemble the union");
+
+    // Kill the parent abruptly (no drain) while the child keeps pushing.
+    parent.crash();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Restart on the same address: the child's forwarder reconnects and
+    // re-pushes its full rollup; the merge is idempotent.
+    let parent = start(parent_config).unwrap();
+    let rollup = wait_rollup(&parent_status, &union, "restarted parent to recover the union");
+    assert_union(&rollup, &union, "restarted parent");
+    let status = child.status();
+    let fwd = status.forward.expect("forwarding child must report forward status");
+    assert!(fwd.pushes > 0, "child must have delivered pushes");
+    child.shutdown();
+    parent.shutdown();
+}
+
+/// Every parent is dead when the child shuts down: the final flush fails
+/// and the rollup lands in the outbox spool instead. A restarted
+/// collector on the same journal re-serves it, and loading the spool
+/// directly (what `critlock aggregate <dir>` does) yields the union.
+#[test]
+fn child_shutdown_with_dead_parent_spools_the_union() {
+    let dir = scratch_dir("spool");
+    let dead_parent = unix_addr("dead-parent"); // nothing listens here
+    let mut config = chaos_child(dead_parent);
+    config.journal_dir = Some(dir.clone());
+    let child = start(config.clone()).unwrap();
+
+    let traces = fleet_traces();
+    let union = offline_union(&traces);
+    push_fleet(&child, &traces);
+    // Let at least one forward tick fail so the failure path (not just
+    // the shutdown flush) exercises the spool.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.status().forward.as_ref().is_none_or(|f| f.consecutive_failures == 0) {
+        assert!(Instant::now() < deadline, "timeout waiting for a failed push");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.shutdown();
+
+    // The spool holds exactly the union.
+    let spooled = outbox::load(&dir).expect("shutdown with dead parent must leave a spool");
+    assert_union(&spooled, &union, "outbox spool");
+
+    // A restarted collector merges the spool back into its rollup, so
+    // nothing depends on a parent ever having been reachable. (The
+    // journaled sessions recover too; the merge keyed by session stays
+    // the plain union.)
+    let restarted = start(config).unwrap();
+    wait_for(&restarted, "journaled sessions to recover", |s| s.recovered_sessions == 3);
+    let rollup = restarted.rollup();
+    assert_union(&rollup, &union, "restarted child");
+    assert!(restarted.status().forward.is_some_and(|f| f.spooled), "spool must be reported");
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Primary dies → after the retry budget the forwarder fails over to the
+/// fallback parent; when the primary comes back, a probe tick fails back.
+/// Both parents end up holding the exact union.
+#[test]
+fn forwarder_fails_over_to_fallback_and_probes_back() {
+    let primary_status = unix_addr("failover-primary");
+    let mut primary_config = CollectorConfig::new(Addr::parse("127.0.0.1:0").unwrap());
+    primary_config.status_addr = Some(primary_status.clone());
+    let primary = start(primary_config.clone()).unwrap();
+
+    let fallback = start(test_config()).unwrap();
+    let fallback_status = fallback.status_addr().unwrap().clone();
+
+    let mut child_config = chaos_child(primary_status.clone());
+    child_config.forward_fallback = Some(fallback_status.clone());
+    let child = start(child_config).unwrap();
+
+    let traces = fleet_traces();
+    let union = offline_union(&traces);
+    push_fleet(&child, &traces);
+    wait_rollup(&primary_status, &union, "primary to assemble the union");
+    assert!(!child.status().forward.unwrap().using_fallback);
+
+    // Primary dies: the forwarder must fail over and deliver the same
+    // union to the fallback parent.
+    primary.crash();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !child.status().forward.as_ref().is_some_and(|f| f.using_fallback) {
+        assert!(Instant::now() < deadline, "timeout waiting for failover");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let rollup = wait_rollup(&fallback_status, &union, "fallback to assemble the union");
+    assert_union(&rollup, &union, "fallback parent");
+    // On the fallback, health says degraded — the fleet is serving, but
+    // an operator needs to know the primary is gone.
+    assert_eq!(child.health().class, HealthClass::Degraded);
+
+    // Primary returns on the same address: a probe tick must fail back.
+    let primary = start(primary_config).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.status().forward.as_ref().is_some_and(|f| f.using_fallback) {
+        assert!(Instant::now() < deadline, "timeout waiting for fail-back");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let rollup = wait_rollup(&primary_status, &union, "recovered primary to reassemble the union");
+    assert_union(&rollup, &union, "recovered primary");
+    child.shutdown();
+    primary.shutdown();
+    fallback.shutdown();
+}
+
+/// Deterministic transport faults on the rollup-push wire — every
+/// built-in plan plus low-offset cut/flip specs guaranteed to hit the
+/// small push body. One-shot faults are consumed, later pushes are
+/// clean, and the parent always converges to the byte-exact union.
+#[test]
+fn forward_chaos_matrix_converges_to_the_union() {
+    let traces = fleet_traces();
+    let union = offline_union(&traces);
+    let mut plans = FaultPlan::all_builtin();
+    plans.push(FaultPlan::resolve("cut@64").unwrap());
+    plans.push(FaultPlan::resolve("flip@40;cut@200").unwrap());
+    for plan in plans {
+        let name = plan.name.clone();
+        let parent = start(test_config()).unwrap();
+        let parent_status = parent.status_addr().unwrap().clone();
+        let mut child_config = chaos_child(parent_status.clone());
+        child_config.forward_fault_plan = Some(plan);
+        let child = start(child_config).unwrap();
+        push_fleet(&child, &traces);
+        let rollup = wait_rollup(&parent_status, &union, &format!("plan {name} to converge"));
+        assert_union(&rollup, &union, &format!("plan {name}"));
+        child.shutdown();
+        // The child's death changes nothing the parent already merged.
+        let after = fetch_rollup(&parent_status, Some(Duration::from_secs(5))).unwrap();
+        assert_union(&after, &union, &format!("plan {name} after child shutdown"));
+        parent.shutdown();
+    }
+}
+
+/// An analysis worker panic quarantines exactly the poisoned session:
+/// its last state is served degraded with a typed anomaly, the panic is
+/// counted in metrics/status/health, and every other session — including
+/// ones admitted afterwards — streams and analyzes normally.
+#[test]
+fn worker_panic_quarantines_only_the_poisoned_session() {
+    let mut config = test_config();
+    config.snapshot_interval = Duration::from_millis(20);
+    config.panic_on_app = Some("chaos-app-1".into());
+    let handle = start(config).unwrap();
+
+    let traces = fleet_traces();
+    for (token, trace) in &traces {
+        push_with(
+            handle.ingest_addr(),
+            trace,
+            &PushOptions {
+                token: Some(token.clone()),
+                retry: RetryPolicy::none(),
+                ..PushOptions::default()
+            },
+        )
+        .unwrap();
+    }
+    // The healthy sessions end; the poisoned one is quarantined instead.
+    wait_for(&handle, "healthy sessions to end and the panic to be caught", |s| {
+        s.worker_panics == 1 && s.sessions.iter().filter(|snap| snap.ended).count() == 2
+    });
+
+    let status = handle.status();
+    assert_eq!(status.worker_panics, 1);
+    assert_eq!(status.shards.iter().map(|s| s.worker_panics).sum::<u64>(), 1);
+    let poisoned: Vec<_> = status
+        .sessions
+        .iter()
+        .filter(|snap| {
+            snap.report.anomalies.iter().any(|a| matches!(a, Anomaly::AnalysisPanicked { .. }))
+        })
+        .collect();
+    assert_eq!(poisoned.len(), 1, "exactly one session quarantined");
+    assert!(poisoned[0].report.degraded, "quarantined session must be served degraded");
+    let poisoned_id = poisoned[0].session;
+    for snap in &status.sessions {
+        if snap.session != poisoned_id {
+            assert!(snap.ended, "healthy session {} must finish analysis", snap.session);
+            assert!(!snap
+                .report
+                .anomalies
+                .iter()
+                .any(|a| { matches!(a, Anomaly::AnalysisPanicked { .. }) }));
+        }
+    }
+
+    // Quarantine is visible on every surface: labelled metric, health
+    // classification, and the finalized-trace API refusing the session.
+    let metrics = handle.metrics_text();
+    assert!(
+        metrics.contains("critlock_shard_worker_panics_total{shard=\"0\"} 1"),
+        "missing panic counter in metrics:\n{metrics}"
+    );
+    let health = handle.health();
+    assert_eq!(health.class, HealthClass::Degraded);
+    assert!(health.findings.iter().any(|f| f.contains("panic")), "{:?}", health.findings);
+    assert!(handle.session_trace(poisoned_id).is_none());
+
+    // The shard keeps admitting and analyzing new sessions.
+    let mut b = critlock_trace::TraceBuilder::new("chaos-late");
+    let l = b.lock("late");
+    let t = b.thread("main", 0);
+    b.on(t).cs(l, 10).work(1).exit();
+    let late = b.build().unwrap();
+    push_with(
+        handle.ingest_addr(),
+        &late,
+        &PushOptions {
+            token: Some(b"chaos-late-session".to_vec()),
+            retry: RetryPolicy::none(),
+            ..PushOptions::default()
+        },
+    )
+    .unwrap();
+    wait_for(&handle, "a post-quarantine session to end", |s| {
+        s.sessions.iter().filter(|snap| snap.ended).count() == 3
+    });
+    handle.shutdown();
+}
+
+/// `critlock health` semantics end to end: ok while the parent answers,
+/// degraded within one forward interval of the parent dying, ok again
+/// after the parent restarts — with the probe served over the socket.
+#[test]
+fn health_flips_on_parent_death_and_recovery() {
+    let parent_status = unix_addr("health-parent");
+    let mut parent_config = CollectorConfig::new(Addr::parse("127.0.0.1:0").unwrap());
+    parent_config.status_addr = Some(parent_status.clone());
+    let parent = start(parent_config.clone()).unwrap();
+
+    let child = start(chaos_child(parent_status.clone())).unwrap();
+    let child_status = child.status_addr().unwrap().clone();
+    let traces = fleet_traces();
+    push_fleet(&child, &traces);
+    wait_rollup(&parent_status, &offline_union(&traces), "parent to assemble the union");
+
+    let probe = || fetch_health(&child_status, Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(probe().class, HealthClass::Ok);
+    assert_eq!(probe().class.exit_code(), 0);
+
+    parent.crash();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let report = probe();
+        if report.class != HealthClass::Ok {
+            assert!(report.class.exit_code() >= 1);
+            assert!(
+                report.findings.iter().any(|f| f.contains("forward")),
+                "findings must name the failing forward: {:?}",
+                report.findings
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "timeout waiting for degraded health");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let parent = start(parent_config).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while probe().class != HealthClass::Ok {
+        assert!(Instant::now() < deadline, "timeout waiting for health to recover");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.shutdown();
+    parent.shutdown();
+}

@@ -1,0 +1,140 @@
+//! Property tests for the durable forward spool: saves are atomic
+//! replacements, loads are all-or-nothing, and no corruption of the
+//! on-disk bytes — torn tails, bit flips, appended garbage, stray tmp
+//! files — can ever surface a torn or invented rollup.
+
+use critlock_collector::outbox;
+use critlock_trace::rollup::{cp_share_ppm, LockDigest, Rollup, SessionDigest};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "critlock-outbox-props-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn digest(key: &str, cp_length: u64, locks: &[(u8, u64)]) -> SessionDigest {
+    let mut lock_digests: Vec<LockDigest> = locks
+        .iter()
+        .map(|(letter, cp_time)| LockDigest {
+            name: format!("lock-{}", (b'a' + letter % 26) as char),
+            cp_time: *cp_time,
+            cp_share_ppm: cp_share_ppm(*cp_time, cp_length),
+            invocations_on_cp: 1 + cp_time % 7,
+            contended_on_cp: cp_time % 3,
+            total_invocations: 2 + cp_time % 11,
+            total_wait: cp_time / 2,
+            total_hold: *cp_time,
+        })
+        .collect();
+    lock_digests.sort_by(|a, b| a.name.cmp(&b.name));
+    lock_digests.dedup_by(|a, b| a.name == b.name);
+    SessionDigest {
+        key: key.to_string(),
+        app: format!("app-{key}"),
+        cp_length,
+        makespan: cp_length + 17,
+        degraded: cp_length.is_multiple_of(5),
+        locks: lock_digests,
+    }
+}
+
+fn rollup_from(keys: &BTreeSet<String>, cp_base: u64, locks: &[(u8, u64)]) -> Rollup {
+    let mut rollup = Rollup::new();
+    for (i, key) in keys.iter().enumerate() {
+        rollup.insert(digest(key, cp_base + i as u64 + 1, locks));
+    }
+    rollup
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replacement is atomic and corruption is contained: after saving A
+    /// then B, mangling the spool bytes yields either exactly B or a
+    /// clean `None` — never a panic, never a torn mixture, and a stray
+    /// uncommitted tmp file never shadows the committed spool.
+    #[test]
+    fn spool_survives_the_corruption_matrix(
+        raw_keys in prop::collection::vec(0u64..1_000_000, 1..8),
+        locks in prop::collection::vec((0u8..26, 1u64..1_000_000), 0..6),
+        cp_base in 1u64..1_000_000_000,
+        cut in 0usize..1 << 20,
+        flip_at in 0usize..1 << 20,
+        flip_bit in 0u32..8,
+        mode in 0u8..4,
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let dir = scratch_dir();
+        let keys: BTreeSet<String> =
+            raw_keys.iter().map(|n| format!("session-{n}")).collect();
+
+        // Fresh dir: nothing to load, clear is a no-op.
+        prop_assert!(outbox::load(&dir).is_none());
+        outbox::clear(&dir).unwrap();
+
+        // Save A, then replace with a distinct B; load must see exactly B.
+        let a = rollup_from(&keys, cp_base, &locks);
+        let b = rollup_from(&keys, cp_base + 1, &locks);
+        prop_assert_ne!(a.to_bytes(), b.to_bytes());
+        outbox::save(&dir, &a).unwrap();
+        prop_assert_eq!(outbox::load(&dir).as_ref(), Some(&a));
+        outbox::save(&dir, &b).unwrap();
+        prop_assert_eq!(outbox::load(&dir).as_ref(), Some(&b));
+
+        // A write that never reached the rename commit point must not
+        // shadow the committed spool, whatever the tmp file holds.
+        let tmp = outbox::outbox_path(&dir).with_extension("clag.tmp");
+        std::fs::write(&tmp, &garbage).unwrap();
+        prop_assert_eq!(outbox::load(&dir).as_ref(), Some(&b));
+        let _ = std::fs::remove_file(&tmp);
+
+        // Corrupt the committed bytes; load must be all-or-nothing.
+        let clean = std::fs::read(outbox::outbox_path(&dir)).unwrap();
+        let mut mangled = clean.clone();
+        match mode {
+            // Torn tail: the file stops mid-write.
+            0 => mangled.truncate(cut % mangled.len()),
+            // A single flipped bit anywhere in the framing or payload.
+            1 => {
+                let at = flip_at % mangled.len();
+                mangled[at] ^= 1u8 << flip_bit;
+            }
+            // Trailing garbage appended after the framed document.
+            2 => mangled.extend_from_slice(&garbage),
+            // Full overwrite with unrelated bytes.
+            _ => mangled = garbage.clone(),
+        }
+        let unchanged = mangled == clean;
+        std::fs::write(outbox::outbox_path(&dir), &mangled).unwrap();
+        match outbox::load(&dir) {
+            Some(loaded) => {
+                // Only byte-identical survivors may decode (e.g. an
+                // append of zero garbage bytes that changed nothing).
+                prop_assert!(unchanged, "corrupted spool decoded: mode={}", mode);
+                prop_assert_eq!(loaded, b.clone());
+            }
+            None => prop_assert!(!unchanged, "intact spool failed to load"),
+        }
+
+        // Whatever state corruption left behind, a fresh save recovers
+        // and clear removes it for good (idempotently).
+        outbox::save(&dir, &a).unwrap();
+        prop_assert_eq!(outbox::load(&dir).as_ref(), Some(&a));
+        outbox::clear(&dir).unwrap();
+        prop_assert!(outbox::load(&dir).is_none());
+        outbox::clear(&dir).unwrap();
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

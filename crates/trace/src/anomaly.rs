@@ -275,6 +275,14 @@ pub enum Anomaly {
         /// Wait + hold time the thread recorded despite zero lifetime.
         busy: Ts,
     },
+    /// The collector's analysis worker panicked while processing this
+    /// session. The session is quarantined: its last good snapshot keeps
+    /// being served (marked degraded), no further frames are analyzed,
+    /// and every other session on the shard keeps streaming.
+    AnalysisPanicked {
+        /// The panic message, when the payload carried one.
+        detail: String,
+    },
 }
 
 impl Anomaly {
@@ -321,6 +329,7 @@ impl Anomaly {
                 | Anomaly::BudgetThreadsTruncated { .. }
                 | Anomaly::BudgetBytesTruncated { .. }
                 | Anomaly::DeadlineExceeded { .. }
+                | Anomaly::AnalysisPanicked { .. }
         )
     }
 }
@@ -427,6 +436,9 @@ impl fmt::Display for Anomaly {
             }
             Anomaly::ZeroDurationThread { tid, busy } => {
                 write!(f, "{tid} has zero lifetime but {busy} time unit(s) of lock wait/hold; fractions reported as zero")
+            }
+            Anomaly::AnalysisPanicked { detail } => {
+                write!(f, "analysis worker panicked ({detail}); session quarantined")
             }
         }
     }
