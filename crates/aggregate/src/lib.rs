@@ -57,6 +57,41 @@ pub struct FleetLockStat {
     pub total_hold: u64,
 }
 
+/// One lock's fleet-wide statistics over the sessions' most recently
+/// closed sliding windows (present only when collectors run with
+/// windowing enabled — `serve --window-secs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetWindowStat {
+    /// Lock name.
+    pub name: String,
+    /// Windowed sessions in whose latest window the lock appears.
+    pub sessions_seen: u64,
+    /// Windowed sessions in whose latest window the lock lies on the
+    /// window's critical path.
+    pub sessions_critical: u64,
+    /// Mean over `sessions_seen` of the lock's in-window CP share,
+    /// derived from the exact integer ppm sum.
+    pub mean_cp_share: f64,
+    /// Exact integer sum of per-window fixed-point CP shares (ppm).
+    pub cp_share_ppm_sum: u64,
+    /// Summed in-window critical-path time across sessions.
+    pub total_cp_time: u64,
+}
+
+/// The fleet-wide view of the sessions' most recent closed windows —
+/// "critical locks over the last N seconds", aggregated. Derived purely
+/// from the window annotations the digests carry, so it inherits the
+/// rollup's merge-order independence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetWindow {
+    /// Sessions carrying a window annotation.
+    pub sessions: u64,
+    /// Per-lock stats over those windows, ranked by window criticality
+    /// (sessions critical, then summed CP share, then summed CP time,
+    /// then name).
+    pub locks: Vec<FleetWindowStat>,
+}
+
 /// The fleet-wide aggregation of a rollup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -69,6 +104,10 @@ pub struct FleetReport {
     /// Per-lock fleet statistics, ranked by fleet criticality (sessions
     /// critical, then summed CP share, then summed CP time, then name).
     pub locks: Vec<FleetLockStat>,
+    /// Fleet view of the most recent closed sliding windows; `None`
+    /// unless at least one digest carries a window annotation.
+    #[serde(default)]
+    pub recent: Option<FleetWindow>,
 }
 
 impl FleetReport {
@@ -88,8 +127,10 @@ impl FleetReport {
             total_hold: u64,
         }
         let mut by_lock: BTreeMap<&str, Acc> = BTreeMap::new();
+        let mut win_by_lock: BTreeMap<&str, Acc> = BTreeMap::new();
         let mut apps: BTreeMap<String, u64> = BTreeMap::new();
         let mut degraded = 0u64;
+        let mut windowed = 0u64;
         for digest in rollup.sessions.values() {
             *apps.entry(digest.app.clone()).or_default() += 1;
             degraded += digest.degraded as u64;
@@ -105,7 +146,42 @@ impl FleetReport {
                 acc.total_wait = acc.total_wait.saturating_add(lock.total_wait);
                 acc.total_hold = acc.total_hold.saturating_add(lock.total_hold);
             }
+            if let Some(window) = &digest.window {
+                windowed += 1;
+                for lock in &window.locks {
+                    let acc = win_by_lock.entry(&lock.name).or_default();
+                    acc.sessions_seen += 1;
+                    acc.sessions_critical += (lock.invocations_on_cp > 0) as u64;
+                    acc.cp_share_ppm_sum = acc.cp_share_ppm_sum.saturating_add(lock.cp_share_ppm);
+                    acc.total_cp_time = acc.total_cp_time.saturating_add(lock.cp_time);
+                }
+            }
         }
+        let recent = (windowed > 0).then(|| {
+            let mut locks: Vec<FleetWindowStat> = win_by_lock
+                .into_iter()
+                .map(|(name, acc)| FleetWindowStat {
+                    name: name.to_string(),
+                    sessions_seen: acc.sessions_seen,
+                    sessions_critical: acc.sessions_critical,
+                    mean_cp_share: if acc.sessions_seen == 0 {
+                        0.0
+                    } else {
+                        acc.cp_share_ppm_sum as f64 / (acc.sessions_seen as f64 * PPM as f64)
+                    },
+                    cp_share_ppm_sum: acc.cp_share_ppm_sum,
+                    total_cp_time: acc.total_cp_time,
+                })
+                .collect();
+            locks.sort_by(|a, b| {
+                b.sessions_critical
+                    .cmp(&a.sessions_critical)
+                    .then(b.cp_share_ppm_sum.cmp(&a.cp_share_ppm_sum))
+                    .then(b.total_cp_time.cmp(&a.total_cp_time))
+                    .then(a.name.cmp(&b.name))
+            });
+            FleetWindow { sessions: windowed, locks }
+        });
         let sessions = rollup.len() as u64;
         let mut locks: Vec<FleetLockStat> = by_lock
             .into_iter()
@@ -140,7 +216,7 @@ impl FleetReport {
                 .then(b.total_cp_time.cmp(&a.total_cp_time))
                 .then(a.name.cmp(&b.name))
         });
-        FleetReport { sessions, degraded_sessions: degraded, apps, locks }
+        FleetReport { sessions, degraded_sessions: degraded, apps, locks, recent }
     }
 
     /// The fleet's top critical lock, if any lock reaches a critical
@@ -215,6 +291,19 @@ impl FleetReport {
                 topl.mean_cp_share * 100.0,
             );
         }
+        if let Some(recent) = &self.recent {
+            let _ = writeln!(out, "\nrecent window: {} windowed session(s)", recent.sessions);
+            for l in recent.locks.iter().take(top.unwrap_or(usize::MAX)) {
+                let _ = writeln!(
+                    out,
+                    "  {}: critical in {}/{} window(s), mean CP share {:.2}%",
+                    l.name,
+                    l.sessions_critical,
+                    recent.sessions,
+                    l.mean_cp_share * 100.0,
+                );
+            }
+        }
         out
     }
 
@@ -257,6 +346,7 @@ mod tests {
             makespan: 120,
             degraded: false,
             locks,
+            window: None,
         }
     }
 
@@ -311,6 +401,66 @@ mod tests {
         assert!(!text.contains("\ncold"));
         let back = FleetReport::parse_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn recent_window_section_aggregates_annotations() {
+        use critlock_trace::rollup::WindowDigest;
+        let win_lock = |name: &str, cp_time: u64, cp_length: u64| LockDigest {
+            name: name.to_string(),
+            cp_time,
+            cp_share_ppm: cp_share_ppm(cp_time, cp_length),
+            invocations_on_cp: (cp_time > 0) as u64,
+            contended_on_cp: 0,
+            total_invocations: 1,
+            total_wait: 0,
+            total_hold: cp_time,
+        };
+        let mut r = Rollup::new();
+        let mut d1 = digest("s1", "web", &[("hot", 40, 4)]);
+        d1.window = Some(WindowDigest {
+            index: 5,
+            lo: 50,
+            hi: 60,
+            cp_length: 10,
+            makespan: 10,
+            locks: vec![win_lock("hot", 5, 10)],
+        });
+        let mut d2 = digest("s2", "web", &[("hot", 20, 2)]);
+        d2.window = Some(WindowDigest {
+            index: 5,
+            lo: 50,
+            hi: 60,
+            cp_length: 10,
+            makespan: 10,
+            locks: vec![win_lock("hot", 3, 10)],
+        });
+        // One session without windowing in the mix.
+        let d3 = digest("s3", "db", &[("cold", 10, 1)]);
+        r.insert(d1);
+        r.insert(d2);
+        r.insert(d3);
+        let rep = FleetReport::from_rollup(&r);
+        let recent = rep.recent.as_ref().expect("window annotations present");
+        assert_eq!(recent.sessions, 2);
+        let hot = &recent.locks[0];
+        assert_eq!(hot.name, "hot");
+        assert_eq!(hot.sessions_seen, 2);
+        assert_eq!(hot.sessions_critical, 2);
+        // mean of 50% and 30% in-window CP share.
+        assert!((hot.mean_cp_share - 0.40).abs() < 1e-6);
+        let text = rep.render_text(None);
+        assert!(text.contains("recent window: 2 windowed session(s)"));
+        assert!(text.contains("hot: critical in 2/2 window(s)"));
+        // JSON round-trips, and window-free reports still parse (the
+        // `recent` field defaults to None).
+        let back = FleetReport::parse_json(&rep.to_json()).unwrap();
+        assert_eq!(back, rep);
+        let plain = FleetReport::from_rollup(&sample());
+        assert!(plain.recent.is_none());
+        let mut json = plain.to_json();
+        json = json.replace("\"recent\": null,", "");
+        assert_eq!(FleetReport::parse_json(&json).unwrap(), plain);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! hand; fleet means are then integer sums of those shares.
 
 use crate::metrics::AnalysisReport;
-use critlock_trace::rollup::{cp_share_ppm, LockDigest, SessionDigest};
+use critlock_trace::rollup::{cp_share_ppm, LockDigest, SessionDigest, WindowDigest};
+use critlock_trace::Ts;
 
 /// Extract the mergeable digest of one session's analysis. `key` must be
 /// unique across every session that can ever meet in one aggregation
@@ -42,7 +43,32 @@ pub fn digest_report(key: &str, report: &AnalysisReport) -> SessionDigest {
         makespan: report.makespan,
         degraded: report.degraded,
         locks,
+        window: None,
     }
+}
+
+/// Extract the digest of one closed sliding window `[lo, hi]` from the
+/// analysis of the clipped trace. Same compression as [`digest_report`]
+/// (integer totals, name-sorted locks), keyed by window ordinal instead
+/// of session identity — windows are immutable once closed, so their
+/// digests never need the freshness order.
+pub fn digest_window(index: u64, lo: Ts, hi: Ts, report: &AnalysisReport) -> WindowDigest {
+    let mut locks: Vec<LockDigest> = report
+        .locks
+        .iter()
+        .map(|l| LockDigest {
+            name: l.name.clone(),
+            cp_time: l.cp_time,
+            cp_share_ppm: cp_share_ppm(l.cp_time, report.cp_length),
+            invocations_on_cp: l.invocations_on_cp,
+            contended_on_cp: l.contended_on_cp,
+            total_invocations: l.total_invocations,
+            total_wait: l.total_wait,
+            total_hold: l.total_hold,
+        })
+        .collect();
+    locks.sort_by(|a, b| a.name.cmp(&b.name));
+    WindowDigest { index, lo, hi, cp_length: report.cp_length, makespan: report.makespan, locks }
 }
 
 #[cfg(test)]

@@ -59,10 +59,10 @@ pub mod window;
 
 pub use blockers::{blocker_report, BlockerReport, BlockingEdge};
 pub use cp::{critical_path, CpSlice, CriticalPath};
-pub use digest::digest_report;
+pub use digest::{digest_report, digest_window};
 pub use metrics::{analyze, analyze_profiled, analyze_with, AnalysisReport, LockReport};
-pub use online::{online_analyze, OnlineReport};
+pub use online::{online_analyze, OnlineReport, OnlineState};
 pub use segments::{Segment, SegmentedTrace, StartCause};
 pub use threads::{thread_report, ThreadCriticality, ThreadReport};
 pub use whatif::{project_shrink, rank_targets, rank_targets_by_wait, ranking_disagreement};
-pub use window::{analyze_phase, clip, marker_window};
+pub use window::{analyze_phase, clip, marker_window, WindowRing};

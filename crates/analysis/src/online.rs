@@ -1,4 +1,5 @@
-//! Online (single forward pass) critical-path lock profiling.
+//! Online (single forward pass) critical-path lock profiling, with
+//! incremental state maintenance for live sessions.
 //!
 //! The paper's future work (§VII) suggests feeding lock criticality to
 //! run-time systems (accelerated critical sections, lock reordering,
@@ -11,14 +12,36 @@
 //! edges (lock hand-offs, barrier releases, signals, create/join) take the
 //! maximum and inherit the winning profile.
 //!
+//! ## Incremental maintenance
+//!
+//! [`OnlineState`] is the persistent form of the pass: a live collector
+//! feeds it each frame's events as they arrive ([`OnlineState::ingest`])
+//! and the per-thread frontier values advance by only the new events —
+//! O(delta), not O(session history). Events are buffered per arrival and
+//! folded into the permanent frontier in global `(ts, tid, arrival)`
+//! order once no thread can still contribute an earlier timestamp (the
+//! *fold bound*: the minimum last-ingested timestamp over live threads).
+//! Events above the bound stay pending and are folded ephemerally — into
+//! a clone of the small frontier — when a report is requested, so every
+//! [`OnlineState::report`] is exactly the report a from-scratch
+//! [`online_analyze`] of all ingested events would produce.
+//!
+//! The fold order assumes per-thread timestamps never step backwards
+//! across the fold bound. When they do (frame loss, a thread announced
+//! late with old events), the state flags itself [`stale`] and the owner
+//! rebuilds it from the assembled trace — correctness is unconditional,
+//! incrementality is the common case.
+//!
 //! For traces with a single final answer the result matches the offline
 //! analysis exactly on lock attribution along the final critical path;
 //! see the equivalence tests.
+//!
+//! [`stale`]: OnlineState::is_stale
 
-use critlock_trace::{EventKind, ObjId, ThreadId, Trace, Ts};
+use critlock_trace::{Event, EventKind, ObjId, ThreadId, Trace, Ts};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-lock attribution of critical-path time, as estimated online.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,36 +77,40 @@ impl OnlineReport {
 type Profile = FxHashMap<ObjId, Ts>;
 
 /// A dependence-path value: its length plus the per-lock attribution of
-/// that length. The profile is shared copy-on-write behind an `Rc` —
+/// that length. The profile is shared copy-on-write behind an `Arc` —
 /// publishing a producer value or adopting a winning value is a pointer
 /// bump, and the map is deep-copied only when a thread mutates a profile
-/// that is still shared (`Rc::make_mut`). This removes the dominant
+/// that is still shared (`Arc::make_mut`). This removes the dominant
 /// allocation cost of the forward pass (deep map clones on every
-/// release/signal/exit) without changing any computed value.
-#[derive(Clone, Default)]
+/// release/signal/exit) without changing any computed value, and it is
+/// what makes cloning the incremental frontier at report time cheap: the
+/// carried-forward profiles are shared, not copied.
+#[derive(Debug, Clone, Default)]
 struct PathVal {
     len: Ts,
-    profile: Rc<Profile>,
+    profile: Arc<Profile>,
 }
 
 impl PathVal {
     fn adopt_max(&mut self, other: &PathVal) {
         if other.len > self.len {
             self.len = other.len;
-            self.profile = Rc::clone(&other.profile);
+            self.profile = Arc::clone(&other.profile);
         }
     }
 
     /// Attribute `dt` of path time to `lock`.
     fn attribute(&mut self, lock: ObjId, dt: Ts) {
-        *Rc::make_mut(&mut self.profile).entry(lock).or_insert(0) += dt;
+        *Arc::make_mut(&mut self.profile).entry(lock).or_insert(0) += dt;
     }
 }
 
+#[derive(Debug, Clone, Default)]
 struct ThreadState {
     val: PathVal,
     last_ts: Ts,
     running: bool,
+    exited: bool,
     held: Vec<ObjId>,
 }
 
@@ -102,62 +129,47 @@ fn is_producer(kind: &EventKind) -> bool {
     )
 }
 
-/// Run the forward online critical-path pass over a complete trace.
-///
-/// Events are processed in timestamp groups. Within a group, each
-/// thread's events keep their program order (reordering them corrupts
-/// the held-lock and running-state machines — e.g. a zero-duration
-/// critical section would release before it obtains), and a first sweep
-/// publishes all producer values so same-instant hand-offs (release →
-/// obtain, last-arrival → departs, exit → join) resolve regardless of
-/// thread iteration order. All events in a group share the timestamp, so
-/// no running time accrues inside a group and the two-sweep split is
-/// exact.
-///
-/// (When embedded in a runtime, the same state machine runs incrementally
-/// on live events; operating on a recorded trace here keeps the module
-/// testable against the offline walk.)
-pub fn online_analyze(trace: &Trace) -> OnlineReport {
-    let mut events: Vec<(Ts, ThreadId, usize, EventKind)> = Vec::new();
-    for stream in &trace.threads {
-        for (i, ev) in stream.events.iter().enumerate() {
-            events.push((ev.ts, stream.tid, i, ev.kind));
+/// The folded core of the forward pass: per-thread frontier values plus
+/// the producer-value maps dependence edges adopt from. Cloning it is
+/// O(threads + live producer values) — profiles are shared `Arc`s — which
+/// is what lets a report fold the pending tail into a throwaway copy.
+#[derive(Debug, Clone, Default)]
+struct FoldState {
+    threads: Vec<ThreadState>,
+    release_vals: FxHashMap<ObjId, PathVal>,
+    barrier_vals: FxHashMap<(ObjId, u32), PathVal>,
+    signal_vals: FxHashMap<(ObjId, u64), PathVal>,
+    latest_signal: FxHashMap<ObjId, PathVal>,
+    create_vals: FxHashMap<ThreadId, PathVal>,
+    exit_vals: FxHashMap<ThreadId, PathVal>,
+    final_candidate: Option<(Ts, ThreadId, PathVal)>,
+}
+
+impl FoldState {
+    fn thread_mut(&mut self, tid: ThreadId) -> &mut ThreadState {
+        let ti = tid.index();
+        if ti >= self.threads.len() {
+            self.threads.resize_with(ti + 1, ThreadState::default);
         }
+        &mut self.threads[ti]
     }
-    events.sort_by_key(|(ts, tid, idx, _)| (*ts, *tid, *idx));
 
-    let n = trace.threads.len();
-    let mut threads: Vec<ThreadState> = (0..n)
-        .map(|_| ThreadState {
-            val: PathVal::default(),
-            last_ts: 0,
-            running: false,
-            held: Vec::new(),
-        })
-        .collect();
-
-    let mut release_vals: FxHashMap<ObjId, PathVal> = FxHashMap::default();
-    let mut barrier_vals: FxHashMap<(ObjId, u32), PathVal> = FxHashMap::default();
-    let mut signal_vals: FxHashMap<(ObjId, u64), PathVal> = FxHashMap::default();
-    let mut latest_signal: FxHashMap<ObjId, PathVal> = FxHashMap::default();
-    let mut create_vals: FxHashMap<ThreadId, PathVal> = FxHashMap::default();
-    let mut exit_vals: FxHashMap<ThreadId, PathVal> = FxHashMap::default();
-    let mut final_candidate: Option<(Ts, ThreadId, PathVal)> = None;
-
-    let mut i = 0;
-    while i < events.len() {
-        let ts = events[i].0;
-        let mut group_end = i;
-        while group_end < events.len() && events[group_end].0 == ts {
-            group_end += 1;
-        }
-
+    /// Fold one timestamp group (all events share `group[0].0`). Within a
+    /// group, each thread's events keep their program order (reordering
+    /// them corrupts the held-lock and running-state machines — e.g. a
+    /// zero-duration critical section would release before it obtains),
+    /// and a first sweep publishes all producer values so same-instant
+    /// hand-offs (release → obtain, last-arrival → departs, exit → join)
+    /// resolve regardless of thread iteration order. All events in a
+    /// group share the timestamp, so no running time accrues inside a
+    /// group and the two-sweep split is exact.
+    fn fold_group(&mut self, group: &[(Ts, ThreadId, u64, EventKind)]) {
+        let ts = group[0].0;
         // Sweep 1: accrue running time up to `ts` for every thread in the
         // group (attributed to its innermost held lock), then publish the
-        // values of all producer events so same-instant consumers adopt
-        // them independent of thread iteration order.
-        for &(_, tid, _, ref kind) in &events[i..group_end] {
-            let t = &mut threads[tid.index()];
+        // values of all producer events.
+        for &(_, tid, _, ref kind) in group {
+            let t = self.thread_mut(tid);
             if t.running && ts > t.last_ts {
                 let dt = ts - t.last_ts;
                 t.val.len += dt;
@@ -167,24 +179,24 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
             }
             t.last_ts = ts;
             if is_producer(kind) {
-                let val = threads[tid.index()].val.clone();
+                let val = self.threads[tid.index()].val.clone();
                 match *kind {
                     EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
-                        release_vals.insert(lock, val);
+                        self.release_vals.insert(lock, val);
                     }
                     EventKind::BarrierArrive { barrier, epoch } => {
-                        barrier_vals.entry((barrier, epoch)).or_default().adopt_max(&val);
+                        self.barrier_vals.entry((barrier, epoch)).or_default().adopt_max(&val);
                     }
                     EventKind::CondSignal { cv, signal_seq }
                     | EventKind::CondBroadcast { cv, signal_seq } => {
-                        signal_vals.insert((cv, signal_seq), val.clone());
-                        latest_signal.insert(cv, val);
+                        self.signal_vals.insert((cv, signal_seq), val.clone());
+                        self.latest_signal.insert(cv, val);
                     }
                     EventKind::ThreadCreate { child } => {
-                        create_vals.insert(child, val);
+                        self.create_vals.insert(child, val);
                     }
                     EventKind::ThreadExit => {
-                        exit_vals.insert(tid, val);
+                        self.exit_vals.insert(tid, val);
                     }
                     _ => {}
                 }
@@ -192,98 +204,50 @@ pub fn online_analyze(trace: &Trace) -> OnlineReport {
         }
 
         // Sweep 2: run the per-thread state machines in program order.
-        for &(_, tid, _, kind) in &events[i..group_end] {
-            step_event(
-                tid,
-                kind,
-                &mut threads,
-                &mut release_vals,
-                &mut barrier_vals,
-                &mut signal_vals,
-                &mut latest_signal,
-                &mut create_vals,
-                &mut exit_vals,
-                &mut final_candidate,
-            );
+        for &(_, tid, _, kind) in group {
+            self.step_event(tid, kind);
         }
-        i = group_end;
     }
 
-    let (cp_length, final_thread, profile) = match final_candidate {
-        Some((len, tid, val)) => {
-            (len, Some(tid), Rc::try_unwrap(val.profile).unwrap_or_else(|rc| (*rc).clone()))
-        }
-        None => (0, None, Profile::default()),
-    };
-
-    let mut locks: Vec<OnlineLockStat> = profile
-        .into_iter()
-        .map(|(lock, cp_time)| OnlineLockStat {
-            lock,
-            name: trace.object_name(lock),
-            cp_time,
-            cp_time_frac: if cp_length > 0 { cp_time as f64 / cp_length as f64 } else { 0.0 },
-        })
-        .collect();
-    locks.sort_by(|a, b| {
-        b.cp_time
-            .cmp(&a.cp_time)
-            .then_with(|| a.name.cmp(&b.name))
-            .then_with(|| a.lock.0.cmp(&b.lock.0))
-    });
-
-    OnlineReport { cp_length, final_thread, locks }
-}
-
-type ValMap<K> = FxHashMap<K, PathVal>;
-
-#[allow(clippy::too_many_arguments)]
-fn step_event(
-    tid: ThreadId,
-    kind: EventKind,
-    threads: &mut [ThreadState],
-    release_vals: &mut ValMap<ObjId>,
-    barrier_vals: &mut ValMap<(ObjId, u32)>,
-    signal_vals: &mut ValMap<(ObjId, u64)>,
-    latest_signal: &mut ValMap<ObjId>,
-    create_vals: &mut ValMap<ThreadId>,
-    exit_vals: &mut ValMap<ThreadId>,
-    final_candidate: &mut Option<(Ts, ThreadId, PathVal)>,
-) {
-    let ti = tid.index();
-    {
+    fn step_event(&mut self, tid: ThreadId, kind: EventKind) {
+        self.thread_mut(tid); // ensure the slot exists
+        let ti = tid.index();
         match kind {
             EventKind::ThreadStart => {
-                let adopted = create_vals.remove(&tid);
-                let t = &mut threads[ti];
+                let adopted = self.create_vals.remove(&tid);
+                let t = &mut self.threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);
                 }
                 t.running = true;
             }
             EventKind::ThreadCreate { child } => {
-                create_vals.insert(child, threads[ti].val.clone());
+                self.create_vals.insert(child, self.threads[ti].val.clone());
             }
             EventKind::ThreadExit => {
-                let t = &mut threads[ti];
+                let t = &mut self.threads[ti];
                 t.running = false;
-                exit_vals.insert(tid, t.val.clone());
-                let better = match final_candidate {
+                t.exited = true;
+                self.exit_vals.insert(tid, t.val.clone());
+                let better = match &self.final_candidate {
                     Some((len, _, _)) => t.val.len >= *len,
                     None => true,
                 };
                 if better {
-                    *final_candidate = Some((t.val.len, tid, t.val.clone()));
+                    self.final_candidate = Some((t.val.len, tid, t.val.clone()));
                 }
             }
             EventKind::LockAcquire { .. } | EventKind::RwAcquire { .. } => {}
             EventKind::LockContended { .. } | EventKind::RwContended { .. } => {
-                threads[ti].running = false;
+                self.threads[ti].running = false;
             }
             EventKind::LockObtain { lock } | EventKind::RwObtain { lock, .. } => {
-                let adopted =
-                    if !threads[ti].running { release_vals.get(&lock).cloned() } else { None };
-                let t = &mut threads[ti];
+                let adopted = if !self.threads[ti].running {
+                    self.release_vals.get(&lock).cloned()
+                } else {
+                    None
+                };
+                let t = &mut self.threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);
                 }
@@ -291,49 +255,53 @@ fn step_event(
                 t.held.push(lock);
             }
             EventKind::LockRelease { lock } | EventKind::RwRelease { lock, .. } => {
-                let t = &mut threads[ti];
+                let t = &mut self.threads[ti];
                 if let Some(pos) = t.held.iter().rposition(|&l| l == lock) {
                     t.held.remove(pos);
                 }
-                release_vals.insert(lock, t.val.clone());
+                self.release_vals.insert(lock, t.val.clone());
             }
             EventKind::BarrierArrive { barrier, epoch } => {
-                let t = &mut threads[ti];
+                let t = &mut self.threads[ti];
                 t.running = false;
-                barrier_vals.entry((barrier, epoch)).or_default().adopt_max(&t.val);
+                let val = t.val.clone();
+                self.barrier_vals.entry((barrier, epoch)).or_default().adopt_max(&val);
             }
             EventKind::BarrierDepart { barrier, epoch } => {
-                let adopted = barrier_vals.get(&(barrier, epoch)).cloned();
-                let t = &mut threads[ti];
+                let adopted = self.barrier_vals.get(&(barrier, epoch)).cloned();
+                let t = &mut self.threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);
                 }
                 t.running = true;
             }
             EventKind::CondWaitBegin { .. } => {
-                threads[ti].running = false;
+                self.threads[ti].running = false;
             }
             EventKind::CondSignal { cv, signal_seq }
             | EventKind::CondBroadcast { cv, signal_seq } => {
-                let v = threads[ti].val.clone();
-                signal_vals.insert((cv, signal_seq), v.clone());
-                latest_signal.insert(cv, v);
+                let v = self.threads[ti].val.clone();
+                self.signal_vals.insert((cv, signal_seq), v.clone());
+                self.latest_signal.insert(cv, v);
             }
             EventKind::CondWakeup { cv, signal_seq } => {
-                let adopted =
-                    signal_vals.get(&(cv, signal_seq)).or_else(|| latest_signal.get(&cv)).cloned();
-                let t = &mut threads[ti];
+                let adopted = self
+                    .signal_vals
+                    .get(&(cv, signal_seq))
+                    .or_else(|| self.latest_signal.get(&cv))
+                    .cloned();
+                let t = &mut self.threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);
                 }
                 t.running = true;
             }
             EventKind::JoinBegin { .. } => {
-                threads[ti].running = false;
+                self.threads[ti].running = false;
             }
             EventKind::JoinEnd { child } => {
-                let adopted = exit_vals.get(&child).cloned();
-                let t = &mut threads[ti];
+                let adopted = self.exit_vals.get(&child).cloned();
+                let t = &mut self.threads[ti];
                 if let Some(v) = adopted {
                     t.val.adopt_max(&v);
                 }
@@ -342,6 +310,364 @@ fn step_event(
             EventKind::Marker { .. } => {}
         }
     }
+
+    /// Turn the folded state into the report. `horizon` additionally
+    /// considers still-live threads' frontier values as critical-path
+    /// candidates (the estimate a live status line wants); without it,
+    /// only exited threads terminate the path — exactly what a one-shot
+    /// [`online_analyze`] of the same events computes.
+    fn extract(&self, names: &Trace, horizon: bool) -> OnlineReport {
+        let mut candidate = self.final_candidate.clone();
+        if horizon {
+            for (ti, t) in self.threads.iter().enumerate() {
+                if t.exited || (t.last_ts == 0 && t.val.len == 0 && !t.running) {
+                    continue;
+                }
+                let better = match &candidate {
+                    Some((len, _, _)) => t.val.len >= *len,
+                    None => true,
+                };
+                if better {
+                    candidate = Some((t.val.len, ThreadId(ti as u32), t.val.clone()));
+                }
+            }
+        }
+        let (cp_length, final_thread, profile) = match candidate {
+            Some((len, tid, val)) => {
+                (len, Some(tid), Arc::try_unwrap(val.profile).unwrap_or_else(|rc| (*rc).clone()))
+            }
+            None => (0, None, Profile::default()),
+        };
+
+        let mut locks: Vec<OnlineLockStat> = profile
+            .into_iter()
+            .map(|(lock, cp_time)| OnlineLockStat {
+                lock,
+                name: names.object_name(lock),
+                cp_time,
+                cp_time_frac: if cp_length > 0 { cp_time as f64 / cp_length as f64 } else { 0.0 },
+            })
+            .collect();
+        locks.sort_by(|a, b| {
+            b.cp_time
+                .cmp(&a.cp_time)
+                .then_with(|| a.name.cmp(&b.name))
+                .then_with(|| a.lock.0.cmp(&b.lock.0))
+        });
+
+        OnlineReport { cp_length, final_thread, locks }
+    }
+}
+
+/// Per-thread ingestion bookkeeping, separate from the folded frontier:
+/// the fold bound derives from what has *arrived*, not what has folded.
+#[derive(Debug, Clone, Copy, Default)]
+struct IngestMeta {
+    last_ts: Ts,
+    declared: bool,
+    seen: bool,
+    exited: bool,
+}
+
+/// The speculative fold: the permanent frontier plus a sorted prefix of
+/// the pending buffer, folded ahead of the fold bound. While new events
+/// keep arriving strictly above everything it has folded (the common
+/// case for roughly time-ordered streams), each report extends it by
+/// only the new events instead of re-folding the whole pending tail —
+/// this is what keeps reports O(delta) even when a sparse thread (e.g. a
+/// main thread parked in `join`) pins the permanent fold bound near the
+/// session start. An arrival at or below its high-water mark simply
+/// discards the cache (correctness never depends on it).
+#[derive(Debug, Clone)]
+struct SpecFold {
+    fold: FoldState,
+    /// How many entries of the (sorted) pending buffer are folded in.
+    /// Always a timestamp-group boundary, and never includes the final
+    /// (highest-ts, still-open) group — events may still join that group,
+    /// so it is folded ephemerally per report instead.
+    covered: usize,
+    /// Highest timestamp folded in — the extend/discard guard: a new
+    /// event must land strictly above it, else it could join an
+    /// already-folded timestamp group. `None` until anything folds.
+    max_ts: Option<Ts>,
+}
+
+/// Persistent incremental state of the forward online pass.
+///
+/// Feed it events per thread as they arrive ([`ingest`]), ask for the
+/// current report at any time ([`report`]). The contract: the report
+/// equals a from-scratch [`online_analyze`] over the concatenation of
+/// everything ingested so far (per thread, in ingestion order) —
+/// verified bit-for-bit by the batching property tests — while the work
+/// per call is proportional to the events ingested since the last call,
+/// not to the session's history.
+///
+/// [`ingest`]: OnlineState::ingest
+/// [`report`]: OnlineState::report
+#[derive(Debug, Clone, Default)]
+pub struct OnlineState {
+    fold: FoldState,
+    /// Events above the fold bound: `(ts, tid, arrival#, kind)`. The
+    /// global arrival counter preserves each thread's program order under
+    /// the `(ts, tid, arrival)` sort, reproducing the one-shot pass's
+    /// `(ts, tid, stream index)` order exactly. Invariant between
+    /// reports: the first `spec.covered` entries are sorted (they are
+    /// folded into the speculative fold); entries past that are in
+    /// arrival order.
+    pending: Vec<(Ts, ThreadId, u64, EventKind)>,
+    spec: Option<SpecFold>,
+    meta: Vec<IngestMeta>,
+    arrival: u64,
+    watermark: Option<Ts>,
+    folded_events: u64,
+    ingested_events: u64,
+    stale: bool,
+}
+
+impl OnlineState {
+    /// A fresh state with nothing ingested.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announce that thread `tid` exists and will produce events. Until a
+    /// declared thread's first event arrives, nothing folds permanently —
+    /// its first timestamp could land anywhere, and folding past it would
+    /// go stale the moment it shows up. Callers that know the thread
+    /// roster up front (the collector learns it from registration frames)
+    /// should declare each thread before ingesting any of its events.
+    pub fn declare(&mut self, tid: ThreadId) {
+        let ti = tid.index();
+        if ti >= self.meta.len() {
+            self.meta.resize(ti + 1, IngestMeta::default());
+        }
+        self.meta[ti].declared = true;
+    }
+
+    /// Append `events` to thread `tid`'s stream. O(len). Marks the state
+    /// stale instead of corrupting it when an event lands at or below the
+    /// fold watermark (its timestamp group was already folded).
+    pub fn ingest(&mut self, tid: ThreadId, events: &[Event]) {
+        let ti = tid.index();
+        if ti >= self.meta.len() {
+            self.meta.resize(ti + 1, IngestMeta::default());
+        }
+        for ev in events {
+            if let Some(w) = self.watermark {
+                if ev.ts <= w {
+                    self.stale = true;
+                }
+            }
+            let m = &mut self.meta[ti];
+            m.seen = true;
+            m.last_ts = ev.ts;
+            if matches!(ev.kind, EventKind::ThreadExit) {
+                m.exited = true;
+            }
+            self.pending.push((ev.ts, tid, self.arrival, ev.kind));
+            self.arrival += 1;
+            self.ingested_events += 1;
+        }
+    }
+
+    /// Whether an out-of-order arrival invalidated the folded frontier.
+    /// A stale state must be rebuilt from the assembled trace
+    /// ([`rebuild`]); reports from a stale state are not trustworthy.
+    ///
+    /// [`rebuild`]: OnlineState::rebuild
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Total events ingested since creation (or last rebuild).
+    pub fn events_ingested(&self) -> u64 {
+        self.ingested_events
+    }
+
+    /// Events folded into the permanent frontier (the remainder is
+    /// pending and re-folded ephemerally per report).
+    pub fn events_folded(&self) -> u64 {
+        self.folded_events
+    }
+
+    /// A fresh state fed the whole trace in one batch — the full-rebuild
+    /// fallback for stale states (and the body of [`online_analyze`]).
+    /// Every stream is declared first, so threads that are currently
+    /// eventless still hold the fold bound for their future events.
+    pub fn rebuild(trace: &Trace) -> Self {
+        let mut state = Self::new();
+        for stream in &trace.threads {
+            state.declare(stream.tid);
+        }
+        for stream in &trace.threads {
+            state.ingest(stream.tid, &stream.events);
+        }
+        state
+    }
+
+    /// The conservative frontier watermark: a timestamp no future event
+    /// can precede, assuming per-thread arrival order (the same
+    /// assumption whose violation flags the state stale). `Ts::MAX` once
+    /// every declared thread has exited; `None` while a declared thread
+    /// has produced nothing yet, or when the state is stale.
+    pub fn frontier_bound(&self) -> Option<Ts> {
+        if self.stale {
+            return None;
+        }
+        self.fold_bound()
+    }
+
+    /// The highest timestamp no live thread can still precede: events in
+    /// groups strictly below it are safe to fold permanently. `None`
+    /// while a declared thread has produced nothing yet (its first event
+    /// could land anywhere); unbounded once every seen thread has exited.
+    fn fold_bound(&self) -> Option<Ts> {
+        let mut bound = Ts::MAX;
+        for m in &self.meta {
+            if m.declared && !m.seen {
+                return None;
+            }
+            if m.seen && !m.exited {
+                bound = bound.min(m.last_ts);
+            }
+        }
+        Some(bound)
+    }
+
+    /// Bring the folds up to date with everything ingested: sort the
+    /// newly arrived tail, extend (or rebuild) the speculative fold to
+    /// cover all of `pending`, and advance the permanent frontier past
+    /// every timestamp group strictly below the fold bound. Afterwards
+    /// `pending` is fully sorted and the spec covers it entirely, so
+    /// extracting from it yields the exact one-shot report.
+    fn advance_folds(&mut self) {
+        let covered = self.spec.as_ref().map_or(0, |s| s.covered);
+        debug_assert!(covered <= self.pending.len());
+        self.pending[covered..].sort_unstable_by_key(|&(ts, tid, arrival, _)| (ts, tid, arrival));
+        // Can the spec absorb the new tail? Only if every new event lands
+        // strictly above its high-water mark — otherwise a new event could
+        // belong to a timestamp group the spec has already folded. Because
+        // the final group is never folded in, a roughly time-ordered
+        // stream always extends.
+        let keep = match (&self.spec, self.pending.get(covered)) {
+            (Some(s), Some(&(ts, ..))) => s.max_ts.is_none_or(|m| ts > m),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !keep {
+            self.spec = None;
+            self.pending.sort_unstable_by_key(|&(ts, tid, arrival, _)| (ts, tid, arrival));
+        }
+        // `pending` is now globally sorted: with a surviving spec, the
+        // covered prefix and the new tail are each sorted and every tail
+        // timestamp is at least every covered one (strictly above the
+        // folded part).
+        if self.pending.is_empty() {
+            return;
+        }
+        // Fold complete timestamp groups into the spec, leaving the final
+        // group open (future arrivals may still join it).
+        let last_ts = self.pending[self.pending.len() - 1].0;
+        let open = self.pending.partition_point(|&(ts, _, _, _)| ts < last_ts);
+        let spec = self.spec.get_or_insert_with(|| SpecFold {
+            fold: self.fold.clone(),
+            covered: 0,
+            max_ts: None,
+        });
+        let mut i = spec.covered;
+        while i < open {
+            let ts = self.pending[i].0;
+            let mut end = i;
+            while end < open && self.pending[end].0 == ts {
+                end += 1;
+            }
+            spec.fold.fold_group(&self.pending[i..end]);
+            i = end;
+        }
+        if open > spec.covered {
+            spec.max_ts = Some(self.pending[open - 1].0);
+            spec.covered = open;
+        }
+        // Permanent frontier: fold the timestamp groups no live thread can
+        // still precede, then drop them from `pending`. The spec keeps
+        // covering the remainder — it equals the permanent fold plus the
+        // retained covered prefix either way.
+        if self.stale {
+            return;
+        }
+        let Some(bound) = self.fold_bound() else { return };
+        let safe = self.pending.partition_point(|&(ts, _, _, _)| ts < bound);
+        if safe == 0 {
+            return;
+        }
+        let mut i = 0;
+        while i < safe {
+            let ts = self.pending[i].0;
+            let mut end = i;
+            while end < safe && self.pending[end].0 == ts {
+                end += 1;
+            }
+            self.fold.fold_group(&self.pending[i..end]);
+            i = end;
+        }
+        self.watermark = Some(self.pending[safe - 1].0);
+        self.folded_events += safe as u64;
+        self.pending.drain(..safe);
+        let drop_spec = match &mut self.spec {
+            // `safe > covered` means the bound cleared the final group, so
+            // the whole buffer folded permanently (`safe == len`); the
+            // permanent fold is complete and the spec is obsolete.
+            Some(s) if safe > s.covered => true,
+            Some(s) => {
+                s.covered -= safe;
+                false
+            }
+            None => false,
+        };
+        if drop_spec {
+            self.spec = None;
+        }
+    }
+
+    fn report_inner(&mut self, names: &Trace, horizon: bool) -> OnlineReport {
+        self.advance_folds();
+        match &self.spec {
+            // The uncovered tail is exactly the final timestamp group;
+            // fold it into a throwaway clone of the (small) spec frontier.
+            Some(spec) if spec.covered < self.pending.len() => {
+                let mut tmp = spec.fold.clone();
+                tmp.fold_group(&self.pending[spec.covered..]);
+                tmp.extract(names, horizon)
+            }
+            Some(spec) => spec.fold.extract(names, horizon),
+            None => self.fold.extract(names, horizon),
+        }
+    }
+
+    /// The exact forward-pass report over everything ingested: identical
+    /// to [`online_analyze`] of the concatenated trace. `names` supplies
+    /// the object name table (typically the trace the events came from).
+    /// Not meaningful on a stale state — rebuild first.
+    pub fn report(&mut self, names: &Trace) -> OnlineReport {
+        self.report_inner(names, false)
+    }
+
+    /// Like [`report`], but still-live threads' frontier values also
+    /// terminate the candidate path — the estimate a live status display
+    /// wants mid-session, and identical to [`report`] once every thread
+    /// has exited.
+    ///
+    /// [`report`]: OnlineState::report
+    pub fn report_at_horizon(&mut self, names: &Trace) -> OnlineReport {
+        self.report_inner(names, true)
+    }
+}
+
+/// Run the forward online critical-path pass over a complete trace: a
+/// one-shot [`OnlineState`] fed every stream in a single batch.
+pub fn online_analyze(trace: &Trace) -> OnlineReport {
+    let mut state = OnlineState::rebuild(trace);
+    state.report(trace)
 }
 
 #[cfg(test)]
@@ -488,5 +814,99 @@ mod tests {
             online.lock_by_name("L1").unwrap().cp_time,
             offline.lock_by_name("L1").unwrap().cp_time
         );
+    }
+
+    /// Incremental ingestion in per-thread event batches — reports drawn
+    /// mid-stream at every batch boundary — converges on exactly the
+    /// one-shot result, and intermediate reports equal the one-shot
+    /// report of the corresponding prefix.
+    #[test]
+    fn incremental_batches_match_one_shot() {
+        let mut b = TraceBuilder::new("online-incremental");
+        let l1 = b.lock("L1");
+        let l2 = b.lock("L2");
+        let bar = b.barrier("B");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l1, 5).barrier(bar, 0, 8).cs(l2, 4).exit(); // exit 13
+        b.on(t1).work(1).cs_blocked(l1, 5, 3).barrier(bar, 0, 8).work(2).exit();
+        let t = b.build().unwrap();
+
+        for batch in [1usize, 2, 3, 5] {
+            let mut st = OnlineState::new();
+            for stream in &t.threads {
+                st.declare(stream.tid);
+            }
+            // Interleave small batches across threads in stream order.
+            let mut cursors: Vec<usize> = vec![0; t.threads.len()];
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for (si, stream) in t.threads.iter().enumerate() {
+                    let at = cursors[si];
+                    if at < stream.events.len() {
+                        let end = (at + batch).min(stream.events.len());
+                        st.ingest(stream.tid, &stream.events[at..end]);
+                        cursors[si] = end;
+                        progressed = true;
+                        // Mid-stream report must not corrupt later state.
+                        let _ = st.report_at_horizon(&t);
+                    }
+                }
+            }
+            assert!(!st.is_stale());
+            let one_shot = online_analyze(&t);
+            assert_eq!(st.report(&t), one_shot, "batch size {batch} diverged");
+            // With every thread exited the horizon report is the exact one.
+            assert_eq!(st.report_at_horizon(&t), one_shot);
+        }
+    }
+
+    /// An event landing at or below the fold watermark flags the state
+    /// stale instead of silently merging it out of order; a rebuild from
+    /// the assembled trace recovers exactness.
+    #[test]
+    fn out_of_order_ingest_marks_stale() {
+        let mut b = TraceBuilder::new("online-stale");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        let t1 = b.thread("T1", 0);
+        b.on(t0).cs(l, 4).exit_at(5);
+        b.on(t1).work(1).cs_blocked(l, 4, 2).work(3).exit();
+        let t = b.build().unwrap();
+
+        let mut st = OnlineState::new();
+        // Thread 0's whole stream first: once it exits, its groups fold.
+        st.ingest(t.threads[0].tid, &t.threads[0].events);
+        let _ = st.report_at_horizon(&t);
+        assert!(!st.is_stale());
+        // Thread 1 then arrives with events below the watermark.
+        st.ingest(t.threads[1].tid, &t.threads[1].events);
+        assert!(st.is_stale());
+        // The rebuild fallback matches the one-shot pass exactly.
+        let mut rebuilt = OnlineState::rebuild(&t);
+        assert!(!rebuilt.is_stale());
+        assert_eq!(rebuilt.report(&t), online_analyze(&t));
+    }
+
+    /// The horizon report tracks live progress before any thread exits.
+    #[test]
+    fn horizon_report_sees_live_threads() {
+        let mut b = TraceBuilder::new("online-horizon");
+        let l = b.lock("L");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 10).work(5).exit();
+        let t = b.build().unwrap();
+
+        let mut st = OnlineState::new();
+        // Everything but the final exit: no completed path yet.
+        let n = t.threads[0].events.len();
+        st.ingest(t.threads[0].tid, &t.threads[0].events[..n - 1]);
+        assert_eq!(st.report(&t).cp_length, 0, "no thread has exited");
+        let horizon = st.report_at_horizon(&t);
+        assert!(horizon.cp_length > 0, "horizon must see the live frontier");
+        // The remainder completes the session; both reports agree again.
+        st.ingest(t.threads[0].tid, &t.threads[0].events[n - 1..]);
+        assert_eq!(st.report(&t), online_analyze(&t));
     }
 }

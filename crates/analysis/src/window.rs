@@ -19,8 +19,11 @@
 //! * barrier arrivals pending at the trailing edge depart at the window
 //!   end, keeping episodes consistent across threads.
 
+use crate::digest::digest_window;
 use crate::metrics::{analyze, AnalysisReport};
+use critlock_trace::rollup::WindowDigest;
 use critlock_trace::{Event, EventKind, ObjId, ThreadStream, Trace, Ts};
+use std::collections::VecDeque;
 
 /// Clip a trace to the window `[lo, hi]`.
 pub fn clip(trace: &Trace, lo: Ts, hi: Ts) -> Trace {
@@ -208,6 +211,120 @@ fn clip_stream(stream: &ThreadStream, lo: Ts, hi: Ts) -> ThreadStream {
     cs
 }
 
+/// A bounded ring of *closed* sliding-window digests over a live trace.
+///
+/// Time is divided into aligned spans `[k·width, (k+1)·width]` (inclusive
+/// bounds, matching [`clip`]). Window `k` **closes** once the caller's
+/// conservative watermark — a timestamp no future event can precede —
+/// moves strictly past its trailing edge; a closed window is clipped and
+/// analyzed exactly once and its digest cached, so steady-state per-frame
+/// cost is independent of session history. The ring keeps the most recent
+/// `cap` closed windows ("critical locks over the last N seconds"); when
+/// the watermark jumps far ahead, windows that would immediately fall off
+/// the ring are skipped, never analyzed.
+///
+/// Invariants:
+/// * every stored digest covers `[index·width, (index+1)·width]` with
+///   consecutive indices ending at `next_index - 1`;
+/// * a stored digest equals `analyze(&clip(trace, lo, hi))` of the final
+///   trace — guaranteed by only closing below the watermark, and restored
+///   by [`recompute`] when the caller detects a late event below
+///   [`closed_lo`] (the ring itself cannot see ingestion order).
+///
+/// [`recompute`]: WindowRing::recompute
+/// [`closed_lo`]: WindowRing::closed_lo
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    width: Ts,
+    cap: usize,
+    next_index: u64,
+    windows: VecDeque<WindowDigest>,
+}
+
+impl WindowRing {
+    /// A ring of at most `cap` windows of `width` time units each.
+    /// `width` must be positive, `cap` at least 1.
+    pub fn new(width: Ts, cap: usize) -> Self {
+        assert!(width > 0, "window width must be positive");
+        assert!(cap > 0, "window ring capacity must be positive");
+        Self { width, cap, next_index: 0, windows: VecDeque::new() }
+    }
+
+    /// The configured window width.
+    pub fn width(&self) -> Ts {
+        self.width
+    }
+
+    /// First timestamp not yet covered by a closed window: an event below
+    /// this lands inside closed territory and requires [`recompute`].
+    ///
+    /// [`recompute`]: WindowRing::recompute
+    pub fn closed_lo(&self) -> Ts {
+        self.next_index.saturating_mul(self.width)
+    }
+
+    /// The closed windows currently retained, oldest first.
+    pub fn closed(&self) -> impl Iterator<Item = &WindowDigest> {
+        self.windows.iter()
+    }
+
+    /// The most recently closed window.
+    pub fn latest(&self) -> Option<&WindowDigest> {
+        self.windows.back()
+    }
+
+    /// Close every window whose trailing edge lies strictly below
+    /// `watermark` (and that starts at or before the trace's last event),
+    /// clipping and analyzing each exactly once. Pass `Ts::MAX` once the
+    /// session has ended to close through the final event.
+    pub fn advance(&mut self, trace: &Trace, watermark: Ts) {
+        if trace.num_events() == 0 || watermark == 0 {
+            return;
+        }
+        let end = trace.end_ts();
+        // close(i) ⟺ (i+1)·width < watermark  ∧  i·width ≤ end
+        let by_wm = match ((watermark - 1) / self.width).checked_sub(1) {
+            Some(i) => i,
+            None => return,
+        };
+        let last = by_wm.min(end / self.width);
+        if last < self.next_index {
+            return;
+        }
+        // Windows that would be evicted before anyone could read them are
+        // skipped outright.
+        let start = (last + 1).saturating_sub(self.cap as u64).max(self.next_index);
+        self.next_index = start;
+        for index in start..=last {
+            let digest = self.compute(trace, index);
+            self.windows.push_back(digest);
+            while self.windows.len() > self.cap {
+                self.windows.pop_front();
+            }
+            self.next_index = index + 1;
+        }
+    }
+
+    /// Re-derive every retained digest from the (re-assembled) trace —
+    /// the full-rebuild fallback for out-of-order arrivals that landed
+    /// below [`closed_lo`](WindowRing::closed_lo).
+    pub fn recompute(&mut self, trace: &Trace) {
+        let indices: Vec<u64> = self.windows.iter().map(|w| w.index).collect();
+        self.windows.clear();
+        for index in indices {
+            let digest = self.compute(trace, index);
+            self.windows.push_back(digest);
+        }
+    }
+
+    fn compute(&self, trace: &Trace, index: u64) -> WindowDigest {
+        let lo = index.saturating_mul(self.width);
+        let hi = lo.saturating_add(self.width);
+        let report = analyze(&clip(trace, lo, hi));
+        digest_window(index, lo, hi, &report)
+    }
+}
+
 /// The time window spanned by a named marker: from its first to its last
 /// occurrence across all threads. Returns `None` when the marker never
 /// fires (or fires only once — a single instant is not a window).
@@ -374,5 +491,81 @@ mod tests {
         let c = clip(&t, 1000, 2000);
         c.validate().unwrap();
         assert_eq!(c.num_events(), 0);
+    }
+
+    #[test]
+    fn ring_closes_only_below_watermark_and_matches_clip_oracle() {
+        let t = phased_trace(); // events span [0, 40]
+        let mut ring = WindowRing::new(10, 8);
+        ring.advance(&t, 0);
+        assert_eq!(ring.closed().count(), 0);
+
+        // Watermark 21 guarantees no future event at ts <= 20, so windows
+        // [0,10] and [10,20] close; [20,30] stays open (an event at 21
+        // would belong to it).
+        ring.advance(&t, 21);
+        let idx: Vec<u64> = ring.closed().map(|w| w.index).collect();
+        assert_eq!(idx, [0, 1]);
+        assert_eq!(ring.closed_lo(), 20);
+
+        // Watermark past everything: closes through the last event.
+        ring.advance(&t, Ts::MAX);
+        let idx: Vec<u64> = ring.closed().map(|w| w.index).collect();
+        assert_eq!(idx, [0, 1, 2, 3, 4]);
+
+        // Oracle: every closed window equals clip + analyze + digest.
+        for w in ring.closed() {
+            let report = analyze(&clip(&t, w.lo, w.hi));
+            let expect = crate::digest::digest_window(w.index, w.lo, w.hi, &report);
+            assert_eq!(*w, expect);
+        }
+        // The parallel phase's contention shows up in its windows only.
+        let w1 = ring.closed().find(|w| w.index == 1).unwrap();
+        assert!(w1.locks.iter().any(|l| l.name == "L"));
+        let w3 = ring.closed().find(|w| w.index == 3).unwrap();
+        assert!(w3.locks.is_empty(), "teardown window has no lock activity");
+    }
+
+    #[test]
+    fn ring_caps_retention_and_skips_evicted_windows() {
+        let mut b = TraceBuilder::new("long");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).work(1000).exit();
+        let t = b.build().unwrap();
+        let mut ring = WindowRing::new(10, 4);
+        ring.advance(&t, Ts::MAX);
+        let idx: Vec<u64> = ring.closed().map(|w| w.index).collect();
+        // 0..=100 close; only the last 4 are retained (and only those
+        // were ever analyzed).
+        assert_eq!(idx, [97, 98, 99, 100]);
+        assert_eq!(ring.closed_lo(), 1010);
+        assert_eq!(ring.latest().unwrap().index, 100);
+    }
+
+    #[test]
+    fn ring_recompute_rederives_from_trace() {
+        let t = phased_trace();
+        let mut ring = WindowRing::new(10, 8);
+        ring.advance(&t, Ts::MAX);
+        let before: Vec<WindowDigest> = ring.closed().cloned().collect();
+        ring.recompute(&t);
+        let after: Vec<WindowDigest> = ring.closed().cloned().collect();
+        assert_eq!(before, after, "recompute from the same trace is identity");
+    }
+
+    #[test]
+    fn ring_advance_is_incremental_and_idempotent() {
+        let t = phased_trace();
+        let mut step = WindowRing::new(10, 8);
+        for wm in 0..=45 {
+            step.advance(&t, wm);
+            step.advance(&t, wm); // same watermark twice: no-op
+        }
+        step.advance(&t, Ts::MAX);
+        let mut once = WindowRing::new(10, 8);
+        once.advance(&t, Ts::MAX);
+        let a: Vec<WindowDigest> = step.closed().cloned().collect();
+        let b: Vec<WindowDigest> = once.closed().cloned().collect();
+        assert_eq!(a, b);
     }
 }

@@ -24,15 +24,21 @@
 //! The analysis itself is bit-identical at every thread count (see
 //! `DESIGN.md`); this harness asserts that on every run.
 
-use critlock_analysis::{analyze, analyze_with, critical_path, SegmentedTrace};
+use critlock_analysis::{analyze, analyze_with, critical_path, OnlineState, SegmentedTrace};
 use critlock_obs::{SpanProfile, SpanRecorder};
-use critlock_trace::{codec, Trace};
+use critlock_trace::{codec, Event, ThreadId, Trace};
 use critlock_workloads::{suite, WorkloadCfg};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Schema version of [`BenchReport`]; bump on any incompatible change.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added the [`LiveIngestion`] section (incremental vs full-rebuild
+/// live maintenance).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Batches the live-ingestion benchmark replays the trace in (one
+/// report per batch — the collector's snapshot cadence in miniature).
+pub const LIVE_BATCHES: usize = 32;
 
 /// Configuration for one benchmark run.
 #[derive(Debug, Clone)]
@@ -104,6 +110,35 @@ pub struct ThreadRun {
     pub timings: StageTimings,
 }
 
+/// Live-ingestion comparison: replay the trace in arrival order as
+/// [`LIVE_BATCHES`] batches with a report after every batch — once
+/// maintaining one incremental [`OnlineState`] (O(delta) per batch) and
+/// once rebuilding the state from scratch per batch (O(history), what
+/// the collector did before incremental maintenance existed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveIngestion {
+    /// Events replayed.
+    pub events: u64,
+    /// Batches the replay was split into (== reports computed per pass).
+    pub batches: usize,
+    /// Minimum total wall time of the incremental pass, ns.
+    pub incremental_ns: u64,
+    /// Minimum total wall time of the rebuild-per-batch pass, ns.
+    pub full_ns: u64,
+    /// Sustained incremental ingestion rate, events per second.
+    pub incremental_events_per_sec: u64,
+    /// Sustained rebuild-per-batch rate, events per second.
+    pub full_events_per_sec: u64,
+    /// `full_ns / incremental_ns` — how much incremental maintenance
+    /// beats per-snapshot full re-analysis at this batch cadence.
+    pub speedup: f64,
+    /// Whether the incremental pass's final report was bit-identical to
+    /// a one-shot [`online_analyze`] of the whole trace (it must be).
+    ///
+    /// [`online_analyze`]: critlock_analysis::online_analyze
+    pub incremental_exact: bool,
+}
+
 /// The versioned document written to `BENCH_ANALYZE.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -131,6 +166,8 @@ pub struct BenchReport {
     pub deterministic: bool,
     /// One entry per measured pool size.
     pub runs: Vec<ThreadRun>,
+    /// Incremental-vs-full live maintenance comparison (schema v2).
+    pub live: LiveIngestion,
 }
 
 /// The workload the benchmark scales up.
@@ -187,6 +224,98 @@ fn measure_stages(bytes: &[u8], trace: &Trace, reps: usize) -> StageTimings {
     }
 }
 
+/// Merge the trace's per-thread streams into global arrival order and
+/// split into `batches` chunks of per-thread runs — the shape a live
+/// collector feeds [`OnlineState::ingest`].
+fn live_plan(trace: &Trace, batches: usize) -> Vec<Vec<(ThreadId, Vec<Event>)>> {
+    let mut merged: Vec<(ThreadId, Event)> = Vec::with_capacity(trace.num_events());
+    for stream in &trace.threads {
+        for ev in &stream.events {
+            merged.push((stream.tid, *ev));
+        }
+    }
+    // Stable sort: equal (ts, tid) keys keep per-stream order.
+    merged.sort_by_key(|(tid, ev)| (ev.ts, *tid));
+    let per = merged.len().div_ceil(batches.max(1)).max(1);
+    merged
+        .chunks(per)
+        .map(|chunk| {
+            let mut runs: Vec<(ThreadId, Vec<Event>)> = Vec::new();
+            for (tid, ev) in chunk {
+                match runs.last_mut() {
+                    Some((t, evs)) if t == tid => evs.push(*ev),
+                    _ => runs.push((*tid, vec![*ev])),
+                }
+            }
+            runs
+        })
+        .collect()
+}
+
+/// One incremental pass over the batch plan: ingest + report per batch.
+fn live_incremental(trace: &Trace, plan: &[Vec<(ThreadId, Vec<Event>)>]) -> OnlineState {
+    let mut state = OnlineState::new();
+    for stream in &trace.threads {
+        state.declare(stream.tid);
+    }
+    for batch in plan {
+        for (tid, evs) in batch {
+            state.ingest(*tid, evs);
+        }
+        std::hint::black_box(state.report(trace).cp_length);
+    }
+    state
+}
+
+/// One full pass: a from-scratch state per batch boundary (the old
+/// "re-analyze the whole session every snapshot" behavior).
+fn live_full(trace: &Trace, plan: &[Vec<(ThreadId, Vec<Event>)>]) {
+    for k in 1..=plan.len() {
+        let mut state = OnlineState::new();
+        for stream in &trace.threads {
+            state.declare(stream.tid);
+        }
+        for batch in &plan[..k] {
+            for (tid, evs) in batch {
+                state.ingest(*tid, evs);
+            }
+        }
+        std::hint::black_box(state.report(trace).cp_length);
+    }
+}
+
+/// Measure the live-ingestion comparison: minimum over `reps` of each
+/// pass's total wall time, plus the exactness cross-check.
+fn measure_live(trace: &Trace, reps: usize) -> LiveIngestion {
+    let plan = live_plan(trace, LIVE_BATCHES);
+    let one_shot = critlock_analysis::online_analyze(trace);
+    let mut incremental_ns = u64::MAX;
+    let mut full_ns = u64::MAX;
+    let mut incremental_exact = true;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        let mut state = live_incremental(trace, &plan);
+        incremental_ns = incremental_ns.min((start.elapsed().as_nanos() as u64).max(1));
+        incremental_exact &= state.report(trace) == one_shot;
+
+        let start = std::time::Instant::now();
+        live_full(trace, &plan);
+        full_ns = full_ns.min((start.elapsed().as_nanos() as u64).max(1));
+    }
+    let events = trace.num_events() as u64;
+    let rate = |ns: u64| (events as u128 * 1_000_000_000 / ns.max(1) as u128) as u64;
+    LiveIngestion {
+        events,
+        batches: plan.len(),
+        incremental_ns,
+        full_ns,
+        incremental_events_per_sec: rate(incremental_ns),
+        full_events_per_sec: rate(full_ns),
+        speedup: full_ns as f64 / incremental_ns as f64,
+        incremental_exact,
+    }
+}
+
 /// Run the benchmark and collect the report.
 pub fn run(cfg: &BenchConfig) -> BenchReport {
     let trace = synth_trace(cfg);
@@ -205,6 +334,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         runs.push(ThreadRun { threads, timings });
     }
     let deterministic = reports.windows(2).all(|w| w[0] == w[1]);
+    let live = measure_live(&trace, cfg.reps);
 
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -222,6 +352,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         reps: cfg.reps,
         deterministic,
         runs,
+        live,
     }
 }
 
@@ -263,6 +394,19 @@ pub fn validate_schema(json: &str) -> Result<BenchReport, String> {
     }
     if !report.deterministic {
         return Err("analysis output differed across thread counts".into());
+    }
+    let live = &report.live;
+    if live.events == 0 || live.batches == 0 {
+        return Err("empty live-ingestion section".into());
+    }
+    if live.incremental_ns == 0 || live.full_ns == 0 {
+        return Err("zero timing in the live-ingestion section".into());
+    }
+    if live.incremental_events_per_sec == 0 || !live.speedup.is_finite() || live.speedup <= 0.0 {
+        return Err("implausible live-ingestion rates".into());
+    }
+    if !live.incremental_exact {
+        return Err("incremental live pass diverged from one-shot online analysis".into());
     }
     Ok(report)
 }
@@ -308,6 +452,17 @@ pub fn render_text(report: &BenchReport) -> String {
             ms(t.end_to_end_ns),
         );
     }
+    let live = &report.live;
+    let _ = writeln!(
+        out,
+        "live ingestion: {} events in {} batches — incremental {} ev/s vs full-rebuild {} ev/s (speedup {:.2}x, exact={})",
+        live.events,
+        live.batches,
+        live.incremental_events_per_sec,
+        live.full_events_per_sec,
+        live.speedup,
+        live.incremental_exact,
+    );
     if report.host.available_parallelism < 2 {
         let _ = writeln!(
             out,
@@ -348,6 +503,20 @@ mod tests {
         report.schema_version = SCHEMA_VERSION;
         report.runs.clear();
         assert!(validate_schema(&to_json(&report)).is_err());
+    }
+
+    #[test]
+    fn live_section_is_exact_and_positive() {
+        let report = run(&tiny());
+        assert!(report.live.incremental_exact, "incremental pass must match one-shot");
+        assert_eq!(report.live.events, report.trace_events);
+        assert!(report.live.batches >= 1);
+        assert!(report.live.speedup > 0.0);
+        assert!(render_text(&report).contains("live ingestion:"));
+
+        let mut broken = report;
+        broken.live.incremental_exact = false;
+        assert!(validate_schema(&to_json(&broken)).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! critlock serve [--listen ADDR] [--status ADDR] [--metrics ADDR] [--queue N]
 //!                [--backpressure block|drop] [--journal DIR] [--idle-timeout-ms N]
 //!                [--shards N] [--forward ADDR] [--collector-id ID]
+//!                [--window-secs N]
 //! critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS] [--retries N]
 //!                [--fault-plan NAME|SPEC]
 //! critlock status --at ADDR [--json] [--timeout SECS]
@@ -80,7 +81,7 @@ USAGE:
                  [--forward-interval-ms N] [--forward-fallback ADDR]
                  [--forward-timeout-ms N] [--forward-retries N]
                  [--forward-fault-plan NAME|SPEC] [--collector-id ID]
-                 [--max-rollup-sessions N]
+                 [--max-rollup-sessions N] [--window-secs N]
       Run the live collector daemon. ADDR is unix:/path/to.sock or
       host:port. Sessions stream in on --listen; snapshots are served on
       --status. With --journal, every accepted frame is logged to a
@@ -109,7 +110,11 @@ USAGE:
       <journal>/outbox.clag and re-forwarded after a restart.
       --max-rollup-sessions caps the sessions a parent retains from
       child pushes (default 65536); pushes past the cap are rejected
-      whole.
+      whole. --window-secs N maintains sliding time windows per session:
+      snapshots and rollups additionally report the critical locks of
+      the most recently closed N-second window, so a never-ending
+      service can be watched over the last N seconds instead of its
+      whole history.
   critlock push <trace> --to ADDR [--pace-ms N] [--timeout SECS]
                 [--retries N] [--fault-plan NAME|SPEC]
       Stream a recorded trace to a running collector, optionally pacing
@@ -544,6 +549,14 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
     config.max_rollup_sessions = p.get_or("max-rollup-sessions", config.max_rollup_sessions)?;
     if config.max_rollup_sessions == 0 {
         return Err("--max-rollup-sessions must be >= 1".into());
+    }
+    if let Some(secs) = p.options.get("window-secs") {
+        let secs: u64 = secs.parse().map_err(|_| format!("invalid --window-secs: {secs}"))?;
+        if secs == 0 {
+            return Err("--window-secs must be >= 1".into());
+        }
+        // Instrumented sessions timestamp events in nanoseconds.
+        config.window_width = Some(secs.saturating_mul(1_000_000_000));
     }
 
     let handle = start(config).map_err(|e| format!("cannot start collector: {e}"))?;

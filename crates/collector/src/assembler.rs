@@ -23,13 +23,20 @@
 //! (beyond ordering streams by thread id), which is what makes live
 //! snapshots of complete sessions exactly match offline analysis.
 
+use critlock_analysis::online::{OnlineReport, OnlineState};
+use critlock_analysis::WindowRing;
 use critlock_obs::Counter;
+use critlock_trace::rollup::WindowDigest;
 use critlock_trace::stream::Frame;
 use critlock_trace::{
     Budget, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts,
     SEQ_UNKNOWN,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
+
+/// How many closed sliding windows each session retains — the "last N
+/// seconds" view is `cap × width` deep at most.
+pub const WINDOW_RING_CAP: usize = 16;
 
 /// Incremental, loss-tolerant trace assembly for one session.
 #[derive(Debug, Default)]
@@ -41,6 +48,15 @@ pub struct SessionAssembler {
     events: u64,
     budget: Budget,
     events_dropped: u64,
+    /// Incremental forward-pass state, extended by each applied frame's
+    /// events (O(delta) per frame). Rebuilt from the partial trace when
+    /// an out-of-order arrival marks it stale.
+    online: OnlineState,
+    /// Sliding-window digests, when windowing is enabled for the session.
+    ring: Option<WindowRing>,
+    /// An event landed inside already-closed window territory; retained
+    /// digests must be recomputed from the re-assembled trace.
+    windows_stale: bool,
     /// Observability: events arriving in `Events` frames (pre-truncation).
     events_in_counter: Option<Counter>,
     /// Observability: events discarded by the event budget.
@@ -106,6 +122,7 @@ impl SessionAssembler {
                 }
             }
             Frame::Thread { tid, name } => {
+                self.online.declare(tid);
                 match self.trace.threads.iter_mut().find(|s| s.tid == tid) {
                     Some(stream) => stream.name = name,
                     None => {
@@ -131,6 +148,12 @@ impl SessionAssembler {
                     }
                 }
                 self.events += events.len() as u64;
+                if let Some(ring) = &self.ring {
+                    if events.iter().any(|ev| ev.ts < ring.closed_lo()) {
+                        self.windows_stale = true;
+                    }
+                }
+                self.online.ingest(tid, &events);
                 let idx = match self.trace.threads.iter().position(|s| s.tid == tid) {
                     Some(idx) => idx,
                     None => {
@@ -187,6 +210,73 @@ impl SessionAssembler {
         let mut trace = self.trace.clone();
         repair(&mut trace);
         trace
+    }
+
+    /// Enable sliding-window digests of `width` time units per window
+    /// (ring depth [`WINDOW_RING_CAP`]). Call before events arrive.
+    pub fn set_window(&mut self, width: Ts) {
+        self.ring = Some(WindowRing::new(width, WINDOW_RING_CAP));
+    }
+
+    /// The configured sliding-window width, if windowing is enabled.
+    pub fn window_width(&self) -> Option<Ts> {
+        self.ring.as_ref().map(|r| r.width())
+    }
+
+    /// Whether an out-of-order arrival has invalidated the incremental
+    /// online state (the next report will rebuild it from the partial
+    /// trace). Exposed for tests and observability.
+    pub fn online_stale(&self) -> bool {
+        self.online.is_stale()
+    }
+
+    /// The exact forward-pass report over every applied event: identical
+    /// to `online_analyze` of the concatenated partial trace. O(delta)
+    /// since the last report in the common in-order case; falls back to
+    /// a full rebuild from the partial trace after out-of-order arrivals.
+    pub fn online_report(&mut self) -> OnlineReport {
+        if self.online.is_stale() {
+            self.online = OnlineState::rebuild(&self.trace);
+        }
+        self.online.report(&self.trace)
+    }
+
+    /// Like [`online_report`], but still-live threads' frontiers also
+    /// terminate the candidate path — the mid-session estimate a status
+    /// line wants; identical once every thread has exited.
+    ///
+    /// [`online_report`]: SessionAssembler::online_report
+    pub fn online_horizon_report(&mut self) -> OnlineReport {
+        if self.online.is_stale() {
+            self.online = OnlineState::rebuild(&self.trace);
+        }
+        self.online.report_at_horizon(&self.trace)
+    }
+
+    /// Close every sliding window the frontier watermark has moved past,
+    /// analyzing each exactly once against `repaired` (the repaired trace
+    /// a snapshot is being computed from), and recompute retained digests
+    /// first if a late event landed inside closed territory. No-op when
+    /// windowing is disabled.
+    pub fn advance_windows(&mut self, repaired: &Trace) {
+        let Some(ring) = &mut self.ring else { return };
+        if self.windows_stale {
+            ring.recompute(repaired);
+            self.windows_stale = false;
+        }
+        let watermark =
+            if self.ended { Ts::MAX } else { self.online.frontier_bound().unwrap_or(0) };
+        ring.advance(repaired, watermark);
+    }
+
+    /// The currently retained closed windows, oldest first.
+    pub fn windows(&self) -> Vec<WindowDigest> {
+        self.ring.as_ref().map(|r| r.closed().cloned().collect()).unwrap_or_default()
+    }
+
+    /// The most recently closed window.
+    pub fn latest_window(&self) -> Option<WindowDigest> {
+        self.ring.as_ref().and_then(|r| r.latest()).cloned()
     }
 }
 

@@ -171,6 +171,13 @@ pub struct CollectorConfig {
     /// Deterministic transport faults injected on the rollup-push wire
     /// (chaos testing). `None` forwards over the plain socket.
     pub forward_fault_plan: Option<FaultPlan>,
+    /// Sliding-window width in trace time units (`serve --window-secs`,
+    /// converted to nanoseconds for real instrumented sessions). When
+    /// set, every session maintains a ring of closed per-window
+    /// critical-lock digests ("critical locks over the last N seconds"),
+    /// published in snapshots, the status document and rollups. `None`
+    /// disables windowing.
+    pub window_width: Option<critlock_trace::Ts>,
     /// Test hook: panic inside the analysis worker when it refreshes a
     /// session whose trace metadata names this app, to exercise the
     /// quarantine path. Never set outside tests.
@@ -207,6 +214,7 @@ impl CollectorConfig {
             forward_timeout: Duration::from_secs(5),
             forward_retry: RetryPolicy::default(),
             forward_fault_plan: None,
+            window_width: None,
             panic_on_app: None,
         }
     }
@@ -216,6 +224,15 @@ impl CollectorConfig {
         let mut budget = critlock_trace::Budget::unlimited();
         budget.max_events = self.max_events;
         budget
+    }
+
+    /// A fresh assembler configured per this config (budget + windowing).
+    fn new_assembler(&self) -> SessionAssembler {
+        let mut asm = SessionAssembler::with_budget(self.session_budget());
+        if let Some(width) = self.window_width {
+            asm.set_window(width);
+        }
+        asm
     }
 }
 
@@ -292,17 +309,22 @@ impl SessionState {
         true
     }
 
-    /// Recompute and publish this session's snapshot. If no frame has
+    /// Recompute and publish this session's snapshot. If nothing new has
     /// arrived since the last published snapshot, the repair + analysis
     /// pass is skipped entirely — re-running it would reproduce the same
     /// report bit for bit — and only the cheap queue counters refresh.
     /// (The `dirty` flag alone cannot guarantee this: it is also raised on
-    /// frame-free transitions such as a reader detaching.)
+    /// frame-free transitions such as a reader detaching.) The check is
+    /// keyed on the applied-*event* count as well as the frame count:
+    /// after journal recovery the frame counter restarts from the journal
+    /// record count while the previous process's published snapshot may
+    /// have counted the same frames, so a frames-only comparison can
+    /// conflate replayed frames with new ones and serve a stale report.
     fn refresh_snapshot(&self) -> SessionSnapshot {
-        let asm = self.asm.lock().unwrap_or_else(|e| e.into_inner());
+        let mut asm = self.asm.lock().unwrap_or_else(|e| e.into_inner());
         let mut slot = self.snapshot.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(prev) = slot.as_ref() {
-            if prev.frames == asm.frames() {
+            if prev.frames == asm.frames() && prev.events == asm.events() {
                 self.metrics.snapshot_skips.inc();
                 let mut snap = prev.clone();
                 snap.queue_depth = self.queue.depth() as u64;
@@ -325,7 +347,7 @@ impl SessionState {
         let mut snap = SessionSnapshot::compute(
             self.id,
             self.peer.clone(),
-            &asm,
+            &mut asm,
             self.queue.depth() as u64,
             self.queue.high_water(),
             self.queue.dropped(),
@@ -408,7 +430,7 @@ impl SessionState {
     /// publishing one. Computed from a fresh assembler — never touches
     /// this session's (possibly poisoned) state.
     fn placeholder_snapshot(&self) -> SessionSnapshot {
-        SessionSnapshot::compute(self.id, self.peer.clone(), &SessionAssembler::new(), 0, 0, 0)
+        SessionSnapshot::compute(self.id, self.peer.clone(), &mut SessionAssembler::new(), 0, 0, 0)
     }
 
     /// The key this session carries in rollups: the resume token when it
@@ -607,7 +629,12 @@ impl Shared {
         for session in self.all_sessions() {
             let snap = session.current_snapshot();
             let key = session.rollup_key(&self.config.collector_id);
-            rollup.insert(digest_report(&key, &snap.report));
+            let mut digest = digest_report(&key, &snap.report);
+            // When windowing is on, annotate the digest with the most
+            // recently closed window so CLAG parents can report "critical
+            // locks over the last N seconds" fleet-wide.
+            digest.window = snap.windows.last().cloned();
+            rollup.insert(digest);
         }
         rollup
     }
@@ -964,7 +991,7 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
             .and_then(|s| s.strip_prefix("anon-"))
             .and_then(|s| s.parse().ok())
             .unwrap_or(id);
-        let mut asm = SessionAssembler::with_budget(config.session_budget());
+        let mut asm = config.new_assembler();
         asm.set_counters(metrics.events_in.clone(), metrics.events_budget_dropped.clone());
         let frames = rec.frames.len() as u64;
         metrics.journal_frames_recovered.add(frames);
@@ -1159,7 +1186,7 @@ fn create_session(
             j
         })
     });
-    let mut asm = SessionAssembler::with_budget(shared.config.session_budget());
+    let mut asm = shared.config.new_assembler();
     asm.set_counters(
         shared.metrics.events_in.clone(),
         shared.metrics.events_budget_dropped.clone(),

@@ -5,11 +5,15 @@
 //! (`critlock_analysis::analyze`) over it, so for a completed session the
 //! published critical-lock ranking and critical-path length are exactly
 //! what `critlock analyze` reports on the same trace. The forward online
-//! pass (`online_analyze`) runs alongside as the paper's run-time variant;
-//! its critical-path estimate is reported next to the exact one.
+//! pass runs alongside as the paper's run-time variant; since the
+//! assembler maintains it incrementally, each snapshot reads the current
+//! frontier (extended by only the events applied since the last snapshot)
+//! instead of re-walking the whole session. When windowing is enabled the
+//! snapshot also carries the session's closed sliding-window digests.
 
 use crate::assembler::SessionAssembler;
-use critlock_analysis::{analyze, online_analyze, AnalysisReport};
+use critlock_analysis::{analyze, AnalysisReport};
+use critlock_trace::rollup::WindowDigest;
 use critlock_trace::Ts;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -35,6 +39,11 @@ pub struct SessionSnapshot {
     pub dropped_frames: u64,
     /// Critical-path length estimated by the forward online pass.
     pub online_cp_length: Ts,
+    /// Closed sliding-window digests (oldest first), when the collector
+    /// runs with `--window-secs`. A pre-windowing snapshot (or a session
+    /// without windowing) deserializes to an empty list.
+    #[serde(default)]
+    pub windows: Vec<WindowDigest>,
     /// The offline analysis of the repaired partial trace — identical to
     /// `critlock analyze` output once the session has ended.
     pub report: AnalysisReport,
@@ -136,18 +145,22 @@ pub struct CollectorStatus {
 }
 
 impl SessionSnapshot {
-    /// Analyze the session's current state.
+    /// Analyze the session's current state. Mutable because computing a
+    /// snapshot advances the assembler's incremental machinery: the
+    /// online frontier folds events applied since the last snapshot, and
+    /// newly closed sliding windows are analyzed and cached.
     pub fn compute(
         session: u64,
         peer: String,
-        asm: &SessionAssembler,
+        asm: &mut SessionAssembler,
         queue_depth: u64,
         queue_high_water: u64,
         dropped_frames: u64,
     ) -> Self {
         let trace = asm.finalize();
         let report = analyze(&trace);
-        let online = online_analyze(&trace);
+        let online = asm.online_horizon_report();
+        asm.advance_windows(&trace);
         SessionSnapshot {
             session,
             peer,
@@ -158,6 +171,7 @@ impl SessionSnapshot {
             queue_high_water,
             dropped_frames,
             online_cp_length: online.cp_length,
+            windows: asm.windows(),
             report,
         }
     }
@@ -253,6 +267,29 @@ impl CollectorStatus {
                 snap.report.makespan,
                 snap.report.coverage * 100.0,
             );
+            if let Some(last) = snap.windows.last() {
+                let top = last
+                    .locks
+                    .iter()
+                    .max_by(|a, b| a.cp_time.cmp(&b.cp_time).then_with(|| b.name.cmp(&a.name)))
+                    .map(|l| {
+                        format!(
+                            " top={} cp%={:.2}",
+                            l.name,
+                            l.cp_share_ppm as f64 / critlock_trace::rollup::PPM as f64 * 100.0
+                        )
+                    })
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  windows: {} closed; last [{}..{}] cp_length={}{}",
+                    snap.windows.len(),
+                    last.lo,
+                    last.hi,
+                    last.cp_length,
+                    top,
+                );
+            }
             for lock in snap.report.locks.iter().take(5) {
                 let _ = writeln!(
                     out,
@@ -307,16 +344,63 @@ mod tests {
 
     #[test]
     fn snapshot_matches_offline_analysis_exactly() {
-        let asm = assembled();
-        let snap = SessionSnapshot::compute(1, "test".into(), &asm, 0, 0, 0);
+        let mut asm = assembled();
+        let snap = SessionSnapshot::compute(1, "test".into(), &mut asm, 0, 0, 0);
         let offline = analyze(asm.partial());
         assert_eq!(snap.report, offline);
         assert_eq!(snap.report.top_critical_lock().unwrap().name, "hot");
+        // The incrementally maintained online pass agrees with a
+        // from-scratch forward pass of the same events.
+        assert_eq!(
+            snap.online_cp_length,
+            critlock_analysis::online_analyze(asm.partial()).cp_length
+        );
+    }
+
+    #[test]
+    fn windowed_snapshot_carries_closed_digests() {
+        let mut b = TraceBuilder::new("snap-windows");
+        let l = b.lock("hot");
+        let t0 = b.thread("T0", 0);
+        b.on(t0).cs(l, 8).work(30).exit();
+        let trace = b.build().unwrap();
+        let mut buf = Vec::new();
+        critlock_trace::stream::write_trace(&trace, &mut buf).unwrap();
+        let mut reader =
+            critlock_trace::stream::StreamReader::new(std::io::Cursor::new(buf)).unwrap();
+        let mut asm = SessionAssembler::new();
+        asm.set_window(10);
+        while let Some(frame) = reader.next_frame().unwrap() {
+            asm.apply(frame);
+        }
+        let snap = SessionSnapshot::compute(1, "test".into(), &mut asm, 0, 0, 0);
+        assert!(!snap.windows.is_empty(), "ended session must close its windows");
+        // Oracle: each closed window is exactly clip + analyze + digest.
+        for w in &snap.windows {
+            let report = analyze(&critlock_analysis::clip(&trace, w.lo, w.hi));
+            assert_eq!(*w, critlock_analysis::digest_window(w.index, w.lo, w.hi, &report));
+        }
+        let text = CollectorStatus {
+            protocol_version: critlock_trace::stream::STREAM_VERSION,
+            sessions_total: 1,
+            rejected_sessions: 0,
+            timed_out_sessions: 0,
+            resumed_sessions: 0,
+            recovered_sessions: 0,
+            shed_sessions: 0,
+            quota_stopped_sessions: 0,
+            worker_panics: 0,
+            forward: None,
+            shards: Vec::new(),
+            sessions: vec![snap],
+        }
+        .render_text();
+        assert!(text.contains("windows:"), "window line missing:\n{text}");
     }
 
     #[test]
     fn status_json_roundtrips() {
-        let asm = assembled();
+        let mut asm = assembled();
         let status = CollectorStatus {
             protocol_version: critlock_trace::stream::STREAM_VERSION,
             sessions_total: 1,
@@ -339,7 +423,7 @@ mod tests {
                 ShardStatus { shard: 0, sessions: 1, sessions_total: 1, ..Default::default() },
                 ShardStatus { shard: 1, shed_sessions: 4, ..Default::default() },
             ],
-            sessions: vec![SessionSnapshot::compute(7, "unix".into(), &asm, 3, 4, 2)],
+            sessions: vec![SessionSnapshot::compute(7, "unix".into(), &mut asm, 3, 4, 2)],
         };
         let json = status.render_json().unwrap();
         let parsed = CollectorStatus::parse_json(&json).unwrap();
@@ -376,7 +460,7 @@ mod tests {
         asm.apply(Frame::Start { meta: Default::default() });
         // No threads/events at all: analysis of an empty trace must not
         // panic and reports zero everything.
-        let snap = SessionSnapshot::compute(0, "p".into(), &asm, 0, 0, 0);
+        let snap = SessionSnapshot::compute(0, "p".into(), &mut asm, 0, 0, 0);
         assert_eq!(snap.report.cp_length, 0);
         assert!(!snap.ended);
     }

@@ -186,6 +186,7 @@ fn rollup_push_is_capped_and_reports_post_merge_count() {
         makespan: 12,
         degraded: false,
         locks: Vec::new(),
+        window: None,
     };
     let mut two = Rollup::new();
     two.insert(digest("a"));

@@ -46,6 +46,7 @@ fn digest(key: &str, cp_length: u64, locks: &[(u8, u64)]) -> SessionDigest {
         makespan: cp_length + 17,
         degraded: cp_length.is_multiple_of(5),
         locks: lock_digests,
+        window: None,
     }
 }
 

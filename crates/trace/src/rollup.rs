@@ -56,8 +56,10 @@ use serde::{Deserialize, Serialize};
 /// Rollup file/stream magic.
 pub const ROLLUP_MAGIC: &[u8; 4] = b"CLAG";
 
-/// Current rollup format version.
-pub const ROLLUP_VERSION: u64 = 1;
+/// Current rollup format version. Version 2 adds the optional
+/// sliding-window annotation trailer to every session digest; version 1
+/// documents (no trailer) are still read, decoding to `window: None`.
+pub const ROLLUP_VERSION: u64 = 2;
 
 /// Hard cap on an encoded rollup payload (64 MiB) — a length prefix
 /// beyond this is treated as corruption, not an allocation request.
@@ -93,6 +95,27 @@ pub struct LockDigest {
     pub total_hold: u64,
 }
 
+/// One closed sliding window's critical-lock digest: the analysis of the
+/// session clipped to the aligned span `[lo, hi]`, compressed the same
+/// way the whole-session digest is. Windows are closed — no more events
+/// can land inside them — so their digests are immutable once computed
+/// and safe to carry through rollup merges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowDigest {
+    /// Window ordinal: the span is `[index·width, (index+1)·width]`.
+    pub index: u64,
+    /// Window start timestamp (inclusive).
+    pub lo: u64,
+    /// Window end timestamp (inclusive).
+    pub hi: u64,
+    /// Critical-path length of the clipped window.
+    pub cp_length: u64,
+    /// Makespan of the clipped window.
+    pub makespan: u64,
+    /// Per-lock totals within the window, sorted by `name` ascending.
+    pub locks: Vec<LockDigest>,
+}
+
 /// The mergeable core of one session's analysis: identity, headline
 /// numbers and the per-lock totals, sorted by lock name.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,6 +133,12 @@ pub struct SessionDigest {
     pub degraded: bool,
     /// Per-lock totals, sorted by `name` ascending.
     pub locks: Vec<LockDigest>,
+    /// Latest *closed* sliding window, when the source collector runs
+    /// with windowing enabled (format v2; absent in v1 documents). The
+    /// window index is monotone per session, so freshness of the
+    /// annotation follows session freshness.
+    #[serde(default)]
+    pub window: Option<WindowDigest>,
 }
 
 impl SessionDigest {
@@ -140,31 +169,36 @@ impl SessionDigest {
     /// Canonical encoded form, used on the wire and as the tiebreaker of
     /// the duplicate-key order.
     fn encoded(&self) -> Vec<u8> {
+        self.encoded_v(ROLLUP_VERSION)
+    }
+
+    /// Encode at a specific format version (v1 has no window trailer).
+    /// Only the current version is ever written on the wire; older
+    /// versions exist for the decode-compatibility tests.
+    fn encoded_v(&self, version: u64) -> Vec<u8> {
         let mut out = Vec::new();
         write_str(&mut out, &self.key);
         write_str(&mut out, &self.app);
         let _ = write_varint(&mut out, self.cp_length);
         let _ = write_varint(&mut out, self.makespan);
         out.push(self.degraded as u8);
-        let _ = write_varint(&mut out, self.locks.len() as u64);
-        for lock in &self.locks {
-            write_str(&mut out, &lock.name);
-            for v in [
-                lock.cp_time,
-                lock.cp_share_ppm,
-                lock.invocations_on_cp,
-                lock.contended_on_cp,
-                lock.total_invocations,
-                lock.total_wait,
-                lock.total_hold,
-            ] {
-                let _ = write_varint(&mut out, v);
+        encode_locks(&mut out, &self.locks);
+        if version >= 2 {
+            match &self.window {
+                Some(w) => {
+                    out.push(1);
+                    for v in [w.index, w.lo, w.hi, w.cp_length, w.makespan] {
+                        let _ = write_varint(&mut out, v);
+                    }
+                    encode_locks(&mut out, &w.locks);
+                }
+                None => out.push(0),
             }
         }
         out
     }
 
-    fn decode(inp: &mut impl Read) -> Result<Self> {
+    fn decode(inp: &mut impl Read, version: u64) -> Result<Self> {
         let key = read_str(inp)?;
         let app = read_str(inp)?;
         let cp_length = read_varint(inp)?;
@@ -174,33 +208,89 @@ impl SessionDigest {
         if flag[0] > 1 {
             return Err(TraceError::Decode(format!("invalid degraded flag {}", flag[0])));
         }
-        let count = read_varint(inp)? as usize;
-        if count > MAX_ROLLUP_LEN {
-            return Err(TraceError::Decode(format!("implausible lock count {count}")));
-        }
-        let mut locks = Vec::with_capacity(count.min(4096));
-        for _ in 0..count {
-            let name = read_str(inp)?;
-            let mut vals = [0u64; 7];
-            for v in vals.iter_mut() {
-                *v = read_varint(inp)?;
+        let locks = decode_locks(inp)?;
+        let window = if version >= 2 {
+            let mut present = [0u8; 1];
+            inp.read_exact(&mut present).map_err(TraceError::Io)?;
+            match present[0] {
+                0 => None,
+                1 => {
+                    let index = read_varint(inp)?;
+                    let lo = read_varint(inp)?;
+                    let hi = read_varint(inp)?;
+                    let w_cp_length = read_varint(inp)?;
+                    let w_makespan = read_varint(inp)?;
+                    let w_locks = decode_locks(inp)?;
+                    if lo > hi {
+                        return Err(TraceError::Decode(format!(
+                            "inverted window bounds [{lo}, {hi}]"
+                        )));
+                    }
+                    Some(WindowDigest {
+                        index,
+                        lo,
+                        hi,
+                        cp_length: w_cp_length,
+                        makespan: w_makespan,
+                        locks: w_locks,
+                    })
+                }
+                other => {
+                    return Err(TraceError::Decode(format!("invalid window flag {other}")));
+                }
             }
-            locks.push(LockDigest {
-                name,
-                cp_time: vals[0],
-                cp_share_ppm: vals[1],
-                invocations_on_cp: vals[2],
-                contended_on_cp: vals[3],
-                total_invocations: vals[4],
-                total_wait: vals[5],
-                total_hold: vals[6],
-            });
-        }
-        if !locks.windows(2).all(|w| w[0].name < w[1].name) {
-            return Err(TraceError::Decode("lock digests not sorted by name".into()));
-        }
-        Ok(SessionDigest { key, app, cp_length, makespan, degraded: flag[0] == 1, locks })
+        } else {
+            None
+        };
+        Ok(SessionDigest { key, app, cp_length, makespan, degraded: flag[0] == 1, locks, window })
     }
+}
+
+fn encode_locks(out: &mut Vec<u8>, locks: &[LockDigest]) {
+    let _ = write_varint(out, locks.len() as u64);
+    for lock in locks {
+        write_str(out, &lock.name);
+        for v in [
+            lock.cp_time,
+            lock.cp_share_ppm,
+            lock.invocations_on_cp,
+            lock.contended_on_cp,
+            lock.total_invocations,
+            lock.total_wait,
+            lock.total_hold,
+        ] {
+            let _ = write_varint(out, v);
+        }
+    }
+}
+
+fn decode_locks(inp: &mut impl Read) -> Result<Vec<LockDigest>> {
+    let count = read_varint(inp)? as usize;
+    if count > MAX_ROLLUP_LEN {
+        return Err(TraceError::Decode(format!("implausible lock count {count}")));
+    }
+    let mut locks = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let name = read_str(inp)?;
+        let mut vals = [0u64; 7];
+        for v in vals.iter_mut() {
+            *v = read_varint(inp)?;
+        }
+        locks.push(LockDigest {
+            name,
+            cp_time: vals[0],
+            cp_share_ppm: vals[1],
+            invocations_on_cp: vals[2],
+            contended_on_cp: vals[3],
+            total_invocations: vals[4],
+            total_wait: vals[5],
+            total_hold: vals[6],
+        });
+    }
+    if !locks.windows(2).all(|w| w[0].name < w[1].name) {
+        return Err(TraceError::Decode("lock digests not sorted by name".into()));
+    }
+    Ok(locks)
 }
 
 /// A mergeable set of session digests — the CLAG document.
@@ -258,8 +348,9 @@ impl Rollup {
         out
     }
 
-    /// Decode a payload produced by [`Rollup::encode_payload`].
-    pub fn decode_payload(bytes: &[u8]) -> Result<Self> {
+    /// Decode a payload produced by [`Rollup::encode_payload`] at the
+    /// given format version (taken from the document frame).
+    pub fn decode_payload(bytes: &[u8], version: u64) -> Result<Self> {
         let mut inp = bytes;
         let count = read_varint(&mut inp)? as usize;
         if count > MAX_ROLLUP_LEN {
@@ -267,7 +358,7 @@ impl Rollup {
         }
         let mut rollup = Rollup::new();
         for _ in 0..count {
-            let digest = SessionDigest::decode(&mut inp)?;
+            let digest = SessionDigest::decode(&mut inp, version)?;
             if rollup.sessions.contains_key(&digest.key) {
                 return Err(TraceError::Decode(format!("duplicate session key {:?}", digest.key)));
             }
@@ -321,7 +412,7 @@ impl Rollup {
         if u32::from_le_bytes(crc) != crc32(&payload) {
             return Err(TraceError::Decode("rollup CRC mismatch".into()));
         }
-        Self::decode_payload(&payload)
+        Self::decode_payload(&payload, version)
     }
 
     /// Decode a framed CLAG document from a byte slice, rejecting
@@ -402,6 +493,7 @@ mod tests {
             makespan: 120,
             degraded: false,
             locks,
+            window: None,
         }
     }
 
@@ -522,14 +614,79 @@ mod tests {
         let mut payload = Vec::new();
         let _ = write_varint(&mut payload, 1);
         payload.extend_from_slice(&d.encoded());
-        assert!(Rollup::decode_payload(&payload).is_err());
+        assert!(Rollup::decode_payload(&payload, ROLLUP_VERSION).is_err());
 
         let d = digest("s", &[("hot", 1)]);
         let mut payload = Vec::new();
         let _ = write_varint(&mut payload, 2);
         payload.extend_from_slice(&d.encoded());
         payload.extend_from_slice(&d.encoded());
-        assert!(Rollup::decode_payload(&payload).is_err(), "duplicate keys must be rejected");
+        assert!(
+            Rollup::decode_payload(&payload, ROLLUP_VERSION).is_err(),
+            "duplicate keys must be rejected"
+        );
+    }
+
+    fn window_digest(index: u64, width: u64) -> WindowDigest {
+        let base = digest("w", &[("hot", 30)]);
+        WindowDigest {
+            index,
+            lo: index * width,
+            hi: (index + 1) * width,
+            cp_length: width,
+            makespan: width,
+            locks: base.locks,
+        }
+    }
+
+    #[test]
+    fn window_annotation_roundtrips() {
+        let mut r = rollup(&["s1"]);
+        let mut annotated = digest("s2", &[("hot", 40)]);
+        annotated.window = Some(window_digest(7, 100));
+        r.insert(annotated.clone());
+        let back = Rollup::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.sessions["s2"].window, annotated.window);
+        assert_eq!(back.sessions["s1"].window, None);
+    }
+
+    #[test]
+    fn v1_documents_still_decode() {
+        // A version-1 frame has no window trailer on any digest; the v2
+        // reader must accept it and decode `window: None`.
+        let r = rollup(&["s1", "s2"]);
+        let mut v1_payload = Vec::new();
+        let _ = write_varint(&mut v1_payload, r.sessions.len() as u64);
+        for d in r.sessions.values() {
+            v1_payload.extend_from_slice(&d.encoded_v(1));
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ROLLUP_MAGIC);
+        let _ = write_varint(&mut bytes, 1u64);
+        let _ = write_varint(&mut bytes, v1_payload.len() as u64);
+        bytes.extend_from_slice(&v1_payload);
+        bytes.extend_from_slice(&crc32(&v1_payload).to_le_bytes());
+        let back = Rollup::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert!(back.sessions.values().all(|d| d.window.is_none()));
+    }
+
+    #[test]
+    fn window_corruption_is_detected() {
+        let mut r = Rollup::new();
+        let mut d = digest("s", &[("hot", 40)]);
+        d.window = Some(window_digest(3, 50));
+        r.insert(d);
+        let bytes = r.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Rollup::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for at in 0..bytes.len() {
+            let mut hurt = bytes.clone();
+            hurt[at] ^= 0x40;
+            assert!(Rollup::from_bytes(&hurt).is_err(), "flip at {at}");
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn digest(
         makespan,
         degraded,
         locks,
+        window: None,
     }
 }
 
