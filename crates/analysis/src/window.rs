@@ -250,9 +250,29 @@ impl WindowRing {
         Self { width, cap, next_index: 0, windows: VecDeque::new() }
     }
 
+    /// Rebuild a ring from externally persisted state (a durable
+    /// checkpoint): the configured `width`/`cap`, the next window ordinal
+    /// to close, and the retained digests oldest first. Digests beyond
+    /// `cap` are dropped from the front, mirroring normal eviction.
+    pub fn restore(width: Ts, cap: usize, next_index: u64, digests: Vec<WindowDigest>) -> Self {
+        assert!(width > 0, "window width must be positive");
+        assert!(cap > 0, "window ring capacity must be positive");
+        let mut windows: VecDeque<WindowDigest> = digests.into();
+        while windows.len() > cap {
+            windows.pop_front();
+        }
+        Self { width, cap, next_index, windows }
+    }
+
     /// The configured window width.
     pub fn width(&self) -> Ts {
         self.width
+    }
+
+    /// Ordinal of the next window to close — persisted by checkpoints so
+    /// [`restore`](WindowRing::restore) resumes exactly where it left off.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
     }
 
     /// First timestamp not yet covered by a closed window: an event below

@@ -75,7 +75,9 @@ USAGE:
       BENCH_ANALYZE.json at the repo root is generated from.
   critlock serve [--listen ADDR] [--status ADDR] [--metrics ADDR] [--queue N]
                  [--backpressure block|drop] [--interval-ms N]
-                 [--journal DIR] [--idle-timeout-ms N] [--threads N]
+                 [--journal DIR] [--journal-quota-bytes N]
+                 [--journal-segment-bytes N] [--checkpoint-interval-ms N]
+                 [--idle-timeout-ms N] [--threads N]
                  [--strict] [--max-sessions N] [--session-quota-bytes N]
                  [--max-events N] [--shards N] [--forward ADDR]
                  [--forward-interval-ms N] [--forward-fallback ADDR]
@@ -86,6 +88,15 @@ USAGE:
       host:port. Sessions stream in on --listen; snapshots are served on
       --status. With --journal, every accepted frame is logged to a
       crash-safe per-session journal in DIR and recovered on restart.
+      Journals rotate into CRC-framed segments every
+      --journal-segment-bytes (default: no rotation), and the analysis
+      state is checkpointed every --checkpoint-interval-ms (default
+      2000) so recovery replays only the un-checkpointed tail;
+      fully-absorbed segments are pruned. --journal-quota-bytes caps
+      the total durable bytes (journals + checkpoints + spool): at the
+      quota — or on ENOSPC — a session's journaling degrades to
+      in-memory-only (not crash-resumable, flagged in health and
+      status) but ingestion and analysis continue unharmed.
       With --idle-timeout-ms, stalled connections are severed and their
       sessions finalized. --threads sizes the snapshot analysis pool
       (default: the host's available parallelism). --max-sessions caps
@@ -494,6 +505,24 @@ fn cmd_serve(p: &args::Parsed) -> Result<String, String> {
     config.snapshot_interval = std::time::Duration::from_millis(p.get_or("interval-ms", 200u64)?);
     if let Some(dir) = p.options.get("journal") {
         config.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(v) = p.options.get("journal-quota-bytes") {
+        let quota: u64 = v.parse().map_err(|_| format!("invalid --journal-quota-bytes: {v}"))?;
+        if quota == 0 {
+            return Err("--journal-quota-bytes must be >= 1".into());
+        }
+        config.journal_quota_bytes = Some(quota);
+    }
+    if let Some(v) = p.options.get("journal-segment-bytes") {
+        let seg: u64 = v.parse().map_err(|_| format!("invalid --journal-segment-bytes: {v}"))?;
+        if seg == 0 {
+            return Err("--journal-segment-bytes must be >= 1".into());
+        }
+        config.journal_segment_bytes = Some(seg);
+    }
+    if let Some(ms) = p.options.get("checkpoint-interval-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --checkpoint-interval-ms: {ms}"))?;
+        config.checkpoint_interval = std::time::Duration::from_millis(ms);
     }
     if let Some(ms) = p.options.get("idle-timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| format!("invalid --idle-timeout-ms: {ms}"))?;

@@ -26,6 +26,7 @@
 use critlock_analysis::online::{OnlineReport, OnlineState};
 use critlock_analysis::WindowRing;
 use critlock_obs::Counter;
+use critlock_trace::checkpoint::{CheckpointDoc, WindowCheckpoint};
 use critlock_trace::rollup::WindowDigest;
 use critlock_trace::stream::Frame;
 use critlock_trace::{
@@ -277,6 +278,64 @@ impl SessionAssembler {
     /// The most recently closed window.
     pub fn latest_window(&self) -> Option<WindowDigest> {
         self.ring.as_ref().and_then(|r| r.latest()).cloned()
+    }
+
+    /// Capture the full fold state as a durable [`CheckpointDoc`]:
+    /// everything [`restore`] needs to resume this assembler so that
+    /// replaying only the frames past [`frames`] reproduces, byte for
+    /// byte, the state an uninterrupted assembler would have reached.
+    ///
+    /// [`restore`]: SessionAssembler::restore
+    /// [`frames`]: SessionAssembler::frames
+    pub fn checkpoint_doc(&self, token: &[u8]) -> CheckpointDoc {
+        CheckpointDoc {
+            token: token.to_vec(),
+            frames: self.frames,
+            started: self.started,
+            ended: self.ended,
+            events: self.events,
+            events_dropped: self.events_dropped,
+            windows_stale: self.windows_stale,
+            trace: self.trace.clone(),
+            window: self.ring.as_ref().map(|r| WindowCheckpoint {
+                width: r.width(),
+                next_index: r.next_index(),
+                digests: r.closed().cloned().collect(),
+            }),
+        }
+    }
+
+    /// Rebuild an assembler from a checkpoint. The online forward-pass
+    /// state is recomputed from the checkpointed partial trace (the same
+    /// rebuild an out-of-order arrival triggers, so reports stay exactly
+    /// identical). The window ring is restored verbatim when the
+    /// checkpointed width matches the configured `window`; on a width
+    /// change the retained digests are discarded and a fresh ring closes
+    /// windows from index zero, exactly as a new session would.
+    pub fn restore(doc: CheckpointDoc, budget: Budget, window: Option<Ts>) -> Self {
+        let online = OnlineState::rebuild(&doc.trace);
+        let (ring, windows_stale) = match (doc.window, window) {
+            (Some(w), Some(width)) if w.width == width => (
+                Some(WindowRing::restore(w.width, WINDOW_RING_CAP, w.next_index, w.digests)),
+                doc.windows_stale,
+            ),
+            (_, Some(width)) => (Some(WindowRing::new(width, WINDOW_RING_CAP)), false),
+            (_, None) => (None, false),
+        };
+        SessionAssembler {
+            trace: doc.trace,
+            started: doc.started,
+            ended: doc.ended,
+            frames: doc.frames,
+            events: doc.events,
+            budget,
+            events_dropped: doc.events_dropped,
+            online,
+            ring,
+            windows_stale,
+            events_in_counter: None,
+            events_dropped_counter: None,
+        }
     }
 }
 

@@ -111,6 +111,9 @@ pub struct HealthInputs {
     pub quota_stopped_sessions: u64,
     /// Failed journal appends (sessions degraded to unjournaled).
     pub journal_append_failures: u64,
+    /// Live sessions running journal-less (quota exhausted, ENOSPC or a
+    /// persistent write failure) and therefore not crash-resumable.
+    pub journal_degraded_sessions: u64,
     /// Analysis worker panics caught (quarantined sessions).
     pub worker_panics: u64,
     /// How often the forwarder pushes, when forwarding is configured.
@@ -141,6 +144,9 @@ pub struct HealthReport {
     /// Failed journal appends since startup.
     #[serde(default)]
     pub journal_append_failures: u64,
+    /// Live sessions currently running journal-less (not crash-resumable).
+    #[serde(default)]
+    pub journal_degraded_sessions: u64,
     /// Forwarder state, when forwarding is configured.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub forward: Option<ForwardStatus>,
@@ -235,6 +241,12 @@ pub fn classify(inputs: &HealthInputs) -> HealthReport {
             inputs.journal_append_failures
         ));
     }
+    if inputs.journal_degraded_sessions > 0 {
+        degraded.push(format!(
+            "{} session(s) journaling degraded (disk quota or I/O failure); not crash-resumable",
+            inputs.journal_degraded_sessions
+        ));
+    }
     if inputs.shed_sessions > 0 {
         degraded.push(format!("{} connection(s) shed by admission control", inputs.shed_sessions));
     }
@@ -262,6 +274,7 @@ pub fn classify(inputs: &HealthInputs) -> HealthReport {
         shed_sessions: inputs.shed_sessions,
         quota_stopped_sessions: inputs.quota_stopped_sessions,
         journal_append_failures: inputs.journal_append_failures,
+        journal_degraded_sessions: inputs.journal_degraded_sessions,
         forward: inputs.forward.clone(),
     }
 }
@@ -319,6 +332,7 @@ mod tests {
         for inputs in [
             HealthInputs { worker_panics: 1, ..HealthInputs::default() },
             HealthInputs { journal_append_failures: 2, ..HealthInputs::default() },
+            HealthInputs { journal_degraded_sessions: 1, ..HealthInputs::default() },
             HealthInputs { shed_sessions: 3, ..HealthInputs::default() },
             HealthInputs { quota_stopped_sessions: 4, ..HealthInputs::default() },
         ] {

@@ -27,8 +27,15 @@
 //!   incremental analysis loop, the status endpoint;
 //! * [`client`] — push/status helpers used by the CLI and tests, with
 //!   resumable reconnect ([`client::push_with`]);
-//! * [`journal`] — crash-safe per-session write-ahead journals and
-//!   startup recovery;
+//! * [`journal`] — crash-safe, segmented per-session write-ahead
+//!   journals and startup recovery;
+//! * [`checkpoint`] — durable per-session checkpoints (tmp+fsync+rename)
+//!   so recovery replays only the journal tail, and absorbed segments
+//!   can be pruned;
+//! * [`io`] — the injectable storage layer ([`JournalIo`]) under
+//!   journals, checkpoints and the outbox, plus the collector-wide
+//!   [`DiskBudget`] and the deterministic disk-fault injector
+//!   ([`FaultyIo`]) the chaos tests drive it with;
 //! * [`metrics`] — collector-wide observability counters, gauges and
 //!   latency histograms (`critlock-obs`), served Prometheus-style by the
 //!   `--metrics` endpoint;
@@ -54,9 +61,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod assembler;
+pub mod checkpoint;
 pub mod client;
 pub mod faults;
 pub mod health;
+pub mod io;
 pub mod journal;
 pub mod metrics;
 pub mod net;
@@ -73,7 +82,8 @@ pub use client::{
 };
 pub use faults::{FaultState, FaultStream};
 pub use health::{HealthClass, HealthReport};
-pub use journal::{recover_dir, RecoveredSession, SessionJournal};
+pub use io::{DiskBudget, DiskFaultPlan, FaultyIo, JournalIo, RealIo};
+pub use journal::{recover_dir, JournalOptions, RecoveredSession, SessionJournal};
 pub use metrics::{CollectorMetrics, JournalCounters, ShardMetrics};
 pub use net::{Addr, Listener, Stream};
 pub use queue::{Backpressure, FrameQueue};

@@ -31,6 +31,11 @@ pub struct JournalCounters {
     pub append_failures: Counter,
     /// Explicit fsyncs.
     pub syncs: Counter,
+    /// Every journal I/O failure: failed appends, syncs, header writes,
+    /// rotations — the single counter alerting should watch.
+    pub errors: Counter,
+    /// Segment rotations (a full segment was closed and a new one opened).
+    pub rotations: Counter,
 }
 
 /// Per-shard metric handles, one set per ingestion shard, registered as
@@ -122,8 +127,27 @@ pub struct CollectorMetrics {
     pub journal_append_failures: Counter,
     /// Journal fsyncs.
     pub journal_syncs: Counter,
+    /// Every journal I/O failure (appends, syncs, header writes, rotations).
+    pub journal_errors: Counter,
+    /// Journal segment rotations.
+    pub journal_rotations: Counter,
+    /// Journal segments pruned after being fully absorbed by a checkpoint.
+    pub journal_segments_pruned: Counter,
     /// Frames replayed out of journals during startup recovery.
     pub journal_frames_recovered: Counter,
+    /// Sessions currently running without a journal because of disk
+    /// pressure (scrape-time gauge).
+    pub journal_degraded_sessions: Gauge,
+    /// Bytes of durable state (journals, checkpoints, outbox) charged to
+    /// the collector's disk budget (scrape-time gauge).
+    pub journal_disk_used_bytes: Gauge,
+    /// Durable checkpoints written successfully.
+    pub checkpoint_writes: Counter,
+    /// Checkpoint write attempts that failed (journal stays authoritative).
+    pub checkpoint_failures: Counter,
+    /// Sessions restored from a checkpoint (instead of full journal replay)
+    /// at startup.
+    pub checkpoint_recoveries: Counter,
 
     /// Successful rollup pushes to the parent collector.
     pub forward_pushes: Counter,
@@ -231,9 +255,41 @@ impl CollectorMetrics {
                 "Failed journal appends (session degrades to unjournaled)",
             ),
             journal_syncs: r.counter("critlock_journal_syncs_total", "Journal fsyncs"),
+            journal_errors: r.counter(
+                "critlock_journal_errors_total",
+                "Journal I/O failures of any kind (appends, syncs, header writes, rotations)",
+            ),
+            journal_rotations: r.counter(
+                "critlock_journal_rotations_total",
+                "Journal segment rotations (full segment closed, new one opened)",
+            ),
+            journal_segments_pruned: r.counter(
+                "critlock_journal_segments_pruned_total",
+                "Journal segments deleted after being fully absorbed by a checkpoint",
+            ),
             journal_frames_recovered: r.counter(
                 "critlock_journal_frames_recovered_total",
                 "Frames replayed out of journals during startup recovery",
+            ),
+            journal_degraded_sessions: r.gauge(
+                "critlock_journal_degraded_sessions",
+                "Sessions currently ingesting without a journal because of disk pressure",
+            ),
+            journal_disk_used_bytes: r.gauge(
+                "critlock_journal_disk_used_bytes",
+                "Bytes of durable state (journals, checkpoints, outbox) on the disk budget",
+            ),
+            checkpoint_writes: r.counter(
+                "critlock_checkpoint_writes_total",
+                "Durable session checkpoints written successfully",
+            ),
+            checkpoint_failures: r.counter(
+                "critlock_checkpoint_failures_total",
+                "Checkpoint write attempts that failed (journal stays authoritative)",
+            ),
+            checkpoint_recoveries: r.counter(
+                "critlock_checkpoint_recoveries_total",
+                "Sessions restored from a checkpoint instead of full journal replay",
             ),
             forward_pushes: r.counter(
                 "critlock_forward_pushes_total",
@@ -331,6 +387,8 @@ impl CollectorMetrics {
             appends: self.journal_appends.clone(),
             append_failures: self.journal_append_failures.clone(),
             syncs: self.journal_syncs.clone(),
+            errors: self.journal_errors.clone(),
+            rotations: self.journal_rotations.clone(),
         }
     }
 }

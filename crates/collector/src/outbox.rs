@@ -9,13 +9,19 @@
 //! that was in fact delivered is harmless to ingest again).
 //!
 //! The spool is replaced **atomically**: the new document is written to
-//! `outbox.clag.tmp`, fsynced, and renamed over the old spool. A crash
-//! at any byte leaves either the previous spool or the new one on disk,
-//! never a torn file — and the CLAG CRC framing rejects any other
-//! corruption at load time, so a reader never observes a torn rollup.
+//! `outbox.clag.tmp`, fsynced, and renamed over the old spool; the
+//! directory is fsynced after the rename so the new name itself survives
+//! a power cut. A crash at any byte leaves either the previous spool or
+//! the new one on disk, never a torn file — and the CLAG CRC framing
+//! rejects any other corruption at load time, so a reader never observes
+//! a torn rollup. All writes go through the injectable [`JournalIo`]
+//! layer and are charged to the collector's [`DiskBudget`], so the chaos
+//! suite can fault the spool path and a quota-bounded collector accounts
+//! for its spool bytes.
 
+use crate::io::{DiskBudget, JournalIo, RealIo};
 use critlock_trace::rollup::Rollup;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 /// File name of the spool inside the journal directory.
@@ -26,12 +32,46 @@ pub fn outbox_path(dir: &Path) -> PathBuf {
     dir.join(OUTBOX_FILE)
 }
 
+fn tmp_path(dir: &Path) -> PathBuf {
+    dir.join("outbox.clag.tmp")
+}
+
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
 /// Atomically replace the spool with `rollup`: write-to-temp, fsync,
-/// rename. The rename is the commit point.
+/// rename, fsync the directory. The rename is the commit point.
 pub fn save(dir: &Path, rollup: &Rollup) -> io::Result<()> {
-    let tmp = dir.join("outbox.clag.tmp");
-    rollup.save(&tmp).map_err(to_io)?;
-    std::fs::rename(&tmp, outbox_path(dir))
+    save_with(&RealIo, &DiskBudget::unlimited(), dir, rollup)
+}
+
+/// [`save`] through an explicit I/O layer and disk budget. The spool is
+/// written even when it pushes the budget over its limit: losing the
+/// rollup outright is strictly worse than transiently overshooting the
+/// quota, and the overshoot is bounded by one rollup document.
+pub fn save_with(
+    io: &dyn JournalIo,
+    budget: &DiskBudget,
+    dir: &Path,
+    rollup: &Rollup,
+) -> io::Result<()> {
+    let bytes = rollup.to_bytes();
+    let tmp = tmp_path(dir);
+    // A leftover tmp from an earlier failed attempt is about to be
+    // truncated; return its bytes so accounting can't drift upward.
+    budget.release(file_len(&tmp));
+    let mut file = budget.track(io.create(&tmp)?, None);
+    file.write_all(&bytes)?;
+    file.flush()?;
+    file.sync_data()?;
+    drop(file);
+    let final_path = outbox_path(dir);
+    let old_len = file_len(&final_path);
+    io.rename(&tmp, &final_path)?;
+    io.sync_dir(dir)?;
+    budget.release(old_len);
+    Ok(())
 }
 
 /// Load the spooled rollup, if a spool exists and decodes. A spool that
@@ -50,15 +90,21 @@ pub fn load(dir: &Path) -> Option<Rollup> {
 /// as fresh as the spooled one. Missing files are fine (never spooled,
 /// or already cleared).
 pub fn clear(dir: &Path) -> io::Result<()> {
-    match std::fs::remove_file(outbox_path(dir)) {
-        Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
-        _ => Ok(()),
-    }
+    clear_with(&RealIo, &DiskBudget::unlimited(), dir)
 }
 
-fn to_io(e: critlock_trace::TraceError) -> io::Error {
-    match e {
-        critlock_trace::TraceError::Io(e) => e,
-        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+/// [`clear`] through an explicit I/O layer, returning the spool's bytes
+/// to `budget`.
+pub fn clear_with(io: &dyn JournalIo, budget: &DiskBudget, dir: &Path) -> io::Result<()> {
+    let path = outbox_path(dir);
+    let len = file_len(&path);
+    match io.remove_file(&path) {
+        Ok(()) => {
+            budget.release(len);
+            let _ = io.sync_dir(dir);
+            Ok(())
+        }
+        Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
     }
 }

@@ -50,9 +50,11 @@
 //! re-pushes after a failed or partial forward never double-counts.
 
 use crate::assembler::SessionAssembler;
+use crate::checkpoint as ckpt;
 use crate::faults::FaultState;
 use crate::health::{classify, HealthInputs, HealthReport};
-use crate::journal::{self, SessionJournal};
+use crate::io::{DiskBudget, JournalIo, RealIo};
+use crate::journal::{self, journal_stem, JournalOptions, SessionJournal};
 use crate::metrics::{CollectorMetrics, ShardMetrics};
 use crate::net::{Addr, Listener, Stream};
 use crate::outbox;
@@ -98,6 +100,31 @@ pub struct CollectorConfig {
     /// subdirectory, so restarting with a different shard count loses
     /// nothing.
     pub journal_dir: Option<PathBuf>,
+    /// Collector-wide cap on bytes of durable state under
+    /// [`CollectorConfig::journal_dir`] (journal segments, checkpoints,
+    /// the outbox spool). When the budget is exhausted, sessions that
+    /// cannot journal keep ingesting in a **degraded**, non-resumable
+    /// mode ([`Anomaly::JournalDegraded`]) instead of erroring — the
+    /// collector sheds durability, never availability. `None` is
+    /// unlimited.
+    pub journal_quota_bytes: Option<u64>,
+    /// Rotate a session's journal into a new segment
+    /// (`<stem>.clsj.0001`, ...) once the active segment reaches this
+    /// many bytes. Closed segments fully absorbed by a checkpoint are
+    /// pruned, bounding per-session disk to roughly the working set
+    /// instead of the session's whole history. `None` keeps one
+    /// unbounded segment per session (the legacy layout).
+    pub journal_segment_bytes: Option<u64>,
+    /// How often each session's fold state is checkpointed to
+    /// `<stem>.clck` (tmp+fsync+rename). Recovery then replays only the
+    /// journal tail past the checkpoint watermark — O(tail), not
+    /// O(history) — and produces byte-identical analysis either way.
+    pub checkpoint_interval: Duration,
+    /// The storage layer journals, checkpoints and the outbox write
+    /// through. Production uses [`RealIo`]; chaos tests inject
+    /// [`crate::io::FaultyIo`] to fault specific writes, syncs and
+    /// renames deterministically.
+    pub journal_io: Arc<dyn JournalIo>,
     /// Worker threads for the snapshot analysis pipeline, divided across
     /// shards. `None` uses the host's available parallelism. Snapshot
     /// contents are bit-identical at any thread count; this only trades
@@ -200,6 +227,10 @@ impl CollectorConfig {
             poll_interval: Duration::from_millis(5),
             idle_timeout: None,
             journal_dir: None,
+            journal_quota_bytes: None,
+            journal_segment_bytes: None,
+            checkpoint_interval: Duration::from_secs(2),
+            journal_io: Arc::new(RealIo),
             analysis_threads: None,
             max_sessions: None,
             session_quota_bytes: None,
@@ -251,6 +282,11 @@ struct SessionState {
     peer: String,
     /// Resume token from the handshake; empty for anonymous sessions.
     token: Vec<u8>,
+    /// Durable-state file stem (`anon-N` or the hex token) — the name
+    /// journal segments and checkpoints share, kept even for sessions
+    /// that failed to open a journal so a later checkpoint still lands
+    /// in the right file.
+    stem: String,
     queue: FrameQueue,
     asm: Mutex<SessionAssembler>,
     /// Set when frames were applied since the last snapshot.
@@ -265,6 +301,14 @@ struct SessionState {
     /// Write-ahead journal, if journaling is enabled. Dropped (set to
     /// `None`) if an append fails: availability over durability.
     journal: Mutex<Option<SessionJournal>>,
+    /// Set when journaling was configured but this session runs without
+    /// it (disk quota, ENOSPC, create or append failure). The published
+    /// report is marked degraded and carries
+    /// [`Anomaly::JournalDegraded`]; ingest continues.
+    journal_degraded: AtomicBool,
+    /// Watermark of the last durable checkpoint (frames absorbed); the
+    /// checkpoint tick skips sessions whose fold hasn't advanced.
+    checkpointed_frames: AtomicU64,
     /// Write half of the live connection (for acks and crash severing).
     conn: Mutex<Option<Stream>>,
     /// Frame-payload bytes ingested by this session across all of its
@@ -332,6 +376,7 @@ impl SessionState {
                 snap.dropped_frames = self.queue.dropped();
                 snap.report.degraded |= asm.degraded() || self.over_quota.load(Ordering::Acquire);
                 drop(asm);
+                self.mark_journal_degraded(&mut snap);
                 self.dirty.store(false, Ordering::Release);
                 *slot = Some(snap.clone());
                 return snap;
@@ -356,9 +401,27 @@ impl SessionState {
         self.metrics.snapshot_refresh_ns.observe(started.elapsed().as_nanos() as u64);
         snap.report.degraded |= asm.degraded() || self.over_quota.load(Ordering::Acquire);
         drop(asm);
+        self.mark_journal_degraded(&mut snap);
         self.dirty.store(false, Ordering::Release);
         *self.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap.clone());
         snap
+    }
+
+    /// Stamp a snapshot of a journal-degraded session: the report is
+    /// degraded and carries a typed [`Anomaly::JournalDegraded`] (once —
+    /// refreshes must not accumulate duplicates).
+    fn mark_journal_degraded(&self, snap: &mut SessionSnapshot) {
+        if !self.journal_degraded.load(Ordering::Acquire) {
+            return;
+        }
+        snap.report.degraded = true;
+        let already =
+            snap.report.anomalies.iter().any(|a| matches!(a, Anomaly::JournalDegraded { .. }));
+        if !already {
+            snap.report.anomalies.push(Anomaly::JournalDegraded {
+                detail: "disk quota exhausted or journal write failure".to_string(),
+            });
+        }
     }
 
     /// The latest snapshot, recomputing first if new frames arrived. A
@@ -517,6 +580,10 @@ struct Shared {
     progress: Condvar,
     /// Forwarder state; meaningful only when forwarding is configured.
     forward: Mutex<ForwardState>,
+    /// The storage stack every durable write goes through: the
+    /// (injectable) I/O layer, the collector-wide disk budget, the
+    /// segment-rotation threshold and the journal counters.
+    journal_opts: JournalOptions,
     config: CollectorConfig,
     metrics: CollectorMetrics,
 }
@@ -602,10 +669,14 @@ impl Shared {
     fn health(&self) -> HealthReport {
         let mut sessions_active = 0u64;
         let mut queue_depth = 0u64;
+        let mut journal_degraded = 0u64;
         for shard in &self.shards {
             let sessions = shard.sessions.lock().unwrap_or_else(|e| e.into_inner());
             sessions_active += sessions.len() as u64;
             queue_depth += sessions.iter().map(|s| s.queue.depth() as u64).sum::<u64>();
+            journal_degraded +=
+                sessions.iter().filter(|s| s.journal_degraded.load(Ordering::Acquire)).count()
+                    as u64;
         }
         classify(&HealthInputs {
             sessions_active,
@@ -614,6 +685,7 @@ impl Shared {
             shed_sessions: self.metrics.sessions_shed.get(),
             quota_stopped_sessions: self.metrics.sessions_quota_stopped.get(),
             journal_append_failures: self.metrics.journal_append_failures.get(),
+            journal_degraded_sessions: journal_degraded,
             worker_panics: self.metrics.worker_panics.get(),
             forward_interval: self.config.forward_interval,
             forward: self.forward_status(),
@@ -651,6 +723,7 @@ impl Shared {
         let mut active = 0u64;
         let mut depth = 0u64;
         let mut high_water = 0u64;
+        let mut journal_degraded = 0u64;
         for shard in &self.shards {
             let sessions: Vec<Arc<SessionState>> =
                 shard.sessions.lock().unwrap_or_else(|e| e.into_inner()).clone();
@@ -662,11 +735,16 @@ impl Shared {
             active += sessions.len() as u64;
             depth += shard_depth;
             high_water = high_water.max(shard_high);
+            journal_degraded +=
+                sessions.iter().filter(|s| s.journal_degraded.load(Ordering::Acquire)).count()
+                    as u64;
         }
         let m = &self.metrics;
         m.sessions_active.set(active);
         m.queue_depth.set(depth);
         m.queue_high_water.set(high_water);
+        m.journal_degraded_sessions.set(journal_degraded);
+        m.journal_disk_used_bytes.set(self.journal_opts.budget.used());
         if let Some(at) = self.forward.lock().unwrap_or_else(|e| e.into_inner()).last_success {
             m.forward_last_success_seconds.set(at.elapsed().as_secs());
         }
@@ -881,6 +959,32 @@ fn journal_dirs(root: &std::path::Path) -> Vec<PathBuf> {
     dirs
 }
 
+/// Bytes of durable collector state currently on disk under `root`:
+/// journal segments, checkpoints (and their tmp files) and the outbox
+/// spool, across the root and every shard subdirectory. Seeds the disk
+/// budget at startup so the quota bounds total size, not just the bytes
+/// this process writes.
+fn scan_disk_usage(root: &std::path::Path) -> u64 {
+    let journal_marker = format!(".{}", journal::JOURNAL_EXT);
+    let checkpoint_marker = format!(".{}", ckpt::CHECKPOINT_EXT);
+    let mut total = 0u64;
+    for dir in journal_dirs(root) {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let durable = name.contains(&journal_marker)
+                || name.contains(&checkpoint_marker)
+                || name == outbox::OUTBOX_FILE
+                || name == "outbox.clag.tmp";
+            if durable && path.is_file() {
+                total += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
 /// Bind the configured addresses, recover journaled sessions (if a
 /// journal directory is configured) and start the daemon threads.
 pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
@@ -905,19 +1009,30 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         None => None,
     };
     let metrics = CollectorMetrics::new();
+    let journal_opts = JournalOptions {
+        io: Arc::clone(&config.journal_io),
+        budget: DiskBudget::with_limit(config.journal_quota_bytes),
+        segment_bytes: config.journal_segment_bytes,
+        counters: Some(metrics.journal_counters()),
+    };
 
     // Crash recovery: replay every journal under the directory (root and
     // any shard subdirectory) into a pre-populated session before any
-    // producer can connect.
+    // producer can connect. Each recovered session remembers which
+    // directory it came from so its checkpoint is found next to it.
     let mut recovered = Vec::new();
     let mut first_id = 0u64;
     if let Some(root) = &config.journal_dir {
         std::fs::create_dir_all(root)?;
         for dir in journal_dirs(root) {
             first_id = first_id.max(max_anon_index(&dir));
-            let (sessions, _unreadable) = journal::recover_dir(&dir)?;
-            recovered.extend(sessions);
+            let (sessions, _unreadable) = journal::recover_dir_with(&dir, &journal_opts)?;
+            recovered.extend(sessions.into_iter().map(|s| (dir.clone(), s)));
         }
+        // Seed the disk budget with what already sits on disk (recovery
+        // above may have deleted torn segments): the quota bounds the
+        // durable state's total size, not just this process's writes.
+        journal_opts.budget.seed(scan_disk_usage(root));
     }
 
     let shards = (0..config.shards)
@@ -951,6 +1066,7 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         passes: Mutex::new(0),
         progress: Condvar::new(),
         forward: Mutex::new(ForwardState::default()),
+        journal_opts: journal_opts.clone(),
         config: config.clone(),
         metrics: metrics.clone(),
     });
@@ -967,7 +1083,7 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         }
     }
 
-    for mut rec in recovered {
+    for (dir, rec) in recovered {
         let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
         // Recovered sessions count against the global admission bound
         // (they may exceed it — recovery never drops journaled data —
@@ -976,41 +1092,87 @@ pub fn start(config: CollectorConfig) -> io::Result<CollectorHandle> {
         let shard = shared.shard_for(&rec.token, id);
         shard.metrics.sessions_total.inc();
         metrics.sessions_started.inc();
-        let peer = format!(
-            "journal:{}",
-            rec.journal.path().file_name().and_then(|n| n.to_str()).unwrap_or("?")
-        );
+        let journal_file = rec.journal.path();
+        let peer =
+            format!("journal:{}", journal_file.file_name().and_then(|n| n.to_str()).unwrap_or("?"));
         // Recovered anonymous sessions keep the `anon-N` index of their
         // journal file as their rollup identity, so the key they were
         // already forwarded under before the crash stays theirs.
-        let rollup_id = rec
-            .journal
-            .path()
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .and_then(|s| s.strip_prefix("anon-"))
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(id);
-        let mut asm = config.new_assembler();
-        asm.set_counters(metrics.events_in.clone(), metrics.events_budget_dropped.clone());
-        let frames = rec.frames.len() as u64;
-        metrics.journal_frames_recovered.add(frames);
-        for frame in rec.frames {
-            asm.apply(frame);
+        let rollup_id = rec.stem.strip_prefix("anon-").and_then(|s| s.parse().ok()).unwrap_or(id);
+        // O(tail) recovery: restore the fold from the checkpoint (when
+        // one exists and belongs to this session) and stream only the
+        // frames past its watermark through the assembler — never
+        // materializing the journal in memory, and byte-identical to an
+        // assembler that folded every frame live.
+        let checkpoint =
+            ckpt::load_checkpoint(&dir, &rec.stem).filter(|doc| doc.token == rec.token);
+        let mut checkpointed = 0u64;
+        let mut asm = match checkpoint {
+            Some(doc) => {
+                checkpointed = doc.frames;
+                metrics.checkpoint_recoveries.inc();
+                SessionAssembler::restore(doc, config.session_budget(), config.window_width)
+            }
+            None => config.new_assembler(),
+        };
+        // The journal's oldest surviving frame can sit past the
+        // checkpoint watermark when absorbed segments were pruned and the
+        // checkpoint was then lost (deleted or corrupted on disk). The
+        // pruned prefix is unrecoverable; keep the global frame numbering
+        // consistent by starting an empty fold at the first surviving
+        // frame instead of silently renumbering.
+        let oldest = rec.segments.first().map(|s| s.start).unwrap_or(0);
+        if checkpointed < oldest {
+            checkpointed = oldest;
+            let placeholder = critlock_trace::CheckpointDoc {
+                token: rec.token.clone(),
+                frames: oldest,
+                started: false,
+                ended: false,
+                events: 0,
+                events_dropped: 0,
+                windows_stale: false,
+                trace: Trace::default(),
+                window: None,
+            };
+            asm = SessionAssembler::restore(
+                placeholder,
+                config.session_budget(),
+                config.window_width,
+            );
         }
-        rec.journal.set_counters(metrics.journal_counters());
+        asm.set_counters(metrics.events_in.clone(), metrics.events_budget_dropped.clone());
+        let replayed = rec.replay_tail(checkpointed, |frame| asm.apply(frame)).unwrap_or(0);
+        metrics.journal_frames_recovered.add(replayed);
+        let mut journal = Some(rec.journal);
+        let mut journal_degraded = false;
+        // The checkpoint can be *ahead* of the surviving journal (the
+        // session was journaling degraded, or absorbed segments were
+        // pruned and the tail lost to a torn write). Appends must then
+        // resume at the checkpoint watermark: open a fresh segment there,
+        // or drop to journal-less degraded mode if even that fails.
+        if let Some(j) = journal.as_mut() {
+            if checkpointed > j.frames() && j.align_to(checkpointed).is_err() {
+                journal = None;
+                journal_degraded = true;
+            }
+        }
+        let frames = journal.as_ref().map(|j| j.frames()).unwrap_or(0).max(checkpointed);
         let session = Arc::new(SessionState {
             id,
             rollup_id,
             peer,
             token: rec.token.clone(),
+            stem: rec.stem.clone(),
             queue: FrameQueue::new(config.queue_capacity, config.backpressure),
             asm: Mutex::new(asm),
             dirty: AtomicBool::new(true),
             snapshot: Mutex::new(None),
             received_seq: AtomicU64::new(frames),
             attached: AtomicBool::new(false),
-            journal: Mutex::new(Some(rec.journal)),
+            journal: Mutex::new(journal),
+            journal_degraded: AtomicBool::new(journal_degraded),
+            checkpointed_frames: AtomicU64::new(checkpointed),
             conn: Mutex::new(None),
             bytes_ingested: AtomicU64::new(0),
             over_quota: AtomicBool::new(false),
@@ -1179,13 +1341,12 @@ fn create_session(
     shard.metrics.sessions_total.inc();
     shared.metrics.sessions_started.inc();
     let journal = shard.journal_dir.as_deref().and_then(|dir| {
-        // A journal that cannot be created degrades the session to
-        // unjournaled rather than refusing the producer.
-        SessionJournal::create(dir, token, id).ok().map(|mut j| {
-            j.set_counters(shared.metrics.journal_counters());
-            j
-        })
+        // A journal that cannot be created (disk quota, ENOSPC, ...)
+        // degrades the session to unjournaled rather than refusing the
+        // producer: availability over durability.
+        SessionJournal::create(dir, token, id, shared.journal_opts.clone()).ok()
     });
+    let journal_degraded = shard.journal_dir.is_some() && journal.is_none();
     let mut asm = shared.config.new_assembler();
     asm.set_counters(
         shared.metrics.events_in.clone(),
@@ -1196,6 +1357,7 @@ fn create_session(
         rollup_id: id,
         peer,
         token: token.to_vec(),
+        stem: journal_stem(token, id),
         queue: FrameQueue::new(shared.config.queue_capacity, shared.config.backpressure),
         asm: Mutex::new(asm),
         dirty: AtomicBool::new(true),
@@ -1203,6 +1365,8 @@ fn create_session(
         received_seq: AtomicU64::new(0),
         attached: AtomicBool::new(true),
         journal: Mutex::new(journal),
+        journal_degraded: AtomicBool::new(journal_degraded),
+        checkpointed_frames: AtomicU64::new(0),
         conn: Mutex::new(None),
         bytes_ingested: AtomicU64::new(0),
         over_quota: AtomicBool::new(false),
@@ -1312,7 +1476,14 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
                     let mut journal = session.journal.lock().unwrap_or_else(|e| e.into_inner());
                     if let Some(j) = journal.as_mut() {
                         if j.append(&frame).is_err() {
+                            // Disk quota or write failure: drop to
+                            // journal-less degraded mode but keep
+                            // ingesting — the session is no longer
+                            // crash-resumable, which the published
+                            // report and health both surface.
                             *journal = None;
+                            session.journal_degraded.store(true, Ordering::Release);
+                            session.dirty.store(true, Ordering::Release);
                         } else if is_end {
                             let _ = j.sync();
                         }
@@ -1377,6 +1548,7 @@ fn analysis_loop(shared: Arc<Shared>, shard_index: usize) {
     let workers = workers.div_ceil(shared.shards.len()).max(1);
     let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().ok();
     let mut last_publish = Instant::now();
+    let mut last_checkpoint = Instant::now();
     loop {
         let stopping = shared.shutdown.load(Ordering::Acquire);
         let sessions: Vec<Arc<SessionState>> =
@@ -1423,11 +1595,54 @@ fn analysis_loop(shared: Arc<Shared>, shard_index: usize) {
             }
             last_publish = Instant::now();
         }
+        if shared.shards[shard_index].journal_dir.is_some()
+            && (stopping || last_checkpoint.elapsed() >= shared.config.checkpoint_interval)
+        {
+            for session in &sessions {
+                maybe_checkpoint(&shared, shard_index, session);
+            }
+            last_checkpoint = Instant::now();
+        }
         shared.bump_pass();
         if stopping {
             break;
         }
         std::thread::sleep(shared.config.poll_interval);
+    }
+}
+
+/// Checkpoint one session's fold state if it advanced since the last
+/// checkpoint, then prune journal segments the checkpoint fully absorbs.
+/// Failures are counted, never fatal: the journal stays authoritative
+/// and recovery just replays more of it.
+///
+/// Skipped while the session's queue has dropped frames
+/// ([`Backpressure::Drop`]): journaled frame numbers and the applied
+/// frame count diverge once a journaled frame is shed before assembly,
+/// so a checkpoint watermark would cover frames that were never folded.
+fn maybe_checkpoint(shared: &Shared, shard_index: usize, session: &SessionState) {
+    let Some(dir) = shared.shards[shard_index].journal_dir.as_ref() else { return };
+    if session.poisoned.load(Ordering::Acquire) || session.queue.dropped() > 0 {
+        return;
+    }
+    let doc = {
+        let asm = session.asm.lock().unwrap_or_else(|e| e.into_inner());
+        if asm.frames() == session.checkpointed_frames.load(Ordering::Acquire) {
+            return;
+        }
+        asm.checkpoint_doc(&session.token)
+    };
+    let opts = &shared.journal_opts;
+    match ckpt::write_checkpoint(opts.io.as_ref(), &opts.budget, dir, &session.stem, &doc) {
+        Ok(()) => {
+            shared.metrics.checkpoint_writes.inc();
+            session.checkpointed_frames.store(doc.frames, Ordering::Release);
+            if let Some(j) = session.journal.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+                let (pruned, _bytes) = j.prune_absorbed(doc.frames);
+                shared.metrics.journal_segments_pruned.add(pruned);
+            }
+        }
+        Err(_) => shared.metrics.checkpoint_failures.inc(),
     }
 }
 
@@ -1478,7 +1693,8 @@ fn record_forward_success(shared: &Shared, on_fallback: bool) {
     fwd.using_fallback = on_fallback;
     if fwd.spooled {
         if let Some(root) = &shared.config.journal_dir {
-            let _ = outbox::clear(root);
+            let opts = &shared.journal_opts;
+            let _ = outbox::clear_with(opts.io.as_ref(), &opts.budget, root);
         }
         fwd.spooled = false;
     }
@@ -1489,7 +1705,8 @@ fn record_forward_success(shared: &Shared, on_fallback: bool) {
 /// Returns the streak length.
 fn record_forward_failure(shared: &Shared, rollup: &Rollup) -> u64 {
     if let Some(root) = &shared.config.journal_dir {
-        if outbox::save(root, rollup).is_ok() {
+        let opts = &shared.journal_opts;
+        if outbox::save_with(opts.io.as_ref(), &opts.budget, root, rollup).is_ok() {
             shared.forward.lock().unwrap_or_else(|e| e.into_inner()).spooled = true;
         }
     }
@@ -1596,7 +1813,8 @@ fn forward_loop(shared: Arc<Shared>) {
         return;
     }
     if let Some(root) = &shared.config.journal_dir {
-        if outbox::save(root, &rollup).is_ok() {
+        let opts = &shared.journal_opts;
+        if outbox::save_with(opts.io.as_ref(), &opts.budget, root, &rollup).is_ok() {
             shared.forward.lock().unwrap_or_else(|e| e.into_inner()).spooled = true;
         }
     }

@@ -133,6 +133,83 @@ fn rollup_bytes_are_identical_across_shard_counts() {
     assert_eq!(a.to_json(), b.to_json());
 }
 
+/// Shard-count invariance must survive crash recovery too: journal with
+/// `--shards 4` (segments rotating, checkpoints landing, absorbed
+/// segments pruned), crash, recover the same directory with `--shards 1`
+/// and then `--shards 3`. Sessions re-route to different shards on every
+/// restart — token hash modulo a different shard count — yet every
+/// recovered rollup is byte-identical to the never-sharded, never-crashed
+/// analysis.
+#[test]
+fn recovery_is_byte_identical_across_shard_count_changes() {
+    let dir = std::env::temp_dir().join(format!("critlock-fleet-reshard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let traces = fleet_traces();
+    let mut expected = Rollup::new();
+    for (token, trace) in &traces {
+        let key = String::from_utf8(token.clone()).unwrap();
+        expected.insert(digest_report(&key, &analyze(trace)));
+    }
+
+    let durable = |shards: usize| {
+        let mut config = test_config();
+        config.shards = shards;
+        config.journal_dir = Some(dir.clone());
+        config.journal_segment_bytes = Some(128);
+        config.checkpoint_interval = Duration::from_millis(10);
+        config.snapshot_interval = Duration::from_millis(10);
+        config
+    };
+
+    // Journal under 4 shards; let checkpoints land so recovery replays
+    // tails, not history, then crash without any drain.
+    let handle = start(durable(4)).unwrap();
+    push_fleet(&handle, &traces);
+    let has_checkpoint = |root: &std::path::Path| {
+        // Sharded journals live in `shard-N/` subdirectories.
+        let mut dirs = vec![root.to_path_buf()];
+        dirs.extend(
+            std::fs::read_dir(root)
+                .unwrap()
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir()),
+        );
+        dirs.iter().any(|d| {
+            std::fs::read_dir(d).is_ok_and(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .any(|e| e.file_name().to_string_lossy().ends_with(".clck"))
+            })
+        })
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !has_checkpoint(&dir) {
+        assert!(std::time::Instant::now() < deadline, "timeout waiting for a checkpoint");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.crash();
+
+    // Recover under different shard counts; each pass re-routes sessions,
+    // writes its own checkpoints and prunes, and crashes again.
+    for shards in [1usize, 3] {
+        let handle = start(durable(shards)).unwrap();
+        wait_for(&handle, "journaled sessions to recover", |s| {
+            s.recovered_sessions == 3 && s.sessions.iter().all(|snap| snap.ended)
+        });
+        let status = handle.status();
+        assert_eq!(status.shards.len(), shards);
+        let per_shard: u64 = status.shards.iter().map(|s| s.recovered_sessions).sum();
+        assert_eq!(per_shard, 3, "recovered sessions must land on the live shards");
+        assert_eq!(
+            handle.rollup().to_bytes(),
+            expected.to_bytes(),
+            "recovery under {shards} shard(s) must be byte-identical to the offline union"
+        );
+        handle.crash();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn child_collector_forwards_rollup_to_parent() {
     let parent = start(test_config()).unwrap();

@@ -191,8 +191,16 @@ fn recovered_and_new_sessions_share_the_id_space() {
         s.sessions.len() == 2 && s.sessions.iter().all(|snap| snap.ended)
     });
     handle.shutdown();
-    let journals_before: Vec<_> =
-        std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok().map(|e| e.file_name())).collect();
+    // Count only journal segments: shutdown also leaves checkpoint files
+    // (`.clck`) next to the journals, which are not part of the id space.
+    let list_journals = |dir: &std::path::Path| -> Vec<std::ffi::OsString> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .filter(|name| name.to_string_lossy().contains(".clsj"))
+            .collect()
+    };
+    let journals_before = list_journals(&dir);
     assert_eq!(journals_before.len(), 2);
 
     let handle = start(config).unwrap();
@@ -207,8 +215,7 @@ fn recovered_and_new_sessions_share_the_id_space() {
     ids.dedup();
     assert_eq!(ids.len(), 3, "recovered and new sessions must not share ids");
     // The first run's journals survived untouched alongside the new one.
-    let journals_after: Vec<_> =
-        std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok().map(|e| e.file_name())).collect();
+    let journals_after = list_journals(&dir);
     assert_eq!(journals_after.len(), 3);
     for name in &journals_before {
         assert!(journals_after.contains(name), "journal {name:?} must survive the restart");

@@ -283,6 +283,14 @@ pub enum Anomaly {
         /// The panic message, when the payload carried one.
         detail: String,
     },
+    /// The collector could not keep journaling this session (disk quota
+    /// exhausted, ENOSPC, or a persistent write/sync failure). Ingestion
+    /// and analysis continue, but the session is no longer crash-resumable:
+    /// a collector restart loses whatever arrived after journaling stopped.
+    JournalDegraded {
+        /// Human-readable cause (quota, ENOSPC, sync failure, ...).
+        detail: String,
+    },
 }
 
 impl Anomaly {
@@ -330,6 +338,7 @@ impl Anomaly {
                 | Anomaly::BudgetBytesTruncated { .. }
                 | Anomaly::DeadlineExceeded { .. }
                 | Anomaly::AnalysisPanicked { .. }
+                | Anomaly::JournalDegraded { .. }
         )
     }
 }
@@ -439,6 +448,9 @@ impl fmt::Display for Anomaly {
             }
             Anomaly::AnalysisPanicked { detail } => {
                 write!(f, "analysis worker panicked ({detail}); session quarantined")
+            }
+            Anomaly::JournalDegraded { detail } => {
+                write!(f, "journaling degraded ({detail}); session no longer crash-resumable")
             }
         }
     }

@@ -1,0 +1,369 @@
+//! Durable checkpoint document for a collector session (`CLCK` format).
+//!
+//! A checkpoint captures everything the collector's session assembler
+//! needs to resume analysis without replaying the full journal history:
+//! the partial [`Trace`] assembled so far, the admission counters, and
+//! the sliding-window ring state. Recovery loads the checkpoint and
+//! replays only the journal frames *after* the checkpoint watermark —
+//! O(tail), not O(session lifetime) — while staying byte-identical to a
+//! never-crashed collector.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic "CLCK" | version varint
+//! payload-len varint | payload bytes | CRC32 of payload (4B LE)
+//! ```
+//!
+//! The payload encodes the session token, the frame watermark, the
+//! admission counters, the trace (meta JSON, objects, threads) and an
+//! optional window-ring section. Unlike the `CLTR` trace format, event
+//! timestamps here are **zigzag-encoded signed deltas**: an assembled
+//! partial trace legally contains backwards per-thread timestamps across
+//! frame boundaries (each `CLSM` frame restarts its delta base), so an
+//! unsigned delta would be unrepresentable.
+
+use crate::codec::{
+    kind_from_u8, kind_to_u8, read_bytes, read_event_kind, read_string, read_tid, read_varint,
+    write_bytes, write_event_kind, write_varint,
+};
+use crate::error::{Result, TraceError};
+use crate::event::{Event, Ts};
+use crate::ids::ObjInfo;
+use crate::rollup::WindowDigest;
+use crate::stream::crc32;
+use crate::trace::{ThreadStream, Trace, TraceMeta};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"CLCK";
+const VERSION: u64 = 1;
+
+/// Caps applied to decoded counts so a corrupt length claim cannot
+/// commit a huge allocation before the input runs out.
+const MAX_COUNT: u64 = 1 << 24;
+
+/// Sliding-window ring state carried by a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCheckpoint {
+    /// Window width the ring was built with.
+    pub width: Ts,
+    /// Ordinal of the next window to close.
+    pub next_index: u64,
+    /// Closed window digests still retained, oldest first.
+    pub digests: Vec<WindowDigest>,
+}
+
+/// Everything needed to restore a session assembler exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointDoc {
+    /// Session resume token (empty for anonymous sessions).
+    pub token: Vec<u8>,
+    /// Frame watermark: number of frames absorbed into this checkpoint.
+    /// Recovery replays journal frames numbered `frames..`.
+    pub frames: u64,
+    /// Whether the session's Start frame was seen.
+    pub started: bool,
+    /// Whether the session's End frame was seen.
+    pub ended: bool,
+    /// Events admitted so far.
+    pub events: u64,
+    /// Events dropped by the admission budget so far.
+    pub events_dropped: u64,
+    /// Whether the window ring was marked stale at checkpoint time.
+    pub windows_stale: bool,
+    /// The partial trace assembled so far.
+    pub trace: Trace,
+    /// Window-ring state, if windowing was configured.
+    pub window: Option<WindowCheckpoint>,
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+fn write_event_signed(out: &mut impl Write, prev_ts: Ts, ev: &Event) -> Result<()> {
+    let d = ev.ts.wrapping_sub(prev_ts) as i64;
+    write_varint(out, zigzag(d))?;
+    write_event_kind(out, &ev.kind)
+}
+
+fn read_event_signed(inp: &mut impl Read, prev_ts: Ts) -> Result<Event> {
+    let d = unzigzag(read_varint(inp)?);
+    let ts = prev_ts.wrapping_add(d as u64);
+    Ok(Event::new(ts, read_event_kind(inp)?))
+}
+
+fn checked_count(n: u64, what: &str) -> Result<usize> {
+    if n > MAX_COUNT {
+        return Err(TraceError::Decode(format!("unreasonable {what} count {n}")));
+    }
+    Ok(n as usize)
+}
+
+fn encode_payload(doc: &CheckpointDoc) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    write_bytes(&mut out, &doc.token)?;
+    write_varint(&mut out, doc.frames)?;
+    let flags =
+        u8::from(doc.started) | (u8::from(doc.ended) << 1) | (u8::from(doc.windows_stale) << 2);
+    out.write_all(&[flags])?;
+    write_varint(&mut out, doc.events)?;
+    write_varint(&mut out, doc.events_dropped)?;
+
+    let meta = serde_json::to_vec(&doc.trace.meta)?;
+    write_bytes(&mut out, &meta)?;
+
+    write_varint(&mut out, doc.trace.objects.len() as u64)?;
+    for obj in &doc.trace.objects {
+        out.write_all(&[kind_to_u8(obj.kind)])?;
+        write_bytes(&mut out, obj.name.as_bytes())?;
+    }
+
+    write_varint(&mut out, doc.trace.threads.len() as u64)?;
+    for t in &doc.trace.threads {
+        write_varint(&mut out, u64::from(t.tid.0))?;
+        match &t.name {
+            Some(name) => {
+                out.write_all(&[1])?;
+                write_bytes(&mut out, name.as_bytes())?;
+            }
+            None => out.write_all(&[0])?,
+        }
+        write_varint(&mut out, t.events.len() as u64)?;
+        let mut prev: Ts = 0;
+        for ev in &t.events {
+            write_event_signed(&mut out, prev, ev)?;
+            prev = ev.ts;
+        }
+    }
+
+    match &doc.window {
+        Some(w) => {
+            out.write_all(&[1])?;
+            write_varint(&mut out, w.width)?;
+            write_varint(&mut out, w.next_index)?;
+            write_varint(&mut out, w.digests.len() as u64)?;
+            for d in &w.digests {
+                write_bytes(&mut out, &serde_json::to_vec(d)?)?;
+            }
+        }
+        None => out.write_all(&[0])?,
+    }
+    Ok(out)
+}
+
+fn read_flag(inp: &mut impl Read) -> Result<u8> {
+    let mut b = [0u8; 1];
+    inp.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn decode_payload(payload: &[u8]) -> Result<CheckpointDoc> {
+    let inp = &mut &payload[..];
+    let token = read_bytes(inp)?;
+    let frames = read_varint(inp)?;
+    let flags = read_flag(inp)?;
+    let events = read_varint(inp)?;
+    let events_dropped = read_varint(inp)?;
+
+    let meta: TraceMeta = serde_json::from_slice(&read_bytes(inp)?)?;
+
+    let n_objs = checked_count(read_varint(inp)?, "object")?;
+    let mut objects = Vec::with_capacity(n_objs.min(1024));
+    for _ in 0..n_objs {
+        let kind = kind_from_u8(read_flag(inp)?)?;
+        let name = read_string(inp)?;
+        objects.push(ObjInfo { kind, name });
+    }
+
+    let n_threads = checked_count(read_varint(inp)?, "thread")?;
+    let mut threads = Vec::with_capacity(n_threads.min(1024));
+    for _ in 0..n_threads {
+        let tid = read_tid(inp)?;
+        let name = match read_flag(inp)? {
+            0 => None,
+            1 => Some(read_string(inp)?),
+            v => return Err(TraceError::Decode(format!("bad name flag {v}"))),
+        };
+        let n_events = checked_count(read_varint(inp)?, "event")?;
+        let mut events = Vec::with_capacity(n_events.min(1 << 16));
+        let mut prev: Ts = 0;
+        for _ in 0..n_events {
+            let ev = read_event_signed(inp, prev)?;
+            prev = ev.ts;
+            events.push(ev);
+        }
+        threads.push(ThreadStream { tid, name, events });
+    }
+
+    let window = match read_flag(inp)? {
+        0 => None,
+        1 => {
+            let width = read_varint(inp)?;
+            let next_index = read_varint(inp)?;
+            let n = checked_count(read_varint(inp)?, "window digest")?;
+            let mut digests = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                digests.push(serde_json::from_slice(&read_bytes(inp)?)?);
+            }
+            Some(WindowCheckpoint { width, next_index, digests })
+        }
+        v => return Err(TraceError::Decode(format!("bad window flag {v}"))),
+    };
+
+    if !inp.is_empty() {
+        return Err(TraceError::Decode(format!(
+            "{} trailing bytes after checkpoint payload",
+            inp.len()
+        )));
+    }
+
+    Ok(CheckpointDoc {
+        token,
+        frames,
+        started: flags & 1 != 0,
+        ended: flags & 2 != 0,
+        events,
+        events_dropped,
+        windows_stale: flags & 4 != 0,
+        trace: Trace { meta, objects, threads },
+        window,
+    })
+}
+
+/// Serialize a checkpoint document to its on-disk `CLCK` byte form.
+pub fn encode_checkpoint(doc: &CheckpointDoc) -> Result<Vec<u8>> {
+    let payload = encode_payload(doc)?;
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(MAGIC);
+    write_varint(&mut out, VERSION)?;
+    write_varint(&mut out, payload.len() as u64)?;
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    Ok(out)
+}
+
+/// Decode a `CLCK` checkpoint document, validating the payload CRC.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointDoc> {
+    let inp = &mut &bytes[..];
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::Decode("bad checkpoint magic".into()));
+    }
+    let version = read_varint(inp)?;
+    if version != VERSION {
+        return Err(TraceError::Decode(format!("unsupported checkpoint version {version}")));
+    }
+    let len = read_varint(inp)? as usize;
+    if inp.len() < len + 4 {
+        return Err(TraceError::Decode(format!(
+            "checkpoint truncated ({} of {} payload+crc bytes)",
+            inp.len(),
+            len + 4
+        )));
+    }
+    let payload = &inp[..len];
+    let stored = u32::from_le_bytes([inp[len], inp[len + 1], inp[len + 2], inp[len + 3]]);
+    if crc32(payload) != stored {
+        return Err(TraceError::Decode("checkpoint CRC mismatch".into()));
+    }
+    decode_payload(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::{ObjId, ObjKind, ThreadId};
+
+    fn sample_doc() -> CheckpointDoc {
+        let mut trace = Trace::new(TraceMeta::named("ckpt"));
+        trace.objects.push(ObjInfo { kind: ObjKind::Lock, name: "m0".into() });
+        let mut t0 = ThreadStream::new(ThreadId(0));
+        t0.name = Some("main".into());
+        t0.events = vec![
+            Event::new(10, EventKind::LockAcquire { lock: ObjId(0) }),
+            Event::new(20, EventKind::LockRelease { lock: ObjId(0) }),
+            // Backwards timestamp across a frame boundary: legal in an
+            // assembled partial trace, unrepresentable in CLTR deltas.
+            Event::new(5, EventKind::LockAcquire { lock: ObjId(0) }),
+            Event::new(6, EventKind::LockRelease { lock: ObjId(0) }),
+        ];
+        trace.threads.push(t0);
+        CheckpointDoc {
+            token: b"tok-123".to_vec(),
+            frames: 7,
+            started: true,
+            ended: false,
+            events: 4,
+            events_dropped: 1,
+            windows_stale: true,
+            trace,
+            window: Some(WindowCheckpoint {
+                width: 100,
+                next_index: 3,
+                digests: vec![WindowDigest {
+                    index: 2,
+                    lo: 200,
+                    hi: 300,
+                    cp_length: 42,
+                    makespan: 100,
+                    locks: Vec::new(),
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_including_backwards_timestamps() {
+        let doc = sample_doc();
+        let bytes = encode_checkpoint(&doc).unwrap();
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn roundtrip_minimal_doc() {
+        let doc = CheckpointDoc {
+            token: Vec::new(),
+            frames: 0,
+            started: false,
+            ended: false,
+            events: 0,
+            events_dropped: 0,
+            windows_stale: false,
+            trace: Trace::new(TraceMeta::default()),
+            window: None,
+        };
+        let bytes = encode_checkpoint(&doc).unwrap();
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for d in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let bytes = encode_checkpoint(&sample_doc()).unwrap();
+        // Flip one payload byte: the CRC must catch it.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(decode_checkpoint(&bad).is_err());
+        // Truncation is also rejected.
+        assert!(decode_checkpoint(&bytes[..bytes.len() - 3]).is_err());
+        // Bad magic.
+        let mut wrong = bytes;
+        wrong[0] = b'X';
+        assert!(decode_checkpoint(&wrong).is_err());
+    }
+}

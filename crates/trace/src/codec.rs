@@ -135,7 +135,15 @@ pub(crate) fn kind_from_u8(v: u8) -> Result<ObjKind> {
 
 pub(crate) fn write_event(out: &mut impl Write, prev_ts: u64, ev: &Event) -> Result<()> {
     write_varint(out, ev.ts - prev_ts)?;
-    match ev.kind {
+    write_event_kind(out, &ev.kind)
+}
+
+/// Encode an event's opcode + operands (no timestamp). Shared between
+/// the delta-encoded CLTR/CLSM paths and the checkpoint codec, whose
+/// zigzag timestamps tolerate the backwards deltas a partial trace can
+/// legally contain across frame boundaries.
+pub(crate) fn write_event_kind(out: &mut impl Write, kind: &EventKind) -> Result<()> {
+    match *kind {
         EventKind::LockAcquire { lock } => {
             out.write_all(&[0])?;
             write_varint(out, lock.0 as u64)?;
@@ -243,6 +251,12 @@ pub(crate) fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
     let dt = read_varint(inp)?;
     let ts =
         prev_ts.checked_add(dt).ok_or_else(|| TraceError::Decode("timestamp overflow".into()))?;
+    Ok(Event::new(ts, read_event_kind(inp)?))
+}
+
+/// Decode an event's opcode + operands (no timestamp); the inverse of
+/// [`write_event_kind`].
+pub(crate) fn read_event_kind(inp: &mut impl Read) -> Result<EventKind> {
     let mut op = [0u8; 1];
     inp.read_exact(&mut op)?;
     let kind = match op[0] {
@@ -280,7 +294,7 @@ pub(crate) fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
         }
         other => return Err(TraceError::Decode(format!("bad opcode {other}"))),
     };
-    Ok(Event::new(ts, kind))
+    Ok(kind)
 }
 
 /// Checksums everything written through it, without buffering.

@@ -23,7 +23,10 @@
 //! * binary ([`codec`]) and JSONL ([`jsonl`]) serialization, plus a
 //!   length-prefixed, CRC-checked frame format ([`stream`]) for live
 //!   transport of in-progress traces to a collector daemon, with a
-//!   resumable-session handshake for reconnecting producers;
+//!   resumable-session handshake for reconnecting producers, and a
+//!   CRC-checked checkpoint document ([`checkpoint`]) letting the
+//!   collector resume analysis from a durable snapshot plus a journal
+//!   tail instead of replaying full history;
 //! * deterministic transport fault plans ([`faults`]) and the capped
 //!   exponential reconnect policy ([`retry`]) shared by the streaming
 //!   clients and the collector's fault-injection harness;
@@ -40,6 +43,7 @@
 pub mod anomaly;
 pub mod budget;
 pub mod builder;
+pub mod checkpoint;
 pub mod codec;
 pub mod episodes;
 pub mod error;
@@ -56,6 +60,7 @@ pub mod trace;
 pub use anomaly::Anomaly;
 pub use budget::Budget;
 pub use builder::TraceBuilder;
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, CheckpointDoc, WindowCheckpoint};
 pub use episodes::{
     barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes,
     signal_records, BarrierEpisode, CondWaitEpisode, JoinEpisode, LockEpisode, RwEpisode,
