@@ -116,7 +116,7 @@ pub fn critical_path_segmented(trace: &Trace, st: &SegmentedTrace) -> CriticalPa
     let Some(last_tid) = trace.last_finisher() else {
         return CriticalPath { slices, length: 0, makespan, complete: true };
     };
-    let last_segs = &st.threads[last_tid.index()];
+    let last_segs = st.thread(last_tid);
     let Some(last_seg) = last_segs.last() else {
         return CriticalPath { slices, length: 0, makespan, complete: true };
     };
@@ -138,7 +138,7 @@ pub fn critical_path_segmented(trace: &Trace, st: &SegmentedTrace) -> CriticalPa
             complete = false;
             break;
         }
-        let seg = st.threads[tid.index()][idx];
+        let seg = st.thread(tid)[idx];
         let slice_start = seg.start.min(upto);
         slices.push(CpSlice { tid, start: slice_start, end: upto });
 
@@ -202,7 +202,7 @@ pub fn critical_path_segmented(trace: &Trace, st: &SegmentedTrace) -> CriticalPa
                     break;
                 }
                 idx -= 1;
-                upto = st.threads[tid.index()][idx].end;
+                upto = st.thread(tid)[idx].end;
             }
             Next::Stop { at_start } => {
                 complete = complete && at_start;

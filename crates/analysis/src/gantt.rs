@@ -83,7 +83,7 @@ pub fn render(trace: &Trace, cp: &CriticalPath, opts: &GanttOptions) -> String {
         let mut row = vec!['.'; width];
 
         // Running intervals.
-        for seg in &st.threads[tid.index()] {
+        for seg in st.thread(tid) {
             if seg.duration() == 0 {
                 continue;
             }

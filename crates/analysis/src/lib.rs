@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod blockers;
 pub mod cp;
 pub mod digest;
@@ -57,6 +58,7 @@ pub mod validate;
 pub mod whatif;
 pub mod window;
 
+pub use arena::{CsrBuilder, CsrIndex, SlabArena};
 pub use blockers::{blocker_report, BlockerReport, BlockingEdge};
 pub use cp::{critical_path, CpSlice, CriticalPath};
 pub use digest::{digest_report, digest_window};

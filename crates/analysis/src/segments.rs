@@ -8,6 +8,7 @@
 //! cause that allowed it to start. The backward critical-path walk consumes
 //! this structure.
 
+use crate::arena::{CsrBuilder, CsrIndex, SlabArena};
 use critlock_trace::{EventKind, ObjId, ThreadId, Trace, Ts, SEQ_UNKNOWN};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -75,18 +76,26 @@ impl Segment {
 
 /// A trace pre-processed into segments plus the lookup indices the
 /// critical-path walk needs to find "the segment that released me".
+///
+/// Segments and dependence indices live in flat arena storage
+/// ([`SlabArena`], [`CsrIndex`]): one slab per structure instead of one
+/// heap block per thread or lock, which keeps the backward walk's lookups
+/// on hot, contiguous memory. Per-thread access goes through
+/// [`Self::thread`].
 #[derive(Debug)]
 pub struct SegmentedTrace {
-    /// Per-thread segment lists, indexed by `ThreadId`.
-    pub threads: Vec<Vec<Segment>>,
-    /// Per-lock release history `(release_ts, tid)`, sorted by timestamp.
-    /// Indexed densely by `ObjId` (object ids are small and dense).
-    releases: Vec<Vec<(Ts, ThreadId)>>,
+    /// Per-thread segment lists, packed in one slab; list `i` belongs to
+    /// `ThreadId(i)`.
+    segments: SlabArena<Segment>,
+    /// Per-lock release history `(release_ts, tid)`, sorted by timestamp
+    /// within each row. Rows indexed densely by `ObjId` (object ids are
+    /// small and dense).
+    releases: CsrIndex<(Ts, ThreadId)>,
     /// Last arriver per (barrier, epoch).
     last_arrivers: FxHashMap<(ObjId, u32), (Ts, ThreadId)>,
     /// Signals/broadcasts per condvar `(ts, tid, seq)`, sorted by
-    /// timestamp. Indexed densely by `ObjId`.
-    signals: Vec<Vec<(Ts, ThreadId, u64)>>,
+    /// timestamp within each row. Rows indexed densely by `ObjId`.
+    signals: CsrIndex<(Ts, ThreadId, u64)>,
     /// Exact signal lookup by (cv, seq).
     signals_by_seq: FxHashMap<(ObjId, u64), (Ts, ThreadId)>,
     /// Creation edge per child thread `(parent, create_ts)`, indexed by
@@ -135,48 +144,62 @@ impl SegmentedTrace {
         let scanned: Vec<(Vec<Segment>, ThreadIndex)> =
             trace.threads.par_iter().map(scan_thread).collect();
 
-        let mut releases: Vec<Vec<(Ts, ThreadId)>> = Vec::new();
+        // CSR construction: size each dependence-index row up front, then
+        // fill in thread-id order — the same order the old per-row `push`
+        // used, so tie-breaking is reproduced exactly.
+        let mut release_counts: Vec<usize> = Vec::new();
+        let mut signal_counts: Vec<usize> = Vec::new();
+        for (_, idx) in &scanned {
+            for (lock, _) in &idx.releases {
+                *slot(&mut release_counts, lock.index()) += 1;
+            }
+            for (cv, _, _) in &idx.signals {
+                *slot(&mut signal_counts, cv.index()) += 1;
+            }
+        }
+        let mut releases = CsrBuilder::new(&release_counts);
+        let mut signals = CsrBuilder::new(&signal_counts);
         let mut last_arrivers: FxHashMap<(ObjId, u32), (Ts, ThreadId)> = FxHashMap::default();
-        let mut signals: Vec<Vec<(Ts, ThreadId, u64)>> = Vec::new();
         let mut signals_by_seq: FxHashMap<(ObjId, u64), (Ts, ThreadId)> = FxHashMap::default();
         let mut creates: Vec<Option<(ThreadId, Ts)>> = Vec::new();
         let mut exits: Vec<Option<Ts>> = vec![None; n];
 
-        let mut threads = Vec::with_capacity(n);
-        for (stream, (segs, idx)) in trace.threads.iter().zip(scanned) {
+        for (stream, (_, idx)) in trace.threads.iter().zip(&scanned) {
             let tid = stream.tid;
-            threads.push(segs);
-            for (lock, ts) in idx.releases {
-                slot(&mut releases, lock.index()).push((ts, tid));
+            for &(lock, ts) in &idx.releases {
+                releases.push(lock.index(), (ts, tid));
             }
-            for (barrier, epoch, ts) in idx.arrivals {
+            for &(barrier, epoch, ts) in &idx.arrivals {
                 let entry = last_arrivers.entry((barrier, epoch)).or_insert((ts, tid));
                 if ts >= entry.0 {
                     *entry = (ts, tid);
                 }
             }
-            for (cv, seq, ts) in idx.signals {
-                slot(&mut signals, cv.index()).push((ts, tid, seq));
+            for &(cv, seq, ts) in &idx.signals {
+                signals.push(cv.index(), (ts, tid, seq));
                 if seq != SEQ_UNKNOWN {
                     signals_by_seq.insert((cv, seq), (ts, tid));
                 }
             }
-            for (child, ts) in idx.creates {
+            for &(child, ts) in &idx.creates {
                 slot(&mut creates, child.index()).get_or_insert((tid, ts));
             }
             if idx.exit.is_some() {
                 *slot(&mut exits, tid.index()) = idx.exit;
             }
         }
-        for list in &mut releases {
-            list.sort_by_key(|(ts, tid)| (*ts, *tid));
+        let mut releases = releases.finish();
+        for r in 0..releases.num_rows() {
+            releases.row_mut(r).sort_by_key(|&(ts, tid)| (ts, tid));
         }
-        for list in &mut signals {
-            list.sort_by_key(|(ts, tid, seq)| (*ts, *tid, *seq));
+        let mut signals = signals.finish();
+        for r in 0..signals.num_rows() {
+            signals.row_mut(r).sort_by_key(|&(ts, tid, seq)| (ts, tid, seq));
         }
+        let segments = SlabArena::from_lists(scanned.into_iter().map(|(segs, _)| segs).collect());
 
         SegmentedTrace {
-            threads,
+            segments,
             releases,
             last_arrivers,
             signals,
@@ -198,10 +221,10 @@ impl SegmentedTrace {
         }
         let n = trace.threads.len();
         let degraded = SegmentedTrace {
-            threads: vec![Vec::new(); n],
-            releases: Vec::new(),
+            segments: SlabArena::empty_lists(n),
+            releases: CsrIndex::default(),
             last_arrivers: FxHashMap::default(),
-            signals: Vec::new(),
+            signals: CsrIndex::default(),
             signals_by_seq: FxHashMap::default(),
             creates: Vec::new(),
             exits: vec![None; n],
@@ -210,9 +233,24 @@ impl SegmentedTrace {
         (degraded, true)
     }
 
+    /// The segment list of one thread; empty for unknown thread ids.
+    pub fn thread(&self, tid: ThreadId) -> &[Segment] {
+        self.segments.list(tid.index())
+    }
+
+    /// Number of threads (segment lists).
+    pub fn num_threads(&self) -> usize {
+        self.segments.num_lists()
+    }
+
+    /// Iterate the per-thread segment lists in thread-id order.
+    pub fn iter_threads(&self) -> impl Iterator<Item = &[Segment]> + '_ {
+        self.segments.iter_lists()
+    }
+
     /// Total number of segments across all threads.
     pub fn num_segments(&self) -> usize {
-        self.threads.iter().map(Vec::len).sum()
+        self.segments.total()
     }
 
     /// The latest release of `lock` at `ts <= at` by a thread other than
@@ -223,7 +261,7 @@ impl SegmentedTrace {
         at: Ts,
         exclude: ThreadId,
     ) -> Option<(Ts, ThreadId)> {
-        let list = self.releases.get(lock.index())?;
+        let list = self.releases.row(lock.index());
         // Index of the first release with ts > at.
         let mut i = list.partition_point(|(ts, _)| *ts <= at);
         while i > 0 {
@@ -255,7 +293,7 @@ impl SegmentedTrace {
                 return Some(found);
             }
         }
-        let list = self.signals.get(cv.index())?;
+        let list = self.signals.row(cv.index());
         let mut i = list.partition_point(|(ts, _, _)| *ts <= wakeup);
         while i > 0 {
             i -= 1;
@@ -286,7 +324,7 @@ impl SegmentedTrace {
     /// `ts`, and preferring the earliest keeps the backward walk
     /// monotone — jumping to a later same-instant segment can cycle.
     pub fn segment_at(&self, tid: ThreadId, ts: Ts) -> Option<&Segment> {
-        let segs = self.threads.get(tid.index())?;
+        let segs = self.thread(tid);
         let i = segs.partition_point(|s| s.end < ts);
         if i < segs.len() && segs[i].start <= ts {
             return Some(&segs[i]);
@@ -458,8 +496,8 @@ mod tests {
         b.on(t0).work(2).cs(l, 3).work(1).exit();
         let t = b.build().unwrap();
         let st = SegmentedTrace::build(&t);
-        assert_eq!(st.threads[0].len(), 1);
-        let seg = st.threads[0][0];
+        assert_eq!(st.thread(ThreadId(0)).len(), 1);
+        let seg = st.thread(ThreadId(0))[0];
         assert_eq!(seg.start, 0);
         assert_eq!(seg.end, 6);
         assert_eq!(seg.start_cause, StartCause::ThreadStart);
@@ -476,10 +514,10 @@ mod tests {
         b.on(t1).work(1).cs_blocked(l, 4, 2).exit();
         let t = b.build().unwrap();
         let st = SegmentedTrace::build(&t);
-        assert_eq!(st.threads[0].len(), 1);
-        assert_eq!(st.threads[1].len(), 2);
-        let s0 = st.threads[1][0];
-        let s1 = st.threads[1][1];
+        assert_eq!(st.thread(ThreadId(0)).len(), 1);
+        assert_eq!(st.thread(ThreadId(1)).len(), 2);
+        let s0 = st.thread(ThreadId(1))[0];
+        let s1 = st.thread(ThreadId(1))[1];
         assert_eq!((s0.start, s0.end), (0, 1));
         assert_eq!((s1.start, s1.end), (4, 6));
         assert_eq!(s1.start_cause, StartCause::LockGranted { lock: l, acquire: 1 });
@@ -493,7 +531,7 @@ mod tests {
         b.on(t0).cs(l, 2).work(1).cs(l, 2).exit();
         let t = b.build().unwrap();
         let st = SegmentedTrace::build(&t);
-        assert_eq!(st.threads[0].len(), 1);
+        assert_eq!(st.thread(ThreadId(0)).len(), 1);
     }
 
     #[test]
@@ -506,10 +544,10 @@ mod tests {
         b.on(t1).work(5).barrier(bar, 0, 5).work(2).exit();
         let t = b.build().unwrap();
         let st = SegmentedTrace::build(&t);
-        assert_eq!(st.threads[0].len(), 2);
-        assert_eq!(st.threads[1].len(), 2);
+        assert_eq!(st.thread(ThreadId(0)).len(), 2);
+        assert_eq!(st.thread(ThreadId(1)).len(), 2);
         assert_eq!(st.last_arriver(bar, 0), Some((5, ThreadId(1))));
-        let s = st.threads[0][1];
+        let s = st.thread(ThreadId(0))[1];
         assert_eq!(s.start, 5);
         assert!(matches!(s.start_cause, StartCause::BarrierDeparted { arrive: 3, .. }));
     }
@@ -561,9 +599,9 @@ mod tests {
         assert_eq!(st.creator_of(ThreadId(0)), None);
         assert_eq!(st.exit_ts(ThreadId(1)), Some(5));
         // main: [0,2] then join-blocked, [5,6]
-        assert_eq!(st.threads[0].len(), 2);
+        assert_eq!(st.thread(ThreadId(0)).len(), 2);
         assert!(matches!(
-            st.threads[0][1].start_cause,
+            st.thread(ThreadId(0))[1].start_cause,
             StartCause::JoinReturned { child: ThreadId(1), begin: 2 }
         ));
     }

@@ -82,7 +82,7 @@ pub fn thread_report(trace: &Trace, cp: &CriticalPath) -> ThreadReport {
             let tid = stream.tid;
             let slices: Vec<_> = cp.slices.iter().filter(|s| s.tid == tid).collect();
             let cp_time: Ts = slices.iter().map(|s| s.duration()).sum();
-            let busy: Ts = st.threads[tid.index()].iter().map(|s| s.duration()).sum();
+            let busy: Ts = st.thread(tid).iter().map(|s| s.duration()).sum();
             let lifetime =
                 stream.end_ts().unwrap_or(0).saturating_sub(stream.start_ts().unwrap_or(0));
             ThreadCriticality {

@@ -33,8 +33,9 @@ use std::fmt::Write as _;
 
 /// Schema version of [`BenchReport`]; bump on any incompatible change.
 /// v2 added the [`LiveIngestion`] section (incremental vs full-rebuild
-/// live maintenance).
-pub const SCHEMA_VERSION: u32 = 2;
+/// live maintenance); v3 added the [`DecodeThroughput`] section (owned
+/// materializing decode vs the borrowed zero-copy event walk).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Batches the live-ingestion benchmark replays the trace in (one
 /// report per batch — the collector's snapshot cadence in miniature).
@@ -139,6 +140,35 @@ pub struct LiveIngestion {
     pub incremental_exact: bool,
 }
 
+/// Decode-throughput comparison (schema v3): the owned decoder
+/// (`codec::read_trace_bytes`, materializing a full [`Trace`]) against
+/// the borrowed zero-copy walk (`RawTraceView::parse` + `validate`,
+/// which decodes and checks every event record in place without building
+/// one). The borrowed walk does strictly less work, so its rate is the
+/// ceiling the owned path is converging toward — CI gates borrowed ≥
+/// owned to keep the zero-copy layer from regressing below the path it
+/// exists to beat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeThroughput {
+    /// Events in the encoded trace.
+    pub events: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Minimum wall time of the owned materializing decode, ns.
+    pub owned_ns: u64,
+    /// Minimum wall time of the borrowed parse + full event walk, ns.
+    pub borrowed_ns: u64,
+    /// Owned decode rate, events per second.
+    pub owned_events_per_sec: u64,
+    /// Borrowed walk rate, events per second.
+    pub borrowed_events_per_sec: u64,
+    /// `owned_ns / borrowed_ns`.
+    pub speedup: f64,
+    /// Whether materializing through the borrowed view reproduced the
+    /// owned decoder's trace bit for bit (it must).
+    pub borrowed_exact: bool,
+}
+
 /// The versioned document written to `BENCH_ANALYZE.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -168,6 +198,8 @@ pub struct BenchReport {
     pub runs: Vec<ThreadRun>,
     /// Incremental-vs-full live maintenance comparison (schema v2).
     pub live: LiveIngestion,
+    /// Owned-vs-borrowed decode throughput (schema v3).
+    pub decode: DecodeThroughput,
 }
 
 /// The workload the benchmark scales up.
@@ -316,6 +348,39 @@ fn measure_live(trace: &Trace, reps: usize) -> LiveIngestion {
     }
 }
 
+/// Measure the owned-vs-borrowed decode comparison: minimum over `reps`
+/// of each path's wall time over the same encoded bytes, plus the
+/// bit-identity cross-check.
+fn measure_decode(bytes: &[u8], trace: &Trace, reps: usize) -> DecodeThroughput {
+    let mut owned_ns = u64::MAX;
+    let mut borrowed_ns = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        std::hint::black_box(codec::read_trace_bytes(bytes).expect("bench trace decodes"));
+        owned_ns = owned_ns.min((start.elapsed().as_nanos() as u64).max(1));
+
+        let start = std::time::Instant::now();
+        let view = codec::RawTraceView::parse(bytes).expect("bench trace parses");
+        std::hint::black_box(view.validate().expect("bench trace validates"));
+        borrowed_ns = borrowed_ns.min((start.elapsed().as_nanos() as u64).max(1));
+    }
+    let borrowed_exact = codec::RawTraceView::parse(bytes)
+        .and_then(|view| view.to_trace())
+        .is_ok_and(|back| back == *trace);
+    let events = trace.num_events() as u64;
+    let rate = |ns: u64| (events as u128 * 1_000_000_000 / ns.max(1) as u128) as u64;
+    DecodeThroughput {
+        events,
+        bytes: bytes.len() as u64,
+        owned_ns,
+        borrowed_ns,
+        owned_events_per_sec: rate(owned_ns),
+        borrowed_events_per_sec: rate(borrowed_ns),
+        speedup: owned_ns as f64 / borrowed_ns as f64,
+        borrowed_exact,
+    }
+}
+
 /// Run the benchmark and collect the report.
 pub fn run(cfg: &BenchConfig) -> BenchReport {
     let trace = synth_trace(cfg);
@@ -335,6 +400,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     }
     let deterministic = reports.windows(2).all(|w| w[0] == w[1]);
     let live = measure_live(&trace, cfg.reps);
+    let decode = measure_decode(&bytes, &trace, cfg.reps);
 
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -353,6 +419,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         deterministic,
         runs,
         live,
+        decode,
     }
 }
 
@@ -407,6 +474,23 @@ pub fn validate_schema(json: &str) -> Result<BenchReport, String> {
     }
     if !live.incremental_exact {
         return Err("incremental live pass diverged from one-shot online analysis".into());
+    }
+    let decode = &report.decode;
+    if decode.events == 0 || decode.bytes == 0 {
+        return Err("empty decode section".into());
+    }
+    if decode.owned_ns == 0 || decode.borrowed_ns == 0 {
+        return Err("zero timing in the decode section".into());
+    }
+    if decode.owned_events_per_sec == 0
+        || decode.borrowed_events_per_sec == 0
+        || !decode.speedup.is_finite()
+        || decode.speedup <= 0.0
+    {
+        return Err("implausible decode rates".into());
+    }
+    if !decode.borrowed_exact {
+        return Err("borrowed zero-copy decode diverged from the owned decoder".into());
     }
     Ok(report)
 }
@@ -463,6 +547,15 @@ pub fn render_text(report: &BenchReport) -> String {
         live.speedup,
         live.incremental_exact,
     );
+    let decode = &report.decode;
+    let _ = writeln!(
+        out,
+        "decode: owned {} ev/s vs borrowed zero-copy {} ev/s (speedup {:.2}x, exact={})",
+        decode.owned_events_per_sec,
+        decode.borrowed_events_per_sec,
+        decode.speedup,
+        decode.borrowed_exact,
+    );
     if report.host.available_parallelism < 2 {
         let _ = writeln!(
             out,
@@ -516,6 +609,20 @@ mod tests {
 
         let mut broken = report;
         broken.live.incremental_exact = false;
+        assert!(validate_schema(&to_json(&broken)).is_err());
+    }
+
+    #[test]
+    fn decode_section_is_exact_and_positive() {
+        let report = run(&tiny());
+        assert!(report.decode.borrowed_exact, "borrowed view must reproduce the owned trace");
+        assert_eq!(report.decode.events, report.trace_events);
+        assert_eq!(report.decode.bytes, report.trace_bytes);
+        assert!(report.decode.speedup > 0.0);
+        assert!(render_text(&report).contains("borrowed zero-copy"));
+
+        let mut broken = report;
+        broken.decode.borrowed_exact = false;
         assert!(validate_schema(&to_json(&broken)).is_err());
     }
 

@@ -28,7 +28,7 @@ use critlock_analysis::WindowRing;
 use critlock_obs::Counter;
 use critlock_trace::checkpoint::{CheckpointDoc, WindowCheckpoint};
 use critlock_trace::rollup::WindowDigest;
-use critlock_trace::stream::Frame;
+use critlock_trace::stream::{Frame, RawFrame};
 use critlock_trace::{
     Budget, Event, EventKind, ObjId, ObjInfo, ObjKind, ThreadId, ThreadStream, Trace, Ts,
     SEQ_UNKNOWN,
@@ -167,6 +167,64 @@ impl SessionAssembler {
             }
             Frame::End => self.ended = true,
         }
+    }
+
+    /// Fold one validated raw frame into the partial trace, decoding
+    /// `Events` payloads lazily through the borrowed iterator straight
+    /// into the target thread stream — no intermediate `Vec<Event>`.
+    /// Equivalent to `apply(raw.decode()?)` for every well-formed frame;
+    /// like [`apply`], malformed content is tolerated (the decodable
+    /// prefix is kept) rather than failing.
+    ///
+    /// [`apply`]: SessionAssembler::apply
+    pub fn apply_raw(&mut self, raw: &RawFrame) {
+        let Some((tid, events)) = raw.events() else {
+            // Registration frames are rare and small: the owned decode is
+            // the right tool, and keeps the two paths trivially identical.
+            match raw.decode() {
+                Ok(frame) => self.apply(frame),
+                Err(_) => self.frames += 1,
+            }
+            return;
+        };
+        self.frames += 1;
+        let declared = events.remaining_events();
+        if let Some(c) = &self.events_in_counter {
+            c.add(declared);
+        }
+        let mut take = declared;
+        if let Some(cap) = self.budget.max_events {
+            let allow = cap.saturating_sub(self.events);
+            if declared > allow {
+                let dropped = declared - allow;
+                self.events_dropped += dropped;
+                if let Some(c) = &self.events_dropped_counter {
+                    c.add(dropped);
+                }
+                take = allow;
+            }
+        }
+        self.events += take;
+        let idx = match self.trace.threads.iter().position(|s| s.tid == tid) {
+            Some(idx) => idx,
+            None => {
+                // Announcement frame lost; synthesize the stream.
+                self.trace.threads.push(ThreadStream::new(tid));
+                self.trace.threads.len() - 1
+            }
+        };
+        let stream = &mut self.trace.threads[idx];
+        let old_len = stream.events.len();
+        stream
+            .events
+            .extend(events.take(take as usize).map_while(|ev| ev.ok().map(|ev| ev.event())));
+        let new = &self.trace.threads[idx].events[old_len..];
+        if let Some(ring) = &self.ring {
+            if new.iter().any(|ev| ev.ts < ring.closed_lo()) {
+                self.windows_stale = true;
+            }
+        }
+        self.online.ingest(tid, new);
     }
 
     /// Whether a `Start` frame has arrived.
@@ -765,6 +823,40 @@ mod tests {
         }
         assert!(!roomy.degraded());
         assert_eq!(roomy.finalize(), trace);
+    }
+
+    #[test]
+    fn raw_apply_is_bit_identical_to_owned_apply() {
+        let trace = sample();
+        let frames = frames_for(&trace);
+        // Unbudgeted: identity with both paths.
+        let mut owned = SessionAssembler::new();
+        let mut raw = SessionAssembler::new();
+        for f in &frames {
+            owned.apply(f.clone());
+            raw.apply_raw(&RawFrame::encode(f).unwrap());
+        }
+        assert_eq!(raw.frames(), owned.frames());
+        assert_eq!(raw.events(), owned.events());
+        assert!(raw.ended());
+        assert_eq!(raw.partial(), owned.partial());
+        assert_eq!(raw.finalize(), owned.finalize());
+        assert_eq!(raw.online_report(), owned.online_report());
+
+        // Budget truncation lands on the same deterministic prefix.
+        let total: u64 = trace.num_events() as u64;
+        let cap = total / 2;
+        let mut owned = SessionAssembler::with_budget(Budget::unlimited().with_max_events(cap));
+        let mut raw = SessionAssembler::with_budget(Budget::unlimited().with_max_events(cap));
+        for f in &frames {
+            owned.apply(f.clone());
+            raw.apply_raw(&RawFrame::encode(f).unwrap());
+        }
+        assert!(raw.degraded());
+        assert_eq!(raw.events(), owned.events());
+        assert_eq!(raw.events_dropped(), owned.events_dropped());
+        assert_eq!(raw.partial(), owned.partial());
+        assert_eq!(raw.finalize(), owned.finalize());
     }
 
     #[test]

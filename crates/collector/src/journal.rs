@@ -35,7 +35,7 @@
 
 use crate::io::{DiskBudget, JournalFile, JournalIo, RealIo};
 use crate::metrics::JournalCounters;
-use critlock_trace::stream::{Frame, Handshake, StreamReader, StreamWriter};
+use critlock_trace::stream::{Frame, Handshake, RawFrame, StreamReader, StreamWriter};
 use std::fs::File;
 use std::io::{self, BufWriter, Read};
 use std::path::{Path, PathBuf};
@@ -240,6 +240,22 @@ impl SessionJournal {
     /// Fails with [`io::ErrorKind::StorageFull`] when the disk budget is
     /// exhausted; the caller degrades the session to journal-less mode.
     pub fn append(&mut self, frame: &Frame) -> io::Result<()> {
+        self.append_with(|w| w.write_frame(frame))
+    }
+
+    /// Append a received frame's wire bytes verbatim — byte-identical to
+    /// [`append`](Self::append) of the decoded frame, without the decode
+    /// and re-encode round trip.
+    pub fn append_raw(&mut self, raw: &RawFrame) -> io::Result<()> {
+        self.append_with(|w| w.write_raw_frame(raw))
+    }
+
+    fn append_with(
+        &mut self,
+        write: impl FnOnce(
+            &mut StreamWriter<BufWriter<Box<dyn JournalFile>>>,
+        ) -> critlock_trace::Result<()>,
+    ) -> io::Result<()> {
         if self.opts.budget.exhausted() {
             let e = DiskBudget::quota_error();
             if let Some(c) = &self.opts.counters {
@@ -248,7 +264,7 @@ impl SessionJournal {
             }
             return Err(e);
         }
-        let res = self.writer.write_frame(frame).and_then(|()| self.writer.flush()).map_err(io_err);
+        let res = write(&mut self.writer).and_then(|()| self.writer.flush()).map_err(io_err);
         match res {
             Ok(()) => {
                 self.frames += 1;
@@ -700,6 +716,30 @@ mod tests {
         assert_eq!(sessions[0].frames, 3);
         assert_eq!(collect_frames(&sessions[0]), sample_frames());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_append_is_byte_identical_to_owned_append() {
+        let dir_a = tmpdir("raw-append-owned");
+        let dir_b = tmpdir("raw-append-raw");
+        let mut owned =
+            SessionJournal::create(&dir_a, b"tok", 0, JournalOptions::default()).unwrap();
+        let mut raw = SessionJournal::create(&dir_b, b"tok", 0, JournalOptions::default()).unwrap();
+        for frame in sample_frames() {
+            owned.append(&frame).unwrap();
+            raw.append_raw(&RawFrame::encode(&frame).unwrap()).unwrap();
+        }
+        owned.sync().unwrap();
+        raw.sync().unwrap();
+        assert_eq!(raw.frames(), owned.frames());
+        let (owned_path, raw_path) = (owned.path(), raw.path());
+        drop(owned);
+        drop(raw);
+        let owned_bytes = std::fs::read(owned_path).unwrap();
+        let raw_bytes = std::fs::read(raw_path).unwrap();
+        assert_eq!(owned_bytes, raw_bytes);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
     }
 
     #[test]

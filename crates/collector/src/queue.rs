@@ -1,12 +1,13 @@
 //! Bounded per-session frame queues with configurable backpressure.
 //!
-//! Socket reader threads push decoded frames; the analysis loop drains
-//! them. When a queue fills, the configured [`Backpressure`] policy
-//! decides whether the producer blocks (propagating pressure through the
-//! TCP window back to the instrumented process) or the frame is counted
-//! and dropped (bounding producer latency at the cost of a lossy trace).
+//! Socket reader threads push validated raw frames (wire bytes, see
+//! [`RawFrame`]); the analysis loop drains them and decodes lazily. When
+//! a queue fills, the configured [`Backpressure`] policy decides whether
+//! the producer blocks (propagating pressure through the TCP window back
+//! to the instrumented process) or the frame is counted and dropped
+//! (bounding producer latency at the cost of a lossy trace).
 
-use critlock_trace::stream::Frame;
+use critlock_trace::stream::RawFrame;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -21,7 +22,7 @@ pub enum Backpressure {
 }
 
 struct Inner {
-    frames: VecDeque<Frame>,
+    frames: VecDeque<RawFrame>,
     closed: bool,
 }
 
@@ -55,7 +56,7 @@ impl FrameQueue {
     /// space; under [`Backpressure::Drop`] a frame that finds the queue
     /// full is discarded and counted. Returns `false` iff the frame was
     /// dropped (or the queue is closed).
-    pub fn push(&self, frame: Frame) -> bool {
+    pub fn push(&self, frame: RawFrame) -> bool {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if inner.closed {
@@ -82,9 +83,9 @@ impl FrameQueue {
     }
 
     /// Take every queued frame (non-blocking) and wake blocked producers.
-    pub fn drain(&self) -> Vec<Frame> {
+    pub fn drain(&self) -> Vec<RawFrame> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let drained: Vec<Frame> = inner.frames.drain(..).collect();
+        let drained: Vec<RawFrame> = inner.frames.drain(..).collect();
         drop(inner);
         if !drained.is_empty() {
             self.not_full.notify_all();
@@ -129,26 +130,30 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
 
+    fn end() -> RawFrame {
+        RawFrame::encode(&critlock_trace::stream::Frame::End).unwrap()
+    }
+
     #[test]
     fn drop_policy_counts_overflow() {
         let q = FrameQueue::new(2, Backpressure::Drop);
-        assert!(q.push(Frame::End));
-        assert!(q.push(Frame::End));
-        assert!(!q.push(Frame::End));
-        assert!(!q.push(Frame::End));
+        assert!(q.push(end()));
+        assert!(q.push(end()));
+        assert!(!q.push(end()));
+        assert!(!q.push(end()));
         assert_eq!(q.dropped(), 2);
         assert_eq!(q.depth(), 2);
         assert_eq!(q.drain().len(), 2);
-        assert!(q.push(Frame::End));
+        assert!(q.push(end()));
         assert_eq!(q.accepted(), 3);
     }
 
     #[test]
     fn block_policy_waits_for_drain() {
         let q = Arc::new(FrameQueue::new(1, Backpressure::Block));
-        assert!(q.push(Frame::End));
+        assert!(q.push(end()));
         let q2 = Arc::clone(&q);
-        let producer = std::thread::spawn(move || q2.push(Frame::End));
+        let producer = std::thread::spawn(move || q2.push(end()));
         std::thread::sleep(Duration::from_millis(20));
         assert!(!producer.is_finished(), "producer must block on a full queue");
         assert_eq!(q.drain().len(), 1);
@@ -159,9 +164,9 @@ mod tests {
     #[test]
     fn close_unblocks_producer() {
         let q = Arc::new(FrameQueue::new(1, Backpressure::Block));
-        assert!(q.push(Frame::End));
+        assert!(q.push(end()));
         let q2 = Arc::clone(&q);
-        let producer = std::thread::spawn(move || q2.push(Frame::End));
+        let producer = std::thread::spawn(move || q2.push(end()));
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(!producer.join().unwrap());

@@ -62,7 +62,7 @@ use crate::queue::{Backpressure, FrameQueue};
 use crate::snapshot::{CollectorStatus, ForwardStatus, SessionSnapshot, ShardStatus};
 use critlock_analysis::digest_report;
 use critlock_trace::rollup::{Rollup, MAX_ROLLUP_LEN};
-use critlock_trace::stream::{write_ack, Frame, StreamReader, STREAM_VERSION};
+use critlock_trace::stream::{write_ack, StreamReader, STREAM_VERSION};
 use critlock_trace::{Anomaly, FaultPlan, RetryPolicy, Trace, TraceError};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::panic::AssertUnwindSafe;
@@ -346,7 +346,7 @@ impl SessionState {
             return false;
         }
         for frame in frames {
-            asm.apply(frame);
+            asm.apply_raw(&frame);
         }
         drop(asm);
         self.dirty.store(true, Ordering::Release);
@@ -1437,7 +1437,7 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
     let mut conn_bytes = 0u64;
     let metrics = &shared.metrics;
     loop {
-        match reader.next_frame() {
+        match reader.next_frame_raw() {
             Ok(Some(frame)) => {
                 metrics.frames_in.inc();
                 // Per-session byte quota, counted across reconnects. The
@@ -1471,11 +1471,11 @@ fn session_reader(stream: Stream, peer: String, shared: Arc<Shared>) {
                     metrics.frames_gap_rejected.inc();
                     break;
                 }
-                let is_end = matches!(frame, Frame::End);
+                let is_end = frame.is_end();
                 {
                     let mut journal = session.journal.lock().unwrap_or_else(|e| e.into_inner());
                     if let Some(j) = journal.as_mut() {
-                        if j.append(&frame).is_err() {
+                        if j.append_raw(&frame).is_err() {
                             // Disk quota or write failure: drop to
                             // journal-less degraded mode but keep
                             // ingesting — the session is no longer
@@ -1664,6 +1664,15 @@ fn forward_pause(retry: &RetryPolicy, interval: Duration, consecutive_failures: 
     retry.backoff(attempt)
 }
 
+/// The instant the forwarder's next tick is due, `pause` from `now`.
+/// A pause too large for the monotonic clock to represent (e.g. a
+/// `Duration::MAX` backoff cap from the CLI) saturates to `None` — "not
+/// before shutdown" — instead of panicking on `Instant` overflow, the
+/// same convention as [`CollectorHandle::wait_until`].
+fn forward_deadline(now: Instant, pause: Duration) -> Option<Instant> {
+    now.checked_add(pause)
+}
+
 /// One push attempt to one parent, counting the outcome.
 fn try_push(
     shared: &Shared,
@@ -1792,9 +1801,12 @@ fn forward_loop(shared: Arc<Shared>) {
     let step = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
     loop {
         let streak = shared.forward.lock().unwrap_or_else(|e| e.into_inner()).consecutive_failures;
-        let deadline = Instant::now() + forward_pause(&retry, interval, streak);
-        // Sleep in small steps so shutdown is prompt.
-        while Instant::now() < deadline && !shared.shutdown.load(Ordering::Acquire) {
+        let deadline = forward_deadline(Instant::now(), forward_pause(&retry, interval, streak));
+        // Sleep in small steps so shutdown is prompt; an unrepresentable
+        // deadline (saturated pause) sleeps until shutdown.
+        while deadline.is_none_or(|d| Instant::now() < d)
+            && !shared.shutdown.load(Ordering::Acquire)
+        {
             std::thread::sleep(step);
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -1989,5 +2001,25 @@ mod tests {
         assert_eq!(forward_pause(&retry, interval, 64), retry.max_backoff);
         // A huge streak must not overflow the shift.
         assert_eq!(forward_pause(&retry, interval, u64::MAX), retry.max_backoff);
+    }
+
+    #[test]
+    fn forward_deadline_saturates_instead_of_panicking() {
+        let now = Instant::now();
+        // Ordinary pauses produce a real deadline.
+        let soon = forward_deadline(now, Duration::from_millis(5)).expect("representable");
+        assert!(soon > now);
+        assert_eq!(forward_deadline(now, Duration::ZERO), Some(now));
+        // An unbounded backoff cap (e.g. `--forward-max-backoff` set to
+        // the maximum) previously panicked via `Instant + Duration`;
+        // now it saturates to "no deadline before shutdown".
+        let retry = RetryPolicy {
+            max_backoff: Duration::MAX,
+            initial_backoff: Duration::MAX,
+            ..Default::default()
+        };
+        let pause = forward_pause(&retry, Duration::from_secs(1), 1);
+        assert_eq!(forward_deadline(now, pause), None);
+        assert_eq!(forward_deadline(now, Duration::MAX), None);
     }
 }

@@ -90,10 +90,13 @@ pub(crate) fn write_bytes(out: &mut impl Write, b: &[u8]) -> Result<()> {
 }
 
 pub(crate) fn read_bytes(inp: &mut impl Read) -> Result<Vec<u8>> {
-    let len = read_varint(inp)? as usize;
+    // Bound in the u64 domain *before* narrowing: on a 32-bit target a
+    // huge claim would otherwise wrap through `as usize` and pass the cap.
+    let len = read_varint(inp)?;
     if len > 1 << 30 {
         return Err(TraceError::Decode(format!("unreasonable length {len}")));
     }
+    let len = len as usize;
     // Read through `take` instead of pre-allocating `len` bytes: a
     // corrupt length claim up to the 1 GiB cap must not commit a huge
     // allocation before the (short) input runs out.
@@ -247,6 +250,13 @@ pub(crate) fn read_tid(inp: &mut impl Read) -> Result<ThreadId> {
     u32::try_from(v).map(ThreadId).map_err(|_| TraceError::Decode("thread id overflow".into()))
 }
 
+/// Barrier epochs are `u32` in the event model; a wider varint is a
+/// corrupt or hostile encoding, not a value to wrap.
+fn read_epoch(inp: &mut impl Read) -> Result<u32> {
+    let v = read_varint(inp)?;
+    u32::try_from(v).map_err(|_| TraceError::Decode(format!("barrier epoch overflow ({v})")))
+}
+
 pub(crate) fn read_event(inp: &mut impl Read, prev_ts: u64) -> Result<Event> {
     let dt = read_varint(inp)?;
     let ts =
@@ -264,8 +274,8 @@ pub(crate) fn read_event_kind(inp: &mut impl Read) -> Result<EventKind> {
         1 => EventKind::LockContended { lock: read_obj(inp)? },
         2 => EventKind::LockObtain { lock: read_obj(inp)? },
         3 => EventKind::LockRelease { lock: read_obj(inp)? },
-        4 => EventKind::BarrierArrive { barrier: read_obj(inp)?, epoch: read_varint(inp)? as u32 },
-        5 => EventKind::BarrierDepart { barrier: read_obj(inp)?, epoch: read_varint(inp)? as u32 },
+        4 => EventKind::BarrierArrive { barrier: read_obj(inp)?, epoch: read_epoch(inp)? },
+        5 => EventKind::BarrierDepart { barrier: read_obj(inp)?, epoch: read_epoch(inp)? },
         6 => EventKind::CondWaitBegin { cv: read_obj(inp)? },
         7 => EventKind::CondWakeup { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
         8 => EventKind::CondSignal { cv: read_obj(inp)?, signal_seq: read_varint(inp)? },
@@ -329,11 +339,24 @@ impl<R: Read> Read for CrcReader<'_, R> {
     }
 }
 
-/// Serialize a trace into the binary format.
+/// Serialize a trace into the binary format (current version).
 pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
+    write_trace_with_version(trace, VERSION, out)
+}
+
+/// Serialize a trace as a specific format version.
+///
+/// Version 1 omits section byte lengths, version 2 omits the whole-file
+/// checksum trailer. Exists for compatibility testing (the readers accept
+/// `MIN_VERSION..=VERSION`) and for talking to older fleet components;
+/// new writers should use [`write_trace`].
+pub fn write_trace_with_version(trace: &Trace, version: u64, out: &mut impl Write) -> Result<()> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(TraceError::Decode(format!("unsupported version {version}")));
+    }
     let mut out = CrcWriter { inner: out, state: CRC32_INIT };
     out.write_all(MAGIC)?;
-    write_varint(&mut out, VERSION)?;
+    write_varint(&mut out, version)?;
     let meta = serde_json::to_vec(&trace.meta)?;
     write_bytes(&mut out, &meta)?;
 
@@ -355,7 +378,7 @@ pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
             None => out.write_all(&[0])?,
         }
         write_varint(&mut out, stream.events.len() as u64)?;
-        // v2: the event block is length-prefixed so readers can skip to
+        // v2+: the event block is length-prefixed so readers can skip to
         // the next section without decoding. Encode into a reusable
         // scratch buffer to learn the length.
         section.clear();
@@ -364,24 +387,28 @@ pub fn write_trace(trace: &Trace, out: &mut impl Write) -> Result<()> {
             write_event(&mut section, prev, ev)?;
             prev = ev.ts;
         }
-        write_bytes(&mut out, &section)?;
+        if version >= 2 {
+            write_bytes(&mut out, &section)?;
+        } else {
+            out.write_all(&section)?;
+        }
     }
-    // v3: whole-file checksum trailer, excluded from its own coverage.
-    let crc = crc32_finish(out.state);
-    out.inner.write_all(&crc.to_le_bytes())?;
+    if version >= CRC_VERSION {
+        // Whole-file checksum trailer, excluded from its own coverage.
+        let crc = crc32_finish(out.state);
+        out.inner.write_all(&crc.to_le_bytes())?;
+    }
     Ok(())
 }
 
 /// Decode one thread's event block from its self-contained section.
-fn decode_events(mut section: &[u8], nev: usize) -> Result<Vec<Event>> {
+fn decode_events(section: &[u8], nev: usize) -> Result<Vec<Event>> {
     let mut events = Vec::with_capacity(nev.min(1 << 20));
-    let mut prev = 0u64;
-    for _ in 0..nev {
-        let ev = read_event(&mut section, prev)?;
-        prev = ev.ts;
-        events.push(ev);
+    let mut iter = RawEventIter::new(section, nev as u64);
+    for ev in &mut iter {
+        events.push(ev?.event());
     }
-    if !section.is_empty() {
+    if !iter.remaining_bytes().is_empty() {
         return Err(TraceError::Decode("trailing bytes in thread section".into()));
     }
     Ok(events)
@@ -402,7 +429,13 @@ fn read_preamble(inp: &mut impl Read) -> Result<(Trace, usize, u64)> {
     let meta: TraceMeta = serde_json::from_slice(&read_bytes(inp)?)?;
     let mut trace = Trace::new(meta);
 
-    let nobj = read_varint(inp)? as usize;
+    // Ids are dense u32s, so a count past u32::MAX cannot name real
+    // objects/threads — reject it instead of narrowing (which would wrap
+    // on 32-bit targets).
+    let nobj = read_varint(inp)?;
+    if nobj > u32::MAX as u64 {
+        return Err(TraceError::Decode(format!("object count {nobj} overflows id space")));
+    }
     for _ in 0..nobj {
         let mut k = [0u8; 1];
         inp.read_exact(&mut k)?;
@@ -411,8 +444,11 @@ fn read_preamble(inp: &mut impl Read) -> Result<(Trace, usize, u64)> {
         trace.objects.push(ObjInfo { kind, name });
     }
 
-    let nthreads = read_varint(inp)? as usize;
-    Ok((trace, nthreads, version))
+    let nthreads = read_varint(inp)?;
+    if nthreads > u32::MAX as u64 {
+        return Err(TraceError::Decode(format!("thread count {nthreads} overflows id space")));
+    }
+    Ok((trace, nthreads as usize, version))
 }
 
 fn read_thread_header(inp: &mut impl Read) -> Result<(ThreadId, Option<String>, usize)> {
@@ -420,7 +456,9 @@ fn read_thread_header(inp: &mut impl Read) -> Result<(ThreadId, Option<String>, 
     let mut has_name = [0u8; 1];
     inp.read_exact(&mut has_name)?;
     let name = if has_name[0] == 1 { Some(read_string(inp)?) } else { None };
-    let nev = read_varint(inp)? as usize;
+    let nev = read_varint(inp)?;
+    let nev = usize::try_from(nev)
+        .map_err(|_| TraceError::Decode(format!("event count {nev} overflows address space")))?;
     Ok((tid, name, nev))
 }
 
@@ -463,49 +501,13 @@ pub fn read_trace(inp: &mut impl Read) -> Result<Trace> {
 
 /// Deserialize a trace held entirely in memory.
 ///
-/// For version-2 traces the section lengths let this path scan the thread
-/// headers serially and then decode all event blocks in parallel across
-/// the active rayon pool; output is identical to [`read_trace`]. Earlier
-/// versions fall back to the serial reader.
+/// Parses a borrowed [`RawTraceView`] over the buffer (envelope checks,
+/// checksum, section bounds — no event copies) and then materializes all
+/// thread sections in parallel across the active rayon pool; output is
+/// identical to [`read_trace`] on the same bytes, for every supported
+/// format version.
 pub fn read_trace_bytes(buf: &[u8]) -> Result<Trace> {
-    let mut rem = buf;
-    let (mut trace, nthreads, version) = read_preamble(&mut rem)?;
-    if version < 2 {
-        let mut rest = buf;
-        return read_trace(&mut rest);
-    }
-    if version >= CRC_VERSION {
-        rem = check_trailer(buf, rem)?;
-    }
-    // Serial boundary scan: headers are tiny, sections are skipped whole.
-    let mut sections: Vec<(ThreadId, Option<String>, usize, &[u8])> =
-        Vec::with_capacity(nthreads.min(1 << 16));
-    for _ in 0..nthreads {
-        let (tid, name, nev) = read_thread_header(&mut rem)?;
-        let len = read_varint(&mut rem)? as usize;
-        if len > rem.len() {
-            return Err(TraceError::Decode(format!(
-                "thread section length {len} exceeds remaining {}",
-                rem.len()
-            )));
-        }
-        let (section, rest) = rem.split_at(len);
-        rem = rest;
-        sections.push((tid, name, nev, section));
-    }
-    let decoded: Vec<Result<ThreadStream>> = sections
-        .into_par_iter()
-        .map(|(tid, name, nev, section)| {
-            let mut stream = ThreadStream::new(tid);
-            stream.name = name;
-            stream.events = decode_events(section, nev)?;
-            Ok(stream)
-        })
-        .collect();
-    for stream in decoded {
-        trace.threads.push(stream?);
-    }
-    Ok(trace)
+    RawTraceView::parse(buf)?.to_trace()
 }
 
 /// Verify the v3 whole-file checksum trailer of `buf` and return `rem`
@@ -527,22 +529,483 @@ fn check_trailer<'a>(buf: &'a [u8], rem: &'a [u8]) -> Result<&'a [u8]> {
     Ok(&buf[consumed..body])
 }
 
+// ----------------------------------------------------- zero-copy view
+//
+// The borrowed decode path: a validated window over an in-memory CLTR
+// buffer (an mmap'd file or a received network buffer) that yields
+// events straight off the wire bytes, without materializing an owned
+// `Vec<Event>` per thread first. The owned readers above remain the
+// compatibility path; [`RawTraceView::to_trace`] produces bit-identical
+// output (see the equivalence property tests).
+//
+// All cursors below are plain sub-slices of the caller's buffer — the
+// module contains no `unsafe`; lifetimes tie every view to the backing
+// buffer, so a view can never outlive the bytes it points into.
+
+/// Read one LEB128 varint off a slice cursor, advancing it. Same
+/// overlong/overflow rules as [`read_varint`], but errors (rather than
+/// blocks) at end of input.
+#[inline]
+pub(crate) fn raw_varint(rem: &mut &[u8]) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    let mut i = 0;
+    while i < rem.len() {
+        let b = rem[i];
+        i += 1;
+        if shift >= 63 && b > 1 {
+            return Err(TraceError::Decode("varint overflow".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            *rem = &rem[i..];
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Decode("varint too long".into()));
+        }
+    }
+    Err(TraceError::Decode("varint truncated".into()))
+}
+
+#[inline]
+fn raw_u8(rem: &mut &[u8]) -> Result<u8> {
+    let (&b, rest) =
+        rem.split_first().ok_or_else(|| TraceError::Decode("unexpected end of input".into()))?;
+    *rem = rest;
+    Ok(b)
+}
+
+/// Split `len` bytes off the cursor, bounds-checked in the u64 domain so
+/// an oversized claim can never wrap through a narrowing cast.
+#[inline]
+fn raw_take<'a>(rem: &mut &'a [u8], len: u64) -> Result<&'a [u8]> {
+    if len > rem.len() as u64 {
+        return Err(TraceError::Decode(format!(
+            "truncated input (need {len} bytes, have {})",
+            rem.len()
+        )));
+    }
+    let (taken, rest) = rem.split_at(len as usize);
+    *rem = rest;
+    Ok(taken)
+}
+
+/// Length-prefixed byte string as a borrowed slice.
+#[inline]
+fn raw_len_bytes<'a>(rem: &mut &'a [u8]) -> Result<&'a [u8]> {
+    let len = raw_varint(rem)?;
+    raw_take(rem, len)
+}
+
+/// Length-prefixed UTF-8 string as a borrowed `&str`.
+#[inline]
+fn raw_str<'a>(rem: &mut &'a [u8]) -> Result<&'a str> {
+    std::str::from_utf8(raw_len_bytes(rem)?).map_err(|e| TraceError::Decode(e.to_string()))
+}
+
+#[inline]
+fn raw_obj(rem: &mut &[u8]) -> Result<ObjId> {
+    let v = raw_varint(rem)?;
+    u32::try_from(v).map(ObjId).map_err(|_| TraceError::Decode("object id overflow".into()))
+}
+
+#[inline]
+pub(crate) fn raw_tid(rem: &mut &[u8]) -> Result<ThreadId> {
+    let v = raw_varint(rem)?;
+    u32::try_from(v).map(ThreadId).map_err(|_| TraceError::Decode("thread id overflow".into()))
+}
+
+#[inline]
+fn raw_epoch(rem: &mut &[u8]) -> Result<u32> {
+    let v = raw_varint(rem)?;
+    u32::try_from(v).map_err(|_| TraceError::Decode(format!("barrier epoch overflow ({v})")))
+}
+
+#[inline]
+fn raw_bool(rem: &mut &[u8]) -> Result<bool> {
+    match raw_u8(rem)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(TraceError::Decode(format!("bad bool {other}"))),
+    }
+}
+
+/// Slice-cursor mirror of [`read_event_kind`]; enforces the same typed
+/// bounds (object/thread ids, barrier epochs).
+#[inline]
+fn raw_event_kind(rem: &mut &[u8]) -> Result<EventKind> {
+    let kind = match raw_u8(rem)? {
+        0 => EventKind::LockAcquire { lock: raw_obj(rem)? },
+        1 => EventKind::LockContended { lock: raw_obj(rem)? },
+        2 => EventKind::LockObtain { lock: raw_obj(rem)? },
+        3 => EventKind::LockRelease { lock: raw_obj(rem)? },
+        4 => EventKind::BarrierArrive { barrier: raw_obj(rem)?, epoch: raw_epoch(rem)? },
+        5 => EventKind::BarrierDepart { barrier: raw_obj(rem)?, epoch: raw_epoch(rem)? },
+        6 => EventKind::CondWaitBegin { cv: raw_obj(rem)? },
+        7 => EventKind::CondWakeup { cv: raw_obj(rem)?, signal_seq: raw_varint(rem)? },
+        8 => EventKind::CondSignal { cv: raw_obj(rem)?, signal_seq: raw_varint(rem)? },
+        9 => EventKind::CondBroadcast { cv: raw_obj(rem)?, signal_seq: raw_varint(rem)? },
+        10 => EventKind::ThreadCreate { child: raw_tid(rem)? },
+        11 => EventKind::ThreadStart,
+        12 => EventKind::ThreadExit,
+        13 => EventKind::JoinBegin { child: raw_tid(rem)? },
+        14 => EventKind::JoinEnd { child: raw_tid(rem)? },
+        15 => EventKind::Marker { id: raw_obj(rem)? },
+        16 => {
+            let write = raw_bool(rem)?;
+            EventKind::RwAcquire { lock: raw_obj(rem)?, write }
+        }
+        17 => {
+            let write = raw_bool(rem)?;
+            EventKind::RwContended { lock: raw_obj(rem)?, write }
+        }
+        18 => {
+            let write = raw_bool(rem)?;
+            EventKind::RwObtain { lock: raw_obj(rem)?, write }
+        }
+        19 => {
+            let write = raw_bool(rem)?;
+            EventKind::RwRelease { lock: raw_obj(rem)?, write }
+        }
+        other => return Err(TraceError::Decode(format!("bad opcode {other}"))),
+    };
+    Ok(kind)
+}
+
+/// Decode one delta-encoded event record off a slice cursor.
+#[inline]
+fn raw_event(rem: &mut &[u8], prev_ts: u64) -> Result<(u64, EventKind)> {
+    let dt = raw_varint(rem)?;
+    let ts =
+        prev_ts.checked_add(dt).ok_or_else(|| TraceError::Decode("timestamp overflow".into()))?;
+    Ok((ts, raw_event_kind(rem)?))
+}
+
+/// One event yielded by [`RawEventIter`]: the decoded fields plus the
+/// exact wire bytes they came from (useful for re-framing or journaling
+/// a record without re-encoding it).
+#[derive(Debug, Clone, Copy)]
+pub struct EventRef<'a> {
+    /// Absolute timestamp (the per-thread delta chain already applied).
+    pub ts: u64,
+    /// Decoded opcode + operands.
+    pub kind: EventKind,
+    /// The encoded record: delta-ts varint, opcode, operands.
+    pub raw: &'a [u8],
+}
+
+impl EventRef<'_> {
+    /// Materialize the owned [`Event`].
+    #[inline]
+    pub fn event(&self) -> Event {
+        Event::new(self.ts, self.kind)
+    }
+}
+
+/// Borrowed iterator over one thread's encoded event section.
+///
+/// Yields up to the declared event count, decoding each record in place;
+/// stops (fused) at the first malformed record. Framing is validated as
+/// a side effect of decoding — the strict callers additionally require
+/// [`Self::remaining_bytes`] to be empty afterwards, the salvage caller
+/// keeps the successfully decoded prefix.
+#[derive(Debug, Clone)]
+pub struct RawEventIter<'a> {
+    rem: &'a [u8],
+    prev_ts: u64,
+    remaining: u64,
+    failed: bool,
+}
+
+impl<'a> RawEventIter<'a> {
+    /// Iterate `declared` events off `section`.
+    pub fn new(section: &'a [u8], declared: u64) -> Self {
+        RawEventIter { rem: section, prev_ts: 0, remaining: declared, failed: false }
+    }
+
+    /// Section bytes not yet consumed. After a full iteration this must
+    /// be empty for a well-formed section.
+    pub fn remaining_bytes(&self) -> &'a [u8] {
+        self.rem
+    }
+
+    /// Declared events not yet yielded.
+    pub fn remaining_events(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<'a> Iterator for RawEventIter<'a> {
+    type Item = Result<EventRef<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        let start = self.rem;
+        match raw_event(&mut self.rem, self.prev_ts) {
+            Ok((ts, kind)) => {
+                self.prev_ts = ts;
+                self.remaining -= 1;
+                let raw = &start[..start.len() - self.rem.len()];
+                Some(Ok(EventRef { ts, kind, raw }))
+            }
+            Err(e) => {
+                self.failed = true;
+                self.rem = start;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            return (0, Some(0));
+        }
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (0, Some(n))
+    }
+}
+
+/// One thread's header plus its (not yet decoded) event section, borrowed
+/// from the trace buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct RawThread<'a> {
+    /// The thread's trace id.
+    pub tid: ThreadId,
+    /// Optional thread name, borrowed from the buffer.
+    pub name: Option<&'a str>,
+    /// Event count the header declares for this section.
+    pub declared_events: u64,
+    section: &'a [u8],
+}
+
+impl<'a> RawThread<'a> {
+    /// The encoded event section (exact byte window, nothing decoded).
+    pub fn section(&self) -> &'a [u8] {
+        self.section
+    }
+
+    /// Iterate the section's events without materializing them.
+    pub fn events(&self) -> RawEventIter<'a> {
+        RawEventIter::new(self.section, self.declared_events)
+    }
+
+    /// Validate the section's framing — every declared record decodes and
+    /// no bytes trail the last one — without materializing events.
+    /// Returns the validated event count.
+    pub fn validate(&self) -> Result<u64> {
+        let mut iter = self.events();
+        let mut n = 0u64;
+        for ev in &mut iter {
+            ev?;
+            n += 1;
+        }
+        if !iter.remaining_bytes().is_empty() {
+            return Err(TraceError::Decode(format!(
+                "trailing bytes in thread section (tid {})",
+                self.tid.0
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Strictly materialize the section into owned events.
+    pub fn decode(&self) -> Result<Vec<Event>> {
+        let cap = usize::try_from(self.declared_events).unwrap_or(usize::MAX);
+        let mut events = Vec::with_capacity(cap.min(1 << 20));
+        let mut iter = self.events();
+        for ev in &mut iter {
+            events.push(ev?.event());
+        }
+        if !iter.remaining_bytes().is_empty() {
+            return Err(TraceError::Decode("trailing bytes in thread section".into()));
+        }
+        Ok(events)
+    }
+}
+
+/// A synchronization object's registration, borrowed from the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawObjRef<'a> {
+    /// Object kind.
+    pub kind: ObjKind,
+    /// Object name, borrowed from the buffer.
+    pub name: &'a str,
+}
+
+/// A validated, borrowed view over a complete in-memory CLTR buffer.
+///
+/// [`parse`](Self::parse) checks the envelope once — magic, version, the
+/// v3 whole-file checksum, preamble grammar and section bounds — after
+/// which every thread's events can be iterated ([`RawThread::events`])
+/// or materialized in parallel ([`Self::to_trace`]) without copying the
+/// buffer. Event *records* are validated lazily, as they are decoded.
+///
+/// Version 1 buffers (no section framing) are supported too: locating
+/// their section boundaries requires one decode pass at parse time,
+/// still without materializing events.
+#[derive(Debug, Clone)]
+pub struct RawTraceView<'a> {
+    version: u64,
+    meta: TraceMeta,
+    objects: Vec<RawObjRef<'a>>,
+    threads: Vec<RawThread<'a>>,
+}
+
+impl<'a> RawTraceView<'a> {
+    /// Parse and validate the envelope of a CLTR buffer.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        let mut rem = buf;
+        let magic = raw_take(&mut rem, 4)
+            .map_err(|_| TraceError::Decode("bad magic (not a CLTR trace)".into()))?;
+        if magic != MAGIC {
+            return Err(TraceError::Decode("bad magic (not a CLTR trace)".into()));
+        }
+        let version = raw_varint(&mut rem)?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(TraceError::Decode(format!("unsupported version {version}")));
+        }
+        if version >= CRC_VERSION {
+            // Verify the trailer before trusting any length field, and
+            // slice it off so section windows never include it.
+            rem = check_trailer(buf, rem)?;
+        }
+        let meta: TraceMeta = serde_json::from_slice(raw_len_bytes(&mut rem)?)?;
+
+        let nobj = raw_varint(&mut rem)?;
+        if nobj > u32::MAX as u64 {
+            return Err(TraceError::Decode(format!("object count {nobj} overflows id space")));
+        }
+        let mut objects = Vec::with_capacity((nobj as usize).min(1 << 16));
+        for _ in 0..nobj {
+            let kind = kind_from_u8(raw_u8(&mut rem)?)?;
+            objects.push(RawObjRef { kind, name: raw_str(&mut rem)? });
+        }
+
+        let nthreads = raw_varint(&mut rem)?;
+        if nthreads > u32::MAX as u64 {
+            return Err(TraceError::Decode(format!("thread count {nthreads} overflows id space")));
+        }
+        let mut threads = Vec::with_capacity((nthreads as usize).min(1 << 16));
+        for _ in 0..nthreads {
+            let tid = raw_tid(&mut rem)?;
+            let name = if raw_u8(&mut rem)? == 1 { Some(raw_str(&mut rem)?) } else { None };
+            let declared_events = raw_varint(&mut rem)?;
+            let section = if version >= 2 {
+                let len = raw_varint(&mut rem)?;
+                if len > rem.len() as u64 {
+                    return Err(TraceError::Decode(format!(
+                        "thread section length {len} exceeds remaining {}",
+                        rem.len()
+                    )));
+                }
+                let section = raw_take(&mut rem, len)?;
+                // A record is at least 2 bytes (delta varint + opcode),
+                // so a count past len/2 cannot fit — reject before any
+                // consumer sizes an allocation from the claim.
+                if declared_events > section.len() as u64 / 2 {
+                    return Err(TraceError::Decode(format!(
+                        "event count {declared_events} exceeds section capacity {}",
+                        section.len()
+                    )));
+                }
+                section
+            } else {
+                // v1: no framing — walk the records to find the boundary.
+                let start = rem;
+                let mut prev = 0u64;
+                for _ in 0..declared_events {
+                    let (ts, _) = raw_event(&mut rem, prev)?;
+                    prev = ts;
+                }
+                &start[..start.len() - rem.len()]
+            };
+            threads.push(RawThread { tid, name, declared_events, section });
+        }
+        // Bytes after the last section are ignored, matching the owned
+        // readers (under v3 the checksum already covers them).
+        Ok(RawTraceView { version, meta, objects, threads })
+    }
+
+    /// Format version of the underlying buffer.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Trace metadata (deserialized once at parse; the JSON blob is the
+    /// one part of the format that cannot be borrowed).
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Registered synchronization objects, names borrowed.
+    pub fn objects(&self) -> &[RawObjRef<'a>] {
+        &self.objects
+    }
+
+    /// Per-thread sections, in file order.
+    pub fn threads(&self) -> &[RawThread<'a>] {
+        &self.threads
+    }
+
+    /// Total events the thread headers declare.
+    pub fn declared_events(&self) -> u64 {
+        self.threads.iter().map(|t| t.declared_events).sum()
+    }
+
+    /// Validate every section's framing without materializing events;
+    /// returns the total validated event count.
+    pub fn validate(&self) -> Result<u64> {
+        let mut total = 0u64;
+        for t in &self.threads {
+            total += t.validate()?;
+        }
+        Ok(total)
+    }
+
+    /// Materialize the owned [`Trace`], decoding thread sections in
+    /// parallel across the active rayon pool. Bit-identical to the
+    /// streaming reader's output on the same bytes.
+    pub fn to_trace(&self) -> Result<Trace> {
+        let mut trace = Trace::new(self.meta.clone());
+        trace.objects = self
+            .objects
+            .iter()
+            .map(|o| ObjInfo { kind: o.kind, name: o.name.to_string() })
+            .collect();
+        let decoded: Vec<Result<ThreadStream>> = self
+            .threads
+            .par_iter()
+            .map(|t| {
+                let mut stream = ThreadStream::new(t.tid);
+                stream.name = t.name.map(str::to_string);
+                stream.events = t.decode()?;
+                Ok(stream)
+            })
+            .collect();
+        for stream in decoded {
+            trace.threads.push(stream?);
+        }
+        Ok(trace)
+    }
+}
+
 /// Decode up to `take` events from a section, returning whatever prefix
 /// decodes cleanly, the count of unconsumed section bytes, and the error
 /// message that stopped the scan, if any.
-fn decode_events_prefix(mut section: &[u8], take: u64) -> (Vec<Event>, usize, Option<String>) {
+fn decode_events_prefix(section: &[u8], take: u64) -> (Vec<Event>, usize, Option<String>) {
     let mut events = Vec::with_capacity((take.min(1 << 20)) as usize);
-    let mut prev = 0u64;
-    for _ in 0..take {
-        match read_event(&mut section, prev) {
-            Ok(ev) => {
-                prev = ev.ts;
-                events.push(ev);
-            }
-            Err(e) => return (events, section.len(), Some(e.to_string())),
+    let mut iter = RawEventIter::new(section, take);
+    loop {
+        match iter.next() {
+            Some(Ok(ev)) => events.push(ev.event()),
+            Some(Err(e)) => return (events, iter.remaining_bytes().len(), Some(e.to_string())),
+            None => return (events, iter.remaining_bytes().len(), None),
         }
     }
-    (events, section.len(), None)
 }
 
 /// Tolerant decode for salvage mode: recover whatever the byte buffer
@@ -678,10 +1141,10 @@ fn decode_events_prefix_stream(rem: &mut &[u8], take: u64) -> (Vec<Event>, Optio
     let mut events = Vec::with_capacity((take.min(1 << 20)) as usize);
     let mut prev = 0u64;
     for _ in 0..take {
-        match read_event(rem, prev) {
-            Ok(ev) => {
-                prev = ev.ts;
-                events.push(ev);
+        match raw_event(rem, prev) {
+            Ok((ts, kind)) => {
+                prev = ts;
+                events.push(Event::new(ts, kind));
             }
             Err(e) => return (events, Some(e.to_string())),
         }
@@ -931,6 +1394,119 @@ mod tests {
         assert!(anomalies
             .iter()
             .any(|a| matches!(a, Anomaly::BudgetEventsTruncated { kept: 4, .. })));
+    }
+
+    /// Encode a version-2 file around one hand-built event section.
+    fn v2_with_section(section: &[u8], nev: u64) -> Vec<u8> {
+        let t = Trace::default();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, 2).unwrap();
+        write_bytes(&mut buf, &serde_json::to_vec(&t.meta).unwrap()).unwrap();
+        write_varint(&mut buf, 0).unwrap(); // no objects
+        write_varint(&mut buf, 1).unwrap(); // one thread
+        write_varint(&mut buf, 0).unwrap(); // tid 0
+        buf.push(0); // unnamed
+        write_varint(&mut buf, nev).unwrap();
+        write_bytes(&mut buf, section).unwrap();
+        buf
+    }
+
+    /// A barrier epoch wider than u32 is a typed decode error in every
+    /// reader — strict streaming, strict bytes, the zero-copy validator —
+    /// and a recorded anomaly in salvage; it must never wrap.
+    #[test]
+    fn barrier_epoch_overflow_rejected_everywhere() {
+        // dt 0, opcode 4 (BarrierArrive), barrier id 0, epoch 1<<32.
+        let mut section = vec![0u8, 4, 0];
+        write_varint(&mut section, 1u64 << 32).unwrap();
+        let buf = v2_with_section(&section, 1);
+
+        let err = read_trace(&mut Cursor::new(buf.clone())).unwrap_err();
+        assert!(err.to_string().contains("epoch"), "streaming: {err}");
+        let err = read_trace_bytes(&buf).unwrap_err();
+        assert!(err.to_string().contains("epoch"), "bytes: {err}");
+
+        let view = RawTraceView::parse(&buf).unwrap(); // envelope is fine
+        let err = view.validate().unwrap_err();
+        assert!(err.to_string().contains("epoch"), "validator: {err}");
+
+        let (_, anomalies) = read_trace_bytes_salvage(&buf, &Budget::unlimited()).unwrap();
+        assert!(
+            anomalies.iter().any(|a| matches!(
+                a,
+                Anomaly::CorruptSection { detail, .. } if detail.contains("epoch")
+            )),
+            "salvage: {anomalies:?}"
+        );
+
+        // The owned serial path (v1 layout) hits the same typed error.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        write_varint(&mut v1, 1).unwrap();
+        write_bytes(&mut v1, &serde_json::to_vec(&Trace::default().meta).unwrap()).unwrap();
+        write_varint(&mut v1, 0).unwrap();
+        write_varint(&mut v1, 1).unwrap();
+        write_varint(&mut v1, 0).unwrap();
+        v1.push(0);
+        write_varint(&mut v1, 1).unwrap();
+        v1.extend_from_slice(&section);
+        let err = read_trace(&mut Cursor::new(v1)).unwrap_err();
+        assert!(err.to_string().contains("epoch"), "v1 streaming: {err}");
+    }
+
+    /// The borrowed view agrees with the owned readers on every format
+    /// version, and its `EventRef.raw` windows tile the section exactly.
+    #[test]
+    fn raw_view_matches_owned_readers_across_versions() {
+        let t = sample();
+        for version in MIN_VERSION..=VERSION {
+            let mut buf = Vec::new();
+            write_trace_with_version(&t, version, &mut buf).unwrap();
+            assert_eq!(read_trace(&mut Cursor::new(buf.clone())).unwrap(), t, "v{version}");
+            assert_eq!(read_trace_bytes(&buf).unwrap(), t, "v{version}");
+
+            let view = RawTraceView::parse(&buf).unwrap();
+            assert_eq!(view.version(), version);
+            assert_eq!(view.to_trace().unwrap(), t, "v{version}");
+            assert_eq!(view.validate().unwrap(), t.num_events() as u64);
+            for (raw_thread, stream) in view.threads().iter().zip(&t.threads) {
+                assert_eq!(raw_thread.tid, stream.tid);
+                assert_eq!(raw_thread.name, stream.name.as_deref());
+                let mut tiled = Vec::new();
+                for (ev, owned) in raw_thread.events().zip(&stream.events) {
+                    let ev = ev.unwrap();
+                    assert_eq!(&ev.event(), owned);
+                    tiled.extend_from_slice(ev.raw);
+                }
+                assert_eq!(tiled, raw_thread.section(), "v{version} raw windows must tile");
+            }
+        }
+    }
+
+    /// Trailing bytes after the declared events make the section
+    /// inconsistent: strict readers and the validator reject, salvage
+    /// keeps the decoded prefix and records the anomaly.
+    #[test]
+    fn raw_view_rejects_trailing_section_bytes() {
+        // One ThreadStart record (2 bytes) plus a stray byte.
+        let buf = v2_with_section(&[0, 11, 0], 1);
+        assert!(read_trace_bytes(&buf).is_err());
+        let view = RawTraceView::parse(&buf).unwrap();
+        assert!(view.validate().unwrap_err().to_string().contains("trailing"));
+        let (back, anomalies) = read_trace_bytes_salvage(&buf, &Budget::unlimited()).unwrap();
+        assert_eq!(back.num_events(), 1);
+        assert!(anomalies.iter().any(|a| matches!(a, Anomaly::CorruptSection { .. })));
+    }
+
+    /// An event count no section of that byte length could hold is
+    /// rejected at parse time, before anything sizes an allocation on it.
+    #[test]
+    fn declared_count_exceeding_section_capacity_rejected() {
+        let buf = v2_with_section(&[0, 11], 5);
+        let err = RawTraceView::parse(&buf).unwrap_err();
+        assert!(err.to_string().contains("section capacity"), "{err}");
+        assert!(read_trace_bytes(&buf).is_err());
     }
 
     /// A corrupt length claim near the 1 GiB cap over a short input must

@@ -12,7 +12,9 @@ use std::fmt;
 ///
 /// Thread ids are dense: a trace with `n` threads uses ids `0..n`. Id `0` is
 /// conventionally the main (root) thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {

@@ -45,6 +45,7 @@ pub mod budget;
 pub mod builder;
 pub mod checkpoint;
 pub mod codec;
+pub mod crc;
 pub mod episodes;
 pub mod error;
 pub mod event;
@@ -61,6 +62,7 @@ pub use anomaly::Anomaly;
 pub use budget::Budget;
 pub use builder::TraceBuilder;
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, CheckpointDoc, WindowCheckpoint};
+pub use codec::{EventRef, RawEventIter, RawThread, RawTraceView};
 pub use episodes::{
     barrier_episodes, cond_wait_episodes, join_episodes, lock_episodes, rw_episodes,
     signal_records, BarrierEpisode, CondWaitEpisode, JoinEpisode, LockEpisode, RwEpisode,

@@ -44,8 +44,8 @@
 //! history and a dropped frame never corrupts its successors.
 
 use crate::codec::{
-    kind_from_u8, kind_to_u8, read_bytes, read_event, read_string, read_tid, read_varint,
-    write_bytes, write_event, write_varint,
+    kind_from_u8, kind_to_u8, raw_tid, raw_varint, read_bytes, read_event, read_string, read_tid,
+    read_varint, write_bytes, write_event, write_varint, RawEventIter,
 };
 use crate::error::{Result, TraceError};
 use crate::event::Event;
@@ -129,48 +129,108 @@ pub enum Frame {
     End,
 }
 
+// ----------------------------------------------------------- raw frames
+
+/// A validated frame payload kept as wire bytes.
+///
+/// The collector's hot receive path moves frames from socket to journal
+/// to assembler without re-encoding them and without materializing an
+/// owned [`Frame`] per hop: [`StreamReader::next_frame_raw`] CRC-checks
+/// and grammar-validates the payload once at receive time, and the
+/// resulting `RawFrame` can be journaled verbatim
+/// ([`StreamWriter::write_raw_frame`] — byte-identical to re-encoding,
+/// since [`encode_payload`] is canonical) and folded into a trace through
+/// the borrowed event iterator ([`RawFrame::events`]) instead of a
+/// `Vec<Event>`. [`RawFrame::decode`] recovers the owned frame for the
+/// compatibility path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    payload: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Wrap `payload` after validating its grammar: exactly what
+    /// [`decode_payload`] would accept, rejected with the same errors.
+    pub fn new(payload: Vec<u8>) -> Result<Self> {
+        validate_payload(&payload)?;
+        Ok(RawFrame { payload })
+    }
+
+    /// Canonically encode an owned frame (registration paths, tests).
+    pub fn encode(frame: &Frame) -> Result<Self> {
+        Ok(RawFrame { payload: encode_payload(frame)? })
+    }
+
+    /// The frame-type byte (`0` Start … `5` End).
+    pub fn frame_type(&self) -> u8 {
+        // validate_payload rejects empty payloads, so the byte exists.
+        self.payload[0]
+    }
+
+    /// Whether this is the graceful `End` frame.
+    pub fn is_end(&self) -> bool {
+        self.frame_type() == 5
+    }
+
+    /// The validated wire payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Decode to an owned [`Frame`] (the compatibility path). Cannot fail
+    /// beyond the validation already done at construction.
+    pub fn decode(&self) -> Result<Frame> {
+        decode_payload(&self.payload)
+    }
+
+    /// For an `Events` frame: the target thread and a borrowed iterator
+    /// over the payload's events, decoded lazily without an intermediate
+    /// `Vec<Event>`. `None` for every other frame type.
+    pub fn events(&self) -> Option<(ThreadId, RawEventIter<'_>)> {
+        if self.frame_type() != 4 {
+            return None;
+        }
+        let mut rem = &self.payload[1..];
+        // Validated at construction: these reads cannot fail.
+        let tid = raw_tid(&mut rem).ok()?;
+        let count = raw_varint(&mut rem).ok()?;
+        Some((tid, RawEventIter::new(rem, count)))
+    }
+}
+
+/// Check that `payload` is a well-formed frame payload without building
+/// the owned [`Frame`]. The hot `Events` type is scanned in place through
+/// [`RawEventIter`]; the rare registration types are validated by a full
+/// decode, which keeps error parity with [`decode_payload`] exact.
+fn validate_payload(payload: &[u8]) -> Result<()> {
+    match payload.first() {
+        Some(4) => {
+            let mut rem = &payload[1..];
+            raw_tid(&mut rem)?;
+            let count = raw_varint(&mut rem)?;
+            if count > MAX_FRAME_LEN as u64 {
+                return Err(TraceError::Decode(format!("unreasonable event count {count}")));
+            }
+            let mut iter = RawEventIter::new(rem, count);
+            for ev in iter.by_ref() {
+                ev?;
+            }
+            if !iter.remaining_bytes().is_empty() {
+                return Err(TraceError::Decode("trailing bytes in frame payload".into()));
+            }
+            Ok(())
+        }
+        Some(_) => decode_payload(payload).map(|_| ()),
+        None => Err(TraceError::Decode("empty frame payload".into())),
+    }
+}
+
 // ------------------------------------------------------------------ CRC32
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    crc32_finish(crc32_update(CRC32_INIT, bytes))
-}
-
-/// Initial state for an incremental CRC-32 computation.
-pub const CRC32_INIT: u32 = !0u32;
-
-/// Fold `bytes` into a running CRC-32 state. Start from [`CRC32_INIT`]
-/// and finish with [`crc32_finish`]; feeding the data in any split is
-/// equivalent to one [`crc32`] call over the concatenation.
-pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = state;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
-    }
-    crc
-}
-
-/// Finalize an incremental CRC-32 state into the checksum value.
-pub fn crc32_finish(state: u32) -> u32 {
-    !state
-}
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
+// The implementation lives in [`crate::crc`] (with a hardware-folded fast
+// path); re-exported here because the stream formats are its historical
+// home and every caller imports it from this path.
+pub use crate::crc::{crc32, crc32_finish, crc32_update, CRC32_INIT};
 
 // --------------------------------------------------------------- encoding
 
@@ -336,9 +396,21 @@ impl<W: Write> StreamWriter<W> {
     /// Append one frame (length prefix, payload, CRC).
     pub fn write_frame(&mut self, frame: &Frame) -> Result<()> {
         let payload = encode_payload(frame)?;
+        self.write_payload(&payload)
+    }
+
+    /// Append an already-encoded frame verbatim (length prefix, the
+    /// payload bytes as received, CRC). Because [`encode_payload`] is
+    /// canonical, journaling a received [`RawFrame`] this way produces
+    /// bytes identical to decoding and re-encoding it.
+    pub fn write_raw_frame(&mut self, raw: &RawFrame) -> Result<()> {
+        self.write_payload(raw.payload())
+    }
+
+    fn write_payload(&mut self, payload: &[u8]) -> Result<()> {
         write_varint(&mut self.out, payload.len() as u64)?;
-        self.out.write_all(&payload)?;
-        self.out.write_all(&crc32(&payload).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.out.write_all(&crc32(payload).to_le_bytes())?;
         Ok(())
     }
 
@@ -438,17 +510,41 @@ impl<R: Read> StreamReader<R> {
     /// a frame boundary; a mid-frame EOF, length overflow or CRC mismatch
     /// is an error.
     pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        match self.read_payload()? {
+            false => Ok(None),
+            true => decode_payload(&self.payload).map(Some),
+        }
+    }
+
+    /// Read the next frame as validated wire bytes, skipping the owned
+    /// decode — the collector's hot path. Grammar is checked exactly as
+    /// [`Self::next_frame`] would, so the two are interchangeable per
+    /// frame; this one just hands back the payload for verbatim journaling
+    /// and lazy event iteration (see [`RawFrame`]).
+    pub fn next_frame_raw(&mut self) -> Result<Option<RawFrame>> {
+        match self.read_payload()? {
+            false => Ok(None),
+            true => {
+                validate_payload(&self.payload)?;
+                Ok(Some(RawFrame { payload: std::mem::take(&mut self.payload) }))
+            }
+        }
+    }
+
+    /// Read one CRC-checked payload into the scratch buffer. Returns
+    /// `false` on a clean end-of-stream at a frame boundary.
+    fn read_payload(&mut self) -> Result<bool> {
         let len = {
             // Distinguish "no more frames" from "torn frame": EOF on the
             // first byte of the length prefix is a clean end.
             let mut first = [0u8; 1];
-            match self.inp.read(&mut first) {
-                Ok(0) => return Ok(None),
-                Ok(_) => {}
-                Err(e) if e.kind() == ErrorKind::Interrupted => {
-                    return self.next_frame();
+            loop {
+                match self.inp.read(&mut first) {
+                    Ok(0) => return Ok(false),
+                    Ok(_) => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) => return Err(e.into()),
             }
             if first[0] & 0x80 == 0 {
                 first[0] as u64
@@ -474,7 +570,7 @@ impl<R: Read> StreamReader<R> {
                 "frame CRC mismatch (stored {expected:#010x}, computed {actual:#010x})"
             )));
         }
-        decode_payload(&self.payload).map(Some)
+        Ok(true)
     }
 
     /// Total frame payload bytes consumed so far. Framing overhead
@@ -760,6 +856,85 @@ mod tests {
             w.write_frame(&Frame::End).unwrap();
         }
         assert!(read_trace(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn raw_frame_path_matches_owned_and_rejournals_verbatim() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+
+        let mut owned = StreamReader::new(Cursor::new(buf.clone())).unwrap();
+        let mut raw = StreamReader::new(Cursor::new(buf.clone())).unwrap();
+        // Re-journal every raw frame verbatim; the output must be
+        // byte-identical to the original stream.
+        let mut rebuilt = Vec::new();
+        let mut w = StreamWriter::new(&mut rebuilt).unwrap();
+        loop {
+            let (of, rf) = (owned.next_frame().unwrap(), raw.next_frame_raw().unwrap());
+            match (of, rf) {
+                (None, None) => break,
+                (Some(of), Some(rf)) => {
+                    assert_eq!(rf.decode().unwrap(), of);
+                    assert_eq!(rf.is_end(), matches!(of, Frame::End));
+                    assert_eq!(RawFrame::encode(&of).unwrap(), rf);
+                    if let Frame::Events { tid, events } = &of {
+                        let (rtid, iter) = rf.events().expect("type-4 payload");
+                        assert_eq!(rtid, *tid);
+                        let borrowed: Vec<Event> = iter.map(|ev| ev.unwrap().event()).collect();
+                        assert_eq!(&borrowed, events);
+                    } else {
+                        assert!(rf.events().is_none());
+                    }
+                    w.write_raw_frame(&rf).unwrap();
+                }
+                (of, rf) => panic!("stream length mismatch: {of:?} vs {rf:?}"),
+            }
+        }
+        w.flush().unwrap();
+        assert_eq!(rebuilt, buf);
+        assert_eq!(raw.payload_bytes(), owned.payload_bytes());
+    }
+
+    #[test]
+    fn raw_frame_validation_matches_decode_payload() {
+        // Trailing garbage after a well-formed Events body.
+        let frame = Frame::Events {
+            tid: ThreadId(0),
+            events: vec![Event::new(3, crate::event::EventKind::ThreadStart)],
+        };
+        let mut payload = RawFrame::encode(&frame).unwrap().payload.clone();
+        payload.push(0x77);
+        let err = RawFrame::new(payload).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "unexpected error: {err}");
+        // Truncated mid-event.
+        let payload = RawFrame::encode(&frame).unwrap().payload;
+        let cut = payload[..payload.len() - 1].to_vec();
+        assert!(RawFrame::new(cut).is_err());
+        // Empty payload and bad frame type.
+        assert!(RawFrame::new(Vec::new()).is_err());
+        assert!(RawFrame::new(vec![9]).is_err());
+        // A corrupted frame read through the raw path is severed exactly
+        // like the owned path: both readers fail on the same byte flip.
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let drain_owned = |buf: Vec<u8>| -> Result<()> {
+            let mut r = StreamReader::new(Cursor::new(buf))?;
+            while r.next_frame()?.is_some() {}
+            Ok(())
+        };
+        let drain_raw = |buf: Vec<u8>| -> Result<()> {
+            let mut r = StreamReader::new(Cursor::new(buf))?;
+            while r.next_frame_raw()?.is_some() {}
+            Ok(())
+        };
+        assert_eq!(
+            drain_owned(buf.clone()).unwrap_err().to_string(),
+            drain_raw(buf).unwrap_err().to_string()
+        );
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Property tests for the borrowed zero-copy decode path: for every
+//! supported format version the [`RawTraceView`] must agree bit-for-bit
+//! with the independent streaming decoder, and on the salvage corruption
+//! corpus (cut, splice, bit flip — the same primitives the transport
+//! fault plans use) the raw view must never panic and must reject every
+//! buffer the strict streaming decoder rejects.
+
+use critlock_trace::codec::{
+    read_trace, read_trace_bytes, read_trace_bytes_salvage, write_trace_with_version, RawTraceView,
+};
+use critlock_trace::faults::FLIP_MASK;
+use critlock_trace::salvage::salvage_trace;
+use critlock_trace::{Budget, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// Supported on-disk format versions (kept in sync with the codec's
+/// `MIN_VERSION..=VERSION`; `write_trace_with_version` rejects anything
+/// outside that range, so drift fails loudly here).
+const VERSIONS: std::ops::RangeInclusive<u64> = 1..=3;
+
+/// A protocol-valid trace: 1–3 threads doing work and whole critical
+/// sections on two locks, sized by per-thread op counts.
+fn valid_trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(prop::collection::vec((1u64..8, 0u8..3), 0..24), 1..4).prop_map(
+        |threads| {
+            let mut b = TraceBuilder::new("zero-copy-props");
+            let l1 = b.lock("L1");
+            let l2 = b.lock("L2");
+            let tids: Vec<_> = (0..threads.len()).map(|i| b.thread(format!("t{i}"), 0)).collect();
+            for (tid, ops) in tids.iter().zip(&threads) {
+                let mut c = b.on(*tid);
+                for &(amount, kind) in ops {
+                    match kind {
+                        0 => {
+                            c.work(amount);
+                        }
+                        1 => {
+                            c.cs(l1, amount);
+                        }
+                        _ => {
+                            c.cs(l2, amount);
+                        }
+                    }
+                }
+                c.exit();
+            }
+            b.build().expect("builder output is always valid")
+        },
+    )
+}
+
+/// The byte-level mutations of the fault matrix: sever (cut), splice
+/// (truncation) and single-byte corruption (bit flip).
+fn mutate(bytes: &[u8], kind: u8, pos: usize, drop: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match kind {
+        0 => {
+            let at = pos % (out.len() + 1);
+            out.truncate(at);
+        }
+        1 => {
+            let at = pos % (out.len() + 1);
+            let end = (at + 1 + drop).min(out.len());
+            out.drain(at..end.max(at));
+        }
+        _ => {
+            let at = pos % out.len();
+            out[at] ^= FLIP_MASK;
+        }
+    }
+    out
+}
+
+fn encode(trace: &Trace, version: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace_with_version(trace, version, &mut buf).expect("encoding cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Across every format version: the borrowed view parses, validates
+    /// the exact declared event count, materializes a trace bit-identical
+    /// to both the streaming decoder's output and the original, and its
+    /// per-event raw byte windows tile each section exactly.
+    #[test]
+    fn borrowed_view_matches_owned_decoder_across_versions(trace in valid_trace_strategy()) {
+        let total: u64 = trace.threads.iter().map(|t| t.events.len() as u64).sum();
+        for version in VERSIONS {
+            let bytes = encode(&trace, version);
+
+            let view = RawTraceView::parse(&bytes).expect("clean bytes must parse");
+            prop_assert_eq!(view.version(), version);
+            prop_assert_eq!(view.declared_events(), total);
+            prop_assert_eq!(view.validate().expect("clean sections must validate"), total);
+
+            let owned = read_trace(&mut &bytes[..]).expect("streaming decode must succeed");
+            let borrowed = view.to_trace().expect("borrowed materialization must succeed");
+            prop_assert_eq!(&borrowed, &owned, "borrowed vs streaming diverged (v{})", version);
+            prop_assert_eq!(&borrowed, &trace, "round-trip not identity (v{})", version);
+            prop_assert_eq!(
+                read_trace_bytes(&bytes).expect("read_trace_bytes must succeed"),
+                owned
+            );
+
+            // The borrowed iterator yields the same events as the owned
+            // stream, and the raw windows re-tile the section verbatim —
+            // the invariant the collector's journal re-framing relies on.
+            for (raw_thread, stream) in view.threads().iter().zip(&owned.threads) {
+                prop_assert_eq!(raw_thread.tid, stream.tid);
+                prop_assert_eq!(raw_thread.name, stream.name.as_deref());
+                let mut rebuilt = Vec::new();
+                let mut n = 0usize;
+                for (ev, expect) in raw_thread.events().zip(&stream.events) {
+                    let ev = ev.expect("clean section record must decode");
+                    prop_assert_eq!(&ev.event(), expect);
+                    rebuilt.extend_from_slice(ev.raw);
+                    n += 1;
+                }
+                prop_assert_eq!(n, stream.events.len());
+                prop_assert_eq!(rebuilt.as_slice(), raw_thread.section());
+            }
+        }
+    }
+
+    /// On mutated bytes the raw view must never panic, must reject
+    /// whenever the strict streaming decoder rejects, and salvage fed by
+    /// the raw prefix decoder must keep its never-panic guarantee.
+    #[test]
+    fn raw_view_never_panics_and_rejects_with_strict(
+        trace in valid_trace_strategy(),
+        version in 1u64..4,
+        kind in 0u8..3,
+        pos in 0usize..1_000_000,
+        drop in 1usize..64,
+    ) {
+        let clean = encode(&trace, version);
+        let mutated = mutate(&clean, kind, pos, drop);
+
+        let strict = read_trace(&mut &mutated[..]);
+        let borrowed = RawTraceView::parse(&mutated).and_then(|view| {
+            view.validate()?;
+            view.to_trace()
+        });
+        if strict.is_err() {
+            prop_assert!(
+                borrowed.is_err(),
+                "strict decoder rejected mutated bytes (v{version}, kind {kind}, pos {pos}) \
+                 but the borrowed view accepted them"
+            );
+        }
+        if let (Ok(s), Ok(b)) = (&strict, &borrowed) {
+            prop_assert_eq!(s, b, "both paths accepted but disagreed");
+        }
+
+        // Salvage consumes sections through the same raw prefix decoder;
+        // it must never panic either, and its output must still validate.
+        let budget = Budget::unlimited();
+        if let Ok((partial, _)) = read_trace_bytes_salvage(&mutated, &budget) {
+            let salvaged = salvage_trace(&partial, &budget);
+            salvaged.trace.validate().expect("salvaged trace must validate");
+        }
+    }
+}

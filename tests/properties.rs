@@ -74,7 +74,7 @@ fn build_and_run(w: &Workload, machine: MachineConfig) -> Trace {
 /// Total running time across all threads (sum of segment durations).
 fn total_busy(trace: &Trace) -> u64 {
     let st = critlock::analysis::SegmentedTrace::build(trace);
-    st.threads.iter().flat_map(|segs| segs.iter().map(|s| s.duration())).sum()
+    st.iter_threads().flat_map(|segs| segs.iter().map(|s| s.duration())).sum()
 }
 
 proptest! {

@@ -1,0 +1,73 @@
+//! Whole-stack property test for the zero-copy decode path: a trace
+//! serialized at any supported format version, decoded through the
+//! borrowed [`RawTraceView`] and through the independent streaming
+//! decoder, must produce **bit-identical analyses** — the same
+//! [`AnalysisReport`] and the same critical path — because analysis is a
+//! pure function of the decoded trace and the two decoders must agree on
+//! every byte of it.
+
+use critlock::analysis::{analyze, critical_path};
+use critlock::trace::codec::{read_trace, write_trace_with_version, RawTraceView};
+use critlock::trace::{Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// A protocol-valid workload: 1–3 threads mixing compute and whole
+/// critical sections over two locks.
+fn valid_trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(prop::collection::vec((1u64..8, 0u8..3), 0..24), 1..4).prop_map(
+        |threads| {
+            let mut b = TraceBuilder::new("zero-copy-analysis");
+            let l1 = b.lock("L1");
+            let l2 = b.lock("L2");
+            let tids: Vec<_> = (0..threads.len()).map(|i| b.thread(format!("t{i}"), 0)).collect();
+            for (tid, ops) in tids.iter().zip(&threads) {
+                let mut c = b.on(*tid);
+                for &(amount, kind) in ops {
+                    match kind {
+                        0 => {
+                            c.work(amount);
+                        }
+                        1 => {
+                            c.cs(l1, amount);
+                        }
+                        _ => {
+                            c.cs(l2, amount);
+                        }
+                    }
+                }
+                c.exit();
+            }
+            b.build().expect("builder output is always valid")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn borrowed_and_owned_decoders_yield_identical_analyses(trace in valid_trace_strategy()) {
+        for version in 1u64..=3 {
+            let mut bytes = Vec::new();
+            write_trace_with_version(&trace, version, &mut bytes)
+                .expect("encoding cannot fail");
+
+            let owned = read_trace(&mut &bytes[..]).expect("streaming decode must succeed");
+            let borrowed = RawTraceView::parse(&bytes)
+                .and_then(|view| view.to_trace())
+                .expect("borrowed decode must succeed");
+            prop_assert_eq!(&borrowed, &owned, "decoders diverged at v{}", version);
+
+            prop_assert_eq!(
+                analyze(&borrowed),
+                analyze(&owned),
+                "analysis reports diverged at v{}", version
+            );
+            prop_assert_eq!(
+                critical_path(&borrowed),
+                critical_path(&owned),
+                "critical paths diverged at v{}", version
+            );
+        }
+    }
+}
